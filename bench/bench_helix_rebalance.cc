@@ -1,0 +1,103 @@
+// E14 — Helix: CURRENTSTATE converges to BESTPOSSIBLESTATE / IDEALSTATE
+// across membership changes.
+//
+// Paper (IV.B): Helix "generates tasks to transform the CURRENTSTATE of the
+// cluster to the BESTPOSSIBLESTATE. When all nodes are available, the
+// BESTPOSSIBLESTATE will converge to the IDEALSTATE." It also provides
+// "optimized rebalancing during cluster expansion".
+
+#include <memory>
+
+#include "bench_util.h"
+#include "helix/helix.h"
+#include "zk/zookeeper.h"
+
+using namespace lidi;
+using namespace lidi::helix;
+
+namespace {
+
+int CountMasters(const Assignment& a, const std::string& instance) {
+  int count = 0;
+  for (const auto& [p, states] : a) {
+    auto it = states.find(instance);
+    if (it != states.end() && it->second == ReplicaState::kMaster) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("E14: Helix rebalance on membership change",
+                "CURRENTSTATE -> BESTPOSSIBLE -> IDEAL (paper IV.B)");
+  bench::Row("%22s | %11s | %12s | %11s | %s", "event", "transitions",
+             "converge us", "masterless", "current==ideal?");
+
+  zk::ZooKeeper zookeeper;
+  HelixController controller("bench", &zookeeper);
+  controller.AddResource({"db", 24, 3});
+
+  std::map<std::string, zk::SessionId> sessions;
+  auto connect = [&](const std::string& name) {
+    auto session =
+        controller.ConnectParticipant(name, [](const Transition&) {
+          return Status::OK();
+        });
+    sessions[name] = session.value();
+  };
+
+  auto report = [&](const char* event) {
+    bench::Stopwatch timer;
+    const int transitions = controller.RebalanceToConvergence();
+    const double us = timer.ElapsedMicros();
+    const bool ideal =
+        controller.GetCurrentState("db") == controller.ComputeIdealState("db");
+    bench::Row("%22s | %11d | %12.0f | %11zu | %s", event, transitions, us,
+               controller.MasterlessPartitions("db").size(),
+               ideal ? "YES" : "no (degraded nodes)");
+  };
+
+  for (int i = 0; i < 3; ++i) connect("node-" + std::to_string(i));
+  report("bootstrap 3 nodes");
+  connect("node-3");
+  report("add node-3");
+  connect("node-4");
+  report("add node-4");
+  zookeeper.CloseSession(sessions["node-1"]);
+  report("crash node-1");
+  zookeeper.CloseSession(sessions["node-2"]);
+  report("crash node-2");
+  connect("node-1");
+  report("node-1 returns");
+
+  bench::Header("E14 follow-on: master balance after expansion",
+                "smart allocation balances partitions over servers (IV.B)");
+  const auto current = controller.GetCurrentState("db");
+  for (const std::string& instance : controller.LiveInstances()) {
+    bench::Row("  %-10s masters %2d of 24 partitions", instance.c_str(),
+               CountMasters(current, instance));
+  }
+
+  bench::Header("E14 scale sweep: transitions per membership change",
+                "transition count scales with partitions moved, not cluster");
+  bench::Row("%8s | %12s | %22s", "nodes", "partitions", "transitions to heal");
+  for (int nodes : {4, 8, 16}) {
+    zk::ZooKeeper zk2;
+    HelixController c2("bench2", &zk2);
+    c2.AddResource({"db", 64, 2});
+    std::map<std::string, zk::SessionId> s2;
+    for (int i = 0; i < nodes; ++i) {
+      auto session = c2.ConnectParticipant(
+          "n" + std::to_string(i), [](const Transition&) { return Status::OK(); });
+      s2["n" + std::to_string(i)] = session.value();
+    }
+    c2.RebalanceToConvergence();
+    zk2.CloseSession(s2["n0"]);
+    const int heal = c2.RebalanceToConvergence();
+    bench::Row("%8d | %12d | %22d", nodes, 64, heal);
+  }
+  bench::Row("\nshape check: healing cost shrinks as the cluster grows (each\n"
+             "node owns fewer partitions), the elasticity argument of IV.B.");
+  return 0;
+}

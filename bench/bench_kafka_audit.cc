@@ -1,0 +1,107 @@
+// E21 — the auditing system: verifying no data loss along the pipeline.
+//
+// Paper (V.D): "Our tracking also includes an auditing system to verify that
+// there is no data loss along the whole pipeline ... we instrument each
+// producer such that it periodically generates a monitoring event, which
+// records the number of messages published by that producer for each topic
+// within a fixed time window ... consumers can then count the number of
+// messages that they have received ... and validate those counts."
+//
+// We run the audited pipeline clean and then with injected message drops,
+// showing the audit catches exactly the injected loss.
+
+#include <memory>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "kafka/audit.h"
+#include "kafka/broker.h"
+#include "kafka/consumer.h"
+#include "kafka/producer.h"
+#include "net/network.h"
+#include "zk/zookeeper.h"
+
+using namespace lidi;
+using namespace lidi::kafka;
+
+namespace {
+
+struct AuditRun {
+  int64_t produced = 0;
+  int64_t consumed = 0;
+  bool validated = false;
+};
+
+AuditRun Run(double drop_fraction, int producers, int messages_per_producer) {
+  ManualClock clock;
+  zk::ZooKeeper zookeeper;
+  net::Network network;
+  Broker broker(0, &zookeeper, &network, &clock, {});
+  broker.CreateTopic("events", 4);
+  broker.CreateTopic(kAuditTopic, 1);
+
+  Random rng(99);
+  std::vector<std::unique_ptr<Producer>> producer_objs;
+  std::vector<std::unique_ptr<ProducerAudit>> audits;
+  for (int p = 0; p < producers; ++p) {
+    producer_objs.push_back(std::make_unique<Producer>(
+        "p" + std::to_string(p), &zookeeper, &network));
+    audits.push_back(std::make_unique<ProducerAudit>(
+        "p" + std::to_string(p), producer_objs.back().get(), &clock, 1000));
+  }
+  for (int i = 0; i < messages_per_producer; ++i) {
+    for (int p = 0; p < producers; ++p) {
+      // A lossy pipeline stage: some events never reach the broker. The
+      // audit counters still count them as produced — that is the point.
+      audits[p]->RecordProduced("events");
+      if (!rng.Bernoulli(drop_fraction)) {
+        producer_objs[p]->Send("events", "e" + std::to_string(i));
+      }
+    }
+    if (i % 100 == 0) clock.AdvanceMillis(100);
+  }
+  clock.AdvanceMillis(2000);
+  for (auto& audit : audits) audit->ForceEmit();
+
+  AuditRun result;
+  AuditValidator validator;
+  Consumer consumer("c", "g", &zookeeper, &network);
+  consumer.Subscribe("events");
+  for (int round = 0; round < 500; ++round) {
+    auto messages = consumer.Poll("events");
+    if (!messages.ok()) break;
+    validator.RecordConsumed("events",
+                             static_cast<int64_t>(messages.value().size()));
+  }
+  Consumer audit_consumer("ca", "ga", &zookeeper, &network);
+  audit_consumer.Subscribe(kAuditTopic);
+  for (int round = 0; round < 100; ++round) {
+    auto messages = audit_consumer.Poll(kAuditTopic);
+    if (messages.ok()) validator.IngestAuditMessages(messages.value());
+  }
+  result.produced = validator.ProducedCount("events");
+  result.consumed = validator.ConsumedCount("events");
+  result.validated = validator.Validate("events");
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("E21: pipeline audit",
+                "producer window counts vs consumer counts detect loss (V.D)");
+  bench::Row("%12s | %10s | %10s | %10s | %s", "drop rate", "produced",
+             "consumed", "lost", "audit verdict");
+  for (double drop : {0.0, 0.001, 0.01, 0.05}) {
+    AuditRun run = Run(drop, /*producers=*/4, /*messages_per_producer=*/2500);
+    bench::Row("%11.1f%% | %10lld | %10lld | %10lld | %s", drop * 100,
+               static_cast<long long>(run.produced),
+               static_cast<long long>(run.consumed),
+               static_cast<long long>(run.produced - run.consumed),
+               run.validated ? "NO LOSS" : "LOSS DETECTED");
+  }
+  bench::Row("\nshape check: a clean pipeline validates exactly; any injected\n"
+             "drop rate is flagged with the precise missing count.");
+  return 0;
+}

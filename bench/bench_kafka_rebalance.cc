@@ -1,0 +1,126 @@
+// E19 — consumer-group rebalancing and over-partitioning.
+//
+// Paper (V.C): "at any given time, all messages from one partition are
+// consumed only by a single consumer within each consumer group ...
+// consuming processes only need coordination when the load has to be
+// rebalanced among them, an infrequent event. For better load balancing, we
+// require many more partitions in a topic than the consumers in each group."
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "kafka/broker.h"
+#include "kafka/consumer.h"
+#include "kafka/producer.h"
+#include "net/network.h"
+#include "zk/zookeeper.h"
+
+using namespace lidi;
+using namespace lidi::kafka;
+
+int main() {
+  bench::Header("E19: over-partitioning balances consumer load",
+                "many more partitions than consumers -> even split (V.C)");
+  bench::Row("%12s | %10s | %14s | %14s", "partitions", "consumers",
+             "min/max owned", "imbalance");
+
+  for (const auto& [partitions_per_broker, consumers] :
+       std::vector<std::pair<int, int>>{{1, 3}, {2, 3}, {8, 3}, {16, 3}}) {
+    ManualClock clock;
+    zk::ZooKeeper zookeeper;
+    net::Network network;
+    std::vector<std::unique_ptr<Broker>> brokers;
+    for (int b = 0; b < 2; ++b) {
+      brokers.push_back(std::make_unique<Broker>(b, &zookeeper, &network,
+                                                 &clock, BrokerOptions{}));
+      brokers.back()->CreateTopic("t", partitions_per_broker);
+    }
+    std::vector<std::unique_ptr<Consumer>> group;
+    for (int c = 0; c < consumers; ++c) {
+      group.push_back(std::make_unique<Consumer>("c" + std::to_string(c), "g",
+                                                 &zookeeper, &network));
+      group.back()->Subscribe("t");
+    }
+    // Settle: polls process pending rebalances.
+    for (int round = 0; round < 10; ++round) {
+      for (auto& c : group) c->Poll("t");
+    }
+    int min_owned = 1 << 30, max_owned = 0, total = 0;
+    for (auto& c : group) {
+      const int owned = static_cast<int>(c->OwnedPartitions("t").size());
+      min_owned = std::min(min_owned, owned);
+      max_owned = std::max(max_owned, owned);
+      total += owned;
+    }
+    bench::Row("%12d | %10d | %10d/%-3d | %10.1f%%  (all owned: %s)",
+               partitions_per_broker * 2, consumers, min_owned, max_owned,
+               total > 0 ? 100.0 * (max_owned - min_owned) / max_owned : 0.0,
+               total == partitions_per_broker * 2 ? "yes" : "NO");
+  }
+  bench::Row("\nshape check: with few partitions some consumers idle; with\n"
+             "over-partitioning ownership splits nearly evenly.");
+
+  bench::Header("E19 follow-on: rebalance churn on membership change",
+                "coordination happens only on rebalance, an infrequent event");
+  {
+    ManualClock clock;
+    zk::ZooKeeper zookeeper;
+    net::Network network;
+    Broker broker(0, &zookeeper, &network, &clock, BrokerOptions{});
+    broker.CreateTopic("t", 12);
+    Producer producer("p", &zookeeper, &network);
+    for (int i = 0; i < 2000; ++i) producer.Send("t", "m");
+
+    std::vector<std::unique_ptr<Consumer>> group;
+    auto poll_all = [&]() {
+      int64_t n = 0;
+      for (auto& c : group) {
+        auto m = c->Poll("t");
+        if (m.ok()) n += static_cast<int64_t>(m.value().size());
+        // Commit so a partition handed to another member resumes rather
+        // than replays (Kafka is at-least-once across rebalances).
+        c->CommitOffsets();
+      }
+      return n;
+    };
+    auto ownership_ok = [&]() {
+      std::set<std::pair<int, int>> seen;
+      int total = 0;
+      for (auto& c : group) {
+        for (const auto& tp : c->OwnedPartitions("t")) {
+          seen.insert({tp.broker_id, tp.partition});
+          ++total;
+        }
+      }
+      return seen.size() == static_cast<size_t>(total);
+    };
+
+    int64_t consumed = 0;
+    for (int step = 1; step <= 4; ++step) {
+      group.push_back(std::make_unique<Consumer>("c" + std::to_string(step),
+                                                 "g", &zookeeper, &network));
+      group.back()->Subscribe("t");
+      for (int round = 0; round < 30; ++round) consumed += poll_all();
+      int rebalances = 0;
+      for (auto& c : group) rebalances += c->rebalance_count();
+      bench::Row("after join of c%d: %zu consumers, exclusive ownership: %s, "
+                 "total rebalances: %d",
+                 step, group.size(), ownership_ok() ? "yes" : "NO", rebalances);
+    }
+    // Two consumers leave.
+    group[0]->Close();
+    group[1]->Close();
+    group.erase(group.begin(), group.begin() + 2);
+    for (int round = 0; round < 30; ++round) consumed += poll_all();
+    bench::Row("after two departures: exclusive ownership: %s, consumed %lld "
+               "of 2000 messages (>=2000 means at-least-once redelivery "
+               "around handoffs)",
+               ownership_ok() ? "yes" : "NO",
+               static_cast<long long>(consumed));
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+// EXT-1 — intra-cluster replication (the paper's Kafka future work, V.D).
+//
+// Not an experiment from the paper's evaluation — this measures the feature
+// the paper says it plans to add: per-partition leader/follower replication.
+// We report (a) replication overhead on the produce path, (b) follower sync
+// bandwidth, (c) failover time and data loss as a function of sync lag.
+
+#include <memory>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "kafka/consumer.h"
+#include "kafka/message.h"
+#include "kafka/producer.h"
+#include "kafka/replication.h"
+#include "net/network.h"
+#include "zk/zookeeper.h"
+
+using namespace lidi;
+using namespace lidi::kafka;
+
+int main() {
+  bench::Header("EXT-1: intra-cluster replication (paper V.D future work)",
+                "leader/follower partitions; failover without message loss");
+
+  // (a) produce-path overhead: unreplicated vs replicated-with-sync.
+  {
+    ManualClock clock;
+    zk::ZooKeeper zookeeper;
+    net::Network network;
+    std::vector<std::unique_ptr<Broker>> brokers;
+    for (int i = 0; i < 3; ++i) {
+      brokers.push_back(std::make_unique<Broker>(i, &zookeeper, &network,
+                                                 &clock, BrokerOptions{}));
+    }
+    brokers[0]->CreateTopic("plain", 4);
+    ReplicatedTopicManager manager(&zookeeper, &network);
+    manager.CreateReplicatedTopic(
+        "replicated", 4,
+        {brokers[0].get(), brokers[1].get(), brokers[2].get()});
+    std::vector<std::unique_ptr<ReplicaFetcher>> fetchers;
+    for (auto& broker : brokers) {
+      fetchers.push_back(std::make_unique<ReplicaFetcher>(
+          broker.get(), &manager, &network));
+    }
+
+    Random rng(3);
+    MessageSetBuilder builder;
+    for (int i = 0; i < 20; ++i) builder.Add(rng.Bytes(200));
+    const std::string set = builder.Build();
+
+    const int kBatches = 3000;
+    bench::Stopwatch plain_timer;
+    for (int i = 0; i < kBatches; ++i) {
+      brokers[0]->Produce("plain", i % 4, set);
+    }
+    const double plain_s = plain_timer.ElapsedSeconds();
+
+    bench::Stopwatch replicated_timer;
+    for (int i = 0; i < kBatches; ++i) {
+      manager.ProduceToLeader("bench", "replicated", i % 4, set);
+      if (i % 50 == 49) {  // follower fetchers run continuously in prod
+        for (auto& fetcher : fetchers) fetcher->SyncOnce("replicated", 4);
+      }
+    }
+    for (auto& fetcher : fetchers) fetcher->SyncOnce("replicated", 4);
+    const double replicated_s = replicated_timer.ElapsedSeconds();
+
+    bench::Row("%-32s | %9.0f batches/s", "unreplicated produce",
+               kBatches / plain_s);
+    bench::Row("%-32s | %9.0f batches/s (%.2fx cost; includes 2 follower "
+               "copies)",
+               "replicated (RF=3) + sync", kBatches / replicated_s,
+               replicated_s / plain_s);
+  }
+
+  // (b)+(c): failover loss as a function of follower lag.
+  bench::Header("EXT-1 failover: loss vs sync lag (acks=1 semantics)",
+                "fully synced followers -> zero loss; lag -> bounded loss");
+  bench::Row("%24s | %10s | %12s | %10s | %10s", "follower lag (msgs)",
+             "produced", "failover us", "recovered", "lost");
+  for (int lag : {0, 50, 200, 1000}) {
+    ManualClock clock;
+    zk::ZooKeeper zookeeper;
+    net::Network network;
+    std::vector<std::unique_ptr<Broker>> brokers;
+    for (int i = 0; i < 3; ++i) {
+      brokers.push_back(std::make_unique<Broker>(i, &zookeeper, &network,
+                                                 &clock, BrokerOptions{}));
+    }
+    ReplicatedTopicManager manager(&zookeeper, &network);
+    manager.CreateReplicatedTopic(
+        "t", 1, {brokers[0].get(), brokers[1].get(), brokers[2].get()});
+    std::vector<std::unique_ptr<ReplicaFetcher>> fetchers;
+    for (auto& broker : brokers) {
+      fetchers.push_back(std::make_unique<ReplicaFetcher>(
+          broker.get(), &manager, &network));
+    }
+
+    // Produce everything; followers stop syncing `lag` messages before the
+    // crash (the in-flight window followers had not fetched yet).
+    const int kMessages = 1000;
+    for (int i = 0; i < kMessages; ++i) {
+      MessageSetBuilder builder;
+      builder.Add("m" + std::to_string(i));
+      manager.ProduceToLeader("bench", "t", 0, builder.Build());
+      if (i == kMessages - lag - 1) {
+        for (auto& fetcher : fetchers) fetcher->SyncOnce("t", 1);
+      }
+    }
+
+    const int leader = manager.LeaderOf("t", 0).value();
+    brokers[leader]->Shutdown();
+    network.SetNodeDown(BrokerAddress(leader));
+    bench::Stopwatch failover_timer;
+    manager.FailoverDeadLeaders("t");
+    const double failover_us = failover_timer.ElapsedMicros();
+
+    auto data = manager.FetchFromLeader("bench", "t", 0, 0, 16 << 20);
+    int64_t recovered = 0;
+    if (data.ok()) {
+      MessageSetIterator it(data.value(), 0);
+      Message m;
+      while (it.Next(&m)) ++recovered;
+    }
+    bench::Row("%24d | %10d | %12.0f | %10lld | %10lld", lag, kMessages,
+               failover_us, static_cast<long long>(recovered),
+               static_cast<long long>(kMessages - recovered));
+  }
+  bench::Row("\nshape check: loss equals exactly the follower lag at crash\n"
+             "time (acks=1); continuously synced followers lose nothing —\n"
+             "why the paper wanted this feature.");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E7 — the read-only data cycle: build, throttled pull, atomic swap,
+// instantaneous rollback.
+//
+// Paper (II.B, Figure II.3): build phase partitions and MD5-sorts index +
+// data files per destination node; pull fetches them into new versioned
+// directories (throttled; data files before index files); swap atomically
+// points all nodes at the new version, and storing multiple versions allows
+// "instantaneous rollbacks in case of data problems".
+
+#include <memory>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "net/network.h"
+#include "voldemort/bulk_build.h"
+#include "voldemort/client.h"
+#include "voldemort/server.h"
+
+using namespace lidi;
+using namespace lidi::voldemort;
+
+int main() {
+  bench::Header("E7: build -> pull -> swap pipeline",
+                "atomic swap, throttled pull, instant rollback (Fig II.3)");
+
+  net::Network network;
+  std::vector<Node> nodes;
+  for (int i = 0; i < 3; ++i) nodes.push_back({i, VoldemortAddress(i), 0});
+  auto metadata = std::make_shared<ClusterMetadata>(Cluster::Uniform(nodes, 12));
+  std::vector<std::unique_ptr<VoldemortServer>> servers;
+  std::vector<VoldemortServer*> ptrs;
+  for (int i = 0; i < 3; ++i) {
+    servers.push_back(std::make_unique<VoldemortServer>(i, metadata, &network));
+    servers.back()->AddReadOnlyStore("pymk");
+    ptrs.push_back(servers.back().get());
+  }
+  BulkFileRepository repo;
+  ReadOnlyController controller(ptrs, &repo);
+
+  Random rng(1);
+  bench::Row("%8s | %10s | %10s | %10s | %10s", "records", "build ms",
+             "pull ms", "swap us", "rollback us");
+  for (int records : {10'000, 50'000, 200'000}) {
+    std::map<std::string, std::string> data;
+    for (int i = 0; i < records; ++i) {
+      data["member:" + std::to_string(i)] = rng.Bytes(100);
+    }
+    static int64_t version = 0;
+    const int64_t v1 = ++version;
+    const int64_t v2 = ++version;
+
+    bench::Stopwatch build;
+    repo.Publish("pymk", v1, BulkBuild(data, metadata->SnapshotCluster(), 2));
+    repo.Publish("pymk", v2, BulkBuild(data, metadata->SnapshotCluster(), 2));
+    const double build_ms = build.ElapsedMillis() / 2;
+
+    PullOptions pull_options;
+    pull_options.throttle_chunk_bytes = 256 << 10;
+    bench::Stopwatch pull;
+    controller.Pull("pymk", v1, pull_options);
+    controller.Pull("pymk", v2, pull_options);
+    const double pull_ms = pull.ElapsedMillis() / 2;
+
+    controller.SwapAll("pymk", v1);
+    bench::Stopwatch swap;
+    controller.SwapAll("pymk", v2);  // the measured swap: v1 -> v2
+    const double swap_us = swap.ElapsedMicros();
+
+    bench::Stopwatch rollback;
+    controller.RollbackAll("pymk");
+    const double rollback_us = rollback.ElapsedMicros();
+
+    bench::Row("%8d | %10.1f | %10.1f | %10.1f | %10.1f", records, build_ms,
+               pull_ms, swap_us, rollback_us);
+  }
+  bench::Row(
+      "\nshape check: swap and rollback cost is independent of data size\n"
+      "(pointer flips), while build/pull scale with the dataset — exactly\n"
+      "why the paper moves index construction offline.");
+
+  bench::Header("E7 follow-on: serving continues across a swap",
+                "reads before/after the atomic swap never fail");
+  {
+    std::map<std::string, std::string> v1_data, v2_data;
+    for (int i = 0; i < 5000; ++i) {
+      v1_data["k" + std::to_string(i)] = "v1";
+      v2_data["k" + std::to_string(i)] = "v2";
+    }
+    static int64_t version = 100;
+    const int64_t a = ++version, b = ++version;
+    repo.Publish("pymk", a, BulkBuild(v1_data, metadata->SnapshotCluster(), 2));
+    repo.Publish("pymk", b, BulkBuild(v2_data, metadata->SnapshotCluster(), 2));
+    controller.Pull("pymk", a);
+    controller.Pull("pymk", b);
+    controller.SwapAll("pymk", a);
+
+    StoreDefinition def{"pymk", 2, 1, 1};
+    StoreClient client("c", def, metadata, &network, SystemClock::Default());
+    int failures = 0;
+    for (int i = 0; i < 2000; ++i) {
+      if (i == 1000) controller.SwapAll("pymk", b);
+      if (!client.ReadOnlyGet("k" + std::to_string(i % 5000)).ok()) ++failures;
+    }
+    bench::Row("reads across swap: %d failures out of 2000", failures);
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+#ifndef LIDI_BENCH_BENCH_UTIL_H_
+#define LIDI_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace lidi::bench {
+
+/// Wall-clock stopwatch for throughput/latency measurements.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+               .count() /
+           1000.0;
+  }
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+  double ElapsedSeconds() const { return ElapsedMicros() / 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Section header for a bench report.
+inline void Header(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("%s\n", std::string(72, '-').c_str());
+}
+
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+}  // namespace lidi::bench
+
+#endif  // LIDI_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,84 @@
+#ifndef LIDI_BENCH_ESPRESSO_FIXTURE_H_
+#define LIDI_BENCH_ESPRESSO_FIXTURE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "espresso/router.h"
+#include "espresso/storage_node.h"
+#include "helix/helix.h"
+#include "net/network.h"
+#include "zk/zookeeper.h"
+
+namespace lidi::bench {
+
+/// A ready-to-use Espresso cluster for the bench binaries: Music-style
+/// database, Helix-managed storage nodes, a router.
+struct EspressoFixture {
+  explicit EspressoFixture(int num_nodes, int partitions = 8,
+                           int replicas = 2) {
+    registry.CreateDatabase({"db",
+                             espresso::DatabaseSchema::Partitioning::kHash,
+                             partitions, replicas});
+    registry.CreateTable("db", {"docs", 1});
+    registry.PostDocumentSchema("db", "docs", R"({
+      "type":"record","name":"Doc","fields":[
+        {"name":"title","type":"string","indexed":true},
+        {"name":"body","type":"string","indexed":true,"index_type":"text"},
+        {"name":"rank","type":"int","indexed":true}]})");
+    controller =
+        std::make_unique<helix::HelixController>("espresso", &zookeeper);
+    controller->AddResource({"db", partitions, replicas});
+    for (int i = 0; i < num_nodes; ++i) AddNode();
+    controller->RebalanceToConvergence();
+    router = std::make_unique<espresso::Router>("router", &registry,
+                                                controller.get(), &network);
+  }
+
+  espresso::StorageNode* AddNode() {
+    const std::string name = "esn-" + std::to_string(next_node_id++);
+    auto node = std::make_unique<espresso::StorageNode>(
+        name, &registry, &relay, &network, SystemClock::Default());
+    auto* raw = node.get();
+    raw->SetMasterLookup([this](const std::string& db, int p) {
+      return controller->MasterOf(db, p);
+    });
+    auto session = controller->ConnectParticipant(
+        name,
+        [raw](const helix::Transition& t) { return raw->HandleTransition(t); });
+    sessions[name] = session.value();
+    nodes.push_back(std::move(node));
+    return raw;
+  }
+
+  void KillNode(const std::string& name) {
+    network.SetNodeDown(name);
+    zookeeper.CloseSession(sessions[name]);
+  }
+
+  avro::DatumPtr MakeDoc(const std::string& title, const std::string& body,
+                         int rank) {
+    auto d = avro::Datum::Record("Doc");
+    d->SetField("title", avro::Datum::String(title));
+    d->SetField("body", avro::Datum::String(body));
+    d->SetField("rank", avro::Datum::Int(rank));
+    return d;
+  }
+
+  net::Network network;
+  zk::ZooKeeper zookeeper;
+  espresso::SchemaRegistry registry;
+  espresso::EspressoRelay relay;
+  std::unique_ptr<helix::HelixController> controller;
+  std::vector<std::unique_ptr<espresso::StorageNode>> nodes;
+  std::map<std::string, zk::SessionId> sessions;
+  std::unique_ptr<espresso::Router> router;
+  int next_node_id = 0;
+};
+
+}  // namespace lidi::bench
+
+#endif  // LIDI_BENCH_ESPRESSO_FIXTURE_H_

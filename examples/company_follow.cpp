@@ -1,0 +1,139 @@
+// Company Follow (paper Section II.C): the read-write Voldemort use case.
+//
+// Two Voldemort stores act as a cache-like layer over the primary storage:
+//   member-follows:   member id  -> list of company ids the member follows
+//   company-followers: company id -> list of member ids following it
+// Both stores are fed by a Databus relay and populated whenever a user
+// follows a new company; the feed itself is driven from the primary DB.
+// Since the stores are used as a cache, transient inconsistency between the
+// two is acceptable (the paper says exactly this).
+
+#include <cstdio>
+
+#include "common/clock.h"
+#include "databus/client.h"
+#include "databus/relay.h"
+#include "net/network.h"
+#include "sqlstore/database.h"
+#include "voldemort/client.h"
+#include "voldemort/server.h"
+
+using namespace lidi;
+
+namespace {
+
+/// The Databus consumer that maintains the two Voldemort stores. This is
+/// the paper's "user-space processing": computation triggered by a data
+/// change, running outside the database server.
+class FollowFeedConsumer : public databus::Consumer {
+ public:
+  FollowFeedConsumer(voldemort::StoreClient* member_follows,
+                     voldemort::StoreClient* company_followers)
+      : member_follows_(member_follows),
+        company_followers_(company_followers) {}
+
+  Status OnEvent(const databus::Event& event) override {
+    auto row = sqlstore::DecodeRow(event.payload);
+    if (!row.ok()) return row.status();
+    const std::string member = row.value().at("member");
+    const std::string company = row.value().at("company");
+    AppendTo(member_follows_, member, company);
+    AppendTo(company_followers_, company, member);
+    return Status::OK();
+  }
+
+ private:
+  static void AppendTo(voldemort::StoreClient* store, const std::string& key,
+                       const std::string& item) {
+    // Server-side transformed put: append without shipping the whole list.
+    voldemort::VectorClock clock;
+    auto current = store->Get(key);
+    if (current.ok()) {
+      for (const auto& v : current.value()) clock = clock.Merge(v.version);
+    }
+    voldemort::Transform append;
+    append.type = voldemort::Transform::Type::kAppend;
+    append.item = item;
+    store->Put(key, clock, append);
+  }
+
+  voldemort::StoreClient* member_follows_;
+  voldemort::StoreClient* company_followers_;
+};
+
+}  // namespace
+
+int main() {
+  net::Network network;
+  SystemClock* clock = SystemClock::Default();
+
+  // Voldemort cluster with the two stores.
+  std::vector<voldemort::Node> nodes;
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back({i, voldemort::VoldemortAddress(i), 0});
+  }
+  auto metadata = std::make_shared<voldemort::ClusterMetadata>(
+      voldemort::Cluster::Uniform(nodes, 16));
+  std::vector<std::unique_ptr<voldemort::VoldemortServer>> servers;
+  for (int i = 0; i < 4; ++i) {
+    servers.push_back(
+        std::make_unique<voldemort::VoldemortServer>(i, metadata, &network));
+    servers.back()->AddStore("member-follows");
+    servers.back()->AddStore("company-followers");
+  }
+  voldemort::StoreDefinition def;
+  def.replication_factor = 3;
+  def.required_reads = 2;
+  def.required_writes = 2;
+  def.name = "member-follows";
+  voldemort::StoreClient member_follows("cf-app", def, metadata, &network,
+                                        clock);
+  def.name = "company-followers";
+  voldemort::StoreClient company_followers("cf-app", def, metadata, &network,
+                                           clock);
+
+  // Primary storage records follows; Databus captures and feeds the caches.
+  sqlstore::Database primary("follow_db");
+  primary.CreateTable("follows");
+  databus::Relay relay("follow-relay", &primary, &network);
+  FollowFeedConsumer feed(&member_follows, &company_followers);
+  databus::DatabusClient pipeline("cache-populator", "follow-relay", "",
+                                  &network, &feed);
+
+  // Members follow companies (writes hit the primary DB only).
+  const char* follows[][2] = {
+      {"m1", "linkedin"}, {"m1", "acme"},   {"m2", "linkedin"},
+      {"m3", "linkedin"}, {"m3", "globex"}, {"m2", "acme"},
+  };
+  for (const auto& [member, company] : follows) {
+    primary.Put("follows", std::string(member) + ":" + company,
+                {{"member", member}, {"company", company}});
+  }
+
+  // The stream pipeline keeps the caches fresh.
+  relay.PollOnce();
+  pipeline.DrainToHead();
+
+  // Serve "who do I follow" / "who follows us" from Voldemort.
+  auto print_list = [](voldemort::StoreClient& store, const std::string& key) {
+    auto versions = store.Get(key);
+    if (!versions.ok()) {
+      std::printf("  %s: <%s>\n", key.c_str(),
+                  versions.status().ToString().c_str());
+      return;
+    }
+    auto list = voldemort::DecodeStringList(versions.value()[0].value);
+    std::printf("  %s:", key.c_str());
+    for (const auto& item : list.value()) std::printf(" %s", item.c_str());
+    std::printf("\n");
+  };
+  std::printf("member-follows store:\n");
+  print_list(member_follows, "m1");
+  print_list(member_follows, "m2");
+  print_list(member_follows, "m3");
+  std::printf("company-followers store:\n");
+  print_list(company_followers, "linkedin");
+  print_list(company_followers, "acme");
+  print_list(company_followers, "globex");
+  return 0;
+}

@@ -1,0 +1,568 @@
+#include "avro/codec.h"
+
+#include <cstring>
+
+#include "avro/json.h"
+#include "common/coding.h"
+
+namespace lidi::avro {
+
+namespace {
+
+void PutFloat(std::string* out, float f) {
+  uint32_t bits;
+  memcpy(&bits, &f, sizeof(bits));
+  PutFixed32(out, bits);
+}
+
+void PutDouble(std::string* out, double d) {
+  uint64_t bits;
+  memcpy(&bits, &d, sizeof(bits));
+  PutFixed64(out, bits);
+}
+
+bool GetFloat(Slice* in, float* f) {
+  uint32_t bits;
+  if (!GetFixed32(in, &bits)) return false;
+  memcpy(f, &bits, sizeof(*f));
+  return true;
+}
+
+bool GetDouble(Slice* in, double* d) {
+  uint64_t bits;
+  if (!GetFixed64(in, &bits)) return false;
+  memcpy(d, &bits, sizeof(*d));
+  return true;
+}
+
+bool IsNumeric(Type t) {
+  return t == Type::kInt || t == Type::kLong || t == Type::kFloat ||
+         t == Type::kDouble;
+}
+
+/// Whether data written as `writer` may be read as `reader` under Avro
+/// promotion rules (without inspecting values).
+bool TypesMatch(const Schema& writer, const Schema& reader) {
+  if (writer.type() == reader.type()) return true;
+  if (!IsNumeric(writer.type()) || !IsNumeric(reader.type())) return false;
+  // Promotions only widen: int -> long -> float -> double.
+  auto rank = [](Type t) {
+    switch (t) {
+      case Type::kInt: return 0;
+      case Type::kLong: return 1;
+      case Type::kFloat: return 2;
+      default: return 3;
+    }
+  };
+  return rank(writer.type()) <= rank(reader.type());
+}
+
+DatumPtr PromoteNumeric(const DatumPtr& d, Type target) {
+  switch (target) {
+    case Type::kInt: return d;
+    case Type::kLong:
+      return d->type() == Type::kLong ? d : Datum::Long(d->long_value());
+    case Type::kFloat: {
+      if (d->type() == Type::kFloat) return d;
+      if (d->type() == Type::kDouble) return d;
+      return Datum::Float(static_cast<float>(d->long_value()));
+    }
+    case Type::kDouble: {
+      if (d->type() == Type::kDouble) return Datum::Double(d->double_value());
+      if (d->type() == Type::kFloat) return Datum::Double(d->double_value());
+      return Datum::Double(static_cast<double>(d->long_value()));
+    }
+    default: return d;
+  }
+}
+
+/// Skips a value of the given schema in the input without materializing it.
+bool SkipValue(const Schema& schema, Slice* in) {
+  switch (schema.type()) {
+    case Type::kNull: return true;
+    case Type::kBoolean: {
+      if (in->empty()) return false;
+      in->RemovePrefix(1);
+      return true;
+    }
+    case Type::kInt:
+    case Type::kLong: {
+      int64_t v;
+      return GetZigZag64(in, &v);
+    }
+    case Type::kFloat: {
+      float f;
+      return GetFloat(in, &f);
+    }
+    case Type::kDouble: {
+      double d;
+      return GetDouble(in, &d);
+    }
+    case Type::kString:
+    case Type::kBytes: {
+      Slice s;
+      return GetLengthPrefixed(in, &s);
+    }
+    case Type::kEnum: {
+      int64_t v;
+      return GetZigZag64(in, &v);
+    }
+    case Type::kArray: {
+      for (;;) {
+        int64_t count;
+        if (!GetZigZag64(in, &count)) return false;
+        if (count == 0) return true;
+        if (count < 0) count = -count;  // block with byte size; we re-read
+        for (int64_t i = 0; i < count; ++i) {
+          if (!SkipValue(*schema.item_schema(), in)) return false;
+        }
+      }
+    }
+    case Type::kMap: {
+      for (;;) {
+        int64_t count;
+        if (!GetZigZag64(in, &count)) return false;
+        if (count == 0) return true;
+        if (count < 0) count = -count;
+        for (int64_t i = 0; i < count; ++i) {
+          Slice key;
+          if (!GetLengthPrefixed(in, &key)) return false;
+          if (!SkipValue(*schema.value_schema(), in)) return false;
+        }
+      }
+    }
+    case Type::kRecord: {
+      for (const Field& f : schema.fields()) {
+        if (!SkipValue(*f.schema, in)) return false;
+      }
+      return true;
+    }
+    case Type::kUnion: {
+      int64_t branch;
+      if (!GetZigZag64(in, &branch)) return false;
+      if (branch < 0 ||
+          branch >= static_cast<int64_t>(schema.branches().size())) {
+        return false;
+      }
+      return SkipValue(*schema.branches()[branch], in);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Encode(const Schema& schema, const Datum& datum, std::string* out) {
+  switch (schema.type()) {
+    case Type::kNull:
+      if (!datum.is_null()) return Status::InvalidArgument("expected null");
+      return Status::OK();
+    case Type::kBoolean:
+      if (datum.type() != Type::kBoolean) {
+        return Status::InvalidArgument("expected boolean");
+      }
+      out->push_back(datum.bool_value() ? 1 : 0);
+      return Status::OK();
+    case Type::kInt:
+    case Type::kLong:
+      if (datum.type() != Type::kInt && datum.type() != Type::kLong) {
+        return Status::InvalidArgument("expected int/long");
+      }
+      PutZigZag64(out, datum.long_value());
+      return Status::OK();
+    case Type::kFloat:
+      if (datum.type() != Type::kFloat && datum.type() != Type::kInt &&
+          datum.type() != Type::kLong) {
+        return Status::InvalidArgument("expected float");
+      }
+      PutFloat(out, datum.type() == Type::kFloat
+                        ? datum.float_value()
+                        : static_cast<float>(datum.long_value()));
+      return Status::OK();
+    case Type::kDouble: {
+      double v;
+      if (datum.type() == Type::kDouble || datum.type() == Type::kFloat) {
+        v = datum.double_value();
+      } else if (datum.type() == Type::kInt || datum.type() == Type::kLong) {
+        v = static_cast<double>(datum.long_value());
+      } else {
+        return Status::InvalidArgument("expected double");
+      }
+      PutDouble(out, v);
+      return Status::OK();
+    }
+    case Type::kString:
+      if (datum.type() != Type::kString) {
+        return Status::InvalidArgument("expected string");
+      }
+      PutLengthPrefixed(out, datum.string_value());
+      return Status::OK();
+    case Type::kBytes:
+      if (datum.type() != Type::kBytes && datum.type() != Type::kString) {
+        return Status::InvalidArgument("expected bytes");
+      }
+      PutLengthPrefixed(out, datum.bytes_value());
+      return Status::OK();
+    case Type::kEnum: {
+      if (datum.type() != Type::kEnum) {
+        return Status::InvalidArgument("expected enum");
+      }
+      const int idx = schema.SymbolIndex(datum.enum_symbol());
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown enum symbol " +
+                                       datum.enum_symbol());
+      }
+      PutZigZag64(out, idx);
+      return Status::OK();
+    }
+    case Type::kArray: {
+      if (datum.type() != Type::kArray) {
+        return Status::InvalidArgument("expected array");
+      }
+      if (!datum.items().empty()) {
+        PutZigZag64(out, static_cast<int64_t>(datum.items().size()));
+        for (const auto& item : datum.items()) {
+          Status s = Encode(*schema.item_schema(), *item, out);
+          if (!s.ok()) return s;
+        }
+      }
+      PutZigZag64(out, 0);
+      return Status::OK();
+    }
+    case Type::kMap: {
+      if (datum.type() != Type::kMap) {
+        return Status::InvalidArgument("expected map");
+      }
+      if (!datum.entries().empty()) {
+        PutZigZag64(out, static_cast<int64_t>(datum.entries().size()));
+        for (const auto& [k, v] : datum.entries()) {
+          PutLengthPrefixed(out, k);
+          Status s = Encode(*schema.value_schema(), *v, out);
+          if (!s.ok()) return s;
+        }
+      }
+      PutZigZag64(out, 0);
+      return Status::OK();
+    }
+    case Type::kRecord: {
+      if (datum.type() != Type::kRecord) {
+        return Status::InvalidArgument("expected record " + schema.name());
+      }
+      for (const Field& f : schema.fields()) {
+        DatumPtr fv = datum.GetField(f.name);
+        if (fv == nullptr) {
+          if (!f.default_json.empty()) {
+            auto dv = DatumFromJson(*f.schema, f.default_json);
+            if (!dv.ok()) return dv.status();
+            fv = dv.value();
+          } else {
+            return Status::InvalidArgument("record missing field " + f.name);
+          }
+        }
+        Status s = Encode(*f.schema, *fv, out);
+        if (!s.ok()) return s;
+      }
+      return Status::OK();
+    }
+    case Type::kUnion: {
+      int branch;
+      const Datum* inner;
+      if (datum.type() == Type::kUnion) {
+        branch = datum.union_branch();
+        inner = datum.union_value().get();
+      } else {
+        // Auto-select the first branch the datum conforms to.
+        branch = -1;
+        inner = &datum;
+        for (size_t i = 0; i < schema.branches().size(); ++i) {
+          std::string probe;
+          if (Encode(*schema.branches()[i], datum, &probe).ok()) {
+            branch = static_cast<int>(i);
+            break;
+          }
+        }
+        if (branch < 0) {
+          return Status::InvalidArgument("no union branch matches datum");
+        }
+      }
+      if (branch < 0 || branch >= static_cast<int>(schema.branches().size())) {
+        return Status::InvalidArgument("union branch out of range");
+      }
+      PutZigZag64(out, branch);
+      return Encode(*schema.branches()[branch], *inner, out);
+    }
+  }
+  return Status::Internal("unhandled schema type");
+}
+
+Result<DatumPtr> Decode(const Schema& writer, Slice* input) {
+  return DecodeResolved(writer, writer, input);
+}
+
+Result<DatumPtr> DecodeResolved(const Schema& writer, const Schema& reader,
+                                Slice* input) {
+  // Writer union: read the branch, then resolve the branch against reader.
+  if (writer.type() == Type::kUnion) {
+    int64_t branch;
+    if (!GetZigZag64(input, &branch)) {
+      return Status::Corruption("truncated union branch");
+    }
+    if (branch < 0 ||
+        branch >= static_cast<int64_t>(writer.branches().size())) {
+      return Status::Corruption("union branch out of range");
+    }
+    const Schema& wb = *writer.branches()[branch];
+    if (reader.type() == Type::kUnion) {
+      // Pick the first reader branch compatible with the writer branch.
+      for (size_t i = 0; i < reader.branches().size(); ++i) {
+        if (TypesMatch(wb, *reader.branches()[i])) {
+          auto inner = DecodeResolved(wb, *reader.branches()[i], input);
+          if (!inner.ok()) return inner;
+          return Datum::Union(static_cast<int>(i), std::move(inner.value()));
+        }
+      }
+      return Status::InvalidArgument("no reader union branch matches writer");
+    }
+    return DecodeResolved(wb, reader, input);
+  }
+  // Reader union over non-union writer.
+  if (reader.type() == Type::kUnion) {
+    for (size_t i = 0; i < reader.branches().size(); ++i) {
+      if (TypesMatch(writer, *reader.branches()[i])) {
+        auto inner = DecodeResolved(writer, *reader.branches()[i], input);
+        if (!inner.ok()) return inner;
+        return Datum::Union(static_cast<int>(i), std::move(inner.value()));
+      }
+    }
+    return Status::InvalidArgument("no reader union branch matches writer");
+  }
+
+  if (!TypesMatch(writer, reader)) {
+    return Status::InvalidArgument("incompatible reader/writer schemas");
+  }
+
+  switch (writer.type()) {
+    case Type::kNull: return Datum::Null();
+    case Type::kBoolean: {
+      if (input->empty()) return Status::Corruption("truncated boolean");
+      const bool b = (*input)[0] != 0;
+      input->RemovePrefix(1);
+      return Datum::Boolean(b);
+    }
+    case Type::kInt:
+    case Type::kLong: {
+      int64_t v;
+      if (!GetZigZag64(input, &v)) return Status::Corruption("truncated long");
+      DatumPtr d = writer.type() == Type::kInt
+                       ? Datum::Int(static_cast<int32_t>(v))
+                       : Datum::Long(v);
+      return PromoteNumeric(d, reader.type());
+    }
+    case Type::kFloat: {
+      float f;
+      if (!GetFloat(input, &f)) return Status::Corruption("truncated float");
+      DatumPtr d = Datum::Float(f);
+      return PromoteNumeric(d, reader.type());
+    }
+    case Type::kDouble: {
+      double d;
+      if (!GetDouble(input, &d)) return Status::Corruption("truncated double");
+      return Datum::Double(d);
+    }
+    case Type::kString: {
+      Slice s;
+      if (!GetLengthPrefixed(input, &s)) {
+        return Status::Corruption("truncated string");
+      }
+      return Datum::String(s.ToString());
+    }
+    case Type::kBytes: {
+      Slice s;
+      if (!GetLengthPrefixed(input, &s)) {
+        return Status::Corruption("truncated bytes");
+      }
+      return Datum::Bytes(s.ToString());
+    }
+    case Type::kEnum: {
+      int64_t idx;
+      if (!GetZigZag64(input, &idx)) return Status::Corruption("truncated enum");
+      if (idx < 0 || idx >= static_cast<int64_t>(writer.symbols().size())) {
+        return Status::Corruption("enum index out of range");
+      }
+      const std::string& sym = writer.symbols()[idx];
+      const int reader_idx = reader.SymbolIndex(sym);
+      if (reader_idx < 0) {
+        return Status::InvalidArgument("enum symbol absent in reader: " + sym);
+      }
+      return Datum::Enum(reader_idx, sym);
+    }
+    case Type::kArray: {
+      auto arr = Datum::Array();
+      for (;;) {
+        int64_t count;
+        if (!GetZigZag64(input, &count)) {
+          return Status::Corruption("truncated array count");
+        }
+        if (count == 0) break;
+        if (count < 0) count = -count;
+        for (int64_t i = 0; i < count; ++i) {
+          auto item =
+              DecodeResolved(*writer.item_schema(), *reader.item_schema(), input);
+          if (!item.ok()) return item;
+          arr->items().push_back(std::move(item.value()));
+        }
+      }
+      return arr;
+    }
+    case Type::kMap: {
+      auto map = Datum::Map();
+      for (;;) {
+        int64_t count;
+        if (!GetZigZag64(input, &count)) {
+          return Status::Corruption("truncated map count");
+        }
+        if (count == 0) break;
+        if (count < 0) count = -count;
+        for (int64_t i = 0; i < count; ++i) {
+          Slice key;
+          if (!GetLengthPrefixed(input, &key)) {
+            return Status::Corruption("truncated map key");
+          }
+          auto v = DecodeResolved(*writer.value_schema(),
+                                  *reader.value_schema(), input);
+          if (!v.ok()) return v;
+          map->entries()[key.ToString()] = std::move(v.value());
+        }
+      }
+      return map;
+    }
+    case Type::kRecord: {
+      auto rec = Datum::Record(reader.name());
+      // Decode writer fields in writer order; keep those the reader knows.
+      for (const Field& wf : writer.fields()) {
+        const Field* rf = reader.FindField(wf.name);
+        if (rf == nullptr) {
+          if (!SkipValue(*wf.schema, input)) {
+            return Status::Corruption("truncated skipped field " + wf.name);
+          }
+          continue;
+        }
+        auto v = DecodeResolved(*wf.schema, *rf->schema, input);
+        if (!v.ok()) return v;
+        rec->SetField(wf.name, std::move(v.value()));
+      }
+      // Reader-only fields: fill from defaults.
+      for (const Field& rf : reader.fields()) {
+        if (writer.FindField(rf.name) != nullptr) continue;
+        if (rf.default_json.empty()) {
+          return Status::InvalidArgument("reader field " + rf.name +
+                                         " has no default and writer lacks it");
+        }
+        auto dv = DatumFromJson(*rf.schema, rf.default_json);
+        if (!dv.ok()) return dv.status();
+        rec->SetField(rf.name, std::move(dv.value()));
+      }
+      return rec;
+    }
+    default:
+      return Status::Internal("unhandled type in decode");
+  }
+}
+
+Result<DatumPtr> DatumFromJson(const Schema& schema, const std::string& text) {
+  auto doc = json::Parse(text);
+  if (!doc.ok()) return doc.status();
+  const json::Value& v = *doc.value();
+
+  // Recursive conversion against the schema.
+  struct Conv {
+    static Result<DatumPtr> Run(const Schema& s, const json::Value& v) {
+      switch (s.type()) {
+        case Type::kNull:
+          if (!v.is_null()) return Status::InvalidArgument("expected null");
+          return Datum::Null();
+        case Type::kBoolean:
+          if (!v.is_bool()) return Status::InvalidArgument("expected bool");
+          return Datum::Boolean(v.AsBool());
+        case Type::kInt:
+          if (!v.is_number()) return Status::InvalidArgument("expected number");
+          return Datum::Int(static_cast<int32_t>(v.AsNumber()));
+        case Type::kLong:
+          if (!v.is_number()) return Status::InvalidArgument("expected number");
+          return Datum::Long(static_cast<int64_t>(v.AsNumber()));
+        case Type::kFloat:
+          if (!v.is_number()) return Status::InvalidArgument("expected number");
+          return Datum::Float(static_cast<float>(v.AsNumber()));
+        case Type::kDouble:
+          if (!v.is_number()) return Status::InvalidArgument("expected number");
+          return Datum::Double(v.AsNumber());
+        case Type::kString:
+          if (!v.is_string()) return Status::InvalidArgument("expected string");
+          return Datum::String(v.AsString());
+        case Type::kBytes:
+          if (!v.is_string()) return Status::InvalidArgument("expected string");
+          return Datum::Bytes(v.AsString());
+        case Type::kEnum: {
+          if (!v.is_string()) return Status::InvalidArgument("expected symbol");
+          const int idx = s.SymbolIndex(v.AsString());
+          if (idx < 0) return Status::InvalidArgument("unknown symbol");
+          return Datum::Enum(idx, v.AsString());
+        }
+        case Type::kArray: {
+          if (!v.is_array()) return Status::InvalidArgument("expected array");
+          auto arr = Datum::Array();
+          for (const auto& item : v.items()) {
+            auto d = Run(*s.item_schema(), *item);
+            if (!d.ok()) return d;
+            arr->items().push_back(std::move(d.value()));
+          }
+          return arr;
+        }
+        case Type::kMap: {
+          if (!v.is_object()) return Status::InvalidArgument("expected object");
+          auto map = Datum::Map();
+          for (const auto& [k, mv] : v.members()) {
+            auto d = Run(*s.value_schema(), *mv);
+            if (!d.ok()) return d;
+            map->entries()[k] = std::move(d.value());
+          }
+          return map;
+        }
+        case Type::kRecord: {
+          if (!v.is_object()) return Status::InvalidArgument("expected object");
+          auto rec = Datum::Record(s.name());
+          for (const Field& f : s.fields()) {
+            const json::Value* fv = v.Get(f.name);
+            if (fv == nullptr) {
+              if (f.default_json.empty()) {
+                return Status::InvalidArgument("missing field " + f.name);
+              }
+              auto dv = DatumFromJson(*f.schema, f.default_json);
+              if (!dv.ok()) return dv.status();
+              rec->SetField(f.name, std::move(dv.value()));
+              continue;
+            }
+            auto d = Run(*f.schema, *fv);
+            if (!d.ok()) return d;
+            rec->SetField(f.name, std::move(d.value()));
+          }
+          return rec;
+        }
+        case Type::kUnion: {
+          // Per Avro, a JSON default for a union uses the FIRST branch.
+          for (size_t i = 0; i < s.branches().size(); ++i) {
+            auto d = Run(*s.branches()[i], v);
+            if (d.ok()) {
+              return Datum::Union(static_cast<int>(i), std::move(d.value()));
+            }
+          }
+          return Status::InvalidArgument("no union branch matches JSON value");
+        }
+      }
+      return Status::Internal("unhandled type");
+    }
+  };
+  return Conv::Run(schema, v);
+}
+
+}  // namespace lidi::avro

@@ -1,0 +1,43 @@
+#ifndef LIDI_AVRO_CODEC_H_
+#define LIDI_AVRO_CODEC_H_
+
+#include <string>
+
+#include "avro/datum.h"
+#include "avro/schema.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace lidi::avro {
+
+/// Serializes `datum` against `schema` into Avro binary format, appending to
+/// *out. Fails with InvalidArgument if the datum does not conform.
+///
+/// Wire format (per the Avro spec): zig-zag varints for int/long and all
+/// counts, IEEE little-endian for float/double, length-prefixed bytes for
+/// string/bytes, block-encoded arrays/maps (single block + 0 terminator),
+/// varint branch index before union values, varint symbol index for enums.
+Status Encode(const Schema& schema, const Datum& datum, std::string* out);
+
+/// Deserializes binary data written with `writer` schema, materializing it
+/// as the same schema. Consumes bytes from *input.
+Result<DatumPtr> Decode(const Schema& writer, Slice* input);
+
+/// Schema resolution (the paper's "freely evolvable" document schemas,
+/// Section IV.A): decodes data written with `writer` and shapes it per
+/// `reader`. Supported rules:
+///  - record fields matched by name; reader-only fields take their default;
+///    writer-only fields are skipped;
+///  - numeric promotions int->long->float->double;
+///  - writer union resolved then matched against the reader type;
+///  - reader union: first branch matching the writer type is selected.
+Result<DatumPtr> DecodeResolved(const Schema& writer, const Schema& reader,
+                                Slice* input);
+
+/// Parses a JSON default value (from Field::default_json) into a Datum
+/// conforming to `schema`.
+Result<DatumPtr> DatumFromJson(const Schema& schema, const std::string& text);
+
+}  // namespace lidi::avro
+
+#endif  // LIDI_AVRO_CODEC_H_

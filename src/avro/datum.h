@@ -1,0 +1,92 @@
+#ifndef LIDI_AVRO_DATUM_H_
+#define LIDI_AVRO_DATUM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "avro/schema.h"
+#include "common/status.h"
+
+namespace lidi::avro {
+
+/// A generic in-memory Avro value (the "GenericDatum" of the Java binding).
+/// Espresso documents and Databus event payloads are Datums; the codec
+/// serializes them against a Schema.
+class Datum;
+using DatumPtr = std::shared_ptr<Datum>;
+
+class Datum {
+ public:
+  Datum() : type_(Type::kNull) {}
+
+  static DatumPtr Null();
+  static DatumPtr Boolean(bool b);
+  static DatumPtr Int(int32_t v);
+  static DatumPtr Long(int64_t v);
+  static DatumPtr Float(float v);
+  static DatumPtr Double(double v);
+  static DatumPtr String(std::string s);
+  static DatumPtr Bytes(std::string b);
+  static DatumPtr Enum(int index, std::string symbol);
+  static DatumPtr Array();
+  static DatumPtr Map();
+  /// A record datum; fields are set by name with SetField.
+  static DatumPtr Record(std::string record_name);
+  /// A union datum wrapping a branch value.
+  static DatumPtr Union(int branch, DatumPtr value);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool bool_value() const { return bool_; }
+  int32_t int_value() const { return static_cast<int32_t>(long_); }
+  int64_t long_value() const { return long_; }
+  float float_value() const { return static_cast<float>(double_); }
+  double double_value() const { return double_; }
+  const std::string& string_value() const { return str_; }
+  const std::string& bytes_value() const { return str_; }
+  int enum_index() const { return static_cast<int>(long_); }
+  const std::string& enum_symbol() const { return str_; }
+
+  std::vector<DatumPtr>& items() { return items_; }
+  const std::vector<DatumPtr>& items() const { return items_; }
+  std::map<std::string, DatumPtr>& entries() { return entries_; }
+  const std::map<std::string, DatumPtr>& entries() const { return entries_; }
+
+  // Record access.
+  const std::string& record_name() const { return str_; }
+  void SetField(const std::string& name, DatumPtr value);
+  /// nullptr when absent.
+  DatumPtr GetField(const std::string& name) const;
+  const std::vector<std::pair<std::string, DatumPtr>>& fields() const {
+    return fields_;
+  }
+
+  // Union access.
+  int union_branch() const { return static_cast<int>(long_); }
+  const DatumPtr& union_value() const { return union_value_; }
+
+  /// Structural equality (deep).
+  bool Equals(const Datum& other) const;
+
+  /// Debug rendering as JSON-ish text.
+  std::string ToString() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  int64_t long_ = 0;
+  double double_ = 0;
+  std::string str_;
+  std::vector<DatumPtr> items_;
+  std::map<std::string, DatumPtr> entries_;
+  std::vector<std::pair<std::string, DatumPtr>> fields_;
+  DatumPtr union_value_;
+};
+
+}  // namespace lidi::avro
+
+#endif  // LIDI_AVRO_DATUM_H_

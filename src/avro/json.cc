@@ -1,0 +1,262 @@
+#include "avro/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lidi::json {
+
+const Value* Value::Get(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return v.get();
+  }
+  return nullptr;
+}
+
+void Value::Set(const std::string& key, ValuePtr v) {
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+}
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string Value::Dump() const {
+  switch (kind_) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return bool_ ? "true" : "false";
+    case Kind::kNumber: {
+      if (num_ == std::floor(num_) && std::abs(num_) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(num_));
+        return buf;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", num_);
+      return buf;
+    }
+    case Kind::kString: return Quote(str_);
+    case Kind::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        out += items_[i]->Dump();
+      }
+      out += ']';
+      return out;
+    }
+    case Kind::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ',';
+        first = false;
+        out += Quote(k);
+        out += ':';
+        out += v->Dump();
+      }
+      out += '}';
+      return out;
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Result<ValuePtr> Run() {
+    SkipWs();
+    auto v = ParseValue();
+    if (!v.ok()) return v;
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Status::InvalidArgument("trailing characters in JSON");
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<ValuePtr> ParseValue() {
+    if (pos_ >= s_.size()) return Status::InvalidArgument("unexpected end");
+    const char c = s_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      auto str = ParseString();
+      if (!str.ok()) return str.status();
+      return std::make_shared<Value>(std::move(str.value()));
+    }
+    if (c == 't') return ParseLiteral("true", std::make_shared<Value>(true));
+    if (c == 'f') return ParseLiteral("false", std::make_shared<Value>(false));
+    if (c == 'n') return ParseLiteral("null", std::make_shared<Value>());
+    return ParseNumber();
+  }
+
+  Result<ValuePtr> ParseLiteral(const char* lit, ValuePtr v) {
+    const size_t len = strlen(lit);
+    if (s_.compare(pos_, len, lit) != 0) {
+      return Status::InvalidArgument("bad literal");
+    }
+    pos_ += len;
+    return v;
+  }
+
+  Result<ValuePtr> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::InvalidArgument("bad number");
+    const std::string num = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) {
+      return Status::InvalidArgument("bad number: " + num);
+    }
+    return std::make_shared<Value>(d);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Status::InvalidArgument("expected string");
+    std::string out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) {
+              return Status::InvalidArgument("bad \\u escape");
+            }
+            const std::string hex = s_.substr(pos_, 4);
+            pos_ += 4;
+            const unsigned long cp = std::strtoul(hex.c_str(), nullptr, 16);
+            // UTF-8 encode the BMP code point.
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xc0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (cp & 0x3f));
+            }
+            break;
+          }
+          default:
+            return Status::InvalidArgument("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Status::InvalidArgument("unterminated string");
+  }
+
+  Result<ValuePtr> ParseArray() {
+    Consume('[');
+    auto arr = Value::MakeArray();
+    SkipWs();
+    if (Consume(']')) return arr;
+    for (;;) {
+      SkipWs();
+      auto v = ParseValue();
+      if (!v.ok()) return v;
+      arr->items().push_back(std::move(v.value()));
+      SkipWs();
+      if (Consume(']')) return arr;
+      if (!Consume(',')) return Status::InvalidArgument("expected , or ]");
+    }
+  }
+
+  Result<ValuePtr> ParseObject() {
+    Consume('{');
+    auto obj = Value::MakeObject();
+    SkipWs();
+    if (Consume('}')) return obj;
+    for (;;) {
+      SkipWs();
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWs();
+      if (!Consume(':')) return Status::InvalidArgument("expected :");
+      SkipWs();
+      auto v = ParseValue();
+      if (!v.ok()) return v;
+      obj->Set(key.value(), std::move(v.value()));
+      SkipWs();
+      if (Consume('}')) return obj;
+      if (!Consume(',')) return Status::InvalidArgument("expected , or }");
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ValuePtr> Parse(const std::string& text) { return Parser(text).Run(); }
+
+}  // namespace lidi::json

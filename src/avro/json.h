@@ -1,0 +1,80 @@
+#ifndef LIDI_AVRO_JSON_H_
+#define LIDI_AVRO_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lidi::json {
+
+/// Minimal JSON document model used for Avro schemas, Espresso schema
+/// registry payloads and default values. Supports the full JSON grammar
+/// except \u escapes beyond the BMP-passthrough level.
+class Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Value() : kind_(Kind::kNull) {}
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double d) : kind_(Kind::kNumber), num_(d) {}
+  explicit Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+
+  static ValuePtr MakeArray() {
+    auto v = std::make_shared<Value>();
+    v->kind_ = Kind::kArray;
+    return v;
+  }
+  static ValuePtr MakeObject() {
+    auto v = std::make_shared<Value>();
+    v->kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return num_; }
+  const std::string& AsString() const { return str_; }
+  std::vector<ValuePtr>& items() { return items_; }
+  const std::vector<ValuePtr>& items() const { return items_; }
+
+  /// Object member access; nullptr when the key is absent.
+  const Value* Get(const std::string& key) const;
+  void Set(const std::string& key, ValuePtr v);
+  const std::vector<std::pair<std::string, ValuePtr>>& members() const {
+    return members_;
+  }
+
+  /// Compact one-line serialization.
+  std::string Dump() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<ValuePtr> items_;
+  std::vector<std::pair<std::string, ValuePtr>> members_;  // insertion order
+};
+
+/// Parses a JSON document. Returns InvalidArgument on malformed input.
+Result<ValuePtr> Parse(const std::string& text);
+
+/// Escapes a string for embedding in JSON output (adds the quotes).
+std::string Quote(const std::string& s);
+
+}  // namespace lidi::json
+
+#endif  // LIDI_AVRO_JSON_H_

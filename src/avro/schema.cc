@@ -1,0 +1,242 @@
+#include "avro/schema.h"
+
+#include "avro/json.h"
+
+namespace lidi::avro {
+
+const Field* Schema::FindField(const std::string& name) const {
+  for (const auto& f : fields_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::SymbolIndex(const std::string& sym) const {
+  for (size_t i = 0; i < symbols_.size(); ++i) {
+    if (symbols_[i] == sym) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+SchemaPtr Schema::Primitive(Type t) { return std::make_shared<Schema>(t); }
+
+SchemaPtr Schema::Array(SchemaPtr items) {
+  auto s = std::make_shared<Schema>(Type::kArray);
+  s->item_ = std::move(items);
+  return s;
+}
+
+SchemaPtr Schema::Map(SchemaPtr values) {
+  auto s = std::make_shared<Schema>(Type::kMap);
+  s->value_ = std::move(values);
+  return s;
+}
+
+SchemaPtr Schema::Union(std::vector<SchemaPtr> branches) {
+  auto s = std::make_shared<Schema>(Type::kUnion);
+  s->branches_ = std::move(branches);
+  return s;
+}
+
+SchemaPtr Schema::Enum(std::string name, std::vector<std::string> symbols) {
+  auto s = std::make_shared<Schema>(Type::kEnum);
+  s->name_ = std::move(name);
+  s->symbols_ = std::move(symbols);
+  return s;
+}
+
+SchemaPtr Schema::Record(std::string name, std::vector<Field> fields) {
+  auto s = std::make_shared<Schema>(Type::kRecord);
+  s->name_ = std::move(name);
+  s->fields_ = std::move(fields);
+  return s;
+}
+
+namespace {
+
+const char* PrimitiveName(Type t) {
+  switch (t) {
+    case Type::kNull: return "null";
+    case Type::kBoolean: return "boolean";
+    case Type::kInt: return "int";
+    case Type::kLong: return "long";
+    case Type::kFloat: return "float";
+    case Type::kDouble: return "double";
+    case Type::kString: return "string";
+    case Type::kBytes: return "bytes";
+    default: return nullptr;
+  }
+}
+
+Result<Type> PrimitiveFromName(const std::string& name) {
+  if (name == "null") return Type::kNull;
+  if (name == "boolean") return Type::kBoolean;
+  if (name == "int") return Type::kInt;
+  if (name == "long") return Type::kLong;
+  if (name == "float") return Type::kFloat;
+  if (name == "double") return Type::kDouble;
+  if (name == "string") return Type::kString;
+  if (name == "bytes") return Type::kBytes;
+  return Status::InvalidArgument("unknown type name: " + name);
+}
+
+Result<SchemaPtr> FromJson(const json::Value& v);
+
+Result<SchemaPtr> FromJsonObject(const json::Value& v) {
+  const json::Value* type = v.Get("type");
+  if (type == nullptr || !type->is_string()) {
+    return Status::InvalidArgument("schema object needs a \"type\" string");
+  }
+  const std::string& t = type->AsString();
+  if (t == "record") {
+    const json::Value* name = v.Get("name");
+    const json::Value* fields = v.Get("fields");
+    if (name == nullptr || !name->is_string()) {
+      return Status::InvalidArgument("record needs a name");
+    }
+    if (fields == nullptr || !fields->is_array()) {
+      return Status::InvalidArgument("record needs fields[]");
+    }
+    std::vector<Field> out;
+    for (const auto& fv : fields->items()) {
+      if (!fv->is_object()) return Status::InvalidArgument("bad field");
+      const json::Value* fname = fv->Get("name");
+      const json::Value* ftype = fv->Get("type");
+      if (fname == nullptr || !fname->is_string() || ftype == nullptr) {
+        return Status::InvalidArgument("field needs name and type");
+      }
+      auto fs = FromJson(*ftype);
+      if (!fs.ok()) return fs;
+      Field f;
+      f.name = fname->AsString();
+      f.schema = std::move(fs.value());
+      if (const json::Value* d = fv->Get("default"); d != nullptr) {
+        f.default_json = d->Dump();
+      }
+      if (const json::Value* idx = fv->Get("indexed");
+          idx != nullptr && idx->is_bool() && idx->AsBool()) {
+        f.indexed = true;
+        if (const json::Value* it = fv->Get("index_type");
+            it != nullptr && it->is_string() && it->AsString() == "text") {
+          f.text_indexed = true;
+        }
+      }
+      out.push_back(std::move(f));
+    }
+    return Schema::Record(name->AsString(), std::move(out));
+  }
+  if (t == "enum") {
+    const json::Value* name = v.Get("name");
+    const json::Value* symbols = v.Get("symbols");
+    if (name == nullptr || symbols == nullptr || !symbols->is_array()) {
+      return Status::InvalidArgument("enum needs name and symbols");
+    }
+    std::vector<std::string> syms;
+    for (const auto& s : symbols->items()) {
+      if (!s->is_string()) return Status::InvalidArgument("bad enum symbol");
+      syms.push_back(s->AsString());
+    }
+    return Schema::Enum(name->AsString(), std::move(syms));
+  }
+  if (t == "array") {
+    const json::Value* items = v.Get("items");
+    if (items == nullptr) return Status::InvalidArgument("array needs items");
+    auto is = FromJson(*items);
+    if (!is.ok()) return is;
+    return Schema::Array(std::move(is.value()));
+  }
+  if (t == "map") {
+    const json::Value* values = v.Get("values");
+    if (values == nullptr) return Status::InvalidArgument("map needs values");
+    auto vs = FromJson(*values);
+    if (!vs.ok()) return vs;
+    return Schema::Map(std::move(vs.value()));
+  }
+  // {"type": "string"} style primitive wrapper.
+  auto prim = PrimitiveFromName(t);
+  if (!prim.ok()) return prim.status();
+  return Schema::Primitive(prim.value());
+}
+
+Result<SchemaPtr> FromJson(const json::Value& v) {
+  if (v.is_string()) {
+    auto prim = PrimitiveFromName(v.AsString());
+    if (!prim.ok()) return prim.status();
+    return Schema::Primitive(prim.value());
+  }
+  if (v.is_array()) {  // union
+    std::vector<SchemaPtr> branches;
+    for (const auto& b : v.items()) {
+      auto bs = FromJson(*b);
+      if (!bs.ok()) return bs;
+      branches.push_back(std::move(bs.value()));
+    }
+    if (branches.empty()) return Status::InvalidArgument("empty union");
+    return Schema::Union(std::move(branches));
+  }
+  if (v.is_object()) return FromJsonObject(v);
+  return Status::InvalidArgument("schema must be string, array or object");
+}
+
+}  // namespace
+
+Result<SchemaPtr> ParseSchema(const std::string& text) {
+  auto doc = json::Parse(text);
+  if (!doc.ok()) return doc.status();
+  return FromJson(*doc.value());
+}
+
+std::string Schema::ToJson() const {
+  if (const char* prim = PrimitiveName(type_); prim != nullptr) {
+    return std::string("\"") + prim + "\"";
+  }
+  switch (type_) {
+    case Type::kArray:
+      return "{\"type\":\"array\",\"items\":" + item_->ToJson() + "}";
+    case Type::kMap:
+      return "{\"type\":\"map\",\"values\":" + value_->ToJson() + "}";
+    case Type::kUnion: {
+      std::string out = "[";
+      for (size_t i = 0; i < branches_.size(); ++i) {
+        if (i) out += ',';
+        out += branches_[i]->ToJson();
+      }
+      return out + "]";
+    }
+    case Type::kEnum: {
+      std::string out =
+          "{\"type\":\"enum\",\"name\":" + json::Quote(name_) + ",\"symbols\":[";
+      for (size_t i = 0; i < symbols_.size(); ++i) {
+        if (i) out += ',';
+        out += json::Quote(symbols_[i]);
+      }
+      return out + "]}";
+    }
+    case Type::kRecord: {
+      std::string out =
+          "{\"type\":\"record\",\"name\":" + json::Quote(name_) + ",\"fields\":[";
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i) out += ',';
+        const Field& f = fields_[i];
+        out += "{\"name\":" + json::Quote(f.name) + ",\"type\":" +
+               f.schema->ToJson();
+        if (!f.default_json.empty()) out += ",\"default\":" + f.default_json;
+        if (f.indexed) out += ",\"indexed\":true";
+        if (f.text_indexed) out += ",\"index_type\":\"text\"";
+        out += '}';
+      }
+      return out + "]}";
+    }
+    default:
+      return "\"null\"";
+  }
+}
+
+}  // namespace lidi::avro

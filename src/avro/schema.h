@@ -1,0 +1,100 @@
+#ifndef LIDI_AVRO_SCHEMA_H_
+#define LIDI_AVRO_SCHEMA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lidi::avro {
+
+/// The subset of Avro types lidi needs: Databus serializes change events and
+/// Espresso serializes documents in "Avro" binary format with JSON schemas
+/// (paper Sections III.C and IV.A). Schemas are freely evolvable subject to
+/// Avro resolution rules (reader/writer matching by field name, defaults for
+/// added fields, promotions for numerics).
+enum class Type {
+  kNull,
+  kBoolean,
+  kInt,     // 32-bit, zig-zag varint on the wire
+  kLong,    // 64-bit, zig-zag varint on the wire
+  kFloat,
+  kDouble,
+  kString,
+  kBytes,
+  kArray,
+  kMap,     // string keys
+  kRecord,
+  kEnum,
+  kUnion,
+};
+
+class Schema;
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// One field of a record schema.
+struct Field {
+  std::string name;
+  SchemaPtr schema;
+  /// JSON text of the default value; empty when no default is declared.
+  /// Used during schema resolution when the writer lacks the field.
+  std::string default_json;
+  /// Espresso extension: fields annotated `"indexed": true` (optionally with
+  /// `"index_type": "text"`) feed the local secondary index (Section IV.A).
+  bool indexed = false;
+  bool text_indexed = false;
+};
+
+/// An immutable parsed schema node.
+class Schema {
+ public:
+  explicit Schema(Type type) : type_(type) {}
+
+  Type type() const { return type_; }
+  const std::string& name() const { return name_; }  // records and enums
+
+  const std::vector<Field>& fields() const { return fields_; }     // records
+  const Field* FindField(const std::string& name) const;
+  int FieldIndex(const std::string& name) const;                   // -1 if none
+
+  const std::vector<std::string>& symbols() const { return symbols_; }  // enums
+  int SymbolIndex(const std::string& sym) const;
+
+  const SchemaPtr& item_schema() const { return item_; }   // arrays
+  const SchemaPtr& value_schema() const { return value_; } // maps
+  const std::vector<SchemaPtr>& branches() const { return branches_; }  // unions
+
+  /// Canonical one-line JSON rendering (stable across parses).
+  std::string ToJson() const;
+
+  // --- construction helpers (used by the parser and by tests) ---
+  static SchemaPtr Primitive(Type t);
+  static SchemaPtr Array(SchemaPtr items);
+  static SchemaPtr Map(SchemaPtr values);
+  static SchemaPtr Union(std::vector<SchemaPtr> branches);
+  static SchemaPtr Enum(std::string name, std::vector<std::string> symbols);
+  static SchemaPtr Record(std::string name, std::vector<Field> fields);
+
+ private:
+  Type type_;
+  std::string name_;
+  std::vector<Field> fields_;
+  std::vector<std::string> symbols_;
+  SchemaPtr item_;
+  SchemaPtr value_;
+  std::vector<SchemaPtr> branches_;
+};
+
+/// Parses a schema from Avro-style JSON, e.g.
+///   {"type":"record","name":"Song","fields":[
+///      {"name":"title","type":"string","indexed":true},
+///      {"name":"lyrics","type":"string","indexed":true,"index_type":"text"},
+///      {"name":"year","type":"int","default":0}]}
+/// Primitive schemas may be bare strings: "string", "long", ...
+Result<SchemaPtr> ParseSchema(const std::string& json);
+
+}  // namespace lidi::avro
+
+#endif  // LIDI_AVRO_SCHEMA_H_

@@ -1,0 +1,43 @@
+#ifndef LIDI_COMMON_CLOCK_H_
+#define LIDI_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace lidi {
+
+/// Time source abstraction. Production components read real time; tests and
+/// the simulated network inject a ManualClock so retention, SLA expiry and
+/// failure-detector windows are deterministic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds since an arbitrary epoch.
+  virtual int64_t NowMicros() const = 0;
+  int64_t NowMillis() const { return NowMicros() / 1000; }
+};
+
+/// Reads the system steady clock (monotonic).
+class SystemClock : public Clock {
+ public:
+  int64_t NowMicros() const override;
+  /// Process-wide shared instance.
+  static SystemClock* Default();
+};
+
+/// A clock advanced explicitly by tests.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_micros = 0) : now_(start_micros) {}
+  int64_t NowMicros() const override { return now_.load(); }
+  void AdvanceMicros(int64_t delta) { now_ += delta; }
+  void AdvanceMillis(int64_t delta) { now_ += delta * 1000; }
+  void SetMicros(int64_t t) { now_ = t; }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace lidi
+
+#endif  // LIDI_COMMON_CLOCK_H_

@@ -1,0 +1,60 @@
+#include "common/compression.h"
+
+#include <zlib.h>
+
+namespace lidi {
+
+Status Compress(CompressionCodec codec, Slice input, std::string* output) {
+  switch (codec) {
+    case CompressionCodec::kNone:
+      output->append(input.data(), input.size());
+      return Status::OK();
+    case CompressionCodec::kDeflate: {
+      uLongf bound = compressBound(static_cast<uLong>(input.size()));
+      const size_t old_size = output->size();
+      output->resize(old_size + bound);
+      const int rc = compress2(
+          reinterpret_cast<Bytef*>(output->data() + old_size), &bound,
+          reinterpret_cast<const Bytef*>(input.data()),
+          static_cast<uLong>(input.size()), Z_DEFAULT_COMPRESSION);
+      if (rc != Z_OK) return Status::Internal("zlib compress failed");
+      output->resize(old_size + bound);
+      return Status::OK();
+    }
+  }
+  return Status::NotSupported("unknown codec");
+}
+
+Status Decompress(CompressionCodec codec, Slice input, std::string* output) {
+  switch (codec) {
+    case CompressionCodec::kNone:
+      output->append(input.data(), input.size());
+      return Status::OK();
+    case CompressionCodec::kDeflate: {
+      // Grow the output buffer geometrically until inflate fits.
+      size_t cap = input.size() * 4 + 64;
+      for (int attempt = 0; attempt < 12; ++attempt) {
+        const size_t old_size = output->size();
+        output->resize(old_size + cap);
+        uLongf dest_len = static_cast<uLongf>(cap);
+        const int rc = uncompress(
+            reinterpret_cast<Bytef*>(output->data() + old_size), &dest_len,
+            reinterpret_cast<const Bytef*>(input.data()),
+            static_cast<uLong>(input.size()));
+        if (rc == Z_OK) {
+          output->resize(old_size + dest_len);
+          return Status::OK();
+        }
+        output->resize(old_size);
+        if (rc != Z_BUF_ERROR) {
+          return Status::Corruption("zlib uncompress failed");
+        }
+        cap *= 2;
+      }
+      return Status::Corruption("compressed data expands beyond sane bound");
+    }
+  }
+  return Status::NotSupported("unknown codec");
+}
+
+}  // namespace lidi

@@ -1,0 +1,26 @@
+#ifndef LIDI_COMMON_COMPRESSION_H_
+#define LIDI_COMMON_COMPRESSION_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace lidi {
+
+/// Compression codecs for Kafka message sets (paper Section V.B: producers
+/// compress batches; ~2/3 of network bandwidth saved in practice).
+enum class CompressionCodec : uint8_t {
+  kNone = 0,
+  kDeflate = 1,  // zlib deflate (the paper's GZIP-class codec)
+};
+
+/// Compresses `input` with the given codec, appending to *output.
+Status Compress(CompressionCodec codec, Slice input, std::string* output);
+
+/// Decompresses `input` produced by Compress with the same codec.
+Status Decompress(CompressionCodec codec, Slice input, std::string* output);
+
+}  // namespace lidi
+
+#endif  // LIDI_COMMON_COMPRESSION_H_

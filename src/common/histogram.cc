@@ -1,0 +1,43 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lidi {
+
+double Histogram::Average() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::Percentile(double p) {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+}
+
+double Histogram::Max() {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::string Histogram::Summary() {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu avg=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+                count(), Average(), Percentile(50), Percentile(95),
+                Percentile(99), Max());
+  return buf;
+}
+
+}  // namespace lidi

@@ -1,0 +1,38 @@
+#ifndef LIDI_COMMON_HISTOGRAM_H_
+#define LIDI_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lidi {
+
+/// Latency recorder used by the bench harnesses. Stores raw samples (the
+/// bench scales are small enough) and reports avg/percentiles.
+class Histogram {
+ public:
+  void Record(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  double Average() const;
+  double Percentile(double p);  // p in [0, 100]; sorts lazily
+  double Max();
+
+  /// One-line summary, e.g. "n=1000 avg=2.13 p50=1.90 p99=6.40 max=9.1".
+  std::string Summary();
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace lidi
+
+#endif  // LIDI_COMMON_HISTOGRAM_H_

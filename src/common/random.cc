@@ -1,0 +1,35 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lidi {
+
+std::string Random::Bytes(size_t len) {
+  // Biased toward a small alphabet so payloads compress like log text.
+  static constexpr char kAlpha[] =
+      "aaaabcdeeeeefghiiijklmnoooopqrstuuuvwxyz0123456789 _-./:";
+  std::string out(len, ' ');
+  for (size_t i = 0; i < len; ++i) {
+    out[i] = kAlpha[Uniform(sizeof(kAlpha) - 1)];
+  }
+  return out;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), rng_(seed), cdf_(n) {
+  double sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (uint64_t i = 0; i < n; ++i) cdf_[i] /= sum;
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace lidi

@@ -1,0 +1,71 @@
+#ifndef LIDI_COMMON_RANDOM_H_
+#define LIDI_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lidi {
+
+/// Deterministic 64-bit PRNG (splitmix64). All randomized lidi components
+/// take an explicit seed so tests and benches are reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Uniform integer in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Random byte string of the given length (printable ASCII, so generated
+  /// payloads are compressible like real event text).
+  std::string Bytes(size_t len);
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipfian rank sampler over [0, n). The paper notes Company Follow store
+/// sizes follow a Zipfian distribution (Section II.C); activity-event key
+/// popularity is likewise skewed.
+///
+/// Uses the rejection-inversion-free harmonic-sum inversion: O(n) setup,
+/// O(log n) sampling.
+class ZipfGenerator {
+ public:
+  /// theta is the skew parameter (0 = uniform-ish, 0.99 = YCSB default).
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  /// Returns a rank in [0, n); rank 0 is the most popular.
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  Random rng_;
+  std::vector<double> cdf_;  // cumulative probability per rank
+};
+
+}  // namespace lidi
+
+#endif  // LIDI_COMMON_RANDOM_H_

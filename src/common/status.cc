@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+namespace lidi {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk: return "OK";
+    case Code::kNotFound: return "NotFound";
+    case Code::kAlreadyExists: return "AlreadyExists";
+    case Code::kInvalidArgument: return "InvalidArgument";
+    case Code::kCorruption: return "Corruption";
+    case Code::kIOError: return "IOError";
+    case Code::kTimeout: return "Timeout";
+    case Code::kUnavailable: return "Unavailable";
+    case Code::kObsoleteVersion: return "ObsoleteVersion";
+    case Code::kInsufficientNodes: return "InsufficientNodes";
+    case Code::kNotSupported: return "NotSupported";
+    case Code::kAborted: return "Aborted";
+    case Code::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace lidi

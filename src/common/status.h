@@ -1,0 +1,138 @@
+#ifndef LIDI_COMMON_STATUS_H_
+#define LIDI_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lidi {
+
+/// Error categories used across all lidi subsystems.
+///
+/// The library does not use C++ exceptions; every fallible operation returns
+/// a Status (or a Result<T> when it also produces a value).
+enum class Code {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kCorruption,
+  kIOError,
+  kTimeout,
+  kUnavailable,       // transient failure, retry may succeed
+  kObsoleteVersion,   // write lost an optimistic-concurrency race
+  kInsufficientNodes, // quorum not reachable
+  kNotSupported,
+  kAborted,
+  kInternal,
+};
+
+/// Human-readable name of a status code, e.g. "NotFound".
+const char* CodeName(Code code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// Cheap to copy in the OK case (empty message). Construct via the named
+/// factories: `Status::OK()`, `Status::NotFound("key missing")`, ...
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Timeout(std::string msg = "") {
+    return Status(Code::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status ObsoleteVersion(std::string msg = "") {
+    return Status(Code::kObsoleteVersion, std::move(msg));
+  }
+  static Status InsufficientNodes(std::string msg = "") {
+    return Status(Code::kInsufficientNodes, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsObsoleteVersion() const { return code_ == Code::kObsoleteVersion; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsTimeout() const { return code_ == Code::kTimeout; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// A value-or-error wrapper. Holds either a T or a non-OK Status.
+///
+/// Usage:
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a non-OK Status keeps call sites
+  /// terse (`return 42;` / `return Status::NotFound();`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// OK() if this holds a value, otherwise the stored error.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace lidi
+
+#endif  // LIDI_COMMON_STATUS_H_

@@ -1,0 +1,142 @@
+#include "databus/bootstrap.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace lidi::databus {
+
+BootstrapServer::BootstrapServer(std::string name, net::Address relay,
+                                 net::Network* network)
+    : name_(std::move(name)), relay_(std::move(relay)), network_(network) {
+  network_->Register(name_, "bootstrap.delta", [this](Slice req) {
+    int64_t since_scn, max_events;
+    Filter filter;
+    Status s = DecodeReadRequest(req, &since_scn, &max_events, &filter);
+    if (!s.ok()) return Result<std::string>(s);
+    auto events = ConsolidatedDelta(since_scn, filter);
+    if (!events.ok()) return Result<std::string>(events.status());
+    std::string out;
+    EncodeEventList(events.value(), &out);
+    return Result<std::string>(std::move(out));
+  });
+  network_->Register(name_, "bootstrap.snapshot", [this](Slice req) {
+    Slice input = req;
+    auto filter = Filter::DecodeFrom(&input);
+    if (!filter.ok()) return Result<std::string>(filter.status());
+    auto snapshot = ConsistentSnapshot(filter.value());
+    if (!snapshot.ok()) return Result<std::string>(snapshot.status());
+    std::string out;
+    PutVarint64(&out, static_cast<uint64_t>(snapshot.value().snapshot_scn));
+    EncodeEventList(snapshot.value().rows, &out);
+    return Result<std::string>(std::move(out));
+  });
+}
+
+BootstrapServer::~BootstrapServer() { network_->Unregister(name_); }
+
+Result<int64_t> BootstrapServer::PollRelayOnce() {
+  int64_t since;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    since = log_fetched_scn_;
+  }
+  std::string request;
+  EncodeReadRequest(since, /*max_events=*/1 << 16, Filter{}, &request);
+  auto r = network_->Call(name_, relay_, "databus.read", request);
+  if (!r.ok()) return r.status();
+  auto events = DecodeEventList(r.value());
+  if (!events.ok()) return events.status();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Event& event : events.value()) {
+    log_fetched_scn_ = std::max(log_fetched_scn_, event.scn);
+    log_.push_back(std::move(event));
+  }
+  return static_cast<int64_t>(events.value().size());
+}
+
+int64_t BootstrapServer::ApplyLogOnce(int64_t max_rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t applied = 0;
+  while (apply_cursor_ < log_.size() && applied < max_rows) {
+    const Event& event = log_[apply_cursor_++];
+    SnapshotEntry& entry = snapshot_[{event.source, event.key}];
+    entry.scn = event.scn;
+    entry.last_event = event;
+    applied_scn_ = std::max(applied_scn_, event.scn);
+    ++applied;
+  }
+  return applied;
+}
+
+Result<std::vector<Event>> BootstrapServer::ConsolidatedDelta(
+    int64_t since_scn, const Filter& filter) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Serve from snapshot storage (last event per key), then overlay any log
+  // tail the applier has not folded yet — the replay that guarantees
+  // consistency while the (long) snapshot scan runs.
+  std::map<std::pair<std::string, std::string>, Event> result;
+  for (const auto& [key, entry] : snapshot_) {
+    if (entry.scn > since_scn && filter.Matches(entry.last_event)) {
+      result[key] = entry.last_event;
+    }
+  }
+  for (size_t i = apply_cursor_; i < log_.size(); ++i) {
+    const Event& event = log_[i];
+    if (event.scn > since_scn && filter.Matches(event)) {
+      result[{event.source, event.key}] = event;
+    }
+  }
+  std::vector<Event> out;
+  out.reserve(result.size());
+  for (auto& [key, event] : result) out.push_back(std::move(event));
+  // Deliver in scn order so consumer checkpoints advance monotonically.
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.scn < b.scn; });
+  return out;
+}
+
+Result<SnapshotResult> BootstrapServer::ConsistentSnapshot(
+    const Filter& filter) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SnapshotResult result;
+  // Live rows: snapshot entries overlaid with the unapplied log tail,
+  // dropping deletes.
+  std::map<std::pair<std::string, std::string>, Event> live;
+  for (const auto& [key, entry] : snapshot_) {
+    live[key] = entry.last_event;
+  }
+  int64_t max_scn = applied_scn_;
+  for (size_t i = apply_cursor_; i < log_.size(); ++i) {
+    const Event& event = log_[i];
+    live[{event.source, event.key}] = event;
+    max_scn = std::max(max_scn, event.scn);
+  }
+  for (auto& [key, event] : live) {
+    if (event.op == Event::Op::kDelete) continue;
+    if (!filter.Matches(event)) continue;
+    result.rows.push_back(std::move(event));
+  }
+  std::sort(result.rows.begin(), result.rows.end(),
+            [](const Event& a, const Event& b) { return a.scn < b.scn; });
+  result.snapshot_scn = max_scn;
+  return result;
+}
+
+int64_t BootstrapServer::log_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(log_.size());
+}
+
+int64_t BootstrapServer::snapshot_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(snapshot_.size());
+}
+
+int64_t BootstrapServer::applied_scn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_scn_;
+}
+
+}  // namespace lidi::databus

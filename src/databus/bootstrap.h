@@ -1,0 +1,92 @@
+#ifndef LIDI_DATABUS_BOOTSTRAP_H_
+#define LIDI_DATABUS_BOOTSTRAP_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "databus/event.h"
+#include "databus/relay.h"
+#include "net/network.h"
+
+namespace lidi::databus {
+
+/// Result of a consistent-snapshot query: the live rows plus the sequence
+/// number U of the last transaction applied — the client continues relay
+/// consumption from U (paper Section III.C, Figure III.3).
+struct SnapshotResult {
+  std::vector<Event> rows;  // one upsert event per live key
+  int64_t snapshot_scn = 0;
+};
+
+/// The Databus bootstrap server (paper Section III.C): listens to the relay
+/// event stream and provides long-term storage serving arbitrary long
+/// look-back queries, isolating the source database from those clients.
+///
+/// Internally keeps two storages, exactly as Figure III.3:
+///  - Log storage: the LogWriter appends every relay event (append-only);
+///  - Snapshot storage: the LogApplier folds log rows into last-event-per-key.
+///
+/// Query types:
+///  - consolidated delta since T: only the LAST of multiple updates to the
+///    same key is returned ("fast playback" of time);
+///  - consistent snapshot at U: all live rows plus U for relay resumption.
+///
+/// RPC: "bootstrap.delta" (same request encoding as databus.read) and
+/// "bootstrap.snapshot" (request = filter only).
+class BootstrapServer {
+ public:
+  BootstrapServer(std::string name, net::Address relay, net::Network* network);
+  ~BootstrapServer();
+
+  BootstrapServer(const BootstrapServer&) = delete;
+  BootstrapServer& operator=(const BootstrapServer&) = delete;
+
+  const net::Address& address() const { return name_; }
+
+  /// LogWriter step: pulls new events from the relay into log storage.
+  /// Returns events fetched.
+  Result<int64_t> PollRelayOnce();
+
+  /// LogApplier step: folds up to `max_rows` pending log rows into snapshot
+  /// storage. Returns rows applied. (Separated from PollRelayOnce so tests
+  /// can exercise the log/snapshot split; call both in a loop in practice.)
+  int64_t ApplyLogOnce(int64_t max_rows = 1 << 20);
+
+  /// Consolidated delta: last update per key with scn > since_scn, matching
+  /// the filter. Served from snapshot storage (plus replayed log tail) so
+  /// its cost is proportional to live keys, not to history length.
+  Result<std::vector<Event>> ConsolidatedDelta(int64_t since_scn,
+                                               const Filter& filter) const;
+
+  /// Consistent snapshot: every live row and the scn to resume from.
+  Result<SnapshotResult> ConsistentSnapshot(const Filter& filter) const;
+
+  int64_t log_size() const;
+  int64_t snapshot_keys() const;
+  int64_t applied_scn() const;
+
+ private:
+  struct SnapshotEntry {
+    int64_t scn = 0;
+    Event last_event;  // the full last event (upsert or delete)
+  };
+
+  const std::string name_;
+  const net::Address relay_;
+  net::Network* const network_;
+
+  mutable std::mutex mu_;
+  std::vector<Event> log_;                        // append-only log storage
+  std::map<std::pair<std::string, std::string>, SnapshotEntry>
+      snapshot_;                                  // (source, key) -> last
+  int64_t log_fetched_scn_ = 0;                   // high-water mark from relay
+  size_t apply_cursor_ = 0;                       // log index applier reached
+  int64_t applied_scn_ = 0;
+};
+
+}  // namespace lidi::databus
+
+#endif  // LIDI_DATABUS_BOOTSTRAP_H_

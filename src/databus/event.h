@@ -1,0 +1,69 @@
+#ifndef LIDI_DATABUS_EVENT_H_
+#define LIDI_DATABUS_EVENT_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace lidi::databus {
+
+/// A Databus change-data-capture event (paper Section III.C): sequence
+/// number in source-database commit order, metadata identifying the change,
+/// and the serialized payload (the post-image row; Avro-encoded in
+/// production, lidi ships sqlstore's portable row encoding — both are
+/// source-independent binary formats).
+struct Event {
+  int64_t scn = 0;
+  std::string source;  // table / logical source name
+  std::string key;     // primary key of the changed row
+  enum class Op : uint8_t { kUpsert = 0, kDelete = 1 } op = Op::kUpsert;
+  int partition = -1;
+  /// True on the last event of its transaction — the transaction envelope
+  /// marker consumers use to respect atomic boundaries.
+  bool end_of_txn = true;
+  std::string payload;
+
+  friend bool operator==(const Event& a, const Event& b) {
+    return a.scn == b.scn && a.source == b.source && a.key == b.key &&
+           a.op == b.op && a.partition == b.partition &&
+           a.end_of_txn == b.end_of_txn && a.payload == b.payload;
+  }
+};
+
+void EncodeEvent(const Event& event, std::string* out);
+Result<Event> DecodeEvent(Slice* input);
+
+void EncodeEventList(const std::vector<Event>& events, std::string* out);
+Result<std::vector<Event>> DecodeEventList(Slice input);
+
+/// Server-side filter pushed down to relays and bootstrap servers (Section
+/// III.C: "Server-side filtering for support of multiple partitioning
+/// schemes"). Empty sets / zero mod = no constraint.
+struct Filter {
+  std::set<std::string> sources;
+  /// Mod-partitioning: deliver events where partition % mod_base is in
+  /// mod_residues. mod_base == 0 disables.
+  int mod_base = 0;
+  std::set<int> mod_residues;
+
+  bool Matches(const Event& event) const {
+    if (!sources.empty() && sources.count(event.source) == 0) return false;
+    if (mod_base > 0) {
+      const int residue =
+          event.partition >= 0 ? event.partition % mod_base : 0;
+      if (mod_residues.count(residue) == 0) return false;
+    }
+    return true;
+  }
+
+  void EncodeTo(std::string* out) const;
+  static Result<Filter> DecodeFrom(Slice* input);
+};
+
+}  // namespace lidi::databus
+
+#endif  // LIDI_DATABUS_EVENT_H_

@@ -1,0 +1,98 @@
+#include "databus/transformation.h"
+
+#include <cctype>
+#include <vector>
+
+#include "sqlstore/database.h"
+
+namespace lidi::databus {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t start = 0, end = s.size();
+  while (start < end && std::isspace(static_cast<unsigned char>(s[start]))) {
+    ++start;
+  }
+  while (end > start && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(start, end - start);
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (;;) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(Trim(s.substr(start)));
+      return out;
+    }
+    out.push_back(Trim(s.substr(start, pos - start)));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+Result<Transformation> Transformation::Parse(const std::string& spec) {
+  Transformation t;
+  for (const std::string& clause : Split(spec, ';')) {
+    if (clause.empty()) continue;
+    if (clause.rfind("project ", 0) == 0) {
+      for (const std::string& column : Split(clause.substr(8), ',')) {
+        if (column.empty()) {
+          return Status::InvalidArgument("empty column in project clause");
+        }
+        t.projection_.insert(column);
+      }
+    } else if (clause.rfind("rename ", 0) == 0) {
+      for (const std::string& pair : Split(clause.substr(7), ',')) {
+        const size_t colon = pair.find(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == pair.size()) {
+          return Status::InvalidArgument("rename needs old:new, got " + pair);
+        }
+        t.renames_[Trim(pair.substr(0, colon))] = Trim(pair.substr(colon + 1));
+      }
+    } else if (clause.rfind("where ", 0) == 0) {
+      const std::string condition = clause.substr(6);
+      const size_t eq = condition.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Status::InvalidArgument("where needs col=value, got " +
+                                       condition);
+      }
+      t.filters_[Trim(condition.substr(0, eq))] = Trim(condition.substr(eq + 1));
+    } else {
+      return Status::InvalidArgument("unknown clause: " + clause);
+    }
+  }
+  return t;
+}
+
+Result<std::optional<Event>> Transformation::Apply(const Event& event) const {
+  if (empty() || event.op == Event::Op::kDelete) return std::optional<Event>(event);
+  auto row = sqlstore::DecodeRow(event.payload);
+  if (!row.ok()) return row.status();
+
+  for (const auto& [column, required] : filters_) {
+    auto it = row.value().find(column);
+    if (it == row.value().end() || it->second != required) {
+      return std::optional<Event>(std::nullopt);  // filtered out
+    }
+  }
+
+  sqlstore::Row out_row;
+  for (const auto& [column, value] : row.value()) {
+    if (!projection_.empty() && projection_.count(column) == 0) continue;
+    auto rename = renames_.find(column);
+    out_row[rename == renames_.end() ? column : rename->second] = value;
+  }
+  Event out = event;
+  out.payload.clear();
+  sqlstore::EncodeRow(out_row, &out.payload);
+  return std::optional<Event>(std::move(out));
+}
+
+}  // namespace lidi::databus

@@ -1,0 +1,55 @@
+#ifndef LIDI_DATABUS_TRANSFORMATION_H_
+#define LIDI_DATABUS_TRANSFORMATION_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "databus/event.h"
+
+namespace lidi::databus {
+
+/// Declarative data transformations — the paper's named future work for
+/// Databus (Section III.E: "Future work includes ... supporting declarative
+/// data transformations"). A Transformation is applied by the client library
+/// between the relay and the consumer's business logic, so subscribers can
+/// reshape the change stream without writing imperative glue.
+///
+/// Spec grammar (semicolon-separated clauses, all optional):
+///   project col1,col2,...      keep only the named row columns
+///   rename old:new[,old:new]   rename row columns
+///   where col=value            drop events whose row lacks col=value
+///
+/// e.g.  "project name,company; rename company:employer; where country=us"
+///
+/// Delete events pass through untouched (their payload is empty); `where`
+/// filters apply only to upserts.
+class Transformation {
+ public:
+  Transformation() = default;
+
+  static Result<Transformation> Parse(const std::string& spec);
+
+  /// Applies the transformation. Returns std::nullopt when the event is
+  /// filtered out; otherwise the (possibly rewritten) event.
+  Result<std::optional<Event>> Apply(const Event& event) const;
+
+  bool empty() const {
+    return projection_.empty() && renames_.empty() && filters_.empty();
+  }
+
+  const std::set<std::string>& projection() const { return projection_; }
+  const std::map<std::string, std::string>& renames() const {
+    return renames_;
+  }
+
+ private:
+  std::set<std::string> projection_;
+  std::map<std::string, std::string> renames_;  // old name -> new name
+  std::map<std::string, std::string> filters_;  // column -> required value
+};
+
+}  // namespace lidi::databus
+
+#endif  // LIDI_DATABUS_TRANSFORMATION_H_

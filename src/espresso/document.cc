@@ -1,0 +1,216 @@
+#include "espresso/document.h"
+
+#include <cstdio>
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace lidi::espresso {
+
+sqlstore::Row DocumentRecord::ToRow() const {
+  sqlstore::Row row;
+  row["val"] = payload;
+  row["schema_version"] = std::to_string(schema_version);
+  row["etag"] = etag;
+  row["timestamp"] = std::to_string(timestamp_millis);
+  return row;
+}
+
+Result<DocumentRecord> DocumentRecord::FromRow(const sqlstore::Row& row) {
+  DocumentRecord record;
+  auto val = row.find("val");
+  auto version = row.find("schema_version");
+  auto etag = row.find("etag");
+  auto ts = row.find("timestamp");
+  if (val == row.end() || version == row.end() || etag == row.end() ||
+      ts == row.end()) {
+    return Status::Corruption("document row missing columns");
+  }
+  record.payload = val->second;
+  record.schema_version = std::atoi(version->second.c_str());
+  record.etag = etag->second;
+  record.timestamp_millis = std::atoll(ts->second.c_str());
+  return record;
+}
+
+std::string ComputeEtag(Slice payload) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "e%08x", Crc32(payload));
+  return buf;
+}
+
+void EncodeDocumentRecord(const DocumentRecord& record, std::string* out) {
+  PutLengthPrefixed(out, record.payload);
+  PutVarint64(out, static_cast<uint64_t>(record.schema_version));
+  PutLengthPrefixed(out, record.etag);
+  PutVarint64(out, static_cast<uint64_t>(record.timestamp_millis));
+}
+
+Status DecodeDocumentRecord(Slice* input, DocumentRecord* record) {
+  Slice payload, etag;
+  uint64_t version, timestamp;
+  if (!GetLengthPrefixed(input, &payload) || !GetVarint64(input, &version) ||
+      !GetLengthPrefixed(input, &etag) || !GetVarint64(input, &timestamp)) {
+    return Status::Corruption("truncated document record");
+  }
+  record->payload = payload.ToString();
+  record->schema_version = static_cast<int>(version);
+  record->etag = etag.ToString();
+  record->timestamp_millis = static_cast<int64_t>(timestamp);
+  return Status::OK();
+}
+
+void EncodeGetRequest(Slice database, Slice table, Slice key,
+                      std::string* out) {
+  PutLengthPrefixed(out, database);
+  PutLengthPrefixed(out, table);
+  PutLengthPrefixed(out, key);
+}
+
+Status DecodeGetRequest(Slice input, std::string* database, std::string* table,
+                        std::string* key) {
+  Slice d, t, k;
+  if (!GetLengthPrefixed(&input, &d) || !GetLengthPrefixed(&input, &t) ||
+      !GetLengthPrefixed(&input, &k)) {
+    return Status::Corruption("truncated get request");
+  }
+  *database = d.ToString();
+  *table = t.ToString();
+  *key = k.ToString();
+  return Status::OK();
+}
+
+void EncodePutRequest(Slice database, Slice table, Slice key,
+                      const DocumentRecord& record, Slice expected_etag,
+                      std::string* out) {
+  PutLengthPrefixed(out, database);
+  PutLengthPrefixed(out, table);
+  PutLengthPrefixed(out, key);
+  EncodeDocumentRecord(record, out);
+  PutLengthPrefixed(out, expected_etag);
+}
+
+Status DecodePutRequest(Slice input, std::string* database, std::string* table,
+                        std::string* key, DocumentRecord* record,
+                        std::string* expected_etag) {
+  Slice d, t, k, e;
+  if (!GetLengthPrefixed(&input, &d) || !GetLengthPrefixed(&input, &t) ||
+      !GetLengthPrefixed(&input, &k)) {
+    return Status::Corruption("truncated put request");
+  }
+  Status s = DecodeDocumentRecord(&input, record);
+  if (!s.ok()) return s;
+  if (!GetLengthPrefixed(&input, &e)) {
+    return Status::Corruption("truncated expected etag");
+  }
+  *database = d.ToString();
+  *table = t.ToString();
+  *key = k.ToString();
+  *expected_etag = e.ToString();
+  return Status::OK();
+}
+
+void EncodeQueryRequest(Slice database, Slice table, Slice resource_id,
+                        Slice query, std::string* out) {
+  PutLengthPrefixed(out, database);
+  PutLengthPrefixed(out, table);
+  PutLengthPrefixed(out, resource_id);
+  PutLengthPrefixed(out, query);
+}
+
+Status DecodeQueryRequest(Slice input, std::string* database,
+                          std::string* table, std::string* resource_id,
+                          std::string* query) {
+  Slice d, t, r, q;
+  if (!GetLengthPrefixed(&input, &d) || !GetLengthPrefixed(&input, &t) ||
+      !GetLengthPrefixed(&input, &r) || !GetLengthPrefixed(&input, &q)) {
+    return Status::Corruption("truncated query request");
+  }
+  *database = d.ToString();
+  *table = t.ToString();
+  *resource_id = r.ToString();
+  *query = q.ToString();
+  return Status::OK();
+}
+
+void EncodeTxnRequest(Slice database, Slice resource_id,
+                      const std::vector<DocumentUpdate>& updates,
+                      std::string* out) {
+  PutLengthPrefixed(out, database);
+  PutLengthPrefixed(out, resource_id);
+  PutVarint64(out, updates.size());
+  for (const DocumentUpdate& u : updates) {
+    PutLengthPrefixed(out, u.table);
+    PutLengthPrefixed(out, u.key);
+    out->push_back(u.is_delete ? 1 : 0);
+    PutLengthPrefixed(out, u.payload);
+    PutVarint64(out, static_cast<uint64_t>(u.schema_version));
+  }
+}
+
+Status DecodeTxnRequest(Slice input, std::string* database,
+                        std::string* resource_id,
+                        std::vector<DocumentUpdate>* updates) {
+  Slice d, r;
+  uint64_t count;
+  if (!GetLengthPrefixed(&input, &d) || !GetLengthPrefixed(&input, &r) ||
+      !GetVarint64(&input, &count)) {
+    return Status::Corruption("truncated txn request");
+  }
+  *database = d.ToString();
+  *resource_id = r.ToString();
+  for (uint64_t i = 0; i < count; ++i) {
+    DocumentUpdate u;
+    Slice table, key, payload;
+    uint64_t version;
+    if (!GetLengthPrefixed(&input, &table) ||
+        !GetLengthPrefixed(&input, &key)) {
+      return Status::Corruption("truncated txn update");
+    }
+    if (input.empty()) return Status::Corruption("truncated txn op");
+    u.is_delete = input[0] != 0;
+    input.RemovePrefix(1);
+    if (!GetLengthPrefixed(&input, &payload) ||
+        !GetVarint64(&input, &version)) {
+      return Status::Corruption("truncated txn payload");
+    }
+    u.table = table.ToString();
+    u.key = key.ToString();
+    u.payload = payload.ToString();
+    u.schema_version = static_cast<int>(version);
+    updates->push_back(std::move(u));
+  }
+  return Status::OK();
+}
+
+void EncodeQueryResponse(
+    const std::vector<std::pair<std::string, DocumentRecord>>& results,
+    std::string* out) {
+  PutVarint64(out, results.size());
+  for (const auto& [key, record] : results) {
+    PutLengthPrefixed(out, key);
+    EncodeDocumentRecord(record, out);
+  }
+}
+
+Status DecodeQueryResponse(
+    Slice input,
+    std::vector<std::pair<std::string, DocumentRecord>>* results) {
+  uint64_t count;
+  if (!GetVarint64(&input, &count)) {
+    return Status::Corruption("truncated query response");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    Slice key;
+    DocumentRecord record;
+    if (!GetLengthPrefixed(&input, &key)) {
+      return Status::Corruption("truncated query result key");
+    }
+    Status s = DecodeDocumentRecord(&input, &record);
+    if (!s.ok()) return s;
+    results->emplace_back(key.ToString(), std::move(record));
+  }
+  return Status::OK();
+}
+
+}  // namespace lidi::espresso

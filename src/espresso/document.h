@@ -1,0 +1,81 @@
+#ifndef LIDI_ESPRESSO_DOCUMENT_H_
+#define LIDI_ESPRESSO_DOCUMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "sqlstore/database.h"
+
+namespace lidi::espresso {
+
+/// A stored document: the binary serialized document plus the metadata
+/// columns of the underlying MySQL row (paper Table IV.1: timestamp, etag,
+/// val, schema_version — the key columns are the document key).
+struct DocumentRecord {
+  std::string payload;    // Avro-binary document (the `val` column)
+  int schema_version = 0;
+  std::string etag;
+  int64_t timestamp_millis = 0;
+
+  /// Row codec: documents are stored as sqlstore rows with these columns.
+  sqlstore::Row ToRow() const;
+  static Result<DocumentRecord> FromRow(const sqlstore::Row& row);
+};
+
+/// Computes the conditional-request etag for a payload.
+std::string ComputeEtag(Slice payload);
+
+/// One document write inside a transactional POST (paper IV.A: "One could
+/// post a new album ... and each of the album's songs ... in a single
+/// transaction" — all tables sharing the resource_id partition).
+struct DocumentUpdate {
+  std::string table;
+  std::string key;  // full document key (resource_id[/sub...])
+  bool is_delete = false;
+  std::string payload;
+  int schema_version = 0;
+};
+
+// --- wire encodings for the storage-node RPC surface ---
+
+void EncodeGetRequest(Slice database, Slice table, Slice key,
+                      std::string* out);
+Status DecodeGetRequest(Slice input, std::string* database, std::string* table,
+                        std::string* key);
+
+void EncodePutRequest(Slice database, Slice table, Slice key,
+                      const DocumentRecord& record, Slice expected_etag,
+                      std::string* out);
+Status DecodePutRequest(Slice input, std::string* database, std::string* table,
+                        std::string* key, DocumentRecord* record,
+                        std::string* expected_etag);
+
+void EncodeQueryRequest(Slice database, Slice table, Slice resource_id,
+                        Slice query, std::string* out);
+Status DecodeQueryRequest(Slice input, std::string* database,
+                          std::string* table, std::string* resource_id,
+                          std::string* query);
+
+void EncodeTxnRequest(Slice database, Slice resource_id,
+                      const std::vector<DocumentUpdate>& updates,
+                      std::string* out);
+Status DecodeTxnRequest(Slice input, std::string* database,
+                        std::string* resource_id,
+                        std::vector<DocumentUpdate>* updates);
+
+void EncodeDocumentRecord(const DocumentRecord& record, std::string* out);
+Status DecodeDocumentRecord(Slice* input, DocumentRecord* record);
+
+/// Query response: list of (document key, record).
+void EncodeQueryResponse(
+    const std::vector<std::pair<std::string, DocumentRecord>>& results,
+    std::string* out);
+Status DecodeQueryResponse(
+    Slice input,
+    std::vector<std::pair<std::string, DocumentRecord>>* results);
+
+}  // namespace lidi::espresso
+
+#endif  // LIDI_ESPRESSO_DOCUMENT_H_

@@ -1,0 +1,98 @@
+#include "espresso/global_index.h"
+
+#include "avro/codec.h"
+#include "espresso/document.h"
+
+namespace lidi::espresso {
+
+int64_t GlobalIndexer::CatchUp() {
+  auto db_schema = registry_->GetDatabase(database_);
+  if (!db_schema.ok()) return 0;
+  int64_t applied = 0;
+  for (int p = 0; p < db_schema.value().num_partitions; ++p) {
+    for (;;) {
+      int64_t since;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        since = applied_scn_[p];
+      }
+      auto events = relay_->Read(database_, p, since, 4096);
+      if (!events.ok() || events.value().empty()) break;
+      for (const databus::Event& event : events.value()) {
+        ApplyEvent(event);
+        std::lock_guard<std::mutex> lock(mu_);
+        applied_scn_[p] = std::max(applied_scn_[p], event.scn);
+        ++applied;
+      }
+    }
+  }
+  return applied;
+}
+
+void GlobalIndexer::ApplyEvent(const databus::Event& event) {
+  const std::string& table = event.source;
+  if (event.op == databus::Event::Op::kDelete) {
+    std::lock_guard<std::mutex> lock(mu_);
+    indexes_[table].RemoveDocument(event.key);
+    return;
+  }
+  auto row = sqlstore::DecodeRow(event.payload);
+  if (!row.ok()) return;
+  auto record = DocumentRecord::FromRow(row.value());
+  if (!record.ok()) return;
+  auto schema =
+      registry_->GetDocumentSchema(database_, table, record.value().schema_version);
+  if (!schema.ok()) return;
+
+  std::map<std::string, std::string> fields;
+  std::set<std::string> text_fields;
+  bool any_indexed = false;
+  for (const avro::Field& field : schema.value()->fields()) {
+    if (field.indexed) {
+      any_indexed = true;
+      if (field.text_indexed) text_fields.insert(field.name);
+    }
+  }
+  if (!any_indexed) return;
+
+  Slice payload(record.value().payload);
+  auto datum = avro::Decode(*schema.value(), &payload);
+  if (!datum.ok()) return;
+  for (const avro::Field& field : schema.value()->fields()) {
+    if (!field.indexed) continue;
+    avro::DatumPtr value = datum.value()->GetField(field.name);
+    if (value == nullptr) continue;
+    switch (value->type()) {
+      case avro::Type::kString:
+        fields[field.name] = value->string_value();
+        break;
+      case avro::Type::kInt:
+      case avro::Type::kLong:
+        fields[field.name] = std::to_string(value->long_value());
+        break;
+      default:
+        fields[field.name] = value->ToString();
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  indexes_[table].IndexDocument(event.key, fields, text_fields);
+  ++documents_indexed_;
+}
+
+Result<std::vector<std::string>> GlobalIndexer::Query(
+    const std::string& table, const std::string& query_text) const {
+  auto query = invidx::Query::Parse(query_text);
+  if (!query.ok()) return query.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = indexes_.find(table);
+  if (it == indexes_.end()) return std::vector<std::string>{};
+  return it->second.Search(query.value());
+}
+
+int64_t GlobalIndexer::AppliedScn(int partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = applied_scn_.find(partition);
+  return it == applied_scn_.end() ? 0 : it->second;
+}
+
+}  // namespace lidi::espresso

@@ -1,0 +1,60 @@
+#ifndef LIDI_ESPRESSO_GLOBAL_INDEX_H_
+#define LIDI_ESPRESSO_GLOBAL_INDEX_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "espresso/replication.h"
+#include "espresso/schema.h"
+#include "invidx/inverted_index.h"
+
+namespace lidi::espresso {
+
+/// A global secondary index over an Espresso database — the future
+/// enhancement the paper names in Section IV.A: "Future enhancements will
+/// implement global secondary indexes maintained via a listener to the
+/// update stream."
+///
+/// The indexer is exactly such a listener: it tails every partition's
+/// update stream from the Espresso relay (the same stream slave replicas
+/// consume) and maintains one cluster-wide inverted index per table. Unlike
+/// the local per-partition index, queries here are *not* limited to a single
+/// collection resource — they span the whole database, at the cost of index
+/// freshness being bounded by the listener's lag.
+class GlobalIndexer {
+ public:
+  GlobalIndexer(std::string database, SchemaRegistry* registry,
+                const EspressoRelay* relay)
+      : database_(std::move(database)), registry_(registry), relay_(relay) {}
+
+  /// Consumes outstanding update-stream events from every partition.
+  /// Returns the number of events applied.
+  int64_t CatchUp();
+
+  /// Cluster-wide query over a table's indexed fields. Results are
+  /// "<table>" -> matching document keys across all partitions.
+  Result<std::vector<std::string>> Query(const std::string& table,
+                                         const std::string& query_text) const;
+
+  /// Lag diagnostics: applied SCN per partition.
+  int64_t AppliedScn(int partition) const;
+  int64_t documents_indexed() const { return documents_indexed_; }
+
+ private:
+  void ApplyEvent(const databus::Event& event);
+
+  const std::string database_;
+  SchemaRegistry* const registry_;
+  const EspressoRelay* const relay_;
+
+  mutable std::mutex mu_;
+  std::map<int, int64_t> applied_scn_;
+  std::map<std::string, invidx::InvertedIndex> indexes_;  // per table
+  int64_t documents_indexed_ = 0;
+};
+
+}  // namespace lidi::espresso
+
+#endif  // LIDI_ESPRESSO_GLOBAL_INDEX_H_

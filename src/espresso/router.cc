@@ -1,0 +1,187 @@
+#include "espresso/router.h"
+
+#include "common/coding.h"
+
+namespace lidi::espresso {
+
+Result<std::string> Router::RouteTo(const std::string& database,
+                                    const std::string& resource_id) {
+  auto db_schema = registry_->GetDatabase(database);
+  if (!db_schema.ok()) return db_schema.status();
+  const int partition = PartitionOf(db_schema.value(), resource_id);
+  const std::string master = helix_->MasterOf(database, partition);
+  if (master.empty()) {
+    return Status::Unavailable("no master for " + database + "/p" +
+                               std::to_string(partition));
+  }
+  return master;
+}
+
+Result<DocumentRecord> Router::GetRecord(const std::string& uri) {
+  auto parsed = ParseUri(uri);
+  if (!parsed.ok()) return parsed.status();
+  auto master = RouteTo(parsed.value().database, parsed.value().resource_id);
+  if (!master.ok()) return master.status();
+  std::string request;
+  EncodeGetRequest(parsed.value().database, parsed.value().table,
+                   parsed.value().DocumentKey(), &request);
+  auto response = network_->Call(name_, master.value(), "espresso.get", request);
+  if (!response.ok()) return response.status();
+  Slice input(response.value());
+  DocumentRecord record;
+  Status s = DecodeDocumentRecord(&input, &record);
+  if (!s.ok()) return s;
+  return record;
+}
+
+Result<std::optional<DocumentRecord>> Router::GetRecordIfModified(
+    const std::string& uri, const std::string& etag) {
+  auto parsed = ParseUri(uri);
+  if (!parsed.ok()) return parsed.status();
+  auto master = RouteTo(parsed.value().database, parsed.value().resource_id);
+  if (!master.ok()) return master.status();
+  std::string request;
+  EncodeGetRequest(parsed.value().database, parsed.value().table,
+                   parsed.value().DocumentKey(), &request);
+  PutLengthPrefixed(&request, etag);
+  auto response =
+      network_->Call(name_, master.value(), "espresso.get-cond", request);
+  if (!response.ok()) return response.status();
+  Slice input(response.value());
+  if (input.empty()) return Status::Corruption("empty conditional response");
+  const bool modified = input[0] != 0;
+  input.RemovePrefix(1);
+  if (!modified) return std::optional<DocumentRecord>(std::nullopt);
+  DocumentRecord record;
+  Status s = DecodeDocumentRecord(&input, &record);
+  if (!s.ok()) return s;
+  return std::optional<DocumentRecord>(std::move(record));
+}
+
+Result<avro::DatumPtr> Router::GetDocument(const std::string& uri) {
+  auto parsed = ParseUri(uri);
+  if (!parsed.ok()) return parsed.status();
+  auto record = GetRecord(uri);
+  if (!record.ok()) return record.status();
+  auto writer = registry_->GetDocumentSchema(parsed.value().database,
+                                             parsed.value().table,
+                                             record.value().schema_version);
+  if (!writer.ok()) return writer.status();
+  auto latest = registry_->LatestDocumentSchema(parsed.value().database,
+                                                parsed.value().table);
+  if (!latest.ok()) return latest.status();
+  Slice payload(record.value().payload);
+  return avro::DecodeResolved(*writer.value(), *latest.value().second,
+                              &payload);
+}
+
+Result<std::string> Router::EncodeDatum(const std::string& database,
+                                        const std::string& table,
+                                        const avro::Datum& document,
+                                        int* schema_version) {
+  auto latest = registry_->LatestDocumentSchema(database, table);
+  if (!latest.ok()) return latest.status();
+  std::string payload;
+  Status s = avro::Encode(*latest.value().second, document, &payload);
+  if (!s.ok()) return s;
+  *schema_version = latest.value().first;
+  return payload;
+}
+
+Result<std::string> Router::PutDocument(const std::string& uri,
+                                        const avro::Datum& document,
+                                        const std::string& expected_etag) {
+  auto parsed = ParseUri(uri);
+  if (!parsed.ok()) return parsed.status();
+  auto master = RouteTo(parsed.value().database, parsed.value().resource_id);
+  if (!master.ok()) return master.status();
+
+  DocumentRecord record;
+  auto payload = EncodeDatum(parsed.value().database, parsed.value().table,
+                             document, &record.schema_version);
+  if (!payload.ok()) return payload.status();
+  record.payload = std::move(payload.value());
+
+  std::string request;
+  EncodePutRequest(parsed.value().database, parsed.value().table,
+                   parsed.value().DocumentKey(), record, expected_etag,
+                   &request);
+  return network_->Call(name_, master.value(), "espresso.put", request);
+}
+
+Status Router::DeleteDocument(const std::string& uri) {
+  auto parsed = ParseUri(uri);
+  if (!parsed.ok()) return parsed.status();
+  auto master = RouteTo(parsed.value().database, parsed.value().resource_id);
+  if (!master.ok()) return master.status();
+  std::string request;
+  EncodeGetRequest(parsed.value().database, parsed.value().table,
+                   parsed.value().DocumentKey(), &request);
+  return network_->Call(name_, master.value(), "espresso.delete", request)
+      .status();
+}
+
+Result<std::vector<std::pair<std::string, avro::DatumPtr>>> Router::Query(
+    const std::string& uri) {
+  auto parsed = ParseUri(uri);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed.value().query.empty()) {
+    return Status::InvalidArgument("missing ?query= parameter");
+  }
+  auto master = RouteTo(parsed.value().database, parsed.value().resource_id);
+  if (!master.ok()) return master.status();
+  std::string request;
+  EncodeQueryRequest(parsed.value().database, parsed.value().table,
+                     parsed.value().resource_id, parsed.value().query,
+                     &request);
+  auto response =
+      network_->Call(name_, master.value(), "espresso.query", request);
+  if (!response.ok()) return response.status();
+  std::vector<std::pair<std::string, DocumentRecord>> records;
+  Status s = DecodeQueryResponse(response.value(), &records);
+  if (!s.ok()) return s;
+
+  auto latest = registry_->LatestDocumentSchema(parsed.value().database,
+                                                parsed.value().table);
+  if (!latest.ok()) return latest.status();
+  std::vector<std::pair<std::string, avro::DatumPtr>> out;
+  for (const auto& [key, record] : records) {
+    auto writer = registry_->GetDocumentSchema(
+        parsed.value().database, parsed.value().table, record.schema_version);
+    if (!writer.ok()) continue;
+    Slice payload(record.payload);
+    auto datum = avro::DecodeResolved(*writer.value(), *latest.value().second,
+                                      &payload);
+    if (datum.ok()) out.emplace_back(key, std::move(datum.value()));
+  }
+  return out;
+}
+
+Status Router::PostTransaction(const std::string& database,
+                               const std::string& resource_id,
+                               const std::vector<TxnUpdate>& updates) {
+  auto master = RouteTo(database, resource_id);
+  if (!master.ok()) return master.status();
+  std::vector<DocumentUpdate> encoded;
+  for (const TxnUpdate& update : updates) {
+    DocumentUpdate u;
+    u.table = update.table;
+    u.key = update.key;
+    if (update.document == nullptr) {
+      u.is_delete = true;
+    } else {
+      auto payload =
+          EncodeDatum(database, update.table, *update.document,
+                      &u.schema_version);
+      if (!payload.ok()) return payload.status();
+      u.payload = std::move(payload.value());
+    }
+    encoded.push_back(std::move(u));
+  }
+  std::string request;
+  EncodeTxnRequest(database, resource_id, encoded, &request);
+  return network_->Call(name_, master.value(), "espresso.txn", request)
+      .status();
+}
+
+}  // namespace lidi::espresso

@@ -1,0 +1,91 @@
+#ifndef LIDI_ESPRESSO_ROUTER_H_
+#define LIDI_ESPRESSO_ROUTER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "avro/codec.h"
+#include "espresso/document.h"
+#include "espresso/schema.h"
+#include "espresso/uri.h"
+#include "helix/helix.h"
+#include "net/network.h"
+
+namespace lidi::espresso {
+
+/// The Espresso router (paper Section IV.B): accepts requests addressed by
+/// URI, retrieves the routing function from the database schema, applies it
+/// to the resource_id to compute the partition, consults the routing table
+/// maintained by the cluster manager (Helix) for the partition master, and
+/// forwards the request there.
+///
+/// This class is both the router tier and the client library: applications
+/// call it with URIs and Datums.
+class Router {
+ public:
+  Router(std::string name, SchemaRegistry* registry,
+         helix::HelixController* helix, net::Network* network)
+      : name_(std::move(name)),
+        registry_(registry),
+        helix_(helix),
+        network_(network) {}
+
+  /// GET /db/table/resource_id[/sub...]: the raw stored record.
+  Result<DocumentRecord> GetRecord(const std::string& uri);
+
+  /// Conditional GET (If-None-Match): when `etag` still matches the stored
+  /// document, returns std::nullopt without shipping the payload; otherwise
+  /// the fresh record. Paper Table IV.1: etag/timestamp exist exactly for
+  /// conditional HTTP requests.
+  Result<std::optional<DocumentRecord>> GetRecordIfModified(
+      const std::string& uri, const std::string& etag);
+
+  /// GET returning the document decoded against the latest schema version
+  /// (schema resolution promotes old documents transparently).
+  Result<avro::DatumPtr> GetDocument(const std::string& uri);
+
+  /// PUT a document (encoded against the latest schema). `expected_etag`
+  /// non-empty makes the request conditional. Returns the new etag.
+  Result<std::string> PutDocument(const std::string& uri,
+                                  const avro::Datum& document,
+                                  const std::string& expected_etag = "");
+
+  Status DeleteDocument(const std::string& uri);
+
+  /// GET /db/table/resource_id?query=field:"..." — secondary-index query
+  /// over a collection resource. Returns (document key, decoded document).
+  Result<std::vector<std::pair<std::string, avro::DatumPtr>>> Query(
+      const std::string& uri);
+
+  /// POST a transaction: all updates share `resource_id` (possibly across
+  /// tables in the database) and commit atomically. Documents are encoded
+  /// against each table's latest schema.
+  struct TxnUpdate {
+    std::string table;
+    std::string key;  // full document key under the shared resource_id
+    const avro::Datum* document = nullptr;  // null = delete
+  };
+  Status PostTransaction(const std::string& database,
+                         const std::string& resource_id,
+                         const std::vector<TxnUpdate>& updates);
+
+  /// The storage node currently mastering a document's partition.
+  Result<std::string> RouteTo(const std::string& database,
+                              const std::string& resource_id);
+
+ private:
+  Result<std::string> EncodeDatum(const std::string& database,
+                                  const std::string& table,
+                                  const avro::Datum& document,
+                                  int* schema_version);
+
+  const std::string name_;
+  SchemaRegistry* const registry_;
+  helix::HelixController* const helix_;
+  net::Network* const network_;
+};
+
+}  // namespace lidi::espresso
+
+#endif  // LIDI_ESPRESSO_ROUTER_H_

@@ -1,0 +1,84 @@
+#include "espresso/uri.h"
+
+#include <cstdlib>
+
+namespace lidi::espresso {
+
+namespace {
+
+std::string UrlDecode(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out += ' ';
+    } else if (in[i] == '%' && i + 2 < in.size()) {
+      const char hex[3] = {in[i + 1], in[i + 2], 0};
+      out += static_cast<char>(std::strtoul(hex, nullptr, 16));
+      i += 2;
+    } else {
+      out += in[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ParsedUri::DocumentKey() const {
+  std::string key = resource_id;
+  for (const std::string& sub : subresources) {
+    key += '/';
+    key += sub;
+  }
+  return key;
+}
+
+std::string ParsedUri::Path() const {
+  return "/" + database + "/" + table + "/" + DocumentKey();
+}
+
+Result<ParsedUri> ParseUri(const std::string& uri) {
+  if (uri.empty() || uri[0] != '/') {
+    return Status::InvalidArgument("URI must start with '/'");
+  }
+  std::string path = uri;
+  ParsedUri parsed;
+  const size_t qmark = path.find('?');
+  if (qmark != std::string::npos) {
+    const std::string query_string = path.substr(qmark + 1);
+    path = path.substr(0, qmark);
+    // Extract the query= parameter.
+    size_t pos = 0;
+    while (pos < query_string.size()) {
+      size_t amp = query_string.find('&', pos);
+      if (amp == std::string::npos) amp = query_string.size();
+      const std::string param = query_string.substr(pos, amp - pos);
+      if (param.rfind("query=", 0) == 0) {
+        parsed.query = UrlDecode(param.substr(6));
+      }
+      pos = amp + 1;
+    }
+  }
+
+  std::vector<std::string> segments;
+  size_t start = 1;
+  while (start <= path.size()) {
+    size_t slash = path.find('/', start);
+    if (slash == std::string::npos) slash = path.size();
+    if (slash > start) segments.push_back(path.substr(start, slash - start));
+    start = slash + 1;
+  }
+  if (segments.size() < 2) {
+    return Status::InvalidArgument("URI needs at least /database/table");
+  }
+  parsed.database = segments[0];
+  parsed.table = segments[1];
+  if (segments.size() >= 3) {
+    parsed.resource_id = segments[2];
+    parsed.subresources.assign(segments.begin() + 3, segments.end());
+  }
+  return parsed;
+}
+
+}  // namespace lidi::espresso

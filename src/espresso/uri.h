@@ -1,0 +1,36 @@
+#ifndef LIDI_ESPRESSO_URI_H_
+#define LIDI_ESPRESSO_URI_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lidi::espresso {
+
+/// A parsed Espresso document URI (paper Section IV.A):
+///   /<database>/<table>/<resource_id>[/<subresource_id>...][?query=...]
+struct ParsedUri {
+  std::string database;
+  std::string table;
+  std::string resource_id;
+  std::vector<std::string> subresources;
+  std::string query;  // the value of the ?query= parameter, if any
+
+  /// Storage key for the document: resource_id and subresources joined with
+  /// '/', e.g. "Etta_James/Gold/At_Last".
+  std::string DocumentKey() const;
+
+  /// Reassembles the canonical path (no query string).
+  std::string Path() const;
+};
+
+/// Parses a URI path. The path must have at least /db/table/resource_id;
+/// additional segments become subresource ids. A trailing "?query=..." is
+/// URL-decoded into `query` (only %XX and '+' decoding; enough for the
+/// bench/test corpus).
+Result<ParsedUri> ParseUri(const std::string& uri);
+
+}  // namespace lidi::espresso
+
+#endif  // LIDI_ESPRESSO_URI_H_

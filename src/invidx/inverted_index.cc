@@ -1,0 +1,218 @@
+#include "invidx/inverted_index.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace lidi::invidx {
+
+std::vector<std::string> Tokenize(Slice text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (std::isalnum(c)) {
+      current += static_cast<char>(std::tolower(c));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+Result<Query> Query::Parse(const std::string& text) {
+  Query query;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i >= n) break;
+    // field name up to ':'
+    const size_t colon = text.find(':', i);
+    if (colon == std::string::npos || colon == i) {
+      return Status::InvalidArgument("expected field:value at '" +
+                                     text.substr(i) + "'");
+    }
+    Clause clause;
+    clause.field = text.substr(i, colon - i);
+    i = colon + 1;
+    if (i < n && text[i] == '"') {
+      const size_t close = text.find('"', i + 1);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument("unterminated phrase");
+      }
+      clause.text = text.substr(i + 1, close - i - 1);
+      clause.phrase = true;
+      i = close + 1;
+    } else {
+      size_t end = i;
+      while (end < n && !std::isspace(static_cast<unsigned char>(text[end]))) {
+        ++end;
+      }
+      clause.text = text.substr(i, end - i);
+      i = end;
+    }
+    if (clause.text.empty()) {
+      return Status::InvalidArgument("empty clause value for field " +
+                                     clause.field);
+    }
+    query.clauses.push_back(std::move(clause));
+  }
+  if (query.clauses.empty()) return Status::InvalidArgument("empty query");
+  return query;
+}
+
+std::string InvertedIndex::TermKey(const std::string& field,
+                                   const std::string& token) {
+  std::string key = field;
+  key.push_back('\0');
+  key += token;
+  return key;
+}
+
+void InvertedIndex::IndexDocument(
+    const std::string& doc_id, const std::map<std::string, std::string>& fields,
+    const std::set<std::string>& text_fields) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-index: drop the previous postings for this doc.
+  auto prev = doc_terms_.find(doc_id);
+  if (prev != doc_terms_.end()) {
+    for (const std::string& term : prev->second) {
+      auto it = postings_.find(term);
+      if (it != postings_.end()) {
+        it->second.erase(doc_id);
+        if (it->second.empty()) postings_.erase(it);
+      }
+    }
+    prev->second.clear();
+  }
+  std::set<std::string>& terms = doc_terms_[doc_id];
+  for (const auto& [field, value] : fields) {
+    if (text_fields.count(field) > 0) {
+      const std::vector<std::string> tokens = Tokenize(value);
+      for (size_t pos = 0; pos < tokens.size(); ++pos) {
+        const std::string term = TermKey(field, tokens[pos]);
+        postings_[term][doc_id].push_back(static_cast<int>(pos));
+        terms.insert(term);
+      }
+    } else {
+      // Keyword field: one lowercase term for the whole value.
+      std::string token;
+      token.reserve(value.size());
+      for (char c : value) {
+        token += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      const std::string term = TermKey(field, token);
+      postings_[term][doc_id].push_back(0);
+      terms.insert(term);
+    }
+  }
+}
+
+void InvertedIndex::RemoveDocument(const std::string& doc_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = doc_terms_.find(doc_id);
+  if (it == doc_terms_.end()) return;
+  for (const std::string& term : it->second) {
+    auto pit = postings_.find(term);
+    if (pit != postings_.end()) {
+      pit->second.erase(doc_id);
+      if (pit->second.empty()) postings_.erase(pit);
+    }
+  }
+  doc_terms_.erase(it);
+}
+
+Result<std::map<std::string, std::vector<int>>>
+InvertedIndex::MatchClauseLocked(const Query::Clause& clause) const {
+  const std::vector<std::string> tokens = Tokenize(clause.text);
+  if (tokens.empty()) return Status::InvalidArgument("no tokens in clause");
+
+  // Keyword fields store the whole (lowercased) value as a single term, so
+  // any clause — quoted or not — may hit that representation. Try the exact
+  // keyword term first.
+  {
+    std::string keyword;
+    for (char c : clause.text) {
+      keyword +=
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    auto it = postings_.find(TermKey(clause.field, keyword));
+    if (it != postings_.end()) return it->second;
+  }
+  if (!clause.phrase && tokens.size() == 1) {
+    auto tit = postings_.find(TermKey(clause.field, tokens[0]));
+    if (tit != postings_.end()) return tit->second;
+    return std::map<std::string, std::vector<int>>{};
+  }
+
+  // Phrase (or multi-token) match on a text field: all tokens present with
+  // consecutive positions.
+  auto first = postings_.find(TermKey(clause.field, tokens[0]));
+  if (first == postings_.end()) {
+    return std::map<std::string, std::vector<int>>{};
+  }
+  std::map<std::string, std::vector<int>> result;
+  for (const auto& [doc, start_positions] : first->second) {
+    std::vector<int> match_starts;
+    for (int start : start_positions) {
+      bool all = true;
+      for (size_t t = 1; t < tokens.size(); ++t) {
+        auto tit = postings_.find(TermKey(clause.field, tokens[t]));
+        if (tit == postings_.end()) {
+          all = false;
+          break;
+        }
+        auto dit = tit->second.find(doc);
+        if (dit == tit->second.end() ||
+            !std::binary_search(dit->second.begin(), dit->second.end(),
+                                start + static_cast<int>(t))) {
+          all = false;
+          break;
+        }
+      }
+      if (all) match_starts.push_back(start);
+    }
+    if (!match_starts.empty()) result[doc] = std::move(match_starts);
+  }
+  return result;
+}
+
+Result<std::vector<std::string>> InvertedIndex::Search(
+    const Query& query) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (query.clauses.empty()) return Status::InvalidArgument("empty query");
+  std::set<std::string> docs;
+  for (size_t i = 0; i < query.clauses.size(); ++i) {
+    auto matched = MatchClauseLocked(query.clauses[i]);
+    if (!matched.ok()) return matched.status();
+    std::set<std::string> clause_docs;
+    for (const auto& [doc, positions] : matched.value()) {
+      clause_docs.insert(doc);
+    }
+    if (i == 0) {
+      docs = std::move(clause_docs);
+    } else {
+      std::set<std::string> intersection;
+      std::set_intersection(docs.begin(), docs.end(), clause_docs.begin(),
+                            clause_docs.end(),
+                            std::inserter(intersection, intersection.end()));
+      docs = std::move(intersection);
+    }
+    if (docs.empty()) break;
+  }
+  return std::vector<std::string>(docs.begin(), docs.end());
+}
+
+int64_t InvertedIndex::document_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(doc_terms_.size());
+}
+
+int64_t InvertedIndex::term_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(postings_.size());
+}
+
+}  // namespace lidi::invidx

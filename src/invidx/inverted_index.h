@@ -1,0 +1,77 @@
+#ifndef LIDI_INVIDX_INVERTED_INDEX_H_
+#define LIDI_INVIDX_INVERTED_INDEX_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace lidi::invidx {
+
+/// Lowercases and splits on non-alphanumeric characters. "Lucy in the Sky"
+/// -> ["lucy", "in", "the", "sky"].
+std::vector<std::string> Tokenize(Slice text);
+
+/// A parsed query: a conjunction (AND) of clauses. Each clause constrains
+/// one field, either to an exact keyword value or to a token/phrase match on
+/// a free-text-indexed field.
+struct Query {
+  struct Clause {
+    std::string field;
+    std::string text;
+    bool phrase = false;  // quoted: tokens must appear consecutively
+  };
+  std::vector<Clause> clauses;
+
+  /// Parses the HTTP query-parameter syntax of the paper (Section IV.A):
+  ///   lyrics:"Lucy in the sky"            (phrase on a text field)
+  ///   artist:Akon year:2004               (conjunction of terms)
+  static Result<Query> Parse(const std::string& text);
+};
+
+/// An in-memory inverted index with positional postings — the local
+/// secondary index substrate standing in for Lucene (see DESIGN.md). One
+/// instance indexes the documents of one Espresso partition.
+///
+/// Fields are registered as keyword fields (the value is a single term,
+/// matched exactly after lowercasing) or text fields (tokenized, positional,
+/// supporting phrase queries). Thread-safe.
+class InvertedIndex {
+ public:
+  /// Indexes (or re-indexes) a document. `fields` maps field name to its
+  /// textual value; fields named in `text_fields` are tokenized.
+  void IndexDocument(const std::string& doc_id,
+                     const std::map<std::string, std::string>& fields,
+                     const std::set<std::string>& text_fields);
+
+  void RemoveDocument(const std::string& doc_id);
+
+  /// Documents matching every clause, sorted by doc id.
+  Result<std::vector<std::string>> Search(const Query& query) const;
+
+  int64_t document_count() const;
+  int64_t term_count() const;
+
+ private:
+  /// term key: field '\0' token
+  static std::string TermKey(const std::string& field,
+                             const std::string& token);
+
+  /// Docs (with positions) matching one clause; requires mu_ held.
+  Result<std::map<std::string, std::vector<int>>> MatchClauseLocked(
+      const Query::Clause& clause) const;
+
+  mutable std::mutex mu_;
+  // term key -> doc id -> token positions
+  std::map<std::string, std::map<std::string, std::vector<int>>> postings_;
+  // doc id -> term keys it contributes to (for removal)
+  std::map<std::string, std::set<std::string>> doc_terms_;
+};
+
+}  // namespace lidi::invidx
+
+#endif  // LIDI_INVIDX_INVERTED_INDEX_H_

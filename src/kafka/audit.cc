@@ -1,0 +1,88 @@
+#include "kafka/audit.h"
+
+#include "common/coding.h"
+
+namespace lidi::kafka {
+
+std::string AuditEvent::Encode() const {
+  std::string out;
+  PutLengthPrefixed(&out, producer);
+  PutLengthPrefixed(&out, topic);
+  PutVarint64(&out, static_cast<uint64_t>(window_start_ms));
+  PutVarint64(&out, static_cast<uint64_t>(count));
+  return out;
+}
+
+Result<AuditEvent> AuditEvent::Decode(Slice input) {
+  AuditEvent event;
+  Slice producer, topic;
+  uint64_t window, count;
+  if (!GetLengthPrefixed(&input, &producer) ||
+      !GetLengthPrefixed(&input, &topic) || !GetVarint64(&input, &window) ||
+      !GetVarint64(&input, &count)) {
+    return Status::Corruption("truncated audit event");
+  }
+  event.producer = producer.ToString();
+  event.topic = topic.ToString();
+  event.window_start_ms = static_cast<int64_t>(window);
+  event.count = static_cast<int64_t>(count);
+  return event;
+}
+
+void ProducerAudit::RecordProduced(const std::string& topic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t window = clock_->NowMillis() / window_ms_ * window_ms_;
+  pending_[{topic, window}]++;
+}
+
+int ProducerAudit::EmitLocked(bool force) {
+  const int64_t current_window = clock_->NowMillis() / window_ms_ * window_ms_;
+  int emitted = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const auto& [key, count] = *it;
+    if (!force && key.second >= current_window) {
+      ++it;
+      continue;  // window still open
+    }
+    AuditEvent event{name_, key.first, key.second, count};
+    if (producer_->Send(kAuditTopic, event.Encode()).ok()) {
+      ++emitted;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return emitted;
+}
+
+int ProducerAudit::MaybeEmit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EmitLocked(/*force=*/false);
+}
+
+int ProducerAudit::ForceEmit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EmitLocked(/*force=*/true);
+}
+
+Status AuditValidator::IngestAuditMessages(
+    const std::vector<Message>& messages) {
+  for (const Message& message : messages) {
+    auto event = AuditEvent::Decode(message.payload);
+    if (!event.ok()) return event.status();
+    produced_[event.value().topic] += event.value().count;
+  }
+  return Status::OK();
+}
+
+int64_t AuditValidator::ProducedCount(const std::string& topic) const {
+  auto it = produced_.find(topic);
+  return it == produced_.end() ? 0 : it->second;
+}
+
+int64_t AuditValidator::ConsumedCount(const std::string& topic) const {
+  auto it = consumed_.find(topic);
+  return it == consumed_.end() ? 0 : it->second;
+}
+
+}  // namespace lidi::kafka

@@ -1,0 +1,115 @@
+#ifndef LIDI_KAFKA_BROKER_H_
+#define LIDI_KAFKA_BROKER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "kafka/log.h"
+#include "net/network.h"
+#include "zk/zookeeper.h"
+
+namespace lidi::kafka {
+
+/// How the broker moves bytes from the log to the consumer socket — the
+/// efficient-transfer ablation of Section V.B. kFourCopy models the typical
+/// path (page cache -> application buffer -> kernel socket buffer -> NIC: 4
+/// copies, 2 syscalls); kSendfile models the sendfile API (direct file
+/// channel -> socket channel: 2 copies, 1 syscall). The simulated DMA copies
+/// are performed for real so the bench measures actual memory bandwidth.
+enum class TransferMode { kFourCopy, kSendfile };
+
+struct TransferStats {
+  int64_t bytes_copied = 0;  // total memcpy traffic incurred
+  int64_t syscalls = 0;      // simulated syscall count
+  int64_t fetches = 0;
+};
+
+struct BrokerOptions {
+  LogOptions log;
+  TransferMode transfer_mode = TransferMode::kSendfile;
+  /// Zookeeper chroot for this cluster; a second cluster (e.g. the offline
+  /// mirror, Section V.D) uses a different root.
+  std::string zk_root = "/kafka";
+};
+
+/// A Kafka broker (paper Section V.A): stores the partitions of topics as
+/// logs, serves producer appends and consumer pulls. Brokers keep no
+/// consumer state (V.B) — consumers track their own offsets.
+///
+/// On startup the broker registers itself in Zookeeper
+/// (/kafka/brokers/ids/<id>, ephemeral) and advertises topic partition
+/// counts under /kafka/brokers/topics/<topic>/<id>.
+///
+/// RPC: kafka.produce {topic, partition, set bytes},
+///      kafka.fetch {topic, partition, offset, max_bytes} -> set bytes.
+class Broker {
+ public:
+  Broker(int id, zk::ZooKeeper* zookeeper, net::Network* network,
+         const Clock* clock, BrokerOptions options = {});
+  ~Broker();
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  int id() const { return id_; }
+  const net::Address& address() const { return address_; }
+
+  /// Creates a topic with `partitions` partitions on this broker and
+  /// advertises it in Zookeeper.
+  Status CreateTopic(const std::string& topic, int partitions);
+
+  /// Direct (in-process) produce/fetch paths; the RPC handlers forward here.
+  Result<int64_t> Produce(const std::string& topic, int partition,
+                          Slice message_set);
+  Result<std::string> Fetch(const std::string& topic, int partition,
+                            int64_t offset, int64_t max_bytes);
+
+  PartitionLog* GetLog(const std::string& topic, int partition);
+
+  /// Flushes every partition log (tests; production uses the flush policy).
+  void FlushAll();
+
+  /// Runs the retention janitor over all logs. Returns segments deleted.
+  int EnforceRetention();
+
+  TransferStats transfer_stats() const;
+
+  /// Simulated crash/restart: deregisters from zk (ephemeral vanishes).
+  void Shutdown();
+
+ private:
+  Result<std::string> HandleProduce(Slice request);
+  Result<std::string> HandleFetch(Slice request);
+
+  const int id_;
+  zk::ZooKeeper* const zookeeper_;
+  net::Network* const network_;
+  const Clock* const clock_;
+  const BrokerOptions options_;
+  const net::Address address_;
+  zk::SessionId session_;
+
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, int>, std::unique_ptr<PartitionLog>> logs_;
+  TransferStats transfer_stats_;
+};
+
+/// Canonical broker address on the simulated network.
+net::Address BrokerAddress(int id);
+
+/// Produce/fetch request codecs (shared with producer/consumer).
+void EncodeProduceRequest(Slice topic, int partition, Slice message_set,
+                          std::string* out);
+Status DecodeProduceRequest(Slice input, std::string* topic, int* partition,
+                            std::string* message_set);
+void EncodeFetchRequest(Slice topic, int partition, int64_t offset,
+                        int64_t max_bytes, std::string* out);
+Status DecodeFetchRequest(Slice input, std::string* topic, int* partition,
+                          int64_t* offset, int64_t* max_bytes);
+
+}  // namespace lidi::kafka
+
+#endif  // LIDI_KAFKA_BROKER_H_

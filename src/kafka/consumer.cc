@@ -1,0 +1,268 @@
+#include "kafka/consumer.h"
+
+#include <algorithm>
+
+#include "kafka/broker.h"
+
+namespace lidi::kafka {
+
+Consumer::Consumer(std::string consumer_id, std::string group,
+                   zk::ZooKeeper* zookeeper, net::Network* network,
+                   ConsumerOptions options)
+    : id_(std::move(consumer_id)),
+      group_(std::move(group)),
+      zookeeper_(zookeeper),
+      network_(network),
+      options_(std::move(options)) {
+  session_ = zookeeper_->CreateSession();
+  const std::string base = options_.zk_root + "/consumers/" + group_;
+  zookeeper_->CreateRecursive(session_, base + "/ids", "",
+                              zk::CreateMode::kPersistent);
+  zookeeper_->Create(session_, base + "/ids/" + id_, "",
+                     zk::CreateMode::kEphemeral);
+}
+
+Consumer::~Consumer() { Close(); }
+
+void Consumer::Close() {
+  if (closed_) return;
+  closed_ = true;
+  zookeeper_->CloseSession(session_);
+}
+
+std::string Consumer::OwnerPath(const std::string& topic,
+                                const TopicPartition& tp) const {
+  return options_.zk_root + "/consumers/" + group_ + "/owners/" + topic + "/" +
+         std::to_string(tp.broker_id) + "-" + std::to_string(tp.partition);
+}
+
+std::string Consumer::OffsetPath(const std::string& topic,
+                                 const TopicPartition& tp) const {
+  return options_.zk_root + "/consumers/" + group_ + "/offsets/" + topic +
+         "/" + std::to_string(tp.broker_id) + "-" +
+         std::to_string(tp.partition);
+}
+
+Result<std::vector<TopicPartition>> Consumer::AllPartitions(
+    const std::string& topic) {
+  auto brokers =
+      zookeeper_->GetChildren(options_.zk_root + "/brokers/topics/" + topic);
+  if (!brokers.ok()) return Status::NotFound("topic not advertised: " + topic);
+  std::vector<TopicPartition> partitions;
+  for (const std::string& broker : brokers.value()) {
+    auto count = zookeeper_->Get(options_.zk_root + "/brokers/topics/" +
+                                 topic + "/" + broker);
+    if (!count.ok()) continue;
+    const int n = std::atoi(count.value().c_str());
+    for (int p = 0; p < n; ++p) {
+      partitions.push_back(TopicPartition{std::atoi(broker.c_str()), p});
+    }
+  }
+  std::sort(partitions.begin(), partitions.end());
+  return partitions;
+}
+
+Status Consumer::Subscribe(const std::string& topic) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    topics_.insert(topic);
+  }
+  return Rebalance(topic);
+}
+
+Status Consumer::Rebalance(const std::string& topic) {
+  // Read current group membership and partition space, leaving watches that
+  // mark a rebalance pending on the next change.
+  const std::string ids_path =
+      options_.zk_root + "/consumers/" + group_ + "/ids";
+  auto members = zookeeper_->GetChildren(
+      ids_path, [this](const zk::WatchEvent&) { rebalance_needed_ = true; },
+      session_);
+  if (!members.ok()) return members.status();
+  zookeeper_->GetChildren(
+      options_.zk_root + "/brokers/topics/" + topic,
+      [this](const zk::WatchEvent&) { rebalance_needed_ = true; }, session_);
+
+  auto partitions = AllPartitions(topic);
+  if (!partitions.ok()) return partitions.status();
+
+  // Range assignment (as in Kafka): sort consumers and partitions; each
+  // consumer takes a contiguous chunk.
+  std::vector<std::string> consumers = members.value();
+  std::sort(consumers.begin(), consumers.end());
+  const auto self =
+      std::find(consumers.begin(), consumers.end(), id_);
+  if (self == consumers.end()) {
+    return Status::Unavailable("consumer not registered in group");
+  }
+  const int index = static_cast<int>(self - consumers.begin());
+  const int num_consumers = static_cast<int>(consumers.size());
+  const int num_partitions = static_cast<int>(partitions.value().size());
+  const int chunk = (num_partitions + num_consumers - 1) / num_consumers;
+  const int begin = std::min(index * chunk, num_partitions);
+  const int end = std::min(begin + chunk, num_partitions);
+
+  std::vector<TopicPartition> target(partitions.value().begin() + begin,
+                                     partitions.value().begin() + end);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rebalance_count_;
+  // Release partitions we no longer own.
+  for (const TopicPartition& tp : owned_[topic]) {
+    if (std::find(target.begin(), target.end(), tp) == target.end()) {
+      zookeeper_->Delete(OwnerPath(topic, tp));
+    }
+  }
+  // Claim the new set; failures (previous owner not released yet) leave the
+  // partition out of this round — the watch fires again when it frees up.
+  std::vector<TopicPartition> claimed;
+  for (const TopicPartition& tp : target) {
+    const std::string path = OwnerPath(topic, tp);
+    if (zookeeper_->Exists(path)) {
+      auto owner = zookeeper_->Get(path);
+      if (owner.ok() && owner.value() == id_) {
+        claimed.push_back(tp);
+        continue;
+      }
+      rebalance_needed_ = true;  // try again next poll
+      continue;
+    }
+    Status s = zookeeper_->CreateRecursive(session_, path, id_,
+                                           zk::CreateMode::kEphemeral);
+    if (s.ok()) {
+      claimed.push_back(tp);
+      // Resume from the committed offset, if any.
+      auto offset = zookeeper_->Get(OffsetPath(topic, tp));
+      auto key = std::make_pair(topic, tp);
+      if (offsets_.count(key) == 0) {
+        offsets_[key] = offset.ok() ? std::atoll(offset.value().c_str()) : 0;
+      }
+    } else {
+      rebalance_needed_ = true;
+    }
+  }
+  owned_[topic] = std::move(claimed);
+  return Status::OK();
+}
+
+std::vector<TopicPartition> Consumer::OwnedPartitions(
+    const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owned_.find(topic);
+  return it == owned_.end() ? std::vector<TopicPartition>{} : it->second;
+}
+
+Result<std::vector<Message>> Consumer::Poll(const std::string& topic) {
+  return PollStream(topic, 0, 1);
+}
+
+std::vector<Consumer::MessageStream> Consumer::CreateMessageStreams(
+    const std::string& topic, int n) {
+  std::vector<MessageStream> streams;
+  streams.reserve(n);
+  for (int i = 0; i < n; ++i) streams.emplace_back(this, topic, i, n);
+  return streams;
+}
+
+Result<std::vector<Message>> Consumer::PollStream(const std::string& topic,
+                                                  int stream_index,
+                                                  int stream_count) {
+  if (rebalance_needed_.exchange(false)) {
+    Status s = Rebalance(topic);
+    if (!s.ok()) return s;
+  }
+  std::vector<TopicPartition> owned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // This stream's slice: every stream_count-th owned partition.
+    const auto& all = owned_[topic];
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (static_cast<int>(i % stream_count) == stream_index) {
+        owned.push_back(all[i]);
+      }
+    }
+  }
+  std::vector<Message> out;
+  if (owned.empty()) return out;
+
+  size_t cursor;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cursor = poll_cursor_[topic]++;
+  }
+  // Round-robin over owned partitions; one fetch per Poll keeps latency
+  // predictable and exercises the async-pull model.
+  for (size_t attempt = 0; attempt < owned.size(); ++attempt) {
+    const TopicPartition tp = owned[(cursor + attempt) % owned.size()];
+    int64_t offset;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      offset = offsets_[{topic, tp}];
+    }
+    std::string request;
+    EncodeFetchRequest(topic, tp.partition, offset, options_.max_fetch_bytes,
+                       &request);
+    auto response = network_->Call(id_, BrokerAddress(tp.broker_id),
+                                   "kafka.fetch", request);
+    if (!response.ok()) {
+      if (response.status().IsNotFound()) {
+        // Offset expired under retention: restart from the log head. (The
+        // consumer owns its position; this is the documented recovery.)
+        std::string bounds_request;
+        EncodeProduceRequest(topic, tp.partition, "", &bounds_request);
+        auto bounds = network_->Call(id_, BrokerAddress(tp.broker_id),
+                                     "kafka.offset-bounds", bounds_request);
+        if (bounds.ok()) {
+          std::lock_guard<std::mutex> lock(mu_);
+          offsets_[{topic, tp}] = std::atoll(bounds.value().c_str());
+        }
+        continue;
+      }
+      return response.status();
+    }
+    if (response.value().empty()) continue;
+    MessageSetIterator it(response.value(), offset);
+    Message message;
+    while (it.Next(&message)) {
+      out.push_back(message);
+      messages_consumed_.fetch_add(1);
+    }
+    if (!it.status().ok()) return it.status();
+    std::lock_guard<std::mutex> lock(mu_);
+    offsets_[{topic, tp}] = it.next_fetch_offset();
+    if (!out.empty()) return out;
+  }
+  return out;
+}
+
+Result<std::vector<Message>> Consumer::PollUntilData(const std::string& topic,
+                                                     int max_polls) {
+  for (int i = 0; i < max_polls; ++i) {
+    auto r = Poll(topic);
+    if (!r.ok()) return r;
+    if (!r.value().empty()) return r;
+  }
+  return std::vector<Message>{};
+}
+
+Status Consumer::CommitOffsets() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, offset] : offsets_) {
+    const std::string path = OffsetPath(key.first, key.second);
+    if (zookeeper_->Exists(path)) {
+      zookeeper_->Set(path, std::to_string(offset));
+    } else {
+      zookeeper_->CreateRecursive(session_, path, std::to_string(offset),
+                                  zk::CreateMode::kPersistent);
+    }
+  }
+  return Status::OK();
+}
+
+void Consumer::Seek(const std::string& topic, const TopicPartition& tp,
+                    int64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  offsets_[{topic, tp}] = offset;
+}
+
+}  // namespace lidi::kafka

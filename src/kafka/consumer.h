@@ -1,0 +1,173 @@
+#ifndef LIDI_KAFKA_CONSUMER_H_
+#define LIDI_KAFKA_CONSUMER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kafka/message.h"
+#include "kafka/producer.h"  // TopicPartition
+#include "net/network.h"
+#include "zk/zookeeper.h"
+
+namespace lidi::kafka {
+
+struct ConsumerOptions {
+  /// Max bytes per pull request ("typically hundreds of kilobytes", V.B).
+  int64_t max_fetch_bytes = 300 << 10;
+  std::string zk_root = "/kafka";
+};
+
+/// A Kafka consumer in a consumer group (paper Sections V.A/V.C). Consumers
+/// in a group jointly consume the subscribed topics — each partition is
+/// consumed by exactly one group member at a time; different groups each
+/// independently get the full stream.
+///
+/// Zookeeper is used for (1) detecting broker/consumer membership changes,
+/// (2) triggering rebalances, and (3) ownership and offset tracking:
+///   <root>/consumers/<group>/ids/<consumer>                 (ephemeral)
+///   <root>/consumers/<group>/owners/<topic>/<b>-<p>         (ephemeral)
+///   <root>/consumers/<group>/offsets/<topic>/<b>-<p>        (persistent)
+///
+/// Brokers keep no consumer state: the consumer tracks its own offsets and
+/// may rewind to re-consume (V.B).
+class Consumer {
+ public:
+  Consumer(std::string consumer_id, std::string group,
+           zk::ZooKeeper* zookeeper, net::Network* network,
+           ConsumerOptions options = {});
+  ~Consumer();
+
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
+
+  const std::string& id() const { return id_; }
+
+  /// Subscribes to a topic and performs the initial rebalance.
+  Status Subscribe(const std::string& topic);
+
+  /// Pulls the next batch of messages from the consumer's owned partitions
+  /// (round-robin across them). Empty vector = nothing new. Handles pending
+  /// rebalances (membership changed) transparently.
+  Result<std::vector<Message>> Poll(const std::string& topic);
+
+  /// Polls only this stream's share of the owned partitions: stream i of n
+  /// handles every n-th owned partition. Used by MessageStream.
+  Result<std::vector<Message>> PollStream(const std::string& topic,
+                                          int stream_index, int stream_count);
+
+  /// Blocking-iterator convenience: polls until at least one message or
+  /// `max_polls` empty rounds ("the message stream iterator never
+  /// terminates" — bounded here so tests cannot hang).
+  Result<std::vector<Message>> PollUntilData(const std::string& topic,
+                                             int max_polls = 100);
+
+  /// Persists current offsets to Zookeeper (consumers checkpoint their own
+  /// state; a restarted consumer resumes from the saved offsets).
+  Status CommitOffsets();
+
+  /// Re-runs the partition assignment now (normally triggered by watches).
+  Status Rebalance(const std::string& topic);
+
+  /// Deliberately rewinds a partition to an older offset to re-consume
+  /// (V.B: "a consumer can deliberately rewind back to an old offset").
+  void Seek(const std::string& topic, const TopicPartition& tp,
+            int64_t offset);
+
+  /// Partitions this consumer currently owns for the topic.
+  std::vector<TopicPartition> OwnedPartitions(const std::string& topic) const;
+
+  int64_t messages_consumed() const { return messages_consumed_; }
+  int rebalance_count() const { return rebalance_count_; }
+
+  /// Leaves the group (closes the zk session; ephemerals vanish and other
+  /// members rebalance).
+  void Close();
+
+  /// The paper's stream API (V.A, createMessageStreams): splits this
+  /// consumer's subscription into `n` sub-streams; messages are evenly
+  /// distributed across them (each stream serves a disjoint slice of the
+  /// consumer's owned partitions, so per-partition order is preserved
+  /// within a stream). Streams borrow the consumer; keep it alive.
+  class MessageStream;
+  std::vector<MessageStream> CreateMessageStreams(const std::string& topic,
+                                                  int n);
+
+ private:
+  Result<std::vector<TopicPartition>> AllPartitions(const std::string& topic);
+  std::string OwnerPath(const std::string& topic,
+                        const TopicPartition& tp) const;
+  std::string OffsetPath(const std::string& topic,
+                         const TopicPartition& tp) const;
+
+  const std::string id_;
+  const std::string group_;
+  zk::ZooKeeper* const zookeeper_;
+  net::Network* const network_;
+  const ConsumerOptions options_;
+  zk::SessionId session_;
+  bool closed_ = false;
+
+  mutable std::mutex mu_;
+  std::set<std::string> topics_;
+  std::map<std::string, std::vector<TopicPartition>> owned_;
+  std::map<std::pair<std::string, TopicPartition>, int64_t> offsets_;
+  std::map<std::string, size_t> poll_cursor_;  // round-robin position
+  std::atomic<bool> rebalance_needed_{false};
+  std::atomic<int64_t> messages_consumed_{0};
+  int rebalance_count_ = 0;
+};
+
+/// One sub-stream of a consumer's subscription. Iterator-flavoured: Next()
+/// blocks-by-polling until a message arrives or the poll budget runs out
+/// ("the message stream iterator never terminates" — bounded here so tests
+/// cannot hang).
+class Consumer::MessageStream {
+ public:
+  MessageStream(Consumer* consumer, std::string topic, int index, int count)
+      : consumer_(consumer),
+        topic_(std::move(topic)),
+        index_(index),
+        count_(count) {}
+
+  /// Non-blocking pull of this stream's share.
+  Result<std::vector<Message>> Poll() {
+    return consumer_->PollStream(topic_, index_, count_);
+  }
+
+  /// Blocking-iterator convenience: the next message, buffering any extras.
+  Result<Message> Next(int max_polls = 100) {
+    if (!buffer_.empty()) {
+      Message m = std::move(buffer_.front());
+      buffer_.erase(buffer_.begin());
+      return m;
+    }
+    for (int i = 0; i < max_polls; ++i) {
+      auto batch = Poll();
+      if (!batch.ok()) return batch.status();
+      if (batch.value().empty()) continue;
+      buffer_ = std::move(batch.value());
+      Message m = std::move(buffer_.front());
+      buffer_.erase(buffer_.begin());
+      return m;
+    }
+    return Status::Timeout("no message within the poll budget");
+  }
+
+  int index() const { return index_; }
+
+ private:
+  Consumer* consumer_;
+  std::string topic_;
+  int index_;
+  int count_;
+  std::vector<Message> buffer_;
+};
+
+}  // namespace lidi::kafka
+
+#endif  // LIDI_KAFKA_CONSUMER_H_

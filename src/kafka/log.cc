@@ -1,0 +1,225 @@
+#include "kafka/log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace lidi::kafka {
+
+std::string PartitionLog::SegmentPath(int64_t base_offset) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%020lld.log",
+                static_cast<long long>(base_offset));
+  return options_.data_dir + "/" + name;
+}
+
+void PartitionLog::RecoverFromDiskLocked() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(options_.data_dir, ec);
+  std::vector<int64_t> bases;
+  for (const auto& entry : fs::directory_iterator(options_.data_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() == 24 && name.substr(20) == ".log") {
+      bases.push_back(std::atoll(name.c_str()));
+    }
+  }
+  std::sort(bases.begin(), bases.end());
+  for (int64_t base : bases) {
+    std::ifstream in(SegmentPath(base), std::ios::binary);
+    if (!in) continue;
+    Segment segment;
+    segment.base_offset = base;
+    segment.data.assign(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+    segment.persisted_bytes = static_cast<int64_t>(segment.data.size());
+    segment.last_append_ms = clock_->NowMillis();
+    // Truncate a torn trailing entry (crash mid-write): keep only complete
+    // entries so recovered data is always iterable.
+    int64_t good = 0;
+    Slice scan(segment.data);
+    while (scan.size() >= 4) {
+      const uint32_t length = DecodeFixed32(scan.data());
+      if (scan.size() < 4 + static_cast<size_t>(length)) break;
+      scan.RemovePrefix(4 + length);
+      good += 4 + static_cast<int64_t>(length);
+    }
+    segment.data.resize(static_cast<size_t>(good));
+    segment.persisted_bytes = good;
+    segments_.push_back(std::move(segment));
+  }
+  if (segments_.empty()) {
+    segments_.push_back(Segment{0, "", clock_->NowMillis(), 0});
+  } else {
+    // Everything recovered from disk was flushed by definition.
+    flushed_end_ = segments_.back().base_offset +
+                   static_cast<int64_t>(segments_.back().data.size());
+  }
+}
+
+void PartitionLog::PersistUpToLocked(int64_t flushed_end) {
+  if (options_.data_dir.empty()) return;
+  for (Segment& segment : segments_) {
+    const int64_t visible = std::min(
+        static_cast<int64_t>(segment.data.size()),
+        flushed_end - segment.base_offset);
+    if (visible <= segment.persisted_bytes) continue;
+    std::ofstream out(SegmentPath(segment.base_offset),
+                      std::ios::binary | std::ios::app);
+    out.write(segment.data.data() + segment.persisted_bytes,
+              visible - segment.persisted_bytes);
+    segment.persisted_bytes = visible;
+  }
+}
+
+PartitionLog::PartitionLog(LogOptions options, const Clock* clock)
+    : options_(std::move(options)), clock_(clock) {
+  if (!options_.data_dir.empty()) {
+    RecoverFromDiskLocked();  // constructor: no concurrent access yet
+  } else {
+    segments_.push_back(Segment{0, "", clock_->NowMillis(), 0});
+  }
+}
+
+int64_t PartitionLog::Append(Slice message_set, int message_count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Segment* active = &segments_.back();
+  if (static_cast<int64_t>(active->data.size()) >= options_.segment_bytes) {
+    const int64_t next_base =
+        active->base_offset + static_cast<int64_t>(active->data.size());
+    segments_.push_back(Segment{next_base, "", clock_->NowMillis()});
+    active = &segments_.back();
+  }
+  const int64_t offset =
+      active->base_offset + static_cast<int64_t>(active->data.size());
+  active->data.append(message_set.data(), message_set.size());
+  active->last_append_ms = clock_->NowMillis();
+  if (unflushed_messages_ == 0) first_unflushed_ms_ = clock_->NowMillis();
+  unflushed_messages_ += message_count;
+  MaybeFlushLocked();
+  return offset;
+}
+
+void PartitionLog::MaybeFlushLocked() {
+  const bool count_due = unflushed_messages_ >= options_.flush_interval_messages;
+  const bool time_due =
+      unflushed_messages_ > 0 &&
+      clock_->NowMillis() - first_unflushed_ms_ >= options_.flush_interval_ms;
+  if (count_due || time_due) {
+    flushed_end_ = segments_.back().base_offset +
+                   static_cast<int64_t>(segments_.back().data.size());
+    unflushed_messages_ = 0;
+    PersistUpToLocked(flushed_end_);
+  }
+}
+
+void PartitionLog::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flushed_end_ = segments_.back().base_offset +
+                 static_cast<int64_t>(segments_.back().data.size());
+  unflushed_messages_ = 0;
+  PersistUpToLocked(flushed_end_);
+}
+
+Result<std::string> PartitionLog::Read(int64_t offset,
+                                       int64_t max_bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (offset < segments_.front().base_offset) {
+    return Status::NotFound("offset " + std::to_string(offset) +
+                            " expired (log starts at " +
+                            std::to_string(segments_.front().base_offset) + ")");
+  }
+  if (offset >= flushed_end_) {
+    if (offset >
+        segments_.back().base_offset +
+            static_cast<int64_t>(segments_.back().data.size())) {
+      return Status::InvalidArgument("offset beyond log end");
+    }
+    return std::string();  // nothing visible yet
+  }
+  // Locate the segment: the last one with base_offset <= offset.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), offset,
+      [](int64_t o, const Segment& s) { return o < s.base_offset; });
+  --it;
+  const Segment& segment = *it;
+  const int64_t pos = offset - segment.base_offset;
+  const int64_t segment_visible =
+      std::min(static_cast<int64_t>(segment.data.size()),
+               flushed_end_ - segment.base_offset);
+  if (pos >= segment_visible) return std::string();
+
+  // Truncate at entry boundaries within the available window.
+  int64_t take = 0;
+  while (pos + take < segment_visible) {
+    if (pos + take + 4 > segment_visible) break;
+    const uint32_t length = DecodeFixed32(segment.data.data() + pos + take);
+    const int64_t entry = 4 + static_cast<int64_t>(length);
+    if (pos + take + entry > segment_visible) break;
+    if (take > 0 && take + entry > max_bytes) break;
+    take += entry;
+    if (take >= max_bytes) break;
+  }
+  if (take == 0 && pos < segment_visible) {
+    return Status::InvalidArgument("offset not at an entry boundary or entry "
+                                   "exceeds visible region");
+  }
+  return segment.data.substr(static_cast<size_t>(pos),
+                             static_cast<size_t>(take));
+}
+
+int PartitionLog::DeleteExpiredSegments() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = clock_->NowMillis();
+  int deleted = 0;
+  while (segments_.size() > 1 &&
+         now - segments_.front().last_append_ms > options_.retention_ms) {
+    if (!options_.data_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(SegmentPath(segments_.front().base_offset), ec);
+    }
+    segments_.pop_front();
+    ++deleted;
+  }
+  // The active segment may also expire entirely.
+  if (segments_.size() == 1 && !segments_.front().data.empty() &&
+      now - segments_.front().last_append_ms > options_.retention_ms) {
+    Segment& s = segments_.front();
+    const int64_t end = s.base_offset + static_cast<int64_t>(s.data.size());
+    if (!options_.data_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(SegmentPath(s.base_offset), ec);
+    }
+    segments_.front() = Segment{end, "", now};
+    flushed_end_ = std::max(flushed_end_, end);
+    ++deleted;
+  }
+  return deleted;
+}
+
+int64_t PartitionLog::start_offset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.front().base_offset;
+}
+
+int64_t PartitionLog::flushed_end_offset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flushed_end_;
+}
+
+int64_t PartitionLog::end_offset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.back().base_offset +
+         static_cast<int64_t>(segments_.back().data.size());
+}
+
+int PartitionLog::segment_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(segments_.size());
+}
+
+}  // namespace lidi::kafka

@@ -1,0 +1,93 @@
+#ifndef LIDI_KAFKA_LOG_H_
+#define LIDI_KAFKA_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace lidi::kafka {
+
+struct LogOptions {
+  /// Segment roll size ("a set of segment files of approximately the same
+  /// size (e.g., 1 GB)", V.B). Tests use small values.
+  int64_t segment_bytes = 1 << 20;
+  /// Flush after this many appended messages...
+  int flush_interval_messages = 1;
+  /// ...or after this much time since the first unflushed append.
+  int64_t flush_interval_ms = 1000;
+  /// Time-based retention SLA (V.B: "e.g., 7 days").
+  int64_t retention_ms = 7LL * 24 * 3600 * 1000;
+  /// When non-empty, segments are persisted as real files under this
+  /// directory ("<base offset>.log"), flushes reach the filesystem, and a
+  /// new PartitionLog recovers the existing segments on construction — the
+  /// durability model the paper's brokers rely on (V.B: the flush policy and
+  /// the OS page cache do the heavy lifting). Empty = in-memory only.
+  std::string data_dir;
+};
+
+/// The log of one topic partition (paper Section V.B, Simple storage): a
+/// sequence of segment files. A producer append simply extends the last
+/// segment; messages become visible to consumers only after a flush; a
+/// message is addressed by its logical byte offset; the broker locates the
+/// segment for a requested offset by searching the (in-memory) offset list.
+///
+/// Thread-safe.
+class PartitionLog {
+ public:
+  PartitionLog(LogOptions options, const Clock* clock);
+
+  /// Appends message-set bytes; returns the offset assigned to the first
+  /// byte. The data may not be visible until a flush happens (count/time
+  /// policy, or explicit Flush).
+  int64_t Append(Slice message_set, int message_count);
+
+  /// Makes everything appended so far visible to consumers.
+  void Flush();
+
+  /// Reads up to max_bytes starting at `offset`, truncated at entry
+  /// boundaries, from the flushed region. An offset below start_offset()
+  /// (expired) fails NotFound; an offset at or past the flushed end returns
+  /// an empty string (nothing new yet); an offset that is not an entry
+  /// boundary fails InvalidArgument.
+  Result<std::string> Read(int64_t offset, int64_t max_bytes) const;
+
+  /// Deletes whole segments whose newest append is older than the retention
+  /// SLA. Returns segments deleted.
+  int DeleteExpiredSegments();
+
+  int64_t start_offset() const;      // oldest retained offset
+  int64_t flushed_end_offset() const;  // first offset not yet readable
+  int64_t end_offset() const;        // next offset to be assigned
+  int segment_count() const;
+
+ private:
+  struct Segment {
+    int64_t base_offset = 0;
+    std::string data;
+    int64_t last_append_ms = 0;
+    /// Bytes already written to the segment file (persistent mode).
+    int64_t persisted_bytes = 0;
+  };
+
+  void MaybeFlushLocked();
+  void RecoverFromDiskLocked();
+  void PersistUpToLocked(int64_t flushed_end);
+  std::string SegmentPath(int64_t base_offset) const;
+
+  const LogOptions options_;
+  const Clock* const clock_;
+  mutable std::mutex mu_;
+  std::deque<Segment> segments_;
+  int64_t flushed_end_ = 0;
+  int unflushed_messages_ = 0;
+  int64_t first_unflushed_ms_ = 0;
+};
+
+}  // namespace lidi::kafka
+
+#endif  // LIDI_KAFKA_LOG_H_

@@ -1,0 +1,48 @@
+#include "kafka/mirror.h"
+
+namespace lidi::kafka {
+
+MirrorMaker::MirrorMaker(const std::string& name, const std::string& topic,
+                         zk::ZooKeeper* zookeeper, net::Network* network,
+                         std::string source_root, std::string target_root,
+                         CompressionCodec codec)
+    : topic_(topic) {
+  ConsumerOptions consumer_options;
+  consumer_options.zk_root = std::move(source_root);
+  consumer_ = std::make_unique<Consumer>(name + "-embedded-consumer",
+                                         name + "-mirror-group", zookeeper,
+                                         network, consumer_options);
+  ProducerOptions producer_options;
+  producer_options.zk_root = std::move(target_root);
+  producer_options.codec = codec;
+  producer_ =
+      std::make_unique<Producer>(name + "-producer", zookeeper, network,
+                                 producer_options);
+  consumer_->Subscribe(topic);
+}
+
+Result<int64_t> MirrorMaker::PumpOnce() {
+  auto messages = consumer_->Poll(topic_);
+  if (!messages.ok()) return messages.status();
+  for (const Message& message : messages.value()) {
+    Status s = producer_->Send(topic_, message.payload);
+    if (!s.ok()) return s;
+  }
+  Status s = producer_->Flush();
+  if (!s.ok()) return s;
+  return static_cast<int64_t>(messages.value().size());
+}
+
+Result<int64_t> MirrorMaker::PumpToHead(int max_rounds) {
+  int64_t total = 0;
+  int idle_rounds = 0;
+  for (int i = 0; i < max_rounds && idle_rounds < 3; ++i) {
+    auto n = PumpOnce();
+    if (!n.ok()) return n;
+    total += n.value();
+    idle_rounds = n.value() == 0 ? idle_rounds + 1 : 0;
+  }
+  return total;
+}
+
+}  // namespace lidi::kafka

@@ -1,0 +1,44 @@
+#ifndef LIDI_KAFKA_MIRROR_H_
+#define LIDI_KAFKA_MIRROR_H_
+
+#include <memory>
+#include <string>
+
+#include "kafka/consumer.h"
+#include "kafka/producer.h"
+
+namespace lidi::kafka {
+
+/// The cross-datacenter replication pattern of Section V.D: a Kafka cluster
+/// in the offline datacenter "runs a set of embedded consumers to pull data
+/// from the Kafka instances in the live datacenters" and re-publishes it
+/// locally for Hadoop loads and warehouse jobs.
+///
+/// The embedded consumer and the local producer live on different zk roots
+/// (different clusters).
+class MirrorMaker {
+ public:
+  MirrorMaker(const std::string& name, const std::string& topic,
+              zk::ZooKeeper* zookeeper, net::Network* network,
+              std::string source_root, std::string target_root,
+              CompressionCodec codec = CompressionCodec::kNone);
+
+  /// Pulls one batch from the source cluster and republishes it on the
+  /// target cluster. Returns messages mirrored.
+  Result<int64_t> PumpOnce();
+
+  /// Pumps until the source has no new data (bounded by max_rounds).
+  Result<int64_t> PumpToHead(int max_rounds = 1000);
+
+  Consumer* consumer() { return consumer_.get(); }
+  Producer* producer() { return producer_.get(); }
+
+ private:
+  const std::string topic_;
+  std::unique_ptr<Consumer> consumer_;
+  std::unique_ptr<Producer> producer_;
+};
+
+}  // namespace lidi::kafka
+
+#endif  // LIDI_KAFKA_MIRROR_H_

@@ -1,0 +1,100 @@
+#include "kafka/producer.h"
+
+#include "common/hash.h"
+#include "kafka/broker.h"
+
+namespace lidi::kafka {
+
+Producer::Producer(std::string name, zk::ZooKeeper* zookeeper,
+                   net::Network* network, ProducerOptions options)
+    : name_(std::move(name)),
+      zookeeper_(zookeeper),
+      network_(network),
+      options_(std::move(options)),
+      rng_(options_.seed) {}
+
+Result<std::vector<TopicPartition>> Producer::PartitionsOf(
+    const std::string& topic) {
+  auto brokers =
+      zookeeper_->GetChildren(options_.zk_root + "/brokers/topics/" + topic);
+  if (!brokers.ok()) {
+    return Status::NotFound("topic " + topic + " not advertised");
+  }
+  std::vector<TopicPartition> partitions;
+  for (const std::string& broker : brokers.value()) {
+    auto count = zookeeper_->Get(options_.zk_root + "/brokers/topics/" +
+                                 topic + "/" + broker);
+    if (!count.ok()) continue;
+    const int n = std::atoi(count.value().c_str());
+    for (int p = 0; p < n; ++p) {
+      partitions.push_back(TopicPartition{std::atoi(broker.c_str()), p});
+    }
+  }
+  if (partitions.empty()) {
+    return Status::NotFound("topic " + topic + " has no partitions");
+  }
+  return partitions;
+}
+
+Status Producer::Send(const std::string& topic, Slice payload) {
+  auto partitions = PartitionsOf(topic);
+  if (!partitions.ok()) return partitions.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  const TopicPartition tp =
+      partitions.value()[rng_.Uniform(partitions.value().size())];
+  return SendTo(topic, tp, payload);
+}
+
+Status Producer::Send(const std::string& topic, Slice key, Slice payload) {
+  auto partitions = PartitionsOf(topic);
+  if (!partitions.ok()) return partitions.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  const TopicPartition tp =
+      partitions.value()[Fnv1a64(key) % partitions.value().size()];
+  return SendTo(topic, tp, payload);
+}
+
+Status Producer::SendTo(const std::string& topic, const TopicPartition& tp,
+                        Slice payload) {
+  auto it = batches_.find({topic, tp});
+  if (it == batches_.end()) {
+    it = batches_
+             .emplace(std::make_pair(topic, tp),
+                      MessageSetBuilder(options_.codec))
+             .first;
+  }
+  it->second.Add(payload);
+  ++messages_sent_;
+  if (it->second.count() >= options_.batch_size) {
+    return FlushBatch(topic, tp);
+  }
+  return Status::OK();
+}
+
+Status Producer::FlushBatch(const std::string& topic,
+                            const TopicPartition& tp) {
+  auto it = batches_.find({topic, tp});
+  if (it == batches_.end() || it->second.empty()) return Status::OK();
+  const std::string set = it->second.Build();
+  std::string request;
+  EncodeProduceRequest(topic, tp.partition, set, &request);
+  bytes_on_wire_ += static_cast<int64_t>(set.size());
+  auto r = network_->Call(name_, BrokerAddress(tp.broker_id), "kafka.produce",
+                          request);
+  return r.status();
+}
+
+Status Producer::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status first_error;
+  // Collect keys first: FlushBatch mutates builders in place.
+  std::vector<std::pair<std::string, TopicPartition>> keys;
+  for (const auto& [key, builder] : batches_) keys.push_back(key);
+  for (const auto& [topic, tp] : keys) {
+    Status s = FlushBatch(topic, tp);
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+}  // namespace lidi::kafka

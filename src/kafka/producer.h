@@ -1,0 +1,87 @@
+#ifndef LIDI_KAFKA_PRODUCER_H_
+#define LIDI_KAFKA_PRODUCER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/compression.h"
+#include "common/random.h"
+#include "kafka/message.h"
+#include "net/network.h"
+#include "zk/zookeeper.h"
+
+namespace lidi::kafka {
+
+/// Identifies one partition of a topic cluster-wide: partitions live on
+/// specific brokers (paper Figure V.1: each broker stores one or more
+/// partitions of a topic).
+struct TopicPartition {
+  int broker_id = -1;
+  int partition = -1;
+  friend bool operator<(const TopicPartition& a, const TopicPartition& b) {
+    return std::tie(a.broker_id, a.partition) <
+           std::tie(b.broker_id, b.partition);
+  }
+  friend bool operator==(const TopicPartition& a, const TopicPartition& b) {
+    return a.broker_id == b.broker_id && a.partition == b.partition;
+  }
+};
+
+struct ProducerOptions {
+  CompressionCodec codec = CompressionCodec::kNone;
+  /// Messages buffered per partition before a batch is shipped ("the
+  /// producer can send a set of messages in a single publish request").
+  int batch_size = 1;
+  uint64_t seed = 7;
+  std::string zk_root = "/kafka";
+};
+
+/// The Kafka producer (paper Section V.A/V.C): discovers brokers and topic
+/// partition counts from Zookeeper, publishes message sets to either a
+/// randomly selected partition or one chosen by a partitioning key and
+/// function (key-hash), batching and optionally compressing each set.
+class Producer {
+ public:
+  Producer(std::string name, zk::ZooKeeper* zookeeper, net::Network* network,
+           ProducerOptions options = {});
+
+  /// Publishes to a random partition of the topic.
+  Status Send(const std::string& topic, Slice payload);
+  /// Publishes to the partition selected by hash(key) — messages with the
+  /// same key preserve relative order.
+  Status Send(const std::string& topic, Slice key, Slice payload);
+
+  /// Ships all buffered batches. Returns the first error encountered.
+  Status Flush();
+
+  /// The cluster-wide partition list of a topic, refreshed from Zookeeper.
+  Result<std::vector<TopicPartition>> PartitionsOf(const std::string& topic);
+
+  int64_t messages_sent() const { return messages_sent_; }
+  /// Bytes actually shipped to brokers (after compression) — the numerator
+  /// of the bandwidth-saving experiment (E16).
+  int64_t bytes_on_wire() const { return bytes_on_wire_; }
+
+ private:
+  Status SendTo(const std::string& topic, const TopicPartition& tp,
+                Slice payload);
+  Status FlushBatch(const std::string& topic, const TopicPartition& tp);
+
+  const std::string name_;
+  zk::ZooKeeper* const zookeeper_;
+  net::Network* const network_;
+  const ProducerOptions options_;
+
+  std::mutex mu_;
+  Random rng_;
+  std::map<std::pair<std::string, TopicPartition>, MessageSetBuilder> batches_;
+  int64_t messages_sent_ = 0;
+  int64_t bytes_on_wire_ = 0;
+};
+
+}  // namespace lidi::kafka
+
+#endif  // LIDI_KAFKA_PRODUCER_H_

@@ -1,0 +1,182 @@
+#include "kafka/replication.h"
+
+#include <algorithm>
+
+#include "kafka/message.h"
+
+namespace lidi::kafka {
+
+ReplicatedTopicManager::ReplicatedTopicManager(zk::ZooKeeper* zookeeper,
+                                               net::Network* network,
+                                               std::string zk_root)
+    : zookeeper_(zookeeper),
+      network_(network),
+      zk_root_(std::move(zk_root)) {
+  session_ = zookeeper_->CreateSession();
+}
+
+std::string ReplicatedTopicManager::PartitionPath(const std::string& topic,
+                                                  int partition) const {
+  return zk_root_ + "/replicated/" + topic + "/" + std::to_string(partition);
+}
+
+Status ReplicatedTopicManager::CreateReplicatedTopic(
+    const std::string& topic, int partitions,
+    const std::vector<Broker*>& replica_brokers) {
+  if (replica_brokers.empty()) {
+    return Status::InvalidArgument("need at least one replica broker");
+  }
+  std::string replica_list;
+  for (size_t i = 0; i < replica_brokers.size(); ++i) {
+    if (i) replica_list += ',';
+    replica_list += std::to_string(replica_brokers[i]->id());
+  }
+  for (Broker* broker : replica_brokers) {
+    Status s = broker->CreateTopic(topic, partitions);
+    if (!s.ok()) return s;
+  }
+  for (int p = 0; p < partitions; ++p) {
+    const std::string path = PartitionPath(topic, p);
+    Status s = zookeeper_->CreateRecursive(session_, path + "/replicas",
+                                           replica_list,
+                                           zk::CreateMode::kPersistent);
+    if (!s.ok() && s.code() != Code::kAlreadyExists) return s;
+    const int leader =
+        replica_brokers[p % replica_brokers.size()]->id();
+    s = zookeeper_->CreateRecursive(session_, path + "/leader",
+                                    std::to_string(leader),
+                                    zk::CreateMode::kPersistent);
+    if (!s.ok() && s.code() != Code::kAlreadyExists) return s;
+  }
+  return Status::OK();
+}
+
+Result<int> ReplicatedTopicManager::LeaderOf(const std::string& topic,
+                                             int partition) const {
+  auto leader = zookeeper_->Get(PartitionPath(topic, partition) + "/leader");
+  if (!leader.ok()) return leader.status();
+  return std::atoi(leader.value().c_str());
+}
+
+Result<std::vector<int>> ReplicatedTopicManager::ReplicasOf(
+    const std::string& topic, int partition) const {
+  auto replicas =
+      zookeeper_->Get(PartitionPath(topic, partition) + "/replicas");
+  if (!replicas.ok()) return replicas.status();
+  std::vector<int> out;
+  size_t start = 0;
+  const std::string& s = replicas.value();
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(std::atoi(s.substr(start).c_str()));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool ReplicatedTopicManager::BrokerAlive(int broker_id) const {
+  return zookeeper_->Exists(zk_root_ + "/brokers/ids/" +
+                            std::to_string(broker_id));
+}
+
+int64_t ReplicatedTopicManager::LogEndAt(int broker_id,
+                                         const std::string& topic,
+                                         int partition) const {
+  std::string request;
+  EncodeProduceRequest(topic, partition, "", &request);
+  auto bounds = network_->Call("replication-manager",
+                               BrokerAddress(broker_id),
+                               "kafka.offset-bounds", request);
+  if (!bounds.ok()) return -1;
+  // "start end": take the second number.
+  const size_t space = bounds.value().find(' ');
+  if (space == std::string::npos) return -1;
+  return std::atoll(bounds.value().c_str() + space + 1);
+}
+
+Result<int64_t> ReplicatedTopicManager::ProduceToLeader(
+    const std::string& from, const std::string& topic, int partition,
+    Slice message_set) {
+  auto leader = LeaderOf(topic, partition);
+  if (!leader.ok()) return leader.status();
+  std::string request;
+  EncodeProduceRequest(topic, partition, message_set, &request);
+  auto r = network_->Call(from, BrokerAddress(leader.value()), "kafka.produce",
+                          request);
+  if (!r.ok()) return r.status();
+  return static_cast<int64_t>(std::atoll(r.value().c_str()));
+}
+
+Result<std::string> ReplicatedTopicManager::FetchFromLeader(
+    const std::string& from, const std::string& topic, int partition,
+    int64_t offset, int64_t max_bytes) {
+  auto leader = LeaderOf(topic, partition);
+  if (!leader.ok()) return leader.status();
+  std::string request;
+  EncodeFetchRequest(topic, partition, offset, max_bytes, &request);
+  return network_->Call(from, BrokerAddress(leader.value()), "kafka.fetch",
+                        request);
+}
+
+Result<int> ReplicatedTopicManager::FailoverDeadLeaders(
+    const std::string& topic) {
+  auto partitions =
+      zookeeper_->GetChildren(zk_root_ + "/replicated/" + topic);
+  if (!partitions.ok()) return partitions.status();
+  int moved = 0;
+  for (const std::string& partition_name : partitions.value()) {
+    const int partition = std::atoi(partition_name.c_str());
+    auto leader = LeaderOf(topic, partition);
+    if (!leader.ok()) continue;
+    if (BrokerAlive(leader.value())) continue;
+
+    // Promote the most caught-up live follower.
+    auto replicas = ReplicasOf(topic, partition);
+    if (!replicas.ok()) continue;
+    int best = -1;
+    int64_t best_end = -1;
+    for (int candidate : replicas.value()) {
+      if (candidate == leader.value() || !BrokerAlive(candidate)) continue;
+      const int64_t end = LogEndAt(candidate, topic, partition);
+      if (end > best_end) {
+        best_end = end;
+        best = candidate;
+      }
+    }
+    if (best < 0) continue;  // no live follower: partition stays offline
+    Status s = zookeeper_->Set(PartitionPath(topic, partition) + "/leader",
+                               std::to_string(best));
+    if (s.ok()) ++moved;
+  }
+  return moved;
+}
+
+Result<int64_t> ReplicaFetcher::SyncOnce(const std::string& topic,
+                                         int partitions) {
+  int64_t copied = 0;
+  for (int p = 0; p < partitions; ++p) {
+    auto leader = manager_->LeaderOf(topic, p);
+    if (!leader.ok()) return leader.status();
+    if (leader.value() == broker_->id()) continue;  // we lead this one
+
+    PartitionLog* log = broker_->GetLog(topic, p);
+    if (log == nullptr) continue;
+    for (;;) {
+      const int64_t local_end = log->end_offset();
+      auto data = manager_->FetchFromLeader(
+          "fetcher-" + std::to_string(broker_->id()), topic, p, local_end,
+          1 << 20);
+      if (!data.ok()) break;  // leader unreachable; retry next pass
+      if (data.value().empty()) break;
+      auto count = CountMessages(data.value());
+      if (!count.ok()) return count.status();
+      log->Append(data.value(), static_cast<int>(count.value()));
+      log->Flush();  // followers persist immediately
+      copied += static_cast<int64_t>(data.value().size());
+    }
+  }
+  return copied;
+}
+
+}  // namespace lidi::kafka

@@ -1,0 +1,97 @@
+#ifndef LIDI_KAFKA_REPLICATION_H_
+#define LIDI_KAFKA_REPLICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "kafka/broker.h"
+#include "net/network.h"
+#include "zk/zookeeper.h"
+
+namespace lidi::kafka {
+
+/// Intra-cluster replication — the paper's named future work for Kafka
+/// (Section V.D: "One of the most important features that we plan to add in
+/// the future is intra-cluster replication"). This module implements the
+/// leader/follower design Kafka later shipped:
+///
+///  - each partition of a replicated topic has an ordered replica list of
+///    brokers and a current leader, both kept in Zookeeper;
+///  - producers send to the leader; consumers fetch from the leader;
+///  - followers run a ReplicaFetcher that pulls the leader's log from their
+///    own log-end offset and appends the raw bytes — follower logs are
+///    byte-identical prefixes of the leader's log, so offsets remain valid
+///    across failovers;
+///  - on leader death, the most caught-up live follower is promoted.
+///
+/// Durability semantics match acks=1: messages the leader acknowledged but
+/// no follower fetched before the crash are lost; everything fetched
+/// survives.
+class ReplicatedTopicManager {
+ public:
+  ReplicatedTopicManager(zk::ZooKeeper* zookeeper, net::Network* network,
+                         std::string zk_root = "/kafka");
+
+  /// Creates `topic` with `partitions` partitions replicated over
+  /// `replica_brokers` (each broker hosts every partition; the leader of
+  /// partition p is initially replica_brokers[p % n]). The brokers must
+  /// exist and be passed in so their local logs get created.
+  Status CreateReplicatedTopic(const std::string& topic, int partitions,
+                               const std::vector<Broker*>& replica_brokers);
+
+  /// Current leader broker id of a partition; NotFound if unknown.
+  Result<int> LeaderOf(const std::string& topic, int partition) const;
+
+  /// Replica broker ids of a partition.
+  Result<std::vector<int>> ReplicasOf(const std::string& topic,
+                                      int partition) const;
+
+  /// Produce to / fetch from the partition's current leader.
+  Result<int64_t> ProduceToLeader(const std::string& from,
+                                  const std::string& topic, int partition,
+                                  Slice message_set);
+  Result<std::string> FetchFromLeader(const std::string& from,
+                                      const std::string& topic, int partition,
+                                      int64_t offset, int64_t max_bytes);
+
+  /// Scans all partitions of `topic`; every partition whose leader is no
+  /// longer alive (its ephemeral broker registration vanished) gets the
+  /// most caught-up live follower promoted. Returns leaderships moved.
+  Result<int> FailoverDeadLeaders(const std::string& topic);
+
+ private:
+  std::string PartitionPath(const std::string& topic, int partition) const;
+  bool BrokerAlive(int broker_id) const;
+  /// Flushed log end at a broker, or -1 when unreachable.
+  int64_t LogEndAt(int broker_id, const std::string& topic,
+                   int partition) const;
+
+  zk::ZooKeeper* const zookeeper_;
+  net::Network* const network_;
+  const std::string zk_root_;
+  zk::SessionId session_;
+};
+
+/// The follower side: keeps one broker's copies of a replicated topic in
+/// sync by pulling from the current leaders. Run per broker (in production,
+/// a thread; here, invoked by tests/benches).
+class ReplicaFetcher {
+ public:
+  ReplicaFetcher(Broker* broker, ReplicatedTopicManager* manager,
+                 net::Network* network)
+      : broker_(broker), manager_(manager), network_(network) {}
+
+  /// One sync pass over all partitions of `topic` this broker follows.
+  /// Returns bytes copied. Followers append the leader's raw bytes at the
+  /// exact same offsets, then flush, keeping logs byte-identical.
+  Result<int64_t> SyncOnce(const std::string& topic, int partitions);
+
+ private:
+  Broker* const broker_;
+  ReplicatedTopicManager* const manager_;
+  net::Network* const network_;
+};
+
+}  // namespace lidi::kafka
+
+#endif  // LIDI_KAFKA_REPLICATION_H_

@@ -1,0 +1,99 @@
+#include "net/network.h"
+
+namespace lidi::net {
+
+void Network::Register(const Address& addr, const std::string& method,
+                       Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[addr][method] = std::move(handler);
+}
+
+void Network::Unregister(const Address& addr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_.erase(addr);
+}
+
+Result<std::string> Network::Call(const Address& from, const Address& to,
+                                  const std::string& method, Slice request) {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_calls_.fetch_add(1, std::memory_order_relaxed);
+    stats_[from].calls_sent++;
+    stats_[from].bytes_sent += static_cast<int64_t>(request.size());
+
+    if (down_.count(to) > 0) {
+      return Status::Unavailable("node down: " + to);
+    }
+    if (partitioned_) {
+      const bool from_a = partition_a_.count(from) > 0;
+      const bool to_a = partition_a_.count(to) > 0;
+      if (from_a != to_a) {
+        return Status::Unavailable("network partition between " + from +
+                                   " and " + to);
+      }
+    }
+    if (drop_probability_ > 0 && rng_.Bernoulli(drop_probability_)) {
+      return Status::Timeout("message dropped by fault injector");
+    }
+    auto node_it = handlers_.find(to);
+    if (node_it == handlers_.end()) {
+      return Status::NotFound("no endpoint: " + to);
+    }
+    auto method_it = node_it->second.find(method);
+    if (method_it == node_it->second.end()) {
+      return Status::NotFound("no method " + method + " at " + to);
+    }
+    handler = method_it->second;
+    stats_[to].calls_received++;
+    stats_[to].bytes_received += static_cast<int64_t>(request.size());
+  }
+  // Invoke outside the lock so handlers can place nested calls.
+  return handler(request);
+}
+
+void Network::SetNodeDown(const Address& addr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  down_.insert(addr);
+}
+
+void Network::SetNodeUp(const Address& addr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  down_.erase(addr);
+}
+
+bool Network::IsNodeUp(const Address& addr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return down_.count(addr) == 0;
+}
+
+void Network::SetDropProbability(double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  drop_probability_ = p;
+}
+
+void Network::PartitionOff(const std::set<Address>& side_a) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partition_a_ = side_a;
+  partitioned_ = true;
+}
+
+void Network::Heal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_ = false;
+  partition_a_.clear();
+}
+
+EndpointStats Network::GetStats(const Address& addr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(addr);
+  return it == stats_.end() ? EndpointStats{} : it->second;
+}
+
+void Network::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.clear();
+  total_calls_ = 0;
+}
+
+}  // namespace lidi::net

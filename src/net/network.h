@@ -1,0 +1,103 @@
+#ifndef LIDI_NET_NETWORK_H_
+#define LIDI_NET_NETWORK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace lidi::net {
+
+/// Node address, e.g. "voldemort-node-3" or "relay-1". All lidi tiers
+/// communicate through Network::Call rather than direct object references so
+/// that tests can inject the transient failures the paper calls prevalent in
+/// production datacenters (Section II.A, [FLP+10]).
+using Address = std::string;
+
+/// A per-method RPC handler: takes the serialized request, produces the
+/// serialized response or an error.
+using Handler = std::function<Result<std::string>(Slice request)>;
+
+/// Counters describing traffic through one endpoint. The Databus fan-out
+/// bench (E9) uses the source database's counters to show consumer count
+/// does not increase source load.
+struct EndpointStats {
+  int64_t calls_received = 0;
+  int64_t calls_sent = 0;
+  int64_t bytes_received = 0;
+  int64_t bytes_sent = 0;
+};
+
+/// In-process simulated cluster transport.
+///
+/// Substitution note (see DESIGN.md): stands in for the production RPC
+/// stack. Handlers run synchronously in the caller's thread; failure modes
+/// (drops, latency, partitions, crashed nodes) are injected deterministically
+/// from a seeded RNG. Thread-safe.
+class Network {
+ public:
+  explicit Network(uint64_t fault_seed = 42) : rng_(fault_seed) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a handler for (address, method). Re-registering replaces.
+  void Register(const Address& addr, const std::string& method, Handler handler);
+
+  /// Removes an endpoint entirely (all its methods).
+  void Unregister(const Address& addr);
+
+  /// Invokes `method` on `to`. Returns:
+  ///  - Unavailable if the destination is down, unreachable (partition),
+  ///    or the fault injector dropped the message;
+  ///  - NotFound if no handler is registered;
+  ///  - otherwise the handler's result.
+  Result<std::string> Call(const Address& from, const Address& to,
+                           const std::string& method, Slice request);
+
+  // --- fault injection ---
+
+  /// Marks a node down (crash). Calls to it fail Unavailable; its handlers
+  /// stay registered so SetNodeUp models a restart.
+  void SetNodeDown(const Address& addr);
+  void SetNodeUp(const Address& addr);
+  bool IsNodeUp(const Address& addr) const;
+
+  /// Probability in [0,1] that any given call is dropped.
+  void SetDropProbability(double p);
+
+  /// Splits the cluster: traffic between `side_a` members and everyone else
+  /// is blocked. Heal() removes the partition.
+  void PartitionOff(const std::set<Address>& side_a);
+  void Heal();
+
+  EndpointStats GetStats(const Address& addr) const;
+  void ResetStats();
+
+  /// Total number of calls placed since construction/ResetStats.
+  int64_t total_calls() const { return total_calls_.load(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<Address, std::map<std::string, Handler>> handlers_;
+  std::set<Address> down_;
+  std::set<Address> partition_a_;
+  bool partitioned_ = false;
+  double drop_probability_ = 0;
+  Random rng_;
+  std::map<Address, EndpointStats> stats_;
+  std::atomic<int64_t> total_calls_{0};
+};
+
+}  // namespace lidi::net
+
+#endif  // LIDI_NET_NETWORK_H_

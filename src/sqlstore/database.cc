@@ -1,0 +1,225 @@
+#include "sqlstore/database.h"
+
+#include "common/coding.h"
+
+namespace lidi::sqlstore {
+
+void EncodeRow(const Row& row, std::string* out) {
+  PutVarint64(out, row.size());
+  for (const auto& [column, value] : row) {
+    PutLengthPrefixed(out, column);
+    PutLengthPrefixed(out, value);
+  }
+}
+
+Result<Row> DecodeRow(Slice input) {
+  uint64_t count;
+  if (!GetVarint64(&input, &count)) return Status::Corruption("truncated row");
+  Row row;
+  for (uint64_t i = 0; i < count; ++i) {
+    Slice column, value;
+    if (!GetLengthPrefixed(&input, &column) ||
+        !GetLengthPrefixed(&input, &value)) {
+      return Status::Corruption("truncated row column");
+    }
+    row[column.ToString()] = value.ToString();
+  }
+  return row;
+}
+
+int64_t Binlog::Append(std::vector<Change> changes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CommittedTransaction txn;
+  txn.scn = next_scn_++;
+  txn.changes = std::move(changes);
+  log_.push_back(std::move(txn));
+  return log_.back().scn;
+}
+
+std::vector<CommittedTransaction> Binlog::ReadAfter(int64_t from_scn,
+                                                    int64_t max_count) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++read_calls_;
+  std::vector<CommittedTransaction> out;
+  // SCNs are dense starting at 1, so the offset is direct.
+  int64_t start_index = from_scn;  // scn N lives at index N-1; read after it
+  for (int64_t i = start_index;
+       i < static_cast<int64_t>(log_.size()) &&
+       static_cast<int64_t>(out.size()) < max_count;
+       ++i) {
+    out.push_back(log_[i]);
+  }
+  return out;
+}
+
+int64_t Binlog::LastScn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.empty() ? 0 : log_.back().scn;
+}
+
+int64_t Binlog::ReadCalls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_calls_;
+}
+
+int64_t Binlog::TransactionCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(log_.size());
+}
+
+Status Database::CreateTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(table) > 0) return Status::AlreadyExists(table);
+  tables_[table];
+  return Status::OK();
+}
+
+bool Database::HasTable(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(table) > 0;
+}
+
+std::vector<std::string> Database::Tables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, rows] : tables_) out.push_back(name);
+  return out;
+}
+
+void Database::SetPartitionFunction(std::function<int(Slice)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partition_fn_ = std::move(fn);
+}
+
+void Database::AddTrigger(Trigger trigger) {
+  std::lock_guard<std::mutex> lock(mu_);
+  triggers_.push_back(std::move(trigger));
+}
+
+void Database::SetSemiSyncCallback(SemiSyncCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  semi_sync_ = std::move(callback);
+}
+
+void Database::Transaction::Put(const std::string& table,
+                                const std::string& primary_key, Row row) {
+  Change change;
+  change.table = table;
+  change.primary_key = primary_key;
+  change.row = std::move(row);
+  change.op = Change::Op::kUpdate;  // resolved to insert/update at commit
+  changes_.push_back(std::move(change));
+}
+
+void Database::Transaction::Delete(const std::string& table,
+                                   const std::string& primary_key) {
+  Change change;
+  change.op = Change::Op::kDelete;
+  change.table = table;
+  change.primary_key = primary_key;
+  changes_.push_back(std::move(change));
+}
+
+Result<int64_t> Database::Transaction::Commit() {
+  return db_->CommitChanges(&changes_);
+}
+
+Result<int64_t> Database::Put(const std::string& table,
+                              const std::string& primary_key, Row row) {
+  Transaction txn = Begin();
+  txn.Put(table, primary_key, std::move(row));
+  return txn.Commit();
+}
+
+Result<int64_t> Database::Delete(const std::string& table,
+                                 const std::string& primary_key) {
+  Transaction txn = Begin();
+  txn.Delete(table, primary_key);
+  return txn.Commit();
+}
+
+Result<int64_t> Database::CommitChanges(std::vector<Change>* changes) {
+  // The commit lock serializes transactions, making binlog order the commit
+  // order (timeline consistency downstream depends on this).
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+
+  std::vector<Trigger> triggers;
+  SemiSyncCallback semi_sync;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Validate before mutating: all-or-nothing.
+    for (Change& change : *changes) {
+      auto it = tables_.find(change.table);
+      if (it == tables_.end()) {
+        return Status::NotFound("no table " + change.table);
+      }
+      if (change.op != Change::Op::kDelete) {
+        change.op = it->second.count(change.primary_key) > 0
+                        ? Change::Op::kUpdate
+                        : Change::Op::kInsert;
+      }
+      change.partition =
+          partition_fn_ ? partition_fn_(change.primary_key) : -1;
+    }
+    for (const Change& change : *changes) {
+      auto& rows = tables_[change.table];
+      if (change.op == Change::Op::kDelete) {
+        rows.erase(change.primary_key);
+      } else {
+        rows[change.primary_key] = change.row;
+      }
+    }
+    triggers = triggers_;
+    semi_sync = semi_sync_;
+  }
+
+  const int64_t scn = binlog_.Append(*changes);
+
+  CommittedTransaction txn;
+  txn.scn = scn;
+  txn.changes = *changes;
+  if (semi_sync) {
+    Status s = semi_sync(txn);
+    if (!s.ok()) {
+      // The write reached the binlog but not the second location; the paper's
+      // durability contract is violated, surface it to the committer.
+      return Status::Unavailable("semi-sync replication failed: " +
+                                 s.message());
+    }
+  }
+  for (const Trigger& trigger : triggers) {
+    for (const Change& change : txn.changes) trigger(change, scn);
+  }
+  changes->clear();
+  return scn;
+}
+
+Result<Row> Database::Get(const std::string& table,
+                          const std::string& primary_key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no table " + table);
+  auto rit = it->second.find(primary_key);
+  if (rit == it->second.end()) return Status::NotFound(primary_key);
+  return rit->second;
+}
+
+Status Database::Scan(
+    const std::string& table,
+    const std::function<bool(const std::string&, const Row&)>& visitor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no table " + table);
+  for (const auto& [pk, row] : it->second) {
+    if (!visitor(pk, row)) break;
+  }
+  return Status::OK();
+}
+
+int64_t Database::RowCount(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : static_cast<int64_t>(it->second.size());
+}
+
+}  // namespace lidi::sqlstore

@@ -1,0 +1,178 @@
+#ifndef LIDI_SQLSTORE_DATABASE_H_
+#define LIDI_SQLSTORE_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace lidi::sqlstore {
+
+/// A row: column name -> value bytes. Schema-light — Espresso stores the
+/// serialized document in a `val` column plus metadata columns (Table IV.1);
+/// Databus ships whole post-image rows.
+using Row = std::map<std::string, std::string>;
+
+/// Serialized row codec (length-prefixed column/value pairs).
+void EncodeRow(const Row& row, std::string* out);
+Result<Row> DecodeRow(Slice input);
+
+/// One change within a transaction.
+struct Change {
+  enum class Op : uint8_t { kInsert = 0, kUpdate = 1, kDelete = 2 };
+  Op op = Op::kInsert;
+  std::string table;
+  std::string primary_key;
+  /// Post-image row, empty for deletes.
+  Row row;
+  /// Logical partition of the primary key; -1 when the database is
+  /// un-partitioned. Espresso shards its binlog per partition (IV.B).
+  int partition = -1;
+};
+
+/// A committed transaction in the binlog: the paper's "transaction envelope"
+/// with commit order and atomic boundaries (Section III.B: capture
+/// transaction boundaries, the commit order, and all changes).
+struct CommittedTransaction {
+  int64_t scn = 0;  // commit sequence number, dense and increasing
+  std::vector<Change> changes;
+};
+
+/// The commit-ordered replication log. Replayable from any SCN — the
+/// property Databus relies on to keep relays stateless (Section III.D).
+class Binlog {
+ public:
+  /// Appends a transaction, assigning the next SCN.
+  int64_t Append(std::vector<Change> changes);
+
+  /// Transactions with scn > from_scn, up to max_count. `from_scn = 0`
+  /// replays from the beginning.
+  std::vector<CommittedTransaction> ReadAfter(int64_t from_scn,
+                                              int64_t max_count) const;
+
+  int64_t LastScn() const;
+  int64_t TransactionCount() const;
+
+  /// Number of ReadAfter calls served — the "load on the source" metric the
+  /// consumer-isolation bench (E9) reports: it must not grow with the number
+  /// of downstream Databus consumers.
+  int64_t ReadCalls() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CommittedTransaction> log_;
+  int64_t next_scn_ = 1;
+  mutable int64_t read_calls_ = 0;
+};
+
+/// Row-level trigger (the *other* capture approach of Section III.C; also
+/// the in-server processing the paper contrasts with Databus' user-space
+/// processing). Fired synchronously inside commit.
+using Trigger = std::function<void(const Change& change, int64_t scn)>;
+
+/// Callback invoked before a commit is acknowledged — the semi-synchronous
+/// replication hook (Section IV.B Robustness: "Each change is written to two
+/// places before being committed -- the local MySQL binlog and the Databus
+/// relay"). Returning non-OK fails the commit.
+using SemiSyncCallback =
+    std::function<Status(const CommittedTransaction& txn)>;
+
+/// A transactional, binlogged row store — the primary-database substrate
+/// standing in for Oracle/MySQL (see DESIGN.md). Transactions are atomic
+/// and serialized by a commit lock, giving the strong commit ordering the
+/// Databus pipeline captures. Thread-safe.
+class Database {
+ public:
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  Status CreateTable(const std::string& table);
+  bool HasTable(const std::string& table) const;
+  std::vector<std::string> Tables() const;
+
+  /// Sets the partition function applied to primary keys (nullptr = no
+  /// partitioning). Affects Change::partition for subsequent commits.
+  void SetPartitionFunction(std::function<int(Slice)> fn);
+
+  /// Registers a trigger fired (synchronously) for every committed change.
+  void AddTrigger(Trigger trigger);
+
+  /// Installs the semi-sync commit hook.
+  void SetSemiSyncCallback(SemiSyncCallback callback);
+
+  /// A read-modify-write unit. Writes are buffered until Commit, which
+  /// atomically applies them, appends one binlog transaction and fires
+  /// triggers/semi-sync. Not thread-safe itself; one per thread.
+  class Transaction {
+   public:
+    explicit Transaction(Database* db) : db_(db) {}
+
+    /// Buffers an insert-or-update of `row` under `primary_key`.
+    void Put(const std::string& table, const std::string& primary_key,
+             Row row);
+    void Delete(const std::string& table, const std::string& primary_key);
+
+    /// Atomically applies all buffered changes. Returns the assigned SCN.
+    /// Fails (and applies nothing) if any table is missing or the semi-sync
+    /// hook rejects. The transaction must not be reused after Commit.
+    Result<int64_t> Commit();
+
+    /// Discards buffered changes.
+    void Abort() { changes_.clear(); }
+
+    int64_t change_count() const {
+      return static_cast<int64_t>(changes_.size());
+    }
+
+   private:
+    Database* db_;
+    std::vector<Change> changes_;
+  };
+
+  Transaction Begin() { return Transaction(this); }
+
+  /// Convenience single-row transactional write.
+  Result<int64_t> Put(const std::string& table, const std::string& primary_key,
+                      Row row);
+  Result<int64_t> Delete(const std::string& table,
+                         const std::string& primary_key);
+
+  /// Point read. NotFound if the row or table is absent.
+  Result<Row> Get(const std::string& table,
+                  const std::string& primary_key) const;
+
+  /// Ordered scan of a table. Visitor returns false to stop.
+  Status Scan(const std::string& table,
+              const std::function<bool(const std::string& primary_key,
+                                       const Row& row)>& visitor) const;
+
+  int64_t RowCount(const std::string& table) const;
+
+  const Binlog& binlog() const { return binlog_; }
+
+ private:
+  Result<int64_t> CommitChanges(std::vector<Change>* changes);
+
+  const std::string name_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<std::string, Row>> tables_;
+  std::function<int(Slice)> partition_fn_;
+  std::vector<Trigger> triggers_;
+  SemiSyncCallback semi_sync_;
+  Binlog binlog_;
+  std::mutex commit_mu_;  // serializes commits -> strict commit order
+};
+
+}  // namespace lidi::sqlstore
+
+#endif  // LIDI_SQLSTORE_DATABASE_H_

@@ -1,0 +1,57 @@
+#ifndef LIDI_STORAGE_ENGINE_H_
+#define LIDI_STORAGE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace lidi::storage {
+
+/// Pluggable key-value storage engine interface (paper Section II.B:
+/// "Of the various storage engine implementations supported by Voldemort...").
+/// Every module in the Voldemort stack implements a common code interface so
+/// engines can be interchanged and mocked; this is that interface for the
+/// storage layer.
+///
+/// Keys and values are arbitrary byte strings. Implementations must be
+/// thread-safe.
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  /// Engine name for diagnostics, e.g. "memtable", "logstructured".
+  virtual std::string name() const = 0;
+
+  /// Reads the value for `key`; NotFound if absent.
+  virtual Status Get(Slice key, std::string* value) const = 0;
+
+  /// Writes (inserts or overwrites) `key`.
+  virtual Status Put(Slice key, Slice value) = 0;
+
+  /// Removes `key`; OK even if absent (idempotent).
+  virtual Status Delete(Slice key) = 0;
+
+  /// Number of live keys.
+  virtual int64_t Count() const = 0;
+
+  /// Iterates all live entries in unspecified order. Returning false from
+  /// the visitor stops the scan.
+  virtual void ForEach(
+      const std::function<bool(Slice key, Slice value)>& visitor) const = 0;
+};
+
+/// Simple map-backed engine, the baseline/mock engine.
+std::unique_ptr<StorageEngine> NewMemTableEngine();
+
+/// Log-structured engine (the read-write BDB-class engine): appends every
+/// write to a segment log, keeps an in-memory key -> location index, and
+/// compacts segments when the dead-byte ratio passes a threshold. See
+/// log_engine.h for tuning knobs.
+std::unique_ptr<StorageEngine> NewLogStructuredEngine();
+
+}  // namespace lidi::storage
+
+#endif  // LIDI_STORAGE_ENGINE_H_

@@ -1,0 +1,333 @@
+#include "storage/log_engine.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace lidi::storage {
+
+namespace {
+
+// Record layout within a segment:
+//   fixed32 crc (over the rest of the record)
+//   varint  key length, key bytes
+//   varint  value length + 1  (0 encodes a tombstone)
+//   value bytes
+class LogEngineImpl : public LogStructuredEngine {
+ public:
+  explicit LogEngineImpl(const LogEngineOptions& options) : options_(options) {
+    if (!options_.data_dir.empty()) {
+      RecoverFromDisk();
+    }
+    if (segments_.empty()) segments_.emplace_back();
+  }
+
+  std::string name() const override { return "logstructured"; }
+
+  Status Get(Slice key, std::string* value) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key.ToString());
+    if (it == index_.end()) return Status::NotFound();
+    return ReadRecordLocked(it->second, nullptr, value);
+  }
+
+  Status Put(Slice key, Slice value) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    AppendLocked(key, value, /*tombstone=*/false);
+    MaybeCompactLocked();
+    return Status::OK();
+  }
+
+  Status Delete(Slice key) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key.ToString());
+    if (it == index_.end()) return Status::OK();
+    AppendLocked(key, Slice(), /*tombstone=*/true);
+    MaybeCompactLocked();
+    return Status::OK();
+  }
+
+  int64_t Count() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(index_.size());
+  }
+
+  void ForEach(const std::function<bool(Slice key, Slice value)>& visitor)
+      const override {
+    // Snapshot the index so the visitor can call back into the engine.
+    std::map<std::string, Location> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snapshot = index_;
+    }
+    for (const auto& [key, loc] : snapshot) {
+      std::string value;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!ReadRecordLocked(loc, nullptr, &value).ok()) continue;
+      }
+      if (!visitor(key, value)) return;
+    }
+  }
+
+  LogEngineStats GetStats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    LogEngineStats stats;
+    stats.live_keys = static_cast<int64_t>(index_.size());
+    stats.segments = static_cast<int64_t>(segments_.size());
+    for (const auto& seg : segments_) {
+      stats.total_bytes += static_cast<int64_t>(seg.size());
+    }
+    stats.dead_bytes = dead_bytes_;
+    stats.compactions = compactions_;
+    return stats;
+  }
+
+  void CompactNow() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    CompactLocked();
+  }
+
+  Status VerifyChecksums() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, loc] : index_) {
+      std::string k, v;
+      Status s = ReadRecordLocked(loc, &k, &v);
+      if (!s.ok()) return s;
+      if (k != key) return Status::Corruption("index points at wrong key");
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Location {
+    size_t segment;
+    size_t offset;
+    size_t record_size;
+  };
+
+  std::string SegmentPath(size_t index) const {
+    char name[32];
+    std::snprintf(name, sizeof(name), "%010zu.seg", index);
+    return options_.data_dir + "/" + name;
+  }
+
+  /// Constructor-time recovery: reads segment files in order and replays
+  /// every record through the index, so the last write per key wins and
+  /// tombstones erase. Torn trailing records are discarded.
+  void RecoverFromDisk() {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(options_.data_dir, ec);
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(options_.data_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() == 14 && name.substr(10) == ".seg") names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) {
+      std::ifstream in(options_.data_dir + "/" + name, std::ios::binary);
+      if (!in) continue;
+      std::string data((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      segments_.push_back(data);
+      const size_t segment_index = segments_.size() - 1;
+      Slice scan(data);
+      size_t offset = 0;
+      while (!scan.empty()) {
+        Slice record = scan;
+        uint32_t crc;
+        Slice key, body;
+        uint64_t vlen_plus1;
+        if (!GetFixed32(&record, &crc)) break;
+        body = record;
+        if (!GetLengthPrefixed(&record, &key) ||
+            !GetVarint64(&record, &vlen_plus1)) {
+          break;  // torn tail
+        }
+        if (vlen_plus1 > 0 && record.size() < vlen_plus1 - 1) break;
+        const size_t value_bytes = vlen_plus1 == 0 ? 0 : vlen_plus1 - 1;
+        const size_t record_size =
+            4 + (record.data() - body.data()) + value_bytes;
+        Slice full_body(data.data() + offset + 4, record_size - 4);
+        if (Crc32(full_body) != crc) break;  // corruption: stop this segment
+        const std::string k = key.ToString();
+        auto it = index_.find(k);
+        if (vlen_plus1 == 0) {
+          if (it != index_.end()) {
+            dead_bytes_ += static_cast<int64_t>(it->second.record_size);
+            index_.erase(it);
+          }
+          dead_bytes_ += static_cast<int64_t>(record_size);
+        } else {
+          const Location loc{segment_index, offset, record_size};
+          if (it != index_.end()) {
+            dead_bytes_ += static_cast<int64_t>(it->second.record_size);
+            it->second = loc;
+          } else {
+            index_[k] = loc;
+          }
+        }
+        offset += record_size;
+        scan = Slice(data.data() + offset, data.size() - offset);
+      }
+      // Drop any torn tail from memory and disk.
+      if (offset < segments_.back().size()) {
+        segments_.back().resize(offset);
+        std::ofstream out(options_.data_dir + "/" + name,
+                          std::ios::binary | std::ios::trunc);
+        out.write(segments_.back().data(), offset);
+      }
+      persisted_bytes_.push_back(static_cast<int64_t>(offset));
+    }
+  }
+
+  void PersistAppendLocked(size_t segment_index, const std::string& record) {
+    if (options_.data_dir.empty()) return;
+    while (persisted_bytes_.size() <= segment_index) {
+      persisted_bytes_.push_back(0);
+    }
+    std::ofstream out(SegmentPath(segment_index),
+                      std::ios::binary | std::ios::app);
+    out.write(record.data(), static_cast<std::streamsize>(record.size()));
+    persisted_bytes_[segment_index] += static_cast<int64_t>(record.size());
+  }
+
+  void AppendLocked(Slice key, Slice value, bool tombstone) {
+    std::string record_body;
+    PutLengthPrefixed(&record_body, key);
+    if (tombstone) {
+      PutVarint64(&record_body, 0);
+    } else {
+      PutVarint64(&record_body, value.size() + 1);
+      record_body.append(value.data(), value.size());
+    }
+    std::string record;
+    PutFixed32(&record, Crc32(record_body));
+    record += record_body;
+
+    if (static_cast<int64_t>(segments_.back().size()) >=
+        options_.segment_size_bytes) {
+      segments_.emplace_back();
+    }
+    std::string& seg = segments_.back();
+    const Location loc{segments_.size() - 1, seg.size(), record.size()};
+    seg += record;
+    PersistAppendLocked(segments_.size() - 1, record);
+
+    const std::string k = key.ToString();
+    auto it = index_.find(k);
+    if (it != index_.end()) {
+      dead_bytes_ += static_cast<int64_t>(it->second.record_size);
+      if (tombstone) {
+        dead_bytes_ += static_cast<int64_t>(loc.record_size);
+        index_.erase(it);
+      } else {
+        it->second = loc;
+      }
+    } else if (tombstone) {
+      dead_bytes_ += static_cast<int64_t>(loc.record_size);
+    } else {
+      index_[k] = loc;
+    }
+  }
+
+  Status ReadRecordLocked(const Location& loc, std::string* key,
+                          std::string* value) const {
+    const std::string& seg = segments_[loc.segment];
+    if (loc.offset + loc.record_size > seg.size()) {
+      return Status::Corruption("record out of segment bounds");
+    }
+    Slice record(seg.data() + loc.offset, loc.record_size);
+    uint32_t stored_crc;
+    if (!GetFixed32(&record, &stored_crc)) {
+      return Status::Corruption("truncated record header");
+    }
+    if (Crc32(record) != stored_crc) {
+      return Status::Corruption("record checksum mismatch");
+    }
+    Slice k, body = record;
+    if (!GetLengthPrefixed(&body, &k)) {
+      return Status::Corruption("truncated key");
+    }
+    uint64_t vlen_plus1;
+    if (!GetVarint64(&body, &vlen_plus1)) {
+      return Status::Corruption("truncated value length");
+    }
+    if (vlen_plus1 == 0) return Status::NotFound("tombstone");
+    if (body.size() < vlen_plus1 - 1) {
+      return Status::Corruption("truncated value");
+    }
+    if (key != nullptr) *key = k.ToString();
+    if (value != nullptr) value->assign(body.data(), vlen_plus1 - 1);
+    return Status::OK();
+  }
+
+  void MaybeCompactLocked() {
+    int64_t total = 0;
+    for (const auto& seg : segments_) total += static_cast<int64_t>(seg.size());
+    if (total > options_.segment_size_bytes &&
+        static_cast<double>(dead_bytes_) >
+            options_.compaction_garbage_ratio * static_cast<double>(total)) {
+      CompactLocked();
+    }
+  }
+
+  void CompactLocked() {
+    std::vector<std::string> old_segments = std::move(segments_);
+    std::map<std::string, Location> old_index = std::move(index_);
+    segments_.clear();
+    segments_.emplace_back();
+    index_.clear();
+    dead_bytes_ = 0;
+    ++compactions_;
+    if (!options_.data_dir.empty()) {
+      // Compaction rewrites everything: drop the old segment files.
+      for (size_t i = 0; i < old_segments.size(); ++i) {
+        std::error_code ec;
+        std::filesystem::remove(SegmentPath(i), ec);
+      }
+      persisted_bytes_.clear();
+    }
+    for (const auto& [key, loc] : old_index) {
+      // Read from the old segments directly.
+      const std::string& seg = old_segments[loc.segment];
+      Slice record(seg.data() + loc.offset, loc.record_size);
+      uint32_t crc;
+      GetFixed32(&record, &crc);
+      Slice k;
+      GetLengthPrefixed(&record, &k);
+      uint64_t vlen_plus1;
+      GetVarint64(&record, &vlen_plus1);
+      Slice value(record.data(), vlen_plus1 - 1);
+      AppendLocked(key, value, /*tombstone=*/false);
+    }
+  }
+
+  const LogEngineOptions options_;
+  mutable std::mutex mu_;
+  std::vector<std::string> segments_;
+  std::vector<int64_t> persisted_bytes_;  // per segment (persistent mode)
+  std::map<std::string, Location> index_;
+  int64_t dead_bytes_ = 0;
+  int64_t compactions_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<LogStructuredEngine> NewLogStructuredEngine(
+    const LogEngineOptions& options) {
+  return std::make_unique<LogEngineImpl>(options);
+}
+
+std::unique_ptr<StorageEngine> NewLogStructuredEngine() {
+  return NewLogStructuredEngine(LogEngineOptions{});
+}
+
+}  // namespace lidi::storage

@@ -1,0 +1,61 @@
+#include <map>
+#include <mutex>
+
+#include "storage/engine.h"
+
+namespace lidi::storage {
+
+namespace {
+
+/// std::map-backed engine. Ordered iteration makes it the easiest engine to
+/// reason about in tests; it is also the mock-engine referenced by the
+/// pluggable-architecture tests.
+class MemTableEngine : public StorageEngine {
+ public:
+  std::string name() const override { return "memtable"; }
+
+  Status Get(Slice key, std::string* value) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = data_.find(key.ToString());
+    if (it == data_.end()) return Status::NotFound();
+    *value = it->second;
+    return Status::OK();
+  }
+
+  Status Put(Slice key, Slice value) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    data_[key.ToString()] = value.ToString();
+    return Status::OK();
+  }
+
+  Status Delete(Slice key) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    data_.erase(key.ToString());
+    return Status::OK();
+  }
+
+  int64_t Count() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(data_.size());
+  }
+
+  void ForEach(const std::function<bool(Slice key, Slice value)>& visitor)
+      const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [k, v] : data_) {
+      if (!visitor(k, v)) return;
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> data_;
+};
+
+}  // namespace
+
+std::unique_ptr<StorageEngine> NewMemTableEngine() {
+  return std::make_unique<MemTableEngine>();
+}
+
+}  // namespace lidi::storage

@@ -1,0 +1,68 @@
+#include "voldemort/admin.h"
+
+#include "common/coding.h"
+#include "voldemort/server.h"
+
+namespace lidi::voldemort {
+
+namespace {
+constexpr char kAdminName[] = "voldemort-admin";
+}  // namespace
+
+Status AdminClient::AddStoreEverywhere(const std::string& store) {
+  for (const Node& node : metadata_->nodes()) {
+    auto r = network_->Call(kAdminName, VoldemortAddress(node.id),
+                            "admin.add-store", store);
+    if (!r.ok() && r.status().code() != Code::kAlreadyExists) {
+      return r.status();
+    }
+  }
+  return Status::OK();
+}
+
+Status AdminClient::DeleteStoreEverywhere(const std::string& store) {
+  for (const Node& node : metadata_->nodes()) {
+    auto r = network_->Call(kAdminName, VoldemortAddress(node.id),
+                            "admin.delete-store", store);
+    if (!r.ok() && !r.status().IsNotFound()) return r.status();
+  }
+  return Status::OK();
+}
+
+Status AdminClient::MigratePartition(const std::string& store, int partition,
+                                     int to_node) {
+  const int from_node = metadata_->OwnerOfPartition(partition);
+  if (from_node == to_node) return Status::OK();
+
+  // Phase 1: flag the migration; the old owner now proxies this partition.
+  metadata_->StartMigration(partition, to_node);
+
+  // Phase 2: stream the partition's entries to the destination. The entries
+  // carry their vector clocks, so writes proxied to the destination during
+  // the copy merge cleanly (admin.put-raw merges version lists).
+  std::string fetch_request;
+  PutLengthPrefixed(&fetch_request, store);
+  PutVarint64(&fetch_request, static_cast<uint64_t>(partition));
+  auto fetched = network_->Call(kAdminName, VoldemortAddress(from_node),
+                                "admin.fetch-partition", fetch_request);
+  if (!fetched.ok()) {
+    metadata_->AbortMigration(partition);
+    return fetched.status();
+  }
+
+  std::string put_request;
+  PutLengthPrefixed(&put_request, store);
+  put_request += fetched.value();
+  auto put = network_->Call(kAdminName, VoldemortAddress(to_node),
+                            "admin.put-raw", put_request);
+  if (!put.ok()) {
+    metadata_->AbortMigration(partition);
+    return put.status();
+  }
+
+  // Phase 3: flip ownership; requests now route directly to the new owner.
+  metadata_->FinishMigration(partition);
+  return Status::OK();
+}
+
+}  // namespace lidi::voldemort

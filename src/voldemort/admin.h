@@ -1,0 +1,38 @@
+#ifndef LIDI_VOLDEMORT_ADMIN_H_
+#define LIDI_VOLDEMORT_ADMIN_H_
+
+#include <memory>
+#include <string>
+
+#include "net/network.h"
+#include "voldemort/metadata.h"
+
+namespace lidi::voldemort {
+
+/// Administrative client for the per-node admin service (paper Section II.B:
+/// "the execution of privileged commands without downtime", including
+/// add/delete store and rebalancing by changing partition ownership).
+class AdminClient {
+ public:
+  AdminClient(std::shared_ptr<ClusterMetadata> metadata, net::Network* network)
+      : metadata_(std::move(metadata)), network_(network) {}
+
+  /// Creates/drops a store on every node in the cluster.
+  Status AddStoreEverywhere(const std::string& store);
+  Status DeleteStoreEverywhere(const std::string& store);
+
+  /// Rebalances one partition onto `to_node` without downtime:
+  ///  1. marks the partition migrating (the old owner starts proxying),
+  ///  2. copies the partition's entries to the destination,
+  ///  3. flips ownership and clears the migration flag.
+  Status MigratePartition(const std::string& store, int partition,
+                          int to_node);
+
+ private:
+  const std::shared_ptr<ClusterMetadata> metadata_;
+  net::Network* const network_;
+};
+
+}  // namespace lidi::voldemort
+
+#endif  // LIDI_VOLDEMORT_ADMIN_H_

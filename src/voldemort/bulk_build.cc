@@ -1,0 +1,142 @@
+#include "voldemort/bulk_build.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "voldemort/routing.h"
+
+namespace lidi::voldemort {
+
+BulkBuildResult BulkBuild(const std::map<std::string, std::string>& records,
+                          const Cluster& cluster, int replication_factor) {
+  auto routing = NewConsistentRoutingStrategy(&cluster, replication_factor);
+
+  // Phase (a), "map": route each record to its replica nodes.
+  struct Entry {
+    std::array<uint8_t, 16> digest;
+    const std::string* key;
+    const std::string* value;
+  };
+  std::map<int, std::vector<Entry>> per_node;
+  int64_t total = 0;
+  for (const auto& [key, value] : records) {
+    ++total;
+    for (int node : routing->RouteRequest(key)) {
+      per_node[node].push_back(Entry{Md5(key), &key, &value});
+    }
+  }
+
+  // Phase (a), "reduce": per node, sort by MD5 (Hadoop sorts in reducers)
+  // and emit the data + index files.
+  BulkBuildResult result;
+  result.total_records = total;
+  for (auto& [node, entries] : per_node) {
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                return memcmp(a.digest.data(), b.digest.data(), 16) < 0;
+              });
+    ReadOnlyFiles files;
+    for (const Entry& e : entries) {
+      const uint64_t offset = files.data.size();
+      PutLengthPrefixed(&files.data, *e.key);
+      PutLengthPrefixed(&files.data, *e.value);
+      files.index.append(reinterpret_cast<const char*>(e.digest.data()), 16);
+      PutFixed64(&files.index, offset);
+    }
+    result.files_per_node[node] = std::move(files);
+  }
+  return result;
+}
+
+void BulkFileRepository::Publish(const std::string& store, int64_t version,
+                                 BulkBuildResult result) {
+  builds_[{store, version}] = std::move(result);
+}
+
+Result<ReadOnlyFiles> BulkFileRepository::Fetch(const std::string& store,
+                                                int64_t version,
+                                                int node_id) const {
+  auto it = builds_.find({store, version});
+  if (it == builds_.end()) {
+    return Status::NotFound("no build for " + store + " v" +
+                            std::to_string(version));
+  }
+  auto nit = it->second.files_per_node.find(node_id);
+  if (nit == it->second.files_per_node.end()) {
+    // A node may legitimately own no data for a tiny store.
+    return ReadOnlyFiles{};
+  }
+  return nit->second;
+}
+
+namespace {
+
+/// Copies `src` in throttle-sized chunks, reporting progress.
+void ThrottledCopy(const std::string& src, std::string* dst,
+                   const PullOptions& options, int64_t* bytes_so_far) {
+  size_t copied = 0;
+  while (copied < src.size()) {
+    const size_t chunk = std::min<size_t>(
+        static_cast<size_t>(options.throttle_chunk_bytes),
+        src.size() - copied);
+    dst->append(src, copied, chunk);
+    copied += chunk;
+    *bytes_so_far += static_cast<int64_t>(chunk);
+    if (options.throttle_callback) options.throttle_callback(*bytes_so_far);
+  }
+}
+
+}  // namespace
+
+Status ReadOnlyController::Pull(const std::string& store, int64_t version,
+                                const PullOptions& options) {
+  int64_t bytes = 0;
+  for (VoldemortServer* server : servers_) {
+    auto files = repository_->Fetch(store, version, server->node_id());
+    if (!files.ok()) return files.status();
+    ReadOnlyStore* ro = server->GetReadOnlyStore(store);
+    if (ro == nullptr) {
+      return Status::NotFound("node " + std::to_string(server->node_id()) +
+                              " lacks read-only store " + store);
+    }
+    // Data files first, index files last (cache locality post-swap).
+    ReadOnlyFiles staged;
+    ThrottledCopy(files.value().data, &staged.data, options, &bytes);
+    ThrottledCopy(files.value().index, &staged.index, options, &bytes);
+    Status s = ro->AddVersion(version, std::move(staged));
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status ReadOnlyController::SwapAll(const std::string& store, int64_t version) {
+  std::vector<VoldemortServer*> swapped;
+  for (VoldemortServer* server : servers_) {
+    ReadOnlyStore* ro = server->GetReadOnlyStore(store);
+    if (ro == nullptr) return Status::NotFound("missing read-only store");
+    Status s = ro->Swap(version);
+    if (!s.ok()) {
+      // Co-ordinated atomicity: undo the nodes already swapped.
+      for (VoldemortServer* done : swapped) {
+        done->GetReadOnlyStore(store)->Rollback();
+      }
+      return s;
+    }
+    swapped.push_back(server);
+  }
+  return Status::OK();
+}
+
+Status ReadOnlyController::RollbackAll(const std::string& store) {
+  for (VoldemortServer* server : servers_) {
+    ReadOnlyStore* ro = server->GetReadOnlyStore(store);
+    if (ro == nullptr) return Status::NotFound("missing read-only store");
+    Status s = ro->Rollback();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace lidi::voldemort

@@ -1,0 +1,85 @@
+#ifndef LIDI_VOLDEMORT_BULK_BUILD_H_
+#define LIDI_VOLDEMORT_BULK_BUILD_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "voldemort/cluster.h"
+#include "voldemort/readonly_store.h"
+#include "voldemort/server.h"
+
+namespace lidi::voldemort {
+
+/// Output of the build phase: per destination node, the index + data file
+/// set (paper Figure II.3 phase (a): "partitioned sets of data and index
+/// files ... partitioned by destination nodes and stored in HDFS").
+struct BulkBuildResult {
+  std::map<int, ReadOnlyFiles> files_per_node;
+  int64_t total_records = 0;
+};
+
+/// The offline build phase. Stands in for the Hadoop job (see DESIGN.md):
+/// routes every record to its N replica nodes, and per node emits a data
+/// file plus an index file of (MD5(key), offset) entries sorted by digest —
+/// the sort Hadoop performs in its reducers.
+BulkBuildResult BulkBuild(const std::map<std::string, std::string>& records,
+                          const Cluster& cluster, int replication_factor);
+
+/// Stand-in for HDFS: versioned build outputs keyed by (store, version)
+/// that Voldemort nodes pull from.
+class BulkFileRepository {
+ public:
+  void Publish(const std::string& store, int64_t version,
+               BulkBuildResult result);
+  /// Files for one node; NotFound if the build/version is unknown.
+  Result<ReadOnlyFiles> Fetch(const std::string& store, int64_t version,
+                              int node_id) const;
+
+ private:
+  std::map<std::pair<std::string, int64_t>, BulkBuildResult> builds_;
+};
+
+/// Pull-phase throttling knobs (paper II.C: "(a) throttling the pulls and
+/// (b) pulling the index files after all the data files to achieve
+/// cache-locality post-swap").
+struct PullOptions {
+  /// Bytes copied per simulated chunk; the throttle callback runs between
+  /// chunks (tests count invocations; a production build would sleep).
+  int64_t throttle_chunk_bytes = 1 << 20;
+  std::function<void(int64_t bytes_so_far)> throttle_callback;
+};
+
+/// Orchestrates the read-only data cycle across the cluster (Figure II.3):
+/// pull into a fresh versioned directory on every node, then an atomic
+/// cluster-wide swap, with rollback on request.
+class ReadOnlyController {
+ public:
+  ReadOnlyController(std::vector<VoldemortServer*> servers,
+                     const BulkFileRepository* repository)
+      : servers_(std::move(servers)), repository_(repository) {}
+
+  /// Pull phase: fetches version files into every node's store (parallel in
+  /// production; sequential and deterministic here). Data files are copied
+  /// before index files per the cache-locality optimization.
+  Status Pull(const std::string& store, int64_t version,
+              const PullOptions& options = {});
+
+  /// Swap phase: atomically points every node at `version`. If any node
+  /// cannot swap, already-swapped nodes are rolled back.
+  Status SwapAll(const std::string& store, int64_t version);
+
+  /// Cluster-wide rollback to each node's previous version.
+  Status RollbackAll(const std::string& store);
+
+ private:
+  std::vector<VoldemortServer*> servers_;
+  const BulkFileRepository* repository_;
+};
+
+}  // namespace lidi::voldemort
+
+#endif  // LIDI_VOLDEMORT_BULK_BUILD_H_

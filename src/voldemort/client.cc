@@ -1,0 +1,387 @@
+#include "voldemort/client.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/coding.h"
+#include "voldemort/routing.h"
+#include "voldemort/server.h"
+
+namespace lidi::voldemort {
+
+StoreClient::StoreClient(std::string client_name, StoreDefinition store_def,
+                         std::shared_ptr<ClusterMetadata> metadata,
+                         net::Network* network, const Clock* clock,
+                         ClientOptions options)
+    : name_(std::move(client_name)),
+      def_(std::move(store_def)),
+      metadata_(std::move(metadata)),
+      network_(network),
+      options_(options),
+      detector_(options.failure_detector, clock, [this](int node_id) {
+        return network_
+            ->Call(name_, VoldemortAddress(node_id), "v.ping", "")
+            .ok();
+      }) {}
+
+std::vector<int> StoreClient::PreferenceList(Slice key) {
+  const Cluster cluster = metadata_->SnapshotCluster();
+  const int zones = std::max(def_.zone_count_reads, def_.zone_count_writes);
+  auto routing =
+      zones > 0
+          ? NewZoneAwareRoutingStrategy(&cluster, def_.replication_factor,
+                                        zones)
+          : NewConsistentRoutingStrategy(&cluster, def_.replication_factor);
+  std::vector<int> preference = routing->RouteRequest(key);
+  if (options_.client_zone >= 0) {
+    // Zone affinity: stable-sort replicas by distance from the client's
+    // zone, per the zone's proximity list (own zone = distance 0; zones
+    // absent from the list sort last). Stable keeps ring order within a
+    // distance class, preserving coordinator determinism per zone.
+    const std::vector<Zone>& zone_defs = cluster.zones();
+    auto distance = [&](int node_id) {
+      const Node* node = cluster.GetNode(node_id);
+      if (node == nullptr) return 1 << 20;
+      if (node->zone_id == options_.client_zone) return 0;
+      for (const Zone& z : zone_defs) {
+        if (z.id != options_.client_zone) continue;
+        for (size_t i = 0; i < z.proximity_list.size(); ++i) {
+          if (z.proximity_list[i] == node->zone_id) {
+            return static_cast<int>(i) + 1;
+          }
+        }
+      }
+      return 1 << 19;  // unknown zone: after everything listed
+    };
+    std::stable_sort(preference.begin(), preference.end(),
+                     [&](int a, int b) { return distance(a) < distance(b); });
+  }
+  return preference;
+}
+
+Result<std::vector<Versioned>> StoreClient::Get(Slice key) {
+  return Get(key, Transform{});
+}
+
+Result<std::vector<Versioned>> StoreClient::Get(Slice key,
+                                                const Transform& transform) {
+  const std::vector<int> preference = PreferenceList(key);
+  std::string request;
+  EncodeGetRequest(def_.name, key, &request);
+  if (transform.type != Transform::Type::kNone) {
+    transform.EncodeTo(&request);
+  }
+  const std::string method = transform.type == Transform::Type::kNone
+                                 ? "v.get"
+                                 : "v.get-transform";
+
+  std::vector<std::pair<int, std::vector<Versioned>>> responses;
+  int successes = 0;
+  for (int node : preference) {
+    if (successes >= def_.required_reads) break;
+    if (!detector_.IsAvailable(node)) continue;
+    auto r = network_->Call(name_, VoldemortAddress(node), method, request);
+    if (r.ok()) {
+      auto list = DecodeVersionedList(r.value());
+      if (!list.ok()) return list.status();
+      detector_.RecordSuccess(node);
+      responses.emplace_back(node, std::move(list.value()));
+      ++successes;
+    } else if (r.status().IsNotFound()) {
+      // The node answered: the key is absent there.
+      detector_.RecordSuccess(node);
+      responses.emplace_back(node, std::vector<Versioned>{});
+      ++successes;
+    } else {
+      detector_.RecordFailure(node);
+    }
+  }
+  if (successes < def_.required_reads) {
+    return Status::InsufficientNodes(
+        "got " + std::to_string(successes) + " of R=" +
+        std::to_string(def_.required_reads) + " responses");
+  }
+
+  std::vector<Versioned> all;
+  for (const auto& [node, list] : responses) {
+    all.insert(all.end(), list.begin(), list.end());
+  }
+  std::vector<Versioned> resolved = ResolveConcurrent(std::move(all));
+  if (options_.enable_read_repair &&
+      transform.type == Transform::Type::kNone) {
+    ReadRepair(key, resolved, responses);
+  }
+  if (resolved.empty()) return Status::NotFound();
+  return resolved;
+}
+
+void StoreClient::ReadRepair(
+    Slice key, const std::vector<Versioned>& resolved,
+    const std::vector<std::pair<int, std::vector<Versioned>>>&
+        node_responses) {
+  // Paper II.B: "Read repair detects inconsistencies during gets." Any node
+  // whose response lacks a resolved version gets that version written back.
+  for (const auto& [node, list] : node_responses) {
+    for (const Versioned& v : resolved) {
+      bool has = false;
+      for (const Versioned& existing : list) {
+        const Occurred o = existing.version.Compare(v.version);
+        if (o == Occurred::kEqual || o == Occurred::kAfter) {
+          has = true;
+          break;
+        }
+      }
+      if (has) continue;
+      std::string put_request;
+      EncodePutRequest(def_.name, key, v, Transform{}, &put_request);
+      network_->Call(name_, VoldemortAddress(node), "v.put", put_request);
+    }
+  }
+}
+
+Status StoreClient::Put(Slice key, const Versioned& versioned) {
+  return PutEncoded(key, versioned, Transform{});
+}
+
+Status StoreClient::PutEncoded(Slice key, const Versioned& versioned,
+                               const Transform& transform) {
+  const std::vector<int> preference = PreferenceList(key);
+  if (preference.empty()) return Status::InsufficientNodes("no replicas");
+
+  // The coordinator is the first available node; the write's vector clock is
+  // incremented at the coordinator, producing a version that descends from
+  // the one the caller read.
+  Versioned write = versioned;
+  int coordinator = -1;
+  for (int node : preference) {
+    if (detector_.IsAvailable(node)) {
+      coordinator = node;
+      break;
+    }
+  }
+  if (coordinator < 0) return Status::InsufficientNodes("no available node");
+  write.version.Increment(coordinator);
+
+  std::string coord_request;
+  EncodePutRequest(def_.name, key, write, transform, &coord_request);
+
+  int successes = 0;
+  std::set<int> satisfied_zones;
+  std::vector<int> failed_nodes;
+  std::string replicate_request;  // what non-coordinator replicas receive
+
+  // Coordinator first: for transformed puts its response carries the final
+  // value bytes, which the client then replicates verbatim.
+  auto cr = network_->Call(name_, VoldemortAddress(coordinator), "v.put",
+                           coord_request);
+  if (cr.ok()) {
+    detector_.RecordSuccess(coordinator);
+    ++successes;
+    if (const Node* n = metadata_->GetNodeUnsafe(coordinator)) {
+      satisfied_zones.insert(n->zone_id);
+    }
+    Versioned replicated{write.version, cr.value()};
+    EncodePutRequest(def_.name, key, replicated, Transform{},
+                     &replicate_request);
+  } else if (cr.status().IsObsoleteVersion()) {
+    return cr.status();
+  } else {
+    // The coordinator could not apply the write. Abort instead of writing
+    // the coordinator-attributed clock to other replicas: a clock entry
+    // {coordinator: n} may exist only if the coordinator itself applied it,
+    // otherwise a retry through a stale read could mint a *different* value
+    // under an identical clock (undetectable divergence).
+    detector_.RecordFailure(coordinator);
+    return Status::Unavailable("coordinator " + std::to_string(coordinator) +
+                               " unreachable: " + cr.status().message());
+  }
+
+  for (int node : preference) {
+    if (node == coordinator) continue;
+    if (!detector_.IsAvailable(node)) {
+      failed_nodes.push_back(node);
+      continue;
+    }
+    auto r = network_->Call(name_, VoldemortAddress(node), "v.put",
+                            replicate_request);
+    if (r.ok()) {
+      detector_.RecordSuccess(node);
+      ++successes;
+      if (const Node* n = metadata_->GetNodeUnsafe(node)) {
+        satisfied_zones.insert(n->zone_id);
+      }
+    } else if (r.status().IsObsoleteVersion()) {
+      // Another writer won the race at this replica.
+      return r.status();
+    } else {
+      detector_.RecordFailure(node);
+      failed_nodes.push_back(node);
+    }
+  }
+
+  if (options_.enable_hinted_handoff && !failed_nodes.empty()) {
+    HintedHandoff(failed_nodes, preference, replicate_request);
+  }
+  if (successes < def_.required_writes) {
+    return Status::InsufficientNodes(
+        "got " + std::to_string(successes) + " of W=" +
+        std::to_string(def_.required_writes) + " acks");
+  }
+  if (def_.zone_count_writes > 0 &&
+      static_cast<int>(satisfied_zones.size()) < def_.zone_count_writes) {
+    return Status::InsufficientNodes("zone count not satisfied");
+  }
+  return Status::OK();
+}
+
+void StoreClient::HintedHandoff(const std::vector<int>& failed_nodes,
+                                const std::vector<int>& preference,
+                                Slice put_request) {
+  // Paper II.B: "hinted handoff is triggered during puts". For every failed
+  // replica, park the write (with its destination) on a healthy node outside
+  // the preference list; v.push-slops later delivers it.
+  std::vector<int> candidates;
+  for (const Node& n : metadata_->nodes()) {
+    if (std::find(preference.begin(), preference.end(), n.id) ==
+        preference.end()) {
+      candidates.push_back(n.id);
+    }
+  }
+  size_t next = 0;
+  for (int failed : failed_nodes) {
+    std::string slop;
+    EncodeSlopRequest(failed, put_request, &slop);
+    for (size_t attempts = 0; attempts < candidates.size(); ++attempts) {
+      const int host = candidates[next % candidates.size()];
+      ++next;
+      if (!detector_.IsAvailable(host)) continue;
+      if (network_->Call(name_, VoldemortAddress(host), "v.slop", slop).ok()) {
+        break;
+      }
+    }
+  }
+}
+
+Status StoreClient::Put(Slice key, const VectorClock& clock,
+                        const Transform& transform) {
+  return PutEncoded(key, Versioned{clock, ""}, transform);
+}
+
+Status StoreClient::PutValue(Slice key, Slice value) {
+  VectorClock clock;
+  auto current = Get(key);
+  if (current.ok()) {
+    for (const Versioned& v : current.value()) {
+      clock = clock.Merge(v.version);
+    }
+  } else if (!current.status().IsNotFound()) {
+    return current.status();
+  }
+  return Put(key, Versioned{clock, value.ToString()});
+}
+
+Status StoreClient::Delete(Slice key, const VectorClock& clock) {
+  const std::vector<int> preference = PreferenceList(key);
+  std::string request;
+  EncodeDeleteRequest(def_.name, key, clock, &request);
+  int successes = 0;
+  for (int node : preference) {
+    if (!detector_.IsAvailable(node)) continue;
+    auto r = network_->Call(name_, VoldemortAddress(node), "v.delete", request);
+    if (r.ok()) {
+      detector_.RecordSuccess(node);
+      ++successes;
+    } else {
+      detector_.RecordFailure(node);
+    }
+  }
+  if (successes < def_.required_writes) {
+    return Status::InsufficientNodes("delete quorum not met");
+  }
+  return Status::OK();
+}
+
+Status StoreClient::ApplyUpdate(Slice key, const UpdateAction& action,
+                                int max_retries) {
+  // Paper II.B: two concurrent updates to the same key fail one client with
+  // an ObsoleteVersion error; the retry logic lives here so callers get
+  // "read, modify, write if no change" loops (e.g. counters) for free.
+  Status last = Status::Internal("applyUpdate never ran");
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    std::vector<Versioned> current;
+    auto r = Get(key);
+    if (r.ok()) {
+      current = std::move(r.value());
+    } else if (!r.status().IsNotFound()) {
+      last = r.status();
+      continue;
+    }
+    VectorClock clock;
+    for (const Versioned& v : current) clock = clock.Merge(v.version);
+    const std::string new_value = action(current);
+    last = Put(key, Versioned{clock, new_value});
+    if (last.ok() || !last.IsObsoleteVersion()) return last;
+  }
+  return last;
+}
+
+Result<std::string> StoreClient::ReadOnlyGet(Slice key) {
+  const std::vector<int> preference = PreferenceList(key);
+  std::string request;
+  EncodeGetRequest(def_.name, key, &request);
+  Status last = Status::InsufficientNodes("no nodes");
+  for (int node : preference) {
+    if (!detector_.IsAvailable(node)) continue;
+    auto r = network_->Call(name_, VoldemortAddress(node), "ro.get", request);
+    if (r.ok()) {
+      detector_.RecordSuccess(node);
+      return r.value();
+    }
+    if (r.status().IsNotFound()) {
+      detector_.RecordSuccess(node);
+      return r.status();
+    }
+    detector_.RecordFailure(node);
+    last = r.status();
+  }
+  return last;
+}
+
+Result<std::string> ThinClient::CallAny(const std::string& method,
+                                        Slice request) {
+  Status last = Status::InsufficientNodes("no nodes configured");
+  for (size_t attempt = 0; attempt < nodes_.size(); ++attempt) {
+    const net::Address& node = nodes_[next_node_++ % nodes_.size()];
+    auto r = network_->Call(name_, node, method, request);
+    if (r.ok()) return r;
+    // Coordinator-reported data conditions must surface, not fail over:
+    // another node would just repeat them.
+    if (r.status().IsNotFound() || r.status().IsObsoleteVersion()) {
+      return r.status();
+    }
+    last = r.status();
+  }
+  return last;
+}
+
+Result<std::vector<Versioned>> ThinClient::Get(Slice key) {
+  std::string request;
+  EncodeGetRequest(store_, key, &request);
+  auto r = CallAny("vr.get", request);
+  if (!r.ok()) return r.status();
+  return DecodeVersionedList(r.value());
+}
+
+Status ThinClient::Put(Slice key, const Versioned& versioned) {
+  std::string request;
+  EncodePutRequest(store_, key, versioned, Transform{}, &request);
+  return CallAny("vr.put", request).status();
+}
+
+Status ThinClient::Delete(Slice key, const VectorClock& clock) {
+  std::string request;
+  EncodeDeleteRequest(store_, key, clock, &request);
+  return CallAny("vr.delete", request).status();
+}
+
+}  // namespace lidi::voldemort

@@ -1,0 +1,138 @@
+#ifndef LIDI_VOLDEMORT_CLIENT_H_
+#define LIDI_VOLDEMORT_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/network.h"
+#include "voldemort/cluster.h"
+#include "voldemort/failure_detector.h"
+#include "voldemort/metadata.h"
+#include "voldemort/wire.h"
+
+namespace lidi::voldemort {
+
+/// Client-side behaviour switches (used by the repair-mechanism ablation
+/// bench, E5).
+struct ClientOptions {
+  bool enable_read_repair = true;
+  bool enable_hinted_handoff = true;
+  FailureDetectorOptions failure_detector;
+  /// The zone this client runs in (-1 = no zone affinity). When set, reads
+  /// contact replicas nearest-first per the cluster's zone proximity lists
+  /// (paper II.B: zones are "defined by a proximity list of distances from
+  /// other zones") — cross-datacenter hops happen only when the local zone
+  /// cannot satisfy R.
+  int client_zone = -1;
+};
+
+/// The Voldemort store client (paper Figure II.2). Performs client-side
+/// routing over the full topology, quorum reads and writes against the
+/// store's (N, R, W) configuration, vector-clock versioning with conflict
+/// surfacing, read repair, hinted handoff, server-side transforms, and the
+/// optimistic ApplyUpdate retry loop.
+///
+/// Any replica accepts writes (no master), so concurrent updates may yield
+/// divergent histories; Get returns every concurrent version and the
+/// application resolves.
+class StoreClient {
+ public:
+  StoreClient(std::string client_name, StoreDefinition store_def,
+              std::shared_ptr<ClusterMetadata> metadata, net::Network* network,
+              const Clock* clock, ClientOptions options = {});
+
+  /// 1) VectorClock<V> get(K key): all concurrent versions (empty list never
+  /// returned — NotFound instead).
+  Result<std::vector<Versioned>> Get(Slice key);
+
+  /// 3) get(K key, T transform): versions with the transform applied
+  /// server-side (e.g. sub-list retrieval).
+  Result<std::vector<Versioned>> Get(Slice key, const Transform& transform);
+
+  /// 2) put(K key, VectorClock<V> value): quorum write. The supplied clock
+  /// must descend from the read version; ObsoleteVersion signals an
+  /// optimistic-lock conflict the caller may retry.
+  Status Put(Slice key, const Versioned& versioned);
+
+  /// 4) put(K key, VectorClock<V> value, T transform): the coordinator node
+  /// applies the transform (e.g. list append) to its current value; the
+  /// result is replicated to the remaining replicas. Saves shipping the full
+  /// list through the client.
+  Status Put(Slice key, const VectorClock& clock, const Transform& transform);
+
+  /// Convenience first-write / blind-update: reads current version, writes
+  /// value with a descending clock (still subject to optimistic locking).
+  Status PutValue(Slice key, Slice value);
+
+  /// Deletes all versions dominated by `clock`.
+  Status Delete(Slice key, const VectorClock& clock);
+
+  /// 5) applyUpdate(UpdateAction, retries): encapsulates the
+  /// read-modify-write-if-unchanged loop (e.g. counters). `action` maps the
+  /// current resolved versions (empty if absent) to the new value bytes.
+  using UpdateAction =
+      std::function<std::string(const std::vector<Versioned>& current)>;
+  Status ApplyUpdate(Slice key, const UpdateAction& action, int max_retries);
+
+  /// Read from a read-only store (binary-searched, built offline). Single
+  /// value semantics — the offline pipeline produces one version per key.
+  Result<std::string> ReadOnlyGet(Slice key);
+
+  FailureDetector* failure_detector() { return &detector_; }
+
+  /// Nodes consulted for `key`, in preference order (exposed for tests).
+  std::vector<int> PreferenceList(Slice key);
+
+ private:
+  Status PutEncoded(Slice key, const Versioned& versioned,
+                    const Transform& transform);
+  void HintedHandoff(const std::vector<int>& failed_nodes,
+                     const std::vector<int>& preference, Slice put_request);
+  void ReadRepair(Slice key, const std::vector<Versioned>& resolved,
+                  const std::vector<std::pair<int, std::vector<Versioned>>>&
+                      node_responses);
+
+  const std::string name_;
+  const StoreDefinition def_;
+  const std::shared_ptr<ClusterMetadata> metadata_;
+  net::Network* const network_;
+  const ClientOptions options_;
+  FailureDetector detector_;
+};
+
+/// The counterpart of server-side routing (paper Figure II.1): a client that
+/// holds NO topology — just node addresses. Each request goes to one node
+/// (round-robin, failing over on errors), which coordinates the quorum via
+/// its embedded routing module. Trades an extra network hop for zero client
+/// configuration, exactly the deployment choice the paper describes.
+class ThinClient {
+ public:
+  ThinClient(std::string client_name, std::string store,
+             std::vector<net::Address> nodes, net::Network* network)
+      : name_(std::move(client_name)),
+        store_(std::move(store)),
+        nodes_(std::move(nodes)),
+        network_(network) {}
+
+  Result<std::vector<Versioned>> Get(Slice key);
+  Status Put(Slice key, const Versioned& versioned);
+  Status Delete(Slice key, const VectorClock& clock);
+
+ private:
+  /// Sends `request` via `method` to nodes in round-robin order until one
+  /// answers (or all fail).
+  Result<std::string> CallAny(const std::string& method, Slice request);
+
+  const std::string name_;
+  const std::string store_;
+  const std::vector<net::Address> nodes_;
+  net::Network* const network_;
+  size_t next_node_ = 0;
+};
+
+}  // namespace lidi::voldemort
+
+#endif  // LIDI_VOLDEMORT_CLIENT_H_

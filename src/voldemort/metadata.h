@@ -1,0 +1,107 @@
+#ifndef LIDI_VOLDEMORT_METADATA_H_
+#define LIDI_VOLDEMORT_METADATA_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "voldemort/cluster.h"
+
+namespace lidi::voldemort {
+
+/// A partition being rebalanced from one node to another. While a migration
+/// is in flight, requests hitting the old owner are redirected to the new
+/// one (paper Section II.B Admin Service: "We maintain consistency during
+/// rebalancing by redirecting requests of moving partitions to their new
+/// destination").
+struct Migration {
+  int partition = -1;
+  int from_node = -1;
+  int to_node = -1;
+};
+
+/// Shared, mutable cluster metadata. Every node and client holds the full
+/// topology (this object), which is what makes routing O(1) (Section II.A).
+/// Thread-safe.
+class ClusterMetadata {
+ public:
+  explicit ClusterMetadata(Cluster cluster) : cluster_(std::move(cluster)) {}
+
+  /// Copy of the current topology.
+  Cluster SnapshotCluster() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cluster_;
+  }
+
+  int OwnerOfPartition(int partition) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cluster_.OwnerOfPartition(partition);
+  }
+
+  int num_partitions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cluster_.num_partitions();
+  }
+
+  std::vector<Node> nodes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cluster_.nodes();
+  }
+
+  const Node* GetNodeUnsafe(int node_id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cluster_.GetNode(node_id);  // Node storage is append-only
+  }
+
+  std::optional<Migration> MigrationOf(int partition) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = migrations_.find(partition);
+    if (it == migrations_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void StartMigration(int partition, int to_node) {
+    std::lock_guard<std::mutex> lock(mu_);
+    migrations_[partition] =
+        Migration{partition, cluster_.OwnerOfPartition(partition), to_node};
+  }
+
+  /// Completes a migration: ownership flips to the destination node.
+  void FinishMigration(int partition) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = migrations_.find(partition);
+    if (it == migrations_.end()) return;
+    cluster_.MovePartition(partition, it->second.to_node);
+    migrations_.erase(it);
+  }
+
+  /// Abandons a migration without flipping ownership (copy failed).
+  void AbortMigration(int partition) {
+    std::lock_guard<std::mutex> lock(mu_);
+    migrations_.erase(partition);
+  }
+
+  /// Registers a new node (cluster expansion without downtime).
+  void AddNode(const Node& node) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Node> nodes = cluster_.nodes();
+    nodes.push_back(node);
+    std::vector<int> ownership(cluster_.num_partitions());
+    for (int p = 0; p < cluster_.num_partitions(); ++p) {
+      ownership[p] = cluster_.OwnerOfPartition(p);
+    }
+    cluster_ = Cluster(std::move(nodes), std::move(ownership),
+                       cluster_.zones());
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Cluster cluster_;
+  std::map<int, Migration> migrations_;
+};
+
+}  // namespace lidi::voldemort
+
+#endif  // LIDI_VOLDEMORT_METADATA_H_

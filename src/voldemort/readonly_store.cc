@@ -1,0 +1,201 @@
+#include "voldemort/readonly_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace lidi::voldemort {
+
+Status ReadOnlySearch(const ReadOnlyFiles& files, Slice key,
+                      std::string* value) {
+  if (files.index.size() % 24 != 0) {
+    return Status::Corruption("index size not a multiple of entry size");
+  }
+  const std::array<uint8_t, 16> digest = Md5(key);
+  const int64_t n = files.entry_count();
+  int64_t lo = 0, hi = n - 1;
+  while (lo <= hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    const char* entry = files.index.data() + mid * 24;
+    const int cmp = memcmp(entry, digest.data(), 16);
+    if (cmp == 0) {
+      const uint64_t offset = DecodeFixed64(entry + 16);
+      if (offset >= files.data.size()) {
+        return Status::Corruption("data offset out of bounds");
+      }
+      Slice record(files.data.data() + offset, files.data.size() - offset);
+      Slice stored_key, stored_value;
+      if (!GetLengthPrefixed(&record, &stored_key) ||
+          !GetLengthPrefixed(&record, &stored_value)) {
+        return Status::Corruption("truncated data record");
+      }
+      if (stored_key != key) {
+        // MD5 collision between distinct keys: treat as absent.
+        return Status::NotFound("md5 collision, key mismatch");
+      }
+      *value = stored_value.ToString();
+      return Status::OK();
+    }
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return Status::NotFound();
+}
+
+namespace {
+
+/// Reads and validates the data record at index entry `index`, comparing the
+/// stored key; shared by both search strategies.
+Status ReadEntry(const ReadOnlyFiles& files, int64_t index, Slice key,
+                 std::string* value) {
+  const char* entry = files.index.data() + index * 24;
+  const uint64_t offset = DecodeFixed64(entry + 16);
+  if (offset >= files.data.size()) {
+    return Status::Corruption("data offset out of bounds");
+  }
+  Slice record(files.data.data() + offset, files.data.size() - offset);
+  Slice stored_key, stored_value;
+  if (!GetLengthPrefixed(&record, &stored_key) ||
+      !GetLengthPrefixed(&record, &stored_value)) {
+    return Status::Corruption("truncated data record");
+  }
+  if (stored_key != key) {
+    return Status::NotFound("md5 collision, key mismatch");
+  }
+  *value = stored_value.ToString();
+  return Status::OK();
+}
+
+/// First 8 digest bytes as a big-endian integer — the interpolation key.
+uint64_t DigestPrefix(const uint8_t* digest) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | digest[i];
+  return v;
+}
+
+}  // namespace
+
+Status ReadOnlyInterpolationSearch(const ReadOnlyFiles& files, Slice key,
+                                   std::string* value) {
+  if (files.index.size() % 24 != 0) {
+    return Status::Corruption("index size not a multiple of entry size");
+  }
+  const std::array<uint8_t, 16> digest = Md5(key);
+  const uint64_t target = DigestPrefix(digest.data());
+  const int64_t n = files.entry_count();
+  int64_t lo = 0, hi = n - 1;
+  while (lo <= hi) {
+    const uint64_t lo_val = DigestPrefix(reinterpret_cast<const uint8_t*>(
+        files.index.data() + lo * 24));
+    const uint64_t hi_val = DigestPrefix(reinterpret_cast<const uint8_t*>(
+        files.index.data() + hi * 24));
+    int64_t probe;
+    if (hi_val == lo_val) {
+      probe = lo;  // degenerate range: scan linearly via bisection step
+    } else if (target < lo_val || target > hi_val) {
+      return Status::NotFound();
+    } else {
+      // Interpolate the expected position of the target digest.
+      const double fraction = static_cast<double>(target - lo_val) /
+                              static_cast<double>(hi_val - lo_val);
+      probe = lo + static_cast<int64_t>(
+                       fraction * static_cast<double>(hi - lo));
+    }
+    const char* entry = files.index.data() + probe * 24;
+    const int cmp = memcmp(entry, digest.data(), 16);
+    if (cmp == 0) return ReadEntry(files, probe, key, value);
+    if (cmp < 0) {
+      lo = probe + 1;
+    } else {
+      hi = probe - 1;
+    }
+  }
+  return Status::NotFound();
+}
+
+Status ReadOnlyStore::AddVersion(int64_t version, ReadOnlyFiles files) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (versions_.count(version) > 0) {
+    return Status::AlreadyExists("version " + std::to_string(version));
+  }
+  versions_[version] = std::move(files);
+  return Status::OK();
+}
+
+Status ReadOnlyStore::Swap(int64_t version) {
+  std::vector<SwapListener> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (versions_.count(version) == 0) {
+      return Status::NotFound("version " + std::to_string(version));
+    }
+    previous_ = current_;
+    current_ = version;
+    listeners = listeners_;
+  }
+  for (const SwapListener& listener : listeners) listener(version);
+  return Status::OK();
+}
+
+Status ReadOnlyStore::Rollback() {
+  std::vector<SwapListener> listeners;
+  int64_t now_current;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (previous_ < 0) return Status::InvalidArgument("no previous version");
+    current_ = previous_;
+    previous_ = -1;
+    now_current = current_;
+    listeners = listeners_;
+  }
+  for (const SwapListener& listener : listeners) listener(now_current);
+  return Status::OK();
+}
+
+void ReadOnlyStore::AddSwapListener(SwapListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.push_back(std::move(listener));
+}
+
+Status ReadOnlyStore::Get(Slice key, std::string* value) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ < 0) return Status::Unavailable("no version swapped in");
+  auto it = versions_.find(current_);
+  if (it == versions_.end()) return Status::Internal("current version missing");
+  return ReadOnlySearch(it->second, key, value);
+}
+
+int64_t ReadOnlyStore::current_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+std::vector<int64_t> ReadOnlyStore::versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int64_t> out;
+  for (const auto& [v, files] : versions_) out.push_back(v);
+  return out;
+}
+
+void ReadOnlyStore::RetainVersions(int keep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int64_t> all;
+  for (const auto& [v, files] : versions_) all.push_back(v);
+  std::sort(all.rbegin(), all.rend());
+  int kept = 0;
+  for (int64_t v : all) {
+    const bool in_use = v == current_ || v == previous_;
+    if (kept < keep || in_use) {
+      ++kept;
+      continue;
+    }
+    versions_.erase(v);
+  }
+}
+
+}  // namespace lidi::voldemort

@@ -1,0 +1,89 @@
+#ifndef LIDI_VOLDEMORT_READONLY_STORE_H_
+#define LIDI_VOLDEMORT_READONLY_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace lidi::voldemort {
+
+/// The file set for one store version on one node (paper Section II.B,
+/// custom read-only storage engine): a compact index file of sorted
+/// (MD5(key), offset) entries and a data file the offsets point into.
+///
+/// Index entry layout: 16-byte MD5 digest, 8-byte little-endian offset.
+/// Data record layout: varint key length, key, varint value length, value.
+/// Lookups binary-search the index (built by the offline system, which
+/// sorts in its reducers) and then read one data record.
+struct ReadOnlyFiles {
+  std::string index;
+  std::string data;
+
+  int64_t entry_count() const {
+    return static_cast<int64_t>(index.size()) / 24;
+  }
+};
+
+/// Searches one file set. Returns NotFound on missing keys; verifies the
+/// stored key to guard against MD5 collisions; Corruption on malformed data.
+Status ReadOnlySearch(const ReadOnlyFiles& files, Slice key,
+                      std::string* value);
+
+/// The "new index formats to optimize read-only store performance" the paper
+/// lists as future work (II.C): because index entries are sorted *MD5
+/// digests* — uniformly distributed by construction — interpolation search
+/// over the same file format resolves lookups in O(log log n) probes instead
+/// of binary search's O(log n). Same result contract as ReadOnlySearch.
+Status ReadOnlyInterpolationSearch(const ReadOnlyFiles& files, Slice key,
+                                   std::string* value);
+
+/// A node's read-only store: versioned directories of file sets. A new data
+/// deployment creates a new versioned directory; the swap phase atomically
+/// makes it current; keeping the old versions enables instantaneous
+/// rollbacks (Section II.B).
+class ReadOnlyStore {
+ public:
+  /// Installs a fetched file set under `version` (the pull phase target).
+  /// AlreadyExists if the version is present.
+  Status AddVersion(int64_t version, ReadOnlyFiles files);
+
+  /// Atomically makes `version` current (the swap phase on this node).
+  Status Swap(int64_t version);
+
+  /// Reverts to the version that was current before the last swap.
+  Status Rollback();
+
+  /// Point lookup against the current version.
+  Status Get(Slice key, std::string* value) const;
+
+  int64_t current_version() const;
+  std::vector<int64_t> versions() const;
+
+  /// Drops all versions older than the current one minus `keep`.
+  void RetainVersions(int keep);
+
+  /// The update stream the paper lists as Voldemort future work (II.C:
+  /// "an update stream to which consumers can listen"): listeners fire after
+  /// every successful Swap or Rollback with the now-current version, letting
+  /// caches and downstream services react to data deployments.
+  using SwapListener = std::function<void(int64_t new_version)>;
+  void AddSwapListener(SwapListener listener);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int64_t, ReadOnlyFiles> versions_;
+  int64_t current_ = -1;
+  int64_t previous_ = -1;
+  std::vector<SwapListener> listeners_;
+};
+
+}  // namespace lidi::voldemort
+
+#endif  // LIDI_VOLDEMORT_READONLY_STORE_H_

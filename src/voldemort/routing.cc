@@ -1,0 +1,144 @@
+#include "voldemort/routing.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/hash.h"
+
+namespace lidi::voldemort {
+
+namespace {
+
+class ConsistentRouting : public RouteStrategy {
+ public:
+  ConsistentRouting(const Cluster* cluster, int replication_factor,
+                    int required_zones)
+      : cluster_(cluster),
+        replication_factor_(replication_factor),
+        required_zones_(required_zones) {}
+
+  int MasterPartition(Slice key) const override {
+    return static_cast<int>(Fnv1a64(key) %
+                            static_cast<uint64_t>(cluster_->num_partitions()));
+  }
+
+  std::vector<int> PartitionList(Slice key) const override {
+    const int num_partitions = cluster_->num_partitions();
+    const int master = MasterPartition(key);
+    std::vector<int> partitions{master};
+    std::set<int> used_nodes{cluster_->OwnerOfPartition(master)};
+    std::set<int> used_zones;
+    if (const Node* n = cluster_->GetNode(cluster_->OwnerOfPartition(master))) {
+      used_zones.insert(n->zone_id);
+    }
+
+    // Walk the ring: take a partition when its owner is a new node, with the
+    // zone-aware constraint that while fewer than required_zones zones are
+    // covered, only partitions in *new* zones qualify (when such exist).
+    for (int step = 1;
+         step < num_partitions &&
+         static_cast<int>(partitions.size()) < replication_factor_;
+         ++step) {
+      const int p = (master + step) % num_partitions;
+      const int owner = cluster_->OwnerOfPartition(p);
+      if (used_nodes.count(owner) > 0) continue;
+      const Node* node = cluster_->GetNode(owner);
+      const int zone = node != nullptr ? node->zone_id : 0;
+      if (static_cast<int>(used_zones.size()) < required_zones_ &&
+          used_zones.count(zone) > 0 && MoreZonesAvailable(used_zones)) {
+        continue;  // need replicas in new zones first
+      }
+      partitions.push_back(p);
+      used_nodes.insert(owner);
+      used_zones.insert(zone);
+    }
+    return partitions;
+  }
+
+  std::vector<int> RouteRequest(Slice key) const override {
+    std::vector<int> nodes;
+    for (int p : PartitionList(key)) {
+      const int owner = cluster_->OwnerOfPartition(p);
+      if (std::find(nodes.begin(), nodes.end(), owner) == nodes.end()) {
+        nodes.push_back(owner);
+      }
+    }
+    return nodes;
+  }
+
+ private:
+  bool MoreZonesAvailable(const std::set<int>& used_zones) const {
+    for (const Node& n : cluster_->nodes()) {
+      if (used_zones.count(n.zone_id) == 0) return true;
+    }
+    return false;
+  }
+
+  const Cluster* cluster_;
+  const int replication_factor_;
+  const int required_zones_;
+};
+
+}  // namespace
+
+std::unique_ptr<RouteStrategy> NewConsistentRoutingStrategy(
+    const Cluster* cluster, int replication_factor) {
+  return std::make_unique<ConsistentRouting>(cluster, replication_factor,
+                                             /*required_zones=*/0);
+}
+
+std::unique_ptr<RouteStrategy> NewZoneAwareRoutingStrategy(
+    const Cluster* cluster, int replication_factor, int required_zones) {
+  return std::make_unique<ConsistentRouting>(cluster, replication_factor,
+                                             required_zones);
+}
+
+ChordBaseline::ChordBaseline(int num_nodes) {
+  node_points_.reserve(num_nodes);
+  // Spread nodes by hashing their ids, as Chord does with SHA-1(ip).
+  for (int i = 0; i < num_nodes; ++i) {
+    const std::string id = "chord-node-" + std::to_string(i);
+    node_points_.push_back(Fnv1a64(id));
+  }
+  std::sort(node_points_.begin(), node_points_.end());
+}
+
+int ChordBaseline::SuccessorOf(uint64_t point) const {
+  auto it = std::lower_bound(node_points_.begin(), node_points_.end(), point);
+  if (it == node_points_.end()) return 0;  // wrap
+  return static_cast<int>(it - node_points_.begin());
+}
+
+int ChordBaseline::LookupHops(Slice key, int origin_node) const {
+  const uint64_t target = Fnv1a64(key);
+  const int home = SuccessorOf(target);
+  int current = origin_node;
+  int hops = 0;
+  // Greedy finger routing: jump to the farthest finger not passing target.
+  while (current != home) {
+    ++hops;
+    const uint64_t cur_point = node_points_[current];
+    const uint64_t distance = target - cur_point;  // mod 2^64 ring distance
+    int best = -1;
+    // Fingers point at successor(cur + 2^k) for k = 63..0.
+    for (int k = 63; k >= 0; --k) {
+      const uint64_t span = 1ULL << k;
+      if (span > distance) continue;  // would overshoot the target
+      const int candidate = SuccessorOf(cur_point + span);
+      const uint64_t cand_advance = node_points_[candidate] - cur_point;
+      if (candidate != current && cand_advance <= distance) {
+        best = candidate;
+        break;
+      }
+    }
+    if (best < 0) {
+      // No finger advances: hand off to immediate successor.
+      best = (current + 1) % num_nodes();
+    }
+    current = best;
+    if (hops > 2 * 64) break;  // safety net; cannot happen on a sane ring
+  }
+  return hops;
+}
+
+}  // namespace lidi::voldemort

@@ -1,0 +1,66 @@
+#ifndef LIDI_VOLDEMORT_ROUTING_H_
+#define LIDI_VOLDEMORT_ROUTING_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/slice.h"
+#include "voldemort/cluster.h"
+
+namespace lidi::voldemort {
+
+/// Pluggable routing module (paper Figure II.1 / Section II.B Routing):
+/// maps a key to the ordered preference list of nodes holding its replicas.
+class RouteStrategy {
+ public:
+  virtual ~RouteStrategy() = default;
+
+  /// Master partition for a key: hash modulo the ring size.
+  virtual int MasterPartition(Slice key) const = 0;
+
+  /// Partition preference list: the master partition followed by the ring
+  /// walk that yields N-1 further partitions on distinct nodes.
+  virtual std::vector<int> PartitionList(Slice key) const = 0;
+
+  /// Node preference list (owners of PartitionList, deduplicated, ordered).
+  virtual std::vector<int> RouteRequest(Slice key) const = 0;
+};
+
+/// Plain consistent-hashing replication: hash the key to a partition, then
+/// jump the ring until N-1 other partitions on *different nodes* are found.
+/// The non-order-preserving hash prevents hot spots (Section II.B).
+std::unique_ptr<RouteStrategy> NewConsistentRoutingStrategy(
+    const Cluster* cluster, int replication_factor);
+
+/// Zone-aware variant for multi-datacenter clusters: the ring walk adds the
+/// constraint that the replicas span at least `required_zones` zones
+/// (Section II.B: "jumps the consistent hash ring with an extra constraint
+/// to satisfy number of zones required").
+std::unique_ptr<RouteStrategy> NewZoneAwareRoutingStrategy(
+    const Cluster* cluster, int replication_factor, int required_zones);
+
+/// Chord-style finger-table lookup baseline for the routing ablation (E3).
+/// Voldemort stores full topology on every node for O(1) lookups; Chord
+/// resolves a key in O(log N) hops through finger tables (Section II.A).
+/// This class simulates the hop sequence so the bench can count hops.
+class ChordBaseline {
+ public:
+  /// num_nodes ring positions spread uniformly over the 64-bit key space.
+  explicit ChordBaseline(int num_nodes);
+
+  /// Returns the number of routing hops to resolve `key` starting from
+  /// `origin_node` using binary finger tables.
+  int LookupHops(Slice key, int origin_node) const;
+
+  int num_nodes() const { return static_cast<int>(node_points_.size()); }
+
+ private:
+  /// Successor node index for a hash point.
+  int SuccessorOf(uint64_t point) const;
+
+  std::vector<uint64_t> node_points_;  // sorted ring positions
+};
+
+}  // namespace lidi::voldemort
+
+#endif  // LIDI_VOLDEMORT_ROUTING_H_

@@ -1,0 +1,459 @@
+#include "voldemort/server.h"
+
+#include "common/coding.h"
+#include "storage/log_engine.h"
+#include "voldemort/client.h"
+#include "voldemort/routing.h"
+
+namespace lidi::voldemort {
+
+net::Address VoldemortAddress(int node_id) {
+  return "voldemort-" + std::to_string(node_id);
+}
+
+VoldemortServer::VoldemortServer(int node_id,
+                                 std::shared_ptr<ClusterMetadata> metadata,
+                                 net::Network* network)
+    : node_id_(node_id),
+      metadata_(std::move(metadata)),
+      network_(network),
+      address_(VoldemortAddress(node_id)),
+      slop_engine_(storage::NewMemTableEngine()) {
+  network_->Register(address_, "v.ping", [](Slice) -> Result<std::string> {
+    return std::string("pong");
+  });
+  network_->Register(address_, "v.get", [this](Slice req) {
+    return HandleGet(req, /*allow_redirect=*/true);
+  });
+  network_->Register(address_, "v.get-noredirect", [this](Slice req) {
+    return HandleGet(req, /*allow_redirect=*/false);
+  });
+  network_->Register(address_, "v.put", [this](Slice req) {
+    return HandlePut(req, /*allow_redirect=*/true);
+  });
+  network_->Register(address_, "v.put-noredirect", [this](Slice req) {
+    return HandlePut(req, /*allow_redirect=*/false);
+  });
+  network_->Register(address_, "v.get-transform", [this](Slice req) {
+    return HandleGetTransform(req);
+  });
+  network_->Register(address_, "v.delete",
+                     [this](Slice req) { return HandleDelete(req); });
+  network_->Register(address_, "v.slop",
+                     [this](Slice req) { return HandleSlop(req); });
+  network_->Register(address_, "v.push-slops",
+                     [this](Slice) -> Result<std::string> {
+                       return std::to_string(PushSlops());
+                     });
+  network_->Register(address_, "ro.get",
+                     [this](Slice req) { return HandleReadOnlyGet(req); });
+  network_->Register(address_, "admin.add-store",
+                     [this](Slice req) -> Result<std::string> {
+                       Status s = AddStore(req.ToString());
+                       if (!s.ok()) return s;
+                       return std::string("ok");
+                     });
+  network_->Register(address_, "admin.delete-store",
+                     [this](Slice req) -> Result<std::string> {
+                       Status s = DeleteStore(req.ToString());
+                       if (!s.ok()) return s;
+                       return std::string("ok");
+                     });
+  network_->Register(address_, "admin.fetch-partition", [this](Slice req) {
+    return HandleFetchPartition(req);
+  });
+  network_->Register(address_, "admin.put-raw",
+                     [this](Slice req) { return HandlePutRaw(req); });
+}
+
+VoldemortServer::~VoldemortServer() { network_->Unregister(address_); }
+
+Status VoldemortServer::AddStore(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (engines_.count(name) > 0) return Status::AlreadyExists(name);
+  engines_[name] = storage::NewLogStructuredEngine();
+  return Status::OK();
+}
+
+Status VoldemortServer::DeleteStore(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (engines_.erase(name) == 0) return Status::NotFound(name);
+  return Status::OK();
+}
+
+bool VoldemortServer::HasStore(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engines_.count(name) > 0;
+}
+
+Status VoldemortServer::EnableServerSideRouting(
+    const StoreDefinition& definition, const Clock* clock) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (routed_clients_.count(definition.name) > 0) {
+      return Status::AlreadyExists(definition.name);
+    }
+    // The embedded coordinator is an ordinary StoreClient — the same routing
+    // module, relocated server-side (the pluggable-architecture point).
+    routed_clients_[definition.name] = std::make_unique<StoreClient>(
+        address_ + "-coordinator", definition, metadata_, network_, clock);
+  }
+  auto coordinator = [this](const std::string& store) -> StoreClient* {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = routed_clients_.find(store);
+    return it == routed_clients_.end() ? nullptr : it->second.get();
+  };
+  network_->Register(
+      address_, "vr.get", [this, coordinator](Slice req) -> Result<std::string> {
+        std::string store, key;
+        Status s = DecodeGetRequest(req, &store, &key);
+        if (!s.ok()) return s;
+        StoreClient* client = coordinator(store);
+        if (client == nullptr) {
+          return Status::NotFound("server-side routing not enabled: " + store);
+        }
+        auto versions = client->Get(key);
+        if (!versions.ok()) return versions.status();
+        std::string out;
+        EncodeVersionedList(versions.value(), &out);
+        return out;
+      });
+  network_->Register(
+      address_, "vr.put", [this, coordinator](Slice req) -> Result<std::string> {
+        std::string store, key;
+        Versioned versioned;
+        Transform transform;
+        Status s = DecodePutRequest(req, &store, &key, &versioned, &transform);
+        if (!s.ok()) return s;
+        StoreClient* client = coordinator(store);
+        if (client == nullptr) {
+          return Status::NotFound("server-side routing not enabled: " + store);
+        }
+        s = transform.type == Transform::Type::kNone
+                ? client->Put(key, versioned)
+                : client->Put(key, versioned.version, transform);
+        if (!s.ok()) return s;
+        return std::string("ok");
+      });
+  network_->Register(
+      address_, "vr.delete",
+      [this, coordinator](Slice req) -> Result<std::string> {
+        std::string store, key;
+        VectorClock clock_value;
+        Status s = DecodeDeleteRequest(req, &store, &key, &clock_value);
+        if (!s.ok()) return s;
+        StoreClient* client = coordinator(store);
+        if (client == nullptr) {
+          return Status::NotFound("server-side routing not enabled: " + store);
+        }
+        s = client->Delete(key, clock_value);
+        if (!s.ok()) return s;
+        return std::string("ok");
+      });
+  return Status::OK();
+}
+
+Status VoldemortServer::AddReadOnlyStore(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (readonly_stores_.count(name) > 0) return Status::AlreadyExists(name);
+  readonly_stores_[name] = std::make_unique<ReadOnlyStore>();
+  return Status::OK();
+}
+
+ReadOnlyStore* VoldemortServer::GetReadOnlyStore(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = readonly_stores_.find(name);
+  return it == readonly_stores_.end() ? nullptr : it->second.get();
+}
+
+storage::StorageEngine* VoldemortServer::GetEngine(const std::string& store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetEngineLocked(store);
+}
+
+storage::StorageEngine* VoldemortServer::GetEngineLocked(
+    const std::string& store) {
+  auto it = engines_.find(store);
+  return it == engines_.end() ? nullptr : it->second.get();
+}
+
+std::optional<Result<std::string>> VoldemortServer::MaybeRedirect(
+    const std::string& method, Slice key, Slice request) {
+  const Cluster cluster = metadata_->SnapshotCluster();
+  if (cluster.num_partitions() == 0) return std::nullopt;
+  auto routing = NewConsistentRoutingStrategy(&cluster, 1);
+  const int partition = routing->MasterPartition(key);
+  const auto migration = metadata_->MigrationOf(partition);
+  if (!migration.has_value() || migration->from_node != node_id_) {
+    return std::nullopt;
+  }
+  // The partition is moving away from this node: proxy to the destination.
+  return network_->Call(address_, VoldemortAddress(migration->to_node),
+                        method + "-noredirect", request);
+}
+
+Result<std::string> VoldemortServer::HandleGet(Slice request,
+                                               bool allow_redirect) {
+  std::string store, key;
+  Status s = DecodeGetRequest(request, &store, &key);
+  if (!s.ok()) return s;
+  if (allow_redirect) {
+    if (auto redirected = MaybeRedirect("v.get", key, request)) {
+      return *redirected;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  storage::StorageEngine* engine = GetEngineLocked(store);
+  if (engine == nullptr) return Status::NotFound("no store " + store);
+  std::string value;
+  s = engine->Get(key, &value);
+  if (!s.ok()) return s;
+  return value;  // already an encoded versioned list
+}
+
+Result<std::string> VoldemortServer::HandlePut(Slice request,
+                                               bool allow_redirect) {
+  std::string store, key;
+  Versioned incoming;
+  Transform transform;
+  Status s = DecodePutRequest(request, &store, &key, &incoming, &transform);
+  if (!s.ok()) return s;
+  if (allow_redirect) {
+    if (auto redirected = MaybeRedirect("v.put", key, request)) {
+      return *redirected;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  storage::StorageEngine* engine = GetEngineLocked(store);
+  if (engine == nullptr) return Status::NotFound("no store " + store);
+
+  std::string existing_encoded;
+  std::vector<Versioned> list;
+  if (engine->Get(key, &existing_encoded).ok()) {
+    auto decoded = DecodeVersionedList(existing_encoded);
+    if (!decoded.ok()) return decoded.status();
+    list = std::move(decoded.value());
+  }
+
+  if (transform.type == Transform::Type::kAppend) {
+    // Server-side transformed put: apply the append against the node's
+    // current resolved value, then insert the result under the incoming
+    // clock. Saves shipping the whole list through the client (II.B).
+    std::vector<Versioned> resolved = ResolveConcurrent(list);
+    const Slice base =
+        resolved.empty() ? Slice() : Slice(resolved.back().value);
+    auto transformed = ApplyTransform(transform, base);
+    if (!transformed.ok()) return transformed.status();
+    incoming.value = std::move(transformed.value());
+  }
+
+  s = InsertVersioned(&list, incoming);
+  if (!s.ok()) return s;
+  std::string encoded;
+  EncodeVersionedList(list, &encoded);
+  s = engine->Put(key, encoded);
+  if (!s.ok()) return s;
+  // Respond with the stored value bytes so transformed puts can be
+  // replicated verbatim by the client library.
+  return incoming.value;
+}
+
+Result<std::string> VoldemortServer::HandleGetTransform(Slice request) {
+  // Request: get request fields followed by a transform.
+  Slice input = request;
+  Slice store_slice, key_slice;
+  if (!GetLengthPrefixed(&input, &store_slice) ||
+      !GetLengthPrefixed(&input, &key_slice)) {
+    return Status::Corruption("bad get-transform request");
+  }
+  auto transform = Transform::DecodeFrom(&input);
+  if (!transform.ok()) return transform.status();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  storage::StorageEngine* engine = GetEngineLocked(store_slice.ToString());
+  if (engine == nullptr) return Status::NotFound("no store");
+  std::string encoded;
+  Status s = engine->Get(key_slice, &encoded);
+  if (!s.ok()) return s;
+  auto list = DecodeVersionedList(encoded);
+  if (!list.ok()) return list.status();
+  // Apply the transform to each version's value server-side, shipping only
+  // the (typically much smaller) result to the client.
+  for (Versioned& v : list.value()) {
+    auto transformed = ApplyTransform(transform.value(), v.value);
+    if (!transformed.ok()) return transformed.status();
+    v.value = std::move(transformed.value());
+  }
+  std::string out;
+  EncodeVersionedList(list.value(), &out);
+  return out;
+}
+
+Result<std::string> VoldemortServer::HandleDelete(Slice request) {
+  std::string store, key;
+  VectorClock clock;
+  Status s = DecodeDeleteRequest(request, &store, &key, &clock);
+  if (!s.ok()) return s;
+  std::lock_guard<std::mutex> lock(mu_);
+  storage::StorageEngine* engine = GetEngineLocked(store);
+  if (engine == nullptr) return Status::NotFound("no store " + store);
+  std::string existing_encoded;
+  if (!engine->Get(key, &existing_encoded).ok()) {
+    return std::string("0");
+  }
+  auto decoded = DecodeVersionedList(existing_encoded);
+  if (!decoded.ok()) return decoded.status();
+  std::vector<Versioned> remaining;
+  int64_t dropped = 0;
+  for (Versioned& v : decoded.value()) {
+    // Delete versions the supplied clock dominates or equals.
+    const Occurred o = clock.Compare(v.version);
+    if (o == Occurred::kAfter || o == Occurred::kEqual) {
+      ++dropped;
+    } else {
+      remaining.push_back(std::move(v));
+    }
+  }
+  if (remaining.empty()) {
+    engine->Delete(key);
+  } else {
+    std::string encoded;
+    EncodeVersionedList(remaining, &encoded);
+    engine->Put(key, encoded);
+  }
+  return std::to_string(dropped);
+}
+
+Result<std::string> VoldemortServer::HandleSlop(Slice request) {
+  int destination;
+  std::string put_request;
+  Status s = DecodeSlopRequest(request, &destination, &put_request);
+  if (!s.ok()) return s;
+  // Key the slop by destination + a unique suffix so multiple hints queue up.
+  std::string slop_key;
+  PutZigZag64(&slop_key, destination);
+  PutFixed64(&slop_key, static_cast<uint64_t>(slop_engine_->Count()));
+  slop_key += put_request.substr(0, 16);
+  s = slop_engine_->Put(slop_key, request);
+  if (!s.ok()) return s;
+  return std::string("ok");
+}
+
+int VoldemortServer::PushSlops() {
+  // Snapshot the slops, attempt delivery, erase the delivered ones.
+  std::vector<std::pair<std::string, std::string>> slops;
+  slop_engine_->ForEach([&slops](Slice k, Slice v) {
+    slops.emplace_back(k.ToString(), v.ToString());
+    return true;
+  });
+  int delivered = 0;
+  for (const auto& [slop_key, slop_value] : slops) {
+    int destination;
+    std::string put_request;
+    if (!DecodeSlopRequest(slop_value, &destination, &put_request).ok()) {
+      slop_engine_->Delete(slop_key);  // malformed: drop
+      continue;
+    }
+    auto r = network_->Call(address_, VoldemortAddress(destination),
+                            "v.put-noredirect", put_request);
+    if (r.ok() || r.status().IsObsoleteVersion()) {
+      // Delivered, or the destination already has a newer version.
+      slop_engine_->Delete(slop_key);
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+int64_t VoldemortServer::SlopCount() const { return slop_engine_->Count(); }
+
+Result<std::string> VoldemortServer::HandleFetchPartition(Slice request) {
+  Slice store_slice;
+  uint64_t partition;
+  Slice input = request;
+  if (!GetLengthPrefixed(&input, &store_slice) ||
+      !GetVarint64(&input, &partition)) {
+    return Status::Corruption("bad fetch-partition request");
+  }
+  const std::string store = store_slice.ToString();
+  const Cluster cluster = metadata_->SnapshotCluster();
+  auto routing = NewConsistentRoutingStrategy(&cluster, 1);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  storage::StorageEngine* engine = GetEngineLocked(store);
+  if (engine == nullptr) return Status::NotFound("no store " + store);
+  std::string out;
+  int64_t count = 0;
+  std::string body;
+  engine->ForEach([&](Slice key, Slice value) {
+    if (routing->MasterPartition(key) == static_cast<int>(partition)) {
+      PutLengthPrefixed(&body, key);
+      PutLengthPrefixed(&body, value);
+      ++count;
+    }
+    return true;
+  });
+  PutVarint64(&out, static_cast<uint64_t>(count));
+  out += body;
+  return out;
+}
+
+Result<std::string> VoldemortServer::HandlePutRaw(Slice request) {
+  // Request: store, count, then (key, encoded versioned list) pairs. Each
+  // incoming version list is merged into the local list entry by entry.
+  Slice input = request;
+  Slice store_slice;
+  uint64_t count;
+  if (!GetLengthPrefixed(&input, &store_slice) ||
+      !GetVarint64(&input, &count)) {
+    return Status::Corruption("bad put-raw request");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  storage::StorageEngine* engine = GetEngineLocked(store_slice.ToString());
+  if (engine == nullptr) return Status::NotFound("no store");
+  for (uint64_t i = 0; i < count; ++i) {
+    Slice key, value;
+    if (!GetLengthPrefixed(&input, &key) ||
+        !GetLengthPrefixed(&input, &value)) {
+      return Status::Corruption("truncated put-raw entry");
+    }
+    auto incoming = DecodeVersionedList(value);
+    if (!incoming.ok()) return incoming.status();
+    std::vector<Versioned> list;
+    std::string existing;
+    if (engine->Get(key, &existing).ok()) {
+      auto decoded = DecodeVersionedList(existing);
+      if (!decoded.ok()) return decoded.status();
+      list = std::move(decoded.value());
+    }
+    for (Versioned& v : incoming.value()) {
+      InsertVersioned(&list, std::move(v));  // Obsolete entries are fine
+    }
+    std::string encoded;
+    EncodeVersionedList(list, &encoded);
+    engine->Put(key, encoded);
+  }
+  return std::string("ok");
+}
+
+Result<std::string> VoldemortServer::HandleReadOnlyGet(Slice request) {
+  std::string store, key;
+  Status s = DecodeGetRequest(request, &store, &key);
+  if (!s.ok()) return s;
+  ReadOnlyStore* ro;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = readonly_stores_.find(store);
+    if (it == readonly_stores_.end()) {
+      return Status::NotFound("no read-only store " + store);
+    }
+    ro = it->second.get();
+  }
+  std::string value;
+  s = ro->Get(key, &value);
+  if (!s.ok()) return s;
+  return value;
+}
+
+}  // namespace lidi::voldemort

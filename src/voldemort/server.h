@@ -1,0 +1,106 @@
+#ifndef LIDI_VOLDEMORT_SERVER_H_
+#define LIDI_VOLDEMORT_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "net/network.h"
+#include "storage/engine.h"
+#include "voldemort/cluster.h"
+#include "voldemort/metadata.h"
+#include "voldemort/readonly_store.h"
+#include "voldemort/wire.h"
+
+namespace lidi::voldemort {
+
+/// A Voldemort storage node. Hosts one storage engine per read-write store
+/// plus the versioned read-only stores, serves the wire protocol over the
+/// simulated network, stores hinted-handoff slops, and runs the admin
+/// service (add/delete store, partition fetch for rebalancing) without
+/// downtime (paper Section II.B).
+///
+/// Registered RPC methods: v.get, v.put, v.delete, v.slop, v.push-slops,
+/// v.ping, ro.get, ro.swap, ro.rollback, admin.add-store, admin.delete-store,
+/// admin.fetch-partition, admin.put-raw.
+class VoldemortServer {
+ public:
+  VoldemortServer(int node_id, std::shared_ptr<ClusterMetadata> metadata,
+                  net::Network* network);
+  ~VoldemortServer();
+
+  VoldemortServer(const VoldemortServer&) = delete;
+  VoldemortServer& operator=(const VoldemortServer&) = delete;
+
+  int node_id() const { return node_id_; }
+  const net::Address& address() const { return address_; }
+
+  /// Creates a read-write store backed by a fresh log-structured engine.
+  Status AddStore(const std::string& name);
+  Status DeleteStore(const std::string& name);
+  bool HasStore(const std::string& name) const;
+
+  /// Enables server-side routing for a store (paper Figure II.1: the same
+  /// routing module can live on either side; "Voldemort supports both server
+  /// and client side routing by moving the routing and associated modules").
+  /// The node then answers vr.get / vr.put / vr.delete by acting as the
+  /// coordinator: it runs the quorum logic against the cluster, so callers
+  /// need no topology knowledge at all — any node answers for any key.
+  Status EnableServerSideRouting(const StoreDefinition& definition,
+                                 const Clock* clock);
+
+  /// Read-only store management (build/pull/swap pipeline, Figure II.3).
+  Status AddReadOnlyStore(const std::string& name);
+  ReadOnlyStore* GetReadOnlyStore(const std::string& name);
+
+  /// Attempts to deliver all stored slops to their destinations; returns the
+  /// number delivered. Normally triggered via the v.push-slops RPC by a
+  /// periodic janitor, exposed directly for tests.
+  int PushSlops();
+
+  /// Number of slops currently parked on this node.
+  int64_t SlopCount() const;
+
+  /// Direct engine access for tests and the rebalance admin path.
+  storage::StorageEngine* GetEngine(const std::string& store);
+
+ private:
+  Result<std::string> HandleGet(Slice request, bool allow_redirect);
+  Result<std::string> HandleGetTransform(Slice request);
+  Result<std::string> HandlePut(Slice request, bool allow_redirect);
+  Result<std::string> HandleDelete(Slice request);
+  Result<std::string> HandleSlop(Slice request);
+  Result<std::string> HandleFetchPartition(Slice request);
+  Result<std::string> HandlePutRaw(Slice request);
+  Result<std::string> HandleReadOnlyGet(Slice request);
+
+  /// If `key`'s master partition is migrating away from this node, proxies
+  /// the call to the destination and returns its response; otherwise nullopt.
+  std::optional<Result<std::string>> MaybeRedirect(const std::string& method,
+                                                   Slice key, Slice request);
+
+  storage::StorageEngine* GetEngineLocked(const std::string& store);
+
+  const int node_id_;
+  const std::shared_ptr<ClusterMetadata> metadata_;
+  net::Network* const network_;
+  const net::Address address_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<storage::StorageEngine>> engines_;
+  std::map<std::string, std::unique_ptr<ReadOnlyStore>> readonly_stores_;
+  std::unique_ptr<storage::StorageEngine> slop_engine_;
+  // Server-side routing: per-store embedded coordinators (see
+  // EnableServerSideRouting). Declared as an opaque forward-declared client
+  // to keep server.h free of client.h.
+  std::map<std::string, std::unique_ptr<class StoreClient>> routed_clients_;
+};
+
+/// Canonical address of a Voldemort node on the simulated network.
+net::Address VoldemortAddress(int node_id);
+
+}  // namespace lidi::voldemort
+
+#endif  // LIDI_VOLDEMORT_SERVER_H_

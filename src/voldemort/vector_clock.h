@@ -1,0 +1,93 @@
+#ifndef LIDI_VOLDEMORT_VECTOR_CLOCK_H_
+#define LIDI_VOLDEMORT_VECTOR_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace lidi::voldemort {
+
+/// Causal ordering between two vector clocks.
+enum class Occurred {
+  kBefore,      // this happened strictly before the other
+  kAfter,       // this happened strictly after the other
+  kEqual,
+  kConcurrently,  // divergent histories: neither dominates
+};
+
+/// Vector clock [LAM78] versioning Voldemort tuples (paper Section II.B:
+/// "we use vector clocks to version our tuples and delegate conflict
+/// resolution of concurrent versions to the application").
+///
+/// Entries map node id -> event counter, kept sorted by node id.
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  /// Bumps the counter for `node_id` (the write coordinator).
+  void Increment(int node_id);
+
+  /// Causal comparison with another clock.
+  Occurred Compare(const VectorClock& other) const;
+
+  /// True if this clock dominates or equals `other`.
+  bool DominatesOrEquals(const VectorClock& other) const {
+    const Occurred o = Compare(other);
+    return o == Occurred::kAfter || o == Occurred::kEqual;
+  }
+
+  /// Entry-wise maximum (used by read repair to produce a resolved clock).
+  VectorClock Merge(const VectorClock& other) const;
+
+  int64_t CounterOf(int node_id) const;
+  bool empty() const { return entries_.empty(); }
+  const std::vector<std::pair<int, int64_t>>& entries() const {
+    return entries_;
+  }
+
+  void EncodeTo(std::string* out) const;
+  static Result<VectorClock> DecodeFrom(Slice* input);
+
+  std::string ToString() const;
+
+  friend bool operator==(const VectorClock& a, const VectorClock& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  std::vector<std::pair<int, int64_t>> entries_;  // sorted by node id
+};
+
+/// A value paired with its vector-clock version — the unit Voldemort
+/// replicates and the client API surfaces (Figure II.2).
+struct Versioned {
+  VectorClock version;
+  std::string value;
+
+  friend bool operator==(const Versioned& a, const Versioned& b) {
+    return a.version == b.version && a.value == b.value;
+  }
+};
+
+/// Serializes a list of (possibly concurrent) versioned values, the on-node
+/// storage representation for a key.
+void EncodeVersionedList(const std::vector<Versioned>& list, std::string* out);
+Result<std::vector<Versioned>> DecodeVersionedList(Slice input);
+
+/// Inserts `candidate` into `list` with Dynamo semantics:
+///  - if an existing version dominates or equals the candidate, returns
+///    ObsoleteVersion and leaves the list unchanged;
+///  - otherwise removes versions the candidate dominates and appends it
+///    (concurrent versions are retained side by side).
+Status InsertVersioned(std::vector<Versioned>* list, Versioned candidate);
+
+/// Reconciles replica responses into the maximal set of concurrent versions
+/// (drops every version some other version dominates).
+std::vector<Versioned> ResolveConcurrent(std::vector<Versioned> all);
+
+}  // namespace lidi::voldemort
+
+#endif  // LIDI_VOLDEMORT_VECTOR_CLOCK_H_

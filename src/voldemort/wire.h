@@ -1,0 +1,66 @@
+#ifndef LIDI_VOLDEMORT_WIRE_H_
+#define LIDI_VOLDEMORT_WIRE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "voldemort/vector_clock.h"
+
+namespace lidi::voldemort {
+
+/// Server-side transforms (paper Figure II.2, methods 3 and 4): when the
+/// value is a list, a transformed get retrieves a sub-list and a transformed
+/// put appends an entity, saving a client round trip and bandwidth.
+struct Transform {
+  enum class Type : uint8_t {
+    kNone = 0,
+    kSublist = 1,  // get: return items [offset, offset+count)
+    kAppend = 2,   // put: append `item` to the stored list
+  };
+  Type type = Type::kNone;
+  int64_t offset = 0;
+  int64_t count = 0;
+  std::string item;
+
+  void EncodeTo(std::string* out) const;
+  static Result<Transform> DecodeFrom(Slice* input);
+};
+
+/// Values manipulated by transforms are serialized string lists.
+void EncodeStringList(const std::vector<std::string>& items, std::string* out);
+Result<std::vector<std::string>> DecodeStringList(Slice input);
+
+/// Applies a transform to a list-encoded value. For kSublist the result is
+/// the re-encoded sub-list; for kAppend the item is appended.
+Result<std::string> ApplyTransform(const Transform& t, Slice list_value);
+
+// --- request/response encodings for the Voldemort wire protocol ---
+
+/// get:    store, key
+/// delete: store, key, clock
+/// put:    store, key, clock, value [, transform]
+/// slop:   destination node, then an embedded put request
+void EncodeGetRequest(Slice store, Slice key, std::string* out);
+Status DecodeGetRequest(Slice input, std::string* store, std::string* key);
+
+void EncodePutRequest(Slice store, Slice key, const Versioned& versioned,
+                      const Transform& transform, std::string* out);
+Status DecodePutRequest(Slice input, std::string* store, std::string* key,
+                        Versioned* versioned, Transform* transform);
+
+void EncodeDeleteRequest(Slice store, Slice key, const VectorClock& clock,
+                         std::string* out);
+Status DecodeDeleteRequest(Slice input, std::string* store, std::string* key,
+                           VectorClock* clock);
+
+void EncodeSlopRequest(int destination_node, Slice put_request,
+                       std::string* out);
+Status DecodeSlopRequest(Slice input, int* destination_node,
+                         std::string* put_request);
+
+}  // namespace lidi::voldemort
+
+#endif  // LIDI_VOLDEMORT_WIRE_H_

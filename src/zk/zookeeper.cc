@@ -1,0 +1,298 @@
+#include "zk/zookeeper.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lidi::zk {
+
+std::string ZooKeeper::ParentOf(const std::string& path) {
+  const size_t pos = path.find_last_of('/');
+  if (pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+bool ZooKeeper::HasChildrenLocked(const std::string& path) const {
+  const std::string prefix = path == "/" ? "/" : path + "/";
+  auto it = nodes_.upper_bound(path);
+  // Children sort immediately after "<path>/"; scan forward over the prefix
+  // range.
+  for (; it != nodes_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) return true;
+    if (it->first.compare(0, prefix.size(), prefix) > 0) break;
+  }
+  return false;
+}
+
+SessionId ZooKeeper::CreateSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_session_++;
+}
+
+void ZooKeeper::CloseSession(SessionId session) {
+  std::vector<PendingEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The session's watches die with it, before any deletion events fire:
+    // a watcher must never outlive the object that registered it.
+    for (auto* watch_map : {&data_watches_, &child_watches_}) {
+      for (auto it = watch_map->begin(); it != watch_map->end();) {
+        auto& watchers = it->second;
+        watchers.erase(std::remove_if(watchers.begin(), watchers.end(),
+                                      [session](const OwnedWatcher& w) {
+                                        return w.owner == session;
+                                      }),
+                       watchers.end());
+        it = watchers.empty() ? watch_map->erase(it) : std::next(it);
+      }
+    }
+    auto it = session_nodes_.find(session);
+    if (it != session_nodes_.end()) {
+      // Copy: DeleteLocked mutates session_nodes_.
+      const std::set<std::string> paths = it->second;
+      for (const std::string& path : paths) {
+        DeleteLocked(path, &events);
+      }
+      session_nodes_.erase(session);
+    }
+  }
+  Fire(std::move(events));
+}
+
+void ZooKeeper::QueueDataWatches(const std::string& path, EventType type,
+                                 std::vector<PendingEvent>* out) {
+  auto it = data_watches_.find(path);
+  if (it == data_watches_.end()) return;
+  for (OwnedWatcher& w : it->second) {
+    out->push_back({std::move(w.watcher), {type, path}});
+  }
+  data_watches_.erase(it);
+}
+
+void ZooKeeper::QueueChildWatches(const std::string& parent,
+                                  std::vector<PendingEvent>* out) {
+  auto it = child_watches_.find(parent);
+  if (it == child_watches_.end()) return;
+  for (OwnedWatcher& w : it->second) {
+    out->push_back(
+        {std::move(w.watcher), {EventType::kNodeChildrenChanged, parent}});
+  }
+  child_watches_.erase(it);
+}
+
+void ZooKeeper::Fire(std::vector<PendingEvent> events) {
+  for (PendingEvent& e : events) {
+    if (e.watcher) e.watcher(e.event);
+  }
+}
+
+Status ZooKeeper::CreateLocked(SessionId session, const std::string& path,
+                               const std::string& data, CreateMode mode,
+                               std::string* created_path,
+                               std::vector<PendingEvent>* events) {
+  if (path.empty() || path[0] != '/' ||
+      (path.size() > 1 && path.back() == '/')) {
+    return Status::InvalidArgument("bad znode path: " + path);
+  }
+  const std::string parent = ParentOf(path);
+  if (parent != "/" && nodes_.find(parent) == nodes_.end()) {
+    return Status::NotFound("parent missing: " + parent);
+  }
+
+  std::string final_path = path;
+  const bool sequential = mode == CreateMode::kPersistentSequential ||
+                          mode == CreateMode::kEphemeralSequential;
+  if (sequential) {
+    int64_t seq = 0;
+    if (parent != "/") {
+      seq = nodes_[parent].next_sequence++;
+    }
+    char suffix[16];
+    std::snprintf(suffix, sizeof(suffix), "%010lld",
+                  static_cast<long long>(seq));
+    final_path += suffix;
+  }
+  if (nodes_.find(final_path) != nodes_.end()) {
+    return Status::AlreadyExists(final_path);
+  }
+
+  Znode node;
+  node.data = data;
+  const bool ephemeral = mode == CreateMode::kEphemeral ||
+                         mode == CreateMode::kEphemeralSequential;
+  if (ephemeral) {
+    node.ephemeral_owner = session;
+    session_nodes_[session].insert(final_path);
+  }
+  nodes_[final_path] = std::move(node);
+  if (created_path != nullptr) *created_path = final_path;
+
+  QueueDataWatches(final_path, EventType::kNodeCreated, events);
+  QueueChildWatches(parent, events);
+  return Status::OK();
+}
+
+Status ZooKeeper::Create(SessionId session, const std::string& path,
+                         const std::string& data, CreateMode mode,
+                         std::string* created_path) {
+  std::vector<PendingEvent> events;
+  Status s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = CreateLocked(session, path, data, mode, created_path, &events);
+  }
+  Fire(std::move(events));
+  return s;
+}
+
+Status ZooKeeper::CreateRecursive(SessionId session, const std::string& path,
+                                  const std::string& data, CreateMode mode,
+                                  std::string* created_path) {
+  std::vector<PendingEvent> events;
+  Status s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Create missing ancestors as persistent empty nodes.
+    std::vector<std::string> ancestors;
+    for (std::string p = ParentOf(path); p != "/"; p = ParentOf(p)) {
+      if (nodes_.find(p) != nodes_.end()) break;
+      ancestors.push_back(p);
+    }
+    std::reverse(ancestors.begin(), ancestors.end());
+    for (const std::string& p : ancestors) {
+      Status as =
+          CreateLocked(session, p, "", CreateMode::kPersistent, nullptr, &events);
+      if (!as.ok() && as.code() != Code::kAlreadyExists) {
+        Fire(std::move(events));
+        return as;
+      }
+    }
+    s = CreateLocked(session, path, data, mode, created_path, &events);
+  }
+  Fire(std::move(events));
+  return s;
+}
+
+Result<std::string> ZooKeeper::Get(const std::string& path, Watcher watcher,
+                                   SessionId watch_owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound(path);
+  if (watcher) {
+    data_watches_[path].push_back({watch_owner, std::move(watcher)});
+  }
+  return it->second.data;
+}
+
+Status ZooKeeper::Set(const std::string& path, const std::string& data) {
+  std::vector<PendingEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nodes_.find(path);
+    if (it == nodes_.end()) return Status::NotFound(path);
+    it->second.data = data;
+    QueueDataWatches(path, EventType::kNodeDataChanged, &events);
+  }
+  Fire(std::move(events));
+  return Status::OK();
+}
+
+Status ZooKeeper::DeleteLocked(const std::string& path,
+                               std::vector<PendingEvent>* events) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound(path);
+  if (HasChildrenLocked(path)) {
+    return Status::InvalidArgument("znode has children: " + path);
+  }
+  if (it->second.ephemeral_owner >= 0) {
+    auto sit = session_nodes_.find(it->second.ephemeral_owner);
+    if (sit != session_nodes_.end()) sit->second.erase(path);
+  }
+  nodes_.erase(it);
+  QueueDataWatches(path, EventType::kNodeDeleted, events);
+  QueueChildWatches(ParentOf(path), events);
+  return Status::OK();
+}
+
+Status ZooKeeper::Delete(const std::string& path) {
+  std::vector<PendingEvent> events;
+  Status s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = DeleteLocked(path, &events);
+  }
+  Fire(std::move(events));
+  return s;
+}
+
+void ZooKeeper::DeleteRecursive(const std::string& path) {
+  std::vector<PendingEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::string prefix = path + "/";
+    // Collect the subtree deepest-first so parents delete cleanly.
+    std::vector<std::string> doomed;
+    for (auto it = nodes_.lower_bound(path); it != nodes_.end(); ++it) {
+      if (it->first == path ||
+          it->first.compare(0, prefix.size(), prefix) == 0) {
+        doomed.push_back(it->first);
+      } else if (it->first.compare(0, path.size(), path) > 0) {
+        break;
+      }
+    }
+    std::sort(doomed.begin(), doomed.end(),
+              [](const std::string& a, const std::string& b) {
+                return a.size() > b.size() || (a.size() == b.size() && a < b);
+              });
+    for (const std::string& p : doomed) DeleteLocked(p, &events);
+  }
+  Fire(std::move(events));
+}
+
+bool ZooKeeper::Exists(const std::string& path, Watcher watcher,
+                       SessionId watch_owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool exists = nodes_.find(path) != nodes_.end();
+  if (watcher) {
+    data_watches_[path].push_back({watch_owner, std::move(watcher)});
+  }
+  return exists;
+}
+
+Result<std::vector<std::string>> ZooKeeper::GetChildren(
+    const std::string& path, Watcher watcher, SessionId watch_owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path != "/" && nodes_.find(path) == nodes_.end()) {
+    return Status::NotFound(path);
+  }
+  const std::string prefix = path == "/" ? "/" : path + "/";
+  std::vector<std::string> children;
+  for (auto it = nodes_.lower_bound(prefix); it != nodes_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    const std::string rest = it->first.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) children.push_back(rest);
+  }
+  if (watcher) {
+    child_watches_[path].push_back({watch_owner, std::move(watcher)});
+  }
+  return children;
+}
+
+Status ZooKeeper::CompareAndSet(const std::string& path,
+                                const std::string& expected,
+                                const std::string& desired) {
+  std::vector<PendingEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nodes_.find(path);
+    if (it == nodes_.end()) return Status::NotFound(path);
+    if (it->second.data != expected) {
+      return Status::ObsoleteVersion("znode data changed under CAS");
+    }
+    it->second.data = desired;
+    QueueDataWatches(path, EventType::kNodeDataChanged, &events);
+  }
+  Fire(std::move(events));
+  return Status::OK();
+}
+
+}  // namespace lidi::zk

@@ -1,0 +1,154 @@
+#ifndef LIDI_ZK_ZOOKEEPER_H_
+#define LIDI_ZK_ZOOKEEPER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lidi::zk {
+
+/// Znode creation modes (the subset Kafka and Helix use).
+enum class CreateMode {
+  kPersistent,
+  kEphemeral,             // deleted when the owning session closes
+  kPersistentSequential,  // name gets a monotonically increasing suffix
+  kEphemeralSequential,
+};
+
+/// Watch event types delivered to registered watchers. Watches are one-shot,
+/// as in Zookeeper: after firing they must be re-registered.
+enum class EventType {
+  kNodeCreated,
+  kNodeDeleted,
+  kNodeDataChanged,
+  kNodeChildrenChanged,
+  kSessionExpired,
+};
+
+struct WatchEvent {
+  EventType type;
+  std::string path;
+};
+
+using Watcher = std::function<void(const WatchEvent&)>;
+using SessionId = int64_t;
+
+/// Watches registered without an owning session never expire automatically.
+constexpr SessionId kNoSession = -1;
+
+/// In-process coordination service replicating the Zookeeper API subset the
+/// paper's systems rely on (Section V.C for Kafka's consumer coordination,
+/// Section IV.B for Helix): hierarchical znodes, ephemeral and sequential
+/// nodes, one-shot data and child watches, session expiry.
+///
+/// Single "ensemble" instance; linearizable by construction (global mutex).
+/// Thread-safe. Watches fire synchronously after the mutation completes,
+/// outside the internal lock, in registration order.
+class ZooKeeper {
+ public:
+  ZooKeeper() = default;
+  ZooKeeper(const ZooKeeper&) = delete;
+  ZooKeeper& operator=(const ZooKeeper&) = delete;
+
+  /// Opens a session. Ephemeral nodes are tied to it.
+  SessionId CreateSession();
+
+  /// Closes a session: deletes its ephemeral nodes (firing watches) and
+  /// notifies the session's own watchers with kSessionExpired.
+  void CloseSession(SessionId session);
+
+  /// Creates a znode. Parent must exist (except for "/" children).
+  /// For sequential modes, the created path (with suffix) is returned in
+  /// *created_path (may be null). Errors: AlreadyExists, NotFound (parent).
+  Status Create(SessionId session, const std::string& path,
+                const std::string& data, CreateMode mode,
+                std::string* created_path = nullptr);
+
+  /// Creates the node and any missing parents (persistent, no watch storm).
+  Status CreateRecursive(SessionId session, const std::string& path,
+                         const std::string& data, CreateMode mode,
+                         std::string* created_path = nullptr);
+
+  /// Reads data; optionally leaves a one-shot data watch. As in ZooKeeper,
+  /// a watch belongs to the session that registered it (`watch_owner`) and
+  /// is dropped when that session closes — pass the caller's session for any
+  /// watcher capturing objects that may die before the ensemble does.
+  Result<std::string> Get(const std::string& path, Watcher watcher = nullptr,
+                          SessionId watch_owner = kNoSession);
+
+  /// Writes data; fires data watches. NotFound if absent.
+  Status Set(const std::string& path, const std::string& data);
+
+  /// Deletes a node (must have no children); fires watches.
+  Status Delete(const std::string& path);
+
+  /// Deletes a subtree rooted at path (ignores NotFound).
+  void DeleteRecursive(const std::string& path);
+
+  /// True if the node exists; optionally leaves a one-shot existence watch
+  /// (fires on creation or deletion).
+  bool Exists(const std::string& path, Watcher watcher = nullptr,
+              SessionId watch_owner = kNoSession);
+
+  /// Lists immediate children names (not full paths), sorted; optionally
+  /// leaves a one-shot child watch on `path`.
+  Result<std::vector<std::string>> GetChildren(const std::string& path,
+                                               Watcher watcher = nullptr,
+                                               SessionId watch_owner = kNoSession);
+
+  /// Atomic compare-and-set on data; returns ObsoleteVersion on mismatch.
+  /// Used for leader election and ownership claims.
+  Status CompareAndSet(const std::string& path, const std::string& expected,
+                       const std::string& desired);
+
+ private:
+  struct Znode {
+    std::string data;
+    SessionId ephemeral_owner = -1;  // -1 = persistent
+    int64_t next_sequence = 0;
+  };
+
+  struct OwnedWatcher {
+    SessionId owner = kNoSession;
+    Watcher watcher;
+  };
+
+  struct PendingEvent {
+    Watcher watcher;
+    WatchEvent event;
+  };
+
+  // All helpers below require mu_ held; they append events to *out.
+  void QueueDataWatches(const std::string& path, EventType type,
+                        std::vector<PendingEvent>* out);
+  void QueueChildWatches(const std::string& parent,
+                         std::vector<PendingEvent>* out);
+  Status CreateLocked(SessionId session, const std::string& path,
+                      const std::string& data, CreateMode mode,
+                      std::string* created_path,
+                      std::vector<PendingEvent>* events);
+  Status DeleteLocked(const std::string& path,
+                      std::vector<PendingEvent>* events);
+  static std::string ParentOf(const std::string& path);
+  bool HasChildrenLocked(const std::string& path) const;
+
+  static void Fire(std::vector<PendingEvent> events);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Znode> nodes_;
+  std::map<std::string, std::vector<OwnedWatcher>> data_watches_;
+  std::map<std::string, std::vector<OwnedWatcher>> child_watches_;
+  std::map<SessionId, std::set<std::string>> session_nodes_;
+  SessionId next_session_ = 1;
+};
+
+}  // namespace lidi::zk
+
+#endif  // LIDI_ZK_ZOOKEEPER_H_

@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include "avro/codec.h"
+#include "avro/datum.h"
+#include "avro/json.h"
+#include "avro/schema.h"
+
+namespace lidi::avro {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(json::Parse("null").value()->is_null());
+  EXPECT_TRUE(json::Parse("true").value()->AsBool());
+  EXPECT_FALSE(json::Parse("false").value()->AsBool());
+  EXPECT_DOUBLE_EQ(json::Parse("3.5").value()->AsNumber(), 3.5);
+  EXPECT_DOUBLE_EQ(json::Parse("-17").value()->AsNumber(), -17);
+  EXPECT_EQ(json::Parse("\"hi\\n\"").value()->AsString(), "hi\n");
+}
+
+TEST(JsonTest, ParsesNested) {
+  auto r = json::Parse(R"({"a":[1,2,{"b":"c"}],"d":{"e":null}})");
+  ASSERT_TRUE(r.ok());
+  const json::Value& v = *r.value();
+  ASSERT_TRUE(v.is_object());
+  const json::Value* a = v.Get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_EQ(a->items()[2]->Get("b")->AsString(), "c");
+  EXPECT_TRUE(v.Get("d")->Get("e")->is_null());
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(json::Parse("{").ok());
+  EXPECT_FALSE(json::Parse("[1,").ok());
+  EXPECT_FALSE(json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(json::Parse("{'single':1}").ok());
+  EXPECT_FALSE(json::Parse("1 2").ok());
+}
+
+TEST(JsonTest, DumpRoundTrips) {
+  const std::string text = R"({"k":[1,true,null,"s"],"n":-2.5})";
+  auto v = json::Parse(text);
+  ASSERT_TRUE(v.ok());
+  auto v2 = json::Parse(v.value()->Dump());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v.value()->Dump(), v2.value()->Dump());
+}
+
+TEST(JsonTest, UnicodeEscape) {
+  auto v = json::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value()->AsString(), "A\xc3\xa9");
+}
+
+TEST(SchemaTest, ParsesPrimitives) {
+  EXPECT_EQ(ParseSchema("\"string\"").value()->type(), Type::kString);
+  EXPECT_EQ(ParseSchema("\"long\"").value()->type(), Type::kLong);
+  EXPECT_EQ(ParseSchema(R"({"type":"int"})").value()->type(), Type::kInt);
+}
+
+TEST(SchemaTest, ParsesRecordWithIndexAnnotations) {
+  auto r = ParseSchema(R"({
+    "type":"record","name":"Song","fields":[
+      {"name":"title","type":"string","indexed":true},
+      {"name":"lyrics","type":"string","indexed":true,"index_type":"text"},
+      {"name":"year","type":"int","default":0}
+    ]})");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Schema& s = *r.value();
+  EXPECT_EQ(s.type(), Type::kRecord);
+  EXPECT_EQ(s.name(), "Song");
+  ASSERT_EQ(s.fields().size(), 3u);
+  EXPECT_TRUE(s.fields()[0].indexed);
+  EXPECT_FALSE(s.fields()[0].text_indexed);
+  EXPECT_TRUE(s.fields()[1].text_indexed);
+  EXPECT_EQ(s.fields()[2].default_json, "0");
+  EXPECT_EQ(s.FieldIndex("year"), 2);
+  EXPECT_EQ(s.FieldIndex("nope"), -1);
+}
+
+TEST(SchemaTest, ParsesUnionArrayMapEnum) {
+  auto u = ParseSchema(R"(["null","string"])");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u.value()->type(), Type::kUnion);
+  ASSERT_EQ(u.value()->branches().size(), 2u);
+
+  auto a = ParseSchema(R"({"type":"array","items":"long"})");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value()->item_schema()->type(), Type::kLong);
+
+  auto m = ParseSchema(R"({"type":"map","values":"double"})");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value()->value_schema()->type(), Type::kDouble);
+
+  auto e = ParseSchema(R"({"type":"enum","name":"Color","symbols":["R","G"]})");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->SymbolIndex("G"), 1);
+}
+
+TEST(SchemaTest, ToJsonReparses) {
+  auto r = ParseSchema(R"({
+    "type":"record","name":"T","fields":[
+      {"name":"a","type":["null","string"]},
+      {"name":"b","type":{"type":"array","items":"int"},"default":[]}
+    ]})");
+  ASSERT_TRUE(r.ok());
+  auto r2 = ParseSchema(r.value()->ToJson());
+  ASSERT_TRUE(r2.ok()) << r.value()->ToJson();
+  EXPECT_EQ(r.value()->ToJson(), r2.value()->ToJson());
+}
+
+TEST(SchemaTest, RejectsBadSchemas) {
+  EXPECT_FALSE(ParseSchema("\"notatype\"").ok());
+  EXPECT_FALSE(ParseSchema(R"({"type":"record","name":"X"})").ok());
+  EXPECT_FALSE(ParseSchema(R"({"type":"array"})").ok());
+  EXPECT_FALSE(ParseSchema("[]").ok());
+}
+
+SchemaPtr SongSchema() {
+  return ParseSchema(R"({
+    "type":"record","name":"Song","fields":[
+      {"name":"title","type":"string"},
+      {"name":"year","type":"int"},
+      {"name":"tags","type":{"type":"array","items":"string"}},
+      {"name":"plays","type":{"type":"map","values":"long"}}
+    ]})").value();
+}
+
+DatumPtr SongDatum() {
+  auto d = Datum::Record("Song");
+  d->SetField("title", Datum::String("At Last"));
+  d->SetField("year", Datum::Int(1960));
+  auto tags = Datum::Array();
+  tags->items().push_back(Datum::String("jazz"));
+  tags->items().push_back(Datum::String("soul"));
+  d->SetField("tags", tags);
+  auto plays = Datum::Map();
+  plays->entries()["us"] = Datum::Long(100000);
+  plays->entries()["uk"] = Datum::Long(50000);
+  d->SetField("plays", plays);
+  return d;
+}
+
+TEST(CodecTest, RecordRoundTrip) {
+  auto schema = SongSchema();
+  auto datum = SongDatum();
+  std::string buf;
+  ASSERT_TRUE(Encode(*schema, *datum, &buf).ok());
+  Slice in(buf);
+  auto decoded = Decode(*schema, &in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(in.empty());
+  EXPECT_TRUE(decoded.value()->Equals(*datum));
+}
+
+TEST(CodecTest, AllPrimitivesRoundTrip) {
+  struct Case {
+    const char* schema;
+    DatumPtr datum;
+  };
+  const Case cases[] = {
+      {"\"null\"", Datum::Null()},
+      {"\"boolean\"", Datum::Boolean(true)},
+      {"\"int\"", Datum::Int(-12345)},
+      {"\"long\"", Datum::Long(1LL << 60)},
+      {"\"float\"", Datum::Float(2.5f)},
+      {"\"double\"", Datum::Double(-0.125)},
+      {"\"string\"", Datum::String("héllo")},
+      {"\"bytes\"", Datum::Bytes(std::string("\x00\xff\x01", 3))},
+  };
+  for (const Case& c : cases) {
+    auto schema = ParseSchema(c.schema).value();
+    std::string buf;
+    ASSERT_TRUE(Encode(*schema, *c.datum, &buf).ok()) << c.schema;
+    Slice in(buf);
+    auto decoded = Decode(*schema, &in);
+    ASSERT_TRUE(decoded.ok()) << c.schema;
+    EXPECT_TRUE(decoded.value()->Equals(*c.datum)) << c.schema;
+  }
+}
+
+TEST(CodecTest, UnionRoundTrip) {
+  auto schema = ParseSchema(R"(["null","string"])").value();
+  std::string buf;
+  ASSERT_TRUE(Encode(*schema, *Datum::String("x"), &buf).ok());
+  Slice in(buf);
+  auto d = Decode(*schema, &in);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value()->union_branch(), 1);
+  EXPECT_EQ(d.value()->union_value()->string_value(), "x");
+
+  buf.clear();
+  ASSERT_TRUE(Encode(*schema, *Datum::Null(), &buf).ok());
+  Slice in2(buf);
+  auto d2 = Decode(*schema, &in2);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2.value()->union_branch(), 0);
+}
+
+TEST(CodecTest, EnumRoundTrip) {
+  auto schema =
+      ParseSchema(R"({"type":"enum","name":"C","symbols":["R","G","B"]})")
+          .value();
+  std::string buf;
+  ASSERT_TRUE(Encode(*schema, *Datum::Enum(2, "B"), &buf).ok());
+  Slice in(buf);
+  auto d = Decode(*schema, &in);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value()->enum_symbol(), "B");
+}
+
+TEST(CodecTest, MissingFieldWithoutDefaultFails) {
+  auto schema = SongSchema();
+  auto d = Datum::Record("Song");
+  d->SetField("title", Datum::String("x"));
+  std::string buf;
+  EXPECT_FALSE(Encode(*schema, *d, &buf).ok());
+}
+
+TEST(CodecTest, TruncatedDataRejected) {
+  auto schema = SongSchema();
+  std::string buf;
+  ASSERT_TRUE(Encode(*schema, *SongDatum(), &buf).ok());
+  for (size_t cut : {size_t{1}, buf.size() / 2, buf.size() - 1}) {
+    Slice in(buf.data(), cut);
+    EXPECT_FALSE(Decode(*schema, &in).ok()) << "cut=" << cut;
+  }
+}
+
+// --- schema resolution: the "freely evolvable" document schemas of IV.A ---
+
+TEST(ResolutionTest, ReaderAddsFieldWithDefault) {
+  auto writer = ParseSchema(R"({
+    "type":"record","name":"P","fields":[{"name":"a","type":"int"}]})").value();
+  auto reader = ParseSchema(R"({
+    "type":"record","name":"P","fields":[
+      {"name":"a","type":"int"},
+      {"name":"b","type":"string","default":"none"}]})").value();
+  auto d = Datum::Record("P");
+  d->SetField("a", Datum::Int(5));
+  std::string buf;
+  ASSERT_TRUE(Encode(*writer, *d, &buf).ok());
+  Slice in(buf);
+  auto out = DecodeResolved(*writer, *reader, &in);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value()->GetField("a")->int_value(), 5);
+  EXPECT_EQ(out.value()->GetField("b")->string_value(), "none");
+}
+
+TEST(ResolutionTest, ReaderDropsField) {
+  auto writer = ParseSchema(R"({
+    "type":"record","name":"P","fields":[
+      {"name":"a","type":"int"},
+      {"name":"junk","type":{"type":"array","items":"string"}},
+      {"name":"c","type":"long"}]})").value();
+  auto reader = ParseSchema(R"({
+    "type":"record","name":"P","fields":[
+      {"name":"a","type":"int"},{"name":"c","type":"long"}]})").value();
+  auto d = Datum::Record("P");
+  d->SetField("a", Datum::Int(1));
+  auto junk = Datum::Array();
+  junk->items().push_back(Datum::String("zzz"));
+  d->SetField("junk", junk);
+  d->SetField("c", Datum::Long(99));
+  std::string buf;
+  ASSERT_TRUE(Encode(*writer, *d, &buf).ok());
+  Slice in(buf);
+  auto out = DecodeResolved(*writer, *reader, &in);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value()->GetField("c")->long_value(), 99);
+  EXPECT_EQ(out.value()->GetField("junk"), nullptr);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(ResolutionTest, NumericPromotionIntToLongAndDouble) {
+  auto writer = ParseSchema("\"int\"").value();
+  auto reader_long = ParseSchema("\"long\"").value();
+  auto reader_double = ParseSchema("\"double\"").value();
+  std::string buf;
+  ASSERT_TRUE(Encode(*writer, *Datum::Int(42), &buf).ok());
+  Slice in(buf);
+  auto as_long = DecodeResolved(*writer, *reader_long, &in);
+  ASSERT_TRUE(as_long.ok());
+  EXPECT_EQ(as_long.value()->type(), Type::kLong);
+  EXPECT_EQ(as_long.value()->long_value(), 42);
+
+  Slice in2(buf);
+  auto as_double = DecodeResolved(*writer, *reader_double, &in2);
+  ASSERT_TRUE(as_double.ok());
+  EXPECT_DOUBLE_EQ(as_double.value()->double_value(), 42.0);
+}
+
+TEST(ResolutionTest, DemotionRejected) {
+  auto writer = ParseSchema("\"long\"").value();
+  auto reader = ParseSchema("\"int\"").value();
+  std::string buf;
+  ASSERT_TRUE(Encode(*writer, *Datum::Long(1), &buf).ok());
+  Slice in(buf);
+  EXPECT_FALSE(DecodeResolved(*writer, *reader, &in).ok());
+}
+
+TEST(ResolutionTest, WriterUnionReaderScalar) {
+  auto writer = ParseSchema(R"(["null","int"])").value();
+  auto reader = ParseSchema("\"long\"").value();
+  std::string buf;
+  ASSERT_TRUE(Encode(*writer, *Datum::Int(9), &buf).ok());
+  Slice in(buf);
+  auto out = DecodeResolved(*writer, *reader, &in);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value()->long_value(), 9);
+}
+
+TEST(ResolutionTest, ScalarWriterReaderUnion) {
+  auto writer = ParseSchema("\"string\"").value();
+  auto reader = ParseSchema(R"(["null","string"])").value();
+  std::string buf;
+  ASSERT_TRUE(Encode(*writer, *Datum::String("v"), &buf).ok());
+  Slice in(buf);
+  auto out = DecodeResolved(*writer, *reader, &in);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()->union_branch(), 1);
+  EXPECT_EQ(out.value()->union_value()->string_value(), "v");
+}
+
+TEST(ResolutionTest, DefaultValuesForComplexTypes) {
+  auto writer = ParseSchema(R"({
+    "type":"record","name":"P","fields":[{"name":"a","type":"int"}]})").value();
+  auto reader = ParseSchema(R"({
+    "type":"record","name":"P","fields":[
+      {"name":"a","type":"int"},
+      {"name":"tags","type":{"type":"array","items":"string"},"default":["x"]},
+      {"name":"opt","type":["null","long"],"default":null}]})").value();
+  auto d = Datum::Record("P");
+  d->SetField("a", Datum::Int(1));
+  std::string buf;
+  ASSERT_TRUE(Encode(*writer, *d, &buf).ok());
+  Slice in(buf);
+  auto out = DecodeResolved(*writer, *reader, &in);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out.value()->GetField("tags")->items().size(), 1u);
+  EXPECT_EQ(out.value()->GetField("tags")->items()[0]->string_value(), "x");
+  EXPECT_EQ(out.value()->GetField("opt")->union_branch(), 0);
+}
+
+TEST(DatumTest, EqualsIsStructural) {
+  EXPECT_TRUE(SongDatum()->Equals(*SongDatum()));
+  auto other = SongDatum();
+  other->SetField("year", Datum::Int(1961));
+  EXPECT_FALSE(SongDatum()->Equals(*other));
+}
+
+TEST(DatumTest, ToStringRendersFields) {
+  const std::string s = SongDatum()->ToString();
+  EXPECT_NE(s.find("At Last"), std::string::npos);
+  EXPECT_NE(s.find("1960"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lidi::avro

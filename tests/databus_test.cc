@@ -1,0 +1,500 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "databus/bootstrap.h"
+#include "databus/client.h"
+#include "databus/event.h"
+#include "databus/relay.h"
+#include "net/network.h"
+#include "sqlstore/database.h"
+
+namespace lidi::databus {
+namespace {
+
+using sqlstore::Database;
+using sqlstore::Row;
+
+TEST(EventCodecTest, RoundTrip) {
+  Event e;
+  e.scn = 42;
+  e.source = "profiles";
+  e.key = "m1";
+  e.op = Event::Op::kDelete;
+  e.partition = 7;
+  e.end_of_txn = false;
+  e.payload = "data";
+  std::string buf;
+  EncodeEvent(e, &buf);
+  Slice in(buf);
+  auto decoded = DecodeEvent(&in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), e);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(EventCodecTest, ListRoundTripAndTruncation) {
+  std::vector<Event> events(3);
+  events[0].scn = 1;
+  events[1].scn = 2;
+  events[2].scn = 3;
+  events[2].payload = std::string(100, 'x');
+  std::string buf;
+  EncodeEventList(events, &buf);
+  auto decoded = DecodeEventList(buf);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), events);
+  EXPECT_FALSE(DecodeEventList(Slice(buf.data(), buf.size() - 5)).ok());
+}
+
+TEST(FilterTest, SourceAndPartitionFilters) {
+  Event e;
+  e.source = "profiles";
+  e.partition = 5;
+
+  Filter none;
+  EXPECT_TRUE(none.Matches(e));
+
+  Filter by_source;
+  by_source.sources = {"profiles"};
+  EXPECT_TRUE(by_source.Matches(e));
+  by_source.sources = {"connections"};
+  EXPECT_FALSE(by_source.Matches(e));
+
+  Filter by_partition;
+  by_partition.mod_base = 4;
+  by_partition.mod_residues = {1};  // 5 % 4 == 1
+  EXPECT_TRUE(by_partition.Matches(e));
+  by_partition.mod_residues = {0};
+  EXPECT_FALSE(by_partition.Matches(e));
+}
+
+TEST(FilterTest, SerializationRoundTrip) {
+  Filter f;
+  f.sources = {"a", "b"};
+  f.mod_base = 8;
+  f.mod_residues = {0, 3, 7};
+  std::string buf;
+  f.EncodeTo(&buf);
+  Slice in(buf);
+  auto decoded = Filter::DecodeFrom(&in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().sources, f.sources);
+  EXPECT_EQ(decoded.value().mod_base, f.mod_base);
+  EXPECT_EQ(decoded.value().mod_residues, f.mod_residues);
+}
+
+// ---------------------------------------------------------------------------
+// Relay
+// ---------------------------------------------------------------------------
+
+class DatabusTest : public ::testing::Test {
+ protected:
+  DatabusTest() : db_("member_db") {
+    db_.CreateTable("profiles");
+    db_.CreateTable("connections");
+  }
+
+  void WriteProfiles(int from, int count) {
+    for (int i = from; i < from + count; ++i) {
+      ASSERT_TRUE(db_.Put("profiles", "m" + std::to_string(i),
+                          Row{{"name", "member-" + std::to_string(i)}})
+                      .ok());
+    }
+  }
+
+  net::Network network_;
+  Database db_;
+};
+
+TEST_F(DatabusTest, RelayCapturesCommitOrder) {
+  Relay relay("relay-1", &db_, &network_);
+  WriteProfiles(0, 10);
+  auto polled = relay.PollOnce();
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(polled.value(), 10);
+
+  auto events = relay.ReadEvents(0, 100, Filter{});
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events.value().size(), 10u);
+  for (size_t i = 1; i < events.value().size(); ++i) {
+    EXPECT_GT(events.value()[i].scn, events.value()[i - 1].scn);
+  }
+  EXPECT_EQ(events.value()[0].source, "profiles");
+}
+
+TEST_F(DatabusTest, RelayServesFromSequenceNumber) {
+  Relay relay("relay-1", &db_, &network_);
+  WriteProfiles(0, 20);
+  relay.PollOnce();
+  auto events = relay.ReadEvents(15, 100, Filter{});
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events.value().size(), 5u);
+  EXPECT_EQ(events.value()[0].scn, 16);
+}
+
+TEST_F(DatabusTest, RelayTransactionEnvelope) {
+  Relay relay("relay-1", &db_, &network_);
+  auto txn = db_.Begin();
+  txn.Put("profiles", "m1", Row{{"name", "x"}});
+  txn.Put("connections", "m1:m2", Row{});
+  ASSERT_TRUE(txn.Commit().ok());
+  relay.PollOnce();
+  auto events = relay.ReadEvents(0, 10, Filter{});
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events.value().size(), 2u);
+  EXPECT_EQ(events.value()[0].scn, events.value()[1].scn);
+  EXPECT_FALSE(events.value()[0].end_of_txn);
+  EXPECT_TRUE(events.value()[1].end_of_txn);
+}
+
+TEST_F(DatabusTest, RelayEvictionForcesBootstrapError) {
+  RelayOptions options;
+  options.buffer_capacity_events = 5;
+  Relay relay("relay-1", &db_, &network_, options);
+  WriteProfiles(0, 20);
+  relay.PollOnce();
+  EXPECT_EQ(relay.buffered_events(), 5);
+  EXPECT_EQ(relay.min_buffered_scn(), 16);
+  // Reading from the beginning must fail: range evicted.
+  EXPECT_TRUE(relay.ReadEvents(0, 100, Filter{}).status().IsNotFound());
+  // Reading from within the buffer succeeds.
+  EXPECT_TRUE(relay.ReadEvents(16, 100, Filter{}).ok());
+}
+
+TEST_F(DatabusTest, RelayServerSideFiltering) {
+  db_.SetPartitionFunction([](Slice key) {
+    return key.empty() ? 0 : (key[key.size() - 1] - '0') % 4;
+  });
+  Relay relay("relay-1", &db_, &network_);
+  WriteProfiles(0, 8);  // keys m0..m7, partitions 0..3
+  relay.PollOnce();
+  Filter f;
+  f.mod_base = 4;
+  f.mod_residues = {2};
+  auto events = relay.ReadEvents(0, 100, f);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events.value().size(), 2u);  // m2, m6
+  for (const Event& e : events.value()) {
+    EXPECT_EQ(e.partition % 4, 2);
+  }
+}
+
+TEST_F(DatabusTest, ChainedRelayReplicatesStream) {
+  Relay primary("relay-1", &db_, &network_);
+  Relay chained("relay-2", net::Address("relay-1"), &network_);
+  WriteProfiles(0, 10);
+  primary.PollOnce();
+  auto polled = chained.PollOnce();
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(polled.value(), 10);
+  auto events = chained.ReadEvents(0, 100, Filter{});
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events.value().size(), 10u);
+}
+
+TEST_F(DatabusTest, RelayIsStatelessAcrossRestart) {
+  // A relay that "restarts" (new instance) re-pulls from the source of
+  // truth and serves the same stream (Section III.D).
+  WriteProfiles(0, 10);
+  {
+    Relay relay("relay-1", &db_, &network_);
+    relay.PollOnce();
+    EXPECT_EQ(relay.buffered_events(), 10);
+  }
+  Relay restarted("relay-1", &db_, &network_);
+  restarted.PollOnce();
+  auto events = restarted.ReadEvents(0, 100, Filter{});
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events.value().size(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap server
+// ---------------------------------------------------------------------------
+
+TEST_F(DatabusTest, BootstrapLogAndSnapshotStorages) {
+  Relay relay("relay-1", &db_, &network_);
+  BootstrapServer bootstrap("bootstrap-1", "relay-1", &network_);
+  WriteProfiles(0, 10);
+  relay.PollOnce();
+  ASSERT_TRUE(bootstrap.PollRelayOnce().ok());
+  EXPECT_EQ(bootstrap.log_size(), 10);
+  EXPECT_EQ(bootstrap.snapshot_keys(), 0);  // applier has not run
+  EXPECT_EQ(bootstrap.ApplyLogOnce(), 10);
+  EXPECT_EQ(bootstrap.snapshot_keys(), 10);
+  EXPECT_EQ(bootstrap.applied_scn(), 10);
+}
+
+TEST_F(DatabusTest, ConsolidatedDeltaReturnsOnlyLastUpdatePerKey) {
+  Relay relay("relay-1", &db_, &network_);
+  BootstrapServer bootstrap("bootstrap-1", "relay-1", &network_);
+  // 50 updates to the same key plus one to another key.
+  for (int i = 0; i < 50; ++i) {
+    db_.Put("profiles", "hot", Row{{"v", std::to_string(i)}});
+  }
+  db_.Put("profiles", "cold", Row{{"v", "x"}});
+  relay.PollOnce();
+  bootstrap.PollRelayOnce();
+  bootstrap.ApplyLogOnce();
+
+  auto delta = bootstrap.ConsolidatedDelta(0, Filter{});
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta.value().size(), 2u);  // "fast playback": 51 events -> 2
+  for (const Event& e : delta.value()) {
+    if (e.key == "hot") {
+      auto row = sqlstore::DecodeRow(e.payload);
+      ASSERT_TRUE(row.ok());
+      EXPECT_EQ(row.value().at("v"), "49");
+    }
+  }
+}
+
+TEST_F(DatabusTest, ConsolidatedDeltaHonorsSinceScn) {
+  Relay relay("relay-1", &db_, &network_);
+  BootstrapServer bootstrap("bootstrap-1", "relay-1", &network_);
+  WriteProfiles(0, 10);
+  relay.PollOnce();
+  bootstrap.PollRelayOnce();
+  bootstrap.ApplyLogOnce();
+  auto delta = bootstrap.ConsolidatedDelta(7, Filter{});
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta.value().size(), 3u);
+}
+
+TEST_F(DatabusTest, ConsistentSnapshotExcludesDeletes) {
+  Relay relay("relay-1", &db_, &network_);
+  BootstrapServer bootstrap("bootstrap-1", "relay-1", &network_);
+  WriteProfiles(0, 5);
+  db_.Delete("profiles", "m2");
+  relay.PollOnce();
+  bootstrap.PollRelayOnce();
+  bootstrap.ApplyLogOnce();
+  auto snapshot = bootstrap.ConsistentSnapshot(Filter{});
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().rows.size(), 4u);
+  EXPECT_EQ(snapshot.value().snapshot_scn, 6);
+  for (const Event& e : snapshot.value().rows) EXPECT_NE(e.key, "m2");
+}
+
+TEST_F(DatabusTest, SnapshotConsistentWithUnappliedLogTail) {
+  // The replay path: snapshot serving must reflect events the applier has
+  // not folded yet.
+  Relay relay("relay-1", &db_, &network_);
+  BootstrapServer bootstrap("bootstrap-1", "relay-1", &network_);
+  WriteProfiles(0, 5);
+  relay.PollOnce();
+  bootstrap.PollRelayOnce();
+  bootstrap.ApplyLogOnce(3);  // applier lags behind
+  auto snapshot = bootstrap.ConsistentSnapshot(Filter{});
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().rows.size(), 5u);
+  EXPECT_EQ(snapshot.value().snapshot_scn, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Client library
+// ---------------------------------------------------------------------------
+
+class RecordingConsumer : public Consumer {
+ public:
+  Status OnEvent(const Event& event) override {
+    if (fail_next_ > 0) {
+      --fail_next_;
+      return Status::Internal("injected consumer failure");
+    }
+    events.push_back(event);
+    return Status::OK();
+  }
+  void OnCheckpoint(int64_t scn) override { last_checkpoint = scn; }
+  void OnBootstrap(bool snapshot_phase) override {
+    bootstraps++;
+    if (snapshot_phase) snapshot_bootstraps++;
+  }
+
+  void FailNext(int n) { fail_next_ = n; }
+
+  std::vector<Event> events;
+  int64_t last_checkpoint = 0;
+  int bootstraps = 0;
+  int snapshot_bootstraps = 0;
+
+ private:
+  int fail_next_ = 0;
+};
+
+TEST_F(DatabusTest, ClientConsumesFromRelay) {
+  Relay relay("relay-1", &db_, &network_);
+  RecordingConsumer consumer;
+  DatabusClient client("client-1", "relay-1", "", &network_, &consumer);
+  WriteProfiles(0, 10);
+  relay.PollOnce();
+  auto r = client.DrainToHead();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), 10);
+  EXPECT_EQ(consumer.events.size(), 10u);
+  EXPECT_EQ(client.checkpoint_scn(), 10);
+  EXPECT_EQ(consumer.last_checkpoint, 10);
+}
+
+TEST_F(DatabusTest, ClientIncrementalConsumption) {
+  Relay relay("relay-1", &db_, &network_);
+  RecordingConsumer consumer;
+  DatabusClient client("client-1", "relay-1", "", &network_, &consumer);
+  WriteProfiles(0, 5);
+  relay.PollOnce();
+  client.DrainToHead();
+  WriteProfiles(5, 5);
+  relay.PollOnce();
+  client.DrainToHead();
+  EXPECT_EQ(consumer.events.size(), 10u);
+  // No duplicates: scns strictly increase.
+  for (size_t i = 1; i < consumer.events.size(); ++i) {
+    EXPECT_GT(consumer.events[i].scn, consumer.events[i - 1].scn);
+  }
+}
+
+TEST_F(DatabusTest, ClientRetriesFailingConsumer) {
+  Relay relay("relay-1", &db_, &network_);
+  RecordingConsumer consumer;
+  ClientOptions options;
+  options.max_event_retries = 3;
+  DatabusClient client("client-1", "relay-1", "", &network_, &consumer,
+                       options);
+  WriteProfiles(0, 1);
+  relay.PollOnce();
+  consumer.FailNext(2);  // fails twice, then succeeds within retry budget
+  auto r = client.PollOnce();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(consumer.events.size(), 1u);
+  EXPECT_EQ(client.events_skipped(), 0);
+}
+
+TEST_F(DatabusTest, ClientSkipsPoisonEventAfterRetries) {
+  Relay relay("relay-1", &db_, &network_);
+  RecordingConsumer consumer;
+  ClientOptions options;
+  options.max_event_retries = 2;
+  DatabusClient client("client-1", "relay-1", "", &network_, &consumer,
+                       options);
+  WriteProfiles(0, 2);
+  relay.PollOnce();
+  consumer.FailNext(3);  // exhausts 1 + 2 retries for the first event only
+  auto r = client.PollOnce();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(client.events_skipped(), 1);
+  EXPECT_EQ(consumer.events.size(), 1u);  // second event delivered
+  EXPECT_EQ(client.checkpoint_scn(), 2);  // stream continues past the poison
+}
+
+TEST_F(DatabusTest, ClientFallsBackToBootstrapWhenRelayEvicts) {
+  RelayOptions relay_options;
+  relay_options.buffer_capacity_events = 5;
+  Relay relay("relay-1", &db_, &network_, relay_options);
+  BootstrapServer bootstrap("bootstrap-1", "relay-1", &network_);
+
+  // Bootstrap keeps the long history while the relay evicts: it polls the
+  // relay continuously, so it sees every event before eviction.
+  for (int i = 0; i < 30; ++i) {
+    WriteProfiles(i, 1);
+    relay.PollOnce();
+    ASSERT_TRUE(bootstrap.PollRelayOnce().ok());
+  }
+  bootstrap.ApplyLogOnce();
+  ASSERT_EQ(bootstrap.log_size(), 30);
+  EXPECT_EQ(relay.buffered_events(), 5);
+
+  RecordingConsumer consumer;
+  DatabusClient client("client-1", "relay-1", "bootstrap-1", &network_,
+                       &consumer);
+  client.RestoreCheckpoint(2);  // has state, but the relay evicted scn 3..25
+  auto r = client.DrainToHead();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(consumer.bootstraps, 1);
+  EXPECT_EQ(consumer.snapshot_bootstraps, 0);  // consolidated delta path
+  EXPECT_EQ(client.checkpoint_scn(), 30);
+  // Consolidated delta: 28 distinct keys remained (m3..m30 minus dupes —
+  // all keys distinct here, so every key with scn > 2).
+  EXPECT_EQ(consumer.events.size(), 28u);
+}
+
+TEST_F(DatabusTest, FreshClientBootstrapsViaSnapshot) {
+  RelayOptions relay_options;
+  relay_options.buffer_capacity_events = 5;
+  Relay relay("relay-1", &db_, &network_, relay_options);
+  BootstrapServer bootstrap("bootstrap-1", "relay-1", &network_);
+  for (int batch = 0; batch < 6; ++batch) {
+    WriteProfiles(batch * 5, 5);
+    relay.PollOnce();
+    bootstrap.PollRelayOnce();
+  }
+  bootstrap.ApplyLogOnce();
+
+  RecordingConsumer consumer;
+  DatabusClient client("client-1", "relay-1", "bootstrap-1", &network_,
+                       &consumer);
+  auto r = client.DrainToHead();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(consumer.snapshot_bootstraps, 1);
+  EXPECT_EQ(consumer.events.size(), 30u);
+  EXPECT_EQ(client.checkpoint_scn(), 30);
+
+  // After bootstrapping, new writes flow from the relay (switchover back).
+  WriteProfiles(100, 3);
+  relay.PollOnce();
+  ASSERT_TRUE(client.DrainToHead().ok());
+  EXPECT_EQ(consumer.events.size(), 33u);
+  EXPECT_EQ(consumer.bootstraps, 1);  // no second bootstrap
+}
+
+TEST_F(DatabusTest, PartitionedConsumerGroupSplitsStream) {
+  // Data source/subscriber isolation (III.B): two consumers partition the
+  // computation; each sees a disjoint subset, together the whole stream.
+  db_.SetPartitionFunction([](Slice key) {
+    return static_cast<int>(key.size() > 1 ? (key[1] - '0') : 0);
+  });
+  Relay relay("relay-1", &db_, &network_);
+  WriteProfiles(0, 10);  // m0..m9 -> partitions 0..9
+  relay.PollOnce();
+
+  RecordingConsumer even_consumer, odd_consumer;
+  ClientOptions even_options, odd_options;
+  even_options.filter.mod_base = 2;
+  even_options.filter.mod_residues = {0};
+  odd_options.filter.mod_base = 2;
+  odd_options.filter.mod_residues = {1};
+  DatabusClient even("c-even", "relay-1", "", &network_, &even_consumer,
+                     even_options);
+  DatabusClient odd("c-odd", "relay-1", "", &network_, &odd_consumer,
+                    odd_options);
+  ASSERT_TRUE(even.DrainToHead().ok());
+  ASSERT_TRUE(odd.DrainToHead().ok());
+  EXPECT_EQ(even_consumer.events.size(), 5u);
+  EXPECT_EQ(odd_consumer.events.size(), 5u);
+  for (const Event& e : even_consumer.events) EXPECT_EQ(e.partition % 2, 0);
+  for (const Event& e : odd_consumer.events) EXPECT_EQ(e.partition % 2, 1);
+}
+
+TEST_F(DatabusTest, ManyConsumersDoNotIncreaseSourceLoad) {
+  // Paper III.B: "Isolate the source database from the number of
+  // subscribers". The binlog read count depends on relay polls only.
+  Relay relay("relay-1", &db_, &network_);
+  WriteProfiles(0, 10);
+  relay.PollOnce();
+  const int64_t source_reads_before = db_.binlog().ReadCalls();
+
+  std::vector<std::unique_ptr<RecordingConsumer>> consumers;
+  std::vector<std::unique_ptr<DatabusClient>> clients;
+  for (int i = 0; i < 50; ++i) {
+    consumers.push_back(std::make_unique<RecordingConsumer>());
+    clients.push_back(std::make_unique<DatabusClient>(
+        "c" + std::to_string(i), "relay-1", "", &network_,
+        consumers.back().get()));
+    ASSERT_TRUE(clients.back()->DrainToHead().ok());
+    EXPECT_EQ(consumers.back()->events.size(), 10u);
+  }
+  EXPECT_EQ(db_.binlog().ReadCalls(), source_reads_before);
+}
+
+}  // namespace
+}  // namespace lidi::databus

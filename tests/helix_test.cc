@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "helix/helix.h"
+#include "zk/zookeeper.h"
+
+namespace lidi::helix {
+namespace {
+
+class HelixTest : public ::testing::Test {
+ protected:
+  void Connect(const std::string& instance) {
+    auto session = controller_->ConnectParticipant(
+        instance, [this, instance](const Transition& t) {
+          transitions_.push_back(t);
+          return Status::OK();
+        });
+    ASSERT_TRUE(session.ok());
+    sessions_[instance] = session.value();
+  }
+
+  void Crash(const std::string& instance) {
+    zk_.CloseSession(sessions_[instance]);
+    sessions_.erase(instance);
+  }
+
+  void SetUpCluster(int instances, ResourceConfig config) {
+    controller_ = std::make_unique<HelixController>("espresso", &zk_);
+    ASSERT_TRUE(controller_->AddResource(config).ok());
+    for (int i = 0; i < instances; ++i) {
+      Connect("node-" + std::to_string(i));
+    }
+  }
+
+  zk::ZooKeeper zk_;
+  std::unique_ptr<HelixController> controller_;
+  std::map<std::string, zk::SessionId> sessions_;
+  std::vector<Transition> transitions_;
+};
+
+TEST_F(HelixTest, IdealStateAssignsMasterAndSlaves) {
+  SetUpCluster(3, ResourceConfig{"db", 6, 2});
+  const Assignment ideal = controller_->ComputeIdealState("db");
+  ASSERT_EQ(ideal.size(), 6u);
+  for (const auto& [partition, states] : ideal) {
+    int masters = 0, slaves = 0;
+    for (const auto& [instance, state] : states) {
+      if (state == ReplicaState::kMaster) ++masters;
+      if (state == ReplicaState::kSlave) ++slaves;
+    }
+    EXPECT_EQ(masters, 1) << "partition " << partition;
+    EXPECT_EQ(slaves, 1) << "partition " << partition;
+  }
+}
+
+TEST_F(HelixTest, IdealStateBalancesMasters) {
+  SetUpCluster(3, ResourceConfig{"db", 9, 2});
+  std::map<std::string, int> master_counts;
+  for (const auto& [partition, states] : controller_->ComputeIdealState("db")) {
+    for (const auto& [instance, state] : states) {
+      if (state == ReplicaState::kMaster) master_counts[instance]++;
+    }
+  }
+  for (const auto& [instance, count] : master_counts) {
+    EXPECT_EQ(count, 3) << instance;
+  }
+}
+
+TEST_F(HelixTest, RebalanceConvergesCurrentToIdeal) {
+  SetUpCluster(3, ResourceConfig{"db", 6, 2});
+  EXPECT_TRUE(controller_->GetCurrentState("db").empty());
+  const int transitions = controller_->RebalanceToConvergence();
+  EXPECT_GT(transitions, 0);
+  // CURRENTSTATE == BESTPOSSIBLESTATE == IDEALSTATE (all nodes live).
+  EXPECT_EQ(controller_->GetCurrentState("db"),
+            controller_->ComputeIdealState("db"));
+  EXPECT_TRUE(controller_->MasterlessPartitions("db").empty());
+  // Fixed point: no further transitions.
+  EXPECT_EQ(controller_->RebalanceOnce(), 0);
+}
+
+TEST_F(HelixTest, OfflineToMasterRoutesThroughSlave) {
+  SetUpCluster(1, ResourceConfig{"db", 1, 1});
+  controller_->RebalanceToConvergence();
+  ASSERT_EQ(transitions_.size(), 2u);
+  EXPECT_EQ(transitions_[0].from, ReplicaState::kOffline);
+  EXPECT_EQ(transitions_[0].to, ReplicaState::kSlave);
+  EXPECT_EQ(transitions_[1].from, ReplicaState::kSlave);
+  EXPECT_EQ(transitions_[1].to, ReplicaState::kMaster);
+}
+
+TEST_F(HelixTest, NodeFailurePromotesSlave) {
+  SetUpCluster(3, ResourceConfig{"db", 6, 2});
+  controller_->RebalanceToConvergence();
+
+  // Find a partition mastered by node-0 and its slave.
+  const Assignment before = controller_->GetCurrentState("db");
+  int victim_partition = -1;
+  std::string slave;
+  for (const auto& [partition, states] : before) {
+    for (const auto& [instance, state] : states) {
+      if (instance == "node-0" && state == ReplicaState::kMaster) {
+        victim_partition = partition;
+        for (const auto& [other, other_state] : states) {
+          if (other_state == ReplicaState::kSlave) slave = other;
+        }
+      }
+    }
+  }
+  ASSERT_GE(victim_partition, 0);
+  ASSERT_FALSE(slave.empty());
+
+  Crash("node-0");
+  controller_->RebalanceToConvergence();
+  // Every partition has a master again, and node-0 holds nothing.
+  EXPECT_TRUE(controller_->MasterlessPartitions("db").empty());
+  for (const auto& [partition, states] : controller_->GetCurrentState("db")) {
+    EXPECT_EQ(states.count("node-0"), 0u) << "partition " << partition;
+  }
+  EXPECT_NE(controller_->MasterOf("db", victim_partition), "node-0");
+}
+
+TEST_F(HelixTest, NodeAdditionRedistributes) {
+  SetUpCluster(2, ResourceConfig{"db", 8, 2});
+  controller_->RebalanceToConvergence();
+  std::map<std::string, int> before;
+  for (const auto& [p, states] : controller_->GetCurrentState("db")) {
+    for (const auto& [inst, st] : states) {
+      if (st == ReplicaState::kMaster) before[inst]++;
+    }
+  }
+  EXPECT_EQ(before["node-0"], 4);
+  EXPECT_EQ(before["node-1"], 4);
+
+  Connect("node-2");
+  controller_->RebalanceToConvergence();
+  std::map<std::string, int> after;
+  for (const auto& [p, states] : controller_->GetCurrentState("db")) {
+    for (const auto& [inst, st] : states) {
+      if (st == ReplicaState::kMaster) after[inst]++;
+    }
+  }
+  EXPECT_GT(after["node-2"], 0);
+  EXPECT_TRUE(controller_->MasterlessPartitions("db").empty());
+}
+
+TEST_F(HelixTest, AtMostOneMasterPerPartitionAlways) {
+  SetUpCluster(4, ResourceConfig{"db", 12, 3});
+  controller_->RebalanceToConvergence();
+  // After each single transition step, check the one-master invariant by
+  // replaying with a max_transitions budget of 1.
+  Crash("node-1");
+  for (int step = 0; step < 200; ++step) {
+    const int n = controller_->RebalanceOnce(/*max_transitions=*/1);
+    const Assignment current = controller_->GetCurrentState("db");
+    for (const auto& [partition, states] : current) {
+      int masters = 0;
+      for (const auto& [instance, state] : states) {
+        if (state == ReplicaState::kMaster) ++masters;
+      }
+      ASSERT_LE(masters, 1) << "partition " << partition << " step " << step;
+    }
+    if (n == 0) break;
+  }
+  EXPECT_TRUE(controller_->MasterlessPartitions("db").empty());
+}
+
+TEST_F(HelixTest, FailedTransitionRetriedNextRound) {
+  controller_ = std::make_unique<HelixController>("espresso", &zk_);
+  ASSERT_TRUE(controller_->AddResource(ResourceConfig{"db", 1, 1}).ok());
+  int failures_left = 2;
+  auto session = controller_->ConnectParticipant(
+      "flaky", [&failures_left](const Transition& t) {
+        if (failures_left > 0) {
+          --failures_left;
+          return Status::Unavailable("transition failed");
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(session.ok());
+  controller_->RebalanceOnce();
+  EXPECT_EQ(controller_->MasterlessPartitions("db").size(), 1u);
+  controller_->RebalanceToConvergence();
+  EXPECT_TRUE(controller_->MasterlessPartitions("db").empty());
+}
+
+TEST_F(HelixTest, MasterlessReportedWhileAllNodesDown) {
+  SetUpCluster(2, ResourceConfig{"db", 4, 2});
+  controller_->RebalanceToConvergence();
+  Crash("node-0");
+  Crash("node-1");
+  controller_->RebalanceToConvergence();
+  EXPECT_EQ(controller_->MasterlessPartitions("db").size(), 4u);
+  EXPECT_TRUE(controller_->LiveInstances().empty());
+  EXPECT_EQ(controller_->ConfiguredInstances().size(), 2u);
+}
+
+TEST_F(HelixTest, ReplicasCappedByLiveInstances) {
+  SetUpCluster(1, ResourceConfig{"db", 4, 3});
+  controller_->RebalanceToConvergence();
+  for (const auto& [partition, states] :
+       controller_->GetCurrentState("db")) {
+    EXPECT_EQ(states.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace lidi::helix

@@ -1,0 +1,335 @@
+// Cross-system integration tests: the paper's architecture (Figure I.1) has
+// the stream systems feeding the derived-data systems. These tests wire
+// multiple lidi systems together, including under injected network faults.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "avro/codec.h"
+#include "common/clock.h"
+#include "databus/bootstrap.h"
+#include "databus/client.h"
+#include "databus/relay.h"
+#include "espresso/router.h"
+#include "espresso/storage_node.h"
+#include "helix/helix.h"
+#include "kafka/broker.h"
+#include "kafka/consumer.h"
+#include "kafka/producer.h"
+#include "net/network.h"
+#include "sqlstore/database.h"
+#include "voldemort/client.h"
+#include "voldemort/server.h"
+#include "zk/zookeeper.h"
+
+namespace lidi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primary DB -> Databus -> Voldemort cache (the Company Follow architecture,
+// paper II.C + III.E: Databus as a cache-invalidation/population tier).
+// ---------------------------------------------------------------------------
+
+class CachePopulator : public databus::Consumer {
+ public:
+  explicit CachePopulator(voldemort::StoreClient* cache) : cache_(cache) {}
+
+  Status OnEvent(const databus::Event& event) override {
+    if (event.op == databus::Event::Op::kDelete) {
+      auto current = cache_->Get(event.key);
+      if (current.ok()) {
+        voldemort::VectorClock clock;
+        for (const auto& v : current.value()) clock = clock.Merge(v.version);
+        return cache_->Delete(event.key, clock);
+      }
+      return Status::OK();
+    }
+    return cache_->PutValue(event.key, event.payload);
+  }
+
+ private:
+  voldemort::StoreClient* cache_;
+};
+
+TEST(IntegrationTest, DatabusKeepsVoldemortCacheConsistent) {
+  net::Network network;
+  ManualClock clock;
+
+  // Voldemort tier.
+  std::vector<voldemort::Node> vnodes;
+  for (int i = 0; i < 3; ++i) {
+    vnodes.push_back({i, voldemort::VoldemortAddress(i), 0});
+  }
+  auto metadata = std::make_shared<voldemort::ClusterMetadata>(
+      voldemort::Cluster::Uniform(vnodes, 12));
+  std::vector<std::unique_ptr<voldemort::VoldemortServer>> servers;
+  for (int i = 0; i < 3; ++i) {
+    servers.push_back(
+        std::make_unique<voldemort::VoldemortServer>(i, metadata, &network));
+    servers.back()->AddStore("cache");
+  }
+  voldemort::StoreClient cache(
+      "cache-client", {.name = "cache", .replication_factor = 2,
+                       .required_reads = 1, .required_writes = 1},
+      metadata, &network, &clock);
+
+  // Primary DB + Databus tier.
+  sqlstore::Database primary("primary");
+  primary.CreateTable("profiles");
+  databus::Relay relay("relay", &primary, &network);
+  CachePopulator populator(&cache);
+  databus::DatabusClient pipeline("populator", "relay", "", &network,
+                                  &populator);
+
+  // Drive writes + deletes through the primary; pump the pipeline.
+  for (int i = 0; i < 200; ++i) {
+    primary.Put("profiles", "m" + std::to_string(i % 60),
+                {{"v", std::to_string(i)}});
+    if (i % 7 == 0) primary.Delete("profiles", "m" + std::to_string(i % 60));
+    if (i % 20 == 19) {
+      relay.PollOnce();
+      ASSERT_TRUE(pipeline.DrainToHead().ok());
+    }
+  }
+  relay.PollOnce();
+  ASSERT_TRUE(pipeline.DrainToHead().ok());
+
+  // The cache must agree with the primary for every key.
+  int checked = 0;
+  for (int k = 0; k < 60; ++k) {
+    const std::string key = "m" + std::to_string(k);
+    auto truth = primary.Get("profiles", key);
+    auto cached = cache.Get(key);
+    if (truth.ok()) {
+      ASSERT_TRUE(cached.ok()) << key;
+      auto row = sqlstore::DecodeRow(cached.value()[0].value);
+      ASSERT_TRUE(row.ok());
+      EXPECT_EQ(row.value().at("v"), truth.value().at("v")) << key;
+      ++checked;
+    } else {
+      EXPECT_TRUE(cached.status().IsNotFound()) << key;
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(IntegrationTest, PipelineSurvivesTransientNetworkFaults) {
+  // With message drops between every tier, retries still converge: Databus
+  // clients re-poll, Voldemort writes retry; the final cache equals the
+  // primary (the "frequent transient failures" regime of paper II.A).
+  net::Network network(/*fault_seed=*/123);
+  ManualClock clock;
+
+  std::vector<voldemort::Node> vnodes;
+  for (int i = 0; i < 3; ++i) {
+    vnodes.push_back({i, voldemort::VoldemortAddress(i), 0});
+  }
+  auto metadata = std::make_shared<voldemort::ClusterMetadata>(
+      voldemort::Cluster::Uniform(vnodes, 12));
+  std::vector<std::unique_ptr<voldemort::VoldemortServer>> servers;
+  for (int i = 0; i < 3; ++i) {
+    servers.push_back(
+        std::make_unique<voldemort::VoldemortServer>(i, metadata, &network));
+    servers.back()->AddStore("cache");
+  }
+  voldemort::ClientOptions resilient;
+  resilient.failure_detector.minimum_requests = 1 << 30;  // never ban
+  voldemort::StoreClient cache(
+      "cache-client", {.name = "cache", .replication_factor = 3,
+                       .required_reads = 1, .required_writes = 1},
+      metadata, &network, &clock, resilient);
+
+  sqlstore::Database primary("primary");
+  primary.CreateTable("profiles");
+  databus::Relay relay("relay", &primary, &network);
+  CachePopulator populator(&cache);
+  databus::ClientOptions client_options;
+  client_options.max_event_retries = 50;
+  databus::DatabusClient pipeline("populator", "relay", "", &network,
+                                  &populator, client_options);
+
+  for (int i = 0; i < 120; ++i) {
+    primary.Put("profiles", "m" + std::to_string(i % 40),
+                {{"v", std::to_string(i)}});
+  }
+  relay.PollOnce();
+
+  network.SetDropProbability(0.25);
+  // Drive the pipeline with retries until it reports the head reached.
+  int64_t delivered = 0;
+  for (int attempt = 0; attempt < 500 && delivered < 120; ++attempt) {
+    auto n = pipeline.PollOnce();
+    if (n.ok()) delivered += n.value();
+  }
+  network.SetDropProbability(0);
+  ASSERT_TRUE(pipeline.DrainToHead().ok());
+  EXPECT_EQ(pipeline.events_skipped(), 0);
+
+  for (int k = 0; k < 40; ++k) {
+    const std::string key = "m" + std::to_string(k);
+    auto truth = primary.Get("profiles", key);
+    ASSERT_TRUE(truth.ok());
+    auto cached = cache.Get(key);
+    ASSERT_TRUE(cached.ok()) << key << ": " << cached.status().ToString();
+    auto row = sqlstore::DecodeRow(cached.value()[0].value);
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(row.value().at("v"), truth.value().at("v")) << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Espresso -> downstream CDC consumers (paper IV: "ESPRESSO relies on
+// Databus for internal replication and therefore provides a Change Data
+// Capture pipeline to downstream consumers" — e.g. the search index).
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, EspressoChangeStreamFeedsDownstreamIndex) {
+  net::Network network;
+  zk::ZooKeeper zookeeper;
+  SystemClock* clock = SystemClock::Default();
+
+  espresso::SchemaRegistry registry;
+  registry.CreateDatabase(
+      {"db", espresso::DatabaseSchema::Partitioning::kHash, 4, 2});
+  registry.CreateTable("db", {"docs", 1});
+  registry.PostDocumentSchema("db", "docs", R"({
+    "type":"record","name":"Doc","fields":[{"name":"title","type":"string"}]})");
+  espresso::EspressoRelay relay;
+  helix::HelixController controller("c", &zookeeper);
+  controller.AddResource({"db", 4, 2});
+  std::vector<std::unique_ptr<espresso::StorageNode>> nodes;
+  for (int i = 0; i < 2; ++i) {
+    auto node = std::make_unique<espresso::StorageNode>(
+        "esn-" + std::to_string(i), &registry, &relay, &network, clock);
+    auto* raw = node.get();
+    raw->SetMasterLookup([&controller](const std::string& db, int p) {
+      return controller.MasterOf(db, p);
+    });
+    controller.ConnectParticipant(raw->name(),
+                                  [raw](const helix::Transition& t) {
+                                    return raw->HandleTransition(t);
+                                  });
+    nodes.push_back(std::move(node));
+  }
+  controller.RebalanceToConvergence();
+  espresso::Router router("router", &registry, &controller, &network);
+
+  // Write documents through the normal data plane.
+  std::set<std::string> expected_keys;
+  for (int i = 0; i < 100; ++i) {
+    auto doc = avro::Datum::Record("Doc");
+    doc->SetField("title", avro::Datum::String("t" + std::to_string(i)));
+    const std::string key =
+        "r" + std::to_string(i % 25) + "/d" + std::to_string(i);
+    ASSERT_TRUE(
+        router.PutDocument("/db/docs/" + key, *doc).ok());
+    expected_keys.insert(key);
+  }
+
+  // A downstream consumer (the "search index") tails every partition's
+  // update stream from the relay — the same stream the slaves consume.
+  std::set<std::string> indexed_keys;
+  for (int p = 0; p < 4; ++p) {
+    auto events = relay.Read("db", p, 0, 1 << 20);
+    ASSERT_TRUE(events.ok());
+    int64_t last_scn = 0;
+    for (const auto& event : events.value()) {
+      EXPECT_GE(event.scn, last_scn) << "timeline broken in partition " << p;
+      last_scn = event.scn;
+      indexed_keys.insert(event.key);
+    }
+  }
+  EXPECT_EQ(indexed_keys, expected_keys);
+}
+
+// ---------------------------------------------------------------------------
+// Kafka consumers under network faults: pulls are idempotent, so drops only
+// delay delivery (paper V.B: consumers re-request from their own offset).
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, KafkaConsumerSurvivesFetchDrops) {
+  net::Network network(/*fault_seed=*/7);
+  ManualClock clock;
+  zk::ZooKeeper zookeeper;
+  kafka::Broker broker(0, &zookeeper, &network, &clock, {});
+  broker.CreateTopic("t", 2);
+  kafka::Producer producer("p", &zookeeper, &network);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(producer.Send("t", "m" + std::to_string(i)).ok());
+  }
+
+  network.SetDropProbability(0.4);
+  kafka::Consumer consumer("c", "g", &zookeeper, &network);
+  consumer.Subscribe("t");
+  std::multiset<std::string> received;
+  for (int round = 0; round < 2000 && received.size() < 100; ++round) {
+    auto messages = consumer.Poll("t");
+    if (!messages.ok()) continue;  // dropped fetch: just re-poll
+    for (const auto& m : messages.value()) received.insert(m.payload);
+  }
+  EXPECT_EQ(received.size(), 100u);
+  // Exactly-once within a stable group: offsets only advance on success.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(received.count("m" + std::to_string(i)), 1u) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-stack smoke: one activity event travels user action -> primary DB ->
+// Databus -> Voldemort (profile cache) while the same action is tracked via
+// Kafka to the analytics tier — Figure I.1 end to end.
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, FigureOneEndToEnd) {
+  net::Network network;
+  ManualClock clock;
+  zk::ZooKeeper zookeeper;
+
+  // Live storage (Voldemort) + primary (sqlstore) + stream (Databus).
+  std::vector<voldemort::Node> vnodes{{0, voldemort::VoldemortAddress(0), 0}};
+  auto metadata = std::make_shared<voldemort::ClusterMetadata>(
+      voldemort::Cluster::Uniform(vnodes, 4));
+  voldemort::VoldemortServer server(0, metadata, &network);
+  server.AddStore("cache");
+  voldemort::StoreClient cache("c",
+                               {.name = "cache", .replication_factor = 1,
+                                .required_reads = 1, .required_writes = 1},
+                               metadata, &network, &clock);
+  sqlstore::Database primary("primary");
+  primary.CreateTable("profiles");
+  databus::Relay relay("relay", &primary, &network);
+  CachePopulator populator(&cache);
+  databus::DatabusClient pipeline("pop", "relay", "", &network, &populator);
+
+  // Activity tracking (Kafka).
+  kafka::Broker broker(0, &zookeeper, &network, &clock, {});
+  broker.CreateTopic("profile-updates", 1);
+  kafka::Producer tracker("frontend", &zookeeper, &network);
+  kafka::Consumer analytics("analytics", "bi", &zookeeper, &network);
+  analytics.Subscribe("profile-updates");
+
+  // The user action.
+  ASSERT_TRUE(primary.Put("profiles", "member:1",
+                          {{"headline", "Distributed Systems Engineer"}})
+                  .ok());
+  ASSERT_TRUE(tracker.Send("profile-updates", "member:1 updated profile").ok());
+
+  // Asynchronous tiers catch up.
+  relay.PollOnce();
+  ASSERT_TRUE(pipeline.DrainToHead().ok());
+  auto tracked = analytics.PollUntilData("profile-updates");
+
+  auto cached = cache.Get("member:1");
+  ASSERT_TRUE(cached.ok());
+  auto row = sqlstore::DecodeRow(cached.value()[0].value);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value().at("headline"), "Distributed Systems Engineer");
+  ASSERT_TRUE(tracked.ok());
+  ASSERT_EQ(tracked.value().size(), 1u);
+  EXPECT_EQ(tracked.value()[0].payload, "member:1 updated profile");
+}
+
+}  // namespace
+}  // namespace lidi

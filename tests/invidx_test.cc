@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "invidx/inverted_index.h"
+
+namespace lidi::invidx {
+namespace {
+
+TEST(TokenizeTest, LowercasesAndSplits) {
+  EXPECT_EQ(Tokenize("Lucy in the Sky, with Diamonds!"),
+            (std::vector<std::string>{"lucy", "in", "the", "sky", "with",
+                                      "diamonds"}));
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  ...  ").empty());
+  EXPECT_EQ(Tokenize("abc123"), (std::vector<std::string>{"abc123"}));
+}
+
+TEST(QueryParseTest, SingleTerm) {
+  auto q = Query::Parse("artist:Akon");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q.value().clauses.size(), 1u);
+  EXPECT_EQ(q.value().clauses[0].field, "artist");
+  EXPECT_EQ(q.value().clauses[0].text, "Akon");
+  EXPECT_FALSE(q.value().clauses[0].phrase);
+}
+
+TEST(QueryParseTest, PhraseAndConjunction) {
+  auto q = Query::Parse("lyrics:\"Lucy in the sky\" year:1967");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q.value().clauses.size(), 2u);
+  EXPECT_TRUE(q.value().clauses[0].phrase);
+  EXPECT_EQ(q.value().clauses[0].text, "Lucy in the sky");
+  EXPECT_EQ(q.value().clauses[1].field, "year");
+}
+
+TEST(QueryParseTest, Malformed) {
+  EXPECT_FALSE(Query::Parse("").ok());
+  EXPECT_FALSE(Query::Parse("noseparator").ok());
+  EXPECT_FALSE(Query::Parse("field:\"unterminated").ok());
+  EXPECT_FALSE(Query::Parse("field:").ok());
+}
+
+class IndexTest : public ::testing::Test {
+ protected:
+  void IndexSongs() {
+    index_.IndexDocument(
+        "Sgt._Pepper/Lucy_in_the_Sky",
+        {{"title", "Lucy in the Sky with Diamonds"},
+         {"lyrics", "Picture yourself in a boat on a river, Lucy in the sky"},
+         {"year", "1967"}},
+        {"lyrics"});
+    index_.IndexDocument(
+        "Magical_Mystery_Tour/I_am_the_Walrus",
+        {{"title", "I am the Walrus"},
+         {"lyrics", "I am he as you are he, Lucy in the sky is not here"},
+         {"year", "1967"}},
+        {"lyrics"});
+    index_.IndexDocument("Abbey_Road/Come_Together",
+                         {{"title", "Come Together"},
+                          {"lyrics", "Here come old flat top"},
+                          {"year", "1969"}},
+                         {"lyrics"});
+  }
+
+  InvertedIndex index_;
+};
+
+TEST_F(IndexTest, PhraseQueryMatchesConsecutiveTokens) {
+  IndexSongs();
+  auto q = Query::Parse("lyrics:\"Lucy in the sky\"");
+  ASSERT_TRUE(q.ok());
+  auto result = index_.Search(q.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 2u);  // the paper's example: two matches
+}
+
+TEST_F(IndexTest, PhraseOrderMatters) {
+  IndexSongs();
+  auto q = Query::Parse("lyrics:\"sky the in Lucy\"");
+  ASSERT_TRUE(q.ok());
+  auto result = index_.Search(q.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST_F(IndexTest, KeywordFieldExactMatch) {
+  IndexSongs();
+  auto result = index_.Search(Query::Parse("year:1967").value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 2u);
+  result = index_.Search(Query::Parse("year:1969").value());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0], "Abbey_Road/Come_Together");
+}
+
+TEST_F(IndexTest, KeywordMatchIsCaseInsensitive) {
+  IndexSongs();
+  auto result = index_.Search(Query::Parse("title:\"i am the walrus\"").value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 1u);
+}
+
+TEST_F(IndexTest, ConjunctionIntersects) {
+  IndexSongs();
+  auto result =
+      index_.Search(Query::Parse("lyrics:lucy year:1967").value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 2u);
+  result = index_.Search(Query::Parse("lyrics:lucy year:1969").value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST_F(IndexTest, SingleTokenTextQuery) {
+  IndexSongs();
+  auto result = index_.Search(Query::Parse("lyrics:walrus").value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());  // "walrus" is only in the title
+  result = index_.Search(Query::Parse("lyrics:river").value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 1u);
+}
+
+TEST_F(IndexTest, RemoveDocument) {
+  IndexSongs();
+  EXPECT_EQ(index_.document_count(), 3);
+  index_.RemoveDocument("Abbey_Road/Come_Together");
+  EXPECT_EQ(index_.document_count(), 2);
+  auto result = index_.Search(Query::Parse("year:1969").value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST_F(IndexTest, ReindexReplacesPostings) {
+  IndexSongs();
+  index_.IndexDocument("Abbey_Road/Come_Together",
+                       {{"title", "Come Together"}, {"year", "1970"}}, {});
+  EXPECT_TRUE(index_.Search(Query::Parse("year:1969").value())
+                  .value()
+                  .empty());
+  EXPECT_EQ(index_.Search(Query::Parse("year:1970").value()).value().size(),
+            1u);
+  EXPECT_EQ(index_.document_count(), 3);
+}
+
+TEST_F(IndexTest, MissingTermReturnsEmptyNotError) {
+  IndexSongs();
+  auto result = index_.Search(Query::Parse("lyrics:zzzzz").value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+  result = index_.Search(Query::Parse("nosuchfield:x").value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST_F(IndexTest, RepeatedPhraseInOneDocument) {
+  index_.IndexDocument("d", {{"t", "at last at last my love has come along"}},
+                       {"t"});
+  auto result = index_.Search(Query::Parse("t:\"at last\"").value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 1u);
+}
+
+}  // namespace
+}  // namespace lidi::invidx

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "net/network.h"
+#include "zk/zookeeper.h"
+
+namespace lidi {
+namespace {
+
+using net::Network;
+using zk::CreateMode;
+using zk::EventType;
+using zk::WatchEvent;
+using zk::ZooKeeper;
+
+TEST(NetworkTest, CallReachesHandler) {
+  Network nw;
+  nw.Register("server", "echo", [](Slice req) -> Result<std::string> {
+    return "echo:" + req.ToString();
+  });
+  auto r = nw.Call("client", "server", "echo", "hi");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "echo:hi");
+}
+
+TEST(NetworkTest, UnknownEndpointAndMethod) {
+  Network nw;
+  EXPECT_TRUE(nw.Call("c", "ghost", "m", "").status().code() ==
+              Code::kNotFound);
+  nw.Register("s", "a", [](Slice) -> Result<std::string> { return std::string(""); });
+  EXPECT_TRUE(nw.Call("c", "s", "b", "").status().code() == Code::kNotFound);
+}
+
+TEST(NetworkTest, DownNodeUnavailableAndRestarts) {
+  Network nw;
+  nw.Register("s", "m", [](Slice) -> Result<std::string> { return std::string("ok"); });
+  nw.SetNodeDown("s");
+  EXPECT_FALSE(nw.IsNodeUp("s"));
+  EXPECT_TRUE(nw.Call("c", "s", "m", "").status().IsUnavailable());
+  nw.SetNodeUp("s");
+  EXPECT_TRUE(nw.Call("c", "s", "m", "").ok());
+}
+
+TEST(NetworkTest, PartitionBlocksCrossTraffic) {
+  Network nw;
+  nw.Register("a", "m", [](Slice) -> Result<std::string> { return std::string("a"); });
+  nw.Register("b", "m", [](Slice) -> Result<std::string> { return std::string("b"); });
+  nw.PartitionOff({"a", "client_a"});
+  EXPECT_TRUE(nw.Call("client_a", "b", "m", "").status().IsUnavailable());
+  EXPECT_TRUE(nw.Call("client_a", "a", "m", "").ok());
+  nw.Heal();
+  EXPECT_TRUE(nw.Call("client_a", "b", "m", "").ok());
+}
+
+TEST(NetworkTest, DropProbabilityCausesTimeouts) {
+  Network nw(/*fault_seed=*/7);
+  nw.Register("s", "m", [](Slice) -> Result<std::string> { return std::string("ok"); });
+  nw.SetDropProbability(0.5);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!nw.Call("c", "s", "m", "").ok()) ++failures;
+  }
+  EXPECT_GT(failures, 50);
+  EXPECT_LT(failures, 150);
+}
+
+TEST(NetworkTest, StatsTrackTraffic) {
+  Network nw;
+  nw.Register("s", "m", [](Slice) -> Result<std::string> { return std::string("xyz"); });
+  nw.Call("c", "s", "m", "12345");
+  auto server = nw.GetStats("s");
+  auto client = nw.GetStats("c");
+  EXPECT_EQ(server.calls_received, 1);
+  EXPECT_EQ(server.bytes_received, 5);
+  EXPECT_EQ(client.calls_sent, 1);
+  EXPECT_EQ(nw.total_calls(), 1);
+  nw.ResetStats();
+  EXPECT_EQ(nw.GetStats("s").calls_received, 0);
+}
+
+TEST(NetworkTest, NestedCallsFromHandler) {
+  Network nw;
+  nw.Register("backend", "m", [](Slice) -> Result<std::string> { return std::string("B"); });
+  nw.Register("frontend", "m", [&nw](Slice req) -> Result<std::string> {
+    auto r = nw.Call("frontend", "backend", "m", req);
+    if (!r.ok()) return r.status();
+    return "F+" + r.value();
+  });
+  auto r = nw.Call("client", "frontend", "m", "");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "F+B");
+}
+
+// --- ZooKeeper ---
+
+TEST(ZkTest, CreateGetSetDelete) {
+  ZooKeeper zk;
+  auto s = zk.CreateSession();
+  ASSERT_TRUE(zk.Create(s, "/a", "v1", CreateMode::kPersistent).ok());
+  EXPECT_EQ(zk.Get("/a").value(), "v1");
+  ASSERT_TRUE(zk.Set("/a", "v2").ok());
+  EXPECT_EQ(zk.Get("/a").value(), "v2");
+  ASSERT_TRUE(zk.Delete("/a").ok());
+  EXPECT_FALSE(zk.Get("/a").ok());
+}
+
+TEST(ZkTest, CreateRequiresParent) {
+  ZooKeeper zk;
+  auto s = zk.CreateSession();
+  EXPECT_EQ(zk.Create(s, "/a/b", "", CreateMode::kPersistent).code(),
+            Code::kNotFound);
+  ASSERT_TRUE(zk.Create(s, "/a", "", CreateMode::kPersistent).ok());
+  EXPECT_TRUE(zk.Create(s, "/a/b", "", CreateMode::kPersistent).ok());
+  EXPECT_EQ(zk.Create(s, "/a", "", CreateMode::kPersistent).code(),
+            Code::kAlreadyExists);
+}
+
+TEST(ZkTest, CreateRecursiveMakesParents) {
+  ZooKeeper zk;
+  auto s = zk.CreateSession();
+  ASSERT_TRUE(
+      zk.CreateRecursive(s, "/x/y/z", "data", CreateMode::kPersistent).ok());
+  EXPECT_TRUE(zk.Exists("/x"));
+  EXPECT_TRUE(zk.Exists("/x/y"));
+  EXPECT_EQ(zk.Get("/x/y/z").value(), "data");
+}
+
+TEST(ZkTest, DeleteWithChildrenRejected) {
+  ZooKeeper zk;
+  auto s = zk.CreateSession();
+  zk.Create(s, "/p", "", CreateMode::kPersistent);
+  zk.Create(s, "/p/c", "", CreateMode::kPersistent);
+  EXPECT_FALSE(zk.Delete("/p").ok());
+  zk.DeleteRecursive("/p");
+  EXPECT_FALSE(zk.Exists("/p"));
+}
+
+TEST(ZkTest, GetChildrenSorted) {
+  ZooKeeper zk;
+  auto s = zk.CreateSession();
+  zk.Create(s, "/g", "", CreateMode::kPersistent);
+  zk.Create(s, "/g/b", "", CreateMode::kPersistent);
+  zk.Create(s, "/g/a", "", CreateMode::kPersistent);
+  zk.Create(s, "/g/a/nested", "", CreateMode::kPersistent);
+  auto children = zk.GetChildren("/g");
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(children.value(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ZkTest, SequentialNodesIncrement) {
+  ZooKeeper zk;
+  auto s = zk.CreateSession();
+  zk.Create(s, "/q", "", CreateMode::kPersistent);
+  std::string p1, p2;
+  ASSERT_TRUE(
+      zk.Create(s, "/q/n-", "", CreateMode::kPersistentSequential, &p1).ok());
+  ASSERT_TRUE(
+      zk.Create(s, "/q/n-", "", CreateMode::kPersistentSequential, &p2).ok());
+  EXPECT_EQ(p1, "/q/n-0000000000");
+  EXPECT_EQ(p2, "/q/n-0000000001");
+}
+
+TEST(ZkTest, EphemeralsVanishOnSessionClose) {
+  ZooKeeper zk;
+  auto s1 = zk.CreateSession();
+  auto s2 = zk.CreateSession();
+  zk.Create(s1, "/live", "", CreateMode::kPersistent);
+  zk.Create(s1, "/live/a", "", CreateMode::kEphemeral);
+  zk.Create(s2, "/live/b", "", CreateMode::kEphemeral);
+  EXPECT_EQ(zk.GetChildren("/live").value().size(), 2u);
+  zk.CloseSession(s1);
+  auto children = zk.GetChildren("/live").value();
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0], "b");
+}
+
+TEST(ZkTest, DataWatchFiresOnceOnChange) {
+  ZooKeeper zk;
+  auto s = zk.CreateSession();
+  zk.Create(s, "/w", "v0", CreateMode::kPersistent);
+  std::atomic<int> fired{0};
+  EventType seen{};
+  zk.Get("/w", [&](const WatchEvent& e) {
+    fired++;
+    seen = e.type;
+  });
+  zk.Set("/w", "v1");
+  zk.Set("/w", "v2");  // watch is one-shot: second set must not re-fire
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(seen, EventType::kNodeDataChanged);
+}
+
+TEST(ZkTest, ChildWatchFiresOnCreateAndDelete) {
+  ZooKeeper zk;
+  auto s = zk.CreateSession();
+  zk.Create(s, "/cw", "", CreateMode::kPersistent);
+  std::atomic<int> fired{0};
+  zk.GetChildren("/cw", [&](const WatchEvent&) { fired++; });
+  zk.Create(s, "/cw/x", "", CreateMode::kPersistent);
+  EXPECT_EQ(fired.load(), 1);
+  zk.GetChildren("/cw", [&](const WatchEvent&) { fired++; });
+  zk.Delete("/cw/x");
+  EXPECT_EQ(fired.load(), 2);
+}
+
+TEST(ZkTest, ExistenceWatchFiresOnCreation) {
+  ZooKeeper zk;
+  auto s = zk.CreateSession();
+  std::atomic<int> fired{0};
+  EXPECT_FALSE(zk.Exists("/later", [&](const WatchEvent& e) {
+    if (e.type == EventType::kNodeCreated) fired++;
+  }));
+  zk.Create(s, "/later", "", CreateMode::kPersistent);
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(ZkTest, WatchFiresWhenEphemeralOwnerDies) {
+  // This is the liveness-detection pattern Kafka consumers and Helix use.
+  ZooKeeper zk;
+  auto owner = zk.CreateSession();
+  zk.Create(owner, "/members", "", CreateMode::kPersistent);
+  zk.Create(owner, "/members/node1", "", CreateMode::kEphemeral);
+  std::atomic<int> fired{0};
+  zk.GetChildren("/members", [&](const WatchEvent&) { fired++; });
+  zk.CloseSession(owner);
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_TRUE(zk.GetChildren("/members").value().empty());
+}
+
+TEST(ZkTest, CompareAndSet) {
+  ZooKeeper zk;
+  auto s = zk.CreateSession();
+  zk.Create(s, "/lock", "free", CreateMode::kPersistent);
+  EXPECT_TRUE(zk.CompareAndSet("/lock", "free", "held-by-1").ok());
+  EXPECT_TRUE(zk.CompareAndSet("/lock", "free", "held-by-2")
+                  .IsObsoleteVersion());
+  EXPECT_EQ(zk.Get("/lock").value(), "held-by-1");
+}
+
+TEST(ZkTest, BadPathsRejected) {
+  ZooKeeper zk;
+  auto s = zk.CreateSession();
+  EXPECT_FALSE(zk.Create(s, "nope", "", CreateMode::kPersistent).ok());
+  EXPECT_FALSE(zk.Create(s, "/trailing/", "", CreateMode::kPersistent).ok());
+  EXPECT_FALSE(zk.Create(s, "", "", CreateMode::kPersistent).ok());
+}
+
+}  // namespace
+}  // namespace lidi

@@ -1,0 +1,192 @@
+// Property tests for the Avro codec: random schemas, random conforming
+// datums, encode/decode round trips, and evolution invariants.
+
+#include <gtest/gtest.h>
+
+#include "avro/codec.h"
+#include "common/random.h"
+
+namespace lidi::avro {
+namespace {
+
+/// Generates a random schema of bounded depth.
+SchemaPtr RandomSchema(Random* rng, int depth) {
+  const int kind =
+      depth <= 0 ? static_cast<int>(rng->Uniform(8))
+                 : static_cast<int>(rng->Uniform(12));
+  switch (kind) {
+    case 0: return Schema::Primitive(Type::kNull);
+    case 1: return Schema::Primitive(Type::kBoolean);
+    case 2: return Schema::Primitive(Type::kInt);
+    case 3: return Schema::Primitive(Type::kLong);
+    case 4: return Schema::Primitive(Type::kFloat);
+    case 5: return Schema::Primitive(Type::kDouble);
+    case 6: return Schema::Primitive(Type::kString);
+    case 7: return Schema::Primitive(Type::kBytes);
+    case 8: return Schema::Array(RandomSchema(rng, depth - 1));
+    case 9: return Schema::Map(RandomSchema(rng, depth - 1));
+    case 10: {
+      std::vector<Field> fields;
+      const int n = 1 + static_cast<int>(rng->Uniform(4));
+      for (int i = 0; i < n; ++i) {
+        fields.push_back(
+            Field{"f" + std::to_string(i), RandomSchema(rng, depth - 1)});
+      }
+      return Schema::Record("R" + std::to_string(rng->Uniform(100)),
+                            std::move(fields));
+    }
+    default: {
+      // Union: null + one non-null branch keeps branches distinguishable.
+      std::vector<SchemaPtr> branches;
+      branches.push_back(Schema::Primitive(Type::kNull));
+      branches.push_back(Schema::Primitive(
+          rng->Bernoulli(0.5) ? Type::kString : Type::kLong));
+      return Schema::Union(std::move(branches));
+    }
+  }
+}
+
+/// Generates a random datum conforming to `schema`.
+DatumPtr RandomDatum(const Schema& schema, Random* rng) {
+  switch (schema.type()) {
+    case Type::kNull: return Datum::Null();
+    case Type::kBoolean: return Datum::Boolean(rng->Bernoulli(0.5));
+    case Type::kInt:
+      return Datum::Int(static_cast<int32_t>(rng->Next()));
+    case Type::kLong: return Datum::Long(static_cast<int64_t>(rng->Next()));
+    case Type::kFloat:
+      return Datum::Float(static_cast<float>(rng->NextDouble()) * 100);
+    case Type::kDouble: return Datum::Double(rng->NextDouble() * 1e6);
+    case Type::kString: return Datum::String(rng->Bytes(rng->Uniform(20)));
+    case Type::kBytes: return Datum::Bytes(rng->Bytes(rng->Uniform(20)));
+    case Type::kEnum:
+      return Datum::Enum(0, schema.symbols()[0]);
+    case Type::kArray: {
+      auto arr = Datum::Array();
+      const int n = static_cast<int>(rng->Uniform(4));
+      for (int i = 0; i < n; ++i) {
+        arr->items().push_back(RandomDatum(*schema.item_schema(), rng));
+      }
+      return arr;
+    }
+    case Type::kMap: {
+      auto map = Datum::Map();
+      const int n = static_cast<int>(rng->Uniform(4));
+      for (int i = 0; i < n; ++i) {
+        map->entries()["key" + std::to_string(i)] =
+            RandomDatum(*schema.value_schema(), rng);
+      }
+      return map;
+    }
+    case Type::kRecord: {
+      auto rec = Datum::Record(schema.name());
+      for (const Field& f : schema.fields()) {
+        rec->SetField(f.name, RandomDatum(*f.schema, rng));
+      }
+      return rec;
+    }
+    case Type::kUnion: {
+      const int branch =
+          static_cast<int>(rng->Uniform(schema.branches().size()));
+      return Datum::Union(branch,
+                          RandomDatum(*schema.branches()[branch], rng));
+    }
+  }
+  return Datum::Null();
+}
+
+class AvroPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AvroPropertyTest, EncodeDecodeRoundTripsRandomData) {
+  Random rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    const SchemaPtr schema = RandomSchema(&rng, 3);
+    const DatumPtr datum = RandomDatum(*schema, &rng);
+    std::string buf;
+    ASSERT_TRUE(Encode(*schema, *datum, &buf).ok())
+        << schema->ToJson() << " <- " << datum->ToString();
+    Slice in(buf);
+    auto decoded = Decode(*schema, &in);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString() << " schema "
+                              << schema->ToJson();
+    EXPECT_TRUE(in.empty());
+    EXPECT_TRUE(decoded.value()->Equals(*datum))
+        << "schema " << schema->ToJson() << "\n got " <<
+        decoded.value()->ToString() << "\nwant " << datum->ToString();
+  }
+}
+
+TEST_P(AvroPropertyTest, SchemaJsonRoundTripsRandomSchemas) {
+  Random rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const SchemaPtr schema = RandomSchema(&rng, 3);
+    auto reparsed = ParseSchema(schema->ToJson());
+    ASSERT_TRUE(reparsed.ok()) << schema->ToJson();
+    EXPECT_EQ(reparsed.value()->ToJson(), schema->ToJson());
+  }
+}
+
+TEST_P(AvroPropertyTest, TruncationNeverDecodesToSuccessWithLeftoverGarbage) {
+  // Cutting random amounts off the tail must yield an error, never a
+  // silently wrong value followed by a clean "ok" with exhausted input.
+  Random rng(GetParam() * 131 + 3);
+  for (int trial = 0; trial < 60; ++trial) {
+    const SchemaPtr schema = RandomSchema(&rng, 2);
+    const DatumPtr datum = RandomDatum(*schema, &rng);
+    std::string buf;
+    ASSERT_TRUE(Encode(*schema, *datum, &buf).ok());
+    if (buf.empty()) continue;
+    const size_t cut = rng.Uniform(buf.size());
+    Slice in(buf.data(), cut);
+    auto decoded = Decode(*schema, &in);
+    if (decoded.ok()) {
+      // A prefix may decode successfully only if it re-decodes to a datum
+      // that encodes to exactly that prefix (self-delimiting value).
+      std::string re;
+      ASSERT_TRUE(Encode(*schema, *decoded.value(), &re).ok());
+      EXPECT_EQ(re.size() + in.size(), cut);
+    }
+  }
+}
+
+TEST_P(AvroPropertyTest, AddingDefaultedFieldsIsAlwaysReadable) {
+  // Evolution property (paper IV.A): any record schema extended with
+  // defaulted fields can read all data written with the old schema.
+  Random rng(GetParam() * 977 + 11);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Field> base_fields;
+    const int n = 1 + static_cast<int>(rng.Uniform(3));
+    for (int i = 0; i < n; ++i) {
+      base_fields.push_back(
+          Field{"f" + std::to_string(i), RandomSchema(&rng, 1)});
+    }
+    auto writer = Schema::Record("R", base_fields);
+
+    std::vector<Field> evolved_fields = base_fields;
+    Field added;
+    added.name = "added";
+    added.schema = Schema::Primitive(Type::kLong);
+    added.default_json = "42";
+    evolved_fields.push_back(added);
+    auto reader = Schema::Record("R", std::move(evolved_fields));
+
+    const DatumPtr datum = RandomDatum(*writer, &rng);
+    std::string buf;
+    ASSERT_TRUE(Encode(*writer, *datum, &buf).ok());
+    Slice in(buf);
+    auto resolved = DecodeResolved(*writer, *reader, &in);
+    ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+    ASSERT_NE(resolved.value()->GetField("added"), nullptr);
+    EXPECT_EQ(resolved.value()->GetField("added")->long_value(), 42);
+    // Old fields survive untouched.
+    for (const Field& f : writer->fields()) {
+      ASSERT_NE(resolved.value()->GetField(f.name), nullptr) << f.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AvroPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace lidi::avro

@@ -1,0 +1,231 @@
+// Property tests for the Databus pipeline: randomized write/poll/bootstrap
+// interleavings must always converge replicas to the source state, and the
+// zk substrate is model-checked against a map.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "common/random.h"
+#include "databus/bootstrap.h"
+#include "databus/client.h"
+#include "databus/relay.h"
+#include "net/network.h"
+#include "sqlstore/database.h"
+#include "zk/zookeeper.h"
+
+namespace lidi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Databus end-to-end convergence under random interleavings
+// ---------------------------------------------------------------------------
+
+class ReplicaState : public databus::Consumer {
+ public:
+  Status OnEvent(const databus::Event& event) override {
+    if (event.op == databus::Event::Op::kDelete) {
+      state.erase(event.key);
+    } else {
+      auto row = sqlstore::DecodeRow(event.payload);
+      if (!row.ok()) return row.status();
+      state[event.key] = row.value();
+    }
+    return Status::OK();
+  }
+  std::map<std::string, sqlstore::Row> state;
+};
+
+struct PipelineScenario {
+  uint64_t seed;
+  int64_t relay_capacity;
+  int consumers;
+  double delete_fraction;
+};
+
+class DatabusPropertyTest
+    : public ::testing::TestWithParam<PipelineScenario> {};
+
+TEST_P(DatabusPropertyTest, ReplicasConvergeToSourceUnderRandomSchedules) {
+  const PipelineScenario scenario = GetParam();
+  net::Network network;
+  sqlstore::Database db("src");
+  db.CreateTable("t");
+  // The relay's ingest batch must fit its circular buffer, or events would
+  // be evicted before any listener could see them (a deployment constraint:
+  // buffer capacity bounds the downstream poll interval).
+  databus::Relay relay(
+      "relay", &db, &network,
+      databus::RelayOptions{
+          .buffer_capacity_events = scenario.relay_capacity,
+          .poll_batch_transactions =
+              std::max<int64_t>(1, scenario.relay_capacity / 2)});
+  databus::BootstrapServer bootstrap("bootstrap", "relay", &network);
+
+  std::vector<std::unique_ptr<ReplicaState>> replicas;
+  std::vector<std::unique_ptr<databus::DatabusClient>> clients;
+  for (int c = 0; c < scenario.consumers; ++c) {
+    replicas.push_back(std::make_unique<ReplicaState>());
+    clients.push_back(std::make_unique<databus::DatabusClient>(
+        "c" + std::to_string(c), "relay", "bootstrap", &network,
+        replicas.back().get()));
+  }
+
+  Random rng(scenario.seed);
+  for (int step = 0; step < 2500; ++step) {
+    const double action = rng.NextDouble();
+    if (action < 0.55) {
+      const std::string key = "k" + std::to_string(rng.Uniform(120));
+      if (rng.Bernoulli(scenario.delete_fraction)) {
+        db.Delete("t", key);
+      } else {
+        db.Put("t", key, {{"v", std::to_string(step)}});
+      }
+    } else if (action < 0.75) {
+      relay.PollOnce();
+      // The bootstrap's log writer listens continuously (paper Fig III.3);
+      // it must never fall behind the relay's circular buffer, so it runs
+      // whenever the relay ingests.
+      ASSERT_TRUE(bootstrap.PollRelayOnce().ok());
+    } else if (action < 0.85) {
+      if (rng.Bernoulli(0.5)) bootstrap.ApplyLogOnce();
+    } else {
+      const size_t c = rng.Uniform(clients.size());
+      clients[c]->PollOnce();  // may bootstrap if the relay evicted
+    }
+  }
+  // Final drain: pump everything to the head.
+  for (;;) {
+    auto polled = relay.PollOnce();
+    ASSERT_TRUE(polled.ok());
+    auto fetched = bootstrap.PollRelayOnce();
+    ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+    if (polled.value() == 0 && fetched.value() == 0) break;
+  }
+  bootstrap.ApplyLogOnce();
+  for (auto& client : clients) {
+    ASSERT_TRUE(client->DrainToHead().ok());
+  }
+
+  std::map<std::string, sqlstore::Row> source;
+  db.Scan("t", [&source](const std::string& pk, const sqlstore::Row& row) {
+    source[pk] = row;
+    return true;
+  });
+  for (size_t c = 0; c < replicas.size(); ++c) {
+    EXPECT_EQ(replicas[c]->state, source)
+        << "replica " << c << " diverged (seed " << scenario.seed << ")";
+    EXPECT_EQ(clients[c]->events_skipped(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, DatabusPropertyTest,
+    ::testing::Values(PipelineScenario{1, 1 << 20, 1, 0.1},   // roomy relay
+                      PipelineScenario{2, 64, 2, 0.1},        // evicting relay
+                      PipelineScenario{3, 64, 3, 0.3},        // delete-heavy
+                      PipelineScenario{4, 16, 2, 0.2},        // tiny relay
+                      PipelineScenario{5, 256, 4, 0.05}));
+
+// ---------------------------------------------------------------------------
+// ZooKeeper model check: random ops vs a flat map model
+// ---------------------------------------------------------------------------
+
+class ZkModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZkModelTest, MatchesFlatModelUnderRandomOps) {
+  zk::ZooKeeper zookeeper;
+  auto session = zookeeper.CreateSession();
+  std::map<std::string, std::string> model;  // path -> data
+
+  Random rng(GetParam());
+  auto random_path = [&rng]() {
+    std::string path;
+    const int depth = 1 + static_cast<int>(rng.Uniform(3));
+    for (int d = 0; d < depth; ++d) {
+      path += "/n" + std::to_string(rng.Uniform(5));
+    }
+    return path;
+  };
+  auto parent_of = [](const std::string& path) {
+    const size_t pos = path.find_last_of('/');
+    return pos == 0 ? std::string("/") : path.substr(0, pos);
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::string path = random_path();
+    const double action = rng.NextDouble();
+    if (action < 0.35) {
+      const std::string data = "d" + std::to_string(step);
+      const Status s =
+          zookeeper.Create(session, path, data, zk::CreateMode::kPersistent);
+      const std::string parent = parent_of(path);
+      const bool parent_ok = parent == "/" || model.count(parent) > 0;
+      if (model.count(path) > 0) {
+        EXPECT_EQ(s.code(), Code::kAlreadyExists) << path;
+      } else if (!parent_ok) {
+        EXPECT_EQ(s.code(), Code::kNotFound) << path;
+      } else {
+        EXPECT_TRUE(s.ok()) << path << " " << s.ToString();
+        model[path] = data;
+      }
+    } else if (action < 0.55) {
+      const std::string data = "s" + std::to_string(step);
+      const Status s = zookeeper.Set(path, data);
+      if (model.count(path) > 0) {
+        EXPECT_TRUE(s.ok());
+        model[path] = data;
+      } else {
+        EXPECT_TRUE(s.IsNotFound());
+      }
+    } else if (action < 0.75) {
+      auto r = zookeeper.Get(path);
+      if (model.count(path) > 0) {
+        ASSERT_TRUE(r.ok()) << path;
+        EXPECT_EQ(r.value(), model[path]);
+      } else {
+        EXPECT_TRUE(r.status().IsNotFound());
+      }
+    } else if (action < 0.9) {
+      const Status s = zookeeper.Delete(path);
+      const std::string prefix = path + "/";
+      bool has_children = false;
+      for (const auto& [p, d] : model) {
+        if (p.compare(0, prefix.size(), prefix) == 0) has_children = true;
+      }
+      if (model.count(path) == 0) {
+        EXPECT_TRUE(s.IsNotFound()) << path;
+      } else if (has_children) {
+        EXPECT_FALSE(s.ok()) << path;
+      } else {
+        EXPECT_TRUE(s.ok()) << path;
+        model.erase(path);
+      }
+    } else {
+      // Children listing must match the model exactly.
+      auto children = zookeeper.GetChildren(path);
+      std::vector<std::string> expected;
+      const std::string prefix = path + "/";
+      for (const auto& [p, d] : model) {
+        if (p.compare(0, prefix.size(), prefix) == 0 &&
+            p.find('/', prefix.size()) == std::string::npos) {
+          expected.push_back(p.substr(prefix.size()));
+        }
+      }
+      if (model.count(path) == 0 && path != "/") {
+        EXPECT_FALSE(children.ok());
+      } else {
+        ASSERT_TRUE(children.ok());
+        EXPECT_EQ(children.value(), expected) << path;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZkModelTest,
+                         ::testing::Values(7, 14, 21, 28, 35));
+
+}  // namespace
+}  // namespace lidi

@@ -1,0 +1,241 @@
+// Property and parameterized tests for Espresso: partitioning strategies,
+// randomized failover schedules, and schema-evolution chains.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "avro/codec.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "espresso/router.h"
+#include "espresso/storage_node.h"
+#include "helix/helix.h"
+#include "net/network.h"
+#include "zk/zookeeper.h"
+
+namespace lidi::espresso {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Partitioning strategies (incl. the range-based future-work strategy)
+// ---------------------------------------------------------------------------
+
+TEST(RangePartitioningTest, BoundariesSplitTheKeySpace) {
+  DatabaseSchema schema{"db", DatabaseSchema::Partitioning::kRange, 4, 2,
+                        {"g", "n", "t"}};
+  EXPECT_EQ(PartitionOf(schema, "alpha"), 0);
+  EXPECT_EQ(PartitionOf(schema, "fzzz"), 0);
+  EXPECT_EQ(PartitionOf(schema, "g"), 1);  // boundaries are upper-exclusive
+  EXPECT_EQ(PartitionOf(schema, "monk"), 1);
+  EXPECT_EQ(PartitionOf(schema, "n"), 2);
+  EXPECT_EQ(PartitionOf(schema, "silver"), 2);
+  EXPECT_EQ(PartitionOf(schema, "t"), 3);
+  EXPECT_EQ(PartitionOf(schema, "zz"), 3);
+  EXPECT_EQ(PartitionOf(schema, ""), 0);
+}
+
+TEST(RangePartitioningTest, AdjacentKeysAreCoLocated) {
+  DatabaseSchema schema{"db", DatabaseSchema::Partitioning::kRange, 4, 2,
+                        {"2020", "2021", "2022"}};
+  // Time-ordered resource ids within the same year share a partition.
+  EXPECT_EQ(PartitionOf(schema, "2020-01-15"), PartitionOf(schema, "2020-11-30"));
+  EXPECT_NE(PartitionOf(schema, "2019-12-31"), PartitionOf(schema, "2020-01-01"));
+}
+
+TEST(RangePartitioningTest, RegistryValidatesBoundaries) {
+  SchemaRegistry registry;
+  DatabaseSchema wrong_count{"a", DatabaseSchema::Partitioning::kRange, 4, 2,
+                             {"m"}};
+  EXPECT_FALSE(registry.CreateDatabase(wrong_count).ok());
+  DatabaseSchema unsorted{"b", DatabaseSchema::Partitioning::kRange, 3, 2,
+                          {"z", "a"}};
+  EXPECT_FALSE(registry.CreateDatabase(unsorted).ok());
+  DatabaseSchema good{"c", DatabaseSchema::Partitioning::kRange, 3, 2,
+                      {"h", "p"}};
+  EXPECT_TRUE(registry.CreateDatabase(good).ok());
+}
+
+class PartitioningPropertyTest
+    : public ::testing::TestWithParam<DatabaseSchema::Partitioning> {};
+
+TEST_P(PartitioningPropertyTest, DeterministicAndInRange) {
+  DatabaseSchema schema{"db", GetParam(), 8, 2};
+  if (GetParam() == DatabaseSchema::Partitioning::kRange) {
+    schema.range_boundaries = {"b", "d", "f", "h", "j", "l", "n"};
+  }
+  Random rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = rng.Bytes(1 + rng.Uniform(12));
+    const int p = PartitionOf(schema, key);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, schema.num_partitions);
+    EXPECT_EQ(p, PartitionOf(schema, key));  // deterministic
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, PartitioningPropertyTest,
+    ::testing::Values(DatabaseSchema::Partitioning::kHash,
+                      DatabaseSchema::Partitioning::kUnpartitioned,
+                      DatabaseSchema::Partitioning::kRange));
+
+// ---------------------------------------------------------------------------
+// Randomized failover schedules: acknowledged writes always survive
+// ---------------------------------------------------------------------------
+
+struct FailoverScenario {
+  uint64_t seed;
+  int nodes;
+  int partitions;
+  int kills;  // node kills spread through the write stream
+};
+
+class FailoverPropertyTest
+    : public ::testing::TestWithParam<FailoverScenario> {};
+
+TEST_P(FailoverPropertyTest, AcknowledgedWritesSurviveAnyKillSchedule) {
+  const FailoverScenario scenario = GetParam();
+  net::Network network;
+  zk::ZooKeeper zookeeper;
+  SystemClock* clock = SystemClock::Default();
+  SchemaRegistry registry;
+  registry.CreateDatabase({"db", DatabaseSchema::Partitioning::kHash,
+                           scenario.partitions, 2});
+  registry.CreateTable("db", {"docs", 0});
+  registry.PostDocumentSchema("db", "docs", R"({
+    "type":"record","name":"Doc","fields":[{"name":"v","type":"int"}]})");
+  EspressoRelay relay;
+  helix::HelixController controller("c", &zookeeper);
+  controller.AddResource({"db", scenario.partitions, 2});
+  std::vector<std::unique_ptr<StorageNode>> nodes;
+  std::map<std::string, zk::SessionId> sessions;
+  for (int i = 0; i < scenario.nodes; ++i) {
+    auto node = std::make_unique<StorageNode>("esn-" + std::to_string(i),
+                                              &registry, &relay, &network,
+                                              clock);
+    auto* raw = node.get();
+    raw->SetMasterLookup([&controller](const std::string& db, int p) {
+      return controller.MasterOf(db, p);
+    });
+    auto session = controller.ConnectParticipant(
+        raw->name(),
+        [raw](const helix::Transition& t) { return raw->HandleTransition(t); });
+    sessions[raw->name()] = session.value();
+    nodes.push_back(std::move(node));
+  }
+  controller.RebalanceToConvergence();
+  Router router("router", &registry, &controller, &network);
+
+  Random rng(scenario.seed);
+  std::map<std::string, int> acked;  // uri -> last acknowledged value
+  std::set<std::string> killed;
+  int kills_left = scenario.kills;
+  for (int i = 0; i < 300; ++i) {
+    const std::string uri = "/db/docs/r" + std::to_string(rng.Uniform(50));
+    auto doc = avro::Datum::Record("Doc");
+    doc->SetField("v", avro::Datum::Int(i));
+    if (router.PutDocument(uri, *doc).ok()) acked[uri] = i;
+
+    // Kill a random live node at random points (keep at least one alive).
+    if (kills_left > 0 && rng.Bernoulli(0.02) &&
+        killed.size() + 1 < nodes.size()) {
+      std::string victim;
+      for (auto& node : nodes) {
+        if (killed.count(node->name()) == 0 &&
+            (victim.empty() || rng.Bernoulli(0.5))) {
+          victim = node->name();
+        }
+      }
+      network.SetNodeDown(victim);
+      zookeeper.CloseSession(sessions[victim]);
+      killed.insert(victim);
+      --kills_left;
+      controller.RebalanceToConvergence();
+    }
+  }
+  controller.RebalanceToConvergence();
+
+  // Every acknowledged write must read back with its last value (or newer —
+  // values only grow here, so exact match).
+  auto latest = registry.LatestDocumentSchema("db", "docs").value();
+  for (const auto& [uri, value] : acked) {
+    auto doc = router.GetDocument(uri);
+    ASSERT_TRUE(doc.ok()) << uri << " after " << killed.size()
+                          << " kills: " << doc.status().ToString();
+    EXPECT_EQ(doc.value()->GetField("v")->int_value(), value) << uri;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, FailoverPropertyTest,
+    ::testing::Values(FailoverScenario{1, 3, 8, 1},
+                      FailoverScenario{2, 3, 8, 1},
+                      FailoverScenario{3, 4, 8, 2},
+                      FailoverScenario{4, 4, 16, 2},
+                      FailoverScenario{5, 5, 8, 3}));
+
+// ---------------------------------------------------------------------------
+// Schema-evolution chains: every version's documents stay readable
+// ---------------------------------------------------------------------------
+
+class EvolutionChainTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvolutionChainTest, DocumentsFromEveryVersionReadableUnderLatest) {
+  SchemaRegistry registry;
+  registry.CreateDatabase({"db", DatabaseSchema::Partitioning::kHash, 2, 1});
+  registry.CreateTable("db", {"docs", 0});
+
+  const int chain_length = GetParam();
+  // Version k has fields f0..fk, all but f0 defaulted.
+  std::vector<std::string> payloads;  // one document written per version
+  for (int version = 1; version <= chain_length; ++version) {
+    std::string fields = R"({"name":"f0","type":"string"})";
+    for (int f = 1; f < version; ++f) {
+      fields += ",{\"name\":\"f" + std::to_string(f) +
+                "\",\"type\":\"long\",\"default\":" + std::to_string(f) + "}";
+    }
+    const std::string schema_json =
+        R"({"type":"record","name":"D","fields":[)" + fields + "]}";
+    auto posted = registry.PostDocumentSchema("db", "docs", schema_json);
+    ASSERT_TRUE(posted.ok()) << posted.status().ToString() << "\n"
+                             << schema_json;
+    ASSERT_EQ(posted.value(), version);
+
+    // Write a document with this version's schema.
+    auto schema = registry.GetDocumentSchema("db", "docs", version).value();
+    auto doc = avro::Datum::Record("D");
+    doc->SetField("f0", avro::Datum::String("v" + std::to_string(version)));
+    for (int f = 1; f < version; ++f) {
+      doc->SetField("f" + std::to_string(f), avro::Datum::Long(100 + f));
+    }
+    std::string payload;
+    ASSERT_TRUE(avro::Encode(*schema, *doc, &payload).ok());
+    payloads.push_back(std::move(payload));
+  }
+
+  // Every historical document resolves against the latest schema, with
+  // defaults filling the fields its writer lacked.
+  auto latest = registry.LatestDocumentSchema("db", "docs").value();
+  for (int version = 1; version <= chain_length; ++version) {
+    auto writer = registry.GetDocumentSchema("db", "docs", version).value();
+    Slice payload(payloads[version - 1]);
+    auto resolved = avro::DecodeResolved(*writer, *latest.second, &payload);
+    ASSERT_TRUE(resolved.ok()) << "version " << version << ": "
+                               << resolved.status().ToString();
+    EXPECT_EQ(resolved.value()->GetField("f0")->string_value(),
+              "v" + std::to_string(version));
+    for (int f = version; f < chain_length; ++f) {
+      // Fields added after this document was written: default values.
+      auto field = resolved.value()->GetField("f" + std::to_string(f));
+      ASSERT_NE(field, nullptr);
+      EXPECT_EQ(field->long_value(), f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChainLengths, EvolutionChainTest,
+                         ::testing::Values(2, 4, 8));
+
+}  // namespace
+}  // namespace lidi::espresso

@@ -1,0 +1,149 @@
+// Model-based property tests for the inverted index: every query result is
+// cross-checked against a naive scan over the raw documents.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "invidx/inverted_index.h"
+
+namespace lidi::invidx {
+namespace {
+
+/// Naive reference implementation: linear scan with substring token logic.
+class NaiveIndex {
+ public:
+  void Index(const std::string& doc_id,
+             const std::map<std::string, std::string>& fields,
+             const std::set<std::string>& text_fields) {
+    docs_[doc_id] = {fields, text_fields};
+  }
+  void Remove(const std::string& doc_id) { docs_.erase(doc_id); }
+
+  std::vector<std::string> Search(const Query& query) const {
+    std::vector<std::string> out;
+    for (const auto& [doc_id, doc] : docs_) {
+      bool all = true;
+      for (const auto& clause : query.clauses) {
+        if (!Matches(doc, clause)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) out.push_back(doc_id);
+    }
+    return out;
+  }
+
+ private:
+  struct Doc {
+    std::map<std::string, std::string> fields;
+    std::set<std::string> text_fields;
+  };
+
+  static bool Matches(const Doc& doc, const Query::Clause& clause) {
+    auto it = doc.fields.find(clause.field);
+    if (it == doc.fields.end()) return false;
+    const bool is_text = doc.text_fields.count(clause.field) > 0;
+    auto lower = [](std::string s) {
+      for (char& c : s) c = static_cast<char>(std::tolower(c));
+      return s;
+    };
+    if (!is_text) {
+      // Keyword field: exact lowercase match of the whole value.
+      return lower(it->second) == lower(clause.text);
+    }
+    // Text field: the clause tokens must appear consecutively.
+    const auto doc_tokens = Tokenize(it->second);
+    const auto query_tokens = Tokenize(clause.text);
+    if (query_tokens.empty()) return false;
+    if (!clause.phrase && query_tokens.size() == 1) {
+      return std::find(doc_tokens.begin(), doc_tokens.end(),
+                       query_tokens[0]) != doc_tokens.end();
+    }
+    for (size_t start = 0;
+         start + query_tokens.size() <= doc_tokens.size(); ++start) {
+      bool match = true;
+      for (size_t i = 0; i < query_tokens.size(); ++i) {
+        if (doc_tokens[start + i] != query_tokens[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return true;
+    }
+    return false;
+  }
+
+  std::map<std::string, Doc> docs_;
+};
+
+class InvidxModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InvidxModelTest, MatchesNaiveScanUnderRandomOps) {
+  Random rng(GetParam());
+  InvertedIndex index;
+  NaiveIndex naive;
+
+  // A small vocabulary so phrases repeat across documents.
+  const std::vector<std::string> vocab = {"lucy", "sky",     "diamonds",
+                                          "come", "together", "walrus",
+                                          "let",  "it",       "be"};
+  auto random_text = [&](int words) {
+    std::string text;
+    for (int i = 0; i < words; ++i) {
+      if (i) text += ' ';
+      text += vocab[rng.Uniform(vocab.size())];
+    }
+    return text;
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    const double action = rng.NextDouble();
+    if (action < 0.5) {
+      // Index (or re-index) a random document.
+      const std::string doc_id = "d" + std::to_string(rng.Uniform(40));
+      std::map<std::string, std::string> fields;
+      fields["body"] = random_text(2 + static_cast<int>(rng.Uniform(8)));
+      fields["year"] = std::to_string(1960 + rng.Uniform(10));
+      index.IndexDocument(doc_id, fields, {"body"});
+      naive.Index(doc_id, fields, {"body"});
+    } else if (action < 0.6) {
+      const std::string doc_id = "d" + std::to_string(rng.Uniform(40));
+      index.RemoveDocument(doc_id);
+      naive.Remove(doc_id);
+    } else {
+      // Random query: term, phrase, keyword, or conjunction.
+      Query query;
+      const int shape = static_cast<int>(rng.Uniform(4));
+      if (shape == 0) {
+        query.clauses.push_back({"body", vocab[rng.Uniform(vocab.size())],
+                                 false});
+      } else if (shape == 1) {
+        query.clauses.push_back(
+            {"body", random_text(2 + static_cast<int>(rng.Uniform(2))),
+             true});
+      } else if (shape == 2) {
+        query.clauses.push_back(
+            {"year", std::to_string(1960 + rng.Uniform(10)), false});
+      } else {
+        query.clauses.push_back({"body", vocab[rng.Uniform(vocab.size())],
+                                 false});
+        query.clauses.push_back(
+            {"year", std::to_string(1960 + rng.Uniform(10)), false});
+      }
+      auto got = index.Search(query);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got.value(), naive.Search(query))
+          << "step " << step << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvidxModelTest,
+                         ::testing::Values(3, 6, 9, 12, 15));
+
+}  // namespace
+}  // namespace lidi::invidx

@@ -1,0 +1,145 @@
+// Parameterized property tests for Voldemort routing: replica-placement
+// invariants over a sweep of cluster shapes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "voldemort/cluster.h"
+#include "voldemort/routing.h"
+#include "voldemort/server.h"
+
+namespace lidi::voldemort {
+namespace {
+
+struct RoutingParams {
+  int nodes;
+  int partitions;
+  int zones;
+  int replication;
+  int required_zones;
+};
+
+class RoutingPropertyTest : public ::testing::TestWithParam<RoutingParams> {
+ protected:
+  Cluster MakeCluster() const {
+    const RoutingParams& p = GetParam();
+    std::vector<Node> nodes;
+    for (int i = 0; i < p.nodes; ++i) {
+      nodes.push_back({i, VoldemortAddress(i), i % p.zones});
+    }
+    return Cluster::Uniform(std::move(nodes), p.partitions);
+  }
+
+  std::unique_ptr<RouteStrategy> MakeRouting(const Cluster* cluster) const {
+    const RoutingParams& p = GetParam();
+    if (p.required_zones > 0) {
+      return NewZoneAwareRoutingStrategy(cluster, p.replication,
+                                         p.required_zones);
+    }
+    return NewConsistentRoutingStrategy(cluster, p.replication);
+  }
+};
+
+TEST_P(RoutingPropertyTest, ReplicasAreDistinctNodes) {
+  const Cluster cluster = MakeCluster();
+  auto routing = MakeRouting(&cluster);
+  const int expected =
+      std::min(GetParam().replication, GetParam().nodes);
+  for (int i = 0; i < 500; ++i) {
+    const auto nodes = routing->RouteRequest("key" + std::to_string(i));
+    EXPECT_EQ(nodes.size(), static_cast<size_t>(expected));
+    EXPECT_EQ(std::set<int>(nodes.begin(), nodes.end()).size(), nodes.size());
+  }
+}
+
+TEST_P(RoutingPropertyTest, FirstReplicaIsMasterPartitionOwner) {
+  const Cluster cluster = MakeCluster();
+  auto routing = MakeRouting(&cluster);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const int master = routing->MasterPartition(key);
+    EXPECT_GE(master, 0);
+    EXPECT_LT(master, cluster.num_partitions());
+    EXPECT_EQ(routing->RouteRequest(key)[0], cluster.OwnerOfPartition(master));
+  }
+}
+
+TEST_P(RoutingPropertyTest, ZoneConstraintHonoredWhenFeasible) {
+  const RoutingParams& p = GetParam();
+  if (p.required_zones == 0) return;
+  const Cluster cluster = MakeCluster();
+  auto routing = MakeRouting(&cluster);
+  const int feasible_zones =
+      std::min({p.required_zones, p.zones, p.replication});
+  for (int i = 0; i < 500; ++i) {
+    std::set<int> zones;
+    for (int node : routing->RouteRequest("key" + std::to_string(i))) {
+      zones.insert(cluster.GetNode(node)->zone_id);
+    }
+    EXPECT_GE(static_cast<int>(zones.size()), feasible_zones);
+  }
+}
+
+TEST_P(RoutingPropertyTest, PartitionMoveOnlyRedirectsThatPartition) {
+  Cluster cluster = MakeCluster();
+  auto routing = MakeRouting(&cluster);
+  // Record routes, move one partition, verify only keys mastered by the
+  // moved partition change their first replica.
+  std::map<std::string, std::vector<int>> before;
+  for (int i = 0; i < 300; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    before[key] = routing->RouteRequest(key);
+  }
+  const int moved_partition = 0;
+  const int old_owner = cluster.OwnerOfPartition(moved_partition);
+  const int new_owner = (old_owner + 1) % GetParam().nodes;
+  cluster.MovePartition(moved_partition, new_owner);
+
+  for (const auto& [key, old_route] : before) {
+    const auto new_route = routing->RouteRequest(key);
+    if (routing->MasterPartition(key) != moved_partition &&
+        std::find(old_route.begin(), old_route.end(), new_owner) ==
+            old_route.end() &&
+        std::find(old_route.begin(), old_route.end(), old_owner) ==
+            old_route.end()) {
+      // Keys untouched by either node keep their exact route.
+      EXPECT_EQ(new_route, old_route) << key;
+    }
+    if (routing->MasterPartition(key) == moved_partition) {
+      EXPECT_EQ(new_route[0], new_owner) << key;
+    }
+  }
+}
+
+TEST_P(RoutingPropertyTest, LoadSpreadAcrossNodesIsBounded) {
+  const Cluster cluster = MakeCluster();
+  auto routing = MakeRouting(&cluster);
+  std::map<int, int> master_load;
+  const int kKeys = 5000;
+  for (int i = 0; i < kKeys; ++i) {
+    master_load[routing->RouteRequest("user:" + std::to_string(i))[0]]++;
+  }
+  // Every node below 4x the fair share (non-order-preserving hashing
+  // prevents hot spots, paper II.B).
+  const double fair = static_cast<double>(kKeys) / GetParam().nodes;
+  for (const auto& [node, load] : master_load) {
+    EXPECT_LT(load, fair * 4) << "node " << node;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClusterShapes, RoutingPropertyTest,
+    ::testing::Values(RoutingParams{3, 9, 1, 2, 0},
+                      RoutingParams{4, 16, 1, 3, 0},
+                      RoutingParams{2, 8, 1, 3, 0},     // N > nodes
+                      RoutingParams{12, 48, 1, 3, 0},
+                      RoutingParams{6, 24, 2, 3, 2},    // zone-aware
+                      RoutingParams{9, 36, 3, 3, 3},    // 3 zones
+                      RoutingParams{6, 24, 2, 2, 2},
+                      RoutingParams{16, 128, 4, 3, 2}));
+
+}  // namespace
+}  // namespace lidi::voldemort

@@ -1,0 +1,167 @@
+// Property tests for the vector-clock algebra and versioned-list semantics.
+//
+// Each TEST_P instance runs a randomized scenario from a distinct seed; the
+// assertions are the algebraic invariants Voldemort's correctness rests on
+// (paper II.B: versioning, conflict detection, read-repair reconciliation).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "voldemort/vector_clock.h"
+
+namespace lidi::voldemort {
+namespace {
+
+class VClockPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  VectorClock RandomClock(Random* rng, int max_nodes, int max_events) {
+    VectorClock clock;
+    const int events = static_cast<int>(rng->Uniform(max_events + 1));
+    for (int i = 0; i < events; ++i) {
+      clock.Increment(static_cast<int>(rng->Uniform(max_nodes)));
+    }
+    return clock;
+  }
+};
+
+TEST_P(VClockPropertyTest, CompareIsAntisymmetric) {
+  Random rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const VectorClock a = RandomClock(&rng, 5, 8);
+    const VectorClock b = RandomClock(&rng, 5, 8);
+    const Occurred ab = a.Compare(b);
+    const Occurred ba = b.Compare(a);
+    switch (ab) {
+      case Occurred::kEqual:
+        EXPECT_EQ(ba, Occurred::kEqual);
+        EXPECT_TRUE(a == b);
+        break;
+      case Occurred::kBefore:
+        EXPECT_EQ(ba, Occurred::kAfter);
+        break;
+      case Occurred::kAfter:
+        EXPECT_EQ(ba, Occurred::kBefore);
+        break;
+      case Occurred::kConcurrently:
+        EXPECT_EQ(ba, Occurred::kConcurrently);
+        break;
+    }
+  }
+}
+
+TEST_P(VClockPropertyTest, IncrementStrictlyAdvances) {
+  Random rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    VectorClock a = RandomClock(&rng, 5, 8);
+    VectorClock b = a;
+    b.Increment(static_cast<int>(rng.Uniform(5)));
+    EXPECT_EQ(a.Compare(b), Occurred::kBefore);
+    EXPECT_TRUE(b.DominatesOrEquals(a));
+    EXPECT_FALSE(a == b);
+  }
+}
+
+TEST_P(VClockPropertyTest, MergeIsLeastUpperBoundIsh) {
+  Random rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const VectorClock a = RandomClock(&rng, 6, 10);
+    const VectorClock b = RandomClock(&rng, 6, 10);
+    const VectorClock m = a.Merge(b);
+    // Upper bound of both.
+    EXPECT_TRUE(m.DominatesOrEquals(a));
+    EXPECT_TRUE(m.DominatesOrEquals(b));
+    // Commutative and idempotent.
+    EXPECT_TRUE(m == b.Merge(a));
+    EXPECT_TRUE(m == m.Merge(a));
+    EXPECT_TRUE(m == m.Merge(m));
+    // Entry-wise max: counter of each node is max of the inputs.
+    for (const auto& [node, counter] : m.entries()) {
+      EXPECT_EQ(counter, std::max(a.CounterOf(node), b.CounterOf(node)));
+    }
+  }
+}
+
+TEST_P(VClockPropertyTest, SerializationRoundTripsRandomClocks) {
+  Random rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const VectorClock clock = RandomClock(&rng, 20, 40);
+    std::string buf;
+    clock.EncodeTo(&buf);
+    Slice in(buf);
+    auto decoded = VectorClock::DecodeFrom(&in);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(clock == decoded.value());
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST_P(VClockPropertyTest, VersionedListIsAlwaysAnAntichain) {
+  // Model: after any sequence of InsertVersioned calls, no list element
+  // dominates another — the on-node invariant that makes conflict
+  // surfacing sound.
+  Random rng(GetParam());
+  std::vector<Versioned> list;
+  for (int step = 0; step < 300; ++step) {
+    Versioned candidate;
+    if (!list.empty() && rng.Bernoulli(0.6)) {
+      // Descend from a random existing version (normal update path).
+      candidate.version = list[rng.Uniform(list.size())].version;
+    }
+    candidate.version.Increment(static_cast<int>(rng.Uniform(4)));
+    candidate.value = "v" + std::to_string(step);
+    InsertVersioned(&list, candidate);  // Obsolete results are fine
+
+    for (size_t i = 0; i < list.size(); ++i) {
+      for (size_t j = 0; j < list.size(); ++j) {
+        if (i == j) continue;
+        ASSERT_EQ(list[i].version.Compare(list[j].version),
+                  Occurred::kConcurrently)
+            << "list holds comparable versions at step " << step;
+      }
+    }
+    ASSERT_LE(list.size(), 4u);  // at most one branch per writer node
+  }
+}
+
+TEST_P(VClockPropertyTest, ResolveConcurrentIsMaximalAntichain) {
+  Random rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    // Build a random partial order of versions (chains with branch points).
+    std::vector<Versioned> all;
+    for (int i = 0; i < 20; ++i) {
+      Versioned v;
+      if (!all.empty() && rng.Bernoulli(0.7)) {
+        v.version = all[rng.Uniform(all.size())].version;
+      }
+      v.version.Increment(static_cast<int>(rng.Uniform(3)));
+      v.value = "v" + std::to_string(i);
+      all.push_back(v);
+    }
+    auto resolved = ResolveConcurrent(all);
+    ASSERT_FALSE(resolved.empty());
+    // (1) Antichain.
+    for (size_t i = 0; i < resolved.size(); ++i) {
+      for (size_t j = i + 1; j < resolved.size(); ++j) {
+        EXPECT_EQ(resolved[i].version.Compare(resolved[j].version),
+                  Occurred::kConcurrently);
+      }
+    }
+    // (2) Complete: every input is dominated-or-equaled by some output.
+    for (const Versioned& input : all) {
+      bool covered = false;
+      for (const Versioned& out : resolved) {
+        if (out.version.DominatesOrEquals(input.version)) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << input.version.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VClockPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace lidi::voldemort

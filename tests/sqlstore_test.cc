@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "sqlstore/database.h"
+
+namespace lidi::sqlstore {
+namespace {
+
+TEST(RowCodecTest, RoundTrip) {
+  Row row{{"artist", "Etta James"}, {"album", "Gold"}, {"year", "2007"}};
+  std::string buf;
+  EncodeRow(row, &buf);
+  auto decoded = DecodeRow(buf);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), row);
+}
+
+TEST(RowCodecTest, EmptyRow) {
+  std::string buf;
+  EncodeRow(Row{}, &buf);
+  auto decoded = DecodeRow(buf);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(RowCodecTest, TruncatedRejected) {
+  Row row{{"a", "b"}};
+  std::string buf;
+  EncodeRow(row, &buf);
+  EXPECT_FALSE(DecodeRow(Slice(buf.data(), buf.size() - 1)).ok());
+}
+
+TEST(DatabaseTest, CreateTableAndCrud) {
+  Database db("member_db");
+  ASSERT_TRUE(db.CreateTable("profiles").ok());
+  EXPECT_TRUE(db.CreateTable("profiles").code() == Code::kAlreadyExists);
+  EXPECT_TRUE(db.HasTable("profiles"));
+
+  ASSERT_TRUE(db.Put("profiles", "m1", Row{{"name", "Ada"}}).ok());
+  auto row = db.Get("profiles", "m1");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value().at("name"), "Ada");
+
+  ASSERT_TRUE(db.Put("profiles", "m1", Row{{"name", "Ada L"}}).ok());
+  EXPECT_EQ(db.Get("profiles", "m1").value().at("name"), "Ada L");
+  EXPECT_EQ(db.RowCount("profiles"), 1);
+
+  ASSERT_TRUE(db.Delete("profiles", "m1").ok());
+  EXPECT_TRUE(db.Get("profiles", "m1").status().IsNotFound());
+}
+
+TEST(DatabaseTest, MissingTableFailsWholeTransaction) {
+  Database db("d");
+  db.CreateTable("t");
+  auto txn = db.Begin();
+  txn.Put("t", "k1", Row{{"c", "v"}});
+  txn.Put("ghost", "k2", Row{{"c", "v"}});
+  EXPECT_FALSE(txn.Commit().ok());
+  // Atomicity: the valid change must not have been applied either.
+  EXPECT_TRUE(db.Get("t", "k1").status().IsNotFound());
+}
+
+TEST(DatabaseTest, TransactionIsAtomicInBinlog) {
+  // Paper III.B: "A single user's action can trigger atomic updates to
+  // multiple rows across stores/tables, e.g. an insert into a member's
+  // mailbox and update on the member's mailbox unread count."
+  Database db("mailbox_db");
+  db.CreateTable("mailbox");
+  db.CreateTable("unread_count");
+  auto txn = db.Begin();
+  txn.Put("mailbox", "m1:msg9", Row{{"body", "hello"}});
+  txn.Put("unread_count", "m1", Row{{"n", "9"}});
+  auto scn = txn.Commit();
+  ASSERT_TRUE(scn.ok());
+
+  const auto txns = db.binlog().ReadAfter(0, 100);
+  ASSERT_EQ(txns.size(), 1u);
+  EXPECT_EQ(txns[0].scn, scn.value());
+  ASSERT_EQ(txns[0].changes.size(), 2u);
+  EXPECT_EQ(txns[0].changes[0].table, "mailbox");
+  EXPECT_EQ(txns[0].changes[1].table, "unread_count");
+}
+
+TEST(DatabaseTest, BinlogPreservesCommitOrder) {
+  Database db("d");
+  db.CreateTable("t");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.Put("t", "k" + std::to_string(i), Row{}).ok());
+  }
+  const auto txns = db.binlog().ReadAfter(0, 1000);
+  ASSERT_EQ(txns.size(), 50u);
+  for (size_t i = 1; i < txns.size(); ++i) {
+    EXPECT_EQ(txns[i].scn, txns[i - 1].scn + 1) << "SCNs must be dense";
+  }
+  EXPECT_EQ(db.binlog().LastScn(), 50);
+}
+
+TEST(DatabaseTest, BinlogReplayableFromAnyScn) {
+  Database db("d");
+  db.CreateTable("t");
+  for (int i = 0; i < 20; ++i) db.Put("t", "k" + std::to_string(i), Row{});
+  auto tail = db.binlog().ReadAfter(15, 100);
+  ASSERT_EQ(tail.size(), 5u);
+  EXPECT_EQ(tail[0].scn, 16);
+  auto limited = db.binlog().ReadAfter(0, 3);
+  ASSERT_EQ(limited.size(), 3u);
+}
+
+TEST(DatabaseTest, InsertVsUpdateOpResolved) {
+  Database db("d");
+  db.CreateTable("t");
+  db.Put("t", "k", Row{{"v", "1"}});
+  db.Put("t", "k", Row{{"v", "2"}});
+  db.Delete("t", "k");
+  const auto txns = db.binlog().ReadAfter(0, 10);
+  ASSERT_EQ(txns.size(), 3u);
+  EXPECT_EQ(txns[0].changes[0].op, Change::Op::kInsert);
+  EXPECT_EQ(txns[1].changes[0].op, Change::Op::kUpdate);
+  EXPECT_EQ(txns[2].changes[0].op, Change::Op::kDelete);
+}
+
+TEST(DatabaseTest, PartitionFunctionStampsChanges) {
+  Database db("d");
+  db.CreateTable("t");
+  db.SetPartitionFunction([](Slice key) {
+    return static_cast<int>(Fnv1a64(key) % 8);
+  });
+  db.Put("t", "some-key", Row{});
+  const auto txns = db.binlog().ReadAfter(0, 10);
+  const int expected = static_cast<int>(Fnv1a64("some-key") % 8);
+  EXPECT_EQ(txns[0].changes[0].partition, expected);
+}
+
+TEST(DatabaseTest, TriggersFireOnCommit) {
+  Database db("d");
+  db.CreateTable("t");
+  std::vector<std::string> seen;
+  db.AddTrigger([&seen](const Change& change, int64_t scn) {
+    seen.push_back(change.primary_key + "@" + std::to_string(scn));
+  });
+  db.Put("t", "k1", Row{});
+  db.Put("t", "k2", Row{});
+  EXPECT_EQ(seen, (std::vector<std::string>{"k1@1", "k2@2"}));
+}
+
+TEST(DatabaseTest, SemiSyncFailureFailsCommit) {
+  Database db("d");
+  db.CreateTable("t");
+  bool relay_up = false;
+  db.SetSemiSyncCallback([&relay_up](const CommittedTransaction&) {
+    return relay_up ? Status::OK() : Status::Unavailable("relay down");
+  });
+  EXPECT_FALSE(db.Put("t", "k", Row{}).ok());
+  relay_up = true;
+  EXPECT_TRUE(db.Put("t", "k", Row{}).ok());
+}
+
+TEST(DatabaseTest, SemiSyncSeesFullTransaction) {
+  Database db("d");
+  db.CreateTable("a");
+  db.CreateTable("b");
+  size_t observed_changes = 0;
+  db.SetSemiSyncCallback([&](const CommittedTransaction& txn) {
+    observed_changes = txn.changes.size();
+    return Status::OK();
+  });
+  auto txn = db.Begin();
+  txn.Put("a", "k", Row{});
+  txn.Put("b", "k", Row{});
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(observed_changes, 2u);
+}
+
+TEST(DatabaseTest, ScanIteratesInKeyOrder) {
+  Database db("d");
+  db.CreateTable("t");
+  db.Put("t", "b", Row{{"v", "2"}});
+  db.Put("t", "a", Row{{"v", "1"}});
+  db.Put("t", "c", Row{{"v", "3"}});
+  std::vector<std::string> keys;
+  ASSERT_TRUE(db.Scan("t", [&keys](const std::string& pk, const Row&) {
+                  keys.push_back(pk);
+                  return true;
+                }).ok());
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(DatabaseTest, AbortDiscardsChanges) {
+  Database db("d");
+  db.CreateTable("t");
+  auto txn = db.Begin();
+  txn.Put("t", "k", Row{});
+  txn.Abort();
+  EXPECT_EQ(txn.change_count(), 0);
+  EXPECT_EQ(db.binlog().TransactionCount(), 0);
+}
+
+}  // namespace
+}  // namespace lidi::sqlstore
