@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bootstrap_snapshot"
+  "../bench/bench_bootstrap_snapshot.pdb"
+  "CMakeFiles/bench_bootstrap_snapshot.dir/bench_bootstrap_snapshot.cc.o"
+  "CMakeFiles/bench_bootstrap_snapshot.dir/bench_bootstrap_snapshot.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bootstrap_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_company_follow"
+  "../bench/bench_company_follow.pdb"
+  "CMakeFiles/bench_company_follow.dir/bench_company_follow.cc.o"
+  "CMakeFiles/bench_company_follow.dir/bench_company_follow.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_company_follow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_consolidated_delta"
+  "../bench/bench_consolidated_delta.pdb"
+  "CMakeFiles/bench_consolidated_delta.dir/bench_consolidated_delta.cc.o"
+  "CMakeFiles/bench_consolidated_delta.dir/bench_consolidated_delta.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consolidated_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_databus_fanout"
+  "../bench/bench_databus_fanout.pdb"
+  "CMakeFiles/bench_databus_fanout.dir/bench_databus_fanout.cc.o"
+  "CMakeFiles/bench_databus_fanout.dir/bench_databus_fanout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_databus_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_databus_relay"
+  "../bench/bench_databus_relay.pdb"
+  "CMakeFiles/bench_databus_relay.dir/bench_databus_relay.cc.o"
+  "CMakeFiles/bench_databus_relay.dir/bench_databus_relay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_databus_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_espresso_failover"
+  "../bench/bench_espresso_failover.pdb"
+  "CMakeFiles/bench_espresso_failover.dir/bench_espresso_failover.cc.o"
+  "CMakeFiles/bench_espresso_failover.dir/bench_espresso_failover.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_espresso_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_espresso_ops"
+  "../bench/bench_espresso_ops.pdb"
+  "CMakeFiles/bench_espresso_ops.dir/bench_espresso_ops.cc.o"
+  "CMakeFiles/bench_espresso_ops.dir/bench_espresso_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_espresso_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

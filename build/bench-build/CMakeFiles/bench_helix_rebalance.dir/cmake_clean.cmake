@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_helix_rebalance"
+  "../bench/bench_helix_rebalance.pdb"
+  "CMakeFiles/bench_helix_rebalance.dir/bench_helix_rebalance.cc.o"
+  "CMakeFiles/bench_helix_rebalance.dir/bench_helix_rebalance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_helix_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

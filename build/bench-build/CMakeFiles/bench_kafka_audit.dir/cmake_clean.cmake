@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_kafka_audit"
+  "../bench/bench_kafka_audit.pdb"
+  "CMakeFiles/bench_kafka_audit.dir/bench_kafka_audit.cc.o"
+  "CMakeFiles/bench_kafka_audit.dir/bench_kafka_audit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kafka_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_kafka_compression"
+  "../bench/bench_kafka_compression.pdb"
+  "CMakeFiles/bench_kafka_compression.dir/bench_kafka_compression.cc.o"
+  "CMakeFiles/bench_kafka_compression.dir/bench_kafka_compression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kafka_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

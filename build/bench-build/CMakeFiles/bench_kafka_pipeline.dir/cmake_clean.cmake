@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_kafka_pipeline"
+  "../bench/bench_kafka_pipeline.pdb"
+  "CMakeFiles/bench_kafka_pipeline.dir/bench_kafka_pipeline.cc.o"
+  "CMakeFiles/bench_kafka_pipeline.dir/bench_kafka_pipeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kafka_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

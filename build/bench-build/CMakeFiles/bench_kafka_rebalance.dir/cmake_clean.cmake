@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_kafka_rebalance"
+  "../bench/bench_kafka_rebalance.pdb"
+  "CMakeFiles/bench_kafka_rebalance.dir/bench_kafka_rebalance.cc.o"
+  "CMakeFiles/bench_kafka_rebalance.dir/bench_kafka_rebalance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kafka_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

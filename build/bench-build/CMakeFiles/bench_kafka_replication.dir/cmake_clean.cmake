@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_kafka_replication"
+  "../bench/bench_kafka_replication.pdb"
+  "CMakeFiles/bench_kafka_replication.dir/bench_kafka_replication.cc.o"
+  "CMakeFiles/bench_kafka_replication.dir/bench_kafka_replication.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kafka_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

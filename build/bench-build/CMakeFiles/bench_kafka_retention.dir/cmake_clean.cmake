@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_kafka_retention"
+  "../bench/bench_kafka_retention.pdb"
+  "CMakeFiles/bench_kafka_retention.dir/bench_kafka_retention.cc.o"
+  "CMakeFiles/bench_kafka_retention.dir/bench_kafka_retention.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kafka_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_kafka_sendfile"
+  "../bench/bench_kafka_sendfile.pdb"
+  "CMakeFiles/bench_kafka_sendfile.dir/bench_kafka_sendfile.cc.o"
+  "CMakeFiles/bench_kafka_sendfile.dir/bench_kafka_sendfile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kafka_sendfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

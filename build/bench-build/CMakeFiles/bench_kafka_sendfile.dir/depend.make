@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_kafka_sendfile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_routing_chord"
+  "../bench/bench_routing_chord.pdb"
+  "CMakeFiles/bench_routing_chord.dir/bench_routing_chord.cc.o"
+  "CMakeFiles/bench_routing_chord.dir/bench_routing_chord.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

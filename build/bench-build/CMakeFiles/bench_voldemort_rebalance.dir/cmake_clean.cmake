@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_voldemort_rebalance"
+  "../bench/bench_voldemort_rebalance.pdb"
+  "CMakeFiles/bench_voldemort_rebalance.dir/bench_voldemort_rebalance.cc.o"
+  "CMakeFiles/bench_voldemort_rebalance.dir/bench_voldemort_rebalance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_voldemort_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_voldemort_ro"
+  "../bench/bench_voldemort_ro.pdb"
+  "CMakeFiles/bench_voldemort_ro.dir/bench_voldemort_ro.cc.o"
+  "CMakeFiles/bench_voldemort_ro.dir/bench_voldemort_ro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_voldemort_ro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

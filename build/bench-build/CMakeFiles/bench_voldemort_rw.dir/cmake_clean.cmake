@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_voldemort_rw"
+  "../bench/bench_voldemort_rw.pdb"
+  "CMakeFiles/bench_voldemort_rw.dir/bench_voldemort_rw.cc.o"
+  "CMakeFiles/bench_voldemort_rw.dir/bench_voldemort_rw.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_voldemort_rw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

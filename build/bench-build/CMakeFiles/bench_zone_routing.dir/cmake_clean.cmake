@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_zone_routing"
+  "../bench/bench_zone_routing.pdb"
+  "CMakeFiles/bench_zone_routing.dir/bench_zone_routing.cc.o"
+  "CMakeFiles/bench_zone_routing.dir/bench_zone_routing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zone_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

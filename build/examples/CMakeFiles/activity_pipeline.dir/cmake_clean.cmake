@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_pipeline.dir/activity_pipeline.cpp.o"
+  "CMakeFiles/activity_pipeline.dir/activity_pipeline.cpp.o.d"
+  "activity_pipeline"
+  "activity_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company_follow.dir/company_follow.cpp.o"
+  "CMakeFiles/company_follow.dir/company_follow.cpp.o.d"
+  "company_follow"
+  "company_follow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company_follow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

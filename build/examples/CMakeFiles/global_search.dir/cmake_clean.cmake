@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_search.dir/global_search.cpp.o"
+  "CMakeFiles/global_search.dir/global_search.cpp.o.d"
+  "global_search"
+  "global_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pymk_readonly.dir/pymk_readonly.cpp.o"
+  "CMakeFiles/pymk_readonly.dir/pymk_readonly.cpp.o.d"
+  "pymk_readonly"
+  "pymk_readonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pymk_readonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

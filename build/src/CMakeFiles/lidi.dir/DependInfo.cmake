@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avro/codec.cc" "src/CMakeFiles/lidi.dir/avro/codec.cc.o" "gcc" "src/CMakeFiles/lidi.dir/avro/codec.cc.o.d"
+  "/root/repo/src/avro/datum.cc" "src/CMakeFiles/lidi.dir/avro/datum.cc.o" "gcc" "src/CMakeFiles/lidi.dir/avro/datum.cc.o.d"
+  "/root/repo/src/avro/json.cc" "src/CMakeFiles/lidi.dir/avro/json.cc.o" "gcc" "src/CMakeFiles/lidi.dir/avro/json.cc.o.d"
+  "/root/repo/src/avro/schema.cc" "src/CMakeFiles/lidi.dir/avro/schema.cc.o" "gcc" "src/CMakeFiles/lidi.dir/avro/schema.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/lidi.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/lidi.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/CMakeFiles/lidi.dir/common/coding.cc.o" "gcc" "src/CMakeFiles/lidi.dir/common/coding.cc.o.d"
+  "/root/repo/src/common/compression.cc" "src/CMakeFiles/lidi.dir/common/compression.cc.o" "gcc" "src/CMakeFiles/lidi.dir/common/compression.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/lidi.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/lidi.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/lidi.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/lidi.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/lidi.dir/common/random.cc.o" "gcc" "src/CMakeFiles/lidi.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/lidi.dir/common/status.cc.o" "gcc" "src/CMakeFiles/lidi.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/lidi.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/lidi.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/databus/bootstrap.cc" "src/CMakeFiles/lidi.dir/databus/bootstrap.cc.o" "gcc" "src/CMakeFiles/lidi.dir/databus/bootstrap.cc.o.d"
+  "/root/repo/src/databus/client.cc" "src/CMakeFiles/lidi.dir/databus/client.cc.o" "gcc" "src/CMakeFiles/lidi.dir/databus/client.cc.o.d"
+  "/root/repo/src/databus/event.cc" "src/CMakeFiles/lidi.dir/databus/event.cc.o" "gcc" "src/CMakeFiles/lidi.dir/databus/event.cc.o.d"
+  "/root/repo/src/databus/multitenant.cc" "src/CMakeFiles/lidi.dir/databus/multitenant.cc.o" "gcc" "src/CMakeFiles/lidi.dir/databus/multitenant.cc.o.d"
+  "/root/repo/src/databus/relay.cc" "src/CMakeFiles/lidi.dir/databus/relay.cc.o" "gcc" "src/CMakeFiles/lidi.dir/databus/relay.cc.o.d"
+  "/root/repo/src/databus/transformation.cc" "src/CMakeFiles/lidi.dir/databus/transformation.cc.o" "gcc" "src/CMakeFiles/lidi.dir/databus/transformation.cc.o.d"
+  "/root/repo/src/espresso/document.cc" "src/CMakeFiles/lidi.dir/espresso/document.cc.o" "gcc" "src/CMakeFiles/lidi.dir/espresso/document.cc.o.d"
+  "/root/repo/src/espresso/global_index.cc" "src/CMakeFiles/lidi.dir/espresso/global_index.cc.o" "gcc" "src/CMakeFiles/lidi.dir/espresso/global_index.cc.o.d"
+  "/root/repo/src/espresso/replication.cc" "src/CMakeFiles/lidi.dir/espresso/replication.cc.o" "gcc" "src/CMakeFiles/lidi.dir/espresso/replication.cc.o.d"
+  "/root/repo/src/espresso/router.cc" "src/CMakeFiles/lidi.dir/espresso/router.cc.o" "gcc" "src/CMakeFiles/lidi.dir/espresso/router.cc.o.d"
+  "/root/repo/src/espresso/schema.cc" "src/CMakeFiles/lidi.dir/espresso/schema.cc.o" "gcc" "src/CMakeFiles/lidi.dir/espresso/schema.cc.o.d"
+  "/root/repo/src/espresso/storage_node.cc" "src/CMakeFiles/lidi.dir/espresso/storage_node.cc.o" "gcc" "src/CMakeFiles/lidi.dir/espresso/storage_node.cc.o.d"
+  "/root/repo/src/espresso/uri.cc" "src/CMakeFiles/lidi.dir/espresso/uri.cc.o" "gcc" "src/CMakeFiles/lidi.dir/espresso/uri.cc.o.d"
+  "/root/repo/src/helix/helix.cc" "src/CMakeFiles/lidi.dir/helix/helix.cc.o" "gcc" "src/CMakeFiles/lidi.dir/helix/helix.cc.o.d"
+  "/root/repo/src/invidx/inverted_index.cc" "src/CMakeFiles/lidi.dir/invidx/inverted_index.cc.o" "gcc" "src/CMakeFiles/lidi.dir/invidx/inverted_index.cc.o.d"
+  "/root/repo/src/kafka/audit.cc" "src/CMakeFiles/lidi.dir/kafka/audit.cc.o" "gcc" "src/CMakeFiles/lidi.dir/kafka/audit.cc.o.d"
+  "/root/repo/src/kafka/broker.cc" "src/CMakeFiles/lidi.dir/kafka/broker.cc.o" "gcc" "src/CMakeFiles/lidi.dir/kafka/broker.cc.o.d"
+  "/root/repo/src/kafka/consumer.cc" "src/CMakeFiles/lidi.dir/kafka/consumer.cc.o" "gcc" "src/CMakeFiles/lidi.dir/kafka/consumer.cc.o.d"
+  "/root/repo/src/kafka/log.cc" "src/CMakeFiles/lidi.dir/kafka/log.cc.o" "gcc" "src/CMakeFiles/lidi.dir/kafka/log.cc.o.d"
+  "/root/repo/src/kafka/message.cc" "src/CMakeFiles/lidi.dir/kafka/message.cc.o" "gcc" "src/CMakeFiles/lidi.dir/kafka/message.cc.o.d"
+  "/root/repo/src/kafka/mirror.cc" "src/CMakeFiles/lidi.dir/kafka/mirror.cc.o" "gcc" "src/CMakeFiles/lidi.dir/kafka/mirror.cc.o.d"
+  "/root/repo/src/kafka/producer.cc" "src/CMakeFiles/lidi.dir/kafka/producer.cc.o" "gcc" "src/CMakeFiles/lidi.dir/kafka/producer.cc.o.d"
+  "/root/repo/src/kafka/replication.cc" "src/CMakeFiles/lidi.dir/kafka/replication.cc.o" "gcc" "src/CMakeFiles/lidi.dir/kafka/replication.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/lidi.dir/net/network.cc.o" "gcc" "src/CMakeFiles/lidi.dir/net/network.cc.o.d"
+  "/root/repo/src/sqlstore/database.cc" "src/CMakeFiles/lidi.dir/sqlstore/database.cc.o" "gcc" "src/CMakeFiles/lidi.dir/sqlstore/database.cc.o.d"
+  "/root/repo/src/storage/log_engine.cc" "src/CMakeFiles/lidi.dir/storage/log_engine.cc.o" "gcc" "src/CMakeFiles/lidi.dir/storage/log_engine.cc.o.d"
+  "/root/repo/src/storage/memtable_engine.cc" "src/CMakeFiles/lidi.dir/storage/memtable_engine.cc.o" "gcc" "src/CMakeFiles/lidi.dir/storage/memtable_engine.cc.o.d"
+  "/root/repo/src/voldemort/admin.cc" "src/CMakeFiles/lidi.dir/voldemort/admin.cc.o" "gcc" "src/CMakeFiles/lidi.dir/voldemort/admin.cc.o.d"
+  "/root/repo/src/voldemort/bulk_build.cc" "src/CMakeFiles/lidi.dir/voldemort/bulk_build.cc.o" "gcc" "src/CMakeFiles/lidi.dir/voldemort/bulk_build.cc.o.d"
+  "/root/repo/src/voldemort/client.cc" "src/CMakeFiles/lidi.dir/voldemort/client.cc.o" "gcc" "src/CMakeFiles/lidi.dir/voldemort/client.cc.o.d"
+  "/root/repo/src/voldemort/cluster.cc" "src/CMakeFiles/lidi.dir/voldemort/cluster.cc.o" "gcc" "src/CMakeFiles/lidi.dir/voldemort/cluster.cc.o.d"
+  "/root/repo/src/voldemort/failure_detector.cc" "src/CMakeFiles/lidi.dir/voldemort/failure_detector.cc.o" "gcc" "src/CMakeFiles/lidi.dir/voldemort/failure_detector.cc.o.d"
+  "/root/repo/src/voldemort/readonly_store.cc" "src/CMakeFiles/lidi.dir/voldemort/readonly_store.cc.o" "gcc" "src/CMakeFiles/lidi.dir/voldemort/readonly_store.cc.o.d"
+  "/root/repo/src/voldemort/routing.cc" "src/CMakeFiles/lidi.dir/voldemort/routing.cc.o" "gcc" "src/CMakeFiles/lidi.dir/voldemort/routing.cc.o.d"
+  "/root/repo/src/voldemort/server.cc" "src/CMakeFiles/lidi.dir/voldemort/server.cc.o" "gcc" "src/CMakeFiles/lidi.dir/voldemort/server.cc.o.d"
+  "/root/repo/src/voldemort/vector_clock.cc" "src/CMakeFiles/lidi.dir/voldemort/vector_clock.cc.o" "gcc" "src/CMakeFiles/lidi.dir/voldemort/vector_clock.cc.o.d"
+  "/root/repo/src/voldemort/wire.cc" "src/CMakeFiles/lidi.dir/voldemort/wire.cc.o" "gcc" "src/CMakeFiles/lidi.dir/voldemort/wire.cc.o.d"
+  "/root/repo/src/zk/zookeeper.cc" "src/CMakeFiles/lidi.dir/zk/zookeeper.cc.o" "gcc" "src/CMakeFiles/lidi.dir/zk/zookeeper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_extensions_test.dir/api_extensions_test.cc.o"
+  "CMakeFiles/api_extensions_test.dir/api_extensions_test.cc.o.d"
+  "api_extensions_test"
+  "api_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

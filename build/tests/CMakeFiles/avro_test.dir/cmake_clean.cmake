@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avro_test.dir/avro_test.cc.o"
+  "CMakeFiles/avro_test.dir/avro_test.cc.o.d"
+  "avro_test"
+  "avro_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

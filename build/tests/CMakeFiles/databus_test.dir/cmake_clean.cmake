@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/databus_test.dir/databus_test.cc.o"
+  "CMakeFiles/databus_test.dir/databus_test.cc.o.d"
+  "databus_test"
+  "databus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/databus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

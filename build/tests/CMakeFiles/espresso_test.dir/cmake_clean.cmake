@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espresso_test.dir/espresso_test.cc.o"
+  "CMakeFiles/espresso_test.dir/espresso_test.cc.o.d"
+  "espresso_test"
+  "espresso_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espresso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helix_test.dir/helix_test.cc.o"
+  "CMakeFiles/helix_test.dir/helix_test.cc.o.d"
+  "helix_test"
+  "helix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

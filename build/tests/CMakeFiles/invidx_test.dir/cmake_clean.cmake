@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invidx_test.dir/invidx_test.cc.o"
+  "CMakeFiles/invidx_test.dir/invidx_test.cc.o.d"
+  "invidx_test"
+  "invidx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invidx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_zk_test.dir/net_zk_test.cc.o"
+  "CMakeFiles/net_zk_test.dir/net_zk_test.cc.o.d"
+  "net_zk_test"
+  "net_zk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_zk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

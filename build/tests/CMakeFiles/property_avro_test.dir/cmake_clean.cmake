@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_avro_test.dir/property_avro_test.cc.o"
+  "CMakeFiles/property_avro_test.dir/property_avro_test.cc.o.d"
+  "property_avro_test"
+  "property_avro_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_avro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_databus_test.dir/property_databus_test.cc.o"
+  "CMakeFiles/property_databus_test.dir/property_databus_test.cc.o.d"
+  "property_databus_test"
+  "property_databus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_databus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

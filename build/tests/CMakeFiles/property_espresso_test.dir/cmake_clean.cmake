@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_espresso_test.dir/property_espresso_test.cc.o"
+  "CMakeFiles/property_espresso_test.dir/property_espresso_test.cc.o.d"
+  "property_espresso_test"
+  "property_espresso_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_espresso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_invidx_test.dir/property_invidx_test.cc.o"
+  "CMakeFiles/property_invidx_test.dir/property_invidx_test.cc.o.d"
+  "property_invidx_test"
+  "property_invidx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_invidx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_kafka_test.dir/property_kafka_test.cc.o"
+  "CMakeFiles/property_kafka_test.dir/property_kafka_test.cc.o.d"
+  "property_kafka_test"
+  "property_kafka_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_kafka_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_routing_test.dir/property_routing_test.cc.o"
+  "CMakeFiles/property_routing_test.dir/property_routing_test.cc.o.d"
+  "property_routing_test"
+  "property_routing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

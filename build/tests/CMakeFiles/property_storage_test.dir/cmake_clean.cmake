@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_storage_test.dir/property_storage_test.cc.o"
+  "CMakeFiles/property_storage_test.dir/property_storage_test.cc.o.d"
+  "property_storage_test"
+  "property_storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

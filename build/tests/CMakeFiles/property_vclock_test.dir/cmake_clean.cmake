@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_vclock_test.dir/property_vclock_test.cc.o"
+  "CMakeFiles/property_vclock_test.dir/property_vclock_test.cc.o.d"
+  "property_vclock_test"
+  "property_vclock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_vclock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

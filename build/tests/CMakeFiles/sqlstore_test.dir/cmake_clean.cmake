@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlstore_test.dir/sqlstore_test.cc.o"
+  "CMakeFiles/sqlstore_test.dir/sqlstore_test.cc.o.d"
+  "sqlstore_test"
+  "sqlstore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

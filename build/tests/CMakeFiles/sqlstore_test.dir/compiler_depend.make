@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sqlstore_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voldemort_test.dir/voldemort_test.cc.o"
+  "CMakeFiles/voldemort_test.dir/voldemort_test.cc.o.d"
+  "voldemort_test"
+  "voldemort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voldemort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
