@@ -63,10 +63,19 @@ int main() {
         if (messages.value().empty()) break;
         consumed += static_cast<int64_t>(messages.value().size());
       }
+      const double consume_seconds = consume_timer.ElapsedSeconds();
       const double consume_rate =
-          static_cast<double>(consumed) / consume_timer.ElapsedSeconds();
+          static_cast<double>(consumed) / consume_seconds;
+      const double fetch_mbps = static_cast<double>(consumed) * msg_bytes /
+                                consume_seconds / (1 << 20);
       bench::Row("%8d | %10d | %14.0f | %14.0f", msg_bytes, batch,
                  produce_rate, consume_rate);
+      bench::JsonRow("E15", {},
+                     {{"msg_bytes", msg_bytes},
+                      {"batch", batch},
+                      {"produce_msgs_per_s", produce_rate},
+                      {"consume_msgs_per_s", consume_rate},
+                      {"fetch_mbps", fetch_mbps}});
     }
   }
   bench::Row("\nshape check: throughput rises steeply with batch size — the\n"

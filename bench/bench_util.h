@@ -4,7 +4,11 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
 #include <string>
+#include <utility>
 
 namespace lidi::bench {
 
@@ -39,6 +43,32 @@ inline void Row(const char* fmt, ...) {
   std::vprintf(fmt, args);
   va_end(args);
   std::printf("\n");
+}
+
+/// Machine-readable result capture: when the LIDI_BENCH_JSON environment
+/// variable is set, appends one JSON object per call — `{"experiment": ...,
+/// <labels>, <metrics>}` — to BENCH_kafka.json in the current directory (or
+/// to the path LIDI_BENCH_JSON names, when it is not "1"). Unset = no-op, so
+/// the human-readable report stays the default.
+inline void JsonRow(
+    const char* experiment,
+    std::initializer_list<std::pair<const char*, std::string>> labels,
+    std::initializer_list<std::pair<const char*, double>> metrics) {
+  const char* env = std::getenv("LIDI_BENCH_JSON");
+  if (env == nullptr || env[0] == '\0') return;
+  const char* path =
+      std::strcmp(env, "1") == 0 ? "BENCH_kafka.json" : env;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\"experiment\": \"%s\"", experiment);
+  for (const auto& [key, value] : labels) {
+    std::fprintf(f, ", \"%s\": \"%s\"", key, value.c_str());
+  }
+  for (const auto& [key, value] : metrics) {
+    std::fprintf(f, ", \"%s\": %.6g", key, value);
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
 }
 
 }  // namespace lidi::bench

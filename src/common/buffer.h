@@ -1,0 +1,82 @@
+#ifndef LIDI_COMMON_BUFFER_H_
+#define LIDI_COMMON_BUFFER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/slice.h"
+
+namespace lidi {
+
+/// An immutable, refcounted byte buffer. Once constructed the bytes never
+/// change, so any number of threads may read a Buffer concurrently without
+/// synchronization; lifetime is managed by shared_ptr (BufferRef).
+///
+/// This is the storage type of the zero-copy read path (paper V.B: Kafka
+/// serves consumer fetches straight out of the page cache via sendfile,
+/// never materializing per-consumer copies). Flushed log segments are held
+/// as Buffers; readers receive PinnedSlices that share ownership, so the
+/// retention janitor can drop a segment while in-flight readers keep it
+/// alive.
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::string data) : data_(std::move(data)) {}
+
+  const char* data() const { return data_.data(); }
+  size_t size() const { return data_.size(); }
+  Slice slice() const { return Slice(data_); }
+
+ private:
+  const std::string data_;
+};
+
+using BufferRef = std::shared_ptr<const Buffer>;
+
+/// Wraps owned bytes into a refcounted immutable buffer (moves, no copy).
+inline BufferRef WrapBuffer(std::string data) {
+  return std::make_shared<const Buffer>(std::move(data));
+}
+
+/// A Slice plus shared ownership of the storage it points into: the view
+/// stays valid for as long as the PinnedSlice (or any copy of it) lives,
+/// even if the producer of the bytes has since dropped them.
+///
+/// The zero-copy currency of the fetch path: PartitionLog::ReadPinned hands
+/// out PinnedSlices into flushed segment buffers, Broker::FetchPinned and
+/// net::Network::CallPayload pass them through unchanged, and the consumer
+/// decodes messages directly from the pinned bytes.
+class PinnedSlice {
+ public:
+  PinnedSlice() = default;
+  PinnedSlice(Slice slice, BufferRef pin)
+      : slice_(slice), pin_(std::move(pin)) {}
+
+  /// Materializes an owning PinnedSlice from unowned bytes (one copy). Used
+  /// to adapt legacy string-producing paths into the zero-copy plumbing.
+  static PinnedSlice Copy(Slice s) { return Own(s.ToString()); }
+
+  /// Wraps an owned string without copying.
+  static PinnedSlice Own(std::string data) {
+    BufferRef buffer = WrapBuffer(std::move(data));
+    Slice whole = buffer->slice();
+    return PinnedSlice(whole, std::move(buffer));
+  }
+
+  const char* data() const { return slice_.data(); }
+  size_t size() const { return slice_.size(); }
+  bool empty() const { return slice_.empty(); }
+
+  Slice slice() const { return slice_; }
+  std::string ToString() const { return slice_.ToString(); }
+  const BufferRef& pin() const { return pin_; }
+
+ private:
+  Slice slice_;
+  BufferRef pin_;
+};
+
+}  // namespace lidi
+
+#endif  // LIDI_COMMON_BUFFER_H_

@@ -202,8 +202,11 @@ Result<std::vector<Message>> Consumer::PollStream(const std::string& topic,
     std::string request;
     EncodeFetchRequest(topic, tp.partition, offset, options_.max_fetch_bytes,
                        &request);
-    auto response = network_->Call(id_, BrokerAddress(tp.broker_id),
-                                   "kafka.fetch", request);
+    // Payload-view fetch: the response is a pinned slice of the broker's
+    // segment buffer (zero-copy end to end); messages are decoded straight
+    // out of it below, the only copy being into the returned Message.
+    auto response = network_->CallPayload(id_, BrokerAddress(tp.broker_id),
+                                          "kafka.fetch", request);
     if (!response.ok()) {
       if (response.status().IsNotFound()) {
         // Offset expired under retention: restart from the log head. (The
@@ -221,10 +224,12 @@ Result<std::vector<Message>> Consumer::PollStream(const std::string& topic,
       return response.status();
     }
     if (response.value().empty()) continue;
-    MessageSetIterator it(response.value(), offset);
-    Message message;
-    while (it.Next(&message)) {
-      out.push_back(message);
+    MessageSetIterator it(response.value().slice(), offset);
+    MessageView view;
+    while (it.NextView(&view)) {
+      Message& message = out.emplace_back();
+      message.payload.assign(view.payload.data(), view.payload.size());
+      message.offset = view.offset;
       messages_consumed_.fetch_add(1);
     }
     if (!it.status().ok()) return it.status();

@@ -32,47 +32,60 @@ void PartitionLog::RecoverFromDiskLocked() {
   for (int64_t base : bases) {
     std::ifstream in(SegmentPath(base), std::ios::binary);
     if (!in) continue;
-    Segment segment;
-    segment.base_offset = base;
-    segment.data.assign(std::istreambuf_iterator<char>(in),
-                        std::istreambuf_iterator<char>());
-    segment.persisted_bytes = static_cast<int64_t>(segment.data.size());
-    segment.last_append_ms = clock_->NowMillis();
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
     // Truncate a torn trailing entry (crash mid-write): keep only complete
     // entries so recovered data is always iterable.
     int64_t good = 0;
-    Slice scan(segment.data);
+    Slice scan(data);
     while (scan.size() >= 4) {
       const uint32_t length = DecodeFixed32(scan.data());
       if (scan.size() < 4 + static_cast<size_t>(length)) break;
       scan.RemovePrefix(4 + length);
       good += 4 + static_cast<int64_t>(length);
     }
-    segment.data.resize(static_cast<size_t>(good));
+    if (good < static_cast<int64_t>(data.size())) {
+      data.resize(static_cast<size_t>(good));
+      // Drop the torn bytes from the file too, so later appends (ios::app)
+      // continue from the last complete entry rather than after garbage.
+      fs::resize_file(SegmentPath(base), static_cast<uintmax_t>(good), ec);
+    }
+    Segment segment;
+    segment.base_offset = base;
+    segment.sealed_bytes = good;
     segment.persisted_bytes = good;
+    segment.last_append_ms = clock_->NowMillis();
+    if (good > 0) segment.sealed.push_back(WrapBuffer(std::move(data)));
     segments_.push_back(std::move(segment));
   }
   if (segments_.empty()) {
-    segments_.push_back(Segment{0, "", clock_->NowMillis(), 0});
+    Segment segment;
+    segment.last_append_ms = clock_->NowMillis();
+    segments_.push_back(std::move(segment));
   } else {
     // Everything recovered from disk was flushed by definition.
-    flushed_end_ = segments_.back().base_offset +
-                   static_cast<int64_t>(segments_.back().data.size());
+    flushed_end_.store(segments_.back().base_offset +
+                       segments_.back().sealed_bytes);
   }
+  end_offset_.store(segments_.back().base_offset + segments_.back().size());
 }
 
-void PartitionLog::PersistUpToLocked(int64_t flushed_end) {
+void PartitionLog::PersistSealedLocked() {
   if (options_.data_dir.empty()) return;
   for (Segment& segment : segments_) {
-    const int64_t visible = std::min(
-        static_cast<int64_t>(segment.data.size()),
-        flushed_end - segment.base_offset);
-    if (visible <= segment.persisted_bytes) continue;
+    if (segment.persisted_bytes >= segment.sealed_bytes) continue;
     std::ofstream out(SegmentPath(segment.base_offset),
                       std::ios::binary | std::ios::app);
-    out.write(segment.data.data() + segment.persisted_bytes,
-              visible - segment.persisted_bytes);
-    segment.persisted_bytes = visible;
+    int64_t chunk_base = 0;
+    for (const BufferRef& chunk : segment.sealed) {
+      const int64_t chunk_size = static_cast<int64_t>(chunk->size());
+      if (segment.persisted_bytes < chunk_base + chunk_size) {
+        const int64_t from = segment.persisted_bytes - chunk_base;
+        out.write(chunk->data() + from, chunk_size - from);
+        segment.persisted_bytes = chunk_base + chunk_size;
+      }
+      chunk_base += chunk_size;
+    }
   }
 }
 
@@ -81,23 +94,110 @@ PartitionLog::PartitionLog(LogOptions options, const Clock* clock)
   if (!options_.data_dir.empty()) {
     RecoverFromDiskLocked();  // constructor: no concurrent access yet
   } else {
-    segments_.push_back(Segment{0, "", clock_->NowMillis(), 0});
+    Segment segment;
+    segment.last_append_ms = clock_->NowMillis();
+    segments_.push_back(std::move(segment));
   }
+  PublishSnapshotLocked();
+}
+
+/// Seals the segment's unflushed tail into an immutable chunk. Adjacent
+/// chunks merge geometrically (merge while the previous chunk is no larger
+/// than the new one), which bounds both the chunk count per segment at
+/// O(log segment_bytes) and the amortized re-copy cost per byte at
+/// O(log segment_bytes) — flush-per-append workloads neither fragment the
+/// segment into per-entry chunks nor degenerate into quadratic copying.
+void PartitionLog::SealTailLocked(Segment* segment) {
+  if (segment->tail.empty()) return;
+  std::string chunk_data = std::move(segment->tail);
+  segment->tail.clear();
+  while (!segment->sealed.empty() &&
+         segment->sealed.back()->size() <= chunk_data.size()) {
+    const BufferRef& prev = segment->sealed.back();
+    std::string merged;
+    merged.reserve(prev->size() + chunk_data.size());
+    merged.append(prev->data(), prev->size());
+    merged.append(chunk_data);
+    chunk_data = std::move(merged);
+    segment->sealed.pop_back();
+  }
+  segment->sealed.push_back(WrapBuffer(std::move(chunk_data)));
+  int64_t total = 0;
+  for (const BufferRef& c : segment->sealed) {
+    total += static_cast<int64_t>(c->size());
+  }
+  segment->sealed_bytes = total;
+}
+
+void PartitionLog::PublishSnapshotLocked() {
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->reserve(segments_.size());
+  auto previous = LoadSnapshot();
+  for (const Segment& segment : segments_) {
+    // Reuse the previous snapshot's ReaderSegment when the segment's sealed
+    // chunk list is unchanged (same base, same chunk count and total) —
+    // the common case for all but the tail segment. The previous snapshot
+    // is sorted by base_offset, so a binary search finds the candidate.
+    std::shared_ptr<const ReaderSegment> reuse;
+    if (previous) {
+      auto it = std::lower_bound(
+          previous->begin(), previous->end(), segment.base_offset,
+          [](const std::shared_ptr<const ReaderSegment>& rs, int64_t base) {
+            return rs->base_offset < base;
+          });
+      if (it != previous->end() &&
+          (*it)->base_offset == segment.base_offset &&
+          (*it)->chunks.size() == segment.sealed.size() &&
+          ((*it)->chunk_end.empty() ? 0 : (*it)->chunk_end.back()) ==
+              segment.sealed_bytes) {
+        reuse = *it;
+      }
+    }
+    if (reuse != nullptr) {
+      snapshot->push_back(std::move(reuse));
+      continue;
+    }
+    auto rs = std::make_shared<ReaderSegment>();
+    rs->base_offset = segment.base_offset;
+    rs->chunks = segment.sealed;
+    rs->chunk_end.reserve(segment.sealed.size());
+    int64_t end = 0;
+    for (const BufferRef& c : segment.sealed) {
+      end += static_cast<int64_t>(c->size());
+      rs->chunk_end.push_back(end);
+    }
+    snapshot->push_back(std::move(rs));
+  }
+  std::shared_ptr<const Snapshot> fresh = std::move(snapshot);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_.swap(fresh);
+  }
+  // `fresh` now holds the previous snapshot; it destructs here, outside
+  // the micro-mutex, so readers never wait on chunk teardown.
+}
+
+std::shared_ptr<const PartitionLog::Snapshot> PartitionLog::LoadSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
 }
 
 int64_t PartitionLog::Append(Slice message_set, int message_count) {
   std::lock_guard<std::mutex> lock(mu_);
   Segment* active = &segments_.back();
-  if (static_cast<int64_t>(active->data.size()) >= options_.segment_bytes) {
-    const int64_t next_base =
-        active->base_offset + static_cast<int64_t>(active->data.size());
-    segments_.push_back(Segment{next_base, "", clock_->NowMillis()});
+  if (active->size() >= options_.segment_bytes) {
+    Segment next;
+    next.base_offset = active->base_offset + active->size();
+    next.last_append_ms = clock_->NowMillis();
+    segments_.push_back(std::move(next));
     active = &segments_.back();
+    PublishSnapshotLocked();  // readers learn the new segment's base
   }
-  const int64_t offset =
-      active->base_offset + static_cast<int64_t>(active->data.size());
-  active->data.append(message_set.data(), message_set.size());
+  const int64_t offset = active->base_offset + active->size();
+  active->tail.append(message_set.data(), message_set.size());
   active->last_append_ms = clock_->NowMillis();
+  end_offset_.store(offset + static_cast<int64_t>(message_set.size()));
   if (unflushed_messages_ == 0) first_unflushed_ms_ = clock_->NowMillis();
   unflushed_messages_ += message_count;
   MaybeFlushLocked();
@@ -109,67 +209,132 @@ void PartitionLog::MaybeFlushLocked() {
   const bool time_due =
       unflushed_messages_ > 0 &&
       clock_->NowMillis() - first_unflushed_ms_ >= options_.flush_interval_ms;
-  if (count_due || time_due) {
-    flushed_end_ = segments_.back().base_offset +
-                   static_cast<int64_t>(segments_.back().data.size());
-    unflushed_messages_ = 0;
-    PersistUpToLocked(flushed_end_);
-  }
+  if (count_due || time_due) FlushLocked();
+}
+
+void PartitionLog::FlushLocked() {
+  for (Segment& segment : segments_) SealTailLocked(&segment);
+  unflushed_messages_ = 0;
+  PersistSealedLocked();
+  // Publish order matters for the lock-free readers: snapshot first, then
+  // the frontier, so a reader that sees the new frontier is guaranteed a
+  // snapshot containing every chunk below it.
+  PublishSnapshotLocked();
+  flushed_end_.store(segments_.back().base_offset +
+                     segments_.back().sealed_bytes);
 }
 
 void PartitionLog::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
-  flushed_end_ = segments_.back().base_offset +
-                 static_cast<int64_t>(segments_.back().data.size());
-  unflushed_messages_ = 0;
-  PersistUpToLocked(flushed_end_);
+  FlushLocked();
 }
 
-Result<std::string> PartitionLog::Read(int64_t offset,
-                                       int64_t max_bytes) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (offset < segments_.front().base_offset) {
-    return Status::NotFound("offset " + std::to_string(offset) +
-                            " expired (log starts at " +
-                            std::to_string(segments_.front().base_offset) + ")");
+Result<PinnedSlice> PartitionLog::ReadPinnedChunk(int64_t offset,
+                                                  int64_t max_bytes) const {
+  // Load the frontier before the snapshot (writers store in the opposite
+  // order), so the snapshot covers everything below the frontier we serve.
+  const int64_t flushed_end = flushed_end_.load();
+  const std::shared_ptr<const Snapshot> snapshot = LoadSnapshot();
+  if (offset < snapshot->front()->base_offset) {
+    return Status::NotFound(
+        "offset " + std::to_string(offset) + " expired (log starts at " +
+        std::to_string(snapshot->front()->base_offset) + ")");
   }
-  if (offset >= flushed_end_) {
-    if (offset >
-        segments_.back().base_offset +
-            static_cast<int64_t>(segments_.back().data.size())) {
+  if (offset >= flushed_end) {
+    if (offset > end_offset_.load()) {
       return Status::InvalidArgument("offset beyond log end");
     }
-    return std::string();  // nothing visible yet
+    return PinnedSlice();  // nothing visible yet
   }
   // Locate the segment: the last one with base_offset <= offset.
   auto it = std::upper_bound(
-      segments_.begin(), segments_.end(), offset,
-      [](int64_t o, const Segment& s) { return o < s.base_offset; });
+      snapshot->begin(), snapshot->end(), offset,
+      [](int64_t o, const std::shared_ptr<const ReaderSegment>& s) {
+        return o < s->base_offset;
+      });
   --it;
-  const Segment& segment = *it;
+  const ReaderSegment& segment = **it;
   const int64_t pos = offset - segment.base_offset;
   const int64_t segment_visible =
-      std::min(static_cast<int64_t>(segment.data.size()),
-               flushed_end_ - segment.base_offset);
-  if (pos >= segment_visible) return std::string();
+      std::min(segment.chunk_end.empty() ? 0 : segment.chunk_end.back(),
+               flushed_end - segment.base_offset);
+  if (pos >= segment_visible) return PinnedSlice();
+  // Locate the chunk holding pos: first chunk whose end exceeds it.
+  const size_t chunk_index = static_cast<size_t>(
+      std::upper_bound(segment.chunk_end.begin(), segment.chunk_end.end(),
+                       pos) -
+      segment.chunk_end.begin());
+  const BufferRef& chunk = segment.chunks[chunk_index];
+  const int64_t chunk_base =
+      chunk_index == 0 ? 0 : segment.chunk_end[chunk_index - 1];
+  const int64_t cpos = pos - chunk_base;
+  const int64_t visible =
+      std::min(static_cast<int64_t>(chunk->size()),
+               segment_visible - chunk_base);
 
-  // Truncate at entry boundaries within the available window.
+  // Truncate at entry boundaries within the chunk's visible window,
+  // returning at least one whole entry when any fits it.
   int64_t take = 0;
-  while (pos + take < segment_visible) {
-    if (pos + take + 4 > segment_visible) break;
-    const uint32_t length = DecodeFixed32(segment.data.data() + pos + take);
+  while (cpos + take + 4 <= visible) {
+    const uint32_t length = DecodeFixed32(chunk->data() + cpos + take);
     const int64_t entry = 4 + static_cast<int64_t>(length);
-    if (pos + take + entry > segment_visible) break;
+    if (cpos + take + entry > visible) break;
     if (take > 0 && take + entry > max_bytes) break;
     take += entry;
     if (take >= max_bytes) break;
   }
-  if (take == 0 && pos < segment_visible) {
+  if (take == 0) {
     return Status::InvalidArgument("offset not at an entry boundary or entry "
                                    "exceeds visible region");
   }
-  return segment.data.substr(static_cast<size_t>(pos),
-                             static_cast<size_t>(take));
+  return PinnedSlice(Slice(chunk->data() + cpos, static_cast<size_t>(take)),
+                     chunk);
+}
+
+Result<PinnedSlice> PartitionLog::ReadPinned(int64_t offset, int64_t max_bytes,
+                                             int64_t* gathered_bytes) const {
+  if (gathered_bytes != nullptr) *gathered_bytes = 0;
+  auto first = ReadPinnedChunk(offset, max_bytes);
+  if (!first.ok() || first.value().empty()) return first;
+  int64_t have = static_cast<int64_t>(first.value().size());
+  if (have >= max_bytes) return first;
+
+  // More budget left: see whether further entries continue in the next
+  // chunk (or segment). If not, the single-chunk view is the zero-copy
+  // fast path; otherwise gather the chain into one owned buffer so callers
+  // get the same whole-entries-up-to-max_bytes contract regardless of how
+  // flushes happened to chunk the log.
+  auto next = ReadPinnedChunk(offset + have, max_bytes - have);
+  if (!next.ok() || next.value().empty() ||
+      static_cast<int64_t>(next.value().size()) > max_bytes - have) {
+    // The at-least-one-entry rule only applies to the start of a read: a
+    // continuation entry that would overflow the budget is left for the
+    // caller's next fetch.
+    return first;
+  }
+  std::string out;
+  out.reserve(static_cast<size_t>(max_bytes));
+  out.append(first.value().data(), first.value().size());
+  out.append(next.value().data(), next.value().size());
+  have += static_cast<int64_t>(next.value().size());
+  while (have < max_bytes) {
+    auto more = ReadPinnedChunk(offset + have, max_bytes - have);
+    if (!more.ok() || more.value().empty() ||
+        static_cast<int64_t>(more.value().size()) > max_bytes - have) {
+      break;
+    }
+    out.append(more.value().data(), more.value().size());
+    have += static_cast<int64_t>(more.value().size());
+  }
+  if (gathered_bytes != nullptr) *gathered_bytes = have;
+  return PinnedSlice::Own(std::move(out));
+}
+
+Result<std::string> PartitionLog::Read(int64_t offset,
+                                       int64_t max_bytes) const {
+  auto pinned = ReadPinned(offset, max_bytes);
+  if (!pinned.ok()) return pinned.status();
+  return pinned.value().ToString();
 }
 
 int PartitionLog::DeleteExpiredSegments() {
@@ -186,40 +351,38 @@ int PartitionLog::DeleteExpiredSegments() {
     ++deleted;
   }
   // The active segment may also expire entirely.
-  if (segments_.size() == 1 && !segments_.front().data.empty() &&
+  if (segments_.size() == 1 && segments_.front().size() > 0 &&
       now - segments_.front().last_append_ms > options_.retention_ms) {
     Segment& s = segments_.front();
-    const int64_t end = s.base_offset + static_cast<int64_t>(s.data.size());
+    const int64_t end = s.base_offset + s.size();
     if (!options_.data_dir.empty()) {
       std::error_code ec;
       std::filesystem::remove(SegmentPath(s.base_offset), ec);
     }
-    segments_.front() = Segment{end, "", now};
-    flushed_end_ = std::max(flushed_end_, end);
+    Segment fresh;
+    fresh.base_offset = end;
+    fresh.last_append_ms = now;
+    segments_.front() = std::move(fresh);
+    unflushed_messages_ = 0;
+    flushed_end_.store(std::max(flushed_end_.load(), end));
     ++deleted;
   }
+  if (deleted > 0) PublishSnapshotLocked();
   return deleted;
 }
 
 int64_t PartitionLog::start_offset() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return segments_.front().base_offset;
+  return LoadSnapshot()->front()->base_offset;
 }
 
 int64_t PartitionLog::flushed_end_offset() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return flushed_end_;
+  return flushed_end_.load();
 }
 
-int64_t PartitionLog::end_offset() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return segments_.back().base_offset +
-         static_cast<int64_t>(segments_.back().data.size());
-}
+int64_t PartitionLog::end_offset() const { return end_offset_.load(); }
 
 int PartitionLog::segment_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int>(segments_.size());
+  return static_cast<int>(LoadSnapshot()->size());
 }
 
 }  // namespace lidi::kafka

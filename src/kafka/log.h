@@ -1,11 +1,15 @@
 #ifndef LIDI_KAFKA_LOG_H_
 #define LIDI_KAFKA_LOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
+#include "common/buffer.h"
 #include "common/clock.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -36,6 +40,17 @@ struct LogOptions {
 /// message is addressed by its logical byte offset; the broker locates the
 /// segment for a requested offset by searching the (in-memory) offset list.
 ///
+/// Storage model (zero-copy read path): the flushed region of every segment
+/// is a list of immutable refcounted chunk Buffers, each sealed at a message
+/// entry boundary; unflushed bytes live in a writer-private tail. Readers
+/// never take the writer mutex — they load the atomic flushed frontier, copy
+/// the published snapshot pointer under a micro-mutex that guards only that
+/// pointer, and serve PinnedSlices straight out of the sealed chunks (the
+/// in-process analogue of Kafka handing the page cache to sendfile, V.B).
+/// Appends, flushes and the retention janitor serialize on the writer mutex;
+/// a reader holding a PinnedSlice keeps its chunk alive after the janitor
+/// drops the segment.
+///
 /// Thread-safe.
 class PartitionLog {
  public:
@@ -49,43 +64,105 @@ class PartitionLog {
   /// Makes everything appended so far visible to consumers.
   void Flush();
 
-  /// Reads up to max_bytes starting at `offset`, truncated at entry
-  /// boundaries, from the flushed region. An offset below start_offset()
-  /// (expired) fails NotFound; an offset at or past the flushed end returns
-  /// an empty string (nothing new yet); an offset that is not an entry
-  /// boundary fails InvalidArgument.
+  /// Zero-copy read: up to max_bytes starting at `offset`, truncated at
+  /// entry boundaries (always at least one whole entry when any is
+  /// available), from the flushed region. When a single sealed chunk
+  /// satisfies the request — the common case — the returned PinnedSlice is
+  /// a view into it and no byte is copied; the slice shares ownership of
+  /// the chunk, so it remains valid after retention deletes the segment. A
+  /// request straddling chunk (or segment) boundaries is gathered into a
+  /// fresh owned buffer; when `gathered_bytes` is non-null it receives the
+  /// number of bytes memcpy'd that way (0 on the zero-copy path), which the
+  /// broker's transfer accounting reports.
+  ///
+  /// Errors: an offset below start_offset() (expired) fails NotFound; an
+  /// offset past end_offset() fails InvalidArgument; an offset that is not
+  /// an entry boundary fails InvalidArgument. An empty result means nothing
+  /// new at that offset yet.
+  ///
+  /// Never blocks on appenders, flush I/O, or the janitor: the only lock
+  /// taken is the snapshot micro-mutex, held for a pointer copy.
+  Result<PinnedSlice> ReadPinned(int64_t offset, int64_t max_bytes,
+                                 int64_t* gathered_bytes = nullptr) const;
+
+  /// Copying convenience wrapper over ReadPinned (legacy API): same
+  /// semantics, materializes the bytes into a std::string.
   Result<std::string> Read(int64_t offset, int64_t max_bytes) const;
 
   /// Deletes whole segments whose newest append is older than the retention
-  /// SLA. Returns segments deleted.
+  /// SLA. Returns segments deleted. In-flight PinnedSlices keep their
+  /// chunk's memory alive; subsequent reads at deleted offsets fail
+  /// NotFound.
   int DeleteExpiredSegments();
 
-  int64_t start_offset() const;      // oldest retained offset
+  int64_t start_offset() const;        // oldest retained offset
   int64_t flushed_end_offset() const;  // first offset not yet readable
-  int64_t end_offset() const;        // next offset to be assigned
+  int64_t end_offset() const;          // next offset to be assigned
   int segment_count() const;
 
  private:
+  /// Writer-side segment state, guarded by mu_. `sealed` chunks are
+  /// immutable and shared with reader snapshots; `tail` holds unflushed
+  /// bytes no reader can observe.
   struct Segment {
     int64_t base_offset = 0;
-    std::string data;
+    std::vector<BufferRef> sealed;
+    int64_t sealed_bytes = 0;
+    std::string tail;
     int64_t last_append_ms = 0;
     /// Bytes already written to the segment file (persistent mode).
     int64_t persisted_bytes = 0;
+
+    int64_t size() const {
+      return sealed_bytes + static_cast<int64_t>(tail.size());
+    }
   };
 
+  /// Immutable reader view of one segment's flushed chunks. chunk_end[i] is
+  /// the cumulative size of chunks [0..i], relative to base_offset.
+  struct ReaderSegment {
+    int64_t base_offset = 0;
+    std::vector<BufferRef> chunks;
+    std::vector<int64_t> chunk_end;
+  };
+  using Snapshot = std::vector<std::shared_ptr<const ReaderSegment>>;
+
+  /// One chunk-bounded pinned read: never copies, never crosses a sealed
+  /// chunk boundary. ReadPinned chains these, gathering only when needed.
+  Result<PinnedSlice> ReadPinnedChunk(int64_t offset, int64_t max_bytes) const;
+
+  std::shared_ptr<const Snapshot> LoadSnapshot() const;
   void MaybeFlushLocked();
+  void FlushLocked();
+  void SealTailLocked(Segment* segment);
+  void PublishSnapshotLocked();
   void RecoverFromDiskLocked();
-  void PersistUpToLocked(int64_t flushed_end);
+  void PersistSealedLocked();
   std::string SegmentPath(int64_t base_offset) const;
 
   const LogOptions options_;
   const Clock* const clock_;
+
+  /// Writer lock: appends, flush policy, persistence, retention. Readers do
+  /// not take it.
   mutable std::mutex mu_;
   std::deque<Segment> segments_;
-  int64_t flushed_end_ = 0;
   int unflushed_messages_ = 0;
   int64_t first_unflushed_ms_ = 0;
+
+  /// Reader-visible state. Writers publish the snapshot before advancing
+  /// flushed_end_ (release), and readers load flushed_end_ (acquire) before
+  /// the snapshot, so a reader's snapshot always covers everything below the
+  /// frontier it saw. snapshot_mu_ guards only the shared_ptr copy — it is
+  /// never held across I/O, appends, or chunk scans, so readers cannot be
+  /// blocked behind writers (std::atomic<shared_ptr> would express this
+  /// directly, but libstdc++'s spinlock implementation releases with a
+  /// relaxed RMW, which thread sanitizer rejects under the strict
+  /// happens-before model).
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::atomic<int64_t> flushed_end_{0};
+  std::atomic<int64_t> end_offset_{0};
 };
 
 }  // namespace lidi::kafka

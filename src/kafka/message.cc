@@ -63,6 +63,14 @@ MessageSetIterator::MessageSetIterator(Slice data, int64_t base_offset)
     : data_(data), offset_(base_offset), next_fetch_offset_(base_offset) {}
 
 bool MessageSetIterator::Next(Message* message) {
+  MessageView view;
+  if (!NextView(&view)) return false;
+  message->payload.assign(view.payload.data(), view.payload.size());
+  message->offset = view.offset;
+  return true;
+}
+
+bool MessageSetIterator::NextView(MessageView* view) {
   for (;;) {
     // Drain the current decompressed wrapper first.
     if (inner_pos_ < inner_buffer_.size()) {
@@ -75,8 +83,8 @@ bool MessageSetIterator::Next(Message* message) {
       if (TakeEntry(&inner, &attributes, &payload, &entry_size,
                     &entry_status)) {
         inner_pos_ = inner_buffer_.size() - inner.size();
-        message->payload = payload.ToString();
-        message->offset = inner_wrapper_offset_;
+        view->payload = payload;  // into inner_buffer_; valid until next call
+        view->offset = inner_wrapper_offset_;
         return true;
       }
       if (!entry_status.ok()) {
@@ -101,8 +109,8 @@ bool MessageSetIterator::Next(Message* message) {
     next_fetch_offset_ = offset_;
     const CompressionCodec codec = static_cast<CompressionCodec>(attributes);
     if (codec == CompressionCodec::kNone) {
-      message->payload = payload.ToString();
-      message->offset = entry_offset;
+      view->payload = payload;  // zero-copy: points into the iterated range
+      view->offset = entry_offset;
       return true;
     }
     // Wrapper entry: decompress and iterate its inner messages.

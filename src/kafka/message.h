@@ -29,6 +29,15 @@ struct Message {
   int64_t offset = 0;
 };
 
+/// Zero-copy view of one message: the payload Slice points into the
+/// iterated byte range (uncompressed entries) or into the iterator's
+/// decompression buffer (compressed wrappers). Valid until the iterator's
+/// next Next/NextView call or destruction — copy into a Message to keep it.
+struct MessageView {
+  Slice payload;
+  int64_t offset = 0;
+};
+
 /// Fixed per-entry overhead: length (4) + attributes (1) + crc (4).
 constexpr int64_t kMessageOverheadBytes = 9;
 
@@ -78,6 +87,12 @@ class MessageSetIterator {
   /// (also when only a partial trailing entry remains). Corrupt entries
   /// surface through status().
   bool Next(Message* message);
+
+  /// Zero-copy variant of Next: no payload bytes are copied. The view is
+  /// invalidated by the next Next/NextView call (compressed wrappers reuse
+  /// the decompression buffer); the iterated range must stay alive — pin it
+  /// (PinnedSlice) when it comes from the zero-copy fetch path.
+  bool NextView(MessageView* view);
 
   int64_t next_fetch_offset() const { return next_fetch_offset_; }
   const Status& status() const { return status_; }

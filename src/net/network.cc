@@ -5,7 +5,13 @@ namespace lidi::net {
 void Network::Register(const Address& addr, const std::string& method,
                        Handler handler) {
   std::lock_guard<std::mutex> lock(mu_);
-  handlers_[addr][method] = std::move(handler);
+  handlers_[addr][method] = Endpoint{std::move(handler), nullptr};
+}
+
+void Network::RegisterPayload(const Address& addr, const std::string& method,
+                              PayloadHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[addr][method] = Endpoint{nullptr, std::move(handler)};
 }
 
 void Network::Unregister(const Address& addr) {
@@ -13,43 +19,71 @@ void Network::Unregister(const Address& addr) {
   handlers_.erase(addr);
 }
 
+Status Network::Route(const Address& from, const Address& to,
+                      const std::string& method, Slice request,
+                      Endpoint* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_calls_.fetch_add(1, std::memory_order_relaxed);
+  stats_[from].calls_sent++;
+  stats_[from].bytes_sent += static_cast<int64_t>(request.size());
+
+  if (down_.count(to) > 0) {
+    return Status::Unavailable("node down: " + to);
+  }
+  if (partitioned_) {
+    const bool from_a = partition_a_.count(from) > 0;
+    const bool to_a = partition_a_.count(to) > 0;
+    if (from_a != to_a) {
+      return Status::Unavailable("network partition between " + from + " and " +
+                                 to);
+    }
+  }
+  if (drop_probability_ > 0 && rng_.Bernoulli(drop_probability_)) {
+    return Status::Timeout("message dropped by fault injector");
+  }
+  auto node_it = handlers_.find(to);
+  if (node_it == handlers_.end()) {
+    return Status::NotFound("no endpoint: " + to);
+  }
+  auto method_it = node_it->second.find(method);
+  if (method_it == node_it->second.end()) {
+    return Status::NotFound("no method " + method + " at " + to);
+  }
+  *out = method_it->second;
+  stats_[to].calls_received++;
+  stats_[to].bytes_received += static_cast<int64_t>(request.size());
+  return Status::OK();
+}
+
 Result<std::string> Network::Call(const Address& from, const Address& to,
                                   const std::string& method, Slice request) {
-  Handler handler;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    total_calls_.fetch_add(1, std::memory_order_relaxed);
-    stats_[from].calls_sent++;
-    stats_[from].bytes_sent += static_cast<int64_t>(request.size());
-
-    if (down_.count(to) > 0) {
-      return Status::Unavailable("node down: " + to);
-    }
-    if (partitioned_) {
-      const bool from_a = partition_a_.count(from) > 0;
-      const bool to_a = partition_a_.count(to) > 0;
-      if (from_a != to_a) {
-        return Status::Unavailable("network partition between " + from +
-                                   " and " + to);
-      }
-    }
-    if (drop_probability_ > 0 && rng_.Bernoulli(drop_probability_)) {
-      return Status::Timeout("message dropped by fault injector");
-    }
-    auto node_it = handlers_.find(to);
-    if (node_it == handlers_.end()) {
-      return Status::NotFound("no endpoint: " + to);
-    }
-    auto method_it = node_it->second.find(method);
-    if (method_it == node_it->second.end()) {
-      return Status::NotFound("no method " + method + " at " + to);
-    }
-    handler = method_it->second;
-    stats_[to].calls_received++;
-    stats_[to].bytes_received += static_cast<int64_t>(request.size());
-  }
+  Endpoint endpoint;
+  Status s = Route(from, to, method, request, &endpoint);
+  if (!s.ok()) return s;
   // Invoke outside the lock so handlers can place nested calls.
-  return handler(request);
+  if (endpoint.payload_handler) {
+    auto pinned = endpoint.payload_handler(request);
+    if (!pinned.ok()) return pinned.status();
+    return pinned.value().ToString();  // owned-string caller: one copy
+  }
+  return endpoint.handler(request);
+}
+
+Result<PinnedSlice> Network::CallPayload(const Address& from,
+                                         const Address& to,
+                                         const std::string& method,
+                                         Slice request) {
+  Endpoint endpoint;
+  Status s = Route(from, to, method, request, &endpoint);
+  if (!s.ok()) return s;
+  // Invoke outside the lock so handlers can place nested calls.
+  if (endpoint.payload_handler) {
+    return endpoint.payload_handler(request);
+  }
+  auto response = endpoint.handler(request);
+  if (!response.ok()) return response.status();
+  // Move the handler's owned string into a pinned buffer: no byte copy.
+  return PinnedSlice::Own(std::move(response.value()));
 }
 
 void Network::SetNodeDown(const Address& addr) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/random.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -26,6 +27,12 @@ using Address = std::string;
 /// A per-method RPC handler: takes the serialized request, produces the
 /// serialized response or an error.
 using Handler = std::function<Result<std::string>(Slice request)>;
+
+/// A zero-copy RPC handler: the response is a pinned view into storage the
+/// handler owns (e.g. a log segment buffer), so serving it moves no payload
+/// bytes. The simulated-transport analogue of the paper's sendfile path
+/// (V.B): the broker hands the "socket" its file-channel bytes directly.
+using PayloadHandler = std::function<Result<PinnedSlice>(Slice request)>;
 
 /// Counters describing traffic through one endpoint. The Databus fan-out
 /// bench (E9) uses the source database's counters to show consumer count
@@ -43,6 +50,11 @@ struct EndpointStats {
 /// stack. Handlers run synchronously in the caller's thread; failure modes
 /// (drops, latency, partitions, crashed nodes) are injected deterministically
 /// from a seeded RNG. Thread-safe.
+///
+/// Two call paths exist per method: the owned-string path (Call/Register)
+/// and the payload-view path (CallPayload/RegisterPayload). Either caller
+/// works against either handler kind; the transport adapts, copying only
+/// when an owned string is demanded from a pinned view or vice versa.
 class Network {
  public:
   explicit Network(uint64_t fault_seed = 42) : rng_(fault_seed) {}
@@ -52,6 +64,11 @@ class Network {
 
   /// Registers a handler for (address, method). Re-registering replaces.
   void Register(const Address& addr, const std::string& method, Handler handler);
+
+  /// Registers a zero-copy handler for (address, method). Re-registering
+  /// replaces (either kind).
+  void RegisterPayload(const Address& addr, const std::string& method,
+                       PayloadHandler handler);
 
   /// Removes an endpoint entirely (all its methods).
   void Unregister(const Address& addr);
@@ -63,6 +80,12 @@ class Network {
   ///  - otherwise the handler's result.
   Result<std::string> Call(const Address& from, const Address& to,
                            const std::string& method, Slice request);
+
+  /// Zero-copy variant of Call: the response payload is pinned, not copied.
+  /// A string handler's response is wrapped (moved) into a pinned buffer,
+  /// so this path never copies payload bytes regardless of handler kind.
+  Result<PinnedSlice> CallPayload(const Address& from, const Address& to,
+                                  const std::string& method, Slice request);
 
   // --- fault injection ---
 
@@ -87,8 +110,20 @@ class Network {
   int64_t total_calls() const { return total_calls_.load(); }
 
  private:
+  /// A registered method: exactly one of the two handler kinds is set.
+  struct Endpoint {
+    Handler handler;
+    PayloadHandler payload_handler;
+  };
+
+  /// Fault-injection and stats bookkeeping shared by both call paths.
+  /// Returns a non-OK status if the call must fail, otherwise copies the
+  /// endpoint entry into *out.
+  Status Route(const Address& from, const Address& to,
+               const std::string& method, Slice request, Endpoint* out);
+
   mutable std::mutex mu_;
-  std::map<Address, std::map<std::string, Handler>> handlers_;
+  std::map<Address, std::map<std::string, Endpoint>> handlers_;
   std::set<Address> down_;
   std::set<Address> partition_a_;
   bool partitioned_ = false;

@@ -260,6 +260,111 @@ TEST_F(LogTest, MisalignedOffsetCaughtAtIteration) {
   }
 }
 
+TEST_F(LogTest, ReadAtEverySegmentBoundary) {
+  LogOptions options;
+  options.segment_bytes = 100;
+  PartitionLog log(options, &clock_);
+  const std::string set = OneMessageSet(std::string(40, 'x'));
+  for (int i = 0; i < 10; ++i) log.Append(set, 1);
+  log.Flush();
+  ASSERT_GT(log.segment_count(), 2);
+  // Every entry boundary — including the ones where a fresh segment starts —
+  // serves a read, and the pinned and copying paths agree byte for byte.
+  const int64_t entry = static_cast<int64_t>(set.size());
+  for (int64_t offset = 0; offset < log.flushed_end_offset();
+       offset += entry) {
+    auto pinned = log.ReadPinned(offset, 2 * entry);
+    auto copied = log.Read(offset, 2 * entry);
+    ASSERT_TRUE(pinned.ok()) << offset;
+    ASSERT_TRUE(copied.ok()) << offset;
+    EXPECT_EQ(pinned.value().ToString(), copied.value()) << offset;
+    EXPECT_FALSE(pinned.value().empty()) << offset;
+  }
+  // The frontier itself: readable, empty — "nothing new yet", not an error.
+  auto at_end = log.ReadPinned(log.flushed_end_offset(), 1024);
+  ASSERT_TRUE(at_end.ok());
+  EXPECT_TRUE(at_end.value().empty());
+  // Past the log entirely: InvalidArgument.
+  EXPECT_FALSE(log.ReadPinned(log.end_offset() + 1, 1024).ok());
+}
+
+TEST_F(LogTest, ReadStopsAtFlushedFrontier) {
+  LogOptions options;
+  options.flush_interval_messages = 1 << 20;  // manual flushes only
+  options.flush_interval_ms = 1 << 30;
+  PartitionLog log(options, &clock_);
+  const std::string set = OneMessageSet("frontier");
+  log.Append(set, 1);
+  log.Append(set, 1);
+  log.Flush();
+  log.Append(set, 1);  // unflushed tail beyond the frontier
+  ASSERT_EQ(log.flushed_end_offset(), 2 * static_cast<int64_t>(set.size()));
+  ASSERT_EQ(log.end_offset(), 3 * static_cast<int64_t>(set.size()));
+  // A read straddling the frontier returns only the flushed prefix, however
+  // much budget remains.
+  auto r = log.ReadPinned(0, 1 << 20);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2 * set.size());
+  // At the frontier: empty, and the unflushed entry is invisible until...
+  auto at_frontier = log.ReadPinned(2 * static_cast<int64_t>(set.size()), 64);
+  ASSERT_TRUE(at_frontier.ok());
+  EXPECT_TRUE(at_frontier.value().empty());
+  log.Flush();  // ...now it is.
+  auto after = log.ReadPinned(2 * static_cast<int64_t>(set.size()), 64);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().size(), set.size());
+}
+
+TEST_F(LogTest, PinnedSliceSurvivesRetentionMidRead) {
+  LogOptions options;
+  options.segment_bytes = 100;
+  options.retention_ms = 1000;
+  PartitionLog log(options, &clock_);
+  const std::string set = OneMessageSet(std::string(40, 'y'));
+  for (int i = 0; i < 4; ++i) log.Append(set, 1);
+  log.Flush();
+  auto pinned = log.ReadPinned(0, 1 << 20);
+  ASSERT_TRUE(pinned.ok());
+  const std::string before = pinned.value().ToString();
+  ASSERT_FALSE(before.empty());
+
+  // The janitor fires between a consumer's fetch and its decode: the offset
+  // is gone, the bytes the consumer already holds are not.
+  clock_.AdvanceMillis(2000);
+  log.Append(set, 1);
+  log.Flush();
+  ASSERT_GT(log.DeleteExpiredSegments(), 0);
+  EXPECT_TRUE(log.ReadPinned(0, 1024).status().IsNotFound());
+  EXPECT_EQ(pinned.value().ToString(), before);
+  MessageSetIterator it(pinned.value().slice(), 0);
+  Message m;
+  int decoded = 0;
+  while (it.Next(&m)) ++decoded;
+  EXPECT_TRUE(it.status().ok());
+  EXPECT_GT(decoded, 0);
+}
+
+TEST_F(LogTest, ReadPinnedReportsGatheredBytes) {
+  // Flush-per-append with tiny segments forces multi-chunk layouts; a read
+  // served by one chunk gathers nothing, a straddling read reports the
+  // bytes it had to concatenate.
+  LogOptions options;
+  options.segment_bytes = 100;
+  PartitionLog log(options, &clock_);
+  const std::string set = OneMessageSet(std::string(40, 'z'));
+  for (int i = 0; i < 6; ++i) log.Append(set, 1);
+  log.Flush();
+  int64_t gathered = -1;
+  auto one = log.ReadPinned(0, 1, &gathered);  // single entry: one chunk
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.value().size(), set.size());
+  EXPECT_EQ(gathered, 0);
+  auto all = log.ReadPinned(0, 1 << 20, &gathered);  // spans segments
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 6 * set.size());
+  EXPECT_EQ(gathered, static_cast<int64_t>(all.value().size()));
+}
+
 // ---------------------------------------------------------------------------
 // Cluster fixture
 // ---------------------------------------------------------------------------
