@@ -95,6 +95,20 @@ int main() {
                       {"copies_per_byte", copies_per_byte},
                       {"avoided_per_byte", avoided_per_byte},
                       {"syscalls", static_cast<double>(stats.syscalls)}});
+      // TransferStats is a view over the broker's registry instruments; the
+      // two accountings must agree exactly.
+      const obs::RegistrySnapshot snap = network.metrics()->Snapshot();
+      const obs::Labels broker_labels{{"broker", "0"}};
+      if (snap.Value("kafka.fetch.bytes_copied", broker_labels) !=
+              stats.bytes_copied ||
+          snap.Value("kafka.fetch.bytes_avoided", broker_labels) !=
+              stats.bytes_avoided ||
+          snap.Value("kafka.fetch.syscalls", broker_labels) !=
+              stats.syscalls) {
+        bench::Row("FAIL: registry snapshot disagrees with TransferStats");
+        return 1;
+      }
+      bench::JsonSnapshot("E17.registry", snap);
     }
     bench::Row("%10s | %10d | sendfile speedup: %.2fx", "", fetch_kb,
                rates[1] / rates[0]);

@@ -1,0 +1,100 @@
+// EXT-3 — observability overhead: what does an always-on metrics layer cost
+// on the hot path?
+//
+// The registry is designed so instrumented code pays one relaxed atomic add
+// on a thread-local shard when enabled, and one relaxed load plus a
+// predictable branch when the kill switch is off. This bench measures both
+// against an uninstrumented baseline, plus the histogram and span paths.
+
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/metrics.h"
+
+using namespace lidi;
+
+namespace {
+
+constexpr int kOps = 20'000'000;
+
+double NsPerOp(double elapsed_micros) {
+  return elapsed_micros * 1000.0 / kOps;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("EXT-3: observability overhead",
+                "counter increments stay in single-digit ns; the kill switch "
+                "reduces them to a load+branch");
+
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("bench.counter");
+  obs::LatencyHistogram* hist = registry.GetHistogram("bench.hist");
+
+  // Baseline: the same loop over a volatile int, no instrumentation.
+  volatile int64_t sink = 0;
+  bench::Stopwatch base_timer;
+  for (int i = 0; i < kOps; ++i) sink = sink + 1;
+  const double base_ns = NsPerOp(base_timer.ElapsedMicros());
+
+  bench::Stopwatch enabled_timer;
+  for (int i = 0; i < kOps; ++i) counter->Increment();
+  const double enabled_ns = NsPerOp(enabled_timer.ElapsedMicros());
+
+  registry.set_enabled(false);
+  bench::Stopwatch disabled_timer;
+  for (int i = 0; i < kOps; ++i) counter->Increment();
+  const double disabled_ns = NsPerOp(disabled_timer.ElapsedMicros());
+  registry.set_enabled(true);
+
+  bench::Stopwatch hist_timer;
+  for (int i = 0; i < kOps; ++i) hist->Record(i & 1023);
+  const double hist_ns = NsPerOp(hist_timer.ElapsedMicros());
+
+  constexpr int kSpans = 2'000'000;
+  registry.set_span_capacity(1024);
+  bench::Stopwatch span_timer;
+  for (int i = 0; i < kSpans; ++i) {
+    obs::ScopedSpan span(&registry, "op");
+  }
+  const double span_ns = span_timer.ElapsedMicros() * 1000.0 / kSpans;
+
+  bench::Row("%28s | %10s", "path", "ns/op");
+  bench::Row("%28s | %10.2f", "baseline (volatile inc)", base_ns);
+  bench::Row("%28s | %10.2f", "counter enabled", enabled_ns);
+  bench::Row("%28s | %10.2f", "counter disabled", disabled_ns);
+  bench::Row("%28s | %10.2f", "histogram record", hist_ns);
+  bench::Row("%28s | %10.2f", "scoped span", span_ns);
+
+  // Sharding claim: 8 threads on one counter should scale, not serialize.
+  const int kThreads = 8;
+  const int kPerThread = kOps / kThreads;
+  bench::Stopwatch mt_timer;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter, kPerThread] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double mt_ns = NsPerOp(mt_timer.ElapsedMicros());
+  bench::Row("%28s | %10.2f  (wall-clock, %d threads)",
+             "counter enabled, contended", mt_ns, kThreads);
+
+  bench::JsonRow("EXT-3", {},
+                 {{"baseline_ns", base_ns},
+                  {"counter_enabled_ns", enabled_ns},
+                  {"counter_disabled_ns", disabled_ns},
+                  {"histogram_ns", hist_ns},
+                  {"span_ns", span_ns},
+                  {"counter_contended_ns", mt_ns}});
+  bench::JsonSnapshot("EXT-3.registry", registry.Snapshot());
+
+  bench::Row("\nshape check: enabled increments cost single-digit ns;\n"
+             "disabled drops below the enabled cost (load + branch only);\n"
+             "8 contending threads stay near the single-thread cost thanks\n"
+             "to cache-line-aligned shards.");
+  return 0;
+}

@@ -10,6 +10,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace lidi::bench {
 
 /// Wall-clock stopwatch for throughput/latency measurements.
@@ -68,6 +70,23 @@ inline void JsonRow(
     std::fprintf(f, ", \"%s\": %.6g", key, value);
   }
   std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+/// Dumps a registry snapshot into the same LIDI_BENCH_JSON file JsonRow
+/// writes to — one object per instrument, tagged with `experiment` — so a
+/// bench's registry state lands next to its summary rows. Same gate: unset
+/// env var = no-op.
+inline void JsonSnapshot(const char* experiment,
+                         const obs::RegistrySnapshot& snapshot) {
+  const char* env = std::getenv("LIDI_BENCH_JSON");
+  if (env == nullptr || env[0] == '\0') return;
+  const char* path =
+      std::strcmp(env, "1") == 0 ? "BENCH_kafka.json" : env;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  const std::string json = snapshot.ToJson(experiment);
+  std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
 }
 

@@ -146,18 +146,18 @@ int main() {
       const ReadOnlyFiles& files = built.files_per_node.at(0);
 
       const int kLookups = 200'000;
-      std::string value;
       bench::Stopwatch binary_timer;
       for (int i = 0; i < kLookups; ++i) {
         ReadOnlySearch(files,
-                       "member:" + std::to_string(rng.Uniform(num_keys)),
-                       &value);
+                       "member:" + std::to_string(rng.Uniform(num_keys)))
+            .ok();
       }
       const double binary_ns = binary_timer.ElapsedMicros() * 1000 / kLookups;
       bench::Stopwatch interp_timer;
       for (int i = 0; i < kLookups; ++i) {
         ReadOnlyInterpolationSearch(
-            files, "member:" + std::to_string(rng.Uniform(num_keys)), &value);
+            files, "member:" + std::to_string(rng.Uniform(num_keys)))
+            .ok();
       }
       const double interp_ns = interp_timer.ElapsedMicros() * 1000 / kLookups;
       bench::Row("%9d | %22.0f | %20.0f (%.2fx)", num_keys, binary_ns,

@@ -8,7 +8,11 @@
 namespace lidi {
 
 /// Latency recorder used by the bench harnesses. Stores raw samples (the
-/// bench scales are small enough) and reports avg/percentiles.
+/// bench scales are small enough) and reports avg/percentiles. Production
+/// paths use obs::LatencyHistogram (fixed buckets, bounded memory) instead.
+///
+/// Contract: on an empty histogram, Average/Percentile/Max all return 0
+/// rather than reading past the sample vector.
 class Histogram {
  public:
   void Record(double v) {
@@ -21,9 +25,9 @@ class Histogram {
   }
 
   size_t count() const { return samples_.size(); }
-  double Average() const;
-  double Percentile(double p);  // p in [0, 100]; sorts lazily
-  double Max();
+  double Average() const;  // 0 when empty
+  double Percentile(double p);  // p in [0, 100]; sorts lazily; 0 when empty
+  double Max();  // 0 when empty
 
   /// One-line summary, e.g. "n=1000 avg=2.13 p50=1.90 p99=6.40 max=9.1".
   std::string Summary();

@@ -8,7 +8,14 @@ namespace lidi::databus {
 
 BootstrapServer::BootstrapServer(std::string name, net::Address relay,
                                  net::Network* network)
-    : name_(std::move(name)), relay_(std::move(relay)), network_(network) {
+    : name_(std::move(name)),
+      relay_(std::move(relay)),
+      network_(network),
+      metrics_(network->metrics()),
+      events_fetched_(metrics_->GetCounter("databus.bootstrap.events_fetched",
+                                           {{"server", name_}})),
+      rows_applied_(metrics_->GetCounter("databus.bootstrap.rows_applied",
+                                         {{"server", name_}})) {
   network_->Register(name_, "bootstrap.delta", [this](Slice req) {
     int64_t since_scn, max_events;
     Filter filter;
@@ -36,6 +43,8 @@ BootstrapServer::BootstrapServer(std::string name, net::Address relay,
 BootstrapServer::~BootstrapServer() { network_->Unregister(name_); }
 
 Result<int64_t> BootstrapServer::PollRelayOnce() {
+  obs::ScopedSpan span(metrics_, "databus.bootstrap.poll");
+  span.set_peer(relay_);
   int64_t since;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -43,16 +52,24 @@ Result<int64_t> BootstrapServer::PollRelayOnce() {
   }
   std::string request;
   EncodeReadRequest(since, /*max_events=*/1 << 16, Filter{}, &request);
-  auto r = network_->Call(name_, relay_, "databus.read", request);
-  if (!r.ok()) return r.status();
+  auto r = network_->Call(name_, relay_, "databus.read", request,
+                          net::CallOptions{&span.context()});
+  if (!r.ok()) {
+    span.set_outcome(r.status());
+    return r.status();
+  }
   auto events = DecodeEventList(r.value());
-  if (!events.ok()) return events.status();
+  if (!events.ok()) {
+    span.set_outcome(events.status());
+    return events.status();
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   for (Event& event : events.value()) {
     log_fetched_scn_ = std::max(log_fetched_scn_, event.scn);
     log_.push_back(std::move(event));
   }
+  events_fetched_->Add(static_cast<int64_t>(events.value().size()));
   return static_cast<int64_t>(events.value().size());
 }
 
@@ -67,6 +84,7 @@ int64_t BootstrapServer::ApplyLogOnce(int64_t max_rows) {
     applied_scn_ = std::max(applied_scn_, event.scn);
     ++applied;
   }
+  rows_applied_->Add(applied);
   return applied;
 }
 

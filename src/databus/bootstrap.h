@@ -36,6 +36,10 @@ struct SnapshotResult {
 ///
 /// RPC: "bootstrap.delta" (same request encoding as databus.read) and
 /// "bootstrap.snapshot" (request = filter only).
+///
+/// Observability: relay pulls run under a "databus.bootstrap.poll" span;
+/// fetched/applied volume is counted in "databus.bootstrap.events_fetched"
+/// and "databus.bootstrap.rows_applied", labeled by server name.
 class BootstrapServer {
  public:
   BootstrapServer(std::string name, net::Address relay, net::Network* network);
@@ -77,6 +81,9 @@ class BootstrapServer {
   const std::string name_;
   const net::Address relay_;
   net::Network* const network_;
+  obs::MetricsRegistry* const metrics_;
+  obs::Counter* const events_fetched_;
+  obs::Counter* const rows_applied_;
 
   mutable std::mutex mu_;
   std::vector<Event> log_;                        // append-only log storage

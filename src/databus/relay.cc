@@ -69,7 +69,12 @@ Relay::Relay(std::string relay_name, const sqlstore::Database* source,
       source_(source),
       upstream_(std::move(upstream)),
       network_(network),
-      options_(options) {
+      options_(options),
+      metrics_(network->metrics()),
+      events_ingested_(metrics_->GetCounter("databus.relay.events_ingested",
+                                            {{"relay", name_}})),
+      events_served_(metrics_->GetCounter("databus.relay.events_served",
+                                          {{"relay", name_}})) {
   network_->Register(name_, "databus.read", [this](Slice req) {
     int64_t since_scn, max_events;
     Filter filter;
@@ -86,6 +91,7 @@ Relay::Relay(std::string relay_name, const sqlstore::Database* source,
 Relay::~Relay() { network_->Unregister(name_); }
 
 Result<int64_t> Relay::PollOnce() {
+  obs::ScopedSpan span(metrics_, "databus.relay.poll");
   int64_t since;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -101,13 +107,21 @@ Result<int64_t> Relay::PollOnce() {
       incoming.insert(incoming.end(), events.begin(), events.end());
     }
   } else if (!upstream_.empty()) {
+    span.set_peer(upstream_);
     std::string request;
     EncodeReadRequest(since, options_.poll_batch_transactions * 4, Filter{},
                       &request);
-    auto r = network_->Call(name_, upstream_, "databus.read", request);
-    if (!r.ok()) return r.status();
+    auto r = network_->Call(name_, upstream_, "databus.read", request,
+                            net::CallOptions{&span.context()});
+    if (!r.ok()) {
+      span.set_outcome(r.status());
+      return r.status();
+    }
     auto events = DecodeEventList(r.value());
-    if (!events.ok()) return events.status();
+    if (!events.ok()) {
+      span.set_outcome(events.status());
+      return events.status();
+    }
     incoming = std::move(events.value());
   }
   if (incoming.empty()) return int64_t{0};
@@ -115,6 +129,7 @@ Result<int64_t> Relay::PollOnce() {
   std::lock_guard<std::mutex> lock(mu_);
   const int64_t count = static_cast<int64_t>(incoming.size());
   AppendEventsLocked(std::move(incoming));
+  events_ingested_->Add(count);
   return count;
 }
 
@@ -159,6 +174,7 @@ Result<std::vector<Event>> Relay::ReadEvents(int64_t since_scn,
        ++it) {
     if (filter.Matches(*it)) out.push_back(*it);
   }
+  events_served_->Add(static_cast<int64_t>(out.size()));
   return out;
 }
 

@@ -33,6 +33,11 @@ struct RelayOptions {
 /// RPC: "databus.read" with request = {since_scn varint, max_events varint,
 /// filter}; response = encoded event list. A read from an SCN older than the
 /// buffer's tail fails NotFound — the client must bootstrap.
+///
+/// Observability: each pull runs under a "databus.relay.poll" span in the
+/// network's registry (chained pulls carry the span across the upstream
+/// hop); ingest/serve volume lands in "databus.relay.events_ingested" and
+/// "databus.relay.events_served", labeled by relay name.
 class Relay {
  public:
   /// A relay capturing directly from a source database.
@@ -84,6 +89,9 @@ class Relay {
   const net::Address upstream_;             // empty for direct relays
   net::Network* const network_;
   RelayOptions options_;  // buffer capacity adjustable at runtime
+  obs::MetricsRegistry* const metrics_;
+  obs::Counter* const events_ingested_;
+  obs::Counter* const events_served_;
 
   mutable std::mutex mu_;
   std::deque<Event> buffer_;

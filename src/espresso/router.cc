@@ -4,6 +4,11 @@
 
 namespace lidi::espresso {
 
+obs::ScopedSpan Router::StartOp(const char* op) {
+  metrics_->GetCounter("espresso.router.requests", {{"op", op}})->Increment();
+  return obs::ScopedSpan(metrics_, std::string("espresso.router.") + op);
+}
+
 Result<std::string> Router::RouteTo(const std::string& database,
                                     const std::string& resource_id) {
   auto db_schema = registry_->GetDatabase(database);
@@ -18,35 +23,46 @@ Result<std::string> Router::RouteTo(const std::string& database,
 }
 
 Result<DocumentRecord> Router::GetRecord(const std::string& uri) {
+  obs::ScopedSpan span = StartOp("get");
   auto parsed = ParseUri(uri);
-  if (!parsed.ok()) return parsed.status();
+  if (!parsed.ok()) return span.set_outcome(parsed.status()), parsed.status();
   auto master = RouteTo(parsed.value().database, parsed.value().resource_id);
-  if (!master.ok()) return master.status();
+  if (!master.ok()) return span.set_outcome(master.status()), master.status();
+  span.set_peer(master.value());
   std::string request;
   EncodeGetRequest(parsed.value().database, parsed.value().table,
                    parsed.value().DocumentKey(), &request);
-  auto response = network_->Call(name_, master.value(), "espresso.get", request);
-  if (!response.ok()) return response.status();
+  auto response = network_->Call(name_, master.value(), "espresso.get", request,
+                                 net::CallOptions{&span.context()});
+  if (!response.ok()) {
+    span.set_outcome(response.status());
+    return response.status();
+  }
   Slice input(response.value());
   DocumentRecord record;
   Status s = DecodeDocumentRecord(&input, &record);
-  if (!s.ok()) return s;
+  if (!s.ok()) return span.set_outcome(s), s;
   return record;
 }
 
 Result<std::optional<DocumentRecord>> Router::GetRecordIfModified(
     const std::string& uri, const std::string& etag) {
+  obs::ScopedSpan span = StartOp("get-cond");
   auto parsed = ParseUri(uri);
-  if (!parsed.ok()) return parsed.status();
+  if (!parsed.ok()) return span.set_outcome(parsed.status()), parsed.status();
   auto master = RouteTo(parsed.value().database, parsed.value().resource_id);
-  if (!master.ok()) return master.status();
+  if (!master.ok()) return span.set_outcome(master.status()), master.status();
+  span.set_peer(master.value());
   std::string request;
   EncodeGetRequest(parsed.value().database, parsed.value().table,
                    parsed.value().DocumentKey(), &request);
   PutLengthPrefixed(&request, etag);
-  auto response =
-      network_->Call(name_, master.value(), "espresso.get-cond", request);
-  if (!response.ok()) return response.status();
+  auto response = network_->Call(name_, master.value(), "espresso.get-cond",
+                                 request, net::CallOptions{&span.context()});
+  if (!response.ok()) {
+    span.set_outcome(response.status());
+    return response.status();
+  }
   Slice input(response.value());
   if (input.empty()) return Status::Corruption("empty conditional response");
   const bool modified = input[0] != 0;
@@ -91,55 +107,72 @@ Result<std::string> Router::EncodeDatum(const std::string& database,
 Result<std::string> Router::PutDocument(const std::string& uri,
                                         const avro::Datum& document,
                                         const std::string& expected_etag) {
+  obs::ScopedSpan span = StartOp("put");
   auto parsed = ParseUri(uri);
-  if (!parsed.ok()) return parsed.status();
+  if (!parsed.ok()) return span.set_outcome(parsed.status()), parsed.status();
   auto master = RouteTo(parsed.value().database, parsed.value().resource_id);
-  if (!master.ok()) return master.status();
+  if (!master.ok()) return span.set_outcome(master.status()), master.status();
+  span.set_peer(master.value());
 
   DocumentRecord record;
   auto payload = EncodeDatum(parsed.value().database, parsed.value().table,
                              document, &record.schema_version);
-  if (!payload.ok()) return payload.status();
+  if (!payload.ok()) return span.set_outcome(payload.status()), payload.status();
   record.payload = std::move(payload.value());
 
   std::string request;
   EncodePutRequest(parsed.value().database, parsed.value().table,
                    parsed.value().DocumentKey(), record, expected_etag,
                    &request);
-  return network_->Call(name_, master.value(), "espresso.put", request);
+  auto response = network_->Call(name_, master.value(), "espresso.put", request,
+                                 net::CallOptions{&span.context()});
+  span.set_outcome(response.status());
+  return response;
 }
 
 Status Router::DeleteDocument(const std::string& uri) {
+  obs::ScopedSpan span = StartOp("delete");
   auto parsed = ParseUri(uri);
-  if (!parsed.ok()) return parsed.status();
+  if (!parsed.ok()) return span.set_outcome(parsed.status()), parsed.status();
   auto master = RouteTo(parsed.value().database, parsed.value().resource_id);
-  if (!master.ok()) return master.status();
+  if (!master.ok()) return span.set_outcome(master.status()), master.status();
+  span.set_peer(master.value());
   std::string request;
   EncodeGetRequest(parsed.value().database, parsed.value().table,
                    parsed.value().DocumentKey(), &request);
-  return network_->Call(name_, master.value(), "espresso.delete", request)
-      .status();
+  Status s = network_
+                 ->Call(name_, master.value(), "espresso.delete", request,
+                        net::CallOptions{&span.context()})
+                 .status();
+  span.set_outcome(s);
+  return s;
 }
 
 Result<std::vector<std::pair<std::string, avro::DatumPtr>>> Router::Query(
     const std::string& uri) {
+  obs::ScopedSpan span = StartOp("query");
   auto parsed = ParseUri(uri);
-  if (!parsed.ok()) return parsed.status();
+  if (!parsed.ok()) return span.set_outcome(parsed.status()), parsed.status();
   if (parsed.value().query.empty()) {
+    span.set_outcome(Code::kInvalidArgument);
     return Status::InvalidArgument("missing ?query= parameter");
   }
   auto master = RouteTo(parsed.value().database, parsed.value().resource_id);
-  if (!master.ok()) return master.status();
+  if (!master.ok()) return span.set_outcome(master.status()), master.status();
+  span.set_peer(master.value());
   std::string request;
   EncodeQueryRequest(parsed.value().database, parsed.value().table,
                      parsed.value().resource_id, parsed.value().query,
                      &request);
-  auto response =
-      network_->Call(name_, master.value(), "espresso.query", request);
-  if (!response.ok()) return response.status();
+  auto response = network_->Call(name_, master.value(), "espresso.query",
+                                 request, net::CallOptions{&span.context()});
+  if (!response.ok()) {
+    span.set_outcome(response.status());
+    return response.status();
+  }
   std::vector<std::pair<std::string, DocumentRecord>> records;
   Status s = DecodeQueryResponse(response.value(), &records);
-  if (!s.ok()) return s;
+  if (!s.ok()) return span.set_outcome(s), s;
 
   auto latest = registry_->LatestDocumentSchema(parsed.value().database,
                                                 parsed.value().table);
@@ -160,8 +193,10 @@ Result<std::vector<std::pair<std::string, avro::DatumPtr>>> Router::Query(
 Status Router::PostTransaction(const std::string& database,
                                const std::string& resource_id,
                                const std::vector<TxnUpdate>& updates) {
+  obs::ScopedSpan span = StartOp("txn");
   auto master = RouteTo(database, resource_id);
-  if (!master.ok()) return master.status();
+  if (!master.ok()) return span.set_outcome(master.status()), master.status();
+  span.set_peer(master.value());
   std::vector<DocumentUpdate> encoded;
   for (const TxnUpdate& update : updates) {
     DocumentUpdate u;
@@ -173,15 +208,22 @@ Status Router::PostTransaction(const std::string& database,
       auto payload =
           EncodeDatum(database, update.table, *update.document,
                       &u.schema_version);
-      if (!payload.ok()) return payload.status();
+      if (!payload.ok()) {
+        span.set_outcome(payload.status());
+        return payload.status();
+      }
       u.payload = std::move(payload.value());
     }
     encoded.push_back(std::move(u));
   }
   std::string request;
   EncodeTxnRequest(database, resource_id, encoded, &request);
-  return network_->Call(name_, master.value(), "espresso.txn", request)
-      .status();
+  Status s = network_
+                 ->Call(name_, master.value(), "espresso.txn", request,
+                        net::CallOptions{&span.context()})
+                 .status();
+  span.set_outcome(s);
+  return s;
 }
 
 }  // namespace lidi::espresso

@@ -22,6 +22,11 @@ namespace lidi::espresso {
 ///
 /// This class is both the router tier and the client library: applications
 /// call it with URIs and Datums.
+///
+/// Observability: every request runs under a root span
+/// ("espresso.router.<op>") in the network's registry, so the router→storage
+/// hop shows up as a child span on the same trace; request volume is counted
+/// in "espresso.router.requests{op=...}".
 class Router {
  public:
   Router(std::string name, SchemaRegistry* registry,
@@ -29,7 +34,8 @@ class Router {
       : name_(std::move(name)),
         registry_(registry),
         helix_(helix),
-        network_(network) {}
+        network_(network),
+        metrics_(network->metrics()) {}
 
   /// GET /db/table/resource_id[/sub...]: the raw stored record.
   Result<DocumentRecord> GetRecord(const std::string& uri);
@@ -80,10 +86,14 @@ class Router {
                                   const avro::Datum& document,
                                   int* schema_version);
 
+  /// Counts the request and opens the root span for operation `op`.
+  obs::ScopedSpan StartOp(const char* op);
+
   const std::string name_;
   SchemaRegistry* const registry_;
   helix::HelixController* const helix_;
   net::Network* const network_;
+  obs::MetricsRegistry* const metrics_;
 };
 
 }  // namespace lidi::espresso

@@ -63,6 +63,16 @@ Broker::Broker(int id, zk::ZooKeeper* zookeeper, net::Network* network,
       clock_(clock),
       options_(options),
       address_(BrokerAddress(id)) {
+  obs::MetricsRegistry* metrics = network_->metrics();
+  const obs::Labels labels{{"broker", std::to_string(id_)}};
+  fetch_bytes_copied_ = metrics->GetCounter("kafka.fetch.bytes_copied", labels);
+  fetch_bytes_avoided_ =
+      metrics->GetCounter("kafka.fetch.bytes_avoided", labels);
+  fetch_syscalls_ = metrics->GetCounter("kafka.fetch.syscalls", labels);
+  fetch_count_ = metrics->GetCounter("kafka.fetch.count", labels);
+  produce_count_ = metrics->GetCounter("kafka.produce.count", labels);
+  produce_messages_ = metrics->GetCounter("kafka.produce.messages", labels);
+  produce_bytes_ = metrics->GetCounter("kafka.produce.bytes", labels);
   session_ = zookeeper_->CreateSession();
   zookeeper_->CreateRecursive(session_, options_.zk_root + "/brokers/ids", "",
                               zk::CreateMode::kPersistent);
@@ -134,7 +144,11 @@ Result<int64_t> Broker::Produce(const std::string& topic, int partition,
   }
   auto count = CountMessages(message_set);
   if (!count.ok()) return count.status();
-  return log->Append(message_set, static_cast<int>(count.value()));
+  int64_t offset = log->Append(message_set, static_cast<int>(count.value()));
+  produce_count_->Increment();
+  produce_messages_->Add(count.value());
+  produce_bytes_->Add(static_cast<int64_t>(message_set.size()));
+  return offset;
 }
 
 Result<PinnedSlice> Broker::FetchPinned(const std::string& topic,
@@ -157,11 +171,10 @@ Result<PinnedSlice> Broker::FetchPinned(const std::string& topic,
     // relative to the four-copy path, two buffer copies are avoided
     // outright and two more are offloaded to hardware. A read that had to
     // gather across chunk boundaries did memcpy those bytes once; count it.
-    std::lock_guard<std::mutex> lock(mu_);
-    transfer_stats_.fetches++;
-    transfer_stats_.bytes_copied += gathered;
-    transfer_stats_.bytes_avoided += 4 * n;
-    transfer_stats_.syscalls += 1;
+    fetch_count_->Increment();
+    fetch_bytes_copied_->Add(gathered);
+    fetch_bytes_avoided_->Add(4 * n);
+    fetch_syscalls_->Add(1);
     return data;
   }
   // Four-copy path: perform the buffer copies for real so benches observe
@@ -170,12 +183,9 @@ Result<PinnedSlice> Broker::FetchPinned(const std::string& topic,
   std::string app_buffer(page_cache);
   std::string kernel_buffer(app_buffer);
   std::string socket_buffer(kernel_buffer);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    transfer_stats_.fetches++;
-    transfer_stats_.bytes_copied += 4 * n + gathered;
-    transfer_stats_.syscalls += 2;
-  }
+  fetch_count_->Increment();
+  fetch_bytes_copied_->Add(4 * n + gathered);
+  fetch_syscalls_->Add(2);
   return PinnedSlice::Own(std::move(socket_buffer));
 }
 
@@ -199,8 +209,12 @@ int Broker::EnforceRetention() {
 }
 
 TransferStats Broker::transfer_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return transfer_stats_;
+  TransferStats stats;
+  stats.bytes_copied = fetch_bytes_copied_->Value();
+  stats.bytes_avoided = fetch_bytes_avoided_->Value();
+  stats.syscalls = fetch_syscalls_->Value();
+  stats.fetches = fetch_count_->Value();
+  return stats;
 }
 
 Result<std::string> Broker::HandleProduce(Slice request) {

@@ -24,6 +24,10 @@ namespace lidi::kafka {
 /// in bytes_avoided rather than bytes_copied.
 enum class TransferMode { kFourCopy, kSendfile };
 
+/// Copy accounting for the fetch path. A *view* over the broker's registry
+/// instruments ("kafka.fetch.bytes_copied{broker=...}" et al.):
+/// transfer_stats() materializes it, and the identical numbers appear in
+/// the registry's Snapshot().
 struct TransferStats {
   int64_t bytes_copied = 0;   // real memcpy traffic incurred serving fetches
   int64_t bytes_avoided = 0;  // copy traffic the four-copy path would have
@@ -106,9 +110,18 @@ class Broker {
   const net::Address address_;
   zk::SessionId session_;
 
+  /// Registry instruments (from network->metrics()); the stats hot path is
+  /// relaxed atomics, no broker mutex.
+  obs::Counter* fetch_bytes_copied_;
+  obs::Counter* fetch_bytes_avoided_;
+  obs::Counter* fetch_syscalls_;
+  obs::Counter* fetch_count_;
+  obs::Counter* produce_count_;
+  obs::Counter* produce_messages_;
+  obs::Counter* produce_bytes_;
+
   mutable std::mutex mu_;
   std::map<std::pair<std::string, int>, std::unique_ptr<PartitionLog>> logs_;
-  TransferStats transfer_stats_;
 };
 
 /// Canonical broker address on the simulated network.

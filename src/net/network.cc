@@ -1,6 +1,50 @@
 #include "net/network.h"
 
+#include <algorithm>
+
 namespace lidi::net {
+
+namespace {
+
+/// Ambient trace context for nested calls: handlers run synchronously in the
+/// caller's thread, so a thread-local is exactly the right carrier. While a
+/// handler runs, the ambient context is the span of the call that invoked
+/// it; any call the handler places without explicit CallOptions::trace
+/// attaches there (and inherits the deadline budget). Zero trace_id = none.
+thread_local obs::TraceContext t_ambient{};
+
+/// RAII swap of the ambient context around a handler invocation.
+class AmbientScope {
+ public:
+  explicit AmbientScope(const obs::TraceContext& ctx) : saved_(t_ambient) {
+    t_ambient = ctx;
+  }
+  ~AmbientScope() { t_ambient = saved_; }
+
+ private:
+  obs::TraceContext saved_;
+};
+
+/// The tighter of two absolute deadlines (0 = none).
+int64_t MinDeadline(int64_t a, int64_t b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return std::min(a, b);
+}
+
+}  // namespace
+
+Network::Network(uint64_t fault_seed, obs::MetricsRegistry* metrics,
+                 const Clock* clock)
+    : clock_(clock != nullptr ? clock : SystemClock::Default()),
+      rng_(fault_seed) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>(clock_);
+    metrics_ = owned_metrics_.get();
+  } else {
+    metrics_ = metrics;
+  }
+}
 
 void Network::Register(const Address& addr, const std::string& method,
                        Handler handler) {
@@ -19,14 +63,30 @@ void Network::Unregister(const Address& addr) {
   handlers_.erase(addr);
 }
 
+Network::EndpointInstruments* Network::InstrumentsLocked(const Address& addr) {
+  auto it = stats_.find(addr);
+  if (it != stats_.end()) return &it->second;
+  EndpointInstruments inst;
+  const obs::Labels labels{{"endpoint", addr}};
+  inst.calls_received = metrics_->GetCounter("net.calls_received", labels);
+  inst.calls_sent = metrics_->GetCounter("net.calls_sent", labels);
+  inst.bytes_received = metrics_->GetCounter("net.bytes_received", labels);
+  inst.bytes_sent = metrics_->GetCounter("net.bytes_sent", labels);
+  return &stats_.emplace(addr, inst).first->second;
+}
+
 Status Network::Route(const Address& from, const Address& to,
                       const std::string& method, Slice request,
-                      Endpoint* out) {
+                      int64_t deadline_micros, Endpoint* out) {
   std::lock_guard<std::mutex> lock(mu_);
   total_calls_.fetch_add(1, std::memory_order_relaxed);
-  stats_[from].calls_sent++;
-  stats_[from].bytes_sent += static_cast<int64_t>(request.size());
+  EndpointInstruments* sender = InstrumentsLocked(from);
+  sender->calls_sent->Increment();
+  sender->bytes_sent->Add(static_cast<int64_t>(request.size()));
 
+  if (deadline_micros != 0 && clock_->NowMicros() > deadline_micros) {
+    return Status::Timeout("deadline budget exhausted calling " + to);
+  }
   if (down_.count(to) > 0) {
     return Status::Unavailable("node down: " + to);
   }
@@ -50,40 +110,107 @@ Status Network::Route(const Address& from, const Address& to,
     return Status::NotFound("no method " + method + " at " + to);
   }
   *out = method_it->second;
-  stats_[to].calls_received++;
-  stats_[to].bytes_received += static_cast<int64_t>(request.size());
+  EndpointInstruments* receiver = InstrumentsLocked(to);
+  receiver->calls_received->Increment();
+  receiver->bytes_received->Add(static_cast<int64_t>(request.size()));
   return Status::OK();
 }
 
-Result<std::string> Network::Call(const Address& from, const Address& to,
-                                  const std::string& method, Slice request) {
+Result<Network::RawResponse> Network::Dispatch(const Address& from,
+                                               const Address& to,
+                                               const std::string& method,
+                                               Slice request,
+                                               const CallOptions& options) {
+  // Resolve the span's parent: explicit trace option, else the ambient
+  // context of the enclosing handler, else a fresh root trace.
+  const obs::TraceContext* parent =
+      options.trace != nullptr
+          ? options.trace
+          : (t_ambient.trace_id != 0 ? &t_ambient : nullptr);
+
+  obs::SpanRecord span;
+  span.trace_id = parent != nullptr ? parent->trace_id : obs::NextTraceId();
+  span.parent_span_id = parent != nullptr ? parent->span_id : 0;
+  span.span_id = obs::NextSpanId();
+  span.name = method;
+  span.peer = to;
+  span.start_micros = clock_->NowMicros();
+  span.bytes_sent = static_cast<int64_t>(request.size());
+
+  const int64_t deadline = MinDeadline(
+      options.deadline_micros,
+      parent != nullptr ? parent->deadline_micros : 0);
+
+  obs::LatencyHistogram* latency;
   Endpoint endpoint;
-  Status s = Route(from, to, method, request, &endpoint);
-  if (!s.ok()) return s;
-  // Invoke outside the lock so handlers can place nested calls.
-  if (endpoint.payload_handler) {
-    auto pinned = endpoint.payload_handler(request);
-    if (!pinned.ok()) return pinned.status();
-    return pinned.value().ToString();  // owned-string caller: one copy
+  Status s = Route(from, to, method, request, deadline, &endpoint);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = method_latency_.try_emplace(method, nullptr);
+    if (inserted) {
+      it->second =
+          metrics_->GetHistogram("net.call_micros", {{"method", method}});
+    }
+    latency = it->second;
   }
-  return endpoint.handler(request);
+
+  RawResponse response;
+  if (s.ok()) {
+    // Invoke outside the lock so handlers can place nested calls; those
+    // calls pick up this span as their parent via the ambient context.
+    AmbientScope ambient(
+        obs::TraceContext{span.trace_id, span.span_id, deadline});
+    if (endpoint.payload_handler) {
+      auto pinned = endpoint.payload_handler(request);
+      if (pinned.ok()) {
+        response.is_pinned = true;
+        response.view = std::move(pinned.value());
+      } else {
+        s = pinned.status();
+      }
+    } else {
+      auto owned = endpoint.handler(request);
+      if (owned.ok()) {
+        response.owned = std::move(owned.value());
+      } else {
+        s = owned.status();
+      }
+    }
+  }
+
+  span.outcome = s.code();
+  span.bytes_received = s.ok() ? static_cast<int64_t>(response.size()) : 0;
+  span.duration_micros = clock_->NowMicros() - span.start_micros;
+  latency->Record(span.duration_micros);
+  metrics_->RecordSpan(std::move(span));
+
+  if (!s.ok()) return s;
+  return response;
+}
+
+Result<std::string> Network::Call(const Address& from, const Address& to,
+                                  const std::string& method, Slice request,
+                                  const CallOptions& options) {
+  auto response = Dispatch(from, to, method, request, options);
+  if (!response.ok()) return response.status();
+  if (response.value().is_pinned) {
+    return response.value().view.ToString();  // owned-string caller: one copy
+  }
+  return std::move(response.value().owned);
 }
 
 Result<PinnedSlice> Network::CallPayload(const Address& from,
                                          const Address& to,
                                          const std::string& method,
-                                         Slice request) {
-  Endpoint endpoint;
-  Status s = Route(from, to, method, request, &endpoint);
-  if (!s.ok()) return s;
-  // Invoke outside the lock so handlers can place nested calls.
-  if (endpoint.payload_handler) {
-    return endpoint.payload_handler(request);
-  }
-  auto response = endpoint.handler(request);
+                                         Slice request,
+                                         const CallOptions& options) {
+  auto response = Dispatch(from, to, method, request, options);
   if (!response.ok()) return response.status();
+  if (response.value().is_pinned) {
+    return std::move(response.value().view);
+  }
   // Move the handler's owned string into a pinned buffer: no byte copy.
-  return PinnedSlice::Own(std::move(response.value()));
+  return PinnedSlice::Own(std::move(response.value().owned));
 }
 
 void Network::SetNodeDown(const Address& addr) {
@@ -121,12 +248,23 @@ void Network::Heal() {
 EndpointStats Network::GetStats(const Address& addr) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = stats_.find(addr);
-  return it == stats_.end() ? EndpointStats{} : it->second;
+  if (it == stats_.end()) return EndpointStats{};
+  EndpointStats out;
+  out.calls_received = it->second.calls_received->Value();
+  out.calls_sent = it->second.calls_sent->Value();
+  out.bytes_received = it->second.bytes_received->Value();
+  out.bytes_sent = it->second.bytes_sent->Value();
+  return out;
 }
 
 void Network::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
-  stats_.clear();
+  for (auto& [addr, inst] : stats_) {
+    inst.calls_received->Reset();
+    inst.calls_sent->Reset();
+    inst.bytes_received->Reset();
+    inst.bytes_sent->Reset();
+  }
   total_calls_ = 0;
 }
 

@@ -12,9 +12,11 @@
 #include <vector>
 
 #include "common/buffer.h"
+#include "common/clock.h"
 #include "common/random.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace lidi::net {
 
@@ -34,9 +36,23 @@ using Handler = std::function<Result<std::string>(Slice request)>;
 /// (V.B): the broker hands the "socket" its file-channel bytes directly.
 using PayloadHandler = std::function<Result<PinnedSlice>(Slice request)>;
 
+/// Per-call options: the caller's trace context (the RPC is recorded as a
+/// span under it, and nested calls the handler places inherit it) and an
+/// absolute deadline in the transport clock's microseconds (0 = none; the
+/// tighter of this and the trace's own deadline budget wins).
+struct CallOptions {
+  obs::TraceContext* trace = nullptr;
+  int64_t deadline_micros = 0;
+};
+
 /// Counters describing traffic through one endpoint. The Databus fan-out
 /// bench (E9) uses the source database's counters to show consumer count
 /// does not increase source load.
+///
+/// This struct is a *view*: the counters live in the Network's
+/// obs::MetricsRegistry ("net.calls_sent{endpoint=...}" et al.) and
+/// GetStats materializes them, so the same numbers appear in
+/// MetricsRegistry::Snapshot() and here.
 struct EndpointStats {
   int64_t calls_received = 0;
   int64_t calls_sent = 0;
@@ -54,13 +70,28 @@ struct EndpointStats {
 /// Two call paths exist per method: the owned-string path (Call/Register)
 /// and the payload-view path (CallPayload/RegisterPayload). Either caller
 /// works against either handler kind; the transport adapts, copying only
-/// when an owned string is demanded from a pinned view or vice versa.
+/// when an owned string is demanded from a pinned view or vice versa. Both
+/// are thin wrappers over one private Dispatch path, so fault injection,
+/// stats, deadline enforcement, and span recording exist exactly once.
+///
+/// Observability: the Network owns (or is handed) the obs::MetricsRegistry
+/// that every component talking through it uses by default — pass one
+/// registry to the Network and the whole deployment exports through a single
+/// Snapshot(). Each call records a span; handlers that place nested calls
+/// get those recorded under the caller's span automatically (an ambient
+/// per-thread trace context, since handlers run in the caller's thread).
 class Network {
  public:
-  explicit Network(uint64_t fault_seed = 42) : rng_(fault_seed) {}
+  explicit Network(uint64_t fault_seed = 42,
+                   obs::MetricsRegistry* metrics = nullptr,
+                   const Clock* clock = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+
+  /// The registry RPC metrics and spans land in. Components default to this
+  /// registry for their own instruments, unifying export.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
   /// Registers a handler for (address, method). Re-registering replaces.
   void Register(const Address& addr, const std::string& method, Handler handler);
@@ -76,16 +107,27 @@ class Network {
   /// Invokes `method` on `to`. Returns:
   ///  - Unavailable if the destination is down, unreachable (partition),
   ///    or the fault injector dropped the message;
+  ///  - Timeout if the call's deadline budget is already exhausted;
   ///  - NotFound if no handler is registered;
   ///  - otherwise the handler's result.
   Result<std::string> Call(const Address& from, const Address& to,
-                           const std::string& method, Slice request);
+                           const std::string& method, Slice request,
+                           const CallOptions& options);
+  Result<std::string> Call(const Address& from, const Address& to,
+                           const std::string& method, Slice request) {
+    return Call(from, to, method, request, CallOptions{});
+  }
 
   /// Zero-copy variant of Call: the response payload is pinned, not copied.
   /// A string handler's response is wrapped (moved) into a pinned buffer,
   /// so this path never copies payload bytes regardless of handler kind.
   Result<PinnedSlice> CallPayload(const Address& from, const Address& to,
-                                  const std::string& method, Slice request);
+                                  const std::string& method, Slice request,
+                                  const CallOptions& options);
+  Result<PinnedSlice> CallPayload(const Address& from, const Address& to,
+                                  const std::string& method, Slice request) {
+    return CallPayload(from, to, method, request, CallOptions{});
+  }
 
   // --- fault injection ---
 
@@ -116,11 +158,46 @@ class Network {
     PayloadHandler payload_handler;
   };
 
-  /// Fault-injection and stats bookkeeping shared by both call paths.
-  /// Returns a non-OK status if the call must fail, otherwise copies the
-  /// endpoint entry into *out.
+  /// Cached per-endpoint registry counters (the backing store of
+  /// EndpointStats).
+  struct EndpointInstruments {
+    obs::Counter* calls_received = nullptr;
+    obs::Counter* calls_sent = nullptr;
+    obs::Counter* bytes_received = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+  };
+
+  /// A handler's response before the caller chose its representation:
+  /// exactly one of `owned` (string handler) or `view` (payload handler) is
+  /// meaningful. Call/CallPayload convert — each copying only in the one
+  /// cross-kind direction it always copied in.
+  struct RawResponse {
+    bool is_pinned = false;
+    std::string owned;
+    PinnedSlice view;
+
+    size_t size() const { return is_pinned ? view.size() : owned.size(); }
+  };
+
+  /// The single dispatch path: deadline budget, fault injection, endpoint
+  /// stats, handler invocation, and span recording all live here and only
+  /// here.
+  Result<RawResponse> Dispatch(const Address& from, const Address& to,
+                               const std::string& method, Slice request,
+                               const CallOptions& options);
+
+  /// Fault-injection and stats bookkeeping (under mu_). Returns a non-OK
+  /// status if the call must fail, otherwise copies the endpoint entry into
+  /// *out.
   Status Route(const Address& from, const Address& to,
-               const std::string& method, Slice request, Endpoint* out);
+               const std::string& method, Slice request,
+               int64_t deadline_micros, Endpoint* out);
+
+  EndpointInstruments* InstrumentsLocked(const Address& addr);
+
+  obs::MetricsRegistry* metrics_;                    // never null
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  const Clock* const clock_;
 
   mutable std::mutex mu_;
   std::map<Address, std::map<std::string, Endpoint>> handlers_;
@@ -129,7 +206,8 @@ class Network {
   bool partitioned_ = false;
   double drop_probability_ = 0;
   Random rng_;
-  std::map<Address, EndpointStats> stats_;
+  std::map<Address, EndpointInstruments> stats_;
+  std::map<std::string, obs::LatencyHistogram*> method_latency_;  // cache
   std::atomic<int64_t> total_calls_{0};
 };
 

@@ -1,0 +1,299 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace lidi::obs {
+
+std::string FullName(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name;
+  out += '{';
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += '=';
+    out += labels[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+// --- Counter ---
+
+size_t Counter::ShardIndex() {
+  // Threads get stable, distinct shard slots round-robin; with more threads
+  // than shards the hot path degrades to shared-but-still-atomic adds.
+  static std::atomic<size_t> next{0};
+  static thread_local size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+
+int64_t Counter::Value() const {
+  int64_t sum = 0;
+  for (const Shard& shard : shards_) {
+    sum += shard.v.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Counter::Reset() {
+  for (Shard& shard : shards_) shard.v.store(0, std::memory_order_relaxed);
+}
+
+// --- HistogramBuckets ---
+
+namespace {
+
+/// 1-2-5 ladder: 1, 2, 5, 10, 20, 50, ..., 1e9 microseconds (~17 minutes),
+/// then overflow. 30 bounded buckets.
+constexpr std::array<int64_t, HistogramBuckets::kCount - 1> kUpperBounds = [] {
+  std::array<int64_t, HistogramBuckets::kCount - 1> bounds{};
+  int64_t decade = 1;
+  for (int i = 0; i + 3 <= HistogramBuckets::kCount - 1; i += 3) {
+    bounds[i] = decade;
+    bounds[i + 1] = 2 * decade;
+    bounds[i + 2] = 5 * decade;
+    decade *= 10;
+  }
+  return bounds;
+}();
+
+}  // namespace
+
+int64_t HistogramBuckets::UpperBound(int i) {
+  if (i < 0) return 0;
+  if (i >= kCount - 1) return INT64_MAX;
+  return kUpperBounds[i];
+}
+
+int HistogramBuckets::BucketFor(int64_t micros) {
+  auto it = std::lower_bound(kUpperBounds.begin(), kUpperBounds.end(), micros);
+  return static_cast<int>(it - kUpperBounds.begin());
+}
+
+// --- LatencyHistogram ---
+
+void LatencyHistogram::Record(int64_t micros) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  if (micros < 0) micros = 0;
+  buckets_[HistogramBuckets::BucketFor(micros)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(micros, std::memory_order_relaxed);
+  int64_t seen = max_.load(std::memory_order_relaxed);
+  while (micros > seen &&
+         !max_.compare_exchange_weak(seen, micros,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < HistogramBuckets::kCount; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // The bucket totals may disagree slightly with count under concurrent
+  // recording; rank against the bucket sum for internal consistency.
+  int64_t total = 0;
+  for (int64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (int i = 0; i < HistogramBuckets::kCount; ++i) {
+    if (buckets[i] == 0) continue;
+    const int64_t before = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Interpolate inside bucket i. The overflow bucket has no upper bound;
+    // use the exact max. Clamp every estimate to max so p100 is honest.
+    const double lo = static_cast<double>(HistogramBuckets::UpperBound(i - 1));
+    const double hi =
+        i == HistogramBuckets::kCount - 1
+            ? static_cast<double>(max)
+            : static_cast<double>(HistogramBuckets::UpperBound(i));
+    const double fraction =
+        (rank - static_cast<double>(before)) / static_cast<double>(buckets[i]);
+    const double estimate = lo + fraction * (hi - lo);
+    return std::min(estimate, static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
+// --- MetricsRegistry ---
+
+MetricsRegistry::Entry* MetricsRegistry::GetEntry(InstrumentKind kind,
+                                                  const std::string& name,
+                                                  Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      instruments_.try_emplace({name, std::move(labels)});
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.kind = kind;
+    switch (kind) {
+      case InstrumentKind::kCounter:
+        entry.counter.reset(new Counter(&enabled_));
+        break;
+      case InstrumentKind::kGauge:
+        entry.gauge.reset(new Gauge(&enabled_));
+        break;
+      case InstrumentKind::kHistogram:
+        entry.histogram.reset(new LatencyHistogram(&enabled_));
+        break;
+    }
+  }
+  return entry.kind == kind ? &entry : nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, Labels labels) {
+  Entry* entry = GetEntry(InstrumentKind::kCounter, name, std::move(labels));
+  return entry == nullptr ? nullptr : entry->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, Labels labels) {
+  Entry* entry = GetEntry(InstrumentKind::kGauge, name, std::move(labels));
+  return entry == nullptr ? nullptr : entry->gauge.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                Labels labels) {
+  Entry* entry = GetEntry(InstrumentKind::kHistogram, name, std::move(labels));
+  return entry == nullptr ? nullptr : entry->histogram.get();
+}
+
+void MetricsRegistry::RecordSpan(SpanRecord span) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(span_mu_);
+  spans_.push_back(std::move(span));
+  while (spans_.size() > span_capacity_) spans_.pop_front();
+}
+
+void MetricsRegistry::set_span_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(span_mu_);
+  span_capacity_ = capacity;
+  while (spans_.size() > span_capacity_) spans_.pop_front();
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.instruments.reserve(instruments_.size());
+    for (const auto& [key, entry] : instruments_) {
+      InstrumentSnapshot is;
+      is.name = key.first;
+      is.labels = key.second;
+      is.kind = entry.kind;
+      switch (entry.kind) {
+        case InstrumentKind::kCounter:
+          is.value = entry.counter->Value();
+          break;
+        case InstrumentKind::kGauge:
+          is.value = entry.gauge->Value();
+          break;
+        case InstrumentKind::kHistogram:
+          is.hist = entry.histogram->Snapshot();
+          is.value = is.hist.count;
+          break;
+      }
+      snap.instruments.push_back(std::move(is));
+    }
+  }
+  // The map iterates in (name, labels) order already — the snapshot is
+  // stable by construction; keep the explicit sort as the documented
+  // contract rather than an accident of the container.
+  std::sort(snap.instruments.begin(), snap.instruments.end(),
+            [](const InstrumentSnapshot& a, const InstrumentSnapshot& b) {
+              return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
+            });
+  {
+    std::lock_guard<std::mutex> lock(span_mu_);
+    snap.spans.assign(spans_.begin(), spans_.end());
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, entry] : instruments_) {
+      switch (entry.kind) {
+        case InstrumentKind::kCounter:
+          entry.counter->Reset();
+          break;
+        case InstrumentKind::kGauge:
+          entry.gauge->Reset();
+          break;
+        case InstrumentKind::kHistogram:
+          entry.histogram->Reset();
+          break;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(span_mu_);
+  spans_.clear();
+}
+
+const InstrumentSnapshot* RegistrySnapshot::Find(const std::string& name,
+                                                 const Labels& labels) const {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const InstrumentSnapshot& is : instruments) {
+    if (is.name == name && is.labels == sorted) return &is;
+  }
+  return nullptr;
+}
+
+int64_t RegistrySnapshot::Value(const std::string& name,
+                                const Labels& labels) const {
+  const InstrumentSnapshot* is = Find(name, labels);
+  return is == nullptr ? 0 : is->value;
+}
+
+// --- ScopedSpan ---
+
+ScopedSpan::ScopedSpan(MetricsRegistry* registry, std::string name,
+                       const TraceContext* parent)
+    : registry_(registry) {
+  if (registry_ == nullptr) return;
+  record_.name = std::move(name);
+  if (parent != nullptr && parent->trace_id != 0) {
+    record_.trace_id = parent->trace_id;
+    record_.parent_span_id = parent->span_id;
+    context_.deadline_micros = parent->deadline_micros;
+  } else {
+    record_.trace_id = NextTraceId();
+  }
+  record_.span_id = NextSpanId();
+  context_.trace_id = record_.trace_id;
+  context_.span_id = record_.span_id;
+  record_.start_micros = registry_->clock()->NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (registry_ == nullptr) return;
+  record_.duration_micros =
+      registry_->clock()->NowMicros() - record_.start_micros;
+  registry_->RecordSpan(std::move(record_));
+}
+
+}  // namespace lidi::obs

@@ -1,0 +1,97 @@
+#include "obs/render.h"
+
+#include <cstdio>
+
+namespace lidi::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+}  // namespace
+
+std::string RenderText(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const InstrumentSnapshot& is : snapshot.instruments) {
+    out += is.full_name();
+    switch (is.kind) {
+      case InstrumentKind::kCounter:
+        out += " = " + std::to_string(is.value) + " (counter)\n";
+        break;
+      case InstrumentKind::kGauge:
+        out += " = " + std::to_string(is.value) + " (gauge)\n";
+        break;
+      case InstrumentKind::kHistogram: {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      " n=%lld avg=%.1fus p50=%.0fus p95=%.0fus p99=%.0fus "
+                      "max=%lldus\n",
+                      static_cast<long long>(is.hist.count),
+                      is.hist.Average(), is.hist.Percentile(50),
+                      is.hist.Percentile(95), is.hist.Percentile(99),
+                      static_cast<long long>(is.hist.max));
+        out += buf;
+        break;
+      }
+    }
+  }
+  if (!snapshot.spans.empty()) {
+    out += "--- spans (" + std::to_string(snapshot.spans.size()) +
+           " most recent) ---\n";
+    for (const SpanRecord& span : snapshot.spans) {
+      out += span.ToString();
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const RegistrySnapshot& snapshot,
+                       const std::string& experiment) {
+  std::string out;
+  for (const InstrumentSnapshot& is : snapshot.instruments) {
+    out += "{\"experiment\": \"";
+    AppendJsonEscaped(&out, experiment);
+    out += "\", \"instrument\": \"";
+    AppendJsonEscaped(&out, is.name);
+    out += '"';
+    for (const auto& [key, value] : is.labels) {
+      out += ", \"";
+      AppendJsonEscaped(&out, key);
+      out += "\": \"";
+      AppendJsonEscaped(&out, value);
+      out += '"';
+    }
+    if (is.kind == InstrumentKind::kHistogram) {
+      out += ", \"count\": " + std::to_string(is.hist.count);
+      out += ", \"avg_us\": " + FormatDouble(is.hist.Average());
+      out += ", \"p50_us\": " + FormatDouble(is.hist.Percentile(50));
+      out += ", \"p95_us\": " + FormatDouble(is.hist.Percentile(95));
+      out += ", \"p99_us\": " + FormatDouble(is.hist.Percentile(99));
+      out += ", \"max_us\": " + std::to_string(is.hist.max);
+    } else {
+      out += ", \"value\": " + std::to_string(is.value);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string RegistrySnapshot::ToText() const { return RenderText(*this); }
+
+std::string RegistrySnapshot::ToJson(const std::string& experiment) const {
+  return RenderJson(*this, experiment);
+}
+
+}  // namespace lidi::obs

@@ -1,0 +1,25 @@
+#ifndef LIDI_OBS_RENDER_H_
+#define LIDI_OBS_RENDER_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace lidi::obs {
+
+/// Human-readable dump: one instrument per line
+/// ("name{labels} = value" / histogram summary lines), followed by the
+/// buffered spans. Stable across runs given the same instrument values.
+std::string RenderText(const RegistrySnapshot& snapshot);
+
+/// Machine-readable dump in the LIDI_BENCH_JSON row shape: one JSON object
+/// per line, `{"experiment": <experiment>, "instrument": <name>, <labels...>,
+/// <metrics...>}`. Bench harnesses append this next to their own JsonRow
+/// output so the registry is the single source of truth for reported
+/// numbers. Spans are not emitted (they are per-request, not aggregate).
+std::string RenderJson(const RegistrySnapshot& snapshot,
+                       const std::string& experiment);
+
+}  // namespace lidi::obs
+
+#endif  // LIDI_OBS_RENDER_H_

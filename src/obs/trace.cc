@@ -1,0 +1,48 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace lidi::obs {
+
+namespace {
+
+/// SplitMix64 finalizer: spreads sequential ids across the 64-bit space so
+/// trace ids from different sources are unlikely to collide visually.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::atomic<uint64_t> g_trace_counter{1};
+std::atomic<uint64_t> g_span_counter{1};
+
+}  // namespace
+
+uint64_t NextTraceId() {
+  return Mix(g_trace_counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+uint64_t NextSpanId() {
+  // Sequential (not mixed): span ids only need process uniqueness, and the
+  // ordering makes rendered traces readable.
+  return g_span_counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string SpanRecord::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "trace=%llx span=%llu<-%llu %s%s%s %lldus %s %lldB/%lldB",
+                static_cast<unsigned long long>(trace_id),
+                static_cast<unsigned long long>(span_id),
+                static_cast<unsigned long long>(parent_span_id), name.c_str(),
+                peer.empty() ? "" : " peer=", peer.c_str(),
+                static_cast<long long>(duration_micros), CodeName(outcome),
+                static_cast<long long>(bytes_sent),
+                static_cast<long long>(bytes_received));
+  return buf;
+}
+
+}  // namespace lidi::obs

@@ -1,0 +1,57 @@
+#ifndef LIDI_OBS_TRACE_H_
+#define LIDI_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace lidi::obs {
+
+/// Per-request trace state carried across RPC hops (paper-era Dapper-style
+/// tracing, scaled down to the simulated transport). A caller creates a root
+/// context via MetricsRegistry::StartTrace(), threads it through
+/// net::CallOptions, and every hop the request takes is recorded as a
+/// SpanRecord under the caller's span.
+///
+/// `deadline_micros` is the request's absolute deadline budget (0 = none,
+/// measured against the clock the transport was built with). It propagates
+/// to nested calls, so a hop that inherits an exhausted budget fails fast
+/// with Timeout instead of doing useless downstream work.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  // the current (parent) span new hops attach under
+  int64_t deadline_micros = 0;
+};
+
+/// One finished span: a named, timed unit of work inside a trace — an RPC
+/// hop, a quorum operation, a relay poll. Duration, outcome code, and byte
+/// counts make p99/throughput claims reconstructible from the span stream
+/// alone.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0 = root span
+  std::string name;             // e.g. "v.get", "voldemort.put", "kafka.fetch"
+  std::string peer;             // destination address, if the span is an RPC
+  int64_t start_micros = 0;
+  int64_t duration_micros = 0;
+  Code outcome = Code::kOk;
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+
+  /// One-line rendering, e.g.
+  /// "trace=1a span=3<-2 v.get peer=voldemort-node-0 4us OK 31B/58B".
+  std::string ToString() const;
+};
+
+/// Process-unique trace-id source (registry-independent so ids stay unique
+/// even when several registries coexist, e.g. one per Network in tests).
+uint64_t NextTraceId();
+
+/// Process-unique span-id source. Span id 0 is reserved for "no parent".
+uint64_t NextSpanId();
+
+}  // namespace lidi::obs
+
+#endif  // LIDI_OBS_TRACE_H_

@@ -22,13 +22,33 @@ namespace {
 class LogEngineImpl : public LogStructuredEngine {
  public:
   explicit LogEngineImpl(const LogEngineOptions& options) : options_(options) {
+    if (options_.metrics == nullptr) {
+      owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    }
+    obs::MetricsRegistry* metrics =
+        options_.metrics != nullptr ? options_.metrics : owned_metrics_.get();
+    obs::Labels labels;
+    if (!options_.metrics_scope.empty()) {
+      labels.emplace_back("store", options_.metrics_scope);
+    }
+    live_keys_ = metrics->GetGauge("storage.live_keys", labels);
+    segment_count_ = metrics->GetGauge("storage.segments", labels);
+    total_bytes_gauge_ = metrics->GetGauge("storage.total_bytes", labels);
+    dead_bytes_gauge_ = metrics->GetGauge("storage.dead_bytes", labels);
+    compactions_counter_ = metrics->GetCounter("storage.compactions", labels);
     if (!options_.data_dir.empty()) {
       RecoverFromDisk();
     }
     if (segments_.empty()) segments_.emplace_back();
+    UpdateGaugesLocked();
   }
 
   std::string name() const override { return "logstructured"; }
+
+  obs::MetricsRegistry* metrics() const override {
+    return options_.metrics != nullptr ? options_.metrics
+                                       : owned_metrics_.get();
+  }
 
   Status Get(Slice key, std::string* value) const override {
     std::lock_guard<std::mutex> lock(mu_);
@@ -41,6 +61,7 @@ class LogEngineImpl : public LogStructuredEngine {
     std::lock_guard<std::mutex> lock(mu_);
     AppendLocked(key, value, /*tombstone=*/false);
     MaybeCompactLocked();
+    UpdateGaugesLocked();
     return Status::OK();
   }
 
@@ -50,6 +71,7 @@ class LogEngineImpl : public LogStructuredEngine {
     if (it == index_.end()) return Status::OK();
     AppendLocked(key, Slice(), /*tombstone=*/true);
     MaybeCompactLocked();
+    UpdateGaugesLocked();
     return Status::OK();
   }
 
@@ -77,21 +99,22 @@ class LogEngineImpl : public LogStructuredEngine {
   }
 
   LogEngineStats GetStats() const override {
+    // The registry instruments are the source of truth; this struct is the
+    // legacy-shaped view of them.
     std::lock_guard<std::mutex> lock(mu_);
     LogEngineStats stats;
-    stats.live_keys = static_cast<int64_t>(index_.size());
-    stats.segments = static_cast<int64_t>(segments_.size());
-    for (const auto& seg : segments_) {
-      stats.total_bytes += static_cast<int64_t>(seg.size());
-    }
-    stats.dead_bytes = dead_bytes_;
-    stats.compactions = compactions_;
+    stats.live_keys = live_keys_->Value();
+    stats.segments = segment_count_->Value();
+    stats.total_bytes = total_bytes_gauge_->Value();
+    stats.dead_bytes = dead_bytes_gauge_->Value();
+    stats.compactions = compactions_counter_->Value();
     return stats;
   }
 
   void CompactNow() override {
     std::lock_guard<std::mutex> lock(mu_);
     CompactLocked();
+    UpdateGaugesLocked();
   }
 
   Status VerifyChecksums() const override {
@@ -269,6 +292,18 @@ class LogEngineImpl : public LogStructuredEngine {
     return Status::OK();
   }
 
+  /// Mirrors the engine's state into its registry gauges (counters for
+  /// monotone events are incremented at the event site). Called after every
+  /// mutation, so Snapshot() and GetStats never disagree.
+  void UpdateGaugesLocked() {
+    live_keys_->Set(static_cast<int64_t>(index_.size()));
+    segment_count_->Set(static_cast<int64_t>(segments_.size()));
+    int64_t total = 0;
+    for (const auto& seg : segments_) total += static_cast<int64_t>(seg.size());
+    total_bytes_gauge_->Set(total);
+    dead_bytes_gauge_->Set(dead_bytes_);
+  }
+
   void MaybeCompactLocked() {
     int64_t total = 0;
     for (const auto& seg : segments_) total += static_cast<int64_t>(seg.size());
@@ -286,7 +321,7 @@ class LogEngineImpl : public LogStructuredEngine {
     segments_.emplace_back();
     index_.clear();
     dead_bytes_ = 0;
-    ++compactions_;
+    compactions_counter_->Increment();
     if (!options_.data_dir.empty()) {
       // Compaction rewrites everything: drop the old segment files.
       for (size_t i = 0; i < old_segments.size(); ++i) {
@@ -311,12 +346,17 @@ class LogEngineImpl : public LogStructuredEngine {
   }
 
   const LogEngineOptions options_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Gauge* live_keys_ = nullptr;
+  obs::Gauge* segment_count_ = nullptr;
+  obs::Gauge* total_bytes_gauge_ = nullptr;
+  obs::Gauge* dead_bytes_gauge_ = nullptr;
+  obs::Counter* compactions_counter_ = nullptr;
   mutable std::mutex mu_;
   std::vector<std::string> segments_;
   std::vector<int64_t> persisted_bytes_;  // per segment (persistent mode)
   std::map<std::string, Location> index_;
   int64_t dead_bytes_ = 0;
-  int64_t compactions_ = 0;
 };
 
 }  // namespace

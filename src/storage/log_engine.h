@@ -2,7 +2,9 @@
 #define LIDI_STORAGE_LOG_ENGINE_H_
 
 #include <memory>
+#include <string>
 
+#include "obs/metrics.h"
 #include "storage/engine.h"
 
 namespace lidi::storage {
@@ -19,9 +21,17 @@ struct LogEngineOptions {
   /// recovery model, mirroring how BDB-JE replays its log). Empty =
   /// in-memory only.
   std::string data_dir;
+  /// Registry the engine's instruments ("storage.live_keys" et al.) land in;
+  /// null = engine-private registry. When several engines share a registry,
+  /// set distinct `metrics_scope`s — it becomes the "store" label.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_scope;
 };
 
-/// Statistics exposed for tests and the ablation benches.
+/// Statistics exposed for tests and the ablation benches. A *view* over the
+/// engine's registry instruments (gauges "storage.live_keys", ...,
+/// counter "storage.compactions"): GetStats materializes it, and the same
+/// numbers appear in the registry's Snapshot().
 struct LogEngineStats {
   int64_t live_keys = 0;
   int64_t segments = 0;
@@ -48,6 +58,10 @@ class LogStructuredEngine : public StorageEngine {
   ~LogStructuredEngine() override = default;
 
   virtual LogEngineStats GetStats() const = 0;
+
+  /// The registry the engine's instruments live in (injected or
+  /// engine-owned); GetStats is a view over it.
+  virtual obs::MetricsRegistry* metrics() const = 0;
 
   /// Forces a compaction regardless of the garbage ratio (for tests).
   virtual void CompactNow() = 0;

@@ -18,6 +18,15 @@ StoreClient::StoreClient(std::string client_name, StoreDefinition store_def,
       metadata_(std::move(metadata)),
       network_(network),
       options_(options),
+      metrics_(network->metrics()),
+      read_repairs_(metrics_->GetCounter("voldemort.read_repairs",
+                                         {{"client", name_}})),
+      hinted_handoffs_(metrics_->GetCounter("voldemort.hinted_handoffs",
+                                            {{"client", name_}})),
+      get_micros_(metrics_->GetHistogram("voldemort.op_micros",
+                                         {{"op", "get"}})),
+      put_micros_(metrics_->GetHistogram("voldemort.op_micros",
+                                         {{"op", "put"}})),
       detector_(options.failure_detector, clock, [this](int node_id) {
         return network_
             ->Call(name_, VoldemortAddress(node_id), "v.ping", "")
@@ -65,6 +74,16 @@ Result<std::vector<Versioned>> StoreClient::Get(Slice key) {
 
 Result<std::vector<Versioned>> StoreClient::Get(Slice key,
                                                 const Transform& transform) {
+  obs::ScopedSpan span(metrics_, "voldemort.get");
+  const int64_t start = metrics_->clock()->NowMicros();
+  auto result = GetInternal(key, transform, &span.context());
+  span.set_outcome(result.status());
+  get_micros_->Record(metrics_->clock()->NowMicros() - start);
+  return result;
+}
+
+Result<std::vector<Versioned>> StoreClient::GetInternal(
+    Slice key, const Transform& transform, obs::TraceContext* trace) {
   const std::vector<int> preference = PreferenceList(key);
   std::string request;
   EncodeGetRequest(def_.name, key, &request);
@@ -80,7 +99,10 @@ Result<std::vector<Versioned>> StoreClient::Get(Slice key,
   for (int node : preference) {
     if (successes >= def_.required_reads) break;
     if (!detector_.IsAvailable(node)) continue;
-    auto r = network_->Call(name_, VoldemortAddress(node), method, request);
+    // Per-replica attempt span: each Call is recorded under this
+    // operation's root span.
+    auto r = network_->Call(name_, VoldemortAddress(node), method, request,
+                            net::CallOptions{trace});
     if (r.ok()) {
       auto list = DecodeVersionedList(r.value());
       if (!list.ok()) return list.status();
@@ -109,7 +131,7 @@ Result<std::vector<Versioned>> StoreClient::Get(Slice key,
   std::vector<Versioned> resolved = ResolveConcurrent(std::move(all));
   if (options_.enable_read_repair &&
       transform.type == Transform::Type::kNone) {
-    ReadRepair(key, resolved, responses);
+    ReadRepair(key, resolved, responses, trace);
   }
   if (resolved.empty()) return Status::NotFound();
   return resolved;
@@ -117,8 +139,8 @@ Result<std::vector<Versioned>> StoreClient::Get(Slice key,
 
 void StoreClient::ReadRepair(
     Slice key, const std::vector<Versioned>& resolved,
-    const std::vector<std::pair<int, std::vector<Versioned>>>&
-        node_responses) {
+    const std::vector<std::pair<int, std::vector<Versioned>>>& node_responses,
+    obs::TraceContext* trace) {
   // Paper II.B: "Read repair detects inconsistencies during gets." Any node
   // whose response lacks a resolved version gets that version written back.
   for (const auto& [node, list] : node_responses) {
@@ -134,7 +156,9 @@ void StoreClient::ReadRepair(
       if (has) continue;
       std::string put_request;
       EncodePutRequest(def_.name, key, v, Transform{}, &put_request);
-      network_->Call(name_, VoldemortAddress(node), "v.put", put_request);
+      read_repairs_->Increment();
+      network_->Call(name_, VoldemortAddress(node), "v.put", put_request,
+                     net::CallOptions{trace});
     }
   }
 }
@@ -145,6 +169,17 @@ Status StoreClient::Put(Slice key, const Versioned& versioned) {
 
 Status StoreClient::PutEncoded(Slice key, const Versioned& versioned,
                                const Transform& transform) {
+  obs::ScopedSpan span(metrics_, "voldemort.put");
+  const int64_t start = metrics_->clock()->NowMicros();
+  Status s = PutEncodedInternal(key, versioned, transform, &span.context());
+  span.set_outcome(s);
+  put_micros_->Record(metrics_->clock()->NowMicros() - start);
+  return s;
+}
+
+Status StoreClient::PutEncodedInternal(Slice key, const Versioned& versioned,
+                                       const Transform& transform,
+                                       obs::TraceContext* trace) {
   const std::vector<int> preference = PreferenceList(key);
   if (preference.empty()) return Status::InsufficientNodes("no replicas");
 
@@ -173,7 +208,7 @@ Status StoreClient::PutEncoded(Slice key, const Versioned& versioned,
   // Coordinator first: for transformed puts its response carries the final
   // value bytes, which the client then replicates verbatim.
   auto cr = network_->Call(name_, VoldemortAddress(coordinator), "v.put",
-                           coord_request);
+                           coord_request, net::CallOptions{trace});
   if (cr.ok()) {
     detector_.RecordSuccess(coordinator);
     ++successes;
@@ -203,7 +238,7 @@ Status StoreClient::PutEncoded(Slice key, const Versioned& versioned,
       continue;
     }
     auto r = network_->Call(name_, VoldemortAddress(node), "v.put",
-                            replicate_request);
+                            replicate_request, net::CallOptions{trace});
     if (r.ok()) {
       detector_.RecordSuccess(node);
       ++successes;
@@ -220,7 +255,7 @@ Status StoreClient::PutEncoded(Slice key, const Versioned& versioned,
   }
 
   if (options_.enable_hinted_handoff && !failed_nodes.empty()) {
-    HintedHandoff(failed_nodes, preference, replicate_request);
+    HintedHandoff(failed_nodes, preference, replicate_request, trace);
   }
   if (successes < def_.required_writes) {
     return Status::InsufficientNodes(
@@ -236,7 +271,7 @@ Status StoreClient::PutEncoded(Slice key, const Versioned& versioned,
 
 void StoreClient::HintedHandoff(const std::vector<int>& failed_nodes,
                                 const std::vector<int>& preference,
-                                Slice put_request) {
+                                Slice put_request, obs::TraceContext* trace) {
   // Paper II.B: "hinted handoff is triggered during puts". For every failed
   // replica, park the write (with its destination) on a healthy node outside
   // the preference list; v.push-slops later delivers it.
@@ -255,7 +290,11 @@ void StoreClient::HintedHandoff(const std::vector<int>& failed_nodes,
       const int host = candidates[next % candidates.size()];
       ++next;
       if (!detector_.IsAvailable(host)) continue;
-      if (network_->Call(name_, VoldemortAddress(host), "v.slop", slop).ok()) {
+      if (network_
+              ->Call(name_, VoldemortAddress(host), "v.slop", slop,
+                     net::CallOptions{trace})
+              .ok()) {
+        hinted_handoffs_->Increment();
         break;
       }
     }

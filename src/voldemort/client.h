@@ -38,6 +38,13 @@ struct ClientOptions {
 /// Any replica accepts writes (no master), so concurrent updates may yield
 /// divergent histories; Get returns every concurrent version and the
 /// application resolves.
+///
+/// Observability: each quorum operation runs under a root span
+/// ("voldemort.get"/"voldemort.put") in the network's registry; the
+/// per-replica RPC attempts become child spans, and read repair / hinted
+/// handoff activity is counted ("voldemort.read_repairs",
+/// "voldemort.hinted_handoffs"). Operation latency lands in
+/// "voldemort.op_micros{op=...}".
 class StoreClient {
  public:
   StoreClient(std::string client_name, StoreDefinition store_def,
@@ -87,19 +94,32 @@ class StoreClient {
   std::vector<int> PreferenceList(Slice key);
 
  private:
+  Result<std::vector<Versioned>> GetInternal(Slice key,
+                                             const Transform& transform,
+                                             obs::TraceContext* trace);
   Status PutEncoded(Slice key, const Versioned& versioned,
                     const Transform& transform);
+  Status PutEncodedInternal(Slice key, const Versioned& versioned,
+                            const Transform& transform,
+                            obs::TraceContext* trace);
   void HintedHandoff(const std::vector<int>& failed_nodes,
-                     const std::vector<int>& preference, Slice put_request);
+                     const std::vector<int>& preference, Slice put_request,
+                     obs::TraceContext* trace);
   void ReadRepair(Slice key, const std::vector<Versioned>& resolved,
                   const std::vector<std::pair<int, std::vector<Versioned>>>&
-                      node_responses);
+                      node_responses,
+                  obs::TraceContext* trace);
 
   const std::string name_;
   const StoreDefinition def_;
   const std::shared_ptr<ClusterMetadata> metadata_;
   net::Network* const network_;
   const ClientOptions options_;
+  obs::MetricsRegistry* const metrics_;
+  obs::Counter* const read_repairs_;
+  obs::Counter* const hinted_handoffs_;
+  obs::LatencyHistogram* const get_micros_;
+  obs::LatencyHistogram* const put_micros_;
   FailureDetector detector_;
 };
 

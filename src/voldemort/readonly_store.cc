@@ -8,51 +8,12 @@
 
 namespace lidi::voldemort {
 
-Status ReadOnlySearch(const ReadOnlyFiles& files, Slice key,
-                      std::string* value) {
-  if (files.index.size() % 24 != 0) {
-    return Status::Corruption("index size not a multiple of entry size");
-  }
-  const std::array<uint8_t, 16> digest = Md5(key);
-  const int64_t n = files.entry_count();
-  int64_t lo = 0, hi = n - 1;
-  while (lo <= hi) {
-    const int64_t mid = lo + (hi - lo) / 2;
-    const char* entry = files.index.data() + mid * 24;
-    const int cmp = memcmp(entry, digest.data(), 16);
-    if (cmp == 0) {
-      const uint64_t offset = DecodeFixed64(entry + 16);
-      if (offset >= files.data.size()) {
-        return Status::Corruption("data offset out of bounds");
-      }
-      Slice record(files.data.data() + offset, files.data.size() - offset);
-      Slice stored_key, stored_value;
-      if (!GetLengthPrefixed(&record, &stored_key) ||
-          !GetLengthPrefixed(&record, &stored_value)) {
-        return Status::Corruption("truncated data record");
-      }
-      if (stored_key != key) {
-        // MD5 collision between distinct keys: treat as absent.
-        return Status::NotFound("md5 collision, key mismatch");
-      }
-      *value = stored_value.ToString();
-      return Status::OK();
-    }
-    if (cmp < 0) {
-      lo = mid + 1;
-    } else {
-      hi = mid - 1;
-    }
-  }
-  return Status::NotFound();
-}
-
 namespace {
 
 /// Reads and validates the data record at index entry `index`, comparing the
 /// stored key; shared by both search strategies.
-Status ReadEntry(const ReadOnlyFiles& files, int64_t index, Slice key,
-                 std::string* value) {
+Result<std::string> ReadEntry(const ReadOnlyFiles& files, int64_t index,
+                              Slice key) {
   const char* entry = files.index.data() + index * 24;
   const uint64_t offset = DecodeFixed64(entry + 16);
   if (offset >= files.data.size()) {
@@ -65,10 +26,10 @@ Status ReadEntry(const ReadOnlyFiles& files, int64_t index, Slice key,
     return Status::Corruption("truncated data record");
   }
   if (stored_key != key) {
+    // MD5 collision between distinct keys: treat as absent.
     return Status::NotFound("md5 collision, key mismatch");
   }
-  *value = stored_value.ToString();
-  return Status::OK();
+  return stored_value.ToString();
 }
 
 /// First 8 digest bytes as a big-endian integer — the interpolation key.
@@ -80,8 +41,29 @@ uint64_t DigestPrefix(const uint8_t* digest) {
 
 }  // namespace
 
-Status ReadOnlyInterpolationSearch(const ReadOnlyFiles& files, Slice key,
-                                   std::string* value) {
+Result<std::string> ReadOnlySearch(const ReadOnlyFiles& files, Slice key) {
+  if (files.index.size() % 24 != 0) {
+    return Status::Corruption("index size not a multiple of entry size");
+  }
+  const std::array<uint8_t, 16> digest = Md5(key);
+  const int64_t n = files.entry_count();
+  int64_t lo = 0, hi = n - 1;
+  while (lo <= hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    const char* entry = files.index.data() + mid * 24;
+    const int cmp = memcmp(entry, digest.data(), 16);
+    if (cmp == 0) return ReadEntry(files, mid, key);
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return Status::NotFound();
+}
+
+Result<std::string> ReadOnlyInterpolationSearch(const ReadOnlyFiles& files,
+                                                Slice key) {
   if (files.index.size() % 24 != 0) {
     return Status::Corruption("index size not a multiple of entry size");
   }
@@ -108,7 +90,7 @@ Status ReadOnlyInterpolationSearch(const ReadOnlyFiles& files, Slice key,
     }
     const char* entry = files.index.data() + probe * 24;
     const int cmp = memcmp(entry, digest.data(), 16);
-    if (cmp == 0) return ReadEntry(files, probe, key, value);
+    if (cmp == 0) return ReadEntry(files, probe, key);
     if (cmp < 0) {
       lo = probe + 1;
     } else {
@@ -162,12 +144,12 @@ void ReadOnlyStore::AddSwapListener(SwapListener listener) {
   listeners_.push_back(std::move(listener));
 }
 
-Status ReadOnlyStore::Get(Slice key, std::string* value) const {
+Result<std::string> ReadOnlyStore::Get(Slice key) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (current_ < 0) return Status::Unavailable("no version swapped in");
   auto it = versions_.find(current_);
   if (it == versions_.end()) return Status::Internal("current version missing");
-  return ReadOnlySearch(it->second, key, value);
+  return ReadOnlySearch(it->second, key);
 }
 
 int64_t ReadOnlyStore::current_version() const {

@@ -33,16 +33,15 @@ struct ReadOnlyFiles {
 
 /// Searches one file set. Returns NotFound on missing keys; verifies the
 /// stored key to guard against MD5 collisions; Corruption on malformed data.
-Status ReadOnlySearch(const ReadOnlyFiles& files, Slice key,
-                      std::string* value);
+Result<std::string> ReadOnlySearch(const ReadOnlyFiles& files, Slice key);
 
 /// The "new index formats to optimize read-only store performance" the paper
 /// lists as future work (II.C): because index entries are sorted *MD5
 /// digests* — uniformly distributed by construction — interpolation search
 /// over the same file format resolves lookups in O(log log n) probes instead
 /// of binary search's O(log n). Same result contract as ReadOnlySearch.
-Status ReadOnlyInterpolationSearch(const ReadOnlyFiles& files, Slice key,
-                                   std::string* value);
+Result<std::string> ReadOnlyInterpolationSearch(const ReadOnlyFiles& files,
+                                                Slice key);
 
 /// A node's read-only store: versioned directories of file sets. A new data
 /// deployment creates a new versioned directory; the swap phase atomically
@@ -61,7 +60,7 @@ class ReadOnlyStore {
   Status Rollback();
 
   /// Point lookup against the current version.
-  Status Get(Slice key, std::string* value) const;
+  Result<std::string> Get(Slice key) const;
 
   int64_t current_version() const;
   std::vector<int64_t> versions() const;

@@ -450,10 +450,7 @@ Result<std::string> VoldemortServer::HandleReadOnlyGet(Slice request) {
     }
     ro = it->second.get();
   }
-  std::string value;
-  s = ro->Get(key, &value);
-  if (!s.ok()) return s;
-  return value;
+  return ro->Get(key);
 }
 
 }  // namespace lidi::voldemort

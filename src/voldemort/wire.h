@@ -11,6 +11,13 @@
 
 namespace lidi::voldemort {
 
+// Unlike the lookup APIs (which return Result<T>), the Encode*/Decode*
+// functions below deliberately keep out-parameters: encoders append to a
+// caller-owned buffer so multiple fields can be packed into one wire message
+// without intermediate allocations, and decoders fill several outputs from a
+// single pass over the input. A Result<tuple<...>> here would cost copies on
+// the hot path and read worse at the call sites.
+
 /// Server-side transforms (paper Figure II.2, methods 3 and 4): when the
 /// value is a list, a transformed get retrieves a sub-list and a transformed
 /// put appends an entity, saving a client round trip and bandwidth.

@@ -316,5 +316,22 @@ TEST(HistogramTest, RecordAfterPercentileStillSorts) {
   EXPECT_DOUBLE_EQ(h.Percentile(0), 1);
 }
 
+TEST(HistogramTest, EmptyHistogramReturnsZero) {
+  // Regression: every accessor must return 0 on an empty histogram instead
+  // of indexing into the empty sample vector.
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Average(), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  // Clear returns a used histogram to the empty contract.
+  h.Record(7);
+  h.Clear();
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0);
+}
+
 }  // namespace
 }  // namespace lidi

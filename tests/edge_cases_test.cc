@@ -76,9 +76,8 @@ TEST(TransformEdgeTest, SublistBounds) {
 
 TEST(ReadOnlyStoreEdgeTest, LifecycleErrors) {
   voldemort::ReadOnlyStore store;
-  std::string value;
   // Reads before any swap are Unavailable, not a crash.
-  EXPECT_TRUE(store.Get("k", &value).IsUnavailable());
+  EXPECT_TRUE(store.Get("k").status().IsUnavailable());
   // Rollback with no history fails cleanly.
   EXPECT_FALSE(store.Rollback().ok());
   // Duplicate version rejected.

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/network.h"
+#include "obs/metrics.h"
+
+// Concurrency torture for the observability layer; run under
+// -DLIDI_SANITIZE=thread to prove the relaxed-atomic instrument paths and
+// the locked registry paths are race-free.
+
+namespace lidi {
+namespace {
+
+TEST(ObsConcurrencyTest, ShardedCounterAddsSumExactly) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("c");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter->Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(), kThreads * kAddsPerThread);
+}
+
+TEST(ObsConcurrencyTest, WritersRaceRegistrationsAndSnapshots) {
+  obs::MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+
+  // Writers hammer instruments, re-resolving them by name so Get* races
+  // with other Get* and with Snapshot.
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&registry, t] {
+      const std::string label = std::to_string(t % 2);
+      for (int i = 0; i < 20'000; ++i) {
+        registry.GetCounter("rpc.count", {{"node", label}})->Increment();
+        registry.GetGauge("occupancy", {{"node", label}})->Set(i);
+        registry.GetHistogram("lat", {{"node", label}})->Record(i % 1000);
+      }
+    });
+  }
+
+  // Span recorders exercise the ring buffer lock.
+  std::vector<std::thread> spanners;
+  for (int t = 0; t < 2; ++t) {
+    spanners.emplace_back([&registry] {
+      for (int i = 0; i < 5'000; ++i) {
+        obs::ScopedSpan span(&registry, "op");
+        span.set_outcome(Code::kOk);
+      }
+    });
+  }
+
+  // Snapshotters and renderers read continuously while writers run.
+  std::thread snapshotter([&registry, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      obs::RegistrySnapshot snap = registry.Snapshot();
+      for (const obs::InstrumentSnapshot& is : snap.instruments) {
+        // Percentile folds the bucket array; exercise it under racing
+        // Record calls.
+        if (is.kind == obs::InstrumentKind::kHistogram) {
+          (void)is.hist.Percentile(99);
+        }
+      }
+      (void)snap.ToText();
+    }
+  });
+
+  // The kill switch flips while traffic is in flight.
+  std::thread toggler([&registry, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      registry.set_enabled(false);
+      registry.set_enabled(true);
+    }
+  });
+
+  for (auto& thread : writers) thread.join();
+  for (auto& thread : spanners) thread.join();
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+  toggler.join();
+
+  // Totals are not exact (the toggler drops some increments); the structure
+  // must still be coherent.
+  registry.set_enabled(true);
+  obs::RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_NE(snap.Find("rpc.count", {{"node", "0"}}), nullptr);
+  EXPECT_NE(snap.Find("lat", {{"node", "1"}}), nullptr);
+}
+
+TEST(ObsConcurrencyTest, ConcurrentNetworkCallsRecordConsistentStats) {
+  net::Network nw;
+  nw.Register("s", "echo",
+              [](Slice req) -> Result<std::string> { return req.ToString(); });
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 2'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&nw, t] {
+      const std::string from = "c" + std::to_string(t);
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        ASSERT_TRUE(nw.Call(from, "s", "echo", "abc").ok());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(nw.GetStats("s").calls_received, kThreads * kCallsPerThread);
+  obs::RegistrySnapshot snap = nw.metrics()->Snapshot();
+  EXPECT_EQ(snap.Value("net.calls_received", {{"endpoint", "s"}}),
+            kThreads * kCallsPerThread);
+  const obs::InstrumentSnapshot* lat =
+      snap.Find("net.call_micros", {{"method", "echo"}});
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->hist.count, kThreads * kCallsPerThread);
+}
+
+}  // namespace
+}  // namespace lidi

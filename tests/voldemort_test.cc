@@ -739,10 +739,10 @@ TEST_F(ReadOnlyPipelineTest, SearchVerifiesStoredKey) {
   std::map<std::string, std::string> records{{"alpha", "1"}, {"beta", "2"}};
   auto result = BulkBuild(records, cluster, 1);
   const ReadOnlyFiles& files = result.files_per_node.at(0);
-  std::string value;
-  ASSERT_TRUE(ReadOnlySearch(files, "alpha", &value).ok());
-  EXPECT_EQ(value, "1");
-  EXPECT_TRUE(ReadOnlySearch(files, "gamma", &value).IsNotFound());
+  auto value = ReadOnlySearch(files, "alpha");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), "1");
+  EXPECT_TRUE(ReadOnlySearch(files, "gamma").status().IsNotFound());
 }
 
 
@@ -754,23 +754,23 @@ TEST_F(ReadOnlyPipelineTest, InterpolationSearchAgreesWithBinarySearch) {
   const ReadOnlyFiles& files = result.files_per_node.at(0);
   for (int i = 0; i < 5000; i += 7) {
     const std::string key = "member:" + std::to_string(i);
-    std::string binary_value, interp_value;
-    const Status binary = ReadOnlySearch(files, key, &binary_value);
-    const Status interp =
-        ReadOnlyInterpolationSearch(files, key, &interp_value);
+    const auto binary = ReadOnlySearch(files, key);
+    const auto interp = ReadOnlyInterpolationSearch(files, key);
     ASSERT_TRUE(binary.ok());
     ASSERT_TRUE(interp.ok()) << key;
-    EXPECT_EQ(interp_value, binary_value);
+    EXPECT_EQ(interp.value(), binary.value());
   }
-  std::string value;
   for (int i = 0; i < 200; ++i) {
     const std::string missing = "ghost:" + std::to_string(i);
-    EXPECT_EQ(ReadOnlySearch(files, missing, &value).IsNotFound(),
-              ReadOnlyInterpolationSearch(files, missing, &value).IsNotFound());
+    EXPECT_EQ(ReadOnlySearch(files, missing).status().IsNotFound(),
+              ReadOnlyInterpolationSearch(files, missing)
+                  .status()
+                  .IsNotFound());
   }
   // Empty index.
   ReadOnlyFiles empty;
-  EXPECT_TRUE(ReadOnlyInterpolationSearch(empty, "k", &value).IsNotFound());
+  EXPECT_TRUE(
+      ReadOnlyInterpolationSearch(empty, "k").status().IsNotFound());
 }
 
 }  // namespace
