@@ -7,12 +7,15 @@
 // offset addressing "avoids the overhead of maintaining auxiliary index
 // structures that map the message ids to the actual message locations".
 
+#include <chrono>
+#include <filesystem>
 #include <map>
 #include <memory>
 
 #include "bench_util.h"
 #include "common/clock.h"
 #include "common/random.h"
+#include "io/file.h"
 #include "kafka/broker.h"
 #include "kafka/consumer.h"
 #include "kafka/producer.h"
@@ -117,5 +120,56 @@ int main() {
     bench::Row("index overhead    : %.1f%% slower, plus O(n) memory",
                100.0 * (indexed_s - plain_s) / plain_s);
   }
+
+  bench::Header(
+      "E15b: flush durability vs throughput",
+      "paper V.B leans on the page cache; fdatasync buys crash-survival at a "
+      "per-flush cost (sync = never | interval | always)");
+  bench::Row("%10s | %14s | %12s", "sync", "produce msg/s", "durable end");
+  {
+    ManualClock clock;
+    Random rng(3);
+    const std::string payload = rng.Bytes(200);
+    MessageSetBuilder builder;
+    builder.Add(payload);
+    const std::string set = builder.Build();
+    const int kMessages = 2'000;
+
+    const auto base = std::filesystem::temp_directory_path() /
+                      ("lidi_bench_sync_" +
+                       std::to_string(std::chrono::steady_clock::now()
+                                          .time_since_epoch()
+                                          .count()));
+    for (io::SyncPolicy policy : {io::SyncPolicy::kNever,
+                                  io::SyncPolicy::kInterval,
+                                  io::SyncPolicy::kAlways}) {
+      LogOptions log_options;
+      log_options.data_dir =
+          (base / io::SyncPolicyName(policy)).string();
+      log_options.flush_interval_messages = 1;  // every append hits the fs
+      log_options.sync = policy;
+      log_options.sync_interval_bytes = 64 << 10;
+      PartitionLog log(log_options, &clock);
+
+      bench::Stopwatch timer;
+      for (int i = 0; i < kMessages; ++i) log.Append(set, 1);
+      const double seconds = timer.ElapsedSeconds();
+      const double rate = kMessages / seconds;
+
+      bench::Row("%10s | %14.0f | %12lld", io::SyncPolicyName(policy), rate,
+                 static_cast<long long>(log.durable_end_offset()));
+      bench::JsonRow("E15",
+                     {{"sync", io::SyncPolicyName(policy)}},
+                     {{"msg_bytes", 200},
+                      {"produce_msgs_per_s", rate},
+                      {"durable_end_offset",
+                       static_cast<double>(log.durable_end_offset())}});
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(base, ec);
+  }
+  bench::Row("\nshape check: never ~ page-cache speed, always pays one\n"
+             "fdatasync per flush, interval sits between — the durability\n"
+             "dial the io layer adds to the paper's flush policy.");
   return 0;
 }

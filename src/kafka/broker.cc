@@ -11,6 +11,18 @@ net::Address BrokerAddress(int id) {
   return "kafka-broker-" + std::to_string(id);
 }
 
+namespace {
+
+// Partition logs report their durability instruments (io.sync.count,
+// io.write.failed, ...) into the broker's registry unless the caller wired
+// one explicitly.
+BrokerOptions WithLogMetrics(BrokerOptions options, net::Network* network) {
+  if (options.log.metrics == nullptr) options.log.metrics = network->metrics();
+  return options;
+}
+
+}  // namespace
+
 void EncodeProduceRequest(Slice topic, int partition, Slice message_set,
                           std::string* out) {
   PutLengthPrefixed(out, topic);
@@ -61,7 +73,7 @@ Broker::Broker(int id, zk::ZooKeeper* zookeeper, net::Network* network,
       zookeeper_(zookeeper),
       network_(network),
       clock_(clock),
-      options_(options),
+      options_(WithLogMetrics(std::move(options), network)),
       address_(BrokerAddress(id)) {
   obs::MetricsRegistry* metrics = network_->metrics();
   const obs::Labels labels{{"broker", std::to_string(id_)}};

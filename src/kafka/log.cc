@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
+#include <cstdlib>
 #include <vector>
 
 #include "common/coding.h"
+#include "common/hash.h"
 
 namespace lidi::kafka {
+
+namespace {
+inline void Inc(obs::Counter* counter) {
+  if (counter != nullptr) counter->Increment();
+}
+}  // namespace
 
 std::string PartitionLog::SegmentPath(int64_t base_offset) const {
   char name[32];
@@ -18,42 +24,73 @@ std::string PartitionLog::SegmentPath(int64_t base_offset) const {
 }
 
 void PartitionLog::RecoverFromDiskLocked() {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  fs::create_directories(options_.data_dir, ec);
+  fs_->CreateDirs(options_.data_dir);
   std::vector<int64_t> bases;
-  for (const auto& entry : fs::directory_iterator(options_.data_dir, ec)) {
-    const std::string name = entry.path().filename().string();
-    if (name.size() == 24 && name.substr(20) == ".log") {
-      bases.push_back(std::atoll(name.c_str()));
+  auto names = fs_->ListDir(options_.data_dir);
+  if (names.ok()) {
+    for (const std::string& name : names.value()) {
+      if (name.size() == 24 && name.substr(20) == ".log") {
+        bases.push_back(std::atoll(name.c_str()));
+      }
     }
+  } else if (recovery_status_.ok()) {
+    recovery_status_ = names.status();
   }
   std::sort(bases.begin(), bases.end());
-  for (int64_t base : bases) {
-    std::ifstream in(SegmentPath(base), std::ios::binary);
-    if (!in) continue;
-    std::string data((std::istreambuf_iterator<char>(in)),
-                     std::istreambuf_iterator<char>());
-    // Truncate a torn trailing entry (crash mid-write): keep only complete
-    // entries so recovered data is always iterable.
+  bool seal_last_segment = false;
+  for (size_t bi = 0; bi < bases.size(); ++bi) {
+    const int64_t base = bases[bi];
+    seal_last_segment = false;
+    std::string data;
+    Status read_status = fs_->ReadFile(SegmentPath(base), &data);
+    if (!read_status.ok()) {
+      // An unreadable segment is a hole in the offset space: recovering
+      // anything beyond it would serve wrong bytes at those offsets. Stop
+      // here, surface the error, and rename this and every later segment
+      // file aside so a growing log can never append into them.
+      if (recovery_status_.ok()) recovery_status_ = read_status;
+      for (size_t j = bi; j < bases.size(); ++j) {
+        fs_->RenameFile(SegmentPath(bases[j]),
+                        SegmentPath(bases[j]) + ".orphan");
+      }
+      break;
+    }
+    // Keep only the prefix of complete, CRC-valid entries. The length
+    // prefix alone is not proof of integrity — torn garbage can parse as a
+    // plausible length — so validate each entry's payload CRC (the wire
+    // format carries one per message, message.h).
     int64_t good = 0;
     Slice scan(data);
     while (scan.size() >= 4) {
       const uint32_t length = DecodeFixed32(scan.data());
+      if (length < 5) break;  // shorter than attributes+crc: torn header
       if (scan.size() < 4 + static_cast<size_t>(length)) break;
+      const uint32_t crc = DecodeFixed32(scan.data() + 5);
+      const Slice payload(scan.data() + 9, length - 5);
+      if (Crc32(payload) != crc) break;  // plausible length, corrupt bytes
       scan.RemovePrefix(4 + length);
       good += 4 + static_cast<int64_t>(length);
     }
     if (good < static_cast<int64_t>(data.size())) {
       data.resize(static_cast<size_t>(good));
-      // Drop the torn bytes from the file too, so later appends (ios::app)
-      // continue from the last complete entry rather than after garbage.
-      fs::resize_file(SegmentPath(base), static_cast<uintmax_t>(good), ec);
+      // Drop the torn bytes from the file too, so later appends continue
+      // from the last complete entry rather than after garbage.
+      Inc(torn_truncations_);
+      Status truncate_status =
+          fs_->TruncateFile(SegmentPath(base), good);
+      if (!truncate_status.ok()) {
+        // The garbage stays on disk past `good`; appending to this file
+        // would bury it between valid entries. Seal the segment instead.
+        if (recovery_status_.ok()) recovery_status_ = truncate_status;
+        Inc(write_failed_);
+        seal_last_segment = true;
+      }
     }
     Segment segment;
     segment.base_offset = base;
     segment.sealed_bytes = good;
     segment.persisted_bytes = good;
+    segment.synced_bytes = good;  // on-disk bytes survived the restart
     segment.last_append_ms = clock_->NowMillis();
     if (good > 0) segment.sealed.push_back(WrapBuffer(std::move(data)));
     segments_.push_back(std::move(segment));
@@ -63,35 +100,131 @@ void PartitionLog::RecoverFromDiskLocked() {
     segment.last_append_ms = clock_->NowMillis();
     segments_.push_back(std::move(segment));
   } else {
-    // Everything recovered from disk was flushed by definition.
-    flushed_end_.store(segments_.back().base_offset +
-                       segments_.back().sealed_bytes);
+    if (seal_last_segment) {
+      // The last recovered file still carries garbage we could not
+      // truncate; new appends go to a fresh segment file.
+      Segment fresh;
+      fresh.base_offset =
+          segments_.back().base_offset + segments_.back().sealed_bytes;
+      fresh.last_append_ms = clock_->NowMillis();
+      segments_.push_back(std::move(fresh));
+    }
+    // Everything recovered from disk is flushed and crash-durable.
+    const int64_t recovered_end = segments_.back().base_offset +
+                                  segments_.back().sealed_bytes;
+    flushed_end_.store(recovered_end);
+    durable_end_.store(recovered_end);
   }
   end_offset_.store(segments_.back().base_offset + segments_.back().size());
 }
 
 void PartitionLog::PersistSealedLocked() {
-  if (options_.data_dir.empty()) return;
-  for (Segment& segment : segments_) {
-    if (segment.persisted_bytes >= segment.sealed_bytes) continue;
-    std::ofstream out(SegmentPath(segment.base_offset),
-                      std::ios::binary | std::ios::app);
-    int64_t chunk_base = 0;
-    for (const BufferRef& chunk : segment.sealed) {
-      const int64_t chunk_size = static_cast<int64_t>(chunk->size());
-      if (segment.persisted_bytes < chunk_base + chunk_size) {
-        const int64_t from = segment.persisted_bytes - chunk_base;
-        out.write(chunk->data() + from, chunk_size - from);
-        segment.persisted_bytes = chunk_base + chunk_size;
-      }
-      chunk_base += chunk_size;
-    }
+  if (fs_ == nullptr) return;
+  // Decide up front whether this flush must reach stable storage.
+  int64_t pending = 0;
+  for (const Segment& segment : segments_) {
+    pending += segment.sealed_bytes - segment.persisted_bytes;
   }
+  const bool sync_due =
+      options_.sync == io::SyncPolicy::kAlways ||
+      (options_.sync == io::SyncPolicy::kInterval &&
+       unsynced_bytes_ + pending >= options_.sync_interval_bytes);
+  for (Segment& segment : segments_) {
+    const bool needs_write = segment.persisted_bytes < segment.sealed_bytes;
+    const bool needs_sync =
+        sync_due && segment.synced_bytes < segment.sealed_bytes;
+    if (!needs_write && !needs_sync) continue;
+    auto file = fs_->OpenAppend(SegmentPath(segment.base_offset));
+    if (!file.ok()) {
+      Inc(write_failed_);
+      break;  // keep the durable prefix contiguous; retry next flush
+    }
+    bool failed = false;
+    if (needs_write) {
+      int64_t chunk_base = 0;
+      for (const BufferRef& chunk : segment.sealed) {
+        const int64_t chunk_size = static_cast<int64_t>(chunk->size());
+        if (segment.persisted_bytes < chunk_base + chunk_size) {
+          const int64_t from = segment.persisted_bytes - chunk_base;
+          int64_t accepted = 0;
+          Status s = file.value()->Append(
+              Slice(chunk->data() + from,
+                    static_cast<size_t>(chunk_size - from)),
+              &accepted);
+          // Advance only past bytes the fs actually took: a short write or
+          // ENOSPC must not mark lost bytes durable. The next flush resumes
+          // from the honest boundary.
+          segment.persisted_bytes += accepted;
+          if (!s.ok()) {
+            Inc(write_failed_);
+            failed = true;
+            break;
+          }
+        }
+        chunk_base += chunk_size;
+      }
+    }
+    if (!failed && sync_due && segment.synced_bytes < segment.persisted_bytes) {
+      Status s = file.value()->Sync();
+      if (s.ok()) {
+        Inc(sync_count_);
+        segment.synced_bytes = segment.persisted_bytes;
+      } else {
+        Inc(write_failed_);
+        failed = true;
+      }
+    }
+    file.value()->Close();
+    if (failed) break;
+  }
+  int64_t unsynced = 0;
+  for (const Segment& segment : segments_) {
+    unsynced += segment.persisted_bytes - segment.synced_bytes;
+  }
+  unsynced_bytes_ = unsynced;
+  durable_end_.store(
+      std::max(durable_end_.load(), ContiguousEndLocked(/*synced=*/true)));
+}
+
+int64_t PartitionLog::ContiguousEndLocked(bool synced) const {
+  int64_t end = segments_.front().base_offset;
+  for (const Segment& segment : segments_) {
+    int64_t bytes = synced ? segment.synced_bytes : segment.persisted_bytes;
+    if (!synced && bytes < segment.sealed_bytes) {
+      // A short write can leave persisted_bytes mid-entry. Floor the
+      // consumer-visible frontier to the last fully-persisted sealed-chunk
+      // boundary — chunks seal at entry boundaries, so readers never see a
+      // frontier cutting through an entry. (synced_bytes needs no flooring:
+      // syncs only happen after a segment persists completely.)
+      int64_t aligned = 0;
+      int64_t acc = 0;
+      for (const BufferRef& chunk : segment.sealed) {
+        acc += static_cast<int64_t>(chunk->size());
+        if (bytes < acc) break;
+        aligned = acc;
+      }
+      bytes = aligned;
+    }
+    end = segment.base_offset + bytes;
+    if (bytes < segment.sealed_bytes) break;
+  }
+  return end;
 }
 
 PartitionLog::PartitionLog(LogOptions options, const Clock* clock)
-    : options_(std::move(options)), clock_(clock) {
-  if (!options_.data_dir.empty()) {
+    : options_(std::move(options)),
+      clock_(clock),
+      fs_(options_.data_dir.empty()
+              ? nullptr
+              : (options_.fs != nullptr ? options_.fs : io::DefaultFs())) {
+  if (options_.metrics != nullptr) {
+    const obs::Labels labels{{"layer", "kafka.log"}};
+    sync_count_ = options_.metrics->GetCounter("io.sync.count", labels);
+    write_failed_ = options_.metrics->GetCounter("io.write.failed", labels);
+    torn_truncations_ =
+        options_.metrics->GetCounter("io.recovery.torn_truncations", labels);
+  }
+  if (fs_ != nullptr) {
     RecoverFromDiskLocked();  // constructor: no concurrent access yet
   } else {
     Segment segment;
@@ -220,8 +353,18 @@ void PartitionLog::FlushLocked() {
   // the frontier, so a reader that sees the new frontier is guaranteed a
   // snapshot containing every chunk below it.
   PublishSnapshotLocked();
-  flushed_end_.store(segments_.back().base_offset +
-                     segments_.back().sealed_bytes);
+  // The consumer-visible frontier advances only past bytes the fs actually
+  // accepted (persistent mode) — a failed write must not expose offsets
+  // that vanish on restart. In-memory mode has no fs to disagree with.
+  int64_t visible = segments_.back().base_offset +
+                    segments_.back().sealed_bytes;
+  if (fs_ != nullptr) {
+    visible = ContiguousEndLocked(/*synced=*/false);
+  }
+  flushed_end_.store(std::max(flushed_end_.load(), visible));
+  if (fs_ == nullptr) {
+    durable_end_.store(flushed_end_.load());
+  }
 }
 
 void PartitionLog::Flush() {
@@ -343,9 +486,8 @@ int PartitionLog::DeleteExpiredSegments() {
   int deleted = 0;
   while (segments_.size() > 1 &&
          now - segments_.front().last_append_ms > options_.retention_ms) {
-    if (!options_.data_dir.empty()) {
-      std::error_code ec;
-      std::filesystem::remove(SegmentPath(segments_.front().base_offset), ec);
+    if (fs_ != nullptr) {
+      fs_->RemoveFile(SegmentPath(segments_.front().base_offset));
     }
     segments_.pop_front();
     ++deleted;
@@ -355,9 +497,8 @@ int PartitionLog::DeleteExpiredSegments() {
       now - segments_.front().last_append_ms > options_.retention_ms) {
     Segment& s = segments_.front();
     const int64_t end = s.base_offset + s.size();
-    if (!options_.data_dir.empty()) {
-      std::error_code ec;
-      std::filesystem::remove(SegmentPath(s.base_offset), ec);
+    if (fs_ != nullptr) {
+      fs_->RemoveFile(SegmentPath(s.base_offset));
     }
     Segment fresh;
     fresh.base_offset = end;
@@ -377,6 +518,15 @@ int64_t PartitionLog::start_offset() const {
 
 int64_t PartitionLog::flushed_end_offset() const {
   return flushed_end_.load();
+}
+
+int64_t PartitionLog::durable_end_offset() const {
+  return durable_end_.load();
+}
+
+Status PartitionLog::recovery_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovery_status_;
 }
 
 int64_t PartitionLog::end_offset() const { return end_offset_.load(); }

@@ -13,6 +13,8 @@
 #include "common/clock.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "io/file.h"
+#include "obs/metrics.h"
 
 namespace lidi::kafka {
 
@@ -32,6 +34,19 @@ struct LogOptions {
   /// durability model the paper's brokers rely on (V.B: the flush policy and
   /// the OS page cache do the heavy lifting). Empty = in-memory only.
   std::string data_dir;
+  /// Filesystem the persistent mode writes through; null = the process-wide
+  /// fd-based POSIX fs. Tests inject io::MemFs / io::FaultFs here.
+  io::Fs* fs = nullptr;
+  /// When accepted bytes are pushed to stable storage (fdatasync): never
+  /// (page cache only, the paper's default stance), every
+  /// `sync_interval_bytes`, or on every flush. Only synced bytes advance
+  /// durable_end_offset() — the crash-survival promise.
+  io::SyncPolicy sync = io::SyncPolicy::kNever;
+  int64_t sync_interval_bytes = 1 << 20;
+  /// Registry for the durability instruments ("io.sync.count",
+  /// "io.write.failed", "io.recovery.torn_truncations", labeled
+  /// layer=kafka.log). Null = not instrumented.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The log of one topic partition (paper Section V.B, Simple storage): a
@@ -100,6 +115,20 @@ class PartitionLog {
   int64_t end_offset() const;          // next offset to be assigned
   int segment_count() const;
 
+  /// First offset NOT covered by a successful fdatasync — the byte boundary
+  /// the log promises survives a crash. Advances per the sync policy; in
+  /// in-memory mode (no data_dir) it tracks flushed_end_offset(), there
+  /// being no crash to survive. Everything below it is also flushed:
+  /// durable_end_offset() <= flushed_end_offset().
+  int64_t durable_end_offset() const;
+
+  /// Non-OK when constructor-time recovery hit a problem it could not mend
+  /// silently: an unreadable segment file (recovery stops there; later
+  /// segment files are renamed aside to "<name>.orphan" so appends can
+  /// never collide with them) or a torn tail whose on-disk truncation
+  /// failed (that segment is sealed; appends move to a fresh file).
+  Status recovery_status() const;
+
  private:
   /// Writer-side segment state, guarded by mu_. `sealed` chunks are
   /// immutable and shared with reader snapshots; `tail` holds unflushed
@@ -110,8 +139,12 @@ class PartitionLog {
     int64_t sealed_bytes = 0;
     std::string tail;
     int64_t last_append_ms = 0;
-    /// Bytes already written to the segment file (persistent mode).
+    /// Bytes the filesystem accepted into the segment file (persistent
+    /// mode). Advances only by what WritableFile::Append reports accepted —
+    /// a failed or short write leaves it honest.
     int64_t persisted_bytes = 0;
+    /// Prefix of persisted_bytes covered by a successful Sync.
+    int64_t synced_bytes = 0;
 
     int64_t size() const {
       return sealed_bytes + static_cast<int64_t>(tail.size());
@@ -139,9 +172,20 @@ class PartitionLog {
   void RecoverFromDiskLocked();
   void PersistSealedLocked();
   std::string SegmentPath(int64_t base_offset) const;
+  /// End of the contiguous prefix of the log the fs accepted (synced=false)
+  /// or fdatasync'ed (synced=true): stops at the first segment whose
+  /// persisted/synced bytes trail its sealed bytes.
+  int64_t ContiguousEndLocked(bool synced) const;
 
   const LogOptions options_;
   const Clock* const clock_;
+  /// Null in in-memory mode; otherwise options_.fs or the default POSIX fs.
+  io::Fs* const fs_;
+  /// Durability instruments (null when options_.metrics is null).
+  obs::Counter* sync_count_ = nullptr;
+  obs::Counter* write_failed_ = nullptr;
+  obs::Counter* torn_truncations_ = nullptr;
+  Status recovery_status_;
 
   /// Writer lock: appends, flush policy, persistence, retention. Readers do
   /// not take it.
@@ -149,6 +193,8 @@ class PartitionLog {
   std::deque<Segment> segments_;
   int unflushed_messages_ = 0;
   int64_t first_unflushed_ms_ = 0;
+  /// Accepted-but-unsynced bytes across all segments (drives kInterval).
+  int64_t unsynced_bytes_ = 0;
 
   /// Reader-visible state. Writers publish the snapshot before advancing
   /// flushed_end_ (release), and readers load flushed_end_ (acquire) before
@@ -162,6 +208,7 @@ class PartitionLog {
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const Snapshot> snapshot_;
   std::atomic<int64_t> flushed_end_{0};
+  std::atomic<int64_t> durable_end_{0};
   std::atomic<int64_t> end_offset_{0};
 };
 

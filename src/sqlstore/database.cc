@@ -1,6 +1,9 @@
 #include "sqlstore/database.h"
 
+#include <algorithm>
+
 #include "common/coding.h"
+#include "common/hash.h"
 
 namespace lidi::sqlstore {
 
@@ -27,13 +30,204 @@ Result<Row> DecodeRow(Slice input) {
   return row;
 }
 
-int64_t Binlog::Append(std::vector<Change> changes) {
+namespace {
+
+// Binlog file record:
+//   fixed32 body length
+//   fixed32 crc (over body)
+//   body: varint scn, varint change count, then per change:
+//         u8 op, zigzag partition, LP table, LP primary key, LP encoded row
+void EncodeTransaction(const CommittedTransaction& txn, std::string* out) {
+  std::string body;
+  PutVarint64(&body, static_cast<uint64_t>(txn.scn));
+  PutVarint64(&body, txn.changes.size());
+  for (const Change& change : txn.changes) {
+    body.push_back(static_cast<char>(change.op));
+    PutZigZag64(&body, change.partition);
+    PutLengthPrefixed(&body, change.table);
+    PutLengthPrefixed(&body, change.primary_key);
+    std::string row_bytes;
+    EncodeRow(change.row, &row_bytes);
+    PutLengthPrefixed(&body, row_bytes);
+  }
+  PutFixed32(out, static_cast<uint32_t>(body.size()));
+  PutFixed32(out, Crc32(body));
+  out->append(body);
+}
+
+bool DecodeTransactionBody(Slice body, CommittedTransaction* txn) {
+  uint64_t scn, count;
+  if (!GetVarint64(&body, &scn) || !GetVarint64(&body, &count)) return false;
+  txn->scn = static_cast<int64_t>(scn);
+  txn->changes.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    if (body.empty()) return false;
+    Change change;
+    const uint8_t op = static_cast<uint8_t>(body[0]);
+    if (op > static_cast<uint8_t>(Change::Op::kDelete)) return false;
+    change.op = static_cast<Change::Op>(op);
+    body.RemovePrefix(1);
+    int64_t partition;
+    Slice table, pk, row_bytes;
+    if (!GetZigZag64(&body, &partition) ||
+        !GetLengthPrefixed(&body, &table) || !GetLengthPrefixed(&body, &pk) ||
+        !GetLengthPrefixed(&body, &row_bytes)) {
+      return false;
+    }
+    change.partition = static_cast<int>(partition);
+    change.table = table.ToString();
+    change.primary_key = pk.ToString();
+    auto row = DecodeRow(row_bytes);
+    if (!row.ok()) return false;
+    change.row = std::move(row.value());
+    txn->changes.push_back(std::move(change));
+  }
+  return body.empty();
+}
+
+}  // namespace
+
+Binlog::Binlog(BinlogOptions options)
+    : options_(std::move(options)),
+      fs_(options_.data_dir.empty()
+              ? nullptr
+              : (options_.fs != nullptr ? options_.fs : io::DefaultFs())) {
+  if (options_.metrics != nullptr) {
+    const obs::Labels labels{{"layer", "sqlstore.binlog"}};
+    sync_count_ = options_.metrics->GetCounter("io.sync.count", labels);
+    write_failed_ = options_.metrics->GetCounter("io.write.failed", labels);
+    torn_truncations_ =
+        options_.metrics->GetCounter("io.recovery.torn_truncations", labels);
+  }
+  if (fs_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RecoverLocked();
+  }
+}
+
+std::string Binlog::FilePath() const { return options_.data_dir + "/binlog.seg"; }
+
+/// Replays the binlog file: CRC-validated records extend the in-memory log;
+/// the scan stops at the first torn or corrupt record (or an SCN breaking
+/// the dense order) and truncates the file there, so the next append lands
+/// right after the last intact transaction.
+void Binlog::RecoverLocked() {
+  Status s = fs_->CreateDirs(options_.data_dir);
+  if (!s.ok()) {
+    recovery_status_ = s;
+    damaged_ = true;
+    return;
+  }
+  const std::string path = FilePath();
+  if (!fs_->FileExists(path)) return;
+  std::string data;
+  s = fs_->ReadFile(path, &data);
+  if (!s.ok()) {
+    recovery_status_ = s;
+    damaged_ = true;  // the file has bytes we cannot see; never append blind
+    return;
+  }
+  size_t offset = 0;
+  while (true) {
+    Slice in(data.data() + offset, data.size() - offset);
+    uint32_t length, crc;
+    if (!GetFixed32(&in, &length) || !GetFixed32(&in, &crc)) break;
+    if (in.size() < length) break;  // torn tail
+    Slice body(in.data(), length);
+    if (Crc32(body) != crc) break;  // torn or corrupt record
+    CommittedTransaction txn;
+    if (!DecodeTransactionBody(body, &txn)) break;
+    if (txn.scn != next_scn_) break;  // dense commit order violated
+    log_.push_back(std::move(txn));
+    next_scn_++;
+    offset += 8 + length;
+  }
+  if (offset < data.size()) {
+    if (torn_truncations_ != nullptr) torn_truncations_->Increment();
+    Status t = fs_->TruncateFile(path, static_cast<int64_t>(offset));
+    if (!t.ok()) {
+      recovery_status_ = t;
+      if (write_failed_ != nullptr) write_failed_->Increment();
+      damaged_ = true;  // garbage stays past offset; appends must not follow
+    }
+  }
+  persisted_bytes_ = static_cast<int64_t>(offset);
+  durable_scn_ = next_scn_ - 1;  // everything replayed is on stable storage
+}
+
+/// All-or-nothing persist of one transaction record: on failure the file is
+/// rolled back to the last acknowledged byte (or, if even that fails, the
+/// binlog declares itself damaged and refuses all further appends — the
+/// loud alternative to silently burying an unacknowledged record).
+Status Binlog::PersistLocked(const CommittedTransaction& txn) {
+  if (fs_ == nullptr) return Status::OK();
+  if (damaged_) {
+    return Status::IOError("binlog damaged (unacked bytes on disk): " +
+                           recovery_status_.message());
+  }
+  std::string record;
+  EncodeTransaction(txn, &record);
+  if (file_ == nullptr) {
+    auto file = fs_->OpenAppend(FilePath());
+    if (!file.ok()) {
+      if (write_failed_ != nullptr) write_failed_->Increment();
+      return file.status();
+    }
+    file_ = std::move(file.value());
+  }
+  int64_t accepted = 0;
+  Status s = file_->Append(record, &accepted);
+  if (s.ok()) {
+    unsynced_bytes_ += static_cast<int64_t>(record.size());
+    const bool sync_due =
+        options_.sync == io::SyncPolicy::kAlways ||
+        (options_.sync == io::SyncPolicy::kInterval &&
+         unsynced_bytes_ >= options_.sync_interval_bytes);
+    if (sync_due) {
+      s = file_->Sync();
+      if (s.ok()) {
+        if (sync_count_ != nullptr) sync_count_->Increment();
+        unsynced_bytes_ = 0;
+        durable_scn_ = txn.scn;
+      }
+    }
+  }
+  if (!s.ok()) {
+    if (write_failed_ != nullptr) write_failed_->Increment();
+    file_.reset();
+    unsynced_bytes_ = std::max<int64_t>(0, unsynced_bytes_ - accepted);
+    Status t = fs_->TruncateFile(FilePath(), persisted_bytes_);
+    if (!t.ok()) {
+      damaged_ = true;
+      if (recovery_status_.ok()) recovery_status_ = t;
+    }
+    return s;
+  }
+  persisted_bytes_ += static_cast<int64_t>(record.size());
+  return Status::OK();
+}
+
+Result<int64_t> Binlog::Append(std::vector<Change> changes) {
   std::lock_guard<std::mutex> lock(mu_);
   CommittedTransaction txn;
-  txn.scn = next_scn_++;
+  txn.scn = next_scn_;  // assigned for real only if the persist succeeds
   txn.changes = std::move(changes);
+  Status s = PersistLocked(txn);
+  if (!s.ok()) return s;
+  next_scn_++;
   log_.push_back(std::move(txn));
+  if (fs_ == nullptr) durable_scn_ = log_.back().scn;
   return log_.back().scn;
+}
+
+int64_t Binlog::DurableScn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_scn_;
+}
+
+Status Binlog::recovery_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovery_status_;
 }
 
 std::vector<CommittedTransaction> Binlog::ReadAfter(int64_t from_scn,
@@ -161,6 +355,23 @@ Result<int64_t> Database::CommitChanges(std::vector<Change>* changes) {
       change.partition =
           partition_fn_ ? partition_fn_(change.primary_key) : -1;
     }
+    triggers = triggers_;
+    semi_sync = semi_sync_;
+  }
+
+  // Binlog first: if the durable record cannot be written, the commit fails
+  // with the tables untouched — rows and binlog never disagree. (The commit
+  // lock keeps other transactions from interleaving between the append and
+  // the table apply below.)
+  const auto appended = binlog_.Append(*changes);
+  if (!appended.ok()) {
+    return Status::Unavailable("binlog append failed: " +
+                               appended.status().message());
+  }
+  const int64_t scn = appended.value();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     for (const Change& change : *changes) {
       auto& rows = tables_[change.table];
       if (change.op == Change::Op::kDelete) {
@@ -169,11 +380,7 @@ Result<int64_t> Database::CommitChanges(std::vector<Change>* changes) {
         rows[change.primary_key] = change.row;
       }
     }
-    triggers = triggers_;
-    semi_sync = semi_sync_;
   }
-
-  const int64_t scn = binlog_.Append(*changes);
 
   CommittedTransaction txn;
   txn.scn = scn;

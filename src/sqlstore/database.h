@@ -11,6 +11,8 @@
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "io/file.h"
+#include "obs/metrics.h"
 
 namespace lidi::sqlstore {
 
@@ -44,12 +46,40 @@ struct CommittedTransaction {
   std::vector<Change> changes;
 };
 
+/// Durability knobs for the binlog (the MySQL-binlog stand-in the Databus
+/// pipeline tails, Section III.B).
+struct BinlogOptions {
+  /// When non-empty, every committed transaction is appended to
+  /// "<data_dir>/binlog.seg" before its SCN is acknowledged, and a new
+  /// Binlog replays the file on construction (torn trailing records are
+  /// truncated). Empty = in-memory only.
+  std::string data_dir;
+  /// Filesystem writes go through; null = the process-wide fd-based POSIX
+  /// fs. Tests inject io::MemFs / io::FaultFs here.
+  io::Fs* fs = nullptr;
+  /// Default kAlways — the sync_binlog=1 stance: an acknowledged commit is
+  /// crash-durable. Source-of-truth stores pay the fsync; the paper's
+  /// pipeline depends on the binlog never losing acknowledged commits.
+  io::SyncPolicy sync = io::SyncPolicy::kAlways;
+  int64_t sync_interval_bytes = 1 << 20;
+  /// Registry for the durability instruments ("io.sync.count",
+  /// "io.write.failed", "io.recovery.torn_truncations", labeled
+  /// layer=sqlstore.binlog). Null = not instrumented.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
 /// The commit-ordered replication log. Replayable from any SCN — the
 /// property Databus relies on to keep relays stateless (Section III.D).
 class Binlog {
  public:
-  /// Appends a transaction, assigning the next SCN.
-  int64_t Append(std::vector<Change> changes);
+  Binlog() : Binlog(BinlogOptions{}) {}
+  explicit Binlog(BinlogOptions options);
+
+  /// Appends a transaction, assigning the next SCN. In persistent mode the
+  /// encoded record reaches the file (and, per the sync policy, stable
+  /// storage) *before* the SCN is assigned; a failed persist returns the
+  /// I/O error, assigns no SCN, and leaves the log exactly as it was.
+  Result<int64_t> Append(std::vector<Change> changes);
 
   /// Transactions with scn > from_scn, up to max_count. `from_scn = 0`
   /// replays from the beginning.
@@ -59,15 +89,45 @@ class Binlog {
   int64_t LastScn() const;
   int64_t TransactionCount() const;
 
+  /// Highest SCN covered by a successful fdatasync — the commit the binlog
+  /// promises survives a power loss. Tracks LastScn() under kAlways, and in
+  /// in-memory mode (nothing to survive a crash with).
+  int64_t DurableScn() const;
+
+  /// Non-OK when construction-time replay hit a problem it refuses to paper
+  /// over (unreadable file, failed torn-tail truncation), or when a failed
+  /// append could not be rolled off the file — after which further appends
+  /// are refused rather than buried behind unacknowledged bytes.
+  Status recovery_status() const;
+
   /// Number of ReadAfter calls served — the "load on the source" metric the
   /// consumer-isolation bench (E9) reports: it must not grow with the number
   /// of downstream Databus consumers.
   int64_t ReadCalls() const;
 
  private:
+  std::string FilePath() const;
+  Status PersistLocked(const CommittedTransaction& txn);
+  void RecoverLocked();
+
+  const BinlogOptions options_;
+  io::Fs* fs_ = nullptr;  // null = in-memory only
+  obs::Counter* sync_count_ = nullptr;
+  obs::Counter* write_failed_ = nullptr;
+  obs::Counter* torn_truncations_ = nullptr;
+
   mutable std::mutex mu_;
   std::vector<CommittedTransaction> log_;
   int64_t next_scn_ = 1;
+  int64_t durable_scn_ = 0;
+  /// Bytes of acknowledged records in the file (rollback target).
+  int64_t persisted_bytes_ = 0;
+  int64_t unsynced_bytes_ = 0;
+  /// Set when the file holds bytes we could not take back (failed rollback
+  /// truncate) — appending past them would bury unacknowledged data.
+  bool damaged_ = false;
+  Status recovery_status_;
+  std::unique_ptr<io::WritableFile> file_;
   mutable int64_t read_calls_ = 0;
 };
 
@@ -89,7 +149,8 @@ using SemiSyncCallback =
 /// Databus pipeline captures. Thread-safe.
 class Database {
  public:
-  explicit Database(std::string name) : name_(std::move(name)) {}
+  explicit Database(std::string name, BinlogOptions binlog_options = {})
+      : name_(std::move(name)), binlog_(std::move(binlog_options)) {}
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;

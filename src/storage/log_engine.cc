@@ -1,10 +1,11 @@
 #include "storage/log_engine.h"
 
+#include <algorithm>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
+#include <cstdlib>
 #include <map>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/coding.h"
@@ -21,7 +22,11 @@ namespace {
 //   value bytes
 class LogEngineImpl : public LogStructuredEngine {
  public:
-  explicit LogEngineImpl(const LogEngineOptions& options) : options_(options) {
+  explicit LogEngineImpl(const LogEngineOptions& options)
+      : options_(options),
+        fs_(options.data_dir.empty()
+                ? nullptr
+                : (options.fs != nullptr ? options.fs : io::DefaultFs())) {
     if (options_.metrics == nullptr) {
       owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
     }
@@ -36,7 +41,15 @@ class LogEngineImpl : public LogStructuredEngine {
     total_bytes_gauge_ = metrics->GetGauge("storage.total_bytes", labels);
     dead_bytes_gauge_ = metrics->GetGauge("storage.dead_bytes", labels);
     compactions_counter_ = metrics->GetCounter("storage.compactions", labels);
-    if (!options_.data_dir.empty()) {
+    obs::Labels io_labels{{"layer", "storage.log_engine"}};
+    if (!options_.metrics_scope.empty()) {
+      io_labels.emplace_back("store", options_.metrics_scope);
+    }
+    io_sync_count_ = metrics->GetCounter("io.sync.count", io_labels);
+    io_write_failed_ = metrics->GetCounter("io.write.failed", io_labels);
+    io_torn_truncations_ =
+        metrics->GetCounter("io.recovery.torn_truncations", io_labels);
+    if (fs_ != nullptr) {
       RecoverFromDisk();
     }
     if (segments_.empty()) segments_.emplace_back();
@@ -59,20 +72,20 @@ class LogEngineImpl : public LogStructuredEngine {
 
   Status Put(Slice key, Slice value) override {
     std::lock_guard<std::mutex> lock(mu_);
-    AppendLocked(key, value, /*tombstone=*/false);
-    MaybeCompactLocked();
+    Status s = AppendLocked(key, value, /*tombstone=*/false);
+    if (s.ok()) MaybeCompactLocked();
     UpdateGaugesLocked();
-    return Status::OK();
+    return s;
   }
 
   Status Delete(Slice key) override {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key.ToString());
     if (it == index_.end()) return Status::OK();
-    AppendLocked(key, Slice(), /*tombstone=*/true);
-    MaybeCompactLocked();
+    Status s = AppendLocked(key, Slice(), /*tombstone=*/true);
+    if (s.ok()) MaybeCompactLocked();
     UpdateGaugesLocked();
-    return Status::OK();
+    return s;
   }
 
   int64_t Count() const override {
@@ -128,6 +141,11 @@ class LogEngineImpl : public LogStructuredEngine {
     return Status::OK();
   }
 
+  Status RecoveryStatus() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return recovery_status_;
+  }
+
  private:
   struct Location {
     size_t segment;
@@ -141,108 +159,229 @@ class LogEngineImpl : public LogStructuredEngine {
     return options_.data_dir + "/" + name;
   }
 
-  /// Constructor-time recovery: reads segment files in order and replays
-  /// every record through the index, so the last write per key wins and
-  /// tombstones erase. Torn trailing records are discarded.
-  void RecoverFromDisk() {
-    namespace fs = std::filesystem;
-    std::error_code ec;
-    fs::create_directories(options_.data_dir, ec);
-    std::vector<std::string> names;
-    for (const auto& entry : fs::directory_iterator(options_.data_dir, ec)) {
-      const std::string name = entry.path().filename().string();
-      if (name.size() == 14 && name.substr(10) == ".seg") names.push_back(name);
+  static std::string EncodeRecord(Slice key, Slice value, bool tombstone) {
+    std::string body;
+    PutLengthPrefixed(&body, key);
+    if (tombstone) {
+      PutVarint64(&body, 0);
+    } else {
+      PutVarint64(&body, value.size() + 1);
+      body.append(value.data(), value.size());
     }
-    std::sort(names.begin(), names.end());
-    for (const std::string& name : names) {
-      std::ifstream in(options_.data_dir + "/" + name, std::ios::binary);
-      if (!in) continue;
-      std::string data((std::istreambuf_iterator<char>(in)),
-                       std::istreambuf_iterator<char>());
-      segments_.push_back(data);
-      const size_t segment_index = segments_.size() - 1;
-      Slice scan(data);
-      size_t offset = 0;
-      while (!scan.empty()) {
-        Slice record = scan;
-        uint32_t crc;
-        Slice key, body;
-        uint64_t vlen_plus1;
-        if (!GetFixed32(&record, &crc)) break;
-        body = record;
-        if (!GetLengthPrefixed(&record, &key) ||
-            !GetVarint64(&record, &vlen_plus1)) {
-          break;  // torn tail
+    std::string record;
+    PutFixed32(&record, Crc32(body));
+    record += body;
+    return record;
+  }
+
+  /// Replays one segment's bytes into the index, stopping at the first
+  /// torn or CRC-invalid record. Returns the clean prefix length.
+  size_t ReplaySegmentLocked(const std::string& data, size_t segment_index) {
+    Slice scan(data);
+    size_t offset = 0;
+    while (!scan.empty()) {
+      Slice record = scan;
+      uint32_t crc;
+      Slice key, body;
+      uint64_t vlen_plus1;
+      if (!GetFixed32(&record, &crc)) break;
+      body = record;
+      if (!GetLengthPrefixed(&record, &key) ||
+          !GetVarint64(&record, &vlen_plus1)) {
+        break;  // torn tail
+      }
+      if (vlen_plus1 > 0 && record.size() < vlen_plus1 - 1) break;
+      const size_t value_bytes = vlen_plus1 == 0 ? 0 : vlen_plus1 - 1;
+      const size_t record_size =
+          4 + (record.data() - body.data()) + value_bytes;
+      Slice full_body(data.data() + offset + 4, record_size - 4);
+      if (Crc32(full_body) != crc) break;  // corruption: stop this segment
+      const std::string k = key.ToString();
+      auto it = index_.find(k);
+      if (vlen_plus1 == 0) {
+        if (it != index_.end()) {
+          dead_bytes_ += static_cast<int64_t>(it->second.record_size);
+          index_.erase(it);
         }
-        if (vlen_plus1 > 0 && record.size() < vlen_plus1 - 1) break;
-        const size_t value_bytes = vlen_plus1 == 0 ? 0 : vlen_plus1 - 1;
-        const size_t record_size =
-            4 + (record.data() - body.data()) + value_bytes;
-        Slice full_body(data.data() + offset + 4, record_size - 4);
-        if (Crc32(full_body) != crc) break;  // corruption: stop this segment
-        const std::string k = key.ToString();
-        auto it = index_.find(k);
-        if (vlen_plus1 == 0) {
-          if (it != index_.end()) {
-            dead_bytes_ += static_cast<int64_t>(it->second.record_size);
-            index_.erase(it);
-          }
-          dead_bytes_ += static_cast<int64_t>(record_size);
+        dead_bytes_ += static_cast<int64_t>(record_size);
+      } else {
+        const Location loc{segment_index, offset, record_size};
+        if (it != index_.end()) {
+          dead_bytes_ += static_cast<int64_t>(it->second.record_size);
+          it->second = loc;
         } else {
-          const Location loc{segment_index, offset, record_size};
-          if (it != index_.end()) {
-            dead_bytes_ += static_cast<int64_t>(it->second.record_size);
-            it->second = loc;
-          } else {
-            index_[k] = loc;
-          }
+          index_[k] = loc;
         }
-        offset += record_size;
-        scan = Slice(data.data() + offset, data.size() - offset);
       }
-      // Drop any torn tail from memory and disk.
-      if (offset < segments_.back().size()) {
-        segments_.back().resize(offset);
-        std::ofstream out(options_.data_dir + "/" + name,
-                          std::ios::binary | std::ios::trunc);
-        out.write(segments_.back().data(), offset);
+      offset += record_size;
+      scan = Slice(data.data() + offset, data.size() - offset);
+    }
+    return offset;
+  }
+
+  /// Constructor-time recovery: reads segment files in file-number order
+  /// and replays every record through the index, so the last write per key
+  /// wins and tombstones erase. Torn trailing records are discarded.
+  ///
+  /// The in-memory segment index must keep matching the on-disk file names
+  /// — segments_[i] is always file "<i>.seg". A missing or unreadable file
+  /// therefore becomes an empty placeholder (its records are lost, which
+  /// RecoveryStatus reports loudly) rather than being skipped, which would
+  /// shift every later segment and make future appends land in the wrong
+  /// file.
+  void RecoverFromDisk() {
+    Status s = fs_->CreateDirs(options_.data_dir);
+    if (!s.ok()) {
+      recovery_status_ = s;
+      return;
+    }
+    auto names = fs_->ListDir(options_.data_dir);
+    if (!names.ok()) {
+      recovery_status_ = names.status();
+      return;
+    }
+    std::vector<std::pair<size_t, std::string>> files;  // (number, name)
+    for (const std::string& name : names.value()) {
+      if (name.size() == 14 && name.substr(10) == ".seg") {
+        files.emplace_back(static_cast<size_t>(std::atoll(name.c_str())),
+                           name);
+      } else if (name.size() > 4 &&
+                 name.compare(name.size() - 4, 4, ".tmp") == 0) {
+        // Staged compaction output from a crashed run; never made live.
+        fs_->RemoveFile(options_.data_dir + "/" + name);
       }
-      persisted_bytes_.push_back(static_cast<int64_t>(offset));
+    }
+    std::sort(files.begin(), files.end());
+    bool last_damaged = false;
+    for (const auto& [number, name] : files) {
+      last_damaged = false;
+      while (segments_.size() < number) {
+        // A hole in the numbering: that file's records are gone.
+        if (recovery_status_.ok()) {
+          recovery_status_ = Status::Corruption(
+              "segment file missing: " + SegmentPath(segments_.size()));
+        }
+        segments_.emplace_back();
+        persisted_bytes_.push_back(0);
+      }
+      const std::string path = options_.data_dir + "/" + name;
+      std::string data;
+      Status read_status = fs_->ReadFile(path, &data);
+      if (!read_status.ok()) {
+        if (recovery_status_.ok()) recovery_status_ = read_status;
+        segments_.emplace_back();
+        persisted_bytes_.push_back(0);
+        // The real file still has bytes we could not read; never append to
+        // it, or its contents and this placeholder diverge.
+        last_damaged = true;
+        continue;
+      }
+      const size_t segment_index = segments_.size();
+      const size_t clean = ReplaySegmentLocked(data, segment_index);
+      if (clean < data.size()) {
+        io_torn_truncations_->Increment();
+        data.resize(clean);
+        Status truncate_status =
+            fs_->TruncateFile(path, static_cast<int64_t>(clean));
+        if (!truncate_status.ok()) {
+          // Garbage stays on disk past `clean`; quarantine the file.
+          if (recovery_status_.ok()) recovery_status_ = truncate_status;
+          io_write_failed_->Increment();
+          last_damaged = true;
+        }
+      }
+      segments_.push_back(std::move(data));
+      persisted_bytes_.push_back(static_cast<int64_t>(clean));
+    }
+    if (last_damaged) {
+      // Quarantine the damaged tail file: appends move to a fresh segment.
+      segments_.emplace_back();
+      persisted_bytes_.push_back(0);
     }
   }
 
-  void PersistAppendLocked(size_t segment_index, const std::string& record) {
-    if (options_.data_dir.empty()) return;
+  /// Persists one record to the segment's file, applying the sync policy.
+  /// All-or-nothing toward the caller: on any failure the file is rolled
+  /// back to its pre-write length (or, if even that fails, *quarantine is
+  /// set and the caller must stop appending to this segment), so on-disk
+  /// bytes never diverge from the in-memory segment copy.
+  Status PersistAppendLocked(size_t segment_index, const std::string& record,
+                             bool* quarantine) {
+    *quarantine = false;
+    if (fs_ == nullptr) return Status::OK();
     while (persisted_bytes_.size() <= segment_index) {
       persisted_bytes_.push_back(0);
     }
-    std::ofstream out(SegmentPath(segment_index),
-                      std::ios::binary | std::ios::app);
-    out.write(record.data(), static_cast<std::streamsize>(record.size()));
+    if (active_file_ == nullptr || active_file_index_ != segment_index) {
+      active_file_.reset();
+      auto file = fs_->OpenAppend(SegmentPath(segment_index));
+      if (!file.ok()) {
+        io_write_failed_->Increment();
+        return file.status();
+      }
+      active_file_ = std::move(file.value());
+      active_file_index_ = segment_index;
+    }
+    int64_t accepted = 0;
+    Status s = active_file_->Append(record, &accepted);
+    if (s.ok()) {
+      unsynced_bytes_ += static_cast<int64_t>(record.size());
+      const bool sync_due =
+          options_.sync == io::SyncPolicy::kAlways ||
+          (options_.sync == io::SyncPolicy::kInterval &&
+           unsynced_bytes_ >= options_.sync_interval_bytes);
+      if (sync_due) {
+        s = active_file_->Sync();
+        if (s.ok()) {
+          io_sync_count_->Increment();
+          unsynced_bytes_ = 0;
+        }
+      }
+    }
+    if (!s.ok()) {
+      io_write_failed_->Increment();
+      // The write (or the sync acknowledging it) failed: the caller will
+      // not apply the record in memory, so take it back off the disk too.
+      active_file_.reset();
+      unsynced_bytes_ = std::max<int64_t>(0, unsynced_bytes_ - accepted);
+      Status t = fs_->TruncateFile(SegmentPath(segment_index),
+                                   persisted_bytes_[segment_index]);
+      if (!t.ok()) {
+        // Unacked bytes are stuck in the file; recovery CRC-scans will
+        // handle them, but no further append may bury them.
+        persisted_bytes_[segment_index] += accepted;
+        *quarantine = true;
+      }
+      return s;
+    }
     persisted_bytes_[segment_index] += static_cast<int64_t>(record.size());
+    return Status::OK();
   }
 
-  void AppendLocked(Slice key, Slice value, bool tombstone) {
-    std::string record_body;
-    PutLengthPrefixed(&record_body, key);
-    if (tombstone) {
-      PutVarint64(&record_body, 0);
-    } else {
-      PutVarint64(&record_body, value.size() + 1);
-      record_body.append(value.data(), value.size());
-    }
-    std::string record;
-    PutFixed32(&record, Crc32(record_body));
-    record += record_body;
-
+  /// Appends the record durably first (per the sync policy), then applies
+  /// it to the in-memory segment and index — so an error return means the
+  /// engine state is exactly as if the call never happened.
+  Status AppendLocked(Slice key, Slice value, bool tombstone) {
+    const std::string record = EncodeRecord(key, value, tombstone);
     if (static_cast<int64_t>(segments_.back().size()) >=
         options_.segment_size_bytes) {
       segments_.emplace_back();
+      active_file_.reset();
     }
-    std::string& seg = segments_.back();
-    const Location loc{segments_.size() - 1, seg.size(), record.size()};
+    const size_t segment_index = segments_.size() - 1;
+    bool quarantine = false;
+    Status s = PersistAppendLocked(segment_index, record, &quarantine);
+    if (!s.ok()) {
+      if (quarantine) {
+        segments_.emplace_back();
+        active_file_.reset();
+      }
+      return s;
+    }
+
+    std::string& seg = segments_[segment_index];
+    const Location loc{segment_index, seg.size(), record.size()};
     seg += record;
-    PersistAppendLocked(segments_.size() - 1, record);
 
     const std::string k = key.ToString();
     auto it = index_.find(k);
@@ -259,6 +398,7 @@ class LogEngineImpl : public LogStructuredEngine {
     } else {
       index_[k] = loc;
     }
+    return Status::OK();
   }
 
   Status ReadRecordLocked(const Location& loc, std::string* key,
@@ -314,25 +454,18 @@ class LogEngineImpl : public LogStructuredEngine {
     }
   }
 
+  /// Compaction rewrites live records into fresh segments. Persistent mode
+  /// stages the new segments as "<n>.seg.tmp" files (synced), then
+  /// atomically renames them over the live files and fsyncs the directory —
+  /// a crash mid-compaction leaves the old, complete generation in place
+  /// (recovery deletes stray .tmp files). On a staging failure the
+  /// compaction is abandoned and the engine keeps its current state.
   void CompactLocked() {
-    std::vector<std::string> old_segments = std::move(segments_);
-    std::map<std::string, Location> old_index = std::move(index_);
-    segments_.clear();
-    segments_.emplace_back();
-    index_.clear();
-    dead_bytes_ = 0;
-    compactions_counter_->Increment();
-    if (!options_.data_dir.empty()) {
-      // Compaction rewrites everything: drop the old segment files.
-      for (size_t i = 0; i < old_segments.size(); ++i) {
-        std::error_code ec;
-        std::filesystem::remove(SegmentPath(i), ec);
-      }
-      persisted_bytes_.clear();
-    }
-    for (const auto& [key, loc] : old_index) {
-      // Read from the old segments directly.
-      const std::string& seg = old_segments[loc.segment];
+    // Rebuild in memory first; no I/O can fail here.
+    std::vector<std::string> new_segments(1);
+    std::map<std::string, Location> new_index;
+    for (const auto& [key, loc] : index_) {
+      const std::string& seg = segments_[loc.segment];
       Slice record(seg.data() + loc.offset, loc.record_size);
       uint32_t crc;
       GetFixed32(&record, &crc);
@@ -340,23 +473,86 @@ class LogEngineImpl : public LogStructuredEngine {
       GetLengthPrefixed(&record, &k);
       uint64_t vlen_plus1;
       GetVarint64(&record, &vlen_plus1);
-      Slice value(record.data(), vlen_plus1 - 1);
-      AppendLocked(key, value, /*tombstone=*/false);
+      const Slice value(record.data(), vlen_plus1 - 1);
+      const std::string rec = EncodeRecord(key, value, /*tombstone=*/false);
+      if (static_cast<int64_t>(new_segments.back().size()) >=
+          options_.segment_size_bytes) {
+        new_segments.emplace_back();
+      }
+      new_index[key] = Location{new_segments.size() - 1,
+                                new_segments.back().size(), rec.size()};
+      new_segments.back() += rec;
     }
+
+    std::vector<int64_t> new_persisted;
+    if (fs_ != nullptr) {
+      active_file_.reset();
+      const size_t old_files = persisted_bytes_.size();
+      // Stage.
+      for (size_t i = 0; i < new_segments.size(); ++i) {
+        const std::string tmp = SegmentPath(i) + ".tmp";
+        if (fs_->FileExists(tmp)) fs_->RemoveFile(tmp);
+        auto file = fs_->OpenAppend(tmp);
+        Status s = file.ok() ? file.value()->Append(new_segments[i], nullptr)
+                             : file.status();
+        if (s.ok()) s = file.value()->Sync();
+        if (file.ok()) file.value()->Close();
+        if (!s.ok()) {
+          // Abandon: remove staged files, keep the current generation.
+          io_write_failed_->Increment();
+          for (size_t j = 0; j <= i; ++j) {
+            fs_->RemoveFile(SegmentPath(j) + ".tmp");
+          }
+          return;
+        }
+        io_sync_count_->Increment();
+      }
+      // Swap: atomic per file; then drop the old generation's surplus.
+      for (size_t i = 0; i < new_segments.size(); ++i) {
+        Status s = fs_->RenameFile(SegmentPath(i) + ".tmp", SegmentPath(i));
+        if (!s.ok()) {
+          io_write_failed_->Increment();
+          if (recovery_status_.ok()) recovery_status_ = s;
+        }
+      }
+      for (size_t i = new_segments.size(); i < old_files; ++i) {
+        fs_->RemoveFile(SegmentPath(i));
+      }
+      fs_->SyncDir(options_.data_dir);
+      for (const auto& seg : new_segments) {
+        new_persisted.push_back(static_cast<int64_t>(seg.size()));
+      }
+      unsynced_bytes_ = 0;
+    }
+
+    segments_ = std::move(new_segments);
+    index_ = std::move(new_index);
+    persisted_bytes_ = std::move(new_persisted);
+    dead_bytes_ = 0;
+    compactions_counter_->Increment();
   }
 
   const LogEngineOptions options_;
+  io::Fs* const fs_;  // null = in-memory only
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::Gauge* live_keys_ = nullptr;
   obs::Gauge* segment_count_ = nullptr;
   obs::Gauge* total_bytes_gauge_ = nullptr;
   obs::Gauge* dead_bytes_gauge_ = nullptr;
   obs::Counter* compactions_counter_ = nullptr;
+  obs::Counter* io_sync_count_ = nullptr;
+  obs::Counter* io_write_failed_ = nullptr;
+  obs::Counter* io_torn_truncations_ = nullptr;
   mutable std::mutex mu_;
   std::vector<std::string> segments_;
   std::vector<int64_t> persisted_bytes_;  // per segment (persistent mode)
   std::map<std::string, Location> index_;
   int64_t dead_bytes_ = 0;
+  Status recovery_status_;
+  /// Cached append handle for the active segment's file.
+  std::unique_ptr<io::WritableFile> active_file_;
+  size_t active_file_index_ = 0;
+  int64_t unsynced_bytes_ = 0;
 };
 
 }  // namespace

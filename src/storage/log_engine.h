@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "io/file.h"
 #include "obs/metrics.h"
 #include "storage/engine.h"
 
@@ -21,6 +22,14 @@ struct LogEngineOptions {
   /// recovery model, mirroring how BDB-JE replays its log). Empty =
   /// in-memory only.
   std::string data_dir;
+  /// Filesystem the persistent mode writes through; null = the process-wide
+  /// fd-based POSIX fs. Tests inject io::MemFs / io::FaultFs here.
+  io::Fs* fs = nullptr;
+  /// When accepted record bytes are pushed to stable storage (fdatasync).
+  /// kAlways means a Put/Delete returning OK is crash-durable; kNever rides
+  /// the page cache (the BDB-JE default the paper's RW stores tuned).
+  io::SyncPolicy sync = io::SyncPolicy::kNever;
+  int64_t sync_interval_bytes = 1 << 20;
   /// Registry the engine's instruments ("storage.live_keys" et al.) land in;
   /// null = engine-private registry. When several engines share a registry,
   /// set distinct `metrics_scope`s — it becomes the "store" label.
@@ -68,6 +77,12 @@ class LogStructuredEngine : public StorageEngine {
 
   /// Verifies every live record's checksum; Corruption on mismatch.
   virtual Status VerifyChecksums() const = 0;
+
+  /// Non-OK when constructor-time recovery hit a problem it refuses to
+  /// paper over: an unreadable or missing segment file (a placeholder keeps
+  /// the segment-index <-> file-name mapping intact, but the records in
+  /// that file are lost) or a torn-tail truncation that failed.
+  virtual Status RecoveryStatus() const { return Status::OK(); }
 };
 
 }  // namespace lidi::storage

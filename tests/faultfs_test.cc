@@ -1,0 +1,654 @@
+// Crash/fault-injection tests for the durable I/O layer (src/io) and the
+// three persistence layers riding on it: kafka::PartitionLog,
+// storage::LogStructuredEngine, and sqlstore::Binlog.
+//
+// The property tests run hundreds of seeded FaultFs schedules (short
+// writes, ENOSPC, sync failures, a crash point torn at byte granularity)
+// and assert the durability contract after Restart() + reopen: everything
+// acknowledged as durable is intact, and recovered state is a clean prefix
+// of acknowledged state. Every schedule is deterministic in its seed; a
+// failing seed replays exactly via the LIDI_FAULTFS_SEED env knob, e.g.
+//   LIDI_FAULTFS_SEED=1234567 ctest -R faultfs_test
+//
+// The regression tests pin the three silent-data-loss bugs this layer
+// exposed (see DESIGN.md, durability contract): dishonest persisted-byte
+// accounting on failed writes, segment-index skew when recovery skipped
+// unreadable files, and torn tails validated by length prefix alone.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "io/fault_fs.h"
+#include "io/file.h"
+#include "kafka/log.h"
+#include "kafka/message.h"
+#include "obs/metrics.h"
+#include "sqlstore/database.h"
+#include "storage/log_engine.h"
+
+namespace lidi {
+namespace {
+
+constexpr int kSchedulesPerLayer = 220;
+
+/// Seeds to run: all of [1, n] normally; exactly the one from
+/// LIDI_FAULTFS_SEED when set (replaying a reported failure).
+std::vector<uint64_t> Seeds(int n) {
+  if (const char* env = std::getenv("LIDI_FAULTFS_SEED")) {
+    return {std::strtoull(env, nullptr, 10)};
+  }
+  std::vector<uint64_t> seeds;
+  for (int i = 1; i <= n; ++i) seeds.push_back(static_cast<uint64_t>(i));
+  return seeds;
+}
+
+std::string ReplayHint(uint64_t seed) {
+  return "schedule seed=" + std::to_string(seed) +
+         " (replay: LIDI_FAULTFS_SEED=" + std::to_string(seed) + ")";
+}
+
+std::string OneSet(const std::string& payload) {
+  kafka::MessageSetBuilder builder;
+  builder.Add(payload);
+  return builder.Build();
+}
+
+std::vector<std::string> ReadAllPayloads(kafka::PartitionLog* log) {
+  std::vector<std::string> out;
+  int64_t offset = log->start_offset();
+  while (offset < log->flushed_end_offset()) {
+    auto data = log->Read(offset, 1 << 20);
+    if (!data.ok() || data.value().empty()) break;
+    kafka::MessageSetIterator it(data.value(), offset);
+    kafka::Message m;
+    while (it.Next(&m)) out.push_back(m.payload);
+    offset = it.next_fetch_offset();
+  }
+  return out;
+}
+
+std::map<std::string, std::string> ScanAll(storage::LogStructuredEngine* e) {
+  std::map<std::string, std::string> out;
+  e->ForEach([&out](Slice k, Slice v) {
+    out[k.ToString()] = v.ToString();
+    return true;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FaultFs itself
+// ---------------------------------------------------------------------------
+
+TEST(FaultFsTest, SchedulesAreDeterministicInTheSeed) {
+  for (int run = 0; run < 2; ++run) {
+    static std::string first_content;
+    static int64_t first_failures = 0;
+    auto mem = io::NewMemFs();
+    io::FaultFsOptions fopts;
+    fopts.seed = 42;
+    fopts.short_write_probability = 0.5;
+    fopts.write_error_probability = 0.2;
+    io::FaultFs fs(mem.get(), fopts);
+    ASSERT_TRUE(fs.CreateDirs("/d").ok());
+    auto file = fs.OpenAppend("/d/f");
+    ASSERT_TRUE(file.ok());
+    for (int i = 0; i < 50; ++i) {
+      file.value()->Append("0123456789abcdef", nullptr);
+    }
+    std::string content;
+    ASSERT_TRUE(fs.ReadFile("/d/f", &content).ok());
+    if (run == 0) {
+      first_content = content;
+      first_failures = fs.injected_failures();
+      EXPECT_GT(first_failures, 0);
+    } else {
+      EXPECT_EQ(content, first_content);
+      EXPECT_EQ(fs.injected_failures(), first_failures);
+    }
+  }
+}
+
+TEST(FaultFsTest, AcceptedReportsTheExactPrefixOnDisk) {
+  auto mem = io::NewMemFs();
+  io::FaultFsOptions fopts;
+  fopts.seed = 7;
+  fopts.short_write_probability = 1.0;  // every append is torn
+  io::FaultFs fs(mem.get(), fopts);
+  auto file = fs.OpenAppend("/f");
+  ASSERT_TRUE(file.ok());
+  int64_t total_accepted = 0;
+  for (int i = 0; i < 20; ++i) {
+    int64_t accepted = -1;
+    Status s = file.value()->Append("xxxxxxxxxx", &accepted);
+    EXPECT_FALSE(s.ok());
+    ASSERT_GE(accepted, 0);
+    ASSERT_LT(accepted, 10);  // strict prefix
+    total_accepted += accepted;
+  }
+  auto size = fs.FileSize("/f");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), total_accepted);
+}
+
+TEST(FaultFsTest, RestartKeepsDurablePrefixAndCutsUnsyncedTail) {
+  auto mem = io::NewMemFs();
+  io::FaultFsOptions fopts;
+  fopts.seed = 3;
+  io::FaultFs fs(mem.get(), fopts);
+  {
+    auto file = fs.OpenAppend("/f");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->Append("durable-part", nullptr).ok());
+    ASSERT_TRUE(file.value()->Sync().ok());
+    ASSERT_TRUE(file.value()->Append("page-cache-only", nullptr).ok());
+  }
+  fs.CrashNow();
+  std::string ignored;
+  EXPECT_FALSE(fs.ReadFile("/f", &ignored).ok());  // dead until reboot
+  ASSERT_TRUE(fs.Restart().ok());
+  std::string content;
+  ASSERT_TRUE(fs.ReadFile("/f", &content).ok());
+  ASSERT_GE(content.size(), 12u);  // synced bytes always survive
+  EXPECT_EQ(content.substr(0, 12), "durable-part");
+  EXPECT_LE(content.size(), 12u + 15u);
+}
+
+// ---------------------------------------------------------------------------
+// Property: kafka::PartitionLog crash recovery
+// ---------------------------------------------------------------------------
+
+// For every schedule: after a crash + restart, the recovered log serves an
+// exact prefix of the appended payload sequence (no holes, no corruption),
+// and its end covers everything durable_end_offset() had acknowledged.
+TEST(FaultFsPropertyTest, PartitionLogRecoversAcknowledgedDurablePrefix) {
+  const io::SyncPolicy kPolicies[] = {io::SyncPolicy::kNever,
+                                      io::SyncPolicy::kInterval,
+                                      io::SyncPolicy::kAlways};
+  for (uint64_t seed : Seeds(kSchedulesPerLayer)) {
+    SCOPED_TRACE(ReplayHint(seed));
+    auto mem = io::NewMemFs();
+    Random rng(seed * 7919 + 13);
+    io::FaultFsOptions fopts;
+    fopts.seed = seed;
+    fopts.crash_after_bytes = 64 + static_cast<int64_t>(rng.Uniform(4000));
+    fopts.write_error_probability = rng.Bernoulli(0.3) ? 0.05 : 0.0;
+    fopts.short_write_probability = rng.Bernoulli(0.3) ? 0.05 : 0.0;
+    fopts.sync_error_probability = rng.Bernoulli(0.3) ? 0.05 : 0.0;
+    io::FaultFs fs(mem.get(), fopts);
+
+    obs::MetricsRegistry metrics;
+    kafka::LogOptions opts;
+    opts.data_dir = "/p0";
+    opts.fs = &fs;
+    opts.metrics = &metrics;
+    opts.segment_bytes = 128 + static_cast<int64_t>(rng.Uniform(512));
+    opts.flush_interval_messages = 1 + static_cast<int>(rng.Uniform(4));
+    opts.flush_interval_ms = 1 << 30;
+    opts.sync = kPolicies[rng.Uniform(3)];
+    opts.sync_interval_bytes = 64 + static_cast<int64_t>(rng.Uniform(512));
+    ManualClock clock;
+
+    std::vector<std::string> written;
+    int64_t durable_before = 0;
+    {
+      kafka::PartitionLog log(opts, &clock);
+      for (int i = 0; i < 120 && !fs.crashed(); ++i) {
+        const std::string payload = "m" + std::to_string(i) + "-" +
+                                    rng.Bytes(1 + rng.Uniform(40));
+        log.Append(OneSet(payload), 1);
+        written.push_back(payload);
+        if (rng.Bernoulli(0.3)) log.Flush();
+      }
+      log.Flush();
+      durable_before = log.durable_end_offset();
+      ASSERT_LE(durable_before, log.flushed_end_offset());
+    }
+    ASSERT_TRUE(fs.Restart().ok());
+
+    kafka::PartitionLog recovered(opts, &clock);
+    // The crash-survival promise: nothing acknowledged durable is lost.
+    EXPECT_GE(recovered.flushed_end_offset(), durable_before);
+    // And whatever came back is an exact prefix of what was appended.
+    const auto payloads = ReadAllPayloads(&recovered);
+    ASSERT_LE(payloads.size(), written.size());
+    for (size_t i = 0; i < payloads.size(); ++i) {
+      ASSERT_EQ(payloads[i], written[i]) << "payload " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property: storage::LogStructuredEngine crash recovery
+// ---------------------------------------------------------------------------
+
+// Under sync=kAlways, an OK Put/Delete is acknowledged durable; a failed one
+// must leave no trace. For every schedule the recovered engine equals the
+// model of acknowledged operations exactly.
+TEST(FaultFsPropertyTest, LogEngineRecoversExactlyTheAcknowledgedState) {
+  for (uint64_t seed : Seeds(kSchedulesPerLayer)) {
+    SCOPED_TRACE(ReplayHint(seed));
+    auto mem = io::NewMemFs();
+    Random rng(seed * 104729 + 7);
+    io::FaultFsOptions fopts;
+    fopts.seed = seed;
+    fopts.crash_after_bytes = 64 + static_cast<int64_t>(rng.Uniform(3000));
+    fopts.write_error_probability = rng.Bernoulli(0.3) ? 0.08 : 0.0;
+    fopts.short_write_probability = rng.Bernoulli(0.3) ? 0.08 : 0.0;
+    fopts.sync_error_probability = rng.Bernoulli(0.3) ? 0.08 : 0.0;
+    io::FaultFs fs(mem.get(), fopts);
+
+    storage::LogEngineOptions opts;
+    opts.data_dir = "/kv";
+    opts.fs = &fs;
+    opts.segment_size_bytes = 128 + static_cast<int64_t>(rng.Uniform(512));
+    opts.compaction_garbage_ratio = 10.0;  // compaction only when asked
+    opts.sync = io::SyncPolicy::kAlways;
+
+    std::map<std::string, std::string> model;
+    {
+      auto engine = storage::NewLogStructuredEngine(opts);
+      for (int i = 0; i < 150 && !fs.crashed(); ++i) {
+        const std::string key = "k" + std::to_string(rng.Uniform(25));
+        if (rng.Bernoulli(0.2)) {
+          if (engine->Delete(key).ok()) model.erase(key);
+        } else {
+          const std::string value = rng.Bytes(10 + rng.Uniform(40));
+          if (engine->Put(key, value).ok()) model[key] = value;
+        }
+        if (rng.Bernoulli(0.05)) engine->CompactNow();
+      }
+    }
+    ASSERT_TRUE(fs.Restart().ok());
+
+    auto recovered = storage::NewLogStructuredEngine(opts);
+    EXPECT_EQ(ScanAll(recovered.get()), model);
+    EXPECT_TRUE(recovered->VerifyChecksums().ok());
+    EXPECT_TRUE(recovered->RecoveryStatus().ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property: sqlstore::Binlog crash recovery
+// ---------------------------------------------------------------------------
+
+// For every schedule: the recovered binlog is an exact prefix of the
+// acknowledged commits, at least as long as DurableScn() promised; SCNs
+// stay dense; the next commit continues the sequence.
+TEST(FaultFsPropertyTest, BinlogRecoversAcknowledgedDurableCommits) {
+  const io::SyncPolicy kPolicies[] = {io::SyncPolicy::kNever,
+                                      io::SyncPolicy::kInterval,
+                                      io::SyncPolicy::kAlways};
+  for (uint64_t seed : Seeds(kSchedulesPerLayer)) {
+    SCOPED_TRACE(ReplayHint(seed));
+    auto mem = io::NewMemFs();
+    Random rng(seed * 65537 + 3);
+    io::FaultFsOptions fopts;
+    fopts.seed = seed;
+    fopts.crash_after_bytes = 32 + static_cast<int64_t>(rng.Uniform(2500));
+    fopts.write_error_probability = rng.Bernoulli(0.3) ? 0.08 : 0.0;
+    fopts.short_write_probability = rng.Bernoulli(0.3) ? 0.08 : 0.0;
+    io::FaultFs fs(mem.get(), fopts);
+
+    sqlstore::BinlogOptions bopts;
+    bopts.data_dir = "/db";
+    bopts.fs = &fs;
+    bopts.sync = kPolicies[rng.Uniform(3)];
+    bopts.sync_interval_bytes = 64 + static_cast<int64_t>(rng.Uniform(256));
+
+    // (primary key, value) of the acknowledged commit with scn i+1.
+    std::vector<std::pair<std::string, std::string>> acked;
+    int64_t durable_before = 0;
+    {
+      sqlstore::Database db("crashdb", bopts);
+      ASSERT_TRUE(db.CreateTable("t").ok());
+      for (int i = 0; i < 80 && !fs.crashed(); ++i) {
+        const std::string pk = "pk" + std::to_string(i);
+        const std::string value = rng.Bytes(5 + rng.Uniform(30));
+        auto scn = db.Put("t", pk, {{"val", value}});
+        if (scn.ok()) {
+          ASSERT_EQ(scn.value(), static_cast<int64_t>(acked.size()) + 1)
+              << "SCNs must stay dense";
+          acked.emplace_back(pk, value);
+        }
+      }
+      durable_before = db.binlog().DurableScn();
+      ASSERT_LE(durable_before, db.binlog().LastScn());
+    }
+    ASSERT_TRUE(fs.Restart().ok());
+
+    sqlstore::Database db2("crashdb", bopts);
+    const int64_t last = db2.binlog().LastScn();
+    EXPECT_GE(last, durable_before);  // nothing acknowledged durable is lost
+    EXPECT_LE(last, static_cast<int64_t>(acked.size()));
+    const auto txns = db2.binlog().ReadAfter(0, 1 << 20);
+    ASSERT_EQ(static_cast<int64_t>(txns.size()), last);
+    for (size_t i = 0; i < txns.size(); ++i) {
+      ASSERT_EQ(txns[i].scn, static_cast<int64_t>(i) + 1);
+      ASSERT_EQ(txns[i].changes.size(), 1u);
+      EXPECT_EQ(txns[i].changes[0].primary_key, acked[i].first);
+      EXPECT_EQ(txns[i].changes[0].row.at("val"), acked[i].second);
+    }
+    // The sequence continues where the recovered log ends.
+    ASSERT_TRUE(db2.CreateTable("t").ok());
+    auto next = db2.Put("t", "post", {{"val", "restart"}});
+    if (next.ok()) {
+      EXPECT_EQ(next.value(), last + 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Regression: bugfix 1 — honest persisted-byte accounting
+// ---------------------------------------------------------------------------
+
+// Pre-PR, PartitionLog::PersistSealedLocked advanced persisted_bytes even
+// when every write failed, so the consumer-visible frontier claimed offsets
+// that did not exist on disk and vanished on restart.
+TEST(FaultFsRegressionTest, KafkaFailedWritesDoNotAdvanceTheFrontier) {
+  auto mem = io::NewMemFs();
+  io::FaultFsOptions fopts;
+  fopts.seed = 11;
+  fopts.write_error_probability = 1.0;  // disk full: nothing lands
+  io::FaultFs fs(mem.get(), fopts);
+  obs::MetricsRegistry metrics;
+  kafka::LogOptions opts;
+  opts.data_dir = "/p0";
+  opts.fs = &fs;
+  opts.metrics = &metrics;
+  ManualClock clock;
+  kafka::PartitionLog log(opts, &clock);
+  for (int i = 0; i < 5; ++i) log.Append(OneSet("doomed"), 1);
+  log.Flush();
+  EXPECT_EQ(log.flushed_end_offset(), 0) << "no byte was accepted";
+  EXPECT_EQ(log.durable_end_offset(), 0);
+  EXPECT_GT(metrics
+                .GetCounter("io.write.failed", {{"layer", "kafka.log"}})
+                ->Value(),
+            0);
+  // A restart agrees with the frontier: nothing comes back.
+  kafka::PartitionLog recovered(opts, &clock);
+  EXPECT_EQ(recovered.flushed_end_offset(), 0);
+  EXPECT_TRUE(ReadAllPayloads(&recovered).empty());
+}
+
+// Short writes leave the file shorter than the in-memory log; the honest
+// counter resumes from the accepted boundary and eventually completes the
+// entry, and recovery tolerates the shorter file at every point.
+TEST(FaultFsRegressionTest, KafkaShortWritesResumeFromHonestBoundary) {
+  auto mem = io::NewMemFs();
+  io::FaultFsOptions fopts;
+  fopts.seed = 23;
+  // Mostly-torn writes (a short write accepts a strict prefix, so 1.0 could
+  // never land the final byte); occasional appends go through whole.
+  fopts.short_write_probability = 0.75;
+  io::FaultFs fs(mem.get(), fopts);
+  kafka::LogOptions opts;
+  opts.data_dir = "/p0";
+  opts.fs = &fs;
+  ManualClock clock;
+  const std::string payload(64, 'p');
+  {
+    kafka::PartitionLog log(opts, &clock);
+    log.Append(OneSet(payload), 1);
+    // Each flush retries from the honest boundary; a torn write advances it
+    // by what stuck. Never does the frontier pass unaccepted bytes.
+    for (int i = 0; i < 400 && log.flushed_end_offset() == 0; ++i) {
+      log.Flush();
+      ASSERT_LE(log.flushed_end_offset(), fs.total_bytes_written());
+    }
+    EXPECT_GT(log.flushed_end_offset(), 0) << "entry eventually completes";
+  }
+  kafka::PartitionLog recovered(opts, &clock);
+  EXPECT_EQ(ReadAllPayloads(&recovered), std::vector<std::string>{payload});
+}
+
+// Pre-PR, LogEngine::PersistAppendLocked advanced persisted_bytes_ whether
+// or not the stream took the record; a full disk silently produced an
+// engine whose in-memory state no restart could reproduce.
+TEST(FaultFsRegressionTest, EngineFailedWritesLeaveNoTrace) {
+  auto mem = io::NewMemFs();
+  io::FaultFsOptions fopts;
+  fopts.seed = 17;
+  fopts.write_error_probability = 1.0;
+  io::FaultFs fs(mem.get(), fopts);
+  storage::LogEngineOptions opts;
+  opts.data_dir = "/kv";
+  opts.fs = &fs;
+  opts.sync = io::SyncPolicy::kAlways;
+  {
+    auto engine = storage::NewLogStructuredEngine(opts);
+    EXPECT_FALSE(engine->Put("k", "v").ok()) << "failed write must surface";
+    std::string v;
+    EXPECT_TRUE(engine->Get("k", &v).IsNotFound())
+        << "a failed Put must not apply in memory";
+    EXPECT_EQ(engine->Count(), 0);
+    EXPECT_GT(engine->metrics()
+                  ->GetCounter("io.write.failed",
+                               {{"layer", "storage.log_engine"}})
+                  ->Value(),
+              0);
+  }
+  auto recovered = storage::NewLogStructuredEngine(opts);
+  EXPECT_EQ(recovered->Count(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: bugfix 2 — recovery preserves the segment-index mapping
+// ---------------------------------------------------------------------------
+
+// Pre-PR, RecoverFromDisk skipped an unreadable/missing segment file with
+// `continue`, shifting every later segment down one index, so appends
+// landed in the wrong files and a second restart read interleaved garbage.
+TEST(FaultFsRegressionTest, EngineMissingSegmentKeepsIndexFileMapping) {
+  auto mem = io::NewMemFs();
+  storage::LogEngineOptions opts;
+  opts.data_dir = "/kv";
+  opts.fs = mem.get();
+  opts.segment_size_bytes = 256;
+  opts.compaction_garbage_ratio = 10.0;
+  std::map<std::string, std::string> model;
+  {
+    auto engine = storage::NewLogStructuredEngine(opts);
+    for (int i = 0; i < 60; ++i) {
+      const std::string key = "k" + std::to_string(i);
+      const std::string value = "v" + std::string(30, 'a' + (i % 26));
+      ASSERT_TRUE(engine->Put(key, value).ok());
+      model[key] = value;
+    }
+    ASSERT_GT(engine->GetStats().segments, 3);
+  }
+  // Lose a middle segment file (disk corruption, operator error, ...).
+  ASSERT_TRUE(mem->RemoveFile("/kv/0000000001.seg").ok());
+
+  std::map<std::string, std::string> first_scan;
+  {
+    auto engine = storage::NewLogStructuredEngine(opts);
+    EXPECT_FALSE(engine->RecoveryStatus().ok()) << "loss must be loud";
+    first_scan = ScanAll(engine.get());
+    // Records in the surviving files are intact: every recovered value is
+    // the one written for that key (index<->file mapping preserved), and
+    // the newest keys — written after the lost segment — are all present.
+    for (const auto& [key, value] : first_scan) {
+      ASSERT_EQ(value, model.at(key)) << key;
+    }
+    EXPECT_EQ(first_scan.at("k59"), model.at("k59"));
+    EXPECT_TRUE(engine->VerifyChecksums().ok());
+    // And the log keeps working.
+    ASSERT_TRUE(engine->Put("post-loss", "value").ok());
+    std::string v;
+    ASSERT_TRUE(engine->Get("post-loss", &v).ok());
+  }
+  // Double-restart consistency: nothing further degrades or shifts.
+  auto again = storage::NewLogStructuredEngine(opts);
+  auto second_scan = ScanAll(again.get());
+  ASSERT_EQ(second_scan.erase("post-loss"), 1u);
+  EXPECT_EQ(second_scan, first_scan);
+  EXPECT_TRUE(again->VerifyChecksums().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Regression: bugfix 3 — torn tails validated by CRC, not length alone
+// ---------------------------------------------------------------------------
+
+// Pre-PR, PartitionLog recovery accepted any tail whose length prefix
+// parsed; garbage with a plausible length was served to consumers as a
+// message. Now each entry's payload CRC must verify.
+TEST(FaultFsRegressionTest, KafkaPlausibleLengthGarbageIsTruncated) {
+  auto mem = io::NewMemFs();
+  obs::MetricsRegistry metrics;
+  kafka::LogOptions opts;
+  opts.data_dir = "/p0";
+  opts.fs = mem.get();
+  opts.metrics = &metrics;
+  ManualClock clock;
+  {
+    kafka::PartitionLog log(opts, &clock);
+    log.Append(OneSet("complete"), 1);
+    log.Flush();
+  }
+  auto size_before = mem->FileSize("/p0/00000000000000000000.log");
+  ASSERT_TRUE(size_before.ok());
+  {
+    // A full-length entry with a valid length prefix but a wrong CRC: ten
+    // payload bytes, length = 5 + 10.
+    std::string garbage;
+    garbage.append("\x0f\x00\x00\x00", 4);  // length 15
+    garbage.push_back('\0');                // attributes
+    garbage.append("\xef\xbe\xad\xde", 4);  // wrong crc
+    garbage.append("evilpaylod", 10);
+    auto file = mem->OpenAppend("/p0/00000000000000000000.log");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->Append(garbage, nullptr).ok());
+  }
+  kafka::PartitionLog recovered(opts, &clock);
+  EXPECT_EQ(ReadAllPayloads(&recovered),
+            std::vector<std::string>{"complete"});
+  EXPECT_EQ(metrics
+                .GetCounter("io.recovery.torn_truncations",
+                            {{"layer", "kafka.log"}})
+                ->Value(),
+            1);
+  // The garbage is gone from the file too, not buried by later appends.
+  auto size_after = mem->FileSize("/p0/00000000000000000000.log");
+  ASSERT_TRUE(size_after.ok());
+  EXPECT_EQ(size_after.value(), size_before.value());
+}
+
+// ---------------------------------------------------------------------------
+// sqlstore::Binlog persistence basics
+// ---------------------------------------------------------------------------
+
+TEST(PersistentBinlogTest, DatabaseBinlogSurvivesRestart) {
+  auto mem = io::NewMemFs();
+  sqlstore::BinlogOptions bopts;
+  bopts.data_dir = "/db";
+  bopts.fs = mem.get();
+  {
+    sqlstore::Database db("music", bopts);
+    ASSERT_TRUE(db.CreateTable("Artists").ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(db.Put("Artists", "a" + std::to_string(i),
+                         {{"name", "artist" + std::to_string(i)},
+                          {"plays", std::to_string(i * 100)}})
+                      .ok());
+    }
+    // One multi-change transaction and a delete, for coverage of the codec.
+    auto txn = db.Begin();
+    txn.Put("Artists", "a0", {{"name", "renamed"}});
+    txn.Delete("Artists", "a4");
+    ASSERT_TRUE(txn.Commit().ok());
+    EXPECT_EQ(db.binlog().LastScn(), 6);
+    EXPECT_EQ(db.binlog().DurableScn(), 6);  // kAlways is the default
+  }
+  sqlstore::Database db2("music", bopts);
+  EXPECT_TRUE(db2.binlog().recovery_status().ok());
+  EXPECT_EQ(db2.binlog().LastScn(), 6);
+  EXPECT_EQ(db2.binlog().DurableScn(), 6);
+  const auto txns = db2.binlog().ReadAfter(0, 100);
+  ASSERT_EQ(txns.size(), 6u);
+  EXPECT_EQ(txns[2].changes[0].primary_key, "a2");
+  EXPECT_EQ(txns[2].changes[0].row.at("plays"), "200");
+  ASSERT_EQ(txns[5].changes.size(), 2u);
+  EXPECT_EQ(txns[5].changes[0].op, sqlstore::Change::Op::kUpdate);
+  EXPECT_EQ(txns[5].changes[0].row.at("name"), "renamed");
+  EXPECT_EQ(txns[5].changes[1].op, sqlstore::Change::Op::kDelete);
+  EXPECT_EQ(txns[5].changes[1].primary_key, "a4");
+  // The sequence continues exactly where it left off.
+  ASSERT_TRUE(db2.CreateTable("Artists").ok());
+  auto next = db2.Put("Artists", "post", {{"name", "restart"}});
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value(), 7);
+}
+
+TEST(PersistentBinlogTest, TornTailTruncatedOnRecovery) {
+  auto mem = io::NewMemFs();
+  obs::MetricsRegistry metrics;
+  sqlstore::BinlogOptions bopts;
+  bopts.data_dir = "/db";
+  bopts.fs = mem.get();
+  bopts.metrics = &metrics;
+  {
+    sqlstore::Binlog binlog(bopts);
+    ASSERT_TRUE(binlog.Append({}).ok());
+    ASSERT_TRUE(binlog.Append({}).ok());
+  }
+  {
+    // A torn record: plausible length, missing body.
+    auto file = mem->OpenAppend("/db/binlog.seg");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(
+        file.value()->Append(std::string("\x40\x00\x00\x00\x01\x02", 6),
+                             nullptr)
+            .ok());
+  }
+  sqlstore::Binlog recovered(bopts);
+  EXPECT_TRUE(recovered.recovery_status().ok());
+  EXPECT_EQ(recovered.LastScn(), 2);
+  EXPECT_EQ(metrics
+                .GetCounter("io.recovery.torn_truncations",
+                            {{"layer", "sqlstore.binlog"}})
+                ->Value(),
+            1);
+  auto next = recovered.Append({});
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value(), 3);
+}
+
+// Sync-policy plumbing sanity: kAlways acknowledges durability, kNever
+// never does (until restart proves the bytes), and the counters agree.
+TEST(SyncPolicyTest, DurableFrontierFollowsThePolicy) {
+  for (io::SyncPolicy policy :
+       {io::SyncPolicy::kNever, io::SyncPolicy::kAlways}) {
+    auto mem = io::NewMemFs();
+    obs::MetricsRegistry metrics;
+    kafka::LogOptions opts;
+    opts.data_dir = "/p0";
+    opts.fs = mem.get();
+    opts.metrics = &metrics;
+    opts.sync = policy;
+    ManualClock clock;
+    kafka::PartitionLog log(opts, &clock);
+    for (int i = 0; i < 10; ++i) log.Append(OneSet("payload"), 1);
+    log.Flush();
+    const int64_t syncs =
+        metrics.GetCounter("io.sync.count", {{"layer", "kafka.log"}})
+            ->Value();
+    if (policy == io::SyncPolicy::kAlways) {
+      EXPECT_EQ(log.durable_end_offset(), log.flushed_end_offset());
+      EXPECT_GT(syncs, 0);
+    } else {
+      EXPECT_EQ(log.durable_end_offset(), 0);
+      EXPECT_EQ(syncs, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lidi
