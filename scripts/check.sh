@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# CI gate: the one command that must pass before merging.
+#   scripts/check.sh [jobs]
+#
+# Stages:
+#   1. Configure + build with -DLIDI_THREAD_SAFETY=ON. Under Clang this
+#      promotes -Wthread-safety to an error across the tree; under GCC the
+#      attributes are no-ops and CMake prints a warning but the build (and
+#      the runtime lock-order registry, LIDI_LOCK_ORDER=ON by default)
+#      still gates.
+#   2. Lint (scripts/lint.sh): clang-tidy when available + the repo-local
+#      grep invariants (no raw std::mutex outside src/common/sync.{h,cc},
+#      no std::fstream outside src/io, justified+capped TSA escapes).
+#   3. Full ctest suite.
+#   4. ThreadSanitizer pass over the concurrency-sensitive suites (faultfs
+#      + every *concurrency*/sync test) in a separate build tree, when the
+#      toolchain supports -fsanitize=thread.
+set -eu
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+say() { printf '\n==== check: %s ====\n' "$*"; }
+
+say "build (LIDI_THREAD_SAFETY=ON, LIDI_LOCK_ORDER=ON)"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DLIDI_THREAD_SAFETY=ON -DLIDI_LOCK_ORDER=ON
+cmake --build build -j"$JOBS"
+
+say "lint"
+scripts/lint.sh build
+
+say "tests"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+say "thread-sanitizer (faultfs + concurrency + sync suites)"
+if printf 'int main(){return 0;}' | \
+   ${CXX:-c++} -fsanitize=thread -x c++ - -o /tmp/lidi_tsan_probe 2>/dev/null; then
+  rm -f /tmp/lidi_tsan_probe
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DLIDI_SANITIZE=thread
+  cmake --build build-tsan -j"$JOBS"
+  ctest --test-dir build-tsan --output-on-failure -j"$JOBS" \
+        -R 'faultfs|concurrency|sync'
+else
+  echo "check: toolchain lacks -fsanitize=thread; skipping TSan stage"
+fi
+
+say "OK"

@@ -1,0 +1,211 @@
+#include "common/sync.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace lidi::sync_internal {
+
+#if LIDI_LOCK_ORDER_CHECKS
+
+namespace {
+
+// The registry's own locks are the one allowed raw-std::mutex site outside
+// user code: they must not recurse into the checker.
+struct OrderGraph {
+  std::shared_mutex mu;
+  // edge A -> B: "A was held while B was acquired". The value is the
+  // acquisition chain (lock names, outermost first) captured when the edge
+  // was first recorded — the "other stack" printed on an inversion.
+  std::unordered_map<const LockInfo*,
+                     std::unordered_map<const LockInfo*, std::string>>
+      edges;
+};
+
+OrderGraph& Graph() {
+  static OrderGraph* g = new OrderGraph();  // leaked: outlives every Mutex
+  return *g;
+}
+
+std::vector<const LockInfo*>& HeldStack() {
+  thread_local std::vector<const LockInfo*> held;
+  return held;
+}
+
+// Per-thread memo of (held, acquiring) pairs already validated against the
+// global graph. Once a thread has recorded A->B it may skip the graph for
+// that pair forever: a later B->A — on any thread — still finds the A->B
+// edge in the graph on ITS first validation and dies there. Keeping the
+// hot path to one thread-local hash probe (instead of a shared_mutex
+// round-trip plus two map lookups) is what makes the checker cheap enough
+// to leave on in default builds (E15b regressed ~20% without it).
+struct EdgeMemo {
+  std::unordered_set<uint64_t> seen;
+  uint64_t epoch = 0;  // mirrors DestroyEpoch(); stale memo is cleared
+};
+
+EdgeMemo& Memo() {
+  thread_local EdgeMemo memo;
+  return memo;
+}
+
+// Bumped on every Mutex destruction: heap addresses get recycled, so every
+// thread's memo is invalidated rather than letting a new lock at an old
+// address inherit validated pairs.
+std::atomic<uint64_t>& DestroyEpoch() {
+  static std::atomic<uint64_t> epoch{0};
+  return epoch;
+}
+
+uint64_t EdgeKey(const LockInfo* held, const LockInfo* acquiring) {
+  uint64_t h = reinterpret_cast<uintptr_t>(held);
+  uint64_t a = reinterpret_cast<uintptr_t>(acquiring);
+  return (h * 0x9e3779b97f4a7c15ULL) ^ a;
+}
+
+std::string ChainString(const std::vector<const LockInfo*>& held,
+                        const LockInfo* acquiring) {
+  std::string out;
+  for (const LockInfo* h : held) {
+    out += '"';
+    out += h->name;
+    out += "\" -> ";
+  }
+  out += '"';
+  out += acquiring->name;
+  out += '"';
+  return out;
+}
+
+[[noreturn]] void Die(const char* kind, const std::string& current_chain,
+                      const std::string& prior_chain) {
+  std::fprintf(stderr,
+               "lidi::Mutex %s\n"
+               "  this thread's acquisition chain:  %s\n"
+               "  conflicting prior chain:          %s\n",
+               kind, current_chain.c_str(),
+               prior_chain.empty() ? "(none)" : prior_chain.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const LockInfo* info) {
+  std::vector<const LockInfo*>& held = HeldStack();
+  if (!held.empty()) {
+    for (const LockInfo* h : held) {
+      if (h == info) {
+        Die("reentrant acquisition (self-deadlock)",
+            ChainString(held, info), ChainString({info}, info));
+      }
+      if (h->rank >= 0 && info->rank >= 0 && info->rank <= h->rank) {
+        std::string prior = "rank ";
+        prior += std::to_string(h->rank);
+        prior += " (\"";
+        prior += h->name;
+        prior += "\") declared before rank ";
+        prior += std::to_string(info->rank);
+        prior += " (\"";
+        prior += info->name;
+        prior += "\")";
+        Die("lock-rank inversion", ChainString(held, info), prior);
+      }
+    }
+    EdgeMemo& memo = Memo();
+    const uint64_t epoch = DestroyEpoch().load(std::memory_order_acquire);
+    if (memo.epoch != epoch) {
+      memo.seen.clear();
+      memo.epoch = epoch;
+    }
+    bool all_memoized = true;
+    for (const LockInfo* h : held) {
+      if (!memo.seen.count(EdgeKey(h, info))) {
+        all_memoized = false;
+        break;
+      }
+    }
+    if (all_memoized) {
+      held.push_back(info);
+      return;
+    }
+    OrderGraph& g = Graph();
+    // Fast path: every forward edge already known, no reverse edge.
+    bool need_insert = false;
+    {
+      std::shared_lock<std::shared_mutex> rl(g.mu);
+      for (const LockInfo* h : held) {
+        auto rev = g.edges.find(info);
+        if (rev != g.edges.end()) {
+          auto hit = rev->second.find(h);
+          if (hit != rev->second.end()) {
+            Die("lock-order inversion", ChainString(held, info), hit->second);
+          }
+        }
+        auto fwd = g.edges.find(h);
+        if (fwd == g.edges.end() || !fwd->second.count(info)) {
+          need_insert = true;
+        }
+      }
+    }
+    if (need_insert) {
+      std::string chain = ChainString(held, info);
+      std::unique_lock<std::shared_mutex> wl(g.mu);
+      for (const LockInfo* h : held) {
+        // Re-check the reverse edge: another thread may have recorded B->A
+        // between our shared and exclusive sections.
+        auto rev = g.edges.find(info);
+        if (rev != g.edges.end()) {
+          auto hit = rev->second.find(h);
+          if (hit != rev->second.end()) {
+            Die("lock-order inversion", chain, hit->second);
+          }
+        }
+        g.edges[h].emplace(info, chain);
+      }
+    }
+    // Validated against the graph without dying: memoize every pair so
+    // repeat acquisitions in this order skip the graph entirely.
+    for (const LockInfo* h : held) memo.seen.insert(EdgeKey(h, info));
+  }
+  held.push_back(info);
+}
+
+void OnRelease(const LockInfo* info) {
+  std::vector<const LockInfo*>& held = HeldStack();
+  // Locks may be released out of acquisition order: search from the top.
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (*it == info) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Release of a lock this thread never acquired (cross-thread unlock):
+  // undefined for std::mutex anyway; ignore rather than crash in the
+  // checker.
+}
+
+void OnDestroy(const LockInfo* info) {
+  OrderGraph& g = Graph();
+  std::unique_lock<std::shared_mutex> wl(g.mu);
+  // Heap addresses get recycled: drop every edge touching the dead lock so
+  // a later Mutex at the same address cannot inherit its history, and
+  // invalidate every thread's edge memo for the same reason.
+  g.edges.erase(info);
+  for (auto& [from, to] : g.edges) to.erase(info);
+  DestroyEpoch().fetch_add(1, std::memory_order_release);
+}
+
+#else  // !LIDI_LOCK_ORDER_CHECKS
+
+void OnAcquire(const LockInfo*) {}
+void OnRelease(const LockInfo*) {}
+void OnDestroy(const LockInfo*) {}
+
+#endif  // LIDI_LOCK_ORDER_CHECKS
+
+}  // namespace lidi::sync_internal

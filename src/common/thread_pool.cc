@@ -11,32 +11,32 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  task_cv_.notify_all();
+  task_cv_.NotifyAll();
   for (auto& t : workers_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  task_cv_.notify_one();
+  task_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (!(queue_.empty() && in_flight_ == 0)) idle_cv_.Wait(&mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!(shutdown_ || !queue_.empty())) task_cv_.Wait(&mu_);
       if (shutdown_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -44,9 +44,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

@@ -1,12 +1,12 @@
 #ifndef LIDI_COMMON_THREAD_POOL_H_
 #define LIDI_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace lidi {
 
@@ -29,12 +29,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable task_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  int in_flight_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_{"common.thread_pool"};
+  CondVar task_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ LIDI_GUARDED_BY(mu_);
+  int in_flight_ LIDI_GUARDED_BY(mu_) = 0;
+  bool shutdown_ LIDI_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

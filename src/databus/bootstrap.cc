@@ -47,7 +47,7 @@ Result<int64_t> BootstrapServer::PollRelayOnce() {
   span.set_peer(relay_);
   int64_t since;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     since = log_fetched_scn_;
   }
   std::string request;
@@ -64,7 +64,7 @@ Result<int64_t> BootstrapServer::PollRelayOnce() {
     return events.status();
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (Event& event : events.value()) {
     log_fetched_scn_ = std::max(log_fetched_scn_, event.scn);
     log_.push_back(std::move(event));
@@ -74,7 +74,7 @@ Result<int64_t> BootstrapServer::PollRelayOnce() {
 }
 
 int64_t BootstrapServer::ApplyLogOnce(int64_t max_rows) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t applied = 0;
   while (apply_cursor_ < log_.size() && applied < max_rows) {
     const Event& event = log_[apply_cursor_++];
@@ -90,7 +90,7 @@ int64_t BootstrapServer::ApplyLogOnce(int64_t max_rows) {
 
 Result<std::vector<Event>> BootstrapServer::ConsolidatedDelta(
     int64_t since_scn, const Filter& filter) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Serve from snapshot storage (last event per key), then overlay any log
   // tail the applier has not folded yet — the replay that guarantees
   // consistency while the (long) snapshot scan runs.
@@ -117,7 +117,7 @@ Result<std::vector<Event>> BootstrapServer::ConsolidatedDelta(
 
 Result<SnapshotResult> BootstrapServer::ConsistentSnapshot(
     const Filter& filter) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SnapshotResult result;
   // Live rows: snapshot entries overlaid with the unapplied log tail,
   // dropping deletes.
@@ -143,17 +143,17 @@ Result<SnapshotResult> BootstrapServer::ConsistentSnapshot(
 }
 
 int64_t BootstrapServer::log_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(log_.size());
 }
 
 int64_t BootstrapServer::snapshot_keys() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(snapshot_.size());
 }
 
 int64_t BootstrapServer::applied_scn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return applied_scn_;
 }
 

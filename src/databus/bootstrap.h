@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "databus/event.h"
 #include "databus/relay.h"
 #include "net/network.h"
@@ -85,13 +85,16 @@ class BootstrapServer {
   obs::Counter* const events_fetched_;
   obs::Counter* const rows_applied_;
 
-  mutable std::mutex mu_;
-  std::vector<Event> log_;                        // append-only log storage
-  std::map<std::pair<std::string, std::string>, SnapshotEntry>
-      snapshot_;                                  // (source, key) -> last
-  int64_t log_fetched_scn_ = 0;                   // high-water mark from relay
-  size_t apply_cursor_ = 0;                       // log index applier reached
-  int64_t applied_scn_ = 0;
+  /// Never held across the relay pull (PollRelayOnce fetches unlocked).
+  mutable Mutex mu_{"databus.bootstrap"};
+  std::vector<Event> log_ LIDI_GUARDED_BY(mu_);   // append-only log storage
+  std::map<std::pair<std::string, std::string>, SnapshotEntry> snapshot_
+      LIDI_GUARDED_BY(mu_);                       // (source, key) -> last
+  int64_t log_fetched_scn_ LIDI_GUARDED_BY(mu_) =
+      0;                                          // high-water mark from relay
+  size_t apply_cursor_ LIDI_GUARDED_BY(mu_) =
+      0;                                          // log index applier reached
+  int64_t applied_scn_ LIDI_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lidi::databus

@@ -9,7 +9,7 @@ Status MultiTenantRelay::AddTenant(const std::string& tenant,
   if (tenant.empty() || tenant.find('/') != std::string::npos) {
     return Status::InvalidArgument("bad tenant name: " + tenant);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tenants_.count(tenant) > 0) return Status::AlreadyExists(tenant);
   RelayOptions options;
   // Equal share of the process budget per tenant: the isolation property.
@@ -17,7 +17,7 @@ Status MultiTenantRelay::AddTenant(const std::string& tenant,
       1, total_buffer_events_ / static_cast<int64_t>(tenants_.size() + 1));
   options.buffer_capacity_events = share;
   options.poll_batch_transactions = std::max<int64_t>(1, share / 2);
-  tenants_[tenant] = std::make_unique<Relay>(TenantAddress(tenant), source,
+  tenants_[tenant] = std::make_shared<Relay>(TenantAddress(tenant), source,
                                              network_, options);
   // Rebalance every tenant to the new equal share.
   for (auto& [name, relay] : tenants_) relay->SetBufferCapacity(share);
@@ -25,7 +25,7 @@ Status MultiTenantRelay::AddTenant(const std::string& tenant,
 }
 
 Status MultiTenantRelay::RemoveTenant(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tenants_.erase(tenant) == 0) return Status::NotFound(tenant);
   if (!tenants_.empty()) {
     const int64_t share = std::max<int64_t>(
@@ -36,13 +36,16 @@ Status MultiTenantRelay::RemoveTenant(const std::string& tenant) {
 }
 
 Result<int64_t> MultiTenantRelay::PollAllOnce() {
-  std::vector<Relay*> relays;
+  // Snapshot shared ownership, then poll unlocked: each poll is an
+  // upstream RPC, and the shared_ptr keeps a relay alive even if
+  // RemoveTenant races with the poll.
+  std::vector<std::shared_ptr<Relay>> relays;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [name, relay] : tenants_) relays.push_back(relay.get());
+    MutexLock lock(&mu_);
+    for (auto& [name, relay] : tenants_) relays.push_back(relay);
   }
   int64_t total = 0;
-  for (Relay* relay : relays) {
+  for (const auto& relay : relays) {
     auto n = relay->PollOnce();
     if (!n.ok()) return n;
     total += n.value();
@@ -51,20 +54,20 @@ Result<int64_t> MultiTenantRelay::PollAllOnce() {
 }
 
 std::vector<std::string> MultiTenantRelay::Tenants() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   for (const auto& [name, relay] : tenants_) out.push_back(name);
   return out;
 }
 
 int64_t MultiTenantRelay::BufferedEvents(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? 0 : it->second->buffered_events();
 }
 
 int64_t MultiTenantRelay::BufferShare() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return std::max<int64_t>(
       1, total_buffer_events_ / std::max<size_t>(1, tenants_.size()));
 }

@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "databus/relay.h"
 
 namespace lidi::databus {
@@ -57,8 +57,12 @@ class MultiTenantRelay {
   net::Network* const network_;
   const int64_t total_buffer_events_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Relay>> tenants_;
+  mutable Mutex mu_{"databus.multitenant"};
+  /// shared_ptr, not unique_ptr: PollAllOnce polls tenants with mu_
+  /// released (a poll is an upstream RPC), so a concurrent RemoveTenant
+  /// must not be able to destroy a relay mid-poll.
+  std::map<std::string, std::shared_ptr<Relay>> tenants_
+      LIDI_GUARDED_BY(mu_);
 };
 
 }  // namespace lidi::databus

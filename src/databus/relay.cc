@@ -94,7 +94,7 @@ Result<int64_t> Relay::PollOnce() {
   obs::ScopedSpan span(metrics_, "databus.relay.poll");
   int64_t since;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     since = last_pulled_scn_;
   }
 
@@ -126,7 +126,7 @@ Result<int64_t> Relay::PollOnce() {
   }
   if (incoming.empty()) return int64_t{0};
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const int64_t count = static_cast<int64_t>(incoming.size());
   AppendEventsLocked(std::move(incoming));
   events_ingested_->Add(count);
@@ -135,7 +135,7 @@ Result<int64_t> Relay::PollOnce() {
 
 void Relay::PushTransaction(const sqlstore::CommittedTransaction& txn) {
   auto events = TransactionToEvents(txn);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   AppendEventsLocked(std::move(events));
 }
 
@@ -154,7 +154,7 @@ void Relay::AppendEventsLocked(std::vector<Event> events) {
 Result<std::vector<Event>> Relay::ReadEvents(int64_t since_scn,
                                              int64_t max_events,
                                              const Filter& filter) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!buffer_.empty() && since_scn + 1 < buffer_.front().scn) {
     // The requested range was evicted from the circular buffer; the client
     // must fall back to a bootstrap server (long look-back query).
@@ -179,7 +179,7 @@ Result<std::vector<Event>> Relay::ReadEvents(int64_t since_scn,
 }
 
 void Relay::SetBufferCapacity(int64_t capacity_events) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   options_.buffer_capacity_events = capacity_events;
   options_.poll_batch_transactions =
       std::max<int64_t>(1, capacity_events / 2);
@@ -190,17 +190,17 @@ void Relay::SetBufferCapacity(int64_t capacity_events) {
 }
 
 int64_t Relay::min_buffered_scn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return buffer_.empty() ? 0 : buffer_.front().scn;
 }
 
 int64_t Relay::max_buffered_scn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return buffer_.empty() ? 0 : buffer_.back().scn;
 }
 
 int64_t Relay::buffered_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(buffer_.size());
 }
 

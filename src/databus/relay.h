@@ -3,9 +3,9 @@
 
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/sync.h"
 #include "databus/event.h"
 #include "net/network.h"
 #include "sqlstore/database.h"
@@ -82,7 +82,7 @@ class Relay {
   Relay(std::string relay_name, const sqlstore::Database* source,
         net::Address upstream, net::Network* network, RelayOptions options);
 
-  void AppendEventsLocked(std::vector<Event> events);
+  void AppendEventsLocked(std::vector<Event> events) LIDI_REQUIRES(mu_);
 
   const std::string name_;
   const sqlstore::Database* const source_;  // null for chained relays
@@ -93,9 +93,12 @@ class Relay {
   obs::Counter* const events_ingested_;
   obs::Counter* const events_served_;
 
-  mutable std::mutex mu_;
-  std::deque<Event> buffer_;
-  int64_t last_pulled_scn_ = 0;
+  /// Never held across the upstream pull (PollOnce snapshots the cursor,
+  /// fetches unlocked, then merges) so serving consumers is never blocked
+  /// behind a slow source.
+  mutable Mutex mu_{"databus.relay"};
+  std::deque<Event> buffer_ LIDI_GUARDED_BY(mu_);
+  int64_t last_pulled_scn_ LIDI_GUARDED_BY(mu_) = 0;
 };
 
 /// Encodes/decodes the "databus.read" request.

@@ -13,14 +13,14 @@ int64_t GlobalIndexer::CatchUp() {
     for (;;) {
       int64_t since;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         since = applied_scn_[p];
       }
       auto events = relay_->Read(database_, p, since, 4096);
       if (!events.ok() || events.value().empty()) break;
       for (const databus::Event& event : events.value()) {
         ApplyEvent(event);
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         applied_scn_[p] = std::max(applied_scn_[p], event.scn);
         ++applied;
       }
@@ -32,7 +32,7 @@ int64_t GlobalIndexer::CatchUp() {
 void GlobalIndexer::ApplyEvent(const databus::Event& event) {
   const std::string& table = event.source;
   if (event.op == databus::Event::Op::kDelete) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     indexes_[table].RemoveDocument(event.key);
     return;
   }
@@ -74,23 +74,23 @@ void GlobalIndexer::ApplyEvent(const databus::Event& event) {
         fields[field.name] = value->ToString();
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   indexes_[table].IndexDocument(event.key, fields, text_fields);
-  ++documents_indexed_;
+  documents_indexed_.fetch_add(1);
 }
 
 Result<std::vector<std::string>> GlobalIndexer::Query(
     const std::string& table, const std::string& query_text) const {
   auto query = invidx::Query::Parse(query_text);
   if (!query.ok()) return query.status();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = indexes_.find(table);
   if (it == indexes_.end()) return std::vector<std::string>{};
   return it->second.Search(query.value());
 }
 
 int64_t GlobalIndexer::AppliedScn(int partition) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = applied_scn_.find(partition);
   return it == applied_scn_.end() ? 0 : it->second;
 }

@@ -1,11 +1,12 @@
 #ifndef LIDI_ESPRESSO_GLOBAL_INDEX_H_
 #define LIDI_ESPRESSO_GLOBAL_INDEX_H_
 
+#include <atomic>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "espresso/replication.h"
 #include "espresso/schema.h"
 #include "invidx/inverted_index.h"
@@ -40,7 +41,7 @@ class GlobalIndexer {
 
   /// Lag diagnostics: applied SCN per partition.
   int64_t AppliedScn(int partition) const;
-  int64_t documents_indexed() const { return documents_indexed_; }
+  int64_t documents_indexed() const { return documents_indexed_.load(); }
 
  private:
   void ApplyEvent(const databus::Event& event);
@@ -49,10 +50,15 @@ class GlobalIndexer {
   SchemaRegistry* const registry_;
   const EspressoRelay* const relay_;
 
-  mutable std::mutex mu_;
-  std::map<int, int64_t> applied_scn_;
-  std::map<std::string, invidx::InvertedIndex> indexes_;  // per table
-  int64_t documents_indexed_ = 0;
+  /// Never held across the relay read (CatchUp snapshots the cursor,
+  /// fetches unlocked, applies, then advances it).
+  mutable Mutex mu_{"espresso.global_index"};
+  std::map<int, int64_t> applied_scn_ LIDI_GUARDED_BY(mu_);
+  std::map<std::string, invidx::InvertedIndex> indexes_
+      LIDI_GUARDED_BY(mu_);  // per table
+  /// Atomic, not guarded: the accessor is a stats read on paths that do not
+  /// hold mu_.
+  std::atomic<int64_t> documents_indexed_{0};
 };
 
 }  // namespace lidi::espresso

@@ -7,7 +7,7 @@ namespace lidi::espresso {
 Status EspressoRelay::Append(const std::string& database, int partition,
                              std::vector<databus::Event> events) {
   if (events.empty()) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const BufferKey key{database, partition};
   int64_t& max_scn = max_scn_[key];
   const int64_t scn = events.front().scn;
@@ -28,7 +28,7 @@ Status EspressoRelay::Append(const std::string& database, int partition,
 Result<std::vector<databus::Event>> EspressoRelay::Read(
     const std::string& database, int partition, int64_t since_scn,
     int64_t max_events) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = buffers_.find({database, partition});
   std::vector<databus::Event> out;
   if (it == buffers_.end()) return out;
@@ -45,13 +45,13 @@ Result<std::vector<databus::Event>> EspressoRelay::Read(
 
 int64_t EspressoRelay::MaxScn(const std::string& database,
                               int partition) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = max_scn_.find({database, partition});
   return it == max_scn_.end() ? 0 : it->second;
 }
 
 int64_t EspressoRelay::TotalEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t total = 0;
   for (const auto& [key, buffer] : buffers_) {
     total += static_cast<int64_t>(buffer.size());

@@ -3,10 +3,10 @@
 
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/status.h"
 #include "databus/event.h"
 
@@ -42,9 +42,10 @@ class EspressoRelay {
 
  private:
   using BufferKey = std::pair<std::string, int>;
-  mutable std::mutex mu_;
-  std::map<BufferKey, std::deque<databus::Event>> buffers_;
-  std::map<BufferKey, int64_t> max_scn_;
+  mutable Mutex mu_{"espresso.relay"};
+  std::map<BufferKey, std::deque<databus::Event>> buffers_
+      LIDI_GUARDED_BY(mu_);
+  std::map<BufferKey, int64_t> max_scn_ LIDI_GUARDED_BY(mu_);
 };
 
 }  // namespace lidi::espresso

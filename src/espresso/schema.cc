@@ -129,7 +129,7 @@ Status SchemaRegistry::CreateDatabase(DatabaseSchema schema) {
       return Status::InvalidArgument("range boundaries must be sorted");
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (databases_.count(schema.name) > 0) {
     return Status::AlreadyExists(schema.name);
   }
@@ -139,7 +139,7 @@ Status SchemaRegistry::CreateDatabase(DatabaseSchema schema) {
 
 Result<DatabaseSchema> SchemaRegistry::GetDatabase(
     const std::string& database) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = databases_.find(database);
   if (it == databases_.end()) return Status::NotFound(database);
   return it->second;
@@ -147,7 +147,7 @@ Result<DatabaseSchema> SchemaRegistry::GetDatabase(
 
 Status SchemaRegistry::CreateTable(const std::string& database,
                                    TableSchema table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (databases_.count(database) == 0) return Status::NotFound(database);
   const auto key = std::make_pair(database, table.name);
   if (tables_.count(key) > 0) return Status::AlreadyExists(table.name);
@@ -157,7 +157,7 @@ Status SchemaRegistry::CreateTable(const std::string& database,
 
 Result<TableSchema> SchemaRegistry::GetTable(const std::string& database,
                                              const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tables_.find({database, table});
   if (it == tables_.end()) return Status::NotFound(database + "/" + table);
   return it->second;
@@ -165,7 +165,7 @@ Result<TableSchema> SchemaRegistry::GetTable(const std::string& database,
 
 std::vector<std::string> SchemaRegistry::Tables(
     const std::string& database) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   for (const auto& [key, schema] : tables_) {
     if (key.first == database) out.push_back(key.second);
@@ -178,7 +178,7 @@ Result<int> SchemaRegistry::PostDocumentSchema(const std::string& database,
                                                const std::string& schema_json) {
   auto parsed = avro::ParseSchema(schema_json);
   if (!parsed.ok()) return parsed.status();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tables_.count({database, table}) == 0) {
     return Status::NotFound(database + "/" + table);
   }
@@ -197,7 +197,7 @@ Result<int> SchemaRegistry::PostDocumentSchema(const std::string& database,
 
 Result<avro::SchemaPtr> SchemaRegistry::GetDocumentSchema(
     const std::string& database, const std::string& table, int version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = document_schemas_.find({database, table});
   if (it == document_schemas_.end() || version < 1 ||
       version > static_cast<int>(it->second.size())) {
@@ -208,7 +208,7 @@ Result<avro::SchemaPtr> SchemaRegistry::GetDocumentSchema(
 
 Result<std::pair<int, avro::SchemaPtr>> SchemaRegistry::LatestDocumentSchema(
     const std::string& database, const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = document_schemas_.find({database, table});
   if (it == document_schemas_.end() || it->second.empty()) {
     return Status::NotFound("no document schema for " + database + "/" + table);

@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "avro/schema.h"
 #include "common/status.h"
 
@@ -81,11 +81,12 @@ class SchemaRegistry {
       const std::string& database, const std::string& table) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, DatabaseSchema> databases_;
-  std::map<std::pair<std::string, std::string>, TableSchema> tables_;
+  mutable Mutex mu_{"espresso.schema"};
+  std::map<std::string, DatabaseSchema> databases_ LIDI_GUARDED_BY(mu_);
+  std::map<std::pair<std::string, std::string>, TableSchema> tables_
+      LIDI_GUARDED_BY(mu_);
   std::map<std::pair<std::string, std::string>, std::vector<avro::SchemaPtr>>
-      document_schemas_;
+      document_schemas_ LIDI_GUARDED_BY(mu_);
 };
 
 }  // namespace lidi::espresso

@@ -38,7 +38,7 @@ StorageNode::~StorageNode() { network_->Unregister(name_); }
 
 void StorageNode::SetMasterLookup(
     std::function<std::string(const std::string&, int)> lookup) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   master_lookup_ = std::move(lookup);
 }
 
@@ -54,18 +54,18 @@ void StorageNode::EnsureTable(const std::string& database,
 
 bool StorageNode::IsMasterOf(const std::string& database,
                              int partition) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return master_of_.count({database, partition}) > 0;
 }
 
 bool StorageNode::IsSlaveOf(const std::string& database, int partition) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return slave_of_.count({database, partition}) > 0;
 }
 
 int64_t StorageNode::AppliedScn(const std::string& database,
                                 int partition) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = applied_scn_.find({database, partition});
   return it == applied_scn_.end() ? 0 : it->second;
 }
@@ -81,7 +81,7 @@ Status StorageNode::HandleTransition(const helix::Transition& transition) {
     // then catches up from the relay (paper IV.B, cluster expansion).
     std::function<std::string(const std::string&, int)> lookup;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       lookup = master_lookup_;
     }
     if (lookup && AppliedScn(database, partition) == 0) {
@@ -114,13 +114,13 @@ Status StorageNode::HandleTransition(const helix::Transition& transition) {
                      record.ToRow());
           IndexDocument(database, table.ToString(), key.ToString(), record);
         }
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         applied_scn_[{database, partition}] =
             static_cast<int64_t>(snapshot_scn);
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       slave_of_.insert({database, partition});
     }
     CatchUp(database, partition);
@@ -130,20 +130,20 @@ Status StorageNode::HandleTransition(const helix::Transition& transition) {
       transition.to == ReplicaState::kMaster) {
     // Drain all outstanding changes before accepting writes.
     CatchUp(database, partition);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     slave_of_.erase({database, partition});
     master_of_.insert({database, partition});
     return Status::OK();
   }
   if (transition.from == ReplicaState::kMaster &&
       transition.to == ReplicaState::kSlave) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     master_of_.erase({database, partition});
     slave_of_.insert({database, partition});
     return Status::OK();
   }
   if (transition.to == ReplicaState::kOffline) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     master_of_.erase({database, partition});
     slave_of_.erase({database, partition});
     return Status::OK();
@@ -178,7 +178,7 @@ int64_t StorageNode::CatchUp(const std::string& database, int partition) {
 int64_t StorageNode::CatchUpAll() {
   std::vector<std::pair<std::string, int>> slaves;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     slaves.assign(slave_of_.begin(), slave_of_.end());
   }
   int64_t total = 0;
@@ -218,7 +218,7 @@ Status StorageNode::ApplyEvents(const std::string& database, int partition,
       }
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   applied_scn_[{database, partition}] =
       std::max(applied_scn_[{database, partition}], events.back().scn);
   return Status::OK();
@@ -387,7 +387,7 @@ Result<std::string> StorageNode::HandleQuery(Slice request) const {
 
   const invidx::InvertedIndex* index = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = indexes_.find({database, table});
     if (it != indexes_.end()) index = it->second.get();
   }
@@ -482,7 +482,7 @@ void StorageNode::IndexDocument(const std::string& database,
     fields[field.name] = std::move(text);
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& index = indexes_[{database, table}];
   if (index == nullptr) index = std::make_unique<invidx::InvertedIndex>();
   index->IndexDocument(key, fields, text_fields);
@@ -491,7 +491,7 @@ void StorageNode::IndexDocument(const std::string& database,
 void StorageNode::UnindexDocument(const std::string& database,
                                   const std::string& table,
                                   const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = indexes_.find({database, table});
   if (it != indexes_.end()) it->second->RemoveDocument(key);
 }

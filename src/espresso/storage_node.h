@@ -3,11 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/clock.h"
 #include "espresso/document.h"
 #include "espresso/replication.h"
@@ -112,14 +112,20 @@ class StorageNode {
 
   sqlstore::Database store_;
 
-  mutable std::mutex mu_;
-  std::set<std::pair<std::string, int>> master_of_;
-  std::set<std::pair<std::string, int>> slave_of_;
-  std::map<std::pair<std::string, int>, int64_t> applied_scn_;
+  /// Guards replica-role state and the index map. Never held across the
+  /// relay, the network, or the local store (commits run on the sqlstore
+  /// locks); index entries are created under it but searched via a stable
+  /// pointer after release (entries are never erased).
+  mutable Mutex mu_{"espresso.storage_node"};
+  std::set<std::pair<std::string, int>> master_of_ LIDI_GUARDED_BY(mu_);
+  std::set<std::pair<std::string, int>> slave_of_ LIDI_GUARDED_BY(mu_);
+  std::map<std::pair<std::string, int>, int64_t> applied_scn_
+      LIDI_GUARDED_BY(mu_);
   std::map<std::pair<std::string, std::string>,
            std::unique_ptr<invidx::InvertedIndex>>
-      indexes_;
-  std::function<std::string(const std::string&, int)> master_lookup_;
+      indexes_ LIDI_GUARDED_BY(mu_);
+  std::function<std::string(const std::string&, int)> master_lookup_
+      LIDI_GUARDED_BY(mu_);
 };
 
 }  // namespace lidi::espresso

@@ -26,7 +26,7 @@ HelixController::HelixController(std::string cluster, zk::ZooKeeper* zookeeper)
 }
 
 Status HelixController::AddResource(const ResourceConfig& config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (resources_.count(config.name) > 0) {
     return Status::AlreadyExists(config.name);
   }
@@ -55,7 +55,7 @@ Result<zk::SessionId> HelixController::ConnectParticipant(
                                 "/helix/" + cluster_ + "/live/" + instance,
                                 "", zk::CreateMode::kEphemeral);
   if (!s.ok()) return s;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   handlers_[instance] = std::move(handler);
   return session;
 }
@@ -91,15 +91,18 @@ Assignment HelixController::ComputeAssignment(
 
 Assignment HelixController::ComputeIdealState(
     const std::string& resource) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ComputeAssignment(resource, ConfiguredInstances());
+  // Fetch the instance list first: it is a Zookeeper round-trip, and mu_
+  // must never be held across an RPC.
+  const std::vector<std::string> configured = ConfiguredInstances();
+  MutexLock lock(&mu_);
+  return ComputeAssignment(resource, configured);
 }
 
 Assignment HelixController::ComputeBestPossibleState(
     const std::string& resource) const {
-  std::lock_guard<std::mutex> lock(mu_);
   // The best possible state given available nodes: the ideal-state
-  // algorithm applied to configured ∩ live instances.
+  // algorithm applied to configured ∩ live instances. Both listings are
+  // Zookeeper round-trips, so they run before mu_ is taken.
   const std::vector<std::string> configured = ConfiguredInstances();
   const std::vector<std::string> live = LiveInstances();
   std::vector<std::string> available;
@@ -108,11 +111,12 @@ Assignment HelixController::ComputeBestPossibleState(
       available.push_back(instance);
     }
   }
+  MutexLock lock(&mu_);
   return ComputeAssignment(resource, available);
 }
 
 Assignment HelixController::GetCurrentState(const std::string& resource) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = current_state_.find(resource);
   return it == current_state_.end() ? Assignment{} : it->second;
 }
@@ -121,7 +125,7 @@ int HelixController::RebalanceOnce(int max_transitions) {
   // Snapshot resources.
   std::vector<std::string> resource_names;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& [name, config] : resources_) {
       resource_names.push_back(name);
     }
@@ -168,7 +172,7 @@ int HelixController::RebalanceOnce(int max_transitions) {
             std::find(live.begin(), live.end(), instance) != live.end();
         if (!alive) {
           if (from != ReplicaState::kOffline) {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(&mu_);
             current_state_[resource][p].erase(instance);
           }
           continue;
@@ -210,13 +214,13 @@ int HelixController::RebalanceOnce(int max_transitions) {
         for (const Transition& step : steps) {
           TransitionHandler handler;
           {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(&mu_);
             auto hit = handlers_.find(step.instance);
             if (hit != handlers_.end()) handler = hit->second;
           }
           Status s = handler ? handler(step) : Status::OK();
           if (!s.ok()) break;  // retried on the next pipeline run
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(&mu_);
           if (step.to == ReplicaState::kOffline) {
             current_state_[resource][step.partition].erase(step.instance);
           } else {
@@ -244,7 +248,7 @@ int HelixController::RebalanceToConvergence() {
 
 std::string HelixController::MasterOf(const std::string& resource,
                                       int partition) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto rit = current_state_.find(resource);
   if (rit == current_state_.end()) return "";
   auto pit = rit->second.find(partition);
@@ -260,7 +264,7 @@ std::vector<int> HelixController::MasterlessPartitions(
   std::vector<int> out;
   int num_partitions = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = resources_.find(resource);
     if (it == resources_.end()) return out;
     num_partitions = it->second.num_partitions;

@@ -4,10 +4,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/status.h"
 #include "zk/zookeeper.h"
 
@@ -105,18 +105,21 @@ class HelixController {
 
  private:
   Assignment ComputeAssignment(const std::string& resource,
-                               const std::vector<std::string>& instances) const;
+                               const std::vector<std::string>& instances) const
+      LIDI_REQUIRES(mu_);
   void HandleLivenessChange();
 
   const std::string cluster_;
   zk::ZooKeeper* const zookeeper_;
   zk::SessionId controller_session_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, ResourceConfig> resources_;
-  std::map<std::string, TransitionHandler> handlers_;
+  /// Never held across Zookeeper (instance listings run unlocked) or a
+  /// participant's transition handler (the handler is copied out first).
+  mutable Mutex mu_{"helix.controller"};
+  std::map<std::string, ResourceConfig> resources_ LIDI_GUARDED_BY(mu_);
+  std::map<std::string, TransitionHandler> handlers_ LIDI_GUARDED_BY(mu_);
   // resource -> partition -> instance -> acknowledged state
-  std::map<std::string, Assignment> current_state_;
+  std::map<std::string, Assignment> current_state_ LIDI_GUARDED_BY(mu_);
 };
 
 }  // namespace lidi::helix

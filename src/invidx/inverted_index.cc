@@ -74,7 +74,7 @@ std::string InvertedIndex::TermKey(const std::string& field,
 void InvertedIndex::IndexDocument(
     const std::string& doc_id, const std::map<std::string, std::string>& fields,
     const std::set<std::string>& text_fields) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Re-index: drop the previous postings for this doc.
   auto prev = doc_terms_.find(doc_id);
   if (prev != doc_terms_.end()) {
@@ -111,7 +111,7 @@ void InvertedIndex::IndexDocument(
 }
 
 void InvertedIndex::RemoveDocument(const std::string& doc_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = doc_terms_.find(doc_id);
   if (it == doc_terms_.end()) return;
   for (const std::string& term : it->second) {
@@ -181,7 +181,7 @@ InvertedIndex::MatchClauseLocked(const Query::Clause& clause) const {
 
 Result<std::vector<std::string>> InvertedIndex::Search(
     const Query& query) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (query.clauses.empty()) return Status::InvalidArgument("empty query");
   std::set<std::string> docs;
   for (size_t i = 0; i < query.clauses.size(); ++i) {
@@ -206,12 +206,12 @@ Result<std::vector<std::string>> InvertedIndex::Search(
 }
 
 int64_t InvertedIndex::document_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(doc_terms_.size());
 }
 
 int64_t InvertedIndex::term_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(postings_.size());
 }
 

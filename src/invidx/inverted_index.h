@@ -2,11 +2,11 @@
 #define LIDI_INVIDX_INVERTED_INDEX_H_
 
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/slice.h"
 #include "common/status.h"
 
@@ -61,15 +61,17 @@ class InvertedIndex {
   static std::string TermKey(const std::string& field,
                              const std::string& token);
 
-  /// Docs (with positions) matching one clause; requires mu_ held.
+  /// Docs (with positions) matching one clause.
   Result<std::map<std::string, std::vector<int>>> MatchClauseLocked(
-      const Query::Clause& clause) const;
+      const Query::Clause& clause) const LIDI_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"invidx.index"};
   // term key -> doc id -> token positions
-  std::map<std::string, std::map<std::string, std::vector<int>>> postings_;
+  std::map<std::string, std::map<std::string, std::vector<int>>> postings_
+      LIDI_GUARDED_BY(mu_);
   // doc id -> term keys it contributes to (for removal)
-  std::map<std::string, std::set<std::string>> doc_terms_;
+  std::map<std::string, std::set<std::string>> doc_terms_
+      LIDI_GUARDED_BY(mu_);
 };
 
 }  // namespace lidi::invidx

@@ -47,7 +47,7 @@ FaultFs::FileState* FaultFs::Track(const std::string& path) {
 
 Result<std::unique_ptr<WritableFile>> FaultFs::OpenAppend(
     const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return CrashedError();
   auto base = base_->OpenAppend(path);
   if (!base.ok()) return base.status();
@@ -59,7 +59,7 @@ Result<std::unique_ptr<WritableFile>> FaultFs::OpenAppend(
 Status FaultFs::AppendWithFaults(const std::string& path, Slice data,
                                  int64_t* accepted) {
   if (accepted != nullptr) *accepted = 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return CrashedError();
   FileState* state = Track(path);
 
@@ -102,7 +102,7 @@ Status FaultFs::AppendWithFaults(const std::string& path, Slice data,
 }
 
 Status FaultFs::SyncWithFaults(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return CrashedError();
   if (options_.sync_error_probability > 0 &&
       rng_.Bernoulli(options_.sync_error_probability)) {
@@ -118,7 +118,7 @@ Status FaultFs::SyncWithFaults(const std::string& path) {
 
 Status FaultFs::ReadFile(const std::string& path, std::string* out) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) return CrashedError();
   }
   return base_->ReadFile(path, out);
@@ -126,7 +126,7 @@ Status FaultFs::ReadFile(const std::string& path, std::string* out) {
 
 Result<std::vector<std::string>> FaultFs::ListDir(const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) return CrashedError();
   }
   return base_->ListDir(path);
@@ -134,21 +134,21 @@ Result<std::vector<std::string>> FaultFs::ListDir(const std::string& path) {
 
 Status FaultFs::CreateDirs(const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) return CrashedError();
   }
   return base_->CreateDirs(path);
 }
 
 Status FaultFs::RemoveFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return CrashedError();
   files_.erase(path);
   return base_->RemoveFile(path);
 }
 
 Status FaultFs::TruncateFile(const std::string& path, int64_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return CrashedError();
   Status s = base_->TruncateFile(path, size);
   if (s.ok()) {
@@ -162,7 +162,7 @@ Status FaultFs::TruncateFile(const std::string& path, int64_t size) {
 }
 
 Status FaultFs::RenameFile(const std::string& from, const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return CrashedError();
   Status s = base_->RenameFile(from, to);
   if (s.ok()) {
@@ -176,14 +176,14 @@ Status FaultFs::RenameFile(const std::string& from, const std::string& to) {
 }
 
 Status FaultFs::SyncDir(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return CrashedError();
   return base_->SyncDir(path);
 }
 
 Result<int64_t> FaultFs::FileSize(const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) return CrashedError();
   }
   return base_->FileSize(path);
@@ -194,17 +194,17 @@ bool FaultFs::FileExists(const std::string& path) {
 }
 
 bool FaultFs::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return crashed_;
 }
 
 void FaultFs::CrashNow() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crashed_ = true;
 }
 
 Status FaultFs::Restart() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [path, state] : files_) {
     const int64_t unsynced = state.written - state.durable;
     if (unsynced > 0) {
@@ -247,12 +247,12 @@ Status FaultFs::Restart() {
 }
 
 int64_t FaultFs::injected_failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return injected_failures_;
 }
 
 int64_t FaultFs::total_bytes_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_written_;
 }
 

@@ -4,9 +4,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/sync.h"
 #include "common/random.h"
 #include "io/file.h"
 
@@ -90,16 +90,18 @@ class FaultFs : public Fs {
   Status AppendWithFaults(const std::string& path, Slice data,
                           int64_t* accepted);
   Status SyncWithFaults(const std::string& path);
-  FileState* Track(const std::string& path);  // mu_ held
+  FileState* Track(const std::string& path) LIDI_REQUIRES(mu_);
 
   Fs* const base_;
   FaultFsOptions options_;
-  mutable std::mutex mu_;
-  Random rng_;
-  bool crashed_ = false;
-  int64_t total_written_ = 0;
-  int64_t injected_failures_ = 0;
-  std::map<std::string, FileState> files_;
+  /// Held across base-fs calls (the base fs has its own leaf lock and
+  /// never calls back) so a fault verdict and its bookkeeping are atomic.
+  mutable Mutex mu_{"io.fault_fs"};
+  Random rng_ LIDI_GUARDED_BY(mu_);
+  bool crashed_ LIDI_GUARDED_BY(mu_) = false;
+  int64_t total_written_ LIDI_GUARDED_BY(mu_) = 0;
+  int64_t injected_failures_ LIDI_GUARDED_BY(mu_) = 0;
+  std::map<std::string, FileState> files_ LIDI_GUARDED_BY(mu_);
 };
 
 }  // namespace lidi::io

@@ -1,5 +1,7 @@
 #include "io/file.h"
 
+#include "common/sync.h"
+
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -9,7 +11,6 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
-#include <mutex>
 #include <set>
 
 namespace lidi::io {
@@ -197,14 +198,14 @@ class MemFs : public Fs {
   Result<std::unique_ptr<WritableFile>> OpenAppend(
       const std::string& path) override {
     const std::string p = NormalizePath(path);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     files_[p];  // create if absent
     return std::unique_ptr<WritableFile>(
         std::make_unique<MemWritableFile>(this, p));
   }
 
   Status AppendBytes(const std::string& path, Slice data) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(path);
     if (it == files_.end()) return Status::IOError("no such file " + path);
     it->second.append(data.data(), data.size());
@@ -212,7 +213,7 @@ class MemFs : public Fs {
   }
 
   Status ReadFile(const std::string& path, std::string* out) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(NormalizePath(path));
     if (it == files_.end()) return Status::IOError("no such file " + path);
     *out = it->second;
@@ -221,7 +222,7 @@ class MemFs : public Fs {
 
   Result<std::vector<std::string>> ListDir(const std::string& path) override {
     const std::string dir = NormalizePath(path);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     std::vector<std::string> names;
     const std::string prefix = dir + "/";
     for (const auto& [p, data] : files_) {
@@ -234,13 +235,13 @@ class MemFs : public Fs {
   }
 
   Status CreateDirs(const std::string& path) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     dirs_.insert(NormalizePath(path));
     return Status::OK();
   }
 
   Status RemoveFile(const std::string& path) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (files_.erase(NormalizePath(path)) == 0) {
       return Status::IOError("no such file " + path);
     }
@@ -248,7 +249,7 @@ class MemFs : public Fs {
   }
 
   Status TruncateFile(const std::string& path, int64_t size) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(NormalizePath(path));
     if (it == files_.end()) return Status::IOError("no such file " + path);
     it->second.resize(static_cast<size_t>(size));
@@ -256,7 +257,7 @@ class MemFs : public Fs {
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(NormalizePath(from));
     if (it == files_.end()) return Status::IOError("no such file " + from);
     files_[NormalizePath(to)] = std::move(it->second);
@@ -267,21 +268,21 @@ class MemFs : public Fs {
   Status SyncDir(const std::string& path) override { return Status::OK(); }
 
   Result<int64_t> FileSize(const std::string& path) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(NormalizePath(path));
     if (it == files_.end()) return Status::IOError("no such file " + path);
     return static_cast<int64_t>(it->second.size());
   }
 
   bool FileExists(const std::string& path) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return files_.count(NormalizePath(path)) > 0;
   }
 
  private:
-  std::mutex mu_;
-  std::map<std::string, std::string> files_;
-  std::set<std::string> dirs_;
+  mutable Mutex mu_{"io.memfs"};
+  std::map<std::string, std::string> files_ LIDI_GUARDED_BY(mu_);
+  std::set<std::string> dirs_ LIDI_GUARDED_BY(mu_);
 };
 
 Status MemWritableFile::Append(Slice data, int64_t* accepted) {

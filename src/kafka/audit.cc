@@ -1,5 +1,7 @@
 #include "kafka/audit.h"
 
+#include <vector>
+
 #include "common/coding.h"
 
 namespace lidi::kafka {
@@ -30,40 +32,52 @@ Result<AuditEvent> AuditEvent::Decode(Slice input) {
 }
 
 void ProducerAudit::RecordProduced(const std::string& topic) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const int64_t window = clock_->NowMillis() / window_ms_ * window_ms_;
   pending_[{topic, window}]++;
 }
 
-int ProducerAudit::EmitLocked(bool force) {
+int ProducerAudit::Emit(bool force) {
   const int64_t current_window = clock_->NowMillis() / window_ms_ * window_ms_;
-  int emitted = 0;
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    const auto& [key, count] = *it;
-    if (!force && key.second >= current_window) {
-      ++it;
-      continue;  // window still open
+  // Drain the closed windows under the lock, publish them after releasing
+  // it: Send() is a broker RPC (via the producer's own lock), and holding
+  // the audit mutex across it would stall every concurrent RecordProduced.
+  std::vector<AuditEvent> to_send;
+  {
+    MutexLock lock(&mu_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      const auto& [key, count] = *it;
+      if (!force && key.second >= current_window) {
+        ++it;
+        continue;  // window still open
+      }
+      to_send.push_back(AuditEvent{name_, key.first, key.second, count});
+      it = pending_.erase(it);
     }
-    AuditEvent event{name_, key.first, key.second, count};
+  }
+  int emitted = 0;
+  std::vector<AuditEvent> failed;
+  for (const AuditEvent& event : to_send) {
     if (producer_->Send(kAuditTopic, event.Encode()).ok()) {
       ++emitted;
-      it = pending_.erase(it);
     } else {
-      ++it;
+      failed.push_back(event);
+    }
+  }
+  if (!failed.empty()) {
+    // Merge unpublished counts back (the window may have accumulated more
+    // records in the meantime; += preserves both).
+    MutexLock lock(&mu_);
+    for (const AuditEvent& event : failed) {
+      pending_[{event.topic, event.window_start_ms}] += event.count;
     }
   }
   return emitted;
 }
 
-int ProducerAudit::MaybeEmit() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return EmitLocked(/*force=*/false);
-}
+int ProducerAudit::MaybeEmit() { return Emit(/*force=*/false); }
 
-int ProducerAudit::ForceEmit() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return EmitLocked(/*force=*/true);
-}
+int ProducerAudit::ForceEmit() { return Emit(/*force=*/true); }
 
 Status AuditValidator::IngestAuditMessages(
     const std::vector<Message>& messages) {

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/clock.h"
+#include "common/sync.h"
 #include "common/status.h"
 #include "kafka/consumer.h"
 #include "kafka/producer.h"
@@ -51,15 +52,18 @@ class ProducerAudit {
   int ForceEmit();
 
  private:
-  int EmitLocked(bool force);
+  int Emit(bool force) LIDI_EXCLUDES(mu_);
 
   const std::string name_;
   Producer* const producer_;
   const Clock* const clock_;
   const int64_t window_ms_;
-  std::mutex mu_;
+  /// Guards the window counters; never held across the audit-topic produce
+  /// RPC (Emit drains under the lock, sends outside, re-merges failures).
+  Mutex mu_{"kafka.audit"};
   // (topic, window start) -> count
-  std::map<std::pair<std::string, int64_t>, int64_t> pending_;
+  std::map<std::pair<std::string, int64_t>, int64_t> pending_
+      LIDI_GUARDED_BY(mu_);
 };
 
 /// Consumer-side validation: counts messages actually received per topic

@@ -126,7 +126,7 @@ void Broker::Shutdown() {
 
 Status Broker::CreateTopic(const std::string& topic, int partitions) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (int p = 0; p < partitions; ++p) {
       auto key = std::make_pair(topic, p);
       if (logs_.count(key) == 0) {
@@ -142,7 +142,7 @@ Status Broker::CreateTopic(const std::string& topic, int partitions) {
 }
 
 PartitionLog* Broker::GetLog(const std::string& topic, int partition) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = logs_.find({topic, partition});
   return it == logs_.end() ? nullptr : it->second.get();
 }
@@ -209,12 +209,12 @@ Result<std::string> Broker::Fetch(const std::string& topic, int partition,
 }
 
 void Broker::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [key, log] : logs_) log->Flush();
 }
 
 int Broker::EnforceRetention() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int deleted = 0;
   for (auto& [key, log] : logs_) deleted += log->DeleteExpiredSegments();
   return deleted;

@@ -3,8 +3,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/sync.h"
 
 #include "common/clock.h"
 #include "kafka/log.h"
@@ -120,8 +121,12 @@ class Broker {
   obs::Counter* produce_messages_;
   obs::Counter* produce_bytes_;
 
-  mutable std::mutex mu_;
-  std::map<std::pair<std::string, int>, std::unique_ptr<PartitionLog>> logs_;
+  /// Guards the partition map only; held across per-log calls in the
+  /// flush/retention sweeps (broker -> log writer -> snapshot order).
+  mutable Mutex mu_{"kafka.broker.partitions",
+                    lockrank::kKafkaBrokerPartitions};
+  std::map<std::pair<std::string, int>, std::unique_ptr<PartitionLog>>
+      logs_ LIDI_GUARDED_BY(mu_);
 };
 
 /// Canonical broker address on the simulated network.

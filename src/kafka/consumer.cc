@@ -25,8 +25,9 @@ Consumer::Consumer(std::string consumer_id, std::string group,
 Consumer::~Consumer() { Close(); }
 
 void Consumer::Close() {
-  if (closed_) return;
-  closed_ = true;
+  // exchange() so a racing external Close() and the destructor cannot both
+  // pass the check and double-close the session.
+  if (closed_.exchange(true)) return;
   zookeeper_->CloseSession(session_);
 }
 
@@ -64,7 +65,7 @@ Result<std::vector<TopicPartition>> Consumer::AllPartitions(
 
 Status Consumer::Subscribe(const std::string& topic) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     topics_.insert(topic);
   }
   return Rebalance(topic);
@@ -105,10 +106,18 @@ Status Consumer::Rebalance(const std::string& topic) {
   std::vector<TopicPartition> target(partitions.value().begin() + begin,
                                      partitions.value().begin() + end);
 
-  std::lock_guard<std::mutex> lock(mu_);
-  ++rebalance_count_;
+  rebalance_count_.fetch_add(1);
+  // Snapshot the previous assignment, then run the release/claim protocol
+  // WITHOUT holding mu_: every step below is a Zookeeper round-trip, and
+  // holding the consumer lock across RPCs both stalls concurrent polls and
+  // invites deadlock should a watch callback ever re-enter the consumer.
+  std::vector<TopicPartition> previous;
+  {
+    MutexLock lock(&mu_);
+    previous = owned_[topic];
+  }
   // Release partitions we no longer own.
-  for (const TopicPartition& tp : owned_[topic]) {
+  for (const TopicPartition& tp : previous) {
     if (std::find(target.begin(), target.end(), tp) == target.end()) {
       zookeeper_->Delete(OwnerPath(topic, tp));
     }
@@ -116,6 +125,7 @@ Status Consumer::Rebalance(const std::string& topic) {
   // Claim the new set; failures (previous owner not released yet) leave the
   // partition out of this round — the watch fires again when it frees up.
   std::vector<TopicPartition> claimed;
+  std::map<TopicPartition, int64_t> resumed_offsets;
   for (const TopicPartition& tp : target) {
     const std::string path = OwnerPath(topic, tp);
     if (zookeeper_->Exists(path)) {
@@ -133,13 +143,16 @@ Status Consumer::Rebalance(const std::string& topic) {
       claimed.push_back(tp);
       // Resume from the committed offset, if any.
       auto offset = zookeeper_->Get(OffsetPath(topic, tp));
-      auto key = std::make_pair(topic, tp);
-      if (offsets_.count(key) == 0) {
-        offsets_[key] = offset.ok() ? std::atoll(offset.value().c_str()) : 0;
-      }
+      resumed_offsets[tp] = offset.ok() ? std::atoll(offset.value().c_str())
+                                        : 0;
     } else {
       rebalance_needed_ = true;
     }
+  }
+  MutexLock lock(&mu_);
+  for (const auto& [tp, offset] : resumed_offsets) {
+    auto key = std::make_pair(topic, tp);
+    if (offsets_.count(key) == 0) offsets_[key] = offset;
   }
   owned_[topic] = std::move(claimed);
   return Status::OK();
@@ -147,7 +160,7 @@ Status Consumer::Rebalance(const std::string& topic) {
 
 std::vector<TopicPartition> Consumer::OwnedPartitions(
     const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = owned_.find(topic);
   return it == owned_.end() ? std::vector<TopicPartition>{} : it->second;
 }
@@ -173,7 +186,7 @@ Result<std::vector<Message>> Consumer::PollStream(const std::string& topic,
   }
   std::vector<TopicPartition> owned;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // This stream's slice: every stream_count-th owned partition.
     const auto& all = owned_[topic];
     for (size_t i = 0; i < all.size(); ++i) {
@@ -187,7 +200,7 @@ Result<std::vector<Message>> Consumer::PollStream(const std::string& topic,
 
   size_t cursor;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     cursor = poll_cursor_[topic]++;
   }
   // Round-robin over owned partitions; one fetch per Poll keeps latency
@@ -196,7 +209,7 @@ Result<std::vector<Message>> Consumer::PollStream(const std::string& topic,
     const TopicPartition tp = owned[(cursor + attempt) % owned.size()];
     int64_t offset;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       offset = offsets_[{topic, tp}];
     }
     std::string request;
@@ -216,7 +229,7 @@ Result<std::vector<Message>> Consumer::PollStream(const std::string& topic,
         auto bounds = network_->Call(id_, BrokerAddress(tp.broker_id),
                                      "kafka.offset-bounds", bounds_request);
         if (bounds.ok()) {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(&mu_);
           offsets_[{topic, tp}] = std::atoll(bounds.value().c_str());
         }
         continue;
@@ -233,7 +246,7 @@ Result<std::vector<Message>> Consumer::PollStream(const std::string& topic,
       messages_consumed_.fetch_add(1);
     }
     if (!it.status().ok()) return it.status();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     offsets_[{topic, tp}] = it.next_fetch_offset();
     if (!out.empty()) return out;
   }
@@ -251,8 +264,14 @@ Result<std::vector<Message>> Consumer::PollUntilData(const std::string& topic,
 }
 
 Status Consumer::CommitOffsets() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [key, offset] : offsets_) {
+  // Snapshot under the lock, write to Zookeeper outside it: offset commits
+  // are RPCs and must not block polls/seeks on other threads.
+  std::map<std::pair<std::string, TopicPartition>, int64_t> snapshot;
+  {
+    MutexLock lock(&mu_);
+    snapshot = offsets_;
+  }
+  for (const auto& [key, offset] : snapshot) {
     const std::string path = OffsetPath(key.first, key.second);
     if (zookeeper_->Exists(path)) {
       zookeeper_->Set(path, std::to_string(offset));
@@ -266,7 +285,7 @@ Status Consumer::CommitOffsets() {
 
 void Consumer::Seek(const std::string& topic, const TopicPartition& tp,
                     int64_t offset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   offsets_[{topic, tp}] = offset;
 }
 

@@ -4,10 +4,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 #include "kafka/message.h"
 #include "kafka/producer.h"  // TopicPartition
@@ -82,7 +83,7 @@ class Consumer {
   std::vector<TopicPartition> OwnedPartitions(const std::string& topic) const;
 
   int64_t messages_consumed() const { return messages_consumed_; }
-  int rebalance_count() const { return rebalance_count_; }
+  int rebalance_count() const { return rebalance_count_.load(); }
 
   /// Leaves the group (closes the zk session; ephemerals vanish and other
   /// members rebalance).
@@ -110,16 +111,23 @@ class Consumer {
   net::Network* const network_;
   const ConsumerOptions options_;
   zk::SessionId session_;
-  bool closed_ = false;
+  /// Close() races the destructor with external callers; exchange decides.
+  std::atomic<bool> closed_{false};
 
-  mutable std::mutex mu_;
-  std::set<std::string> topics_;
-  std::map<std::string, std::vector<TopicPartition>> owned_;
-  std::map<std::pair<std::string, TopicPartition>, int64_t> offsets_;
-  std::map<std::string, size_t> poll_cursor_;  // round-robin position
+  /// Guards the consumer's own bookkeeping only — never held across a
+  /// network or Zookeeper call (watch callbacks may re-enter the consumer).
+  mutable Mutex mu_{"kafka.consumer"};
+  std::set<std::string> topics_ LIDI_GUARDED_BY(mu_);
+  std::map<std::string, std::vector<TopicPartition>> owned_
+      LIDI_GUARDED_BY(mu_);
+  std::map<std::pair<std::string, TopicPartition>, int64_t> offsets_
+      LIDI_GUARDED_BY(mu_);
+  std::map<std::string, size_t> poll_cursor_
+      LIDI_GUARDED_BY(mu_);  // round-robin position
   std::atomic<bool> rebalance_needed_{false};
   std::atomic<int64_t> messages_consumed_{0};
-  int rebalance_count_ = 0;
+  /// Atomic, not guarded: the stats accessor reads it without the mutex.
+  std::atomic<int> rebalance_count_{0};
 };
 
 /// One sub-stream of a consumer's subscription. Iterator-flavoured: Next()

@@ -224,8 +224,11 @@ PartitionLog::PartitionLog(LogOptions options, const Clock* clock)
     torn_truncations_ =
         options_.metrics->GetCounter("io.recovery.torn_truncations", labels);
   }
+  // No concurrent access yet, but the *Locked() helpers require mu_ — and
+  // taking it keeps the thread-safety analysis airtight for free.
+  MutexLock lock(&mu_);
   if (fs_ != nullptr) {
-    RecoverFromDiskLocked();  // constructor: no concurrent access yet
+    RecoverFromDiskLocked();
   } else {
     Segment segment;
     segment.last_append_ms = clock_->NowMillis();
@@ -303,7 +306,7 @@ void PartitionLog::PublishSnapshotLocked() {
   }
   std::shared_ptr<const Snapshot> fresh = std::move(snapshot);
   {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    MutexLock lock(&snapshot_mu_);
     snapshot_.swap(fresh);
   }
   // `fresh` now holds the previous snapshot; it destructs here, outside
@@ -312,12 +315,12 @@ void PartitionLog::PublishSnapshotLocked() {
 
 std::shared_ptr<const PartitionLog::Snapshot> PartitionLog::LoadSnapshot()
     const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(&snapshot_mu_);
   return snapshot_;
 }
 
 int64_t PartitionLog::Append(Slice message_set, int message_count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Segment* active = &segments_.back();
   if (active->size() >= options_.segment_bytes) {
     Segment next;
@@ -368,7 +371,7 @@ void PartitionLog::FlushLocked() {
 }
 
 void PartitionLog::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   FlushLocked();
 }
 
@@ -481,7 +484,7 @@ Result<std::string> PartitionLog::Read(int64_t offset,
 }
 
 int PartitionLog::DeleteExpiredSegments() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const int64_t now = clock_->NowMillis();
   int deleted = 0;
   while (segments_.size() > 1 &&
@@ -525,7 +528,7 @@ int64_t PartitionLog::durable_end_offset() const {
 }
 
 Status PartitionLog::recovery_status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return recovery_status_;
 }
 

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/buffer.h"
+#include "common/sync.h"
 #include "common/clock.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -164,18 +164,18 @@ class PartitionLog {
   /// chunk boundary. ReadPinned chains these, gathering only when needed.
   Result<PinnedSlice> ReadPinnedChunk(int64_t offset, int64_t max_bytes) const;
 
-  std::shared_ptr<const Snapshot> LoadSnapshot() const;
-  void MaybeFlushLocked();
-  void FlushLocked();
-  void SealTailLocked(Segment* segment);
-  void PublishSnapshotLocked();
-  void RecoverFromDiskLocked();
-  void PersistSealedLocked();
+  std::shared_ptr<const Snapshot> LoadSnapshot() const LIDI_EXCLUDES(snapshot_mu_);
+  void MaybeFlushLocked() LIDI_REQUIRES(mu_);
+  void FlushLocked() LIDI_REQUIRES(mu_);
+  void SealTailLocked(Segment* segment) LIDI_REQUIRES(mu_);
+  void PublishSnapshotLocked() LIDI_REQUIRES(mu_);
+  void RecoverFromDiskLocked() LIDI_REQUIRES(mu_);
+  void PersistSealedLocked() LIDI_REQUIRES(mu_);
   std::string SegmentPath(int64_t base_offset) const;
   /// End of the contiguous prefix of the log the fs accepted (synced=false)
   /// or fdatasync'ed (synced=true): stops at the first segment whose
   /// persisted/synced bytes trail its sealed bytes.
-  int64_t ContiguousEndLocked(bool synced) const;
+  int64_t ContiguousEndLocked(bool synced) const LIDI_REQUIRES(mu_);
 
   const LogOptions options_;
   const Clock* const clock_;
@@ -185,16 +185,17 @@ class PartitionLog {
   obs::Counter* sync_count_ = nullptr;
   obs::Counter* write_failed_ = nullptr;
   obs::Counter* torn_truncations_ = nullptr;
-  Status recovery_status_;
 
   /// Writer lock: appends, flush policy, persistence, retention. Readers do
-  /// not take it.
-  mutable std::mutex mu_;
-  std::deque<Segment> segments_;
-  int unflushed_messages_ = 0;
-  int64_t first_unflushed_ms_ = 0;
+  /// not take it. Ordered before the snapshot micro-mutex (publishing takes
+  /// both, writer first).
+  mutable Mutex mu_{"kafka.log.writer", lockrank::kKafkaLogWriter};
+  Status recovery_status_ LIDI_GUARDED_BY(mu_);
+  std::deque<Segment> segments_ LIDI_GUARDED_BY(mu_);
+  int unflushed_messages_ LIDI_GUARDED_BY(mu_) = 0;
+  int64_t first_unflushed_ms_ LIDI_GUARDED_BY(mu_) = 0;
   /// Accepted-but-unsynced bytes across all segments (drives kInterval).
-  int64_t unsynced_bytes_ = 0;
+  int64_t unsynced_bytes_ LIDI_GUARDED_BY(mu_) = 0;
 
   /// Reader-visible state. Writers publish the snapshot before advancing
   /// flushed_end_ (release), and readers load flushed_end_ (acquire) before
@@ -205,8 +206,9 @@ class PartitionLog {
   /// directly, but libstdc++'s spinlock implementation releases with a
   /// relaxed RMW, which thread sanitizer rejects under the strict
   /// happens-before model).
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const Snapshot> snapshot_;
+  mutable Mutex snapshot_mu_{"kafka.log.snapshot",
+                             lockrank::kKafkaLogSnapshot};
+  std::shared_ptr<const Snapshot> snapshot_ LIDI_GUARDED_BY(snapshot_mu_);
   std::atomic<int64_t> flushed_end_{0};
   std::atomic<int64_t> durable_end_{0};
   std::atomic<int64_t> end_offset_{0};

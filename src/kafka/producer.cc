@@ -39,23 +39,31 @@ Result<std::vector<TopicPartition>> Producer::PartitionsOf(
 Status Producer::Send(const std::string& topic, Slice payload) {
   auto partitions = PartitionsOf(topic);
   if (!partitions.ok()) return partitions.status();
-  std::lock_guard<std::mutex> lock(mu_);
-  const TopicPartition tp =
-      partitions.value()[rng_.Uniform(partitions.value().size())];
-  return SendTo(topic, tp, payload);
+  PendingRequest pending;
+  {
+    MutexLock lock(&mu_);
+    const TopicPartition tp =
+        partitions.value()[rng_.Uniform(partitions.value().size())];
+    BufferLocked(topic, tp, payload, &pending);
+  }
+  return Dispatch(pending);
 }
 
 Status Producer::Send(const std::string& topic, Slice key, Slice payload) {
   auto partitions = PartitionsOf(topic);
   if (!partitions.ok()) return partitions.status();
-  std::lock_guard<std::mutex> lock(mu_);
-  const TopicPartition tp =
-      partitions.value()[Fnv1a64(key) % partitions.value().size()];
-  return SendTo(topic, tp, payload);
+  PendingRequest pending;
+  {
+    MutexLock lock(&mu_);
+    const TopicPartition tp =
+        partitions.value()[Fnv1a64(key) % partitions.value().size()];
+    BufferLocked(topic, tp, payload, &pending);
+  }
+  return Dispatch(pending);
 }
 
-Status Producer::SendTo(const std::string& topic, const TopicPartition& tp,
-                        Slice payload) {
+void Producer::BufferLocked(const std::string& topic, const TopicPartition& tp,
+                            Slice payload, PendingRequest* out) {
   auto it = batches_.find({topic, tp});
   if (it == batches_.end()) {
     it = batches_
@@ -64,34 +72,47 @@ Status Producer::SendTo(const std::string& topic, const TopicPartition& tp,
              .first;
   }
   it->second.Add(payload);
-  ++messages_sent_;
+  messages_sent_.fetch_add(1);
   if (it->second.count() >= options_.batch_size) {
-    return FlushBatch(topic, tp);
+    BuildRequestLocked(topic, tp, out);
   }
-  return Status::OK();
 }
 
-Status Producer::FlushBatch(const std::string& topic,
-                            const TopicPartition& tp) {
+void Producer::BuildRequestLocked(const std::string& topic,
+                                  const TopicPartition& tp,
+                                  PendingRequest* out) {
   auto it = batches_.find({topic, tp});
-  if (it == batches_.end() || it->second.empty()) return Status::OK();
-  const std::string set = it->second.Build();
-  std::string request;
-  EncodeProduceRequest(topic, tp.partition, set, &request);
-  bytes_on_wire_ += static_cast<int64_t>(set.size());
-  auto r = network_->Call(name_, BrokerAddress(tp.broker_id), "kafka.produce",
-                          request);
+  if (it == batches_.end() || it->second.empty()) return;
+  const std::string set = it->second.Build();  // resets the builder
+  EncodeProduceRequest(topic, tp.partition, set, &out->request);
+  bytes_on_wire_.fetch_add(static_cast<int64_t>(set.size()));
+  out->send = true;
+  out->tp = tp;
+}
+
+Status Producer::Dispatch(const PendingRequest& pending) {
+  if (!pending.send) return Status::OK();
+  auto r = network_->Call(name_, BrokerAddress(pending.tp.broker_id),
+                          "kafka.produce", pending.request);
   return r.status();
 }
 
 Status Producer::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Drain every batch under the lock, ship them all after releasing it: the
+  // produce RPC must never run while holding the producer mutex (concurrent
+  // Send()s would serialize behind broker round-trips).
+  std::vector<PendingRequest> pendings;
+  {
+    MutexLock lock(&mu_);
+    for (auto& [key, builder] : batches_) {
+      PendingRequest pending;
+      BuildRequestLocked(key.first, key.second, &pending);
+      if (pending.send) pendings.push_back(std::move(pending));
+    }
+  }
   Status first_error;
-  // Collect keys first: FlushBatch mutates builders in place.
-  std::vector<std::pair<std::string, TopicPartition>> keys;
-  for (const auto& [key, builder] : batches_) keys.push_back(key);
-  for (const auto& [topic, tp] : keys) {
-    Status s = FlushBatch(topic, tp);
+  for (const PendingRequest& pending : pendings) {
+    Status s = Dispatch(pending);
     if (!s.ok() && first_error.ok()) first_error = s;
   }
   return first_error;

@@ -1,11 +1,13 @@
 #ifndef LIDI_KAFKA_PRODUCER_H_
 #define LIDI_KAFKA_PRODUCER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 #include "common/compression.h"
 #include "common/random.h"
@@ -60,26 +62,41 @@ class Producer {
   /// The cluster-wide partition list of a topic, refreshed from Zookeeper.
   Result<std::vector<TopicPartition>> PartitionsOf(const std::string& topic);
 
-  int64_t messages_sent() const { return messages_sent_; }
+  int64_t messages_sent() const { return messages_sent_.load(); }
   /// Bytes actually shipped to brokers (after compression) — the numerator
   /// of the bandwidth-saving experiment (E16).
-  int64_t bytes_on_wire() const { return bytes_on_wire_; }
+  int64_t bytes_on_wire() const { return bytes_on_wire_.load(); }
 
  private:
-  Status SendTo(const std::string& topic, const TopicPartition& tp,
-                Slice payload);
-  Status FlushBatch(const std::string& topic, const TopicPartition& tp);
+  /// A produce request built under mu_ but dispatched after release: the
+  /// producer never holds its lock across the broker RPC.
+  struct PendingRequest {
+    bool send = false;
+    TopicPartition tp;
+    std::string request;
+  };
+
+  /// Buffers the payload; when the batch fills, drains it into *out.
+  void BufferLocked(const std::string& topic, const TopicPartition& tp,
+                    Slice payload, PendingRequest* out) LIDI_REQUIRES(mu_);
+  /// Drains the partition's batch (if any) into *out, resetting the builder.
+  void BuildRequestLocked(const std::string& topic, const TopicPartition& tp,
+                          PendingRequest* out) LIDI_REQUIRES(mu_);
+  /// Ships a drained batch; no lock held.
+  Status Dispatch(const PendingRequest& pending) LIDI_EXCLUDES(mu_);
 
   const std::string name_;
   zk::ZooKeeper* const zookeeper_;
   net::Network* const network_;
   const ProducerOptions options_;
 
-  std::mutex mu_;
-  Random rng_;
-  std::map<std::pair<std::string, TopicPartition>, MessageSetBuilder> batches_;
-  int64_t messages_sent_ = 0;
-  int64_t bytes_on_wire_ = 0;
+  Mutex mu_{"kafka.producer"};
+  Random rng_ LIDI_GUARDED_BY(mu_);
+  std::map<std::pair<std::string, TopicPartition>, MessageSetBuilder> batches_
+      LIDI_GUARDED_BY(mu_);
+  /// Atomics, not guarded: the stats accessors read them without the mutex.
+  std::atomic<int64_t> messages_sent_{0};
+  std::atomic<int64_t> bytes_on_wire_{0};
 };
 
 }  // namespace lidi::kafka

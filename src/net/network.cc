@@ -48,18 +48,18 @@ Network::Network(uint64_t fault_seed, obs::MetricsRegistry* metrics,
 
 void Network::Register(const Address& addr, const std::string& method,
                        Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   handlers_[addr][method] = Endpoint{std::move(handler), nullptr};
 }
 
 void Network::RegisterPayload(const Address& addr, const std::string& method,
                               PayloadHandler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   handlers_[addr][method] = Endpoint{nullptr, std::move(handler)};
 }
 
 void Network::Unregister(const Address& addr) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   handlers_.erase(addr);
 }
 
@@ -78,7 +78,7 @@ Network::EndpointInstruments* Network::InstrumentsLocked(const Address& addr) {
 Status Network::Route(const Address& from, const Address& to,
                       const std::string& method, Slice request,
                       int64_t deadline_micros, Endpoint* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   total_calls_.fetch_add(1, std::memory_order_relaxed);
   EndpointInstruments* sender = InstrumentsLocked(from);
   sender->calls_sent->Increment();
@@ -145,7 +145,7 @@ Result<Network::RawResponse> Network::Dispatch(const Address& from,
   Endpoint endpoint;
   Status s = Route(from, to, method, request, deadline, &endpoint);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto [it, inserted] = method_latency_.try_emplace(method, nullptr);
     if (inserted) {
       it->second =
@@ -214,39 +214,39 @@ Result<PinnedSlice> Network::CallPayload(const Address& from,
 }
 
 void Network::SetNodeDown(const Address& addr) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   down_.insert(addr);
 }
 
 void Network::SetNodeUp(const Address& addr) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   down_.erase(addr);
 }
 
 bool Network::IsNodeUp(const Address& addr) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return down_.count(addr) == 0;
 }
 
 void Network::SetDropProbability(double p) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   drop_probability_ = p;
 }
 
 void Network::PartitionOff(const std::set<Address>& side_a) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   partition_a_ = side_a;
   partitioned_ = true;
 }
 
 void Network::Heal() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   partitioned_ = false;
   partition_a_.clear();
 }
 
 EndpointStats Network::GetStats(const Address& addr) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = stats_.find(addr);
   if (it == stats_.end()) return EndpointStats{};
   EndpointStats out;
@@ -258,7 +258,7 @@ EndpointStats Network::GetStats(const Address& addr) const {
 }
 
 void Network::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [addr, inst] : stats_) {
     inst.calls_received->Reset();
     inst.calls_sent->Reset();

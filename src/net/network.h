@@ -6,12 +6,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/buffer.h"
+#include "common/sync.h"
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/slice.h"
@@ -193,21 +193,28 @@ class Network {
                const std::string& method, Slice request,
                int64_t deadline_micros, Endpoint* out);
 
-  EndpointInstruments* InstrumentsLocked(const Address& addr);
+  EndpointInstruments* InstrumentsLocked(const Address& addr)
+      LIDI_REQUIRES(mu_);
 
   obs::MetricsRegistry* metrics_;                    // never null
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   const Clock* const clock_;
 
-  mutable std::mutex mu_;
-  std::map<Address, std::map<std::string, Endpoint>> handlers_;
-  std::set<Address> down_;
-  std::set<Address> partition_a_;
-  bool partitioned_ = false;
-  double drop_probability_ = 0;
-  Random rng_;
-  std::map<Address, EndpointInstruments> stats_;
-  std::map<std::string, obs::LatencyHistogram*> method_latency_;  // cache
+  /// Outermost lock in the system (rank kNetEndpoints): handlers run with
+  /// it released, but registry instruments are created under it, so it
+  /// orders before the obs locks and every subsystem lock taken by a
+  /// handler must rank above it.
+  mutable Mutex mu_{"net.endpoints", lockrank::kNetEndpoints};
+  std::map<Address, std::map<std::string, Endpoint>> handlers_
+      LIDI_GUARDED_BY(mu_);
+  std::set<Address> down_ LIDI_GUARDED_BY(mu_);
+  std::set<Address> partition_a_ LIDI_GUARDED_BY(mu_);
+  bool partitioned_ LIDI_GUARDED_BY(mu_) = false;
+  double drop_probability_ LIDI_GUARDED_BY(mu_) = 0;
+  Random rng_ LIDI_GUARDED_BY(mu_);
+  std::map<Address, EndpointInstruments> stats_ LIDI_GUARDED_BY(mu_);
+  std::map<std::string, obs::LatencyHistogram*> method_latency_
+      LIDI_GUARDED_BY(mu_);  // cache
   std::atomic<int64_t> total_calls_{0};
 };
 

@@ -143,7 +143,7 @@ MetricsRegistry::Entry* MetricsRegistry::GetEntry(InstrumentKind kind,
                                                   const std::string& name,
                                                   Labels labels) {
   std::sort(labels.begin(), labels.end());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] =
       instruments_.try_emplace({name, std::move(labels)});
   Entry& entry = it->second;
@@ -182,13 +182,13 @@ LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 void MetricsRegistry::RecordSpan(SpanRecord span) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(span_mu_);
+  MutexLock lock(&span_mu_);
   spans_.push_back(std::move(span));
   while (spans_.size() > span_capacity_) spans_.pop_front();
 }
 
 void MetricsRegistry::set_span_capacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(span_mu_);
+  MutexLock lock(&span_mu_);
   span_capacity_ = capacity;
   while (spans_.size() > span_capacity_) spans_.pop_front();
 }
@@ -196,7 +196,7 @@ void MetricsRegistry::set_span_capacity(size_t capacity) {
 RegistrySnapshot MetricsRegistry::Snapshot() const {
   RegistrySnapshot snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     snap.instruments.reserve(instruments_.size());
     for (const auto& [key, entry] : instruments_) {
       InstrumentSnapshot is;
@@ -226,7 +226,7 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
               return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
             });
   {
-    std::lock_guard<std::mutex> lock(span_mu_);
+    MutexLock lock(&span_mu_);
     snap.spans.assign(spans_.begin(), spans_.end());
   }
   return snap;
@@ -234,7 +234,7 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
 
 void MetricsRegistry::ResetAll() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& [key, entry] : instruments_) {
       switch (entry.kind) {
         case InstrumentKind::kCounter:
@@ -249,7 +249,7 @@ void MetricsRegistry::ResetAll() {
       }
     }
   }
-  std::lock_guard<std::mutex> lock(span_mu_);
+  MutexLock lock(&span_mu_);
   spans_.clear();
 }
 

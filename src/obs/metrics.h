@@ -7,11 +7,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/clock.h"
 #include "obs/trace.h"
 
@@ -226,17 +226,22 @@ class MetricsRegistry {
     std::unique_ptr<LatencyHistogram> histogram;
   };
 
-  Entry* GetEntry(InstrumentKind kind, const std::string& name, Labels labels);
+  Entry* GetEntry(InstrumentKind kind, const std::string& name, Labels labels)
+      LIDI_EXCLUDES(mu_);
 
   const Clock* const clock_;
   std::atomic<bool> enabled_{true};
 
-  mutable std::mutex mu_;  // guards instruments_ map shape (not values)
-  std::map<std::pair<std::string, Labels>, Entry> instruments_;
+  // Leaf locks: nothing is ever acquired while either is held (instrument
+  // values are atomics; the maps are touched only under these).
+  mutable Mutex mu_{
+      "obs.metrics.instruments"};  // guards map shape (not values)
+  std::map<std::pair<std::string, Labels>, Entry> instruments_
+      LIDI_GUARDED_BY(mu_);
 
-  mutable std::mutex span_mu_;
-  std::deque<SpanRecord> spans_;
-  size_t span_capacity_ = 1024;
+  mutable Mutex span_mu_{"obs.metrics.spans"};
+  std::deque<SpanRecord> spans_ LIDI_GUARDED_BY(span_mu_);
+  size_t span_capacity_ LIDI_GUARDED_BY(span_mu_) = 1024;
 };
 
 /// RAII span: times a unit of work against the registry's clock and records

@@ -100,7 +100,7 @@ Binlog::Binlog(BinlogOptions options)
         options_.metrics->GetCounter("io.recovery.torn_truncations", labels);
   }
   if (fs_ != nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     RecoverLocked();
   }
 }
@@ -208,7 +208,7 @@ Status Binlog::PersistLocked(const CommittedTransaction& txn) {
 }
 
 Result<int64_t> Binlog::Append(std::vector<Change> changes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   CommittedTransaction txn;
   txn.scn = next_scn_;  // assigned for real only if the persist succeeds
   txn.changes = std::move(changes);
@@ -221,18 +221,18 @@ Result<int64_t> Binlog::Append(std::vector<Change> changes) {
 }
 
 int64_t Binlog::DurableScn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return durable_scn_;
 }
 
 Status Binlog::recovery_status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return recovery_status_;
 }
 
 std::vector<CommittedTransaction> Binlog::ReadAfter(int64_t from_scn,
                                                     int64_t max_count) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++read_calls_;
   std::vector<CommittedTransaction> out;
   // SCNs are dense starting at 1, so the offset is direct.
@@ -247,51 +247,51 @@ std::vector<CommittedTransaction> Binlog::ReadAfter(int64_t from_scn,
 }
 
 int64_t Binlog::LastScn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return log_.empty() ? 0 : log_.back().scn;
 }
 
 int64_t Binlog::ReadCalls() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return read_calls_;
 }
 
 int64_t Binlog::TransactionCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(log_.size());
 }
 
 Status Database::CreateTable(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tables_.count(table) > 0) return Status::AlreadyExists(table);
   tables_[table];
   return Status::OK();
 }
 
 bool Database::HasTable(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tables_.count(table) > 0;
 }
 
 std::vector<std::string> Database::Tables() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   for (const auto& [name, rows] : tables_) out.push_back(name);
   return out;
 }
 
 void Database::SetPartitionFunction(std::function<int(Slice)> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   partition_fn_ = std::move(fn);
 }
 
 void Database::AddTrigger(Trigger trigger) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   triggers_.push_back(std::move(trigger));
 }
 
 void Database::SetSemiSyncCallback(SemiSyncCallback callback) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   semi_sync_ = std::move(callback);
 }
 
@@ -335,12 +335,12 @@ Result<int64_t> Database::Delete(const std::string& table,
 Result<int64_t> Database::CommitChanges(std::vector<Change>* changes) {
   // The commit lock serializes transactions, making binlog order the commit
   // order (timeline consistency downstream depends on this).
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  MutexLock commit_lock(&commit_mu_);
 
   std::vector<Trigger> triggers;
   SemiSyncCallback semi_sync;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Validate before mutating: all-or-nothing.
     for (Change& change : *changes) {
       auto it = tables_.find(change.table);
@@ -371,7 +371,7 @@ Result<int64_t> Database::CommitChanges(std::vector<Change>* changes) {
   const int64_t scn = appended.value();
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const Change& change : *changes) {
       auto& rows = tables_[change.table];
       if (change.op == Change::Op::kDelete) {
@@ -403,7 +403,7 @@ Result<int64_t> Database::CommitChanges(std::vector<Change>* changes) {
 
 Result<Row> Database::Get(const std::string& table,
                           const std::string& primary_key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no table " + table);
   auto rit = it->second.find(primary_key);
@@ -414,17 +414,24 @@ Result<Row> Database::Get(const std::string& table,
 Status Database::Scan(
     const std::string& table,
     const std::function<bool(const std::string&, const Row&)>& visitor) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = tables_.find(table);
-  if (it == tables_.end()) return Status::NotFound("no table " + table);
-  for (const auto& [pk, row] : it->second) {
+  // Snapshot the table, then visit without the lock: a visitor is allowed
+  // to call back into the database (Get, Put, ...), which would self-
+  // deadlock if mu_ were held across the callback.
+  std::map<std::string, Row> snapshot;
+  {
+    MutexLock lock(&mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return Status::NotFound("no table " + table);
+    snapshot = it->second;
+  }
+  for (const auto& [pk, row] : snapshot) {
     if (!visitor(pk, row)) break;
   }
   return Status::OK();
 }
 
 int64_t Database::RowCount(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tables_.find(table);
   return it == tables_.end() ? 0 : static_cast<int64_t>(it->second.size());
 }

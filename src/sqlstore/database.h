@@ -5,12 +5,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "io/file.h"
 #include "obs/metrics.h"
 
@@ -107,8 +107,8 @@ class Binlog {
 
  private:
   std::string FilePath() const;
-  Status PersistLocked(const CommittedTransaction& txn);
-  void RecoverLocked();
+  Status PersistLocked(const CommittedTransaction& txn) LIDI_REQUIRES(mu_);
+  void RecoverLocked() LIDI_REQUIRES(mu_);
 
   const BinlogOptions options_;
   io::Fs* fs_ = nullptr;  // null = in-memory only
@@ -116,19 +116,19 @@ class Binlog {
   obs::Counter* write_failed_ = nullptr;
   obs::Counter* torn_truncations_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::vector<CommittedTransaction> log_;
-  int64_t next_scn_ = 1;
-  int64_t durable_scn_ = 0;
+  mutable Mutex mu_{"sqlstore.binlog"};
+  std::vector<CommittedTransaction> log_ LIDI_GUARDED_BY(mu_);
+  int64_t next_scn_ LIDI_GUARDED_BY(mu_) = 1;
+  int64_t durable_scn_ LIDI_GUARDED_BY(mu_) = 0;
   /// Bytes of acknowledged records in the file (rollback target).
-  int64_t persisted_bytes_ = 0;
-  int64_t unsynced_bytes_ = 0;
+  int64_t persisted_bytes_ LIDI_GUARDED_BY(mu_) = 0;
+  int64_t unsynced_bytes_ LIDI_GUARDED_BY(mu_) = 0;
   /// Set when the file holds bytes we could not take back (failed rollback
   /// truncate) — appending past them would bury unacknowledged data.
-  bool damaged_ = false;
-  Status recovery_status_;
-  std::unique_ptr<io::WritableFile> file_;
-  mutable int64_t read_calls_ = 0;
+  bool damaged_ LIDI_GUARDED_BY(mu_) = false;
+  Status recovery_status_ LIDI_GUARDED_BY(mu_);
+  std::unique_ptr<io::WritableFile> file_ LIDI_GUARDED_BY(mu_);
+  mutable int64_t read_calls_ LIDI_GUARDED_BY(mu_) = 0;
 };
 
 /// Row-level trigger (the *other* capture approach of Section III.C; also
@@ -225,13 +225,17 @@ class Database {
   Result<int64_t> CommitChanges(std::vector<Change>* changes);
 
   const std::string name_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::map<std::string, Row>> tables_;
-  std::function<int(Slice)> partition_fn_;
-  std::vector<Trigger> triggers_;
-  SemiSyncCallback semi_sync_;
+  /// Lock order: commit_mu_ -> mu_ -> binlog_.mu_ (Append). mu_ is never
+  /// held across the binlog append, triggers, or the semi-sync hook.
+  mutable Mutex mu_{"sqlstore.database"};
+  std::map<std::string, std::map<std::string, Row>> tables_
+      LIDI_GUARDED_BY(mu_);
+  std::function<int(Slice)> partition_fn_ LIDI_GUARDED_BY(mu_);
+  std::vector<Trigger> triggers_ LIDI_GUARDED_BY(mu_);
+  SemiSyncCallback semi_sync_ LIDI_GUARDED_BY(mu_);
   Binlog binlog_;
-  std::mutex commit_mu_;  // serializes commits -> strict commit order
+  Mutex commit_mu_{
+      "sqlstore.commit"};  // serializes commits -> strict commit order
 };
 
 }  // namespace lidi::sqlstore

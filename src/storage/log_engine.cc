@@ -4,9 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 #include "common/coding.h"
 #include "common/hash.h"
@@ -49,8 +50,11 @@ class LogEngineImpl : public LogStructuredEngine {
     io_write_failed_ = metrics->GetCounter("io.write.failed", io_labels);
     io_torn_truncations_ =
         metrics->GetCounter("io.recovery.torn_truncations", io_labels);
+    // Constructor: no concurrent access yet, but the *Locked() helpers
+    // require mu_ held.
+    MutexLock lock(&mu_);
     if (fs_ != nullptr) {
-      RecoverFromDisk();
+      RecoverFromDiskLocked();
     }
     if (segments_.empty()) segments_.emplace_back();
     UpdateGaugesLocked();
@@ -64,14 +68,14 @@ class LogEngineImpl : public LogStructuredEngine {
   }
 
   Status Get(Slice key, std::string* value) const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = index_.find(key.ToString());
     if (it == index_.end()) return Status::NotFound();
     return ReadRecordLocked(it->second, nullptr, value);
   }
 
   Status Put(Slice key, Slice value) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     Status s = AppendLocked(key, value, /*tombstone=*/false);
     if (s.ok()) MaybeCompactLocked();
     UpdateGaugesLocked();
@@ -79,7 +83,7 @@ class LogEngineImpl : public LogStructuredEngine {
   }
 
   Status Delete(Slice key) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = index_.find(key.ToString());
     if (it == index_.end()) return Status::OK();
     Status s = AppendLocked(key, Slice(), /*tombstone=*/true);
@@ -89,7 +93,7 @@ class LogEngineImpl : public LogStructuredEngine {
   }
 
   int64_t Count() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return static_cast<int64_t>(index_.size());
   }
 
@@ -98,13 +102,13 @@ class LogEngineImpl : public LogStructuredEngine {
     // Snapshot the index so the visitor can call back into the engine.
     std::map<std::string, Location> snapshot;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       snapshot = index_;
     }
     for (const auto& [key, loc] : snapshot) {
       std::string value;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         if (!ReadRecordLocked(loc, nullptr, &value).ok()) continue;
       }
       if (!visitor(key, value)) return;
@@ -114,7 +118,7 @@ class LogEngineImpl : public LogStructuredEngine {
   LogEngineStats GetStats() const override {
     // The registry instruments are the source of truth; this struct is the
     // legacy-shaped view of them.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     LogEngineStats stats;
     stats.live_keys = live_keys_->Value();
     stats.segments = segment_count_->Value();
@@ -125,13 +129,13 @@ class LogEngineImpl : public LogStructuredEngine {
   }
 
   void CompactNow() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     CompactLocked();
     UpdateGaugesLocked();
   }
 
   Status VerifyChecksums() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& [key, loc] : index_) {
       std::string k, v;
       Status s = ReadRecordLocked(loc, &k, &v);
@@ -142,7 +146,7 @@ class LogEngineImpl : public LogStructuredEngine {
   }
 
   Status RecoveryStatus() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return recovery_status_;
   }
 
@@ -176,7 +180,8 @@ class LogEngineImpl : public LogStructuredEngine {
 
   /// Replays one segment's bytes into the index, stopping at the first
   /// torn or CRC-invalid record. Returns the clean prefix length.
-  size_t ReplaySegmentLocked(const std::string& data, size_t segment_index) {
+  size_t ReplaySegmentLocked(const std::string& data, size_t segment_index)
+      LIDI_REQUIRES(mu_) {
     Slice scan(data);
     size_t offset = 0;
     while (!scan.empty()) {
@@ -229,7 +234,7 @@ class LogEngineImpl : public LogStructuredEngine {
   /// RecoveryStatus reports loudly) rather than being skipped, which would
   /// shift every later segment and make future appends land in the wrong
   /// file.
-  void RecoverFromDisk() {
+  void RecoverFromDiskLocked() LIDI_REQUIRES(mu_) {
     Status s = fs_->CreateDirs(options_.data_dir);
     if (!s.ok()) {
       recovery_status_ = s;
@@ -306,7 +311,7 @@ class LogEngineImpl : public LogStructuredEngine {
   /// set and the caller must stop appending to this segment), so on-disk
   /// bytes never diverge from the in-memory segment copy.
   Status PersistAppendLocked(size_t segment_index, const std::string& record,
-                             bool* quarantine) {
+                             bool* quarantine) LIDI_REQUIRES(mu_) {
     *quarantine = false;
     if (fs_ == nullptr) return Status::OK();
     while (persisted_bytes_.size() <= segment_index) {
@@ -361,7 +366,8 @@ class LogEngineImpl : public LogStructuredEngine {
   /// Appends the record durably first (per the sync policy), then applies
   /// it to the in-memory segment and index — so an error return means the
   /// engine state is exactly as if the call never happened.
-  Status AppendLocked(Slice key, Slice value, bool tombstone) {
+  Status AppendLocked(Slice key, Slice value, bool tombstone)
+      LIDI_REQUIRES(mu_) {
     const std::string record = EncodeRecord(key, value, tombstone);
     if (static_cast<int64_t>(segments_.back().size()) >=
         options_.segment_size_bytes) {
@@ -402,7 +408,7 @@ class LogEngineImpl : public LogStructuredEngine {
   }
 
   Status ReadRecordLocked(const Location& loc, std::string* key,
-                          std::string* value) const {
+                          std::string* value) const LIDI_REQUIRES(mu_) {
     const std::string& seg = segments_[loc.segment];
     if (loc.offset + loc.record_size > seg.size()) {
       return Status::Corruption("record out of segment bounds");
@@ -435,7 +441,7 @@ class LogEngineImpl : public LogStructuredEngine {
   /// Mirrors the engine's state into its registry gauges (counters for
   /// monotone events are incremented at the event site). Called after every
   /// mutation, so Snapshot() and GetStats never disagree.
-  void UpdateGaugesLocked() {
+  void UpdateGaugesLocked() LIDI_REQUIRES(mu_) {
     live_keys_->Set(static_cast<int64_t>(index_.size()));
     segment_count_->Set(static_cast<int64_t>(segments_.size()));
     int64_t total = 0;
@@ -444,7 +450,7 @@ class LogEngineImpl : public LogStructuredEngine {
     dead_bytes_gauge_->Set(dead_bytes_);
   }
 
-  void MaybeCompactLocked() {
+  void MaybeCompactLocked() LIDI_REQUIRES(mu_) {
     int64_t total = 0;
     for (const auto& seg : segments_) total += static_cast<int64_t>(seg.size());
     if (total > options_.segment_size_bytes &&
@@ -460,7 +466,7 @@ class LogEngineImpl : public LogStructuredEngine {
   /// a crash mid-compaction leaves the old, complete generation in place
   /// (recovery deletes stray .tmp files). On a staging failure the
   /// compaction is abandoned and the engine keeps its current state.
-  void CompactLocked() {
+  void CompactLocked() LIDI_REQUIRES(mu_) {
     // Rebuild in memory first; no I/O can fail here.
     std::vector<std::string> new_segments(1);
     std::map<std::string, Location> new_index;
@@ -543,16 +549,17 @@ class LogEngineImpl : public LogStructuredEngine {
   obs::Counter* io_sync_count_ = nullptr;
   obs::Counter* io_write_failed_ = nullptr;
   obs::Counter* io_torn_truncations_ = nullptr;
-  mutable std::mutex mu_;
-  std::vector<std::string> segments_;
-  std::vector<int64_t> persisted_bytes_;  // per segment (persistent mode)
-  std::map<std::string, Location> index_;
-  int64_t dead_bytes_ = 0;
-  Status recovery_status_;
+  mutable Mutex mu_{"storage.log_engine.writer", lockrank::kLogEngineWriter};
+  std::vector<std::string> segments_ LIDI_GUARDED_BY(mu_);
+  std::vector<int64_t> persisted_bytes_
+      LIDI_GUARDED_BY(mu_);  // per segment (persistent mode)
+  std::map<std::string, Location> index_ LIDI_GUARDED_BY(mu_);
+  int64_t dead_bytes_ LIDI_GUARDED_BY(mu_) = 0;
+  Status recovery_status_ LIDI_GUARDED_BY(mu_);
   /// Cached append handle for the active segment's file.
-  std::unique_ptr<io::WritableFile> active_file_;
-  size_t active_file_index_ = 0;
-  int64_t unsynced_bytes_ = 0;
+  std::unique_ptr<io::WritableFile> active_file_ LIDI_GUARDED_BY(mu_);
+  size_t active_file_index_ LIDI_GUARDED_BY(mu_) = 0;
+  int64_t unsynced_bytes_ LIDI_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace

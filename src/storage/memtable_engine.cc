@@ -1,7 +1,8 @@
 #include <map>
-#include <mutex>
 
 #include "storage/engine.h"
+
+#include "common/sync.h"
 
 namespace lidi::storage {
 
@@ -15,7 +16,7 @@ class MemTableEngine : public StorageEngine {
   std::string name() const override { return "memtable"; }
 
   Status Get(Slice key, std::string* value) const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = data_.find(key.ToString());
     if (it == data_.end()) return Status::NotFound();
     *value = it->second;
@@ -23,33 +24,40 @@ class MemTableEngine : public StorageEngine {
   }
 
   Status Put(Slice key, Slice value) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     data_[key.ToString()] = value.ToString();
     return Status::OK();
   }
 
   Status Delete(Slice key) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     data_.erase(key.ToString());
     return Status::OK();
   }
 
   int64_t Count() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return static_cast<int64_t>(data_.size());
   }
 
   void ForEach(const std::function<bool(Slice key, Slice value)>& visitor)
       const override {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [k, v] : data_) {
+    // Snapshot, then visit without the lock: the engine contract (see
+    // LogEngineImpl::ForEach) lets the visitor call back into the engine,
+    // which would self-deadlock if mu_ were held across the callback.
+    std::map<std::string, std::string> snapshot;
+    {
+      MutexLock lock(&mu_);
+      snapshot = data_;
+    }
+    for (const auto& [k, v] : snapshot) {
       if (!visitor(k, v)) return;
     }
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> data_;
+  mutable Mutex mu_{"storage.memtable"};
+  std::map<std::string, std::string> data_ LIDI_GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -16,7 +16,7 @@ void FailureDetector::MaybeRollWindowLocked(NodeState* state, int64_t now) {
 }
 
 void FailureDetector::RecordSuccess(int node_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   NodeState& state = nodes_[node_id];
   MaybeRollWindowLocked(&state, clock_->NowMillis());
   state.successes++;
@@ -25,7 +25,7 @@ void FailureDetector::RecordSuccess(int node_id) {
 }
 
 void FailureDetector::RecordFailure(int node_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const int64_t now = clock_->NowMillis();
   NodeState& state = nodes_[node_id];
   MaybeRollWindowLocked(&state, now);
@@ -44,7 +44,7 @@ void FailureDetector::RecordFailure(int node_id) {
 bool FailureDetector::IsAvailable(int node_id) {
   std::function<bool(int)> probe;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = nodes_.find(node_id);
     if (it == nodes_.end() || !it->second.banned) return true;
     const int64_t now = clock_->NowMillis();
@@ -55,7 +55,7 @@ bool FailureDetector::IsAvailable(int node_id) {
   }
   const bool reachable = probe ? probe(node_id) : true;
   if (reachable) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     NodeState& state = nodes_[node_id];
     state.banned = false;
     state.successes = 0;
@@ -66,7 +66,7 @@ bool FailureDetector::IsAvailable(int node_id) {
 }
 
 int FailureDetector::UnavailableCount() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int count = 0;
   for (const auto& [id, state] : nodes_) {
     if (state.banned) ++count;

@@ -3,9 +3,9 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 
 #include "common/clock.h"
+#include "common/sync.h"
 
 namespace lidi::voldemort {
 
@@ -55,13 +55,16 @@ class FailureDetector {
     int64_t banned_at_millis = 0;
   };
 
-  void MaybeRollWindowLocked(NodeState* state, int64_t now);
+  void MaybeRollWindowLocked(NodeState* state, int64_t now)
+      LIDI_REQUIRES(mu_);
 
   const FailureDetectorOptions options_;
   const Clock* clock_;
   std::function<bool(int)> probe_;
-  std::mutex mu_;
-  std::map<int, NodeState> nodes_;
+  /// Never held across the recovery probe (IsAvailable copies the probe
+  /// callback out, pings unlocked, then re-locks to restore the node).
+  Mutex mu_{"voldemort.failure_detector"};
+  std::map<int, NodeState> nodes_ LIDI_GUARDED_BY(mu_);
 };
 
 }  // namespace lidi::voldemort

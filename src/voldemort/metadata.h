@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/sync.h"
 #include "voldemort/cluster.h"
 
 namespace lidi::voldemort {
@@ -31,46 +31,46 @@ class ClusterMetadata {
 
   /// Copy of the current topology.
   Cluster SnapshotCluster() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderLock lock(&mu_);
     return cluster_;
   }
 
   int OwnerOfPartition(int partition) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderLock lock(&mu_);
     return cluster_.OwnerOfPartition(partition);
   }
 
   int num_partitions() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderLock lock(&mu_);
     return cluster_.num_partitions();
   }
 
   std::vector<Node> nodes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderLock lock(&mu_);
     return cluster_.nodes();
   }
 
   const Node* GetNodeUnsafe(int node_id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderLock lock(&mu_);
     return cluster_.GetNode(node_id);  // Node storage is append-only
   }
 
   std::optional<Migration> MigrationOf(int partition) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderLock lock(&mu_);
     auto it = migrations_.find(partition);
     if (it == migrations_.end()) return std::nullopt;
     return it->second;
   }
 
   void StartMigration(int partition, int to_node) {
-    std::lock_guard<std::mutex> lock(mu_);
+    WriterLock lock(&mu_);
     migrations_[partition] =
         Migration{partition, cluster_.OwnerOfPartition(partition), to_node};
   }
 
   /// Completes a migration: ownership flips to the destination node.
   void FinishMigration(int partition) {
-    std::lock_guard<std::mutex> lock(mu_);
+    WriterLock lock(&mu_);
     auto it = migrations_.find(partition);
     if (it == migrations_.end()) return;
     cluster_.MovePartition(partition, it->second.to_node);
@@ -79,13 +79,13 @@ class ClusterMetadata {
 
   /// Abandons a migration without flipping ownership (copy failed).
   void AbortMigration(int partition) {
-    std::lock_guard<std::mutex> lock(mu_);
+    WriterLock lock(&mu_);
     migrations_.erase(partition);
   }
 
   /// Registers a new node (cluster expansion without downtime).
   void AddNode(const Node& node) {
-    std::lock_guard<std::mutex> lock(mu_);
+    WriterLock lock(&mu_);
     std::vector<Node> nodes = cluster_.nodes();
     nodes.push_back(node);
     std::vector<int> ownership(cluster_.num_partitions());
@@ -97,9 +97,12 @@ class ClusterMetadata {
   }
 
  private:
-  mutable std::mutex mu_;
-  Cluster cluster_;
-  std::map<int, Migration> migrations_;
+  /// Reader/writer lock: every request consults the topology (O(1) routing
+  /// happens on the read side), while rebalances and expansions are rare —
+  /// shared acquisition keeps lookups from serializing behind each other.
+  mutable SharedMutex mu_{"voldemort.metadata"};
+  Cluster cluster_ LIDI_GUARDED_BY(mu_);
+  std::map<int, Migration> migrations_ LIDI_GUARDED_BY(mu_);
 };
 
 }  // namespace lidi::voldemort

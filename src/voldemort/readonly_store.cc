@@ -101,7 +101,7 @@ Result<std::string> ReadOnlyInterpolationSearch(const ReadOnlyFiles& files,
 }
 
 Status ReadOnlyStore::AddVersion(int64_t version, ReadOnlyFiles files) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(&mu_);
   if (versions_.count(version) > 0) {
     return Status::AlreadyExists("version " + std::to_string(version));
   }
@@ -112,7 +112,7 @@ Status ReadOnlyStore::AddVersion(int64_t version, ReadOnlyFiles files) {
 Status ReadOnlyStore::Swap(int64_t version) {
   std::vector<SwapListener> listeners;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    WriterLock lock(&mu_);
     if (versions_.count(version) == 0) {
       return Status::NotFound("version " + std::to_string(version));
     }
@@ -128,7 +128,7 @@ Status ReadOnlyStore::Rollback() {
   std::vector<SwapListener> listeners;
   int64_t now_current;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    WriterLock lock(&mu_);
     if (previous_ < 0) return Status::InvalidArgument("no previous version");
     current_ = previous_;
     previous_ = -1;
@@ -140,12 +140,12 @@ Status ReadOnlyStore::Rollback() {
 }
 
 void ReadOnlyStore::AddSwapListener(SwapListener listener) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(&mu_);
   listeners_.push_back(std::move(listener));
 }
 
 Result<std::string> ReadOnlyStore::Get(Slice key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   if (current_ < 0) return Status::Unavailable("no version swapped in");
   auto it = versions_.find(current_);
   if (it == versions_.end()) return Status::Internal("current version missing");
@@ -153,19 +153,19 @@ Result<std::string> ReadOnlyStore::Get(Slice key) const {
 }
 
 int64_t ReadOnlyStore::current_version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   return current_;
 }
 
 std::vector<int64_t> ReadOnlyStore::versions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   std::vector<int64_t> out;
   for (const auto& [v, files] : versions_) out.push_back(v);
   return out;
 }
 
 void ReadOnlyStore::RetainVersions(int keep) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(&mu_);
   std::vector<int64_t> all;
   for (const auto& [v, files] : versions_) all.push_back(v);
   std::sort(all.rbegin(), all.rend());

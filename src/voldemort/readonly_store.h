@@ -5,11 +5,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/slice.h"
+#include "common/sync.h"
 #include "common/status.h"
 
 namespace lidi::voldemort {
@@ -76,11 +76,14 @@ class ReadOnlyStore {
   void AddSwapListener(SwapListener listener);
 
  private:
-  mutable std::mutex mu_;
-  std::map<int64_t, ReadOnlyFiles> versions_;
-  int64_t current_ = -1;
-  int64_t previous_ = -1;
-  std::vector<SwapListener> listeners_;
+  /// Reader/writer lock: lookups (the serving path) take it shared; swaps
+  /// and deployments are rare and exclusive. Never held across a swap
+  /// listener (Swap/Rollback copy the listener list and fire unlocked).
+  mutable SharedMutex mu_{"voldemort.readonly_store"};
+  std::map<int64_t, ReadOnlyFiles> versions_ LIDI_GUARDED_BY(mu_);
+  int64_t current_ LIDI_GUARDED_BY(mu_) = -1;
+  int64_t previous_ LIDI_GUARDED_BY(mu_) = -1;
+  std::vector<SwapListener> listeners_ LIDI_GUARDED_BY(mu_);
 };
 
 }  // namespace lidi::voldemort

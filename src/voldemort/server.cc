@@ -69,27 +69,27 @@ VoldemortServer::VoldemortServer(int node_id,
 VoldemortServer::~VoldemortServer() { network_->Unregister(address_); }
 
 Status VoldemortServer::AddStore(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (engines_.count(name) > 0) return Status::AlreadyExists(name);
   engines_[name] = storage::NewLogStructuredEngine();
   return Status::OK();
 }
 
 Status VoldemortServer::DeleteStore(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (engines_.erase(name) == 0) return Status::NotFound(name);
   return Status::OK();
 }
 
 bool VoldemortServer::HasStore(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return engines_.count(name) > 0;
 }
 
 Status VoldemortServer::EnableServerSideRouting(
     const StoreDefinition& definition, const Clock* clock) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (routed_clients_.count(definition.name) > 0) {
       return Status::AlreadyExists(definition.name);
     }
@@ -99,7 +99,7 @@ Status VoldemortServer::EnableServerSideRouting(
         address_ + "-coordinator", definition, metadata_, network_, clock);
   }
   auto coordinator = [this](const std::string& store) -> StoreClient* {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = routed_clients_.find(store);
     return it == routed_clients_.end() ? nullptr : it->second.get();
   };
@@ -154,20 +154,20 @@ Status VoldemortServer::EnableServerSideRouting(
 }
 
 Status VoldemortServer::AddReadOnlyStore(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (readonly_stores_.count(name) > 0) return Status::AlreadyExists(name);
   readonly_stores_[name] = std::make_unique<ReadOnlyStore>();
   return Status::OK();
 }
 
 ReadOnlyStore* VoldemortServer::GetReadOnlyStore(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = readonly_stores_.find(name);
   return it == readonly_stores_.end() ? nullptr : it->second.get();
 }
 
 storage::StorageEngine* VoldemortServer::GetEngine(const std::string& store) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return GetEngineLocked(store);
 }
 
@@ -202,7 +202,7 @@ Result<std::string> VoldemortServer::HandleGet(Slice request,
       return *redirected;
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   storage::StorageEngine* engine = GetEngineLocked(store);
   if (engine == nullptr) return Status::NotFound("no store " + store);
   std::string value;
@@ -224,7 +224,7 @@ Result<std::string> VoldemortServer::HandlePut(Slice request,
     }
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   storage::StorageEngine* engine = GetEngineLocked(store);
   if (engine == nullptr) return Status::NotFound("no store " + store);
 
@@ -270,7 +270,7 @@ Result<std::string> VoldemortServer::HandleGetTransform(Slice request) {
   auto transform = Transform::DecodeFrom(&input);
   if (!transform.ok()) return transform.status();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   storage::StorageEngine* engine = GetEngineLocked(store_slice.ToString());
   if (engine == nullptr) return Status::NotFound("no store");
   std::string encoded;
@@ -295,7 +295,7 @@ Result<std::string> VoldemortServer::HandleDelete(Slice request) {
   VectorClock clock;
   Status s = DecodeDeleteRequest(request, &store, &key, &clock);
   if (!s.ok()) return s;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   storage::StorageEngine* engine = GetEngineLocked(store);
   if (engine == nullptr) return Status::NotFound("no store " + store);
   std::string existing_encoded;
@@ -380,7 +380,7 @@ Result<std::string> VoldemortServer::HandleFetchPartition(Slice request) {
   const Cluster cluster = metadata_->SnapshotCluster();
   auto routing = NewConsistentRoutingStrategy(&cluster, 1);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   storage::StorageEngine* engine = GetEngineLocked(store);
   if (engine == nullptr) return Status::NotFound("no store " + store);
   std::string out;
@@ -409,7 +409,7 @@ Result<std::string> VoldemortServer::HandlePutRaw(Slice request) {
       !GetVarint64(&input, &count)) {
     return Status::Corruption("bad put-raw request");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   storage::StorageEngine* engine = GetEngineLocked(store_slice.ToString());
   if (engine == nullptr) return Status::NotFound("no store");
   for (uint64_t i = 0; i < count; ++i) {
@@ -443,7 +443,7 @@ Result<std::string> VoldemortServer::HandleReadOnlyGet(Slice request) {
   if (!s.ok()) return s;
   ReadOnlyStore* ro;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = readonly_stores_.find(store);
     if (it == readonly_stores_.end()) {
       return Status::NotFound("no read-only store " + store);

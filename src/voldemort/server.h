@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/clock.h"
+#include "common/sync.h"
 #include "net/network.h"
 #include "storage/engine.h"
 #include "voldemort/cluster.h"
@@ -81,21 +81,30 @@ class VoldemortServer {
   std::optional<Result<std::string>> MaybeRedirect(const std::string& method,
                                                    Slice key, Slice request);
 
-  storage::StorageEngine* GetEngineLocked(const std::string& store);
+  storage::StorageEngine* GetEngineLocked(const std::string& store)
+      LIDI_REQUIRES(mu_);
 
   const int node_id_;
   const std::shared_ptr<ClusterMetadata> metadata_;
   net::Network* const network_;
   const net::Address address_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<storage::StorageEngine>> engines_;
-  std::map<std::string, std::unique_ptr<ReadOnlyStore>> readonly_stores_;
+  /// Guards the store maps. Held across local engine calls (engines have
+  /// their own leaf locks) but never across the network: redirects run
+  /// before it is taken, slop pushes and read-only gets resolve the target
+  /// under it and call unlocked. slop_engine_ is unguarded — it is
+  /// thread-safe and its pointer is set once in the constructor.
+  mutable Mutex mu_{"voldemort.server"};
+  std::map<std::string, std::unique_ptr<storage::StorageEngine>> engines_
+      LIDI_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<ReadOnlyStore>> readonly_stores_
+      LIDI_GUARDED_BY(mu_);
   std::unique_ptr<storage::StorageEngine> slop_engine_;
   // Server-side routing: per-store embedded coordinators (see
   // EnableServerSideRouting). Declared as an opaque forward-declared client
   // to keep server.h free of client.h.
-  std::map<std::string, std::unique_ptr<class StoreClient>> routed_clients_;
+  std::map<std::string, std::unique_ptr<class StoreClient>> routed_clients_
+      LIDI_GUARDED_BY(mu_);
 };
 
 /// Canonical address of a Voldemort node on the simulated network.

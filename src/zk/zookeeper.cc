@@ -24,14 +24,14 @@ bool ZooKeeper::HasChildrenLocked(const std::string& path) const {
 }
 
 SessionId ZooKeeper::CreateSession() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return next_session_++;
 }
 
 void ZooKeeper::CloseSession(SessionId session) {
   std::vector<PendingEvent> events;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // The session's watches die with it, before any deletion events fire:
     // a watcher must never outlive the object that registered it.
     for (auto* watch_map : {&data_watches_, &child_watches_}) {
@@ -137,7 +137,7 @@ Status ZooKeeper::Create(SessionId session, const std::string& path,
   std::vector<PendingEvent> events;
   Status s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     s = CreateLocked(session, path, data, mode, created_path, &events);
   }
   Fire(std::move(events));
@@ -150,7 +150,7 @@ Status ZooKeeper::CreateRecursive(SessionId session, const std::string& path,
   std::vector<PendingEvent> events;
   Status s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Create missing ancestors as persistent empty nodes.
     std::vector<std::string> ancestors;
     for (std::string p = ParentOf(path); p != "/"; p = ParentOf(p)) {
@@ -174,7 +174,7 @@ Status ZooKeeper::CreateRecursive(SessionId session, const std::string& path,
 
 Result<std::string> ZooKeeper::Get(const std::string& path, Watcher watcher,
                                    SessionId watch_owner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = nodes_.find(path);
   if (it == nodes_.end()) return Status::NotFound(path);
   if (watcher) {
@@ -186,7 +186,7 @@ Result<std::string> ZooKeeper::Get(const std::string& path, Watcher watcher,
 Status ZooKeeper::Set(const std::string& path, const std::string& data) {
   std::vector<PendingEvent> events;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = nodes_.find(path);
     if (it == nodes_.end()) return Status::NotFound(path);
     it->second.data = data;
@@ -217,7 +217,7 @@ Status ZooKeeper::Delete(const std::string& path) {
   std::vector<PendingEvent> events;
   Status s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     s = DeleteLocked(path, &events);
   }
   Fire(std::move(events));
@@ -227,7 +227,7 @@ Status ZooKeeper::Delete(const std::string& path) {
 void ZooKeeper::DeleteRecursive(const std::string& path) {
   std::vector<PendingEvent> events;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const std::string prefix = path + "/";
     // Collect the subtree deepest-first so parents delete cleanly.
     std::vector<std::string> doomed;
@@ -250,7 +250,7 @@ void ZooKeeper::DeleteRecursive(const std::string& path) {
 
 bool ZooKeeper::Exists(const std::string& path, Watcher watcher,
                        SessionId watch_owner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const bool exists = nodes_.find(path) != nodes_.end();
   if (watcher) {
     data_watches_[path].push_back({watch_owner, std::move(watcher)});
@@ -260,7 +260,7 @@ bool ZooKeeper::Exists(const std::string& path, Watcher watcher,
 
 Result<std::vector<std::string>> ZooKeeper::GetChildren(
     const std::string& path, Watcher watcher, SessionId watch_owner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (path != "/" && nodes_.find(path) == nodes_.end()) {
     return Status::NotFound(path);
   }
@@ -282,7 +282,7 @@ Status ZooKeeper::CompareAndSet(const std::string& path,
                                 const std::string& desired) {
   std::vector<PendingEvent> events;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = nodes_.find(path);
     if (it == nodes_.end()) return Status::NotFound(path);
     if (it->second.data != expected) {

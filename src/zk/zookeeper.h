@@ -5,12 +5,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace lidi::zk {
 
@@ -127,26 +127,31 @@ class ZooKeeper {
 
   // All helpers below require mu_ held; they append events to *out.
   void QueueDataWatches(const std::string& path, EventType type,
-                        std::vector<PendingEvent>* out);
+                        std::vector<PendingEvent>* out) LIDI_REQUIRES(mu_);
   void QueueChildWatches(const std::string& parent,
-                         std::vector<PendingEvent>* out);
+                         std::vector<PendingEvent>* out) LIDI_REQUIRES(mu_);
   Status CreateLocked(SessionId session, const std::string& path,
                       const std::string& data, CreateMode mode,
                       std::string* created_path,
-                      std::vector<PendingEvent>* events);
+                      std::vector<PendingEvent>* events) LIDI_REQUIRES(mu_);
   Status DeleteLocked(const std::string& path,
-                      std::vector<PendingEvent>* events);
+                      std::vector<PendingEvent>* events) LIDI_REQUIRES(mu_);
   static std::string ParentOf(const std::string& path);
-  bool HasChildrenLocked(const std::string& path) const;
+  bool HasChildrenLocked(const std::string& path) const LIDI_REQUIRES(mu_);
 
   static void Fire(std::vector<PendingEvent> events);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Znode> nodes_;
-  std::map<std::string, std::vector<OwnedWatcher>> data_watches_;
-  std::map<std::string, std::vector<OwnedWatcher>> child_watches_;
-  std::map<SessionId, std::set<std::string>> session_nodes_;
-  SessionId next_session_ = 1;
+  /// Global ensemble lock ("linearizable by construction"). Never held
+  /// while firing watch callbacks — Fire() runs on drained event lists.
+  mutable Mutex mu_{"zk.ensemble"};
+  std::map<std::string, Znode> nodes_ LIDI_GUARDED_BY(mu_);
+  std::map<std::string, std::vector<OwnedWatcher>> data_watches_
+      LIDI_GUARDED_BY(mu_);
+  std::map<std::string, std::vector<OwnedWatcher>> child_watches_
+      LIDI_GUARDED_BY(mu_);
+  std::map<SessionId, std::set<std::string>> session_nodes_
+      LIDI_GUARDED_BY(mu_);
+  SessionId next_session_ LIDI_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace lidi::zk
