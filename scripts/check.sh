@@ -15,6 +15,14 @@
 #   4. ThreadSanitizer pass over the concurrency-sensitive suites (faultfs
 #      + every *concurrency*/sync test) in a separate build tree, when the
 #      toolchain supports -fsanitize=thread.
+#   5. AddressSanitizer pass over the simulation suites (ctest -L sim) in a
+#      separate build tree, when the toolchain supports -fsanitize=address —
+#      the chaos schedules crash/restart every tier, so this is where
+#      use-after-free on teardown paths would surface.
+#
+# Nightly-style deep sweep (not part of the merge gate; run it before
+# release branches or after touching crash/recovery paths):
+#   scripts/check.sh sweep        # 500-seed x 50-event simulation sweep
 set -eu
 
 JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
@@ -22,6 +30,20 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
 say() { printf '\n==== check: %s ====\n' "$*"; }
+
+# Deep simulation sweep: 500 seeded random chaos schedules against the full
+# invariant catalogue. Failures print a ddmin-shrunk reproducer; replay with
+# LIDI_SIM_SEED=<seed>.
+if [ "${1:-}" = "sweep" ]; then
+  JOBS="$(nproc 2>/dev/null || echo 4)"
+  say "simulation sweep (LIDI_SIM_SEEDS=${LIDI_SIM_SEEDS:-500})"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j"$JOBS"
+  LIDI_SIM_SEEDS="${LIDI_SIM_SEEDS:-500}" \
+    ctest --test-dir build --output-on-failure -L sim
+  say "sweep OK"
+  exit 0
+fi
 
 say "build (LIDI_THREAD_SAFETY=ON, LIDI_LOCK_ORDER=ON)"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -45,6 +67,18 @@ if printf 'int main(){return 0;}' | \
         -R 'faultfs|concurrency|sync'
 else
   echo "check: toolchain lacks -fsanitize=thread; skipping TSan stage"
+fi
+
+say "address-sanitizer (simulation suites, ctest -L sim)"
+if printf 'int main(){return 0;}' | \
+   ${CXX:-c++} -fsanitize=address -x c++ - -o /tmp/lidi_asan_probe 2>/dev/null; then
+  rm -f /tmp/lidi_asan_probe
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DLIDI_SANITIZE=address
+  cmake --build build-asan -j"$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j"$JOBS" -L sim
+else
+  echo "check: toolchain lacks -fsanitize=address; skipping ASan stage"
 fi
 
 say "OK"

@@ -95,6 +95,18 @@ if [ "$escape_count" -gt 5 ]; then
   fail "$escape_count LIDI_NO_THREAD_SAFETY_ANALYSIS escapes (max 5) — annotate instead of suppressing"
 fi
 
+# 2d. Determinism gate for the simulation harness. Everything under src/sim
+# must be a pure function of (SimOptions, Schedule): wall-clock reads or
+# unseeded randomness would silently break the same-seed => byte-identical-
+# trace replay contract (DESIGN.md "Simulation testing"), so they are banned
+# outright — use the virtual ManualClock and seeded lidi::Random instead.
+NONDET_RE='std::chrono|SystemClock::Default|std::random_device|std::mt19937|std::default_random_engine|[^a-zA-Z_](rand|srand|time|gettimeofday|clock_gettime)[[:space:]]*\('
+hits=$(grep -RnE "$NONDET_RE" src/sim tests/sim_test.cc tests/property_sim_test.cc 2>/dev/null || true)
+if [ -n "$hits" ]; then
+  fail "wall clock / unseeded randomness in simulation paths — use ManualClock + seeded lidi::Random:"
+  printf '%s\n' "$hits"
+fi
+
 if [ "$FAILED" -ne 0 ]; then
   echo "lint: FAILED"
   exit 1

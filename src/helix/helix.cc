@@ -60,6 +60,16 @@ Result<zk::SessionId> HelixController::ConnectParticipant(
   return session;
 }
 
+void HelixController::DisconnectParticipant(const std::string& instance,
+                                            zk::SessionId session) {
+  {
+    MutexLock lock(&mu_);
+    handlers_.erase(instance);
+  }
+  // After the lock: closing the session fires liveness watches.
+  zookeeper_->CloseSession(session);
+}
+
 std::vector<std::string> HelixController::LiveInstances() const {
   auto children = zookeeper_->GetChildren("/helix/" + cluster_ + "/live");
   return children.ok() ? children.value() : std::vector<std::string>{};

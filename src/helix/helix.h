@@ -72,6 +72,12 @@ class HelixController {
   Result<zk::SessionId> ConnectParticipant(const std::string& instance,
                                            TransitionHandler handler);
 
+  /// Simulated participant crash: closes the liveness session (the ephemeral
+  /// vanishes) and drops the transition handler, so the controller stops
+  /// calling into an object that may no longer exist. The instance stays
+  /// configured; ConnectParticipant with the same name models the restart.
+  void DisconnectParticipant(const std::string& instance, zk::SessionId session);
+
   /// IDEALSTATE: the target assignment when all configured nodes run.
   Assignment ComputeIdealState(const std::string& resource) const;
 

@@ -246,6 +246,20 @@ Status FaultFs::Restart() {
   return Status::OK();
 }
 
+void FaultFs::SetFaultProbabilities(double write_error, double short_write,
+                                    double sync_error) {
+  MutexLock lock(&mu_);
+  options_.write_error_probability = write_error;
+  options_.short_write_probability = short_write;
+  options_.sync_error_probability = sync_error;
+}
+
+void FaultFs::ArmCrashAfterBytes(int64_t more_bytes) {
+  MutexLock lock(&mu_);
+  options_.crash_after_bytes =
+      more_bytes < 0 ? -1 : total_written_ + more_bytes;
+}
+
 int64_t FaultFs::injected_failures() const {
   MutexLock lock(&mu_);
   return injected_failures_;

@@ -78,6 +78,18 @@ class FaultFs : public Fs {
   /// Total bytes accepted across all files (to aim crash points).
   int64_t total_bytes_written() const;
 
+  // --- runtime schedule knobs (the sim harness flips these per event) ---
+
+  /// Replaces the write/short-write/sync fault probabilities mid-run. The
+  /// seeded RNG stream is untouched, so a schedule that toggles bursts at
+  /// the same points replays identically.
+  void SetFaultProbabilities(double write_error, double short_write,
+                             double sync_error);
+
+  /// Arms (or re-arms) a crash point `more_bytes` accepted bytes from now.
+  /// Negative disarms.
+  void ArmCrashAfterBytes(int64_t more_bytes);
+
  private:
   friend class FaultWritableFile;
 

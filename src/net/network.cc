@@ -84,6 +84,18 @@ Status Network::Route(const Address& from, const Address& to,
   sender->calls_sent->Increment();
   sender->bytes_sent->Add(static_cast<int64_t>(request.size()));
 
+  // Virtual time: the message in flight is what moves the clock. Stepping
+  // before the deadline check means a delay burst can time calls out, which
+  // is exactly the failure mode the burst models.
+  if (step_clock_ != nullptr) {
+    int64_t step = step_micros_;
+    if (delay_burst_micros_ > 0) {
+      step += static_cast<int64_t>(
+          rng_.Uniform(static_cast<uint64_t>(delay_burst_micros_) + 1));
+    }
+    step_clock_->AdvanceMicros(step);
+  }
+
   if (deadline_micros != 0 && clock_->NowMicros() > deadline_micros) {
     return Status::Timeout("deadline budget exhausted calling " + to);
   }
@@ -240,9 +252,42 @@ void Network::PartitionOff(const std::set<Address>& side_a) {
 }
 
 void Network::Heal() {
+  std::vector<std::function<void()>> listeners;
+  {
+    MutexLock lock(&mu_);
+    partitioned_ = false;
+    partition_a_.clear();
+    listeners = heal_listeners_;
+  }
+  // Outside the lock: listeners typically place calls (recovery probes).
+  for (const auto& listener : listeners) listener();
+}
+
+bool Network::IsPartitioned() const {
   MutexLock lock(&mu_);
-  partitioned_ = false;
-  partition_a_.clear();
+  return partitioned_;
+}
+
+void Network::AddHealListener(std::function<void()> listener) {
+  MutexLock lock(&mu_);
+  heal_listeners_.push_back(std::move(listener));
+}
+
+void Network::ClearHealListeners() {
+  MutexLock lock(&mu_);
+  heal_listeners_.clear();
+}
+
+void Network::EnableVirtualTimeStepping(ManualClock* clock,
+                                        int64_t base_step_micros) {
+  MutexLock lock(&mu_);
+  step_clock_ = clock;
+  step_micros_ = base_step_micros;
+}
+
+void Network::SetDelayBurst(int64_t extra_micros) {
+  MutexLock lock(&mu_);
+  delay_burst_micros_ = extra_micros;
 }
 
 EndpointStats Network::GetStats(const Address& addr) const {

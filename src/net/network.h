@@ -141,9 +141,34 @@ class Network {
   void SetDropProbability(double p);
 
   /// Splits the cluster: traffic between `side_a` members and everyone else
-  /// is blocked. Heal() removes the partition.
+  /// is blocked. Heal() removes the partition and then runs every heal
+  /// listener (outside the lock).
   void PartitionOff(const std::set<Address>& side_a);
   void Heal();
+  bool IsPartitioned() const;
+
+  /// Registers a callback invoked after every Heal() — the hook failure
+  /// detectors use to probe banned nodes immediately instead of sitting out
+  /// the rest of their ban interval (see voldemort::FailureDetector::
+  /// ProbeBannedNow). Listeners must outlive the network or be removed by
+  /// re-registering via ClearHealListeners.
+  void AddHealListener(std::function<void()> listener);
+  void ClearHealListeners();
+
+  // --- deterministic simulation hooks (src/sim) ---
+
+  /// Virtual-time stepping: every dispatched call advances `clock` by
+  /// `base_step_micros` (plus the current delay burst, seeded per call).
+  /// This is how the simulation harness makes time a pure function of the
+  /// message sequence — retention windows, failure-detector bans and
+  /// deadlines all move deterministically with traffic, never with the wall
+  /// clock. Pass nullptr to disable.
+  void EnableVirtualTimeStepping(ManualClock* clock, int64_t base_step_micros);
+
+  /// Extra per-call delay in [0, extra_micros], drawn from the seeded RNG,
+  /// while a burst is active. 0 = calm. Only meaningful with virtual-time
+  /// stepping enabled.
+  void SetDelayBurst(int64_t extra_micros);
 
   EndpointStats GetStats(const Address& addr) const;
   void ResetStats();
@@ -211,6 +236,10 @@ class Network {
   std::set<Address> partition_a_ LIDI_GUARDED_BY(mu_);
   bool partitioned_ LIDI_GUARDED_BY(mu_) = false;
   double drop_probability_ LIDI_GUARDED_BY(mu_) = 0;
+  ManualClock* step_clock_ LIDI_GUARDED_BY(mu_) = nullptr;
+  int64_t step_micros_ LIDI_GUARDED_BY(mu_) = 0;
+  int64_t delay_burst_micros_ LIDI_GUARDED_BY(mu_) = 0;
+  std::vector<std::function<void()>> heal_listeners_ LIDI_GUARDED_BY(mu_);
   Random rng_ LIDI_GUARDED_BY(mu_);
   std::map<Address, EndpointInstruments> stats_ LIDI_GUARDED_BY(mu_);
   std::map<std::string, obs::LatencyHistogram*> method_latency_

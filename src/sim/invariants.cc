@@ -1,0 +1,416 @@
+#include "sim/invariants.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "avro/datum.h"
+#include "databus/event.h"
+#include "sim/sim_cluster.h"
+#include "sqlstore/database.h"
+#include "voldemort/server.h"
+#include "voldemort/vector_clock.h"
+#include "voldemort/wire.h"
+
+namespace lidi::sim {
+
+namespace {
+
+constexpr const char* kChecker = "sim-checker";
+
+std::string EspressoUri(const std::string& key) {
+  return std::string("/") + SimCluster::kEspressoDb + "/" +
+         SimCluster::kEspressoTable + "/" + key;
+}
+
+std::string TitleOf(const avro::DatumPtr& doc) {
+  if (doc == nullptr) return "";
+  auto field = doc->GetField("title");
+  return field == nullptr ? "" : field->string_value();
+}
+
+/// Every acknowledged write is still readable with an allowed value after
+/// the cluster settles. Unacknowledged attempts are indeterminate: their
+/// values are allowed but not required, and an unacked attempt after the
+/// last ack relaxes exact-match to set membership.
+class NoAckedWriteLost : public InvariantChecker {
+ public:
+  const char* name() const override { return "no-acked-write-lost"; }
+
+  void Check(SimCluster& cluster,
+             std::vector<InvariantViolation>* out) override {
+    CheckVoldemort(cluster, out);
+    CheckPrimaryAndFollower(cluster, out);
+    CheckEspresso(cluster, out);
+  }
+
+ private:
+  void CheckVoldemort(SimCluster& cluster,
+                      std::vector<InvariantViolation>* out) {
+    for (const auto& [key, h] : cluster.voldemort_history()) {
+      auto versions = cluster.voldemort_client()->Get(key);
+      if (!versions.ok()) {
+        if (h.has_ack) {
+          out->push_back({name(), "voldemort key " + key +
+                                      " unreadable after settle: " +
+                                      versions.status().ToString()});
+        }
+        continue;
+      }
+      bool saw_last_acked = false;
+      for (const auto& versioned : versions.value()) {
+        if (h.allowed.count(versioned.value) == 0) {
+          out->push_back({name(), "voldemort key " + key +
+                                      " holds never-written value '" +
+                                      versioned.value + "'"});
+        }
+        if (versioned.value == h.last_acked) saw_last_acked = true;
+      }
+      if (h.has_ack && !h.attempted_after_ack && !saw_last_acked) {
+        out->push_back({name(), "voldemort key " + key +
+                                    " lost acked value '" + h.last_acked +
+                                    "'"});
+      }
+    }
+  }
+
+  void CheckPrimaryAndFollower(SimCluster& cluster,
+                               std::vector<InvariantViolation>* out) {
+    const auto& follower_rows = cluster.follower_rows();
+    for (const auto& [key, h] : cluster.primary_history()) {
+      auto row = cluster.primary()->Get(SimCluster::kPrimaryTable, key);
+      if (!row.ok()) {
+        if (h.has_ack) {
+          out->push_back({name(), "primary row " + key +
+                                      " unreadable after settle: " +
+                                      row.status().ToString()});
+        }
+      } else {
+        auto it = row.value().find("v");
+        const std::string value = it == row.value().end() ? "" : it->second;
+        if (h.allowed.count(value) == 0) {
+          out->push_back({name(), "primary row " + key +
+                                      " holds never-written value '" + value +
+                                      "'"});
+        } else if (h.has_ack && !h.attempted_after_ack &&
+                   value != h.last_acked) {
+          out->push_back({name(), "primary row " + key + " lost acked '" +
+                                      h.last_acked + "', holds '" + value +
+                                      "'"});
+        }
+      }
+      // The Databus follower must have materialized every clean acked commit.
+      if (h.has_ack && !h.attempted_after_ack) {
+        auto fit = follower_rows.find(key);
+        if (fit == follower_rows.end()) {
+          out->push_back(
+              {name(), "databus follower missing acked row " + key});
+          continue;
+        }
+        auto decoded = sqlstore::DecodeRow(fit->second);
+        std::string follower_value;
+        if (decoded.ok()) {
+          auto vit = decoded.value().find("v");
+          if (vit != decoded.value().end()) follower_value = vit->second;
+        }
+        if (follower_value != h.last_acked) {
+          out->push_back({name(), "databus follower row " + key + " holds '" +
+                                      follower_value + "', acked '" +
+                                      h.last_acked + "'"});
+        }
+      }
+    }
+  }
+
+  void CheckEspresso(SimCluster& cluster,
+                     std::vector<InvariantViolation>* out) {
+    for (const auto& [key, h] : cluster.espresso_history()) {
+      auto doc = cluster.router()->GetDocument(EspressoUri(key));
+      if (!doc.ok()) {
+        const bool not_found = doc.status().IsNotFound();
+        if (h.has_ack && !h.attempted_after_ack && !h.deleted) {
+          out->push_back({name(), "espresso doc " + key +
+                                      " unreadable after settle: " +
+                                      doc.status().ToString()});
+        } else if (not_found && h.has_ack && h.attempted_after_ack &&
+                   h.allowed.count("") == 0) {
+          out->push_back({name(), "espresso doc " + key +
+                                      " vanished with no delete attempted"});
+        }
+        continue;
+      }
+      const std::string title = TitleOf(doc.value());
+      if (h.has_ack && !h.attempted_after_ack) {
+        if (h.deleted) {
+          out->push_back({name(), "espresso doc " + key +
+                                      " readable after acked delete"});
+        } else if (title != h.last_acked) {
+          out->push_back({name(), "espresso doc " + key + " holds '" + title +
+                                      "', acked '" + h.last_acked + "'"});
+        }
+      } else if (h.allowed.count(title) == 0) {
+        out->push_back({name(), "espresso doc " + key +
+                                    " holds never-written title '" + title +
+                                    "'"});
+      }
+    }
+  }
+};
+
+/// SCN streams are dense and strictly ordered per timeline, every replica
+/// has applied to its relay head, and the follower checkpoint never runs
+/// ahead of the source (a checkpoint past the recovered binlog head is
+/// exactly the footprint of the legacy persisted-bytes bug).
+class TimelineConsistency : public InvariantChecker {
+ public:
+  const char* name() const override { return "timeline-consistency"; }
+
+  void Check(SimCluster& cluster,
+             std::vector<InvariantViolation>* out) override {
+    CheckDatabus(cluster, out);
+    CheckEspresso(cluster, out);
+  }
+
+ private:
+  void CheckDatabus(SimCluster& cluster,
+                    std::vector<InvariantViolation>* out) {
+    const int64_t source_head = cluster.primary()->binlog().LastScn();
+    auto events = cluster.databus_relay()->ReadEvents(
+        0, std::numeric_limits<int64_t>::max(), databus::Filter{});
+    if (!events.ok()) {
+      out->push_back({name(), "databus relay unreadable: " +
+                                  events.status().ToString()});
+      return;
+    }
+    int64_t prev_scn = 0;
+    for (const auto& event : events.value()) {
+      if (event.scn < prev_scn) {
+        out->push_back({name(), "databus relay SCNs out of order: " +
+                                    std::to_string(event.scn) + " after " +
+                                    std::to_string(prev_scn)});
+      } else if (event.scn > prev_scn) {
+        if (prev_scn != 0 && event.scn != prev_scn + 1) {
+          out->push_back({name(), "databus relay SCN gap: " +
+                                      std::to_string(prev_scn) + " -> " +
+                                      std::to_string(event.scn)});
+        }
+        prev_scn = event.scn;
+      }
+    }
+    if (prev_scn != source_head) {
+      out->push_back({name(), "databus relay head " +
+                                  std::to_string(prev_scn) +
+                                  " != source binlog head " +
+                                  std::to_string(source_head)});
+    }
+    const int64_t checkpoint = cluster.follower()->checkpoint_scn();
+    if (checkpoint > source_head) {
+      out->push_back({name(), "follower checkpoint " +
+                                  std::to_string(checkpoint) +
+                                  " ahead of source head " +
+                                  std::to_string(source_head) +
+                                  " (acked commits lost at recovery)"});
+    }
+  }
+
+  void CheckEspresso(SimCluster& cluster,
+                     std::vector<InvariantViolation>* out) {
+    const int partitions = cluster.options().espresso_partitions;
+    for (int p = 0; p < partitions; ++p) {
+      auto events = cluster.espresso_relay().Read(
+          SimCluster::kEspressoDb, p, 0, std::numeric_limits<int64_t>::max());
+      const int64_t head =
+          cluster.espresso_relay().MaxScn(SimCluster::kEspressoDb, p);
+      int64_t prev_scn = 0;
+      if (events.ok()) {
+        for (const auto& event : events.value()) {
+          if (event.scn != prev_scn && event.scn != prev_scn + 1) {
+            out->push_back(
+                {name(), "espresso partition " + std::to_string(p) +
+                             " SCN gap: " + std::to_string(prev_scn) +
+                             " -> " + std::to_string(event.scn)});
+          }
+          prev_scn = std::max(prev_scn, event.scn);
+        }
+      }
+      for (int i = 0; i < cluster.options().espresso_nodes; ++i) {
+        auto* node = cluster.espresso_node(i);
+        if (node == nullptr) continue;
+        if (!node->IsMasterOf(SimCluster::kEspressoDb, p) &&
+            !node->IsSlaveOf(SimCluster::kEspressoDb, p)) {
+          continue;
+        }
+        const int64_t applied =
+            node->AppliedScn(SimCluster::kEspressoDb, p);
+        if (applied != head) {
+          out->push_back({name(), node->name() + " partition " +
+                                      std::to_string(p) + " applied scn " +
+                                      std::to_string(applied) +
+                                      " != relay head " +
+                                      std::to_string(head)});
+        }
+      }
+    }
+  }
+};
+
+/// Committed consumer offsets never regressed while the schedule ran, and
+/// after the final drain the consumed stream equals the acked produce set
+/// exactly once — no acked message lost, none duplicated, nothing consumed
+/// that was never acknowledged.
+class KafkaOffsets : public InvariantChecker {
+ public:
+  const char* name() const override { return "kafka-offsets"; }
+
+  void Check(SimCluster& cluster,
+             std::vector<InvariantViolation>* out) override {
+    for (const auto& violation : cluster.online_violations()) {
+      out->push_back(violation);
+    }
+    std::map<std::string, int> counts;
+    for (const std::string& payload : cluster.kafka_consumed()) {
+      ++counts[payload];
+    }
+    for (const auto& [payload, count] : counts) {
+      if (cluster.kafka_acked().count(payload) == 0) {
+        out->push_back(
+            {name(), "consumed message '" + payload + "' was never acked"});
+      } else if (count > 1) {
+        out->push_back({name(), "message '" + payload + "' consumed " +
+                                    std::to_string(count) + " times"});
+      }
+    }
+    for (const std::string& payload : cluster.kafka_acked()) {
+      if (counts.count(payload) == 0) {
+        out->push_back({name(), "acked message '" + payload +
+                                    "' never consumed after settle"});
+      }
+    }
+  }
+};
+
+/// After heal + slop delivery + read repair, replica version sets hold only
+/// values that were actually written, and repeated quorum reads are stable
+/// (the vector clocks have reached a fixed point).
+class VectorClockConvergence : public InvariantChecker {
+ public:
+  const char* name() const override { return "vector-clock-convergence"; }
+
+  void Check(SimCluster& cluster,
+             std::vector<InvariantViolation>* out) override {
+    for (const auto& [key, h] : cluster.voldemort_history()) {
+      const auto first = ReadValues(cluster, key);
+      const auto second = ReadValues(cluster, key);
+      if (first != second) {
+        out->push_back({name(), "quorum reads of key " + key +
+                                    " not stable after settle"});
+      }
+      // Direct per-replica reads: no replica may hold a value nobody wrote.
+      std::string request;
+      voldemort::EncodeGetRequest(SimCluster::kVoldemortStore, key, &request);
+      for (int i = 0; i < cluster.options().voldemort_nodes; ++i) {
+        auto response = cluster.network().Call(
+            kChecker, voldemort::VoldemortAddress(i), "v.get", request);
+        if (!response.ok()) continue;  // not a replica / empty store
+        auto versions = voldemort::DecodeVersionedList(response.value());
+        if (!versions.ok()) continue;
+        for (const auto& versioned : versions.value()) {
+          if (h.allowed.count(versioned.value) == 0) {
+            out->push_back({name(), "node " + std::to_string(i) + " key " +
+                                        key + " holds never-written value '" +
+                                        versioned.value + "'"});
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  static std::vector<std::string> ReadValues(SimCluster& cluster,
+                                             const std::string& key) {
+    std::vector<std::string> values;
+    auto versions = cluster.voldemort_client()->Get(key);
+    if (versions.ok()) {
+      for (const auto& versioned : versions.value()) {
+        values.push_back(versioned.value);
+      }
+    }
+    std::sort(values.begin(), values.end());
+    return values;
+  }
+};
+
+/// Every tier answers again after the chaos: pings succeed, every Espresso
+/// partition has a master, every broker re-registered, and a fresh
+/// end-to-end write succeeds per tier. Runs LAST — its probe writes would
+/// otherwise disturb the exactly-once kafka accounting.
+class LivenessResumed : public InvariantChecker {
+ public:
+  const char* name() const override { return "liveness-resumed"; }
+
+  void Check(SimCluster& cluster,
+             std::vector<InvariantViolation>* out) override {
+    for (int i = 0; i < cluster.options().voldemort_nodes; ++i) {
+      auto pong = cluster.network().Call(
+          kChecker, voldemort::VoldemortAddress(i), "v.ping", "");
+      if (!pong.ok()) {
+        out->push_back({name(), "voldemort node " + std::to_string(i) +
+                                    " not answering pings: " +
+                                    pong.status().ToString()});
+      }
+    }
+    auto masterless =
+        cluster.helix().MasterlessPartitions(SimCluster::kEspressoDb);
+    for (int p : masterless) {
+      out->push_back({name(), "espresso partition " + std::to_string(p) +
+                                  " has no master after settle"});
+    }
+    auto broker_ids = cluster.zookeeper().GetChildren("/kafka/brokers/ids");
+    const int registered =
+        broker_ids.ok() ? static_cast<int>(broker_ids.value().size()) : 0;
+    if (registered != cluster.options().kafka_brokers) {
+      out->push_back({name(), std::to_string(registered) + "/" +
+                                  std::to_string(
+                                      cluster.options().kafka_brokers) +
+                                  " brokers registered after settle"});
+    }
+    // End-to-end probes with non-workload keys.
+    if (!cluster.voldemort_client()->PutValue("liveness-probe", "alive")
+             .ok()) {
+      out->push_back({name(), "voldemort quorum write failed after settle"});
+    }
+    if (!cluster.primary()
+             ->Put(SimCluster::kPrimaryTable, "liveness-probe",
+                   {{"v", "alive"}})
+             .ok()) {
+      out->push_back({name(), "primary commit failed after settle"});
+    }
+    auto doc = avro::Datum::Record("Doc");
+    doc->SetField("title", avro::Datum::String("alive"));
+    if (!cluster.router()->PutDocument(EspressoUri("live/probe"), *doc).ok()) {
+      out->push_back({name(), "espresso put failed after settle"});
+    }
+    if (!cluster.producer()->Send(SimCluster::kTopic, "live-probe").ok()) {
+      out->push_back({name(), "kafka produce failed after settle"});
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<InvariantChecker>> StandardInvariants() {
+  std::vector<std::unique_ptr<InvariantChecker>> checkers;
+  checkers.push_back(std::make_unique<NoAckedWriteLost>());
+  checkers.push_back(std::make_unique<TimelineConsistency>());
+  checkers.push_back(std::make_unique<KafkaOffsets>());
+  checkers.push_back(std::make_unique<VectorClockConvergence>());
+  // Liveness last: its probe writes must not disturb the accounting the
+  // safety checkers above rely on.
+  checkers.push_back(std::make_unique<LivenessResumed>());
+  return checkers;
+}
+
+}  // namespace lidi::sim

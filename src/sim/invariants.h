@@ -1,0 +1,50 @@
+#ifndef LIDI_SIM_INVARIANTS_H_
+#define LIDI_SIM_INVARIANTS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lidi::sim {
+
+class SimCluster;
+
+/// One invariant failure found after a schedule ran and the cluster settled.
+/// `invariant` is the checker's name; `detail` says which key/partition/
+/// offset broke and how.
+struct InvariantViolation {
+  std::string invariant;
+  std::string detail;
+};
+
+/// A pluggable whole-cluster safety/liveness property, checked after
+/// Settle() (chaos over: partitions healed, crashed nodes restarted, async
+/// tiers drained). Checkers may drive the cluster (reads, pings, probe
+/// writes) but must be deterministic — no wall clock, no unseeded
+/// randomness.
+class InvariantChecker {
+ public:
+  virtual ~InvariantChecker() = default;
+  virtual const char* name() const = 0;
+  virtual void Check(SimCluster& cluster,
+                     std::vector<InvariantViolation>* out) = 0;
+};
+
+/// The standard catalogue (DESIGN.md §9):
+///  - no-acked-write-lost: every acknowledged Voldemort put, primary-DB
+///    commit and Espresso document write is still readable with an allowed
+///    value; unacknowledged attempts may or may not have landed.
+///  - timeline-consistency: Databus and Espresso relay SCN streams are dense
+///    and strictly ordered per partition, and every replica has applied up
+///    to its relay head.
+///  - kafka-offsets: committed consumer offsets never regressed, and the
+///    final drained consumption equals the acked produce set exactly once.
+///  - vector-clock-convergence: after heal + read repair, replica version
+///    sets hold only allowed values and repeated quorum reads are stable.
+///  - liveness-resumed: every tier answers again (pings, masters elected,
+///    brokers registered) and a fresh end-to-end write succeeds per tier.
+std::vector<std::unique_ptr<InvariantChecker>> StandardInvariants();
+
+}  // namespace lidi::sim
+
+#endif  // LIDI_SIM_INVARIANTS_H_

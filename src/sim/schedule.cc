@@ -1,0 +1,137 @@
+#include "sim/schedule.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/random.h"
+
+namespace lidi::sim {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPartition: return "partition";
+    case EventKind::kHeal: return "heal";
+    case EventKind::kCrashNode: return "crash";
+    case EventKind::kRestartNode: return "restart";
+    case EventKind::kClockSkew: return "clock-skew";
+    case EventKind::kDelayBurst: return "delay-burst";
+    case EventKind::kDelayCalm: return "delay-calm";
+    case EventKind::kIoFaultBurst: return "io-fault-burst";
+    case EventKind::kIoFaultCalm: return "io-fault-calm";
+    case EventKind::kWorkload: return "workload";
+  }
+  return "?";
+}
+
+std::string FormatEvent(const SimEvent& event) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s(t=%d,m=%lld)", EventKindName(event.kind),
+                event.target, static_cast<long long>(event.magnitude));
+  return buf;
+}
+
+std::string FormatSchedule(const Schedule& schedule) {
+  char header[64];
+  std::snprintf(header, sizeof(header), "schedule seed=%llu n=%zu\n",
+                static_cast<unsigned long long>(schedule.seed),
+                schedule.events.size());
+  std::string out = header;
+  for (size_t i = 0; i < schedule.events.size(); ++i) {
+    char line[112];
+    std::snprintf(line, sizeof(line), "  [%zu] %s\n", i,
+                  FormatEvent(schedule.events[i]).c_str());
+    out += line;
+  }
+  return out;
+}
+
+Schedule GenerateSchedule(uint64_t seed, int num_events) {
+  Schedule schedule;
+  schedule.seed = seed;
+  // Derived stream so schedule generation never shares state with the run
+  // itself (the cluster seeds its own Random from `seed`).
+  Random rng(seed ^ 0x5ced5c4ed5eedULL);
+  schedule.events.reserve(static_cast<size_t>(num_events));
+  for (int i = 0; i < num_events; ++i) {
+    SimEvent e;
+    e.target = static_cast<int>(rng.Uniform(64));
+    const uint64_t roll = rng.Uniform(100);
+    // ~55% workload so invariants always have traffic to check, the rest
+    // spread over the fault families.
+    if (roll < 55) {
+      e.kind = EventKind::kWorkload;
+      e.magnitude = rng.UniformRange(1, 8);
+    } else if (roll < 63) {
+      e.kind = EventKind::kPartition;
+      e.magnitude = rng.UniformRange(1, 3);  // nodes on the minority side
+    } else if (roll < 71) {
+      e.kind = EventKind::kHeal;
+    } else if (roll < 79) {
+      e.kind = EventKind::kCrashNode;
+    } else if (roll < 87) {
+      e.kind = EventKind::kRestartNode;
+    } else if (roll < 91) {
+      e.kind = EventKind::kClockSkew;
+      e.magnitude = rng.UniformRange(1000, 20'000'000);  // 1ms .. 20s
+    } else if (roll < 94) {
+      e.kind = EventKind::kDelayBurst;
+      e.magnitude = rng.UniformRange(100, 50'000);  // up to 50ms per hop
+    } else if (roll < 96) {
+      e.kind = EventKind::kDelayCalm;
+    } else if (roll < 98) {
+      e.kind = EventKind::kIoFaultBurst;
+      e.magnitude = rng.UniformRange(10, 200);  // fault per-mille
+    } else {
+      e.kind = EventKind::kIoFaultCalm;
+    }
+    schedule.events.push_back(e);
+  }
+  return schedule;
+}
+
+namespace {
+
+Schedule WithoutRange(const Schedule& schedule, size_t begin, size_t end) {
+  Schedule out;
+  out.seed = schedule.seed;
+  out.events.reserve(schedule.events.size() - (end - begin));
+  for (size_t i = 0; i < schedule.events.size(); ++i) {
+    if (i >= begin && i < end) continue;
+    out.events.push_back(schedule.events[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Schedule ShrinkSchedule(const Schedule& failing, const ScheduleFails& fails,
+                        int max_probes) {
+  Schedule current = failing;
+  int probes = 0;
+  size_t chunk = current.events.size() / 2;
+  while (chunk >= 1 && probes < max_probes) {
+    bool removed_any = false;
+    for (size_t begin = 0;
+         begin < current.events.size() && probes < max_probes;) {
+      const size_t end = std::min(begin + chunk, current.events.size());
+      Schedule candidate = WithoutRange(current, begin, end);
+      ++probes;
+      if (fails(candidate)) {
+        current = std::move(candidate);
+        removed_any = true;
+        // Do not advance `begin`: the events that slid into this window are
+        // untested.
+      } else {
+        begin = end;
+      }
+    }
+    if (chunk == 1 && !removed_any) break;
+    if (!removed_any || chunk > current.events.size()) chunk /= 2;
+    if (chunk > current.events.size()) chunk = current.events.size();
+    if (chunk == 0) chunk = current.events.empty() ? 0 : 1;
+    if (current.events.empty()) break;
+  }
+  return current;
+}
+
+}  // namespace lidi::sim

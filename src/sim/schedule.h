@@ -1,0 +1,77 @@
+#ifndef LIDI_SIM_SCHEDULE_H_
+#define LIDI_SIM_SCHEDULE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lidi::sim {
+
+/// One injected fault or workload step in a cluster-wide chaos schedule.
+/// Events are closed under arbitrary reordering and deletion: every kind is
+/// a no-op when its precondition does not hold (healing with no partition,
+/// restarting a running node), which is what lets the shrinker delete any
+/// subsequence and still have a meaningful schedule.
+enum class EventKind : uint8_t {
+  kPartition = 0,     // cut a seeded subset of nodes off from the rest
+  kHeal = 1,          // remove the partition (fires probe-on-heal listeners)
+  kCrashNode = 2,     // process/power loss of the node `target` selects
+  kRestartNode = 3,   // restart-with-recovery of that node
+  kClockSkew = 4,     // jump the virtual clock forward `magnitude` micros
+  kDelayBurst = 5,    // per-message delay in [0, magnitude] micros until calm
+  kDelayCalm = 6,
+  kIoFaultBurst = 7,  // write/short-write/sync faults on `target`'s disk
+  kIoFaultCalm = 8,
+  kWorkload = 9,      // run `magnitude` ops of workload family `target`
+};
+
+const char* EventKindName(EventKind kind);
+
+struct SimEvent {
+  EventKind kind = EventKind::kWorkload;
+  /// Node / workload / disk selector. Interpreted modulo the relevant
+  /// population by the cluster, so any value is valid for any deployment.
+  int target = 0;
+  /// Micros (skew, delay), ops (workload), fault intensity in per-mille
+  /// (io bursts).
+  int64_t magnitude = 0;
+};
+
+/// A replayable chaos schedule. Everything about a run is a function of
+/// (deployment options, schedule), and the schedule is a function of
+/// (seed, length) — so `--seed=N --schedule-events=M` reproduces a failure
+/// exactly.
+struct Schedule {
+  uint64_t seed = 0;
+  std::vector<SimEvent> events;
+};
+
+/// Stable single-line rendering of one event ("partition(t=3,m=1)").
+std::string FormatEvent(const SimEvent& event);
+
+/// Stable multi-line rendering of the schedule — the byte-identical-trace
+/// determinism contract anchors on this.
+std::string FormatSchedule(const Schedule& schedule);
+
+/// Generates a seeded random schedule of `num_events` events: mostly
+/// workload steps with fault events (partitions, crashes, skew, delay and
+/// I/O bursts) interleaved. Same (seed, num_events) => identical schedule.
+Schedule GenerateSchedule(uint64_t seed, int num_events);
+
+/// Predicate driving the shrinker: true if the candidate schedule still
+/// reproduces the failure (typically: fresh SimCluster, run, invariants
+/// violated).
+using ScheduleFails = std::function<bool(const Schedule&)>;
+
+/// Delta-debugging minimizer: repeatedly deletes event chunks (halves down
+/// to single events) while `fails` keeps returning true, bounded by
+/// `max_probes` predicate evaluations. The result is 1-minimal up to the
+/// probe budget: removing any single remaining event makes the failure
+/// disappear (or the budget ran out first).
+Schedule ShrinkSchedule(const Schedule& failing, const ScheduleFails& fails,
+                        int max_probes = 512);
+
+}  // namespace lidi::sim
+
+#endif  // LIDI_SIM_SCHEDULE_H_

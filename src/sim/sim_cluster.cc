@@ -1,0 +1,673 @@
+#include "sim/sim_cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "avro/datum.h"
+#include "voldemort/cluster.h"
+
+namespace lidi::sim {
+
+namespace {
+
+std::string EspressoUri(const std::string& key) {
+  return std::string("/") + SimCluster::kEspressoDb + "/" +
+         SimCluster::kEspressoTable + "/" + key;
+}
+
+}  // namespace
+
+SimCluster::SimCluster(SimOptions options)
+    : options_(options),
+      clock_(/*start_micros=*/1'000'000),
+      rng_(options.seed),
+      metrics_(&clock_),
+      network_(options.seed, &metrics_, &clock_) {
+  // Time is a pure function of the message sequence: every dispatched call
+  // advances the virtual clock a little, so retention windows, ban
+  // intervals and deadlines move deterministically with traffic.
+  network_.EnableVirtualTimeStepping(&clock_, /*base_step_micros=*/50);
+
+  base_fs_ = io::NewMemFs();
+  io::FaultFsOptions primary_fs_options;
+  primary_fs_options.seed = options_.seed ^ 0xd15cULL;
+  primary_disk_ =
+      std::make_unique<io::FaultFs>(base_fs_.get(), primary_fs_options);
+  for (int i = 0; i < options_.kafka_brokers; ++i) {
+    io::FaultFsOptions broker_fs_options;
+    broker_fs_options.seed = options_.seed ^ (0xb40cULL +
+                                              static_cast<uint64_t>(i));
+    broker_disks_.push_back(
+        std::make_unique<io::FaultFs>(base_fs_.get(), broker_fs_options));
+  }
+
+  // Voldemort ring.
+  std::vector<voldemort::Node> nodes;
+  for (int i = 0; i < options_.voldemort_nodes; ++i) {
+    nodes.push_back({i, voldemort::VoldemortAddress(i), 0});
+  }
+  metadata_ = std::make_shared<voldemort::ClusterMetadata>(
+      voldemort::Cluster::Uniform(nodes, 12));
+  for (int i = 0; i < options_.voldemort_nodes; ++i) {
+    vservers_.push_back(std::make_unique<voldemort::VoldemortServer>(
+        i, metadata_, &network_));
+    vservers_.back()->AddStore(kVoldemortStore);
+  }
+  voldemort::StoreDefinition def;
+  def.name = kVoldemortStore;
+  def.replication_factor = std::min(3, options_.voldemort_nodes);
+  def.required_reads = def.replication_factor >= 2 ? 2 : 1;
+  def.required_writes = def.replication_factor >= 2 ? 2 : 1;
+  vclient_ = std::make_unique<voldemort::StoreClient>(
+      "sim-client", def, metadata_, &network_, &clock_);
+  // The probe-on-heal path: a heal immediately re-probes banned replicas
+  // instead of letting them sit out the rest of the ban interval.
+  network_.AddHealListener(
+      [this] { vclient_->failure_detector()->ProbeBannedNow(); });
+
+  // Kafka brokers + producer + consumer group.
+  for (int i = 0; i < options_.kafka_brokers; ++i) {
+    brokers_.push_back(std::make_unique<kafka::Broker>(
+        i, &zookeeper_, &network_, &clock_, BrokerOptionsFor(i)));
+    brokers_.back()->CreateTopic(kTopic, /*partitions=*/1);
+  }
+  kafka::ProducerOptions producer_options;
+  producer_options.seed = options_.seed ^ 0x9a0dULL;
+  producer_ = std::make_unique<kafka::Producer>("producer", &zookeeper_,
+                                                &network_, producer_options);
+  consumer_ = std::make_unique<kafka::Consumer>("consumer-0", "sim-group",
+                                                &zookeeper_, &network_);
+  consumer_->Subscribe(kTopic);
+
+  // Primary DB -> Databus pipeline.
+  primary_ =
+      std::make_unique<sqlstore::Database>("primary", PrimaryBinlogOptions());
+  primary_->CreateTable(kPrimaryTable);
+  RecreateRelay();
+  bootstrap_ = std::make_unique<databus::BootstrapServer>("bootstrap", "relay",
+                                                          &network_);
+  follower_consumer_ = std::make_unique<databus::CallbackConsumer>(
+      [this](const databus::Event& event) {
+        if (event.op == databus::Event::Op::kDelete) {
+          follower_rows_.erase(event.key);
+        } else {
+          follower_rows_[event.key] = event.payload;
+        }
+        return Status::OK();
+      });
+  databus::ClientOptions client_options;
+  client_options.max_event_retries = 10;
+  dbclient_ = std::make_unique<databus::DatabusClient>(
+      "follower", "relay", "bootstrap", &network_, follower_consumer_.get(),
+      client_options);
+
+  // Espresso cluster.
+  registry_.CreateDatabase({kEspressoDb,
+                            espresso::DatabaseSchema::Partitioning::kHash,
+                            options_.espresso_partitions, 2});
+  registry_.CreateTable(kEspressoDb, {kEspressoTable, 1});
+  registry_.PostDocumentSchema(kEspressoDb, kEspressoTable, R"({
+    "type":"record","name":"Doc","fields":[{"name":"title","type":"string"}]})");
+  helix_ = std::make_unique<helix::HelixController>("espresso", &zookeeper_);
+  helix_->AddResource({kEspressoDb, options_.espresso_partitions, 2});
+  esp_nodes_.resize(static_cast<size_t>(options_.espresso_nodes));
+  esp_sessions_.resize(static_cast<size_t>(options_.espresso_nodes), 0);
+  for (int i = 0; i < options_.espresso_nodes; ++i) StartEspressoNode(i);
+  helix_->RebalanceToConvergence();
+  router_ = std::make_unique<espresso::Router>("router", &registry_,
+                                               helix_.get(), &network_);
+}
+
+SimCluster::~SimCluster() {
+  // The heal listener captures `this`; make sure nothing can fire it while
+  // members are being torn down.
+  network_.ClearHealListeners();
+}
+
+kafka::BrokerOptions SimCluster::BrokerOptionsFor(int i) const {
+  kafka::BrokerOptions options;
+  options.log.data_dir = "/broker" + std::to_string(i);
+  options.log.fs = broker_disks_[static_cast<size_t>(i)].get();
+  // Durable acks: every produce is flushed and fdatasync'd before the
+  // response, so an acknowledged message survives a broker power loss —
+  // the contract the no-acked-message-lost invariant checks.
+  options.log.sync = io::SyncPolicy::kAlways;
+  options.log.flush_interval_messages = 1;
+  return options;
+}
+
+sqlstore::BinlogOptions SimCluster::PrimaryBinlogOptions() const {
+  sqlstore::BinlogOptions options;
+  options.data_dir = "/primary";
+  options.fs = primary_disk_.get();
+  options.sync = io::SyncPolicy::kAlways;
+  options.legacy_advance_on_failed_write = options_.legacy_binlog_bug;
+  return options;
+}
+
+void SimCluster::StartEspressoNode(int i) {
+  const std::string name = "esn-" + std::to_string(i);
+  auto node = std::make_unique<espresso::StorageNode>(
+      name, &registry_, &esp_relay_, &network_, &clock_);
+  espresso::StorageNode* raw = node.get();
+  raw->SetMasterLookup([this](const std::string& database, int partition) {
+    return helix_->MasterOf(database, partition);
+  });
+  auto session = helix_->ConnectParticipant(
+      name,
+      [raw](const helix::Transition& t) { return raw->HandleTransition(t); });
+  esp_sessions_[static_cast<size_t>(i)] = session.ok() ? session.value() : 0;
+  esp_nodes_[static_cast<size_t>(i)] = std::move(node);
+}
+
+void SimCluster::RecreateRelay() {
+  relay_ = std::make_unique<databus::Relay>("relay", primary_.get(),
+                                            &network_);
+}
+
+// ---------------------------------------------------------------------------
+// Crash / restart entry points per tier.
+// ---------------------------------------------------------------------------
+
+int SimCluster::CrashableEntities() const {
+  return options_.voldemort_nodes + options_.kafka_brokers +
+         options_.espresso_nodes + 3;  // primary, relay, bootstrap
+}
+
+std::string SimCluster::EntityName(int entity) const {
+  if (entity < options_.voldemort_nodes) {
+    return "voldemort-" + std::to_string(entity);
+  }
+  entity -= options_.voldemort_nodes;
+  if (entity < options_.kafka_brokers) {
+    return "broker-" + std::to_string(entity);
+  }
+  entity -= options_.kafka_brokers;
+  if (entity < options_.espresso_nodes) {
+    return "esn-" + std::to_string(entity);
+  }
+  entity -= options_.espresso_nodes;
+  return entity == 0 ? "primary" : entity == 1 ? "relay" : "bootstrap";
+}
+
+std::string SimCluster::CrashEntity(int entity) {
+  const std::string name = EntityName(entity);
+  int index = entity;
+  if (index < options_.voldemort_nodes) {
+    if (!network_.IsNodeUp(voldemort::VoldemortAddress(index))) {
+      return "noop (" + name + " already down)";
+    }
+    CrashVoldemort(index);
+    return "crash " + name;
+  }
+  index -= options_.voldemort_nodes;
+  if (index < options_.kafka_brokers) {
+    if (brokers_[static_cast<size_t>(index)] == nullptr) {
+      return "noop (" + name + " already down)";
+    }
+    CrashBroker(index);
+    return "crash " + name;
+  }
+  index -= options_.kafka_brokers;
+  if (index < options_.espresso_nodes) {
+    if (esp_nodes_[static_cast<size_t>(index)] == nullptr) {
+      return "noop (" + name + " already down)";
+    }
+    CrashEspresso(index);
+    return "crash " + name;
+  }
+  index -= options_.espresso_nodes;
+  if (index == 0) {
+    if (primary_crashed_) return "noop (primary already down)";
+    CrashPrimary();
+    return "crash primary";
+  }
+  if (index == 1) {
+    if (relay_ == nullptr) return "noop (relay already down)";
+    relay_.reset();
+    return "crash relay";
+  }
+  if (bootstrap_ == nullptr) return "noop (bootstrap already down)";
+  bootstrap_.reset();
+  return "crash bootstrap";
+}
+
+std::string SimCluster::RestartEntity(int entity) {
+  const std::string name = EntityName(entity);
+  int index = entity;
+  if (index < options_.voldemort_nodes) {
+    if (network_.IsNodeUp(voldemort::VoldemortAddress(index))) {
+      return "noop (" + name + " already up)";
+    }
+    RestartVoldemort(index);
+    return "restart " + name;
+  }
+  index -= options_.voldemort_nodes;
+  if (index < options_.kafka_brokers) {
+    if (brokers_[static_cast<size_t>(index)] != nullptr) {
+      return "noop (" + name + " already up)";
+    }
+    RestartBroker(index);
+    return "restart " + name;
+  }
+  index -= options_.kafka_brokers;
+  if (index < options_.espresso_nodes) {
+    if (esp_nodes_[static_cast<size_t>(index)] != nullptr) {
+      return "noop (" + name + " already up)";
+    }
+    RestartEspresso(index);
+    return "restart " + name;
+  }
+  index -= options_.espresso_nodes;
+  if (index == 0) {
+    if (!primary_crashed_) return "noop (primary already up)";
+    RestartPrimary();
+    return "restart primary";
+  }
+  if (index == 1) {
+    if (relay_ != nullptr) return "noop (relay already up)";
+    RecreateRelay();
+    return "restart relay";
+  }
+  if (bootstrap_ != nullptr) return "noop (bootstrap already up)";
+  bootstrap_ = std::make_unique<databus::BootstrapServer>("bootstrap", "relay",
+                                                          &network_);
+  return "restart bootstrap";
+}
+
+void SimCluster::CrashVoldemort(int i) {
+  // Omission crash: the node object (and its in-memory engine) survives, the
+  // network just stops delivering — quorum masks the outage and slops /
+  // read repair reconverge it after SetNodeUp.
+  network_.SetNodeDown(voldemort::VoldemortAddress(i));
+}
+
+void SimCluster::RestartVoldemort(int i) {
+  network_.SetNodeUp(voldemort::VoldemortAddress(i));
+  // Restart is heal-like for the failure detector: re-admit the node now
+  // instead of waiting out the remainder of its ban interval.
+  vclient_->failure_detector()->ProbeBannedNow();
+}
+
+void SimCluster::CrashBroker(int i) {
+  // Process death first (handlers unregistered, zk ephemerals dropped), then
+  // power loss on its disk. Restart recovers the partition logs from the
+  // durable prefix.
+  brokers_[static_cast<size_t>(i)].reset();
+  broker_disks_[static_cast<size_t>(i)]->CrashNow();
+}
+
+void SimCluster::RestartBroker(int i) {
+  broker_disks_[static_cast<size_t>(i)]->Restart();
+  brokers_[static_cast<size_t>(i)] = std::make_unique<kafka::Broker>(
+      i, &zookeeper_, &network_, &clock_, BrokerOptionsFor(i));
+  brokers_[static_cast<size_t>(i)]->CreateTopic(kTopic, /*partitions=*/1);
+}
+
+void SimCluster::CrashEspresso(int i) {
+  const std::string name = "esn-" + std::to_string(i);
+  // Drop the transition handler before the object dies, then let the
+  // controller fail the partitions over to the surviving replicas.
+  helix_->DisconnectParticipant(name, esp_sessions_[static_cast<size_t>(i)]);
+  esp_nodes_[static_cast<size_t>(i)].reset();
+  helix_->RebalanceToConvergence();
+}
+
+void SimCluster::RestartEspresso(int i) {
+  StartEspressoNode(i);
+  // OFFLINE->SLAVE bootstraps from the current master's snapshot (when one
+  // is reachable), then catches up from the per-partition relay timelines.
+  helix_->RebalanceToConvergence();
+  if (esp_nodes_[static_cast<size_t>(i)] != nullptr) {
+    esp_nodes_[static_cast<size_t>(i)]->CatchUpAll();
+  }
+}
+
+void SimCluster::CrashPrimary() {
+  // Power loss on the primary's disk: the Database object survives but every
+  // commit fails from here on (nothing is acknowledged on a dead disk).
+  primary_crashed_ = true;
+  primary_disk_->CrashNow();
+}
+
+void SimCluster::RestartPrimary() {
+  if (!primary_crashed_) return;
+  // The relay holds a pointer into the old Database; tear it down first. A
+  // relay is stateless (paper III.D) — the recreated one re-pulls from SCN 0.
+  relay_.reset();
+  primary_.reset();
+  primary_disk_->Restart();
+  primary_ =
+      std::make_unique<sqlstore::Database>("primary", PrimaryBinlogOptions());
+  primary_->CreateTable(kPrimaryTable);
+  primary_->ReplayBinlog();
+  RecreateRelay();
+  primary_crashed_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Event application.
+// ---------------------------------------------------------------------------
+
+void SimCluster::ApplyEvent(const SimEvent& event) {
+  std::string effect;
+  switch (event.kind) {
+    case EventKind::kPartition: {
+      std::vector<net::Address> candidates;
+      for (int i = 0; i < options_.voldemort_nodes; ++i) {
+        candidates.push_back(voldemort::VoldemortAddress(i));
+      }
+      for (int i = 0; i < options_.kafka_brokers; ++i) {
+        candidates.push_back(kafka::BrokerAddress(i));
+      }
+      for (int i = 0; i < options_.espresso_nodes; ++i) {
+        candidates.push_back("esn-" + std::to_string(i));
+      }
+      candidates.push_back("relay");
+      candidates.push_back("bootstrap");
+      const size_t n = candidates.size();
+      const size_t side = std::clamp<size_t>(
+          static_cast<size_t>(std::max<int64_t>(event.magnitude, 1)), 1,
+          n - 1);
+      const size_t start = static_cast<size_t>(event.target) % n;
+      std::set<net::Address> side_a;
+      for (size_t k = 0; k < side; ++k) {
+        side_a.insert(candidates[(start + k) % n]);
+      }
+      network_.PartitionOff(side_a);
+      effect = "cut {";
+      for (const net::Address& a : side_a) {
+        if (effect.size() > 5) effect += ",";
+        effect += a;
+      }
+      effect += "}";
+      break;
+    }
+    case EventKind::kHeal:
+      network_.Heal();
+      effect = "heal";
+      break;
+    case EventKind::kCrashNode:
+      effect = CrashEntity(event.target % CrashableEntities());
+      break;
+    case EventKind::kRestartNode:
+      effect = RestartEntity(event.target % CrashableEntities());
+      break;
+    case EventKind::kClockSkew:
+      clock_.AdvanceMicros(event.magnitude);
+      effect = "advance clock " + std::to_string(event.magnitude) + "us";
+      break;
+    case EventKind::kDelayBurst:
+      network_.SetDelayBurst(event.magnitude);
+      effect = "delay burst <=" + std::to_string(event.magnitude) + "us";
+      break;
+    case EventKind::kDelayCalm:
+      network_.SetDelayBurst(0);
+      effect = "delay calm";
+      break;
+    case EventKind::kIoFaultBurst: {
+      const double p =
+          static_cast<double>(std::clamp<int64_t>(event.magnitude, 0, 1000)) /
+          1000.0;
+      primary_disk_->SetFaultProbabilities(p * 0.5, p * 0.3, p * 0.2);
+      effect = "io faults " + std::to_string(event.magnitude) + "permille";
+      break;
+    }
+    case EventKind::kIoFaultCalm:
+      primary_disk_->SetFaultProbabilities(0, 0, 0);
+      effect = "io calm";
+      break;
+    case EventKind::kWorkload: {
+      const int family = event.target % 4;
+      const int64_t ops = std::max<int64_t>(event.magnitude, 1);
+      const int64_t acked = RunWorkload(family, ops);
+      static constexpr const char* kFamilies[] = {"voldemort", "kafka",
+                                                  "espresso", "primary"};
+      effect = std::string(kFamilies[family]) + " ops=" +
+               std::to_string(ops) + " acked=" + std::to_string(acked);
+      break;
+    }
+  }
+  TraceLine(event, effect);
+  Pump();
+}
+
+void SimCluster::RunSchedule(const Schedule& schedule) {
+  for (const SimEvent& event : schedule.events) ApplyEvent(event);
+}
+
+void SimCluster::TraceLine(const SimEvent& event, const std::string& effect) {
+  trace_ += "[" + std::to_string(event_index_++) + "] " + FormatEvent(event) +
+            " -> " + effect + "\n";
+}
+
+void SimCluster::Pump() {
+  if (relay_ != nullptr) relay_->PollOnce();
+  if (bootstrap_ != nullptr) {
+    bootstrap_->PollRelayOnce();
+    bootstrap_->ApplyLogOnce();
+  }
+  if (dbclient_ != nullptr && relay_ != nullptr) dbclient_->PollOnce();
+  for (auto& node : esp_nodes_) {
+    if (node != nullptr) node->CatchUpAll();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workload generators.
+// ---------------------------------------------------------------------------
+
+void SimCluster::RecordAttempt(std::map<std::string, KeyHistory>* history,
+                               const std::string& key,
+                               const std::string& value) {
+  KeyHistory& h = (*history)[key];
+  h.allowed.insert(value);
+  if (h.has_ack) h.attempted_after_ack = true;
+}
+
+void SimCluster::RecordAck(std::map<std::string, KeyHistory>* history,
+                           const std::string& key, const std::string& value) {
+  KeyHistory& h = (*history)[key];
+  h.last_acked = value;
+  h.has_ack = true;
+  h.attempted_after_ack = false;
+  h.deleted = false;
+}
+
+int64_t SimCluster::RunWorkload(int family, int64_t ops) {
+  switch (family) {
+    case 0: return WorkloadVoldemort(ops);
+    case 1: return WorkloadKafka(ops);
+    case 2: return WorkloadEspresso(ops);
+    default: return WorkloadPrimary(ops);
+  }
+}
+
+int64_t SimCluster::WorkloadVoldemort(int64_t ops) {
+  int64_t acked = 0;
+  for (int64_t i = 0; i < ops; ++i) {
+    const std::string key = "vk" + std::to_string(rng_.Uniform(16));
+    const std::string value = "v" + std::to_string(value_seq_++);
+    RecordAttempt(&voldemort_history_, key, value);
+    if (vclient_->PutValue(key, value).ok()) {
+      RecordAck(&voldemort_history_, key, value);
+      ++acked;
+    }
+    // Interleave reads: they drive read repair and feed the failure
+    // detector's success ratio.
+    vclient_->Get("vk" + std::to_string(rng_.Uniform(16))).status();
+  }
+  return acked;
+}
+
+int64_t SimCluster::WorkloadKafka(int64_t ops) {
+  int64_t acked = 0;
+  for (int64_t i = 0; i < ops; ++i) {
+    const std::string payload = "k" + std::to_string(kafka_seq_++);
+    // A failed Send means the message never reached a broker (faults are
+    // injected before the handler runs), so acked == appended exactly.
+    if (producer_->Send(kTopic, payload).ok()) {
+      kafka_acked_.insert(payload);
+      ++acked;
+    }
+  }
+  for (int round = 0; round < 2; ++round) {
+    auto messages = consumer_->Poll(kTopic);
+    if (messages.ok()) ConsumePolledMessages(messages.value());
+  }
+  CommitAndCheckOffsets();
+  return acked;
+}
+
+void SimCluster::ConsumePolledMessages(
+    const std::vector<kafka::Message>& messages) {
+  for (const kafka::Message& message : messages) {
+    kafka_consumed_.push_back(message.payload);
+  }
+}
+
+void SimCluster::CommitAndCheckOffsets() {
+  consumer_->CommitOffsets();
+  const std::string dir = "/kafka/consumers/sim-group/offsets/" +
+                          std::string(kTopic);
+  auto children = zookeeper_.GetChildren(dir);
+  if (!children.ok()) return;
+  for (const std::string& child : children.value()) {
+    const std::string path = dir + "/" + child;
+    auto value = zookeeper_.Get(path);
+    if (!value.ok()) continue;
+    const int64_t offset = std::atoll(value.value().c_str());
+    auto it = committed_offsets_.find(path);
+    if (it != committed_offsets_.end() && offset < it->second) {
+      online_violations_.push_back(
+          {"kafka-offsets",
+           "committed offset regressed at " + path + ": " +
+               std::to_string(it->second) + " -> " + std::to_string(offset)});
+    }
+    committed_offsets_[path] = offset;
+  }
+}
+
+int64_t SimCluster::WorkloadEspresso(int64_t ops) {
+  int64_t acked = 0;
+  for (int64_t i = 0; i < ops; ++i) {
+    const uint64_t j = rng_.Uniform(8);
+    const std::string key =
+        "r" + std::to_string(j) + "/d" + std::to_string(j);
+    const std::string uri = EspressoUri(key);
+    KeyHistory& h = espresso_history_[key];
+    if (rng_.Uniform(6) == 0 && h.has_ack && !h.deleted) {
+      // Delete leg of the CRUD mix. An acked delete must read back NotFound;
+      // a failed one leaves the document in an indeterminate state.
+      h.allowed.insert("");
+      if (h.has_ack) h.attempted_after_ack = true;
+      if (router_->DeleteDocument(uri).ok()) {
+        h.last_acked = "";
+        h.has_ack = true;
+        h.attempted_after_ack = false;
+        h.deleted = true;
+        ++acked;
+      }
+      continue;
+    }
+    const std::string title = "t" + std::to_string(value_seq_++);
+    auto doc = avro::Datum::Record("Doc");
+    doc->SetField("title", avro::Datum::String(title));
+    RecordAttempt(&espresso_history_, key, title);
+    if (router_->PutDocument(uri, *doc).ok()) {
+      RecordAck(&espresso_history_, key, title);
+      ++acked;
+    }
+    if (rng_.Uniform(3) == 0) {
+      router_->GetDocument(EspressoUri("r" + std::to_string(rng_.Uniform(8)) +
+                                      "/d" + std::to_string(j)));
+    }
+  }
+  return acked;
+}
+
+int64_t SimCluster::WorkloadPrimary(int64_t ops) {
+  int64_t acked = 0;
+  for (int64_t i = 0; i < ops; ++i) {
+    const std::string key = "p" + std::to_string(rng_.Uniform(12));
+    const std::string value = "v" + std::to_string(value_seq_++);
+    RecordAttempt(&primary_history_, key, value);
+    if (primary_->Put(kPrimaryTable, key, {{"v", value}}).ok()) {
+      RecordAck(&primary_history_, key, value);
+      ++acked;
+    }
+  }
+  return acked;
+}
+
+// ---------------------------------------------------------------------------
+// Settle + invariants.
+// ---------------------------------------------------------------------------
+
+void SimCluster::Settle() {
+  network_.Heal();
+  network_.SetDelayBurst(0);
+  primary_disk_->SetFaultProbabilities(0, 0, 0);
+  for (int entity = 0; entity < CrashableEntities(); ++entity) {
+    RestartEntity(entity);
+  }
+  for (int round = 0; round < 6; ++round) {
+    if (relay_ != nullptr) relay_->PollOnce();
+    if (bootstrap_ != nullptr) {
+      bootstrap_->PollRelayOnce();
+      bootstrap_->ApplyLogOnce();
+    }
+    if (dbclient_ != nullptr) dbclient_->DrainToHead();
+    helix_->RebalanceToConvergence();
+    for (auto& node : esp_nodes_) {
+      if (node != nullptr) node->CatchUpAll();
+    }
+    for (auto& server : vservers_) server->PushSlops();
+  }
+  // Final kafka drain: everything acked must now be consumable.
+  int empty_rounds = 0;
+  for (int round = 0; round < 400 && empty_rounds < 5; ++round) {
+    auto messages = consumer_->Poll(kTopic);
+    if (messages.ok() && !messages.value().empty()) {
+      ConsumePolledMessages(messages.value());
+      empty_rounds = 0;
+    } else {
+      ++empty_rounds;
+    }
+  }
+  CommitAndCheckOffsets();
+  // Read-repair pass: quorum reads propagate the dominant versions so the
+  // convergence checker sees the fixed point.
+  for (const auto& [key, history] : voldemort_history_) {
+    vclient_->Get(key).status();
+    vclient_->Get(key).status();
+  }
+}
+
+void SimCluster::AddInvariant(std::unique_ptr<InvariantChecker> checker) {
+  extra_invariants_.push_back(std::move(checker));
+}
+
+std::vector<InvariantViolation> SimCluster::CheckInvariants() {
+  std::vector<InvariantViolation> out;
+  for (auto& checker : StandardInvariants()) checker->Check(*this, &out);
+  for (auto& checker : extra_invariants_) checker->Check(*this, &out);
+  return out;
+}
+
+std::vector<InvariantViolation> SimCluster::RunToCompletion(
+    const Schedule& schedule) {
+  RunSchedule(schedule);
+  Settle();
+  return CheckInvariants();
+}
+
+std::vector<InvariantViolation> RunScheduleOnFreshCluster(
+    const SimOptions& options, const Schedule& schedule, std::string* trace) {
+  SimCluster cluster(options);
+  auto violations = cluster.RunToCompletion(schedule);
+  if (trace != nullptr) *trace = cluster.trace();
+  return violations;
+}
+
+}  // namespace lidi::sim

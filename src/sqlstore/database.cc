@@ -194,6 +194,12 @@ Status Binlog::PersistLocked(const CommittedTransaction& txn) {
   }
   if (!s.ok()) {
     if (write_failed_ != nullptr) write_failed_->Increment();
+    if (options_.legacy_advance_on_failed_write) {
+      // The re-introduced bug: pretend the record landed. The file holds a
+      // torn prefix that the next append will bury; recovery stops there.
+      persisted_bytes_ += static_cast<int64_t>(record.size());
+      return s;
+    }
     file_.reset();
     unsynced_bytes_ = std::max<int64_t>(0, unsynced_bytes_ - accepted);
     Status t = fs_->TruncateFile(FilePath(), persisted_bytes_);
@@ -330,6 +336,27 @@ Result<int64_t> Database::Delete(const std::string& table,
   Transaction txn = Begin();
   txn.Delete(table, primary_key);
   return txn.Commit();
+}
+
+int64_t Database::ReplayBinlog() {
+  // Serialize against live commits so replay cannot interleave with them.
+  MutexLock commit_lock(&commit_mu_);
+  int64_t applied = 0;
+  // SCNs are dense from 1; pull everything the recovery scan accepted.
+  const auto transactions = binlog_.ReadAfter(0, binlog_.TransactionCount());
+  MutexLock lock(&mu_);
+  for (const auto& txn : transactions) {
+    for (const auto& change : txn.changes) {
+      auto& table = tables_[change.table];  // creates missing tables
+      if (change.op == Change::Op::kDelete) {
+        table.erase(change.primary_key);
+      } else {
+        table[change.primary_key] = change.row;
+      }
+      ++applied;
+    }
+  }
+  return applied;
 }
 
 Result<int64_t> Database::CommitChanges(std::vector<Change>* changes) {

@@ -66,6 +66,14 @@ struct BinlogOptions {
   /// "io.write.failed", "io.recovery.torn_truncations", labeled
   /// layer=sqlstore.binlog). Null = not instrumented.
   obs::MetricsRegistry* metrics = nullptr;
+  /// TEST-ONLY. Re-introduces the historical persisted_bytes bug (fixed in
+  /// the durable-I/O PR): a failed append advances the acknowledged-bytes
+  /// frontier without rolling the file back, so later appends bury the torn
+  /// record and crash recovery silently stops before every later acked
+  /// commit. Exists so the simulation harness can demonstrate its
+  /// no-acked-commit-lost invariant re-finding a real, previously shipped
+  /// bug (DESIGN.md §9). Never set outside tests.
+  bool legacy_advance_on_failed_write = false;
 };
 
 /// The commit-ordered replication log. Replayable from any SCN — the
@@ -220,6 +228,13 @@ class Database {
   int64_t RowCount(const std::string& table) const;
 
   const Binlog& binlog() const { return binlog_; }
+
+  /// Crash-restart entry point: rebuilds the in-memory tables from the
+  /// transactions the binlog recovered on construction (construct with the
+  /// same data_dir, then call this once, before serving). Creates missing
+  /// tables. Triggers and semi-sync hooks are NOT fired — every replayed
+  /// change was acknowledged in a previous life. Returns rows applied.
+  int64_t ReplayBinlog();
 
  private:
   Result<int64_t> CommitChanges(std::vector<Change>* changes);

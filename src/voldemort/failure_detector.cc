@@ -1,5 +1,7 @@
 #include "voldemort/failure_detector.h"
 
+#include <vector>
+
 namespace lidi::voldemort {
 
 FailureDetector::FailureDetector(FailureDetectorOptions options,
@@ -63,6 +65,33 @@ bool FailureDetector::IsAvailable(int node_id) {
     state.window_start_millis = clock_->NowMillis();
   }
   return reachable;
+}
+
+int FailureDetector::ProbeBannedNow() {
+  std::function<bool(int)> probe;
+  std::vector<int> banned;
+  {
+    MutexLock lock(&mu_);
+    probe = probe_;
+    for (const auto& [id, state] : nodes_) {
+      if (state.banned) banned.push_back(id);
+    }
+  }
+  if (banned.empty()) return 0;
+  int restored = 0;
+  for (int node_id : banned) {
+    const bool reachable = probe ? probe(node_id) : true;
+    if (!reachable) continue;
+    MutexLock lock(&mu_);
+    NodeState& state = nodes_[node_id];
+    if (!state.banned) continue;  // restored concurrently
+    state.banned = false;
+    state.successes = 0;
+    state.failures = 0;
+    state.window_start_millis = clock_->NowMillis();
+    ++restored;
+  }
+  return restored;
 }
 
 int FailureDetector::UnavailableCount() {

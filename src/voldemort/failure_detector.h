@@ -43,6 +43,17 @@ class FailureDetector {
   /// Current availability verdict; may trigger a recovery probe.
   bool IsAvailable(int node_id);
 
+  /// Probes every banned node immediately, ignoring the ban interval, and
+  /// restores the reachable ones. Returns the number restored.
+  ///
+  /// This is the probe-on-heal path: IsAvailable rate-limits probes by
+  /// resetting banned_at on every attempt, so a node whose probe failed
+  /// moments before a partition healed used to stay banned for a further
+  /// full ban interval even though it was answering pings. Wire this into
+  /// net::Network::AddHealListener (the sim harness does) so a heal
+  /// re-admits recovered replicas at once.
+  int ProbeBannedNow();
+
   /// Number of nodes currently marked down.
   int UnavailableCount();
 

@@ -1,0 +1,409 @@
+// Named chaos scenarios for the deterministic cluster simulation harness
+// (src/sim): each test stands up a full lidi deployment (Voldemort ring,
+// Kafka brokers + consumer group, primary sqlstore -> Databus relay /
+// bootstrap / follower, Espresso cluster under Helix) on one seeded network
+// and virtual clock, replays a hand-written chaos schedule, settles, and
+// asserts the standard invariant catalogue (see src/sim/invariants.h).
+//
+// Every scenario is seed-replayable: the schedule plus SimOptions::seed
+// fully determine the run, and SimCluster::trace() is byte-identical across
+// replays — which the determinism tests below pin.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "sim/invariants.h"
+#include "sim/schedule.h"
+#include "sim/sim_cluster.h"
+#include "voldemort/failure_detector.h"
+
+namespace lidi::sim {
+namespace {
+
+SimEvent Ev(EventKind kind, int target, int64_t magnitude = 0) {
+  SimEvent e;
+  e.kind = kind;
+  e.target = target;
+  e.magnitude = magnitude;
+  return e;
+}
+
+// Workload family selectors (target % 4).
+constexpr int kVold = 0;
+constexpr int kKafka = 1;
+constexpr int kEspresso = 2;
+constexpr int kPrimary = 3;
+
+// Crashable-entity indices for the default deployment (3 voldemort nodes,
+// 2 brokers, 2 espresso nodes): [0,3) voldemort, [3,5) brokers, [5,7)
+// espresso, 7 primary, 8 relay, 9 bootstrap.
+constexpr int kBroker0 = 3;
+constexpr int kBroker1 = 4;
+constexpr int kEsn0 = 5;
+constexpr int kEsn1 = 6;
+constexpr int kPrimaryDb = 7;
+constexpr int kRelay = 8;
+constexpr int kBootstrap = 9;
+
+std::string Explain(const std::vector<InvariantViolation>& violations,
+                    const std::string& trace) {
+  std::string out;
+  for (const auto& v : violations) {
+    out += v.invariant + ": " + v.detail + "\n";
+  }
+  return out + "--- trace ---\n" + trace;
+}
+
+void ExpectClean(uint64_t seed, const std::vector<SimEvent>& events) {
+  Schedule schedule;
+  schedule.seed = seed;
+  schedule.events = events;
+  SimOptions options;
+  options.seed = seed;
+  std::string trace;
+  auto violations = RunScheduleOnFreshCluster(options, schedule, &trace);
+  EXPECT_TRUE(violations.empty()) << Explain(violations, trace);
+}
+
+TEST(SimScenario, PartitionDuringQuorumWrite) {
+  ExpectClean(101, {
+      Ev(EventKind::kWorkload, kVold, 6),
+      Ev(EventKind::kPartition, 0, 1),  // one voldemort node minority-side
+      Ev(EventKind::kWorkload, kVold, 8),
+      Ev(EventKind::kWorkload, kVold, 8),
+      Ev(EventKind::kHeal, 0),
+      Ev(EventKind::kWorkload, kVold, 6),
+  });
+}
+
+TEST(SimScenario, RelayCrashMidPoll) {
+  ExpectClean(102, {
+      Ev(EventKind::kWorkload, kPrimary, 6),
+      Ev(EventKind::kCrashNode, kRelay),
+      Ev(EventKind::kWorkload, kPrimary, 6),
+      Ev(EventKind::kRestartNode, kRelay),
+      Ev(EventKind::kWorkload, kPrimary, 4),
+  });
+}
+
+TEST(SimScenario, BrokerLossDuringConsumerFetch) {
+  ExpectClean(103, {
+      Ev(EventKind::kWorkload, kKafka, 8),
+      Ev(EventKind::kWorkload, kKafka, 8),
+      Ev(EventKind::kCrashNode, kBroker0),
+      Ev(EventKind::kWorkload, kKafka, 8),
+      Ev(EventKind::kWorkload, kKafka, 8),
+      Ev(EventKind::kRestartNode, kBroker0),
+      Ev(EventKind::kWorkload, kKafka, 6),
+  });
+}
+
+TEST(SimScenario, EspressoMasterFailoverMidPut) {
+  ExpectClean(104, {
+      Ev(EventKind::kWorkload, kEspresso, 8),
+      Ev(EventKind::kCrashNode, kEsn0),
+      Ev(EventKind::kWorkload, kEspresso, 8),
+      Ev(EventKind::kWorkload, kEspresso, 6),
+      Ev(EventKind::kRestartNode, kEsn0),
+      Ev(EventKind::kWorkload, kEspresso, 6),
+  });
+}
+
+TEST(SimScenario, BootstrapWhileSourceCrashes) {
+  ExpectClean(105, {
+      Ev(EventKind::kWorkload, kPrimary, 8),
+      Ev(EventKind::kCrashNode, kBootstrap),
+      Ev(EventKind::kCrashNode, kPrimaryDb),
+      Ev(EventKind::kWorkload, kPrimary, 4),  // all fail; none acked
+      Ev(EventKind::kRestartNode, kPrimaryDb),
+      Ev(EventKind::kRestartNode, kBootstrap),
+      Ev(EventKind::kWorkload, kPrimary, 6),
+  });
+}
+
+TEST(SimScenario, PrimaryPowerLossRecovery) {
+  ExpectClean(106, {
+      Ev(EventKind::kWorkload, kPrimary, 8),
+      Ev(EventKind::kWorkload, kPrimary, 8),
+      Ev(EventKind::kCrashNode, kPrimaryDb),
+      Ev(EventKind::kRestartNode, kPrimaryDb),
+      Ev(EventKind::kWorkload, kPrimary, 6),
+  });
+}
+
+TEST(SimScenario, VoldemortCrashThenHintedHandoff) {
+  ExpectClean(107, {
+      Ev(EventKind::kWorkload, kVold, 8),
+      Ev(EventKind::kCrashNode, 0),
+      Ev(EventKind::kWorkload, kVold, 8),
+      Ev(EventKind::kWorkload, kVold, 8),
+      Ev(EventKind::kRestartNode, 0),
+      Ev(EventKind::kWorkload, kVold, 6),
+  });
+}
+
+TEST(SimScenario, ClockSkewStorm) {
+  ExpectClean(108, {
+      Ev(EventKind::kWorkload, kVold, 6),
+      Ev(EventKind::kClockSkew, 0, 20'000'000),
+      Ev(EventKind::kWorkload, kKafka, 6),
+      Ev(EventKind::kClockSkew, 0, 20'000'000),
+      Ev(EventKind::kWorkload, kEspresso, 6),
+      Ev(EventKind::kClockSkew, 0, 20'000'000),
+      Ev(EventKind::kWorkload, kPrimary, 6),
+  });
+}
+
+TEST(SimScenario, DelayBurstUnderLoad) {
+  ExpectClean(109, {
+      Ev(EventKind::kDelayBurst, 0, 50'000),
+      Ev(EventKind::kWorkload, kVold, 6),
+      Ev(EventKind::kWorkload, kKafka, 6),
+      Ev(EventKind::kWorkload, kEspresso, 6),
+      Ev(EventKind::kWorkload, kPrimary, 6),
+      Ev(EventKind::kDelayCalm, 0),
+      Ev(EventKind::kWorkload, kVold, 4),
+  });
+}
+
+TEST(SimScenario, IoFaultBurstOnPrimaryBinlog) {
+  ExpectClean(110, {
+      Ev(EventKind::kIoFaultBurst, 0, 200),
+      Ev(EventKind::kWorkload, kPrimary, 8),
+      Ev(EventKind::kWorkload, kPrimary, 8),
+      Ev(EventKind::kIoFaultCalm, 0),
+      Ev(EventKind::kWorkload, kPrimary, 8),
+  });
+}
+
+TEST(SimScenario, DoubleEspressoCrashAndRebuild) {
+  ExpectClean(111, {
+      Ev(EventKind::kWorkload, kEspresso, 8),
+      Ev(EventKind::kCrashNode, kEsn0),
+      Ev(EventKind::kCrashNode, kEsn1),
+      Ev(EventKind::kWorkload, kEspresso, 4),  // masterless: nothing acked
+      Ev(EventKind::kRestartNode, kEsn0),
+      Ev(EventKind::kRestartNode, kEsn1),
+      Ev(EventKind::kWorkload, kEspresso, 6),
+  });
+}
+
+TEST(SimScenario, RollingBrokerRestarts) {
+  ExpectClean(112, {
+      Ev(EventKind::kWorkload, kKafka, 8),
+      Ev(EventKind::kCrashNode, kBroker0),
+      Ev(EventKind::kWorkload, kKafka, 6),
+      Ev(EventKind::kRestartNode, kBroker0),
+      Ev(EventKind::kCrashNode, kBroker1),
+      Ev(EventKind::kWorkload, kKafka, 6),
+      Ev(EventKind::kRestartNode, kBroker1),
+      Ev(EventKind::kWorkload, kKafka, 6),
+  });
+}
+
+TEST(SimScenario, GeneratedChaosMixIsSafe) {
+  SimOptions options;
+  options.seed = 42;
+  std::string trace;
+  auto violations =
+      RunScheduleOnFreshCluster(options, GenerateSchedule(42, 60), &trace);
+  EXPECT_TRUE(violations.empty()) << Explain(violations, trace);
+}
+
+// Every event kind is a total function: weird targets, redundant heals,
+// double crashes and restarts of running nodes must never wedge or corrupt
+// the cluster. This is the property the shrinker relies on.
+TEST(SimScenario, ArbitraryEventsAreTotal) {
+  ExpectClean(113, {
+      Ev(EventKind::kHeal, 99),                // nothing partitioned
+      Ev(EventKind::kRestartNode, kPrimaryDb), // already up
+      Ev(EventKind::kCrashNode, 1),
+      Ev(EventKind::kCrashNode, 1),            // already down
+      Ev(EventKind::kDelayCalm, -3),
+      Ev(EventKind::kIoFaultCalm, 7),
+      Ev(EventKind::kPartition, 63, 40),       // magnitude clamped
+      Ev(EventKind::kWorkload, kVold, 4),
+      Ev(EventKind::kHeal, 0),
+      Ev(EventKind::kRestartNode, 1),
+      Ev(EventKind::kWorkload, kVold, 4),
+  });
+}
+
+// --- determinism: the --seed replay contract -------------------------------
+
+TEST(SimDeterminism, SameSeedSameSchedule) {
+  const Schedule a = GenerateSchedule(7, 50);
+  const Schedule b = GenerateSchedule(7, 50);
+  EXPECT_EQ(FormatSchedule(a), FormatSchedule(b));
+}
+
+TEST(SimDeterminism, SameSeedByteIdenticalTrace) {
+  const Schedule schedule = GenerateSchedule(7, 50);
+  SimOptions options;
+  options.seed = 7;
+  std::string trace_a;
+  std::string trace_b;
+  RunScheduleOnFreshCluster(options, schedule, &trace_a);
+  RunScheduleOnFreshCluster(options, schedule, &trace_b);
+  EXPECT_FALSE(trace_a.empty());
+  EXPECT_EQ(trace_a, trace_b);
+}
+
+TEST(SimDeterminism, DifferentSeedsDiverge) {
+  SimOptions a;
+  a.seed = 7;
+  SimOptions b;
+  b.seed = 8;
+  std::string trace_a;
+  std::string trace_b;
+  RunScheduleOnFreshCluster(a, GenerateSchedule(7, 50), &trace_a);
+  RunScheduleOnFreshCluster(b, GenerateSchedule(8, 50), &trace_b);
+  EXPECT_NE(trace_a, trace_b);
+}
+
+// --- shrinker --------------------------------------------------------------
+
+// ddmin on a synthetic predicate: the "failure" needs a specific crash AND a
+// specific io burst; everything else is noise the shrinker must delete.
+TEST(SimShrinker, ReducesToMinimalEventPair) {
+  Schedule noisy = GenerateSchedule(5, 40);
+  noisy.events.insert(noisy.events.begin() + 11,
+                      Ev(EventKind::kCrashNode, 17));
+  noisy.events.insert(noisy.events.begin() + 29,
+                      Ev(EventKind::kIoFaultBurst, 3, 150));
+  const auto fails = [](const Schedule& s) {
+    bool crash = false;
+    bool burst = false;
+    for (const auto& e : s.events) {
+      if (e.kind == EventKind::kCrashNode && e.target == 17) crash = true;
+      if (e.kind == EventKind::kIoFaultBurst && e.magnitude == 150) {
+        burst = true;
+      }
+    }
+    return crash && burst;
+  };
+  ASSERT_TRUE(fails(noisy));
+  const Schedule shrunk = ShrinkSchedule(noisy, fails);
+  EXPECT_EQ(shrunk.events.size(), 2u) << FormatSchedule(shrunk);
+  EXPECT_TRUE(fails(shrunk));
+}
+
+TEST(SimShrinker, KeepsSingleCulpritEvent) {
+  Schedule noisy = GenerateSchedule(6, 30);
+  noisy.events.insert(noisy.events.begin() + 13,
+                      Ev(EventKind::kClockSkew, 9, 123456));
+  const auto fails = [](const Schedule& s) {
+    for (const auto& e : s.events) {
+      if (e.kind == EventKind::kClockSkew && e.magnitude == 123456) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const Schedule shrunk = ShrinkSchedule(noisy, fails);
+  ASSERT_EQ(shrunk.events.size(), 1u) << FormatSchedule(shrunk);
+  EXPECT_EQ(shrunk.events[0].magnitude, 123456);
+}
+
+// --- failure-detector probe-on-heal regression -----------------------------
+
+// The bug: IsAvailable resets banned_at on every failed probe, so a node
+// whose probe failed moments before a partition healed stayed banned for a
+// further full ban interval even though it was answering pings again.
+// ProbeBannedNow (wired into Network heal listeners) probes immediately.
+TEST(SimFailureDetector, ProbeOnHealRestoresBannedNodeImmediately) {
+  ManualClock clock(1'000'000);
+  bool reachable = false;
+  voldemort::FailureDetector detector(
+      {}, &clock, [&reachable](int) { return reachable; });
+  for (int i = 0; i < 20; ++i) detector.RecordFailure(0);
+  EXPECT_FALSE(detector.IsAvailable(0));
+  // Ban interval elapses; the recovery probe runs but the node is still
+  // unreachable, which re-arms the ban timer.
+  clock.AdvanceMicros(600'000);
+  EXPECT_FALSE(detector.IsAvailable(0));
+  // The partition heals *now*. Without probe-on-heal the node stays banned
+  // (timer just re-armed) even though it answers pings.
+  reachable = true;
+  EXPECT_FALSE(detector.IsAvailable(0));
+  EXPECT_EQ(detector.ProbeBannedNow(), 1);
+  EXPECT_TRUE(detector.IsAvailable(0));
+  EXPECT_EQ(detector.UnavailableCount(), 0);
+}
+
+// Same property end-to-end: the sim cluster wires ProbeBannedNow into the
+// network's heal listeners, so a heal re-admits banned replicas at once.
+TEST(SimFailureDetector, HealListenerUnbansReplicas) {
+  SimOptions options;
+  options.seed = 114;
+  SimCluster cluster(options);
+  cluster.ApplyEvent(Ev(EventKind::kWorkload, kVold, 8));
+  cluster.ApplyEvent(Ev(EventKind::kPartition, 0, 1));
+  // Enough traffic that the cut node's success ratio collapses.
+  for (int i = 0; i < 6; ++i) {
+    cluster.ApplyEvent(Ev(EventKind::kWorkload, kVold, 8));
+  }
+  ASSERT_GE(cluster.voldemort_client()->failure_detector()->UnavailableCount(),
+            1);
+  cluster.ApplyEvent(Ev(EventKind::kHeal, 0));
+  EXPECT_EQ(cluster.voldemort_client()->failure_detector()->UnavailableCount(),
+            0);
+  cluster.Settle();
+  auto violations = cluster.CheckInvariants();
+  EXPECT_TRUE(violations.empty()) << Explain(violations, cluster.trace());
+}
+
+// --- the re-introduced PR-3 binlog bug -------------------------------------
+
+// The harness must re-find the historical sqlstore defect (persisted-byte
+// accounting advancing past a failed binlog append, burying later acked
+// commits behind a torn record that recovery truncates). With the legacy
+// knob on, some seeded schedule of io faults + commits + power loss loses
+// an acked write; with the knob off (the shipped fix), the same schedule
+// is clean.
+TEST(SimRegression, ReintroducedPersistedBytesBugIsCaught) {
+  const auto bug_schedule = [](uint64_t seed) {
+    Schedule schedule;
+    schedule.seed = seed;
+    schedule.events = {
+        Ev(EventKind::kWorkload, kPrimary, 8),
+        Ev(EventKind::kIoFaultBurst, 0, 700),
+        Ev(EventKind::kWorkload, kPrimary, 8),
+        Ev(EventKind::kWorkload, kPrimary, 8),
+        Ev(EventKind::kIoFaultCalm, 0),
+        Ev(EventKind::kWorkload, kPrimary, 8),
+        Ev(EventKind::kWorkload, kPrimary, 8),
+        Ev(EventKind::kCrashNode, kPrimaryDb),
+        Ev(EventKind::kRestartNode, kPrimaryDb),
+    };
+    return schedule;
+  };
+
+  uint64_t failing_seed = 0;
+  std::string buggy_trace;
+  for (uint64_t seed = 1; seed <= 30 && failing_seed == 0; ++seed) {
+    SimOptions buggy;
+    buggy.seed = seed;
+    buggy.legacy_binlog_bug = true;
+    auto violations =
+        RunScheduleOnFreshCluster(buggy, bug_schedule(seed), &buggy_trace);
+    if (!violations.empty()) failing_seed = seed;
+  }
+  ASSERT_NE(failing_seed, 0u)
+      << "no seed in [1,30] reproduced the legacy binlog bug";
+
+  // The exact same schedule with the shipped fix is clean.
+  SimOptions fixed;
+  fixed.seed = failing_seed;
+  fixed.legacy_binlog_bug = false;
+  std::string fixed_trace;
+  auto violations = RunScheduleOnFreshCluster(fixed, bug_schedule(failing_seed),
+                                              &fixed_trace);
+  EXPECT_TRUE(violations.empty()) << Explain(violations, fixed_trace);
+}
+
+}  // namespace
+}  // namespace lidi::sim
