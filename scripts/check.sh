@@ -10,10 +10,15 @@
 #      still gates.
 #   2. Lint (scripts/lint.sh): clang-tidy when available + the repo-local
 #      grep invariants (no raw std::mutex outside src/common/sync.{h,cc},
-#      no std::fstream outside src/io, justified+capped TSA escapes).
-#   3. Full ctest suite.
+#      no std::fstream outside src/io, justified+capped TSA escapes,
+#      justified+capped direct Sync() choke points outside src/io).
+#   3. Full ctest suite — includes the >=200-seed group-commit crash sweeps
+#      in faultfs_test (GroupCommitNeverLosesAnAcknowledgedAppend and the
+#      Binlog equivalent).
 #   4. ThreadSanitizer pass over the concurrency-sensitive suites (faultfs
-#      + every *concurrency*/sync test) in a separate build tree, when the
+#      + every *concurrency*/sync test — which picks up
+#      group_commit_concurrency_test: many appenders, one group-commit
+#      leader, crash armed mid-batch) in a separate build tree, when the
 #      toolchain supports -fsanitize=thread.
 #   5. AddressSanitizer pass over the simulation suites (ctest -L sim) in a
 #      separate build tree, when the toolchain supports -fsanitize=address —

@@ -95,6 +95,34 @@ if [ "$escape_count" -gt 5 ]; then
   fail "$escape_count LIDI_NO_THREAD_SAFETY_ANALYSIS escapes (max 5) — annotate instead of suppressing"
 fi
 
+# 2e. Direct fdatasync calls are choke points. Under group commit the only
+# sync on an acknowledged path is the group leader's covering one; a
+# stray file->Sync() sprinkled elsewhere silently reopens the
+# one-fsync-per-append cliff (and dodges the committer's failure/epoch
+# protocol). Every Sync() call outside src/io must carry a
+# `sync-choke-point` justification within the three lines above it, and
+# the total is capped so new ones are a deliberate decision.
+sync_sites=$(grep -rnE '(->|\.)Sync\(\)' src --include='*.cc' --include='*.h' 2>/dev/null \
+             | grep -v '^src/io/' || true)
+sync_count=0
+if [ -n "$sync_sites" ]; then
+  sync_count=$(printf '%s\n' "$sync_sites" | wc -l)
+  while IFS= read -r site; do
+    file="${site%%:*}"
+    rest="${site#*:}"
+    line="${rest%%:*}"
+    start=$((line - 3)); [ "$start" -lt 1 ] && start=1
+    if ! sed -n "${start},${line}p" "$file" | grep -q 'sync-choke-point'; then
+      fail "direct Sync() at $file:$line without a sync-choke-point justification — route durability through the group committer or the policy path in src/io"
+    fi
+  done <<EOF
+$sync_sites
+EOF
+fi
+if [ "$sync_count" -gt 6 ]; then
+  fail "$sync_count direct Sync() sites outside src/io (max 6) — new fsync choke points need a deliberate design decision"
+fi
+
 # 2d. Determinism gate for the simulation harness. Everything under src/sim
 # must be a pure function of (SimOptions, Schedule): wall-clock reads or
 # unseeded randomness would silently break the same-seed => byte-identical-

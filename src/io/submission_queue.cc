@@ -1,0 +1,55 @@
+#include "io/submission_queue.h"
+
+namespace lidi::io {
+
+bool SubmissionQueue::StageAppend(WritableFile* file, Slice data,
+                                  uint64_t user_data) {
+  if (sq_.size() >= depth_) return false;
+  sq_.push_back(Sqe{user_data, SqOp::kAppend, file, data});
+  return true;
+}
+
+bool SubmissionQueue::StageSync(WritableFile* file, uint64_t user_data) {
+  if (sq_.size() >= depth_) return false;
+  sq_.push_back(Sqe{user_data, SqOp::kSync, file, Slice()});
+  return true;
+}
+
+size_t SubmissionQueue::Submit() {
+  const size_t n = sq_.size();
+  bool chain_broken = false;
+  for (const Sqe& sqe : sq_) {
+    Cqe cqe;
+    cqe.user_data = sqe.user_data;
+    cqe.op = sqe.op;
+    if (chain_broken) {
+      cqe.status = Status::Aborted("earlier link in the chain failed");
+      ++aborted_links_;
+    } else if (sqe.op == SqOp::kAppend) {
+      cqe.status = sqe.file->Append(sqe.data, &cqe.accepted);
+      // A short write breaks the chain too: accepted < asked means the file
+      // ends mid-entry, and executing a later link would bury the hole.
+      if (!cqe.status.ok() ||
+          cqe.accepted < static_cast<int64_t>(sqe.data.size())) {
+        chain_broken = true;
+      }
+    } else {
+      cqe.status = sqe.file->Sync();
+      if (!cqe.status.ok()) chain_broken = true;
+    }
+    cq_.push_back(std::move(cqe));
+    ++completed_;
+  }
+  sq_.clear();
+  submitted_ += static_cast<int64_t>(n);
+  return n;
+}
+
+bool SubmissionQueue::Reap(Cqe* out) {
+  if (cq_.empty()) return false;
+  *out = std::move(cq_.front());
+  cq_.pop_front();
+  return true;
+}
+
+}  // namespace lidi::io

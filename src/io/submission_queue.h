@@ -1,0 +1,95 @@
+#ifndef LIDI_IO_SUBMISSION_QUEUE_H_
+#define LIDI_IO_SUBMISSION_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "io/file.h"
+
+namespace lidi::io {
+
+/// Operation kind of one submission entry.
+enum class SqOp : uint8_t { kAppend = 0, kSync = 1 };
+
+/// One staged operation (io_uring SQE shape). `data` references caller
+/// memory and must stay alive until Submit() returns.
+struct Sqe {
+  uint64_t user_data = 0;
+  SqOp op = SqOp::kAppend;
+  WritableFile* file = nullptr;
+  Slice data;
+};
+
+/// One completed operation (io_uring CQE shape). `accepted` is the honest
+/// byte count the fs took for a kAppend — the caller advances its persisted
+/// frontier by exactly this, never by what it asked for.
+struct Cqe {
+  uint64_t user_data = 0;
+  SqOp op = SqOp::kAppend;
+  Status status;
+  int64_t accepted = 0;
+};
+
+/// io_uring-shaped submission/completion rings over WritableFile: appends
+/// and syncs are staged without performing any I/O, then Submit() hands the
+/// whole chain to the backend and completions are reaped from the CQ ring.
+/// Staging is what lets an owner assemble a batch under its writer lock and
+/// pay the disk (or hand the sync to a group-commit leader) outside it.
+///
+/// Backend: deterministic simulated execution — Submit() runs the staged
+/// entries synchronously in submission order, preserving byte-for-byte the
+/// semantics of direct WritableFile calls (honest short-write accounting,
+/// fault injection via the underlying Fs). A real io_uring backend slots in
+/// behind the same rings once the real-transport runtime lands (ROADMAP
+/// item 1); callers are already written against the async shape.
+///
+/// Link semantics (io_uring IOSQE_IO_LINK): the staged entries form one
+/// chain — the first failure (including a short write) completes the rest
+/// as Aborted with 0 bytes accepted, never executing them. This is what
+/// keeps a multi-chunk persist hole-free: a later chunk can never land in
+/// the file after an earlier one fell short.
+///
+/// Not thread-safe: callers serialize behind their own writer lock, like
+/// the WritableFile underneath.
+class SubmissionQueue {
+ public:
+  explicit SubmissionQueue(size_t depth = 64) : depth_(depth) {}
+
+  SubmissionQueue(const SubmissionQueue&) = delete;
+  SubmissionQueue& operator=(const SubmissionQueue&) = delete;
+
+  /// Stage one operation; false when the submission ring is full (caller
+  /// submits and retries).
+  bool StageAppend(WritableFile* file, Slice data, uint64_t user_data);
+  bool StageSync(WritableFile* file, uint64_t user_data);
+
+  /// Executes the staged chain; one CQE per staged SQE becomes reapable.
+  /// Returns the number of entries submitted.
+  size_t Submit();
+
+  /// Pops the oldest completion; false when the CQ ring is empty.
+  bool Reap(Cqe* out);
+
+  size_t staged() const { return sq_.size(); }
+  size_t ready() const { return cq_.size(); }
+  size_t depth() const { return depth_; }
+  int64_t submitted() const { return submitted_; }
+  int64_t completed() const { return completed_; }
+  /// Entries never executed because an earlier link in their chain failed.
+  int64_t aborted_links() const { return aborted_links_; }
+
+ private:
+  const size_t depth_;
+  std::vector<Sqe> sq_;
+  std::deque<Cqe> cq_;
+  int64_t submitted_ = 0;
+  int64_t completed_ = 0;
+  int64_t aborted_links_ = 0;
+};
+
+}  // namespace lidi::io
+
+#endif  // LIDI_IO_SUBMISSION_QUEUE_H_

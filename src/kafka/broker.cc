@@ -156,7 +156,19 @@ Result<int64_t> Broker::Produce(const std::string& topic, int partition,
   }
   auto count = CountMessages(message_set);
   if (!count.ok()) return count.status();
-  int64_t offset = log->Append(message_set, static_cast<int>(count.value()));
+  int64_t offset = 0;
+  if (options_.log.sync == io::SyncPolicy::kAlways &&
+      options_.log.group_commit) {
+    // Durability-acknowledged produce: the offset is returned only after a
+    // covering group sync. A failed write or sync surfaces here as an error
+    // instead of a silently-volatile ack.
+    auto durable = log->AppendDurable(message_set,
+                                      static_cast<int>(count.value()));
+    if (!durable.ok()) return durable.status();
+    offset = durable.value();
+  } else {
+    offset = log->Append(message_set, static_cast<int>(count.value()));
+  }
   produce_count_->Increment();
   produce_messages_->Add(count.value());
   produce_bytes_->Add(static_cast<int64_t>(message_set.size()));

@@ -118,63 +118,89 @@ void PartitionLog::RecoverFromDiskLocked() {
   end_offset_.store(segments_.back().base_offset + segments_.back().size());
 }
 
+io::WritableFile* PartitionLog::SegmentFileLocked(Segment* segment) {
+  if (segment->file == nullptr) {
+    auto file = fs_->OpenAppend(SegmentPath(segment->base_offset));
+    if (!file.ok()) return nullptr;
+    segment->file = std::move(file.value());
+  }
+  return segment->file.get();
+}
+
 void PartitionLog::PersistSealedLocked() {
   if (fs_ == nullptr) return;
-  // Decide up front whether this flush must reach stable storage.
+  // Decide up front whether this flush must reach stable storage. Under
+  // group commit flushes only WRITE: the one covering fdatasync belongs to
+  // the group leader (GroupSyncNow), which runs outside mu_.
   int64_t pending = 0;
   for (const Segment& segment : segments_) {
     pending += segment.sealed_bytes - segment.persisted_bytes;
   }
   const bool sync_due =
-      options_.sync == io::SyncPolicy::kAlways ||
-      (options_.sync == io::SyncPolicy::kInterval &&
-       unsynced_bytes_ + pending >= options_.sync_interval_bytes);
+      !group_mode() &&
+      (options_.sync == io::SyncPolicy::kAlways ||
+       (options_.sync == io::SyncPolicy::kInterval &&
+        unsynced_bytes_ + pending >= options_.sync_interval_bytes));
   for (Segment& segment : segments_) {
     const bool needs_write = segment.persisted_bytes < segment.sealed_bytes;
     const bool needs_sync =
         sync_due && segment.synced_bytes < segment.sealed_bytes;
     if (!needs_write && !needs_sync) continue;
-    auto file = fs_->OpenAppend(SegmentPath(segment.base_offset));
-    if (!file.ok()) {
+    io::WritableFile* file = SegmentFileLocked(&segment);
+    if (file == nullptr) {
       Inc(write_failed_);
       break;  // keep the durable prefix contiguous; retry next flush
     }
-    bool failed = false;
+    // Stage the segment's pending writes (and, inline modes, its sync) as
+    // one linked chain: the first failure — including a short write —
+    // aborts every later link, so a later chunk can never land after an
+    // earlier hole.
     if (needs_write) {
       int64_t chunk_base = 0;
+      int64_t staged_from = segment.persisted_bytes;
       for (const BufferRef& chunk : segment.sealed) {
         const int64_t chunk_size = static_cast<int64_t>(chunk->size());
-        if (segment.persisted_bytes < chunk_base + chunk_size) {
-          const int64_t from = segment.persisted_bytes - chunk_base;
-          int64_t accepted = 0;
-          Status s = file.value()->Append(
-              Slice(chunk->data() + from,
-                    static_cast<size_t>(chunk_size - from)),
-              &accepted);
-          // Advance only past bytes the fs actually took: a short write or
-          // ENOSPC must not mark lost bytes durable. The next flush resumes
-          // from the honest boundary.
-          segment.persisted_bytes += accepted;
-          if (!s.ok()) {
-            Inc(write_failed_);
-            failed = true;
-            break;
+        if (staged_from < chunk_base + chunk_size) {
+          const int64_t from = staged_from - chunk_base;
+          if (!sq_.StageAppend(
+                  file,
+                  Slice(chunk->data() + from,
+                        static_cast<size_t>(chunk_size - from)),
+                  /*user_data=*/0)) {
+            break;  // ring full; the unstaged suffix retries next flush
           }
+          staged_from = chunk_base + chunk_size;
         }
         chunk_base += chunk_size;
       }
     }
-    if (!failed && sync_due && segment.synced_bytes < segment.persisted_bytes) {
-      Status s = file.value()->Sync();
-      if (s.ok()) {
-        Inc(sync_count_);
-        segment.synced_bytes = segment.persisted_bytes;
-      } else {
-        Inc(write_failed_);
-        failed = true;
+    const bool sync_staged =
+        sync_due && segment.synced_bytes < segment.sealed_bytes &&
+        sq_.StageSync(file, /*user_data=*/1);
+    sq_.Submit();
+    bool failed = false;
+    io::Cqe cqe;
+    while (sq_.Reap(&cqe)) {
+      if (cqe.op == io::SqOp::kAppend) {
+        // Advance only past bytes the fs actually took: a short write or
+        // ENOSPC must not mark lost bytes durable. The next flush resumes
+        // from the honest boundary.
+        segment.persisted_bytes += cqe.accepted;
+        if (!cqe.status.ok()) {
+          // Aborted links were never attempted; count only the real failure.
+          if (cqe.status.code() != Code::kAborted) Inc(write_failed_);
+          failed = true;
+        }
+      } else if (sync_staged) {
+        if (cqe.status.ok()) {
+          Inc(sync_count_);
+          segment.synced_bytes = segment.persisted_bytes;
+        } else {
+          if (cqe.status.code() != Code::kAborted) Inc(write_failed_);
+          failed = true;
+        }
       }
     }
-    file.value()->Close();
     if (failed) break;
   }
   int64_t unsynced = 0;
@@ -224,6 +250,16 @@ PartitionLog::PartitionLog(LogOptions options, const Clock* clock)
     torn_truncations_ =
         options_.metrics->GetCounter("io.recovery.torn_truncations", labels);
   }
+  if (fs_ != nullptr && options_.sync == io::SyncPolicy::kAlways &&
+      options_.group_commit) {
+    io::GroupCommitOptions group_options;
+    group_options.max_batch_bytes = options_.group_max_batch_bytes;
+    group_options.max_wait_ms = options_.group_max_wait_ms;
+    group_options.metrics = options_.metrics;
+    group_options.layer = "kafka.log";
+    group_ = std::make_unique<io::GroupCommitter>(
+        [this] { return GroupSyncNow(); }, std::move(group_options));
+  }
   // No concurrent access yet, but the *Locked() helpers require mu_ — and
   // taking it keeps the thread-safety analysis airtight for free.
   MutexLock lock(&mu_);
@@ -247,15 +283,23 @@ void PartitionLog::SealTailLocked(Segment* segment) {
   if (segment->tail.empty()) return;
   std::string chunk_data = std::move(segment->tail);
   segment->tail.clear();
-  while (!segment->sealed.empty() &&
-         segment->sealed.back()->size() <= chunk_data.size()) {
-    const BufferRef& prev = segment->sealed.back();
-    std::string merged;
-    merged.reserve(prev->size() + chunk_data.size());
-    merged.append(prev->data(), prev->size());
-    merged.append(chunk_data);
-    chunk_data = std::move(merged);
-    segment->sealed.pop_back();
+  if (!segment->sealed.empty() &&
+      segment->sealed.back()->size() <= chunk_data.size()) {
+    // The merge staging buffer comes from the slab arena: flush-per-append
+    // workloads run this chain on every message, and leasing (instead of
+    // allocating) the scratch keeps the merge's staging copies off the heap.
+    io::RecordArena::Scratch scratch(&arena_);
+    while (!segment->sealed.empty() &&
+           segment->sealed.back()->size() <= chunk_data.size()) {
+      const BufferRef& prev = segment->sealed.back();
+      scratch->clear();
+      scratch->reserve(prev->size() + chunk_data.size());
+      scratch->append(prev->data(), prev->size());
+      scratch->append(chunk_data);
+      chunk_data.swap(*scratch);  // old chunk_data buffer becomes the next
+                                  // iteration's (and next seal's) scratch
+      segment->sealed.pop_back();
+    }
   }
   segment->sealed.push_back(WrapBuffer(std::move(chunk_data)));
   int64_t total = 0;
@@ -321,6 +365,10 @@ std::shared_ptr<const PartitionLog::Snapshot> PartitionLog::LoadSnapshot()
 
 int64_t PartitionLog::Append(Slice message_set, int message_count) {
   MutexLock lock(&mu_);
+  return AppendLocked(message_set, message_count);
+}
+
+int64_t PartitionLog::AppendLocked(Slice message_set, int message_count) {
   Segment* active = &segments_.back();
   if (active->size() >= options_.segment_bytes) {
     Segment next;
@@ -371,8 +419,121 @@ void PartitionLog::FlushLocked() {
 }
 
 void PartitionLog::Flush() {
+  int64_t target = 0;
+  {
+    MutexLock lock(&mu_);
+    FlushLocked();
+    target = flushed_end_.load();
+  }
+  // kAlways legacy callers expect a flush to reach stable storage; in group
+  // mode that fdatasync belongs to the committer and runs with mu_
+  // released. Best effort — the acknowledged path is AppendDurable.
+  if (group_mode() && target > durable_end_.load()) {
+    (void)group_->SyncTo(target);
+  }
+}
+
+Result<int64_t> PartitionLog::AppendDurable(Slice message_set,
+                                            int message_count) {
+  const int64_t set_bytes = static_cast<int64_t>(message_set.size());
+  if (!group_mode()) {
+    const int64_t offset = Append(message_set, message_count);
+    Flush();
+    if (fs_ == nullptr) return offset;  // in-memory: flushed == durable
+    const int64_t entry_end = offset + set_bytes;
+    const int64_t covered = options_.sync == io::SyncPolicy::kAlways
+                                ? durable_end_.load()
+                                : flushed_end_.load();
+    if (covered < entry_end) {
+      return Status::IOError(
+          "append not acknowledged (write or sync failed)");
+    }
+    return offset;
+  }
+  // Group commit: stage (append + write-only flush) under mu_, then hand
+  // the fdatasync to the group committer with mu_ RELEASED — concurrent
+  // appenders stage into the same batch while the leader's sync is in
+  // flight. Kafka never rolls the file back on a failed sync, so the epoch
+  // capture is belt-and-braces (see io/group_commit.h).
+  const uint64_t staged_epoch = group_->epoch();
+  int64_t offset = 0;
+  int64_t entry_end = 0;
+  {
+    MutexLock lock(&mu_);
+    offset = AppendLocked(message_set, message_count);
+    entry_end = offset + set_bytes;
+    FlushLocked();
+    if (ContiguousEndLocked(/*synced=*/false) < entry_end) {
+      // Short write / ENOSPC: the entry is not fully in the file, so no
+      // sync can cover it this round. Later flushes retry the write; this
+      // append stays unacknowledged.
+      return Status::IOError("append not fully accepted by fs");
+    }
+  }
+  Status s = group_->SyncTo(entry_end, staged_epoch);
+  if (!s.ok()) return s;
+  return offset;
+}
+
+Result<int64_t> PartitionLog::GroupSyncNow() {
+  struct ToSync {
+    std::shared_ptr<io::WritableFile> file;
+    int64_t base_offset = 0;
+    int64_t target = 0;  // persisted (== sealed) bytes the sync covers
+  };
+  std::vector<ToSync> to_sync;
+  {
+    MutexLock lock(&mu_);
+    for (Segment& segment : segments_) {
+      if (segment.persisted_bytes < segment.sealed_bytes) {
+        // Hole (failed/short write): syncing later segments cannot extend
+        // the contiguous durable frontier; stop at the honest boundary.
+        break;
+      }
+      if (segment.file != nullptr &&
+          segment.synced_bytes < segment.persisted_bytes) {
+        to_sync.push_back(
+            {segment.file, segment.base_offset, segment.persisted_bytes});
+      }
+    }
+  }
+  Status fail;
+  size_t done = 0;
+  for (; done < to_sync.size(); ++done) {
+    // sync-choke-point: the group leader's one covering fdatasync — the
+    // only sync the kAlways group path ever issues, with mu_ released so
+    // appenders keep staging the next batch.
+    Status s = to_sync[done].file->Sync();
+    if (!s.ok()) {
+      fail = s;
+      break;  // keep the durable prefix contiguous
+    }
+  }
   MutexLock lock(&mu_);
-  FlushLocked();
+  for (size_t i = 0; i < done; ++i) {
+    for (Segment& segment : segments_) {
+      if (segment.base_offset == to_sync[i].base_offset) {
+        // The file may hold more than `target` by now (appends staged while
+        // we were at the disk); fdatasync covered those too, but claiming
+        // only the snapshot value keeps synced_bytes entry-aligned.
+        segment.synced_bytes =
+            std::max(segment.synced_bytes, to_sync[i].target);
+        break;
+      }
+    }
+    Inc(sync_count_);
+  }
+  if (!fail.ok()) Inc(write_failed_);
+  int64_t unsynced = 0;
+  for (const Segment& segment : segments_) {
+    unsynced += segment.persisted_bytes - segment.synced_bytes;
+  }
+  unsynced_bytes_ = unsynced;
+  const int64_t durable =
+      std::max(durable_end_.load(), ContiguousEndLocked(/*synced=*/true));
+  durable_end_.store(durable);
+  if (!fail.ok()) return fail;
+  return durable;
 }
 
 Result<PinnedSlice> PartitionLog::ReadPinnedChunk(int64_t offset,
@@ -490,6 +651,7 @@ int PartitionLog::DeleteExpiredSegments() {
   while (segments_.size() > 1 &&
          now - segments_.front().last_append_ms > options_.retention_ms) {
     if (fs_ != nullptr) {
+      segments_.front().file.reset();  // close before unlink
       fs_->RemoveFile(SegmentPath(segments_.front().base_offset));
     }
     segments_.pop_front();
@@ -501,6 +663,7 @@ int PartitionLog::DeleteExpiredSegments() {
     Segment& s = segments_.front();
     const int64_t end = s.base_offset + s.size();
     if (fs_ != nullptr) {
+      s.file.reset();  // close before unlink
       fs_->RemoveFile(SegmentPath(s.base_offset));
     }
     Segment fresh;

@@ -13,7 +13,10 @@
 #include "common/clock.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "io/arena.h"
 #include "io/file.h"
+#include "io/group_commit.h"
+#include "io/submission_queue.h"
 #include "obs/metrics.h"
 
 namespace lidi::kafka {
@@ -44,9 +47,23 @@ struct LogOptions {
   io::SyncPolicy sync = io::SyncPolicy::kNever;
   int64_t sync_interval_bytes = 1 << 20;
   /// Registry for the durability instruments ("io.sync.count",
-  /// "io.write.failed", "io.recovery.torn_truncations", labeled
-  /// layer=kafka.log). Null = not instrumented.
+  /// "io.write.failed", "io.recovery.torn_truncations", and under group
+  /// commit "io.group_commit.leader_syncs" / "io.group_commit.piggybacked" /
+  /// "io.sync.batch_msgs", labeled layer=kafka.log). Null = not
+  /// instrumented.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Group commit (persistent kAlways only): durability acks go through
+  /// AppendDurable — the first appender becomes the sync leader and its one
+  /// fdatasync covers every append staged before it; the rest park on a
+  /// condvar (io/group_commit.h). Flushes under this mode write but do not
+  /// sync; only the group leader syncs, so N concurrent producers pay ~1
+  /// fdatasync per batch instead of N. Off = every flush pays its own sync
+  /// inline (the historical behavior).
+  bool group_commit = false;
+  /// Pending bytes that make a lingering group leader sync immediately.
+  int64_t group_max_batch_bytes = 1 << 20;
+  /// How long a group leader lingers for joiners (0 = sync immediately).
+  int64_t group_max_wait_ms = 0;
 };
 
 /// The log of one topic partition (paper Section V.B, Simple storage): a
@@ -76,7 +93,22 @@ class PartitionLog {
   /// policy, or explicit Flush).
   int64_t Append(Slice message_set, int message_count);
 
-  /// Makes everything appended so far visible to consumers.
+  /// Appends message-set bytes and returns the assigned offset only once
+  /// the durability the sync policy promises actually holds for them:
+  /// under kAlways the entry is covered by a successful fdatasync, under
+  /// the other policies it is at least accepted by the fs and consumer-
+  /// visible. In group-commit mode the writer lock is NOT held across the
+  /// sync — the caller stages its bytes, then parks on the group committer
+  /// until a leader's covering sync acknowledges them. An error means the
+  /// append was NOT acknowledged; the bytes may still surface after a later
+  /// flush (the same indeterminacy a client that crashed before its ack
+  /// observes), but no acknowledged write is ever lost.
+  Result<int64_t> AppendDurable(Slice message_set, int message_count);
+
+  /// Makes everything appended so far visible to consumers. In group-commit
+  /// mode also requests a covering group sync (kAlways flushes stay
+  /// durable for legacy callers), best-effort — durability failures surface
+  /// through AppendDurable, which is the acknowledged path.
   void Flush();
 
   /// Zero-copy read: up to max_bytes starting at `offset`, truncated at
@@ -145,6 +177,11 @@ class PartitionLog {
     int64_t persisted_bytes = 0;
     /// Prefix of persisted_bytes covered by a successful Sync.
     int64_t synced_bytes = 0;
+    /// Cached append handle for the segment file, opened on first persist
+    /// and kept until the segment is deleted (the historical open/append/
+    /// close per flush was pure overhead). shared_ptr so a group leader can
+    /// sync it outside mu_ while the janitor races a retention delete.
+    std::shared_ptr<io::WritableFile> file;
 
     int64_t size() const {
       return sealed_bytes + static_cast<int64_t>(tail.size());
@@ -165,12 +202,22 @@ class PartitionLog {
   Result<PinnedSlice> ReadPinnedChunk(int64_t offset, int64_t max_bytes) const;
 
   std::shared_ptr<const Snapshot> LoadSnapshot() const LIDI_EXCLUDES(snapshot_mu_);
+  int64_t AppendLocked(Slice message_set, int message_count)
+      LIDI_REQUIRES(mu_);
   void MaybeFlushLocked() LIDI_REQUIRES(mu_);
   void FlushLocked() LIDI_REQUIRES(mu_);
   void SealTailLocked(Segment* segment) LIDI_REQUIRES(mu_);
   void PublishSnapshotLocked() LIDI_REQUIRES(mu_);
   void RecoverFromDiskLocked() LIDI_REQUIRES(mu_);
   void PersistSealedLocked() LIDI_REQUIRES(mu_);
+  /// Opens (and caches) the segment's append handle. Null on open failure.
+  io::WritableFile* SegmentFileLocked(Segment* segment) LIDI_REQUIRES(mu_);
+  /// Group-commit SyncFn: snapshots the fully-persisted-but-unsynced
+  /// segments under mu_, fdatasyncs them with mu_ RELEASED (appenders keep
+  /// staging), then re-locks to advance synced/durable frontiers. Returns
+  /// the new durable end offset.
+  Result<int64_t> GroupSyncNow() LIDI_EXCLUDES(mu_);
+  bool group_mode() const { return group_ != nullptr; }
   std::string SegmentPath(int64_t base_offset) const;
   /// End of the contiguous prefix of the log the fs accepted (synced=false)
   /// or fdatasync'ed (synced=true): stops at the first segment whose
@@ -185,6 +232,9 @@ class PartitionLog {
   obs::Counter* sync_count_ = nullptr;
   obs::Counter* write_failed_ = nullptr;
   obs::Counter* torn_truncations_ = nullptr;
+  /// Non-null exactly when group commit is active (persistent + kAlways +
+  /// options_.group_commit).
+  std::unique_ptr<io::GroupCommitter> group_;
 
   /// Writer lock: appends, flush policy, persistence, retention. Readers do
   /// not take it. Ordered before the snapshot micro-mutex (publishing takes
@@ -196,6 +246,13 @@ class PartitionLog {
   int64_t first_unflushed_ms_ LIDI_GUARDED_BY(mu_) = 0;
   /// Accepted-but-unsynced bytes across all segments (drives kInterval).
   int64_t unsynced_bytes_ LIDI_GUARDED_BY(mu_) = 0;
+  /// Scratch slab for the seal-merge path (chunk coalescing re-copies bytes
+  /// O(log segment) times; the arena keeps those staging buffers off the
+  /// allocator on the flush-per-append hot path).
+  io::RecordArena arena_ LIDI_GUARDED_BY(mu_);
+  /// Staging rings for persist writes (deterministic simulated backend;
+  /// linked-chain semantics keep multi-chunk persists hole-free).
+  io::SubmissionQueue sq_ LIDI_GUARDED_BY(mu_);
 
   /// Reader-visible state. Writers publish the snapshot before advancing
   /// flushed_end_ (release), and readers load flushed_end_ (acquire) before

@@ -133,6 +133,11 @@ kafka::BrokerOptions SimCluster::BrokerOptionsFor(int i) const {
   // the contract the no-acked-message-lost invariant checks.
   options.log.sync = io::SyncPolicy::kAlways;
   options.log.flush_interval_messages = 1;
+  // Group commit on the produce path: single-threaded under the simulated
+  // clock every producer leads its own batch, so the semantics match the
+  // inline sync — but the schedules drive the same staged-write/covering-
+  // sync/crash interleavings production multi-producer brokers hit.
+  options.log.group_commit = true;
   return options;
 }
 
@@ -142,6 +147,9 @@ sqlstore::BinlogOptions SimCluster::PrimaryBinlogOptions() const {
   options.fs = primary_disk_.get();
   options.sync = io::SyncPolicy::kAlways;
   options.legacy_advance_on_failed_write = options_.legacy_binlog_bug;
+  // Group-commit the binlog too (a no-op when the legacy-bug knob re-enables
+  // the historical inline path — legacy wins; see BinlogOptions).
+  options.group_commit = true;
   return options;
 }
 

@@ -103,6 +103,16 @@ Binlog::Binlog(BinlogOptions options)
     MutexLock lock(&mu_);
     RecoverLocked();
   }
+  if (fs_ != nullptr && options_.sync == io::SyncPolicy::kAlways &&
+      options_.group_commit && !options_.legacy_advance_on_failed_write) {
+    io::GroupCommitOptions group_options;
+    group_options.max_batch_bytes = options_.group_max_batch_bytes;
+    group_options.max_wait_ms = options_.group_max_wait_ms;
+    group_options.metrics = options_.metrics;
+    group_options.layer = "sqlstore.binlog";
+    group_ = std::make_unique<io::GroupCommitter>(
+        [this] { return GroupSyncNow(); }, std::move(group_options));
+  }
 }
 
 std::string Binlog::FilePath() const { return options_.data_dir + "/binlog.seg"; }
@@ -152,21 +162,23 @@ void Binlog::RecoverLocked() {
     }
   }
   persisted_bytes_ = static_cast<int64_t>(offset);
+  synced_bytes_ = persisted_bytes_;
   durable_scn_ = next_scn_ - 1;  // everything replayed is on stable storage
 }
 
-/// All-or-nothing persist of one transaction record: on failure the file is
-/// rolled back to the last acknowledged byte (or, if even that fails, the
-/// binlog declares itself damaged and refuses all further appends — the
-/// loud alternative to silently burying an unacknowledged record).
-Status Binlog::PersistLocked(const CommittedTransaction& txn) {
-  if (fs_ == nullptr) return Status::OK();
+/// Write-only half of the persist: encodes into an arena-leased scratch,
+/// stages the record through the submission ring, and advances
+/// persisted_bytes_ on full acceptance. On failure the file is rolled back
+/// to the last acknowledged byte (or, if even that fails, the binlog
+/// declares itself damaged and refuses all further appends — the loud
+/// alternative to silently burying an unacknowledged record).
+Status Binlog::StageLocked(const CommittedTransaction& txn) {
   if (damaged_) {
     return Status::IOError("binlog damaged (unacked bytes on disk): " +
                            recovery_status_.message());
   }
-  std::string record;
-  EncodeTransaction(txn, &record);
+  io::RecordArena::Scratch record(&arena_);
+  EncodeTransaction(txn, record.get());
   if (file_ == nullptr) {
     auto file = fs_->OpenAppend(FilePath());
     if (!file.ok()) {
@@ -175,29 +187,26 @@ Status Binlog::PersistLocked(const CommittedTransaction& txn) {
     }
     file_ = std::move(file.value());
   }
+  // One-record chain through the ring today; the shape a real io_uring
+  // backend (and multi-record batches) plugs into.
+  sq_.StageAppend(file_.get(), Slice(*record), static_cast<uint64_t>(txn.scn));
+  sq_.Submit();
+  io::Cqe cqe;
   int64_t accepted = 0;
-  Status s = file_->Append(record, &accepted);
-  if (s.ok()) {
-    unsynced_bytes_ += static_cast<int64_t>(record.size());
-    const bool sync_due =
-        options_.sync == io::SyncPolicy::kAlways ||
-        (options_.sync == io::SyncPolicy::kInterval &&
-         unsynced_bytes_ >= options_.sync_interval_bytes);
-    if (sync_due) {
-      s = file_->Sync();
-      if (s.ok()) {
-        if (sync_count_ != nullptr) sync_count_->Increment();
-        unsynced_bytes_ = 0;
-        durable_scn_ = txn.scn;
-      }
-    }
+  Status s;
+  while (sq_.Reap(&cqe)) {
+    accepted += cqe.accepted;
+    if (!cqe.status.ok() && s.ok()) s = cqe.status;
+  }
+  if (s.ok() && accepted < static_cast<int64_t>(record->size())) {
+    s = Status::IOError("short binlog write");
   }
   if (!s.ok()) {
     if (write_failed_ != nullptr) write_failed_->Increment();
     if (options_.legacy_advance_on_failed_write) {
       // The re-introduced bug: pretend the record landed. The file holds a
       // torn prefix that the next append will bury; recovery stops there.
-      persisted_bytes_ += static_cast<int64_t>(record.size());
+      persisted_bytes_ += static_cast<int64_t>(record->size());
       return s;
     }
     file_.reset();
@@ -209,21 +218,138 @@ Status Binlog::PersistLocked(const CommittedTransaction& txn) {
     }
     return s;
   }
-  persisted_bytes_ += static_cast<int64_t>(record.size());
+  unsynced_bytes_ += static_cast<int64_t>(record->size());
+  persisted_bytes_ += static_cast<int64_t>(record->size());
   return Status::OK();
 }
 
-Result<int64_t> Binlog::Append(std::vector<Change> changes) {
-  MutexLock lock(&mu_);
-  CommittedTransaction txn;
-  txn.scn = next_scn_;  // assigned for real only if the persist succeeds
-  txn.changes = std::move(changes);
-  Status s = PersistLocked(txn);
+/// All-or-nothing persist of one transaction record (non-group path): the
+/// write via StageLocked, then the policy-mandated inline sync. A failed
+/// sync rolls the freshly written record back off the file too — the record
+/// must not surface after a restart when its commit reported failure.
+Status Binlog::PersistLocked(const CommittedTransaction& txn) {
+  if (fs_ == nullptr) return Status::OK();
+  const int64_t record_start = persisted_bytes_;
+  Status s = StageLocked(txn);
   if (!s.ok()) return s;
-  next_scn_++;
-  log_.push_back(std::move(txn));
-  if (fs_ == nullptr) durable_scn_ = log_.back().scn;
-  return log_.back().scn;
+  const int64_t record_bytes = persisted_bytes_ - record_start;
+  const bool sync_due =
+      options_.sync == io::SyncPolicy::kAlways ||
+      (options_.sync == io::SyncPolicy::kInterval &&
+       unsynced_bytes_ >= options_.sync_interval_bytes);
+  if (!sync_due) return Status::OK();
+  // sync-choke-point: inline per-commit fdatasync (non-group kAlways, and
+  // interval-policy threshold syncs).
+  s = file_->Sync();
+  if (s.ok()) {
+    if (sync_count_ != nullptr) sync_count_->Increment();
+    unsynced_bytes_ = 0;
+    synced_bytes_ = persisted_bytes_;
+    durable_scn_ = txn.scn;
+    return Status::OK();
+  }
+  if (write_failed_ != nullptr) write_failed_->Increment();
+  if (options_.legacy_advance_on_failed_write) return s;
+  file_.reset();
+  persisted_bytes_ = record_start;
+  unsynced_bytes_ = std::max<int64_t>(0, unsynced_bytes_ - record_bytes);
+  Status t = fs_->TruncateFile(FilePath(), persisted_bytes_);
+  if (!t.ok()) {
+    damaged_ = true;
+    if (recovery_status_.ok()) recovery_status_ = t;
+  }
+  return s;
+}
+
+Result<int64_t> Binlog::Append(std::vector<Change> changes) {
+  if (!group_mode()) {
+    MutexLock lock(&mu_);
+    CommittedTransaction txn;
+    txn.scn = next_scn_;  // assigned for real only if the persist succeeds
+    txn.changes = std::move(changes);
+    Status s = PersistLocked(txn);
+    if (!s.ok()) return s;
+    next_scn_++;
+    log_.push_back(std::move(txn));
+    if (fs_ == nullptr) durable_scn_ = log_.back().scn;
+    return log_.back().scn;
+  }
+  // Group commit: write the record under mu_, then hand the fdatasync to
+  // the committer with mu_ RELEASED — concurrent committers stage into the
+  // same batch while the leader's sync is in flight, and one covering sync
+  // acknowledges them all. The epoch is captured BEFORE staging: if a
+  // failed group sync rolls the file back at any point after this capture,
+  // SyncTo refuses to acknowledge (see io/group_commit.h — false errors are
+  // safe, false acks are not).
+  const uint64_t staged_epoch = group_->epoch();
+  int64_t scn = 0;
+  int64_t target = 0;
+  {
+    MutexLock lock(&mu_);
+    CommittedTransaction txn;
+    txn.scn = next_scn_;
+    txn.changes = std::move(changes);
+    Status s = StageLocked(txn);
+    if (!s.ok()) return s;
+    scn = txn.scn;
+    next_scn_++;
+    pending_.push_back(Pending{std::move(txn), persisted_bytes_});
+    target = persisted_bytes_;
+  }
+  Status s = group_->SyncTo(target, staged_epoch);
+  if (!s.ok()) return s;
+  return scn;
+}
+
+Result<int64_t> Binlog::GroupSyncNow() {
+  std::shared_ptr<io::WritableFile> file;
+  int64_t covered = 0;
+  {
+    MutexLock lock(&mu_);
+    file = file_;
+    covered = persisted_bytes_;
+    if (file == nullptr || covered <= synced_bytes_) return synced_bytes_;
+  }
+  // sync-choke-point: the group leader's one covering fdatasync — the only
+  // sync the group-commit path ever issues, with mu_ released so committers
+  // keep staging the next batch.
+  Status s = file->Sync();
+  MutexLock lock(&mu_);
+  if (s.ok()) {
+    if (sync_count_ != nullptr) sync_count_->Increment();
+    synced_bytes_ = std::max(synced_bytes_, covered);
+    unsynced_bytes_ = std::max<int64_t>(0, persisted_bytes_ - synced_bytes_);
+    // Promote covered pending transactions, in stage order — log_ stays
+    // dense and holds only durable commits.
+    size_t promoted = 0;
+    while (promoted < pending_.size() &&
+           pending_[promoted].end_bytes <= synced_bytes_) {
+      ++promoted;
+    }
+    for (size_t i = 0; i < promoted; ++i) {
+      durable_scn_ = pending_[i].txn.scn;
+      log_.push_back(std::move(pending_[i].txn));
+    }
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<int64_t>(promoted));
+    return synced_bytes_;
+  }
+  // Failed group sync: every byte past the last covering sync is
+  // indeterminate on disk. Roll the file back to the durable frontier and
+  // drop the in-flight batch — the committer bumps its epoch, so every
+  // staged waiter gets an error instead of a false acknowledgement.
+  if (write_failed_ != nullptr) write_failed_->Increment();
+  file_.reset();
+  Status t = fs_->TruncateFile(FilePath(), synced_bytes_);
+  if (!t.ok()) {
+    damaged_ = true;
+    if (recovery_status_.ok()) recovery_status_ = t;
+  }
+  persisted_bytes_ = synced_bytes_;
+  unsynced_bytes_ = 0;
+  pending_.clear();
+  next_scn_ = log_.empty() ? 1 : log_.back().scn + 1;
+  return s;
 }
 
 int64_t Binlog::DurableScn() const {

@@ -11,7 +11,10 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/sync.h"
+#include "io/arena.h"
 #include "io/file.h"
+#include "io/group_commit.h"
+#include "io/submission_queue.h"
 #include "obs/metrics.h"
 
 namespace lidi::sqlstore {
@@ -62,6 +65,20 @@ struct BinlogOptions {
   /// pipeline depends on the binlog never losing acknowledged commits.
   io::SyncPolicy sync = io::SyncPolicy::kAlways;
   int64_t sync_interval_bytes = 1 << 20;
+  /// Group commit (kAlways only): concurrent committers share one covering
+  /// fdatasync instead of paying one each — the first waiter leads the sync,
+  /// the rest park and are acknowledged when the leader's sync covers their
+  /// record (DESIGN.md §7). Acked-commit-loss semantics are unchanged: an
+  /// SCN is still only acknowledged after a covering fdatasync. Ignored
+  /// unless sync == kAlways; incompatible with (and disabled by)
+  /// legacy_advance_on_failed_write.
+  bool group_commit = false;
+  /// A leader syncs as soon as this many staged-but-unsynced bytes are
+  /// waiting (or immediately, when it is the only committer).
+  int64_t group_max_batch_bytes = 1 << 20;
+  /// > 0: a leader without a full batch parks up to this long for
+  /// piggybackers before syncing. 0 (default) = never wait on the clock.
+  int64_t group_max_wait_ms = 0;
   /// Registry for the durability instruments ("io.sync.count",
   /// "io.write.failed", "io.recovery.torn_truncations", labeled
   /// layer=sqlstore.binlog). Null = not instrumented.
@@ -114,8 +131,27 @@ class Binlog {
   int64_t ReadCalls() const;
 
  private:
+  /// One staged-but-not-yet-durable transaction (group mode): promoted into
+  /// log_ when a covering group sync lands, dropped (with the file rolled
+  /// back) when the sync fails.
+  struct Pending {
+    CommittedTransaction txn;
+    /// File offset one past this transaction's record — durable once
+    /// synced_bytes_ reaches it.
+    int64_t end_bytes = 0;
+  };
+
   std::string FilePath() const;
+  bool group_mode() const { return group_ != nullptr; }
+  /// Writes (no sync) one encoded record, advancing persisted_bytes_; on
+  /// failure rolls the file back to the last acknowledged byte.
+  Status StageLocked(const CommittedTransaction& txn) LIDI_REQUIRES(mu_);
   Status PersistLocked(const CommittedTransaction& txn) LIDI_REQUIRES(mu_);
+  /// Group-commit sync body (called by the committer with mu_ free): one
+  /// covering fdatasync, then promote covered pending transactions — or, on
+  /// failure, roll the file back to the durable frontier and drop the
+  /// in-flight batch so no waiter is falsely acknowledged.
+  Result<int64_t> GroupSyncNow() LIDI_EXCLUDES(mu_);
   void RecoverLocked() LIDI_REQUIRES(mu_);
 
   const BinlogOptions options_;
@@ -124,18 +160,35 @@ class Binlog {
   obs::Counter* write_failed_ = nullptr;
   obs::Counter* torn_truncations_ = nullptr;
 
+  /// Non-null iff group commit is active (fs-backed, kAlways, group_commit
+  /// set, legacy bug knob off). Its mutex is a leaf under mu_.
+  std::unique_ptr<io::GroupCommitter> group_;
+
   mutable Mutex mu_{"sqlstore.binlog"};
+  /// Acknowledged-durable transactions. In group mode a transaction sits in
+  /// pending_ between its write and its covering sync, so readers
+  /// (ReadAfter / LastScn — i.e. replication) only ever see durable commits.
   std::vector<CommittedTransaction> log_ LIDI_GUARDED_BY(mu_);
+  std::vector<Pending> pending_ LIDI_GUARDED_BY(mu_);
   int64_t next_scn_ LIDI_GUARDED_BY(mu_) = 1;
   int64_t durable_scn_ LIDI_GUARDED_BY(mu_) = 0;
   /// Bytes of acknowledged records in the file (rollback target).
   int64_t persisted_bytes_ LIDI_GUARDED_BY(mu_) = 0;
+  /// Bytes covered by a successful fdatasync (group-mode rollback target:
+  /// everything past it is indeterminate after a failed sync).
+  int64_t synced_bytes_ LIDI_GUARDED_BY(mu_) = 0;
   int64_t unsynced_bytes_ LIDI_GUARDED_BY(mu_) = 0;
   /// Set when the file holds bytes we could not take back (failed rollback
   /// truncate) — appending past them would bury unacknowledged data.
   bool damaged_ LIDI_GUARDED_BY(mu_) = false;
   Status recovery_status_ LIDI_GUARDED_BY(mu_);
-  std::unique_ptr<io::WritableFile> file_ LIDI_GUARDED_BY(mu_);
+  /// shared_ptr: the group leader copies the handle under mu_ and syncs it
+  /// with mu_ released, racing rollback paths that file_.reset().
+  std::shared_ptr<io::WritableFile> file_ LIDI_GUARDED_BY(mu_);
+  /// Slab for record-encode scratch buffers (append hot path).
+  io::RecordArena arena_ LIDI_GUARDED_BY(mu_);
+  /// Staging ring for record writes (io_uring shape; see io/submission_queue.h).
+  io::SubmissionQueue sq_ LIDI_GUARDED_BY(mu_);
   mutable int64_t read_calls_ LIDI_GUARDED_BY(mu_) = 0;
 };
 

@@ -336,6 +336,7 @@ class LogEngineImpl : public LogStructuredEngine {
           (options_.sync == io::SyncPolicy::kInterval &&
            unsynced_bytes_ >= options_.sync_interval_bytes);
       if (sync_due) {
+        // sync-choke-point: the engine's inline policy fdatasync.
         s = active_file_->Sync();
         if (s.ok()) {
           io_sync_count_->Increment();
@@ -501,6 +502,8 @@ class LogEngineImpl : public LogStructuredEngine {
         auto file = fs_->OpenAppend(tmp);
         Status s = file.ok() ? file.value()->Append(new_segments[i], nullptr)
                              : file.status();
+        // sync-choke-point: compaction staging files are synced before the
+        // generation pointer flips to them.
         if (s.ok()) s = file.value()->Sync();
         if (file.ok()) file.value()->Close();
         if (!s.ok()) {

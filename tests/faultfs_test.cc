@@ -17,15 +17,22 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/random.h"
+#include "common/sync.h"
+#include "io/arena.h"
 #include "io/fault_fs.h"
 #include "io/file.h"
+#include "io/group_commit.h"
+#include "io/submission_queue.h"
 #include "kafka/log.h"
 #include "kafka/message.h"
 #include "obs/metrics.h"
@@ -646,6 +653,380 @@ TEST(SyncPolicyTest, DurableFrontierFollowsThePolicy) {
     } else {
       EXPECT_EQ(log.durable_end_offset(), 0);
       EXPECT_EQ(syncs, 0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Group-commit building blocks: GroupCommitter, SubmissionQueue, RecordArena
+// ---------------------------------------------------------------------------
+
+TEST(GroupCommitterTest, LeaderSyncsCoverAndPiggybackersSkipTheDisk) {
+  int64_t frontier = 0;
+  int syncs = 0;
+  io::GroupCommitter committer([&]() -> Result<int64_t> {
+    ++syncs;
+    frontier += 100;
+    return frontier;
+  });
+  EXPECT_TRUE(committer.SyncTo(50).ok());  // leads: one sync covers to 100
+  EXPECT_EQ(syncs, 1);
+  EXPECT_EQ(committer.frontier(), 100);
+  EXPECT_TRUE(committer.SyncTo(80).ok());  // already covered: no sync
+  EXPECT_EQ(syncs, 1);
+  EXPECT_TRUE(committer.SyncTo(150).ok());  // past the frontier: leads again
+  EXPECT_EQ(syncs, 2);
+}
+
+TEST(GroupCommitterTest, FailedSyncBumpsEpochAndRefusesStaleWaiters) {
+  bool fail = true;
+  int64_t frontier = 0;
+  io::GroupCommitter committer([&]() -> Result<int64_t> {
+    if (fail) return Status::IOError("injected");
+    frontier += 100;
+    return frontier;
+  });
+  const uint64_t stale = committer.epoch();
+  Status s = committer.SyncTo(10, stale);
+  EXPECT_FALSE(s.ok());  // the leader's own sync failed
+  EXPECT_NE(committer.epoch(), stale);
+  // A waiter that staged before the failure must NOT be acknowledged by a
+  // later successful sync — its bytes may have been rolled back.
+  fail = false;
+  EXPECT_FALSE(committer.SyncTo(10, stale).ok());
+  // A fresh epoch capture sees the world as it is now and succeeds.
+  EXPECT_TRUE(committer.SyncTo(10).ok());
+}
+
+TEST(GroupCommitterTest, UncoverableTargetErrorsInsteadOfRelead) {
+  // The sync succeeds but never reaches the target (a persistent hole left
+  // by another appender's failed write): the caller must get an error, not
+  // lead forever.
+  io::GroupCommitter committer([]() -> Result<int64_t> { return 5; });
+  Status s = committer.SyncTo(10);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(GroupCommitterTest, ConcurrentWaitersShareOneCoveringSync) {
+  auto mem = io::NewMemFs();
+  auto file_or = mem->OpenAppend("/f");
+  ASSERT_TRUE(file_or.ok());
+  std::shared_ptr<io::WritableFile> file = std::move(file_or.value());
+
+  Mutex mu{"test.group_commit_state"};
+  int64_t written = 0;  // bytes appended (the staged frontier)
+  std::atomic<int> syncs{0};
+  io::GroupCommitter committer([&]() -> Result<int64_t> {
+    syncs.fetch_add(1);
+    int64_t covered = 0;
+    {
+      // Snapshot BEFORE the sync: bytes appended while the fdatasync is in
+      // flight may or may not be covered by it, so they must not be claimed.
+      MutexLock lock(&mu);
+      covered = written;
+    }
+    Status s = file->Sync();
+    if (!s.ok()) return s;
+    return covered;
+  });
+
+  constexpr int kThreads = 8;
+  constexpr int kAppendsPerThread = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kAppendsPerThread; ++i) {
+        const uint64_t epoch = committer.epoch();
+        int64_t target = 0;
+        {
+          MutexLock lock(&mu);
+          if (!file->Append("0123456789", nullptr).ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          written += 10;
+          target = written;
+        }
+        if (!committer.SyncTo(target, epoch).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(committer.frontier(), kThreads * kAppendsPerThread * 10);
+  // The batching claim: far fewer syncs than appends (every append acked
+  // durable, but leaders cover parked waiters). With 8 threads the worst
+  // case is one sync per append; any batching at all pulls it below.
+  EXPECT_LE(syncs.load(), kThreads * kAppendsPerThread);
+  EXPECT_GE(syncs.load(), 1);
+}
+
+TEST(SubmissionQueueTest, LinkedChainAbortsEverythingAfterAFailure) {
+  auto mem = io::NewMemFs();
+  io::FaultFsOptions fopts;
+  fopts.seed = 11;
+  fopts.write_error_probability = 1.0;  // first link fails
+  io::FaultFs fs(mem.get(), fopts);
+  auto file = fs.OpenAppend("/f");
+  ASSERT_TRUE(file.ok());
+
+  io::SubmissionQueue sq(8);
+  ASSERT_TRUE(sq.StageAppend(file.value().get(), "aaaa", 1));
+  ASSERT_TRUE(sq.StageAppend(file.value().get(), "bbbb", 2));
+  ASSERT_TRUE(sq.StageSync(file.value().get(), 3));
+  EXPECT_EQ(sq.Submit(), 3u);
+
+  io::Cqe cqe;
+  ASSERT_TRUE(sq.Reap(&cqe));
+  EXPECT_EQ(cqe.user_data, 1u);
+  EXPECT_FALSE(cqe.status.ok());
+  ASSERT_TRUE(sq.Reap(&cqe));
+  EXPECT_EQ(cqe.user_data, 2u);
+  EXPECT_EQ(cqe.status.code(), Code::kAborted);  // never executed
+  EXPECT_EQ(cqe.accepted, 0);
+  ASSERT_TRUE(sq.Reap(&cqe));
+  EXPECT_EQ(cqe.user_data, 3u);
+  EXPECT_EQ(cqe.status.code(), Code::kAborted);
+  EXPECT_FALSE(sq.Reap(&cqe));
+  EXPECT_EQ(sq.aborted_links(), 2);
+  // Nothing after the failed link reached the file.
+  auto size = fs.FileSize("/f");
+  ASSERT_TRUE(size.ok());
+  EXPECT_LT(size.value(), 4);
+}
+
+TEST(SubmissionQueueTest, ShortWriteBreaksTheChainWithHonestAccepted) {
+  auto mem = io::NewMemFs();
+  io::FaultFsOptions fopts;
+  fopts.seed = 13;
+  fopts.short_write_probability = 1.0;  // every append is torn
+  io::FaultFs fs(mem.get(), fopts);
+  auto file = fs.OpenAppend("/f");
+  ASSERT_TRUE(file.ok());
+
+  io::SubmissionQueue sq;
+  ASSERT_TRUE(sq.StageAppend(file.value().get(), "0123456789", 1));
+  ASSERT_TRUE(sq.StageAppend(file.value().get(), "abcdefghij", 2));
+  sq.Submit();
+
+  io::Cqe first, second;
+  ASSERT_TRUE(sq.Reap(&first));
+  ASSERT_TRUE(sq.Reap(&second));
+  EXPECT_LT(first.accepted, 10);  // strict prefix, honestly reported
+  EXPECT_EQ(second.status.code(), Code::kAborted);
+  auto size = fs.FileSize("/f");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), first.accepted);  // the later link never ran
+}
+
+TEST(SubmissionQueueTest, FullRingRefusesToStage) {
+  auto mem = io::NewMemFs();
+  auto file = mem->OpenAppend("/f");
+  ASSERT_TRUE(file.ok());
+  io::SubmissionQueue sq(2);
+  EXPECT_TRUE(sq.StageAppend(file.value().get(), "a", 1));
+  EXPECT_TRUE(sq.StageAppend(file.value().get(), "b", 2));
+  EXPECT_FALSE(sq.StageAppend(file.value().get(), "c", 3));  // ring full
+  EXPECT_EQ(sq.Submit(), 2u);
+  EXPECT_TRUE(sq.StageAppend(file.value().get(), "c", 3));  // slots freed
+  EXPECT_EQ(sq.Submit(), 1u);
+  std::string content;
+  ASSERT_TRUE(mem->ReadFile("/f", &content).ok());
+  EXPECT_EQ(content, "abc");
+}
+
+TEST(RecordArenaTest, ReusesRetiredBuffersAndCapsThePool) {
+  io::RecordArena arena(/*max_pooled=*/2);
+  {
+    io::RecordArena::Scratch a(&arena);
+    a->assign(1000, 'x');
+  }
+  EXPECT_EQ(arena.created(), 1);
+  EXPECT_EQ(arena.pooled(), 1u);
+  {
+    io::RecordArena::Scratch b(&arena);
+    EXPECT_TRUE(b->empty());             // cleared...
+    EXPECT_GE(b->capacity(), 1000u);     // ...but capacity retained
+  }
+  EXPECT_EQ(arena.reused(), 1);
+  // Three concurrent leases: pool can only keep two back.
+  std::string* s1 = arena.Acquire();
+  std::string* s2 = arena.Acquire();
+  std::string* s3 = arena.Acquire();
+  arena.Release(s1);
+  arena.Release(s2);
+  arena.Release(s3);
+  EXPECT_EQ(arena.pooled(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Property: group-commit crash schedules (kafka::PartitionLog)
+// ---------------------------------------------------------------------------
+
+// Concurrent AppendDurable callers under a crash-armed FaultFs: an append
+// acknowledged OK was covered by a group sync, so it must be intact after
+// the crash — including schedules where the power is lost between the
+// leader's fdatasync and the parked waiters' wakeup (the ack happens on the
+// waiter thread, but durability happened at the sync; the recovered log
+// must contain the message either way).
+TEST(FaultFsPropertyTest, GroupCommitNeverLosesAnAcknowledgedAppend) {
+  constexpr int kThreads = 4;
+  constexpr int kAppendsPerThread = 30;
+  for (uint64_t seed : Seeds(kSchedulesPerLayer)) {
+    SCOPED_TRACE(ReplayHint(seed));
+    auto mem = io::NewMemFs();
+    Random rng(seed * 104729 + 7);
+    io::FaultFsOptions fopts;
+    fopts.seed = seed;
+    fopts.crash_after_bytes = 64 + static_cast<int64_t>(rng.Uniform(3000));
+    fopts.write_error_probability = rng.Bernoulli(0.3) ? 0.05 : 0.0;
+    fopts.short_write_probability = rng.Bernoulli(0.3) ? 0.05 : 0.0;
+    fopts.sync_error_probability = rng.Bernoulli(0.3) ? 0.05 : 0.0;
+    io::FaultFs fs(mem.get(), fopts);
+
+    kafka::LogOptions opts;
+    opts.data_dir = "/p0";
+    opts.fs = &fs;
+    opts.segment_bytes = 256 + static_cast<int64_t>(rng.Uniform(512));
+    opts.flush_interval_messages = 1;
+    opts.flush_interval_ms = 1 << 30;
+    opts.sync = io::SyncPolicy::kAlways;
+    opts.group_commit = true;
+    ManualClock clock;
+
+    // Payloads are pre-generated (Random is not thread-safe); offsets are
+    // assigned under the log's writer lock, so (offset -> payload) is the
+    // ground truth regardless of thread interleaving.
+    std::vector<std::vector<std::string>> payloads(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      for (int i = 0; i < kAppendsPerThread; ++i) {
+        payloads[static_cast<size_t>(t)].push_back(
+            "t" + std::to_string(t) + "-" + std::to_string(i) + "-" +
+            rng.Bytes(1 + rng.Uniform(30)));
+      }
+    }
+    Mutex acked_mu{"test.acked"};
+    std::vector<std::pair<int64_t, std::string>> acked;  // (offset, payload)
+    {
+      kafka::PartitionLog log(opts, &clock);
+      std::vector<std::thread> threads;
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+          for (int i = 0; i < kAppendsPerThread && !fs.crashed(); ++i) {
+            const std::string& payload =
+                payloads[static_cast<size_t>(t)][static_cast<size_t>(i)];
+            auto offset = log.AppendDurable(OneSet(payload), 1);
+            if (offset.ok()) {
+              MutexLock lock(&acked_mu);
+              acked.emplace_back(offset.value(), payload);
+            }
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    ASSERT_TRUE(fs.Restart().ok());
+
+    kafka::PartitionLog recovered(opts, &clock);
+    // (log offset -> payload) of every recovered message.
+    std::map<int64_t, std::string> recovered_at;
+    {
+      int64_t offset = recovered.start_offset();
+      while (offset < recovered.flushed_end_offset()) {
+        auto data = recovered.Read(offset, 1 << 20);
+        if (!data.ok() || data.value().empty()) break;
+        kafka::MessageSetIterator it(data.value(), offset);
+        kafka::Message m;
+        while (it.Next(&m)) recovered_at[m.offset] = m.payload;
+        offset = it.next_fetch_offset();
+      }
+    }
+    for (const auto& [offset, payload] : acked) {
+      auto it = recovered_at.find(offset);
+      ASSERT_NE(it, recovered_at.end())
+          << "acked offset " << offset << " missing after crash";
+      ASSERT_EQ(it->second, payload)
+          << "acked offset " << offset << " corrupted after crash";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property: group-commit crash schedules (sqlstore::Binlog)
+// ---------------------------------------------------------------------------
+
+// Concurrent group-committed Binlog appenders under a crash-armed FaultFs:
+// every OK-acknowledged SCN must be recovered with its exact content, and
+// the recovered log must still be a dense SCN sequence (a failed group sync
+// rolls the whole in-flight batch back, never a hole out of the middle).
+TEST(FaultFsPropertyTest, GroupCommitBinlogNeverLosesAnAcknowledgedCommit) {
+  constexpr int kThreads = 4;
+  constexpr int kCommitsPerThread = 20;
+  for (uint64_t seed : Seeds(kSchedulesPerLayer)) {
+    SCOPED_TRACE(ReplayHint(seed));
+    auto mem = io::NewMemFs();
+    Random rng(seed * 15485863 + 11);
+    io::FaultFsOptions fopts;
+    fopts.seed = seed;
+    fopts.crash_after_bytes = 64 + static_cast<int64_t>(rng.Uniform(2500));
+    fopts.write_error_probability = rng.Bernoulli(0.3) ? 0.05 : 0.0;
+    fopts.short_write_probability = rng.Bernoulli(0.3) ? 0.05 : 0.0;
+    fopts.sync_error_probability = rng.Bernoulli(0.3) ? 0.05 : 0.0;
+    io::FaultFs fs(mem.get(), fopts);
+
+    sqlstore::BinlogOptions bopts;
+    bopts.data_dir = "/db";
+    bopts.fs = &fs;
+    bopts.sync = io::SyncPolicy::kAlways;
+    bopts.group_commit = true;
+
+    std::vector<std::vector<std::string>> values(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      for (int i = 0; i < kCommitsPerThread; ++i) {
+        values[static_cast<size_t>(t)].push_back(
+            rng.Bytes(5 + rng.Uniform(30)));
+      }
+    }
+    Mutex acked_mu{"test.acked"};
+    std::map<int64_t, std::string> acked;  // scn -> value
+    {
+      sqlstore::Binlog binlog(bopts);
+      std::vector<std::thread> threads;
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+          for (int i = 0; i < kCommitsPerThread && !fs.crashed(); ++i) {
+            sqlstore::Change change;
+            change.table = "t";
+            change.primary_key =
+                "pk" + std::to_string(t) + "-" + std::to_string(i);
+            change.row = {
+                {"val",
+                 values[static_cast<size_t>(t)][static_cast<size_t>(i)]}};
+            auto scn = binlog.Append({change});
+            if (scn.ok()) {
+              MutexLock lock(&acked_mu);
+              acked[scn.value()] = change.row.at("val");
+            }
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    ASSERT_TRUE(fs.Restart().ok());
+
+    sqlstore::Binlog recovered(bopts);
+    const auto txns = recovered.ReadAfter(0, 1 << 20);
+    for (size_t i = 0; i < txns.size(); ++i) {
+      ASSERT_EQ(txns[i].scn, static_cast<int64_t>(i) + 1)
+          << "recovered SCNs must stay dense";
+    }
+    for (const auto& [scn, value] : acked) {
+      ASSERT_LE(scn, static_cast<int64_t>(txns.size()))
+          << "acked scn " << scn << " missing after crash";
+      ASSERT_EQ(txns[static_cast<size_t>(scn) - 1].changes[0].row.at("val"),
+                value)
+          << "acked scn " << scn << " corrupted after crash";
     }
   }
 }

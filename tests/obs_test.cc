@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "io/group_commit.h"
 #include "kafka/broker.h"
 #include "kafka/message.h"
 #include "net/network.h"
@@ -191,6 +192,35 @@ TEST(MetricsRegistryTest, ResetAllZeroesInstrumentsAndClearsSpans) {
   EXPECT_EQ(snap.Value("g"), 0);
   EXPECT_EQ(snap.Find("h")->hist.count, 0);
   EXPECT_TRUE(snap.spans.empty());
+}
+
+// --- group-commit instruments ---
+
+TEST(GroupCommitInstrumentsTest, ExportedInSnapshot) {
+  MetricsRegistry registry;
+  int64_t frontier = 0;
+  io::GroupCommitOptions options;
+  options.metrics = &registry;
+  options.layer = "test.layer";
+  io::GroupCommitter committer(
+      [&frontier]() -> Result<int64_t> { return frontier; }, options);
+
+  // Two single-threaded syncs: each caller leads its own batch of one.
+  frontier = 10;
+  ASSERT_TRUE(committer.SyncTo(10).ok());
+  frontier = 20;
+  ASSERT_TRUE(committer.SyncTo(20).ok());
+  // Already covered: acknowledged without a sync — the piggyback count.
+  ASSERT_TRUE(committer.SyncTo(15).ok());
+
+  const Labels labels{{"layer", "test.layer"}};
+  obs::RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Value("io.group_commit.leader_syncs", labels), 2);
+  EXPECT_EQ(snap.Value("io.group_commit.piggybacked", labels), 1);
+  const obs::InstrumentSnapshot* batches =
+      snap.Find("io.sync.batch_msgs", labels);
+  ASSERT_NE(batches, nullptr);
+  EXPECT_EQ(batches->hist.count, 2);  // one batch-size sample per leader sync
 }
 
 // --- spans ---

@@ -204,6 +204,42 @@ TEST(SimScenario, RollingBrokerRestarts) {
   });
 }
 
+// Broker power loss with group commit on the produce path (the sim brokers
+// run sync=always + group_commit): staged message-set writes and covering
+// group syncs are in flight across the workload, then the power goes out
+// and the broker restarts from whatever the disk's durable prefix holds.
+// The no-acked-message-lost and exact-prefix invariants catch any ack that
+// outran its covering sync.
+TEST(SimScenario, BrokerPowerLossDuringGroupCommitBatch) {
+  ExpectClean(114, {
+      Ev(EventKind::kWorkload, kKafka, 10),
+      Ev(EventKind::kCrashNode, kBroker0),  // power loss mid-stream
+      Ev(EventKind::kWorkload, kKafka, 8),
+      Ev(EventKind::kRestartNode, kBroker0),
+      Ev(EventKind::kWorkload, kKafka, 8),
+      Ev(EventKind::kCrashNode, kBroker1),
+      Ev(EventKind::kRestartNode, kBroker1),
+      Ev(EventKind::kWorkload, kKafka, 6),
+  });
+}
+
+// Primary power loss during group-committed binlog batches, with the disk
+// misbehaving first: failing covering syncs drive the group-commit rollback
+// path (drop the in-flight batch, bump the epoch, refuse the acks), then
+// the power goes out and the primary recovers. SCN density and the
+// no-acked-commit-lost invariant check both sides of the protocol.
+TEST(SimScenario, PrimaryPowerLossDuringGroupCommitBatch) {
+  ExpectClean(115, {
+      Ev(EventKind::kWorkload, kPrimary, 8),
+      Ev(EventKind::kIoFaultBurst, kPrimaryDb, 250),
+      Ev(EventKind::kWorkload, kPrimary, 10),  // some group syncs fail here
+      Ev(EventKind::kCrashNode, kPrimaryDb),   // power loss mid-batch
+      Ev(EventKind::kIoFaultCalm, kPrimaryDb),
+      Ev(EventKind::kRestartNode, kPrimaryDb),
+      Ev(EventKind::kWorkload, kPrimary, 8),
+  });
+}
+
 TEST(SimScenario, GeneratedChaosMixIsSafe) {
   SimOptions options;
   options.seed = 42;
