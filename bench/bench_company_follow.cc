@@ -12,6 +12,7 @@
 #include "common/clock.h"
 #include "common/histogram.h"
 #include "common/random.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "voldemort/client.h"
 #include "voldemort/server.h"
@@ -25,7 +26,7 @@ int main() {
 
   net::Network network;
   std::vector<Node> cluster_nodes;
-  for (int i = 0; i < 4; ++i) cluster_nodes.push_back({i, VoldemortAddress(i), 0});
+  for (int i = 0; i < 4; ++i) cluster_nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
   auto metadata =
       std::make_shared<ClusterMetadata>(Cluster::Uniform(cluster_nodes, 16));
   std::vector<std::unique_ptr<VoldemortServer>> servers;

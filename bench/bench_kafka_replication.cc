@@ -14,6 +14,7 @@
 #include "kafka/message.h"
 #include "kafka/producer.h"
 #include "kafka/replication.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "zk/zookeeper.h"
 
@@ -112,7 +113,7 @@ int main() {
 
     const int leader = manager.LeaderOf("t", 0).value();
     brokers[leader]->Shutdown();
-    network.SetNodeDown(BrokerAddress(leader));
+    network.SetNodeDown(net::MakeAddress(net::Tier::kKafkaBroker, leader));
     bench::Stopwatch failover_timer;
     manager.FailoverDeadLeaders("t");
     const double failover_us = failover_timer.ElapsedMicros();

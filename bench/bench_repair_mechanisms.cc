@@ -13,6 +13,7 @@
 
 #include "bench_util.h"
 #include "common/clock.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "voldemort/client.h"
 #include "voldemort/server.h"
@@ -33,7 +34,7 @@ Outcome RunScenario(bool read_repair, bool hinted_handoff) {
   net::Network network;
   ManualClock clock;
   std::vector<Node> nodes;
-  for (int i = 0; i < 4; ++i) nodes.push_back({i, VoldemortAddress(i), 0});
+  for (int i = 0; i < 4; ++i) nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
   auto metadata = std::make_shared<ClusterMetadata>(Cluster::Uniform(nodes, 16));
   std::vector<std::unique_ptr<VoldemortServer>> servers;
   for (int i = 0; i < 4; ++i) {
@@ -65,7 +66,7 @@ Outcome RunScenario(bool read_repair, bool hinted_handoff) {
   for (const auto& key : keys) writer.PutValue(key, "v1");
 
   // Transient failure: node 0 dies; the write burst continues (W=1).
-  network.SetNodeDown(VoldemortAddress(0));
+  network.SetNodeDown(net::MakeAddress(net::Tier::kVoldemort, 0));
   for (const auto& key : keys) {
     auto versions = writer.Get(key);
     if (versions.ok()) {
@@ -93,7 +94,7 @@ Outcome RunScenario(bool read_repair, bool hinted_handoff) {
 
   Outcome outcome;
   outcome.total_keys = static_cast<int>(keys.size());
-  network.SetNodeUp(VoldemortAddress(0));
+  network.SetNodeUp(net::MakeAddress(net::Tier::kVoldemort, 0));
   clock.AdvanceMillis(100);  // lift failure-detector bans
   outcome.stale_after_restart = count_stale();
 

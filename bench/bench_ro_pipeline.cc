@@ -12,6 +12,7 @@
 #include "bench_util.h"
 #include "common/clock.h"
 #include "common/random.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "voldemort/bulk_build.h"
 #include "voldemort/client.h"
@@ -26,7 +27,7 @@ int main() {
 
   net::Network network;
   std::vector<Node> nodes;
-  for (int i = 0; i < 3; ++i) nodes.push_back({i, VoldemortAddress(i), 0});
+  for (int i = 0; i < 3; ++i) nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
   auto metadata = std::make_shared<ClusterMetadata>(Cluster::Uniform(nodes, 12));
   std::vector<std::unique_ptr<VoldemortServer>> servers;
   std::vector<VoldemortServer*> ptrs;

@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "net/address.h"
 #include "bench_util.h"
 #include "common/histogram.h"
 #include "voldemort/cluster.h"
@@ -30,7 +31,7 @@ int main() {
   for (int num_nodes : {8, 16, 64, 256, 1024}) {
     std::vector<Node> nodes;
     for (int i = 0; i < num_nodes; ++i) {
-      nodes.push_back({i, VoldemortAddress(i), 0});
+      nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
     }
     Cluster cluster = Cluster::Uniform(std::move(nodes), num_nodes * 4);
     auto routing = NewConsistentRoutingStrategy(&cluster, 3);

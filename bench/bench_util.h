@@ -49,17 +49,18 @@ inline void Row(const char* fmt, ...) {
 
 /// Machine-readable result capture: when the LIDI_BENCH_JSON environment
 /// variable is set, appends one JSON object per call — `{"experiment": ...,
-/// <labels>, <metrics>}` — to BENCH_kafka.json in the current directory (or
-/// to the path LIDI_BENCH_JSON names, when it is not "1"). Unset = no-op, so
-/// the human-readable report stays the default.
-inline void JsonRow(
-    const char* experiment,
+/// <labels>, <metrics>}` — to `default_path` in the current directory (or to
+/// the path LIDI_BENCH_JSON names, when it is not "1"). Unset = no-op, so
+/// the human-readable report stays the default. JsonRow writes to the
+/// historical default, BENCH_kafka.json; transport-comparison benches pass
+/// BENCH_net.json explicitly.
+inline void JsonRowAt(
+    const char* default_path, const char* experiment,
     std::initializer_list<std::pair<const char*, std::string>> labels,
     std::initializer_list<std::pair<const char*, double>> metrics) {
   const char* env = std::getenv("LIDI_BENCH_JSON");
   if (env == nullptr || env[0] == '\0') return;
-  const char* path =
-      std::strcmp(env, "1") == 0 ? "BENCH_kafka.json" : env;
+  const char* path = std::strcmp(env, "1") == 0 ? default_path : env;
   std::FILE* f = std::fopen(path, "a");
   if (f == nullptr) return;
   std::fprintf(f, "{\"experiment\": \"%s\"", experiment);
@@ -71,6 +72,13 @@ inline void JsonRow(
   }
   std::fprintf(f, "}\n");
   std::fclose(f);
+}
+
+inline void JsonRow(
+    const char* experiment,
+    std::initializer_list<std::pair<const char*, std::string>> labels,
+    std::initializer_list<std::pair<const char*, double>> metrics) {
+  JsonRowAt("BENCH_kafka.json", experiment, labels, metrics);
 }
 
 /// Dumps a registry snapshot into the same LIDI_BENCH_JSON file JsonRow

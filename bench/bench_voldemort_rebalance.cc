@@ -12,6 +12,7 @@
 #include "common/clock.h"
 #include "common/histogram.h"
 #include "common/random.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "voldemort/admin.h"
 #include "voldemort/client.h"
@@ -32,7 +33,7 @@ int main() {
     net::Network network;
     ManualClock clock;
     std::vector<Node> nodes;
-    for (int i = 0; i < 4; ++i) nodes.push_back({i, VoldemortAddress(i), 0});
+    for (int i = 0; i < 4; ++i) nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
     auto metadata =
         std::make_shared<ClusterMetadata>(Cluster::Uniform(nodes, 16));
     std::vector<std::unique_ptr<VoldemortServer>> servers;

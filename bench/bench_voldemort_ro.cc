@@ -15,6 +15,7 @@
 #include "common/clock.h"
 #include "common/histogram.h"
 #include "common/random.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "voldemort/bulk_build.h"
 #include "voldemort/client.h"
@@ -30,7 +31,7 @@ int main() {
   for (int num_keys : {10'000, 100'000, 500'000}) {
     net::Network network;
     std::vector<Node> nodes;
-    for (int i = 0; i < 3; ++i) nodes.push_back({i, VoldemortAddress(i), 0});
+    for (int i = 0; i < 3; ++i) nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
     auto metadata =
         std::make_shared<ClusterMetadata>(Cluster::Uniform(nodes, 12));
     std::vector<std::unique_ptr<VoldemortServer>> servers;
@@ -80,7 +81,7 @@ int main() {
   {
     net::Network network;
     std::vector<Node> nodes;
-    for (int i = 0; i < 3; ++i) nodes.push_back({i, VoldemortAddress(i), 0});
+    for (int i = 0; i < 3; ++i) nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
     auto metadata =
         std::make_shared<ClusterMetadata>(Cluster::Uniform(nodes, 12));
     std::vector<std::unique_ptr<VoldemortServer>> servers;
@@ -141,7 +142,7 @@ int main() {
       for (int i = 0; i < num_keys; ++i) {
         records["member:" + std::to_string(i)] = "v";
       }
-      Cluster single = Cluster::Uniform({{0, VoldemortAddress(0), 0}}, 1);
+      Cluster single = Cluster::Uniform({{0, net::MakeAddress(net::Tier::kVoldemort, 0), 0}}, 1);
       auto built = BulkBuild(records, single, 1);
       const ReadOnlyFiles& files = built.files_per_node.at(0);
 

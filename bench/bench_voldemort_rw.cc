@@ -14,6 +14,7 @@
 #include "common/clock.h"
 #include "common/histogram.h"
 #include "common/random.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "voldemort/client.h"
 #include "voldemort/server.h"
@@ -27,7 +28,7 @@ struct ClusterFixture {
   ClusterFixture(int num_nodes, int partitions) {
     std::vector<Node> nodes;
     for (int i = 0; i < num_nodes; ++i) {
-      nodes.push_back({i, VoldemortAddress(i), 0});
+      nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
     }
     metadata = std::make_shared<ClusterMetadata>(
         Cluster::Uniform(nodes, partitions));

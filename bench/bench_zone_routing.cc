@@ -14,6 +14,7 @@
 
 #include "bench_util.h"
 #include "common/clock.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "voldemort/client.h"
 #include "voldemort/routing.h"
@@ -30,7 +31,7 @@ Cluster MakeTwoZoneCluster(int num_nodes, int partitions) {
   // replicas inside one datacenter.
   std::vector<Node> nodes;
   for (int i = 0; i < num_nodes; ++i) {
-    nodes.push_back({i, VoldemortAddress(i), i < num_nodes / 2 ? 0 : 1});
+    nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), i < num_nodes / 2 ? 0 : 1});
   }
   // Ring ownership grouped by zone: consecutive partitions stay zone-local.
   std::vector<int> ownership(partitions);
@@ -102,7 +103,7 @@ int main() {
       client.PutValue("k" + std::to_string(i), "v");
     }
     // Zone 0 (the first half of the nodes) goes dark.
-    for (int i = 0; i < 3; ++i) network.SetNodeDown(VoldemortAddress(i));
+    for (int i = 0; i < 3; ++i) network.SetNodeDown(net::MakeAddress(net::Tier::kVoldemort, i));
     clock.AdvanceMillis(50);
     int readable = 0;
     for (int i = 0; i < 500; ++i) {

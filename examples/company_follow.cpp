@@ -13,6 +13,7 @@
 #include "common/clock.h"
 #include "databus/client.h"
 #include "databus/relay.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "sqlstore/database.h"
 #include "voldemort/client.h"
@@ -70,7 +71,7 @@ int main() {
   // Voldemort cluster with the two stores.
   std::vector<voldemort::Node> nodes;
   for (int i = 0; i < 4; ++i) {
-    nodes.push_back({i, voldemort::VoldemortAddress(i), 0});
+    nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
   }
   auto metadata = std::make_shared<voldemort::ClusterMetadata>(
       voldemort::Cluster::Uniform(nodes, 16));

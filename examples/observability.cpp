@@ -13,6 +13,7 @@
 #include "kafka/broker.h"
 #include "kafka/consumer.h"
 #include "kafka/producer.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "sqlstore/database.h"
@@ -30,7 +31,7 @@ int main() {
   // Voldemort quorum traffic: root spans + per-replica child spans.
   std::vector<voldemort::Node> nodes;
   for (int i = 0; i < 3; ++i) {
-    nodes.push_back({i, voldemort::VoldemortAddress(i), 0});
+    nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
   }
   auto metadata = std::make_shared<voldemort::ClusterMetadata>(
       voldemort::Cluster::Uniform(nodes, 12));

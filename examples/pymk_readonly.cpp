@@ -10,6 +10,7 @@
 
 #include "common/clock.h"
 #include "common/random.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "voldemort/bulk_build.h"
 #include "voldemort/client.h"
@@ -46,7 +47,7 @@ int main() {
 
   std::vector<Node> cluster_nodes;
   for (int i = 0; i < 3; ++i) {
-    cluster_nodes.push_back({i, VoldemortAddress(i), 0});
+    cluster_nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
   }
   auto metadata = std::make_shared<ClusterMetadata>(
       Cluster::Uniform(cluster_nodes, 12));

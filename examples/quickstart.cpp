@@ -15,6 +15,7 @@
 #include "kafka/broker.h"
 #include "kafka/consumer.h"
 #include "kafka/producer.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "sqlstore/database.h"
 #include "voldemort/admin.h"
@@ -32,7 +33,7 @@ int main() {
   // --- Voldemort: eventually consistent key-value storage -----------------
   std::vector<voldemort::Node> nodes;
   for (int i = 0; i < 3; ++i) {
-    nodes.push_back({i, voldemort::VoldemortAddress(i), 0});
+    nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
   }
   auto metadata = std::make_shared<voldemort::ClusterMetadata>(
       voldemort::Cluster::Uniform(nodes, 12));

@@ -70,6 +70,10 @@ if printf 'int main(){return 0;}' | \
   cmake --build build-tsan -j"$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j"$JOBS" \
         -R 'faultfs|concurrency|sync'
+  say "thread-sanitizer (transport suites, ctest -L net)"
+  # The TCP backend is the one component with real cross-thread socket
+  # hand-off (callers <-> reactors <-> workers); it must stay TSan-clean.
+  ctest --test-dir build-tsan --output-on-failure -j"$JOBS" -L net
 else
   echo "check: toolchain lacks -fsanitize=thread; skipping TSan stage"
 fi
@@ -82,6 +86,10 @@ if printf 'int main(){return 0;}' | \
         -DLIDI_SANITIZE=address
   cmake --build build-asan -j"$JOBS"
   ctest --test-dir build-asan --output-on-failure -j"$JOBS" -L sim
+  say "address-sanitizer (transport suites, ctest -L net)"
+  # Connection/listener teardown paths (reap, DropConnections, destructor)
+  # are where a transport use-after-free would surface.
+  ctest --test-dir build-asan --output-on-failure -j"$JOBS" -L net
 else
   echo "check: toolchain lacks -fsanitize=address; skipping ASan stage"
 fi

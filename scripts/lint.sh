@@ -123,6 +123,20 @@ if [ "$sync_count" -gt 6 ]; then
   fail "$sync_count direct Sync() sites outside src/io (max 6) — new fsync choke points need a deliberate design decision"
 fi
 
+# 2f. Raw sockets are a transport concern. Every RPC must flow through the
+# net::Transport interface so it works on both backends (sim and TCP),
+# carries trace/deadline metadata, and stays fault-injectable; a stray
+# socket(2)/epoll call elsewhere in src/ bypasses all three. (Tests may use
+# raw sockets deliberately — tcp_transport_test speaks the wire protocol
+# adversarially.)
+SOCKET_RE='[^a-zA-Z_](socket|connect|accept4?|listen|bind|epoll_create1?|epoll_ctl|epoll_wait|eventfd)[[:space:]]*\('
+hits=$(grep -RnE "$SOCKET_RE" src --include='*.cc' --include='*.h' 2>/dev/null \
+       | grep -v '^src/net/' || true)
+if [ -n "$hits" ]; then
+  fail "raw socket/epoll use outside src/net — go through net::Transport:"
+  printf '%s\n' "$hits"
+fi
+
 # 2d. Determinism gate for the simulation harness. Everything under src/sim
 # must be a pure function of (SimOptions, Schedule): wall-clock reads or
 # unseeded randomness would silently break the same-seed => byte-identical-

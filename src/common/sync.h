@@ -88,6 +88,14 @@ namespace lidi {
 namespace lockrank {
 // net/network: endpoint registry; never held across a handler call.
 inline constexpr int kNetEndpoints = 10;
+// net/tcp_transport: transport state (handlers/listeners/pools) ->
+// per-reactor source map -> per-connection outbox/pending -> worker queue.
+// All sit below the subsystem locks (>= 20) because handlers run with none
+// of them held, and callers must not hold subsystem locks across a Call.
+inline constexpr int kNetTcpState = 12;
+inline constexpr int kNetTcpReactor = 13;
+inline constexpr int kNetTcpConn = 14;
+inline constexpr int kNetTcpQueue = 16;
 // kafka: broker partition map -> per-partition log writer -> snapshot
 // micro-mutex. Readers take only the snapshot micro-mutex.
 inline constexpr int kKafkaBrokerPartitions = 20;

@@ -7,7 +7,7 @@
 namespace lidi::databus {
 
 BootstrapServer::BootstrapServer(std::string name, net::Address relay,
-                                 net::Network* network)
+                                 net::Transport* network)
     : name_(std::move(name)),
       relay_(std::move(relay)),
       network_(network),

@@ -9,7 +9,7 @@
 #include "common/sync.h"
 #include "databus/event.h"
 #include "databus/relay.h"
-#include "net/network.h"
+#include "net/transport.h"
 
 namespace lidi::databus {
 
@@ -42,7 +42,7 @@ struct SnapshotResult {
 /// and "databus.bootstrap.rows_applied", labeled by server name.
 class BootstrapServer {
  public:
-  BootstrapServer(std::string name, net::Address relay, net::Network* network);
+  BootstrapServer(std::string name, net::Address relay, net::Transport* network);
   ~BootstrapServer();
 
   BootstrapServer(const BootstrapServer&) = delete;
@@ -80,7 +80,7 @@ class BootstrapServer {
 
   const std::string name_;
   const net::Address relay_;
-  net::Network* const network_;
+  net::Transport* const network_;
   obs::MetricsRegistry* const metrics_;
   obs::Counter* const events_fetched_;
   obs::Counter* const rows_applied_;

@@ -7,7 +7,7 @@
 namespace lidi::databus {
 
 DatabusClient::DatabusClient(std::string name, net::Address relay,
-                             net::Address bootstrap, net::Network* network,
+                             net::Address bootstrap, net::Transport* network,
                              Consumer* consumer, ClientOptions options)
     : name_(std::move(name)),
       relay_(std::move(relay)),

@@ -9,7 +9,7 @@
 #include "databus/event.h"
 #include "databus/relay.h"
 #include "databus/transformation.h"
-#include "net/network.h"
+#include "net/transport.h"
 
 namespace lidi::databus {
 
@@ -58,7 +58,7 @@ struct ClientOptions {
 class DatabusClient {
  public:
   DatabusClient(std::string name, net::Address relay, net::Address bootstrap,
-                net::Network* network, Consumer* consumer,
+                net::Transport* network, Consumer* consumer,
                 ClientOptions options = {});
 
   /// One pull-process cycle. Returns the number of events delivered to the
@@ -83,7 +83,7 @@ class DatabusClient {
   const std::string name_;
   const net::Address relay_;
   const net::Address bootstrap_;
-  net::Network* const network_;
+  net::Transport* const network_;
   Consumer* const consumer_;
   const ClientOptions options_;
 

@@ -29,7 +29,7 @@ class MultiTenantRelay {
   /// `total_buffer_events` is the process-wide buffer budget, divided
   /// evenly among tenants at AddTenant time (existing tenants keep their
   /// allocation; production systems would rebalance — documented trade-off).
-  MultiTenantRelay(std::string name, net::Network* network,
+  MultiTenantRelay(std::string name, net::Transport* network,
                    int64_t total_buffer_events = 1 << 20)
       : name_(std::move(name)),
         network_(network),
@@ -54,7 +54,7 @@ class MultiTenantRelay {
 
  private:
   const std::string name_;
-  net::Network* const network_;
+  net::Transport* const network_;
   const int64_t total_buffer_events_;
 
   mutable Mutex mu_{"databus.multitenant"};

@@ -54,16 +54,16 @@ Status DecodeReadRequest(Slice input, int64_t* since_scn, int64_t* max_events,
 }
 
 Relay::Relay(std::string relay_name, const sqlstore::Database* source,
-             net::Network* network, RelayOptions options)
+             net::Transport* network, RelayOptions options)
     : Relay(std::move(relay_name), source, net::Address(), network, options) {}
 
 Relay::Relay(std::string relay_name, net::Address upstream_relay,
-             net::Network* network, RelayOptions options)
+             net::Transport* network, RelayOptions options)
     : Relay(std::move(relay_name), nullptr, std::move(upstream_relay), network,
             options) {}
 
 Relay::Relay(std::string relay_name, const sqlstore::Database* source,
-             net::Address upstream, net::Network* network,
+             net::Address upstream, net::Transport* network,
              RelayOptions options)
     : name_(std::move(relay_name)),
       source_(source),

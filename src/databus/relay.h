@@ -7,7 +7,7 @@
 
 #include "common/sync.h"
 #include "databus/event.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "sqlstore/database.h"
 
 namespace lidi::databus {
@@ -42,11 +42,11 @@ class Relay {
  public:
   /// A relay capturing directly from a source database.
   Relay(std::string relay_name, const sqlstore::Database* source,
-        net::Network* network, RelayOptions options = {});
+        net::Transport* network, RelayOptions options = {});
 
   /// A chained relay pulling from an upstream relay's serve path.
   Relay(std::string relay_name, net::Address upstream_relay,
-        net::Network* network, RelayOptions options = {});
+        net::Transport* network, RelayOptions options = {});
 
   ~Relay();
 
@@ -80,14 +80,14 @@ class Relay {
 
  private:
   Relay(std::string relay_name, const sqlstore::Database* source,
-        net::Address upstream, net::Network* network, RelayOptions options);
+        net::Address upstream, net::Transport* network, RelayOptions options);
 
   void AppendEventsLocked(std::vector<Event> events) LIDI_REQUIRES(mu_);
 
   const std::string name_;
   const sqlstore::Database* const source_;  // null for chained relays
   const net::Address upstream_;             // empty for direct relays
-  net::Network* const network_;
+  net::Transport* const network_;
   RelayOptions options_;  // buffer capacity adjustable at runtime
   obs::MetricsRegistry* const metrics_;
   obs::Counter* const events_ingested_;

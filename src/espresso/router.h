@@ -10,7 +10,7 @@
 #include "espresso/schema.h"
 #include "espresso/uri.h"
 #include "helix/helix.h"
-#include "net/network.h"
+#include "net/transport.h"
 
 namespace lidi::espresso {
 
@@ -30,7 +30,7 @@ namespace lidi::espresso {
 class Router {
  public:
   Router(std::string name, SchemaRegistry* registry,
-         helix::HelixController* helix, net::Network* network)
+         helix::HelixController* helix, net::Transport* network)
       : name_(std::move(name)),
         registry_(registry),
         helix_(helix),
@@ -92,7 +92,7 @@ class Router {
   const std::string name_;
   SchemaRegistry* const registry_;
   helix::HelixController* const helix_;
-  net::Network* const network_;
+  net::Transport* const network_;
   obs::MetricsRegistry* const metrics_;
 };
 

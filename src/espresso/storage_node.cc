@@ -8,7 +8,7 @@
 namespace lidi::espresso {
 
 StorageNode::StorageNode(std::string name, SchemaRegistry* registry,
-                         EspressoRelay* relay, net::Network* network,
+                         EspressoRelay* relay, net::Transport* network,
                          const Clock* clock)
     : name_(std::move(name)),
       registry_(registry),

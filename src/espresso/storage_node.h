@@ -14,7 +14,7 @@
 #include "espresso/schema.h"
 #include "helix/helix.h"
 #include "invidx/inverted_index.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "sqlstore/database.h"
 
 namespace lidi::espresso {
@@ -36,7 +36,7 @@ namespace lidi::espresso {
 class StorageNode {
  public:
   StorageNode(std::string name, SchemaRegistry* registry, EspressoRelay* relay,
-              net::Network* network, const Clock* clock);
+              net::Transport* network, const Clock* clock);
   ~StorageNode();
 
   StorageNode(const StorageNode&) = delete;
@@ -107,7 +107,7 @@ class StorageNode {
   const std::string name_;
   SchemaRegistry* const registry_;
   EspressoRelay* const relay_;
-  net::Network* const network_;
+  net::Transport* const network_;
   const Clock* const clock_;
 
   sqlstore::Database store_;

@@ -1,3 +1,4 @@
+#include "net/address.h"
 #include "kafka/broker.h"
 
 #include <cstring>
@@ -7,16 +8,12 @@
 
 namespace lidi::kafka {
 
-net::Address BrokerAddress(int id) {
-  return "kafka-broker-" + std::to_string(id);
-}
-
 namespace {
 
 // Partition logs report their durability instruments (io.sync.count,
 // io.write.failed, ...) into the broker's registry unless the caller wired
 // one explicitly.
-BrokerOptions WithLogMetrics(BrokerOptions options, net::Network* network) {
+BrokerOptions WithLogMetrics(BrokerOptions options, net::Transport* network) {
   if (options.log.metrics == nullptr) options.log.metrics = network->metrics();
   return options;
 }
@@ -67,14 +64,14 @@ Status DecodeFetchRequest(Slice input, std::string* topic, int* partition,
   return Status::OK();
 }
 
-Broker::Broker(int id, zk::ZooKeeper* zookeeper, net::Network* network,
+Broker::Broker(int id, zk::ZooKeeper* zookeeper, net::Transport* network,
                const Clock* clock, BrokerOptions options)
     : id_(id),
       zookeeper_(zookeeper),
       network_(network),
       clock_(clock),
       options_(WithLogMetrics(std::move(options), network)),
-      address_(BrokerAddress(id)) {
+      address_(net::MakeAddress(net::Tier::kKafkaBroker, id)) {
   obs::MetricsRegistry* metrics = network_->metrics();
   const obs::Labels labels{{"broker", std::to_string(id_)}};
   fetch_bytes_copied_ = metrics->GetCounter("kafka.fetch.bytes_copied", labels);

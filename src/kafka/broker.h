@@ -9,7 +9,8 @@
 
 #include "common/clock.h"
 #include "kafka/log.h"
-#include "net/network.h"
+#include "net/address.h"
+#include "net/transport.h"
 #include "zk/zookeeper.h"
 
 namespace lidi::kafka {
@@ -57,7 +58,7 @@ struct BrokerOptions {
 ///      kafka.fetch {topic, partition, offset, max_bytes} -> set bytes.
 class Broker {
  public:
-  Broker(int id, zk::ZooKeeper* zookeeper, net::Network* network,
+  Broker(int id, zk::ZooKeeper* zookeeper, net::Transport* network,
          const Clock* clock, BrokerOptions options = {});
   ~Broker();
 
@@ -105,7 +106,7 @@ class Broker {
 
   const int id_;
   zk::ZooKeeper* const zookeeper_;
-  net::Network* const network_;
+  net::Transport* const network_;
   const Clock* const clock_;
   const BrokerOptions options_;
   const net::Address address_;
@@ -128,9 +129,6 @@ class Broker {
   std::map<std::pair<std::string, int>, std::unique_ptr<PartitionLog>>
       logs_ LIDI_GUARDED_BY(mu_);
 };
-
-/// Canonical broker address on the simulated network.
-net::Address BrokerAddress(int id);
 
 /// Produce/fetch request codecs (shared with producer/consumer).
 void EncodeProduceRequest(Slice topic, int partition, Slice message_set,

@@ -1,3 +1,4 @@
+#include "net/address.h"
 #include "kafka/consumer.h"
 
 #include <algorithm>
@@ -7,7 +8,7 @@
 namespace lidi::kafka {
 
 Consumer::Consumer(std::string consumer_id, std::string group,
-                   zk::ZooKeeper* zookeeper, net::Network* network,
+                   zk::ZooKeeper* zookeeper, net::Transport* network,
                    ConsumerOptions options)
     : id_(std::move(consumer_id)),
       group_(std::move(group)),
@@ -218,7 +219,7 @@ Result<std::vector<Message>> Consumer::PollStream(const std::string& topic,
     // Payload-view fetch: the response is a pinned slice of the broker's
     // segment buffer (zero-copy end to end); messages are decoded straight
     // out of it below, the only copy being into the returned Message.
-    auto response = network_->CallPayload(id_, BrokerAddress(tp.broker_id),
+    auto response = network_->CallPayload(id_, net::MakeAddress(net::Tier::kKafkaBroker, tp.broker_id),
                                           "kafka.fetch", request);
     if (!response.ok()) {
       if (response.status().IsNotFound()) {
@@ -226,7 +227,7 @@ Result<std::vector<Message>> Consumer::PollStream(const std::string& topic,
         // consumer owns its position; this is the documented recovery.)
         std::string bounds_request;
         EncodeProduceRequest(topic, tp.partition, "", &bounds_request);
-        auto bounds = network_->Call(id_, BrokerAddress(tp.broker_id),
+        auto bounds = network_->Call(id_, net::MakeAddress(net::Tier::kKafkaBroker, tp.broker_id),
                                      "kafka.offset-bounds", bounds_request);
         if (bounds.ok()) {
           MutexLock lock(&mu_);

@@ -12,7 +12,7 @@
 
 #include "kafka/message.h"
 #include "kafka/producer.h"  // TopicPartition
-#include "net/network.h"
+#include "net/transport.h"
 #include "zk/zookeeper.h"
 
 namespace lidi::kafka {
@@ -39,7 +39,7 @@ struct ConsumerOptions {
 class Consumer {
  public:
   Consumer(std::string consumer_id, std::string group,
-           zk::ZooKeeper* zookeeper, net::Network* network,
+           zk::ZooKeeper* zookeeper, net::Transport* network,
            ConsumerOptions options = {});
   ~Consumer();
 
@@ -108,7 +108,7 @@ class Consumer {
   const std::string id_;
   const std::string group_;
   zk::ZooKeeper* const zookeeper_;
-  net::Network* const network_;
+  net::Transport* const network_;
   const ConsumerOptions options_;
   zk::SessionId session_;
   /// Close() races the destructor with external callers; exchange decides.

@@ -3,7 +3,7 @@
 namespace lidi::kafka {
 
 MirrorMaker::MirrorMaker(const std::string& name, const std::string& topic,
-                         zk::ZooKeeper* zookeeper, net::Network* network,
+                         zk::ZooKeeper* zookeeper, net::Transport* network,
                          std::string source_root, std::string target_root,
                          CompressionCodec codec)
     : topic_(topic) {

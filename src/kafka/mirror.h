@@ -19,7 +19,7 @@ namespace lidi::kafka {
 class MirrorMaker {
  public:
   MirrorMaker(const std::string& name, const std::string& topic,
-              zk::ZooKeeper* zookeeper, net::Network* network,
+              zk::ZooKeeper* zookeeper, net::Transport* network,
               std::string source_root, std::string target_root,
               CompressionCodec codec = CompressionCodec::kNone);
 

@@ -1,3 +1,4 @@
+#include "net/address.h"
 #include "kafka/producer.h"
 
 #include "common/hash.h"
@@ -6,7 +7,7 @@
 namespace lidi::kafka {
 
 Producer::Producer(std::string name, zk::ZooKeeper* zookeeper,
-                   net::Network* network, ProducerOptions options)
+                   net::Transport* network, ProducerOptions options)
     : name_(std::move(name)),
       zookeeper_(zookeeper),
       network_(network),
@@ -92,7 +93,7 @@ void Producer::BuildRequestLocked(const std::string& topic,
 
 Status Producer::Dispatch(const PendingRequest& pending) {
   if (!pending.send) return Status::OK();
-  auto r = network_->Call(name_, BrokerAddress(pending.tp.broker_id),
+  auto r = network_->Call(name_, net::MakeAddress(net::Tier::kKafkaBroker, pending.tp.broker_id),
                           "kafka.produce", pending.request);
   return r.status();
 }

@@ -12,7 +12,7 @@
 #include "common/compression.h"
 #include "common/random.h"
 #include "kafka/message.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "zk/zookeeper.h"
 
 namespace lidi::kafka {
@@ -47,7 +47,7 @@ struct ProducerOptions {
 /// function (key-hash), batching and optionally compressing each set.
 class Producer {
  public:
-  Producer(std::string name, zk::ZooKeeper* zookeeper, net::Network* network,
+  Producer(std::string name, zk::ZooKeeper* zookeeper, net::Transport* network,
            ProducerOptions options = {});
 
   /// Publishes to a random partition of the topic.
@@ -87,7 +87,7 @@ class Producer {
 
   const std::string name_;
   zk::ZooKeeper* const zookeeper_;
-  net::Network* const network_;
+  net::Transport* const network_;
   const ProducerOptions options_;
 
   Mutex mu_{"kafka.producer"};

@@ -1,3 +1,4 @@
+#include "net/address.h"
 #include "kafka/replication.h"
 
 #include <algorithm>
@@ -7,7 +8,7 @@
 namespace lidi::kafka {
 
 ReplicatedTopicManager::ReplicatedTopicManager(zk::ZooKeeper* zookeeper,
-                                               net::Network* network,
+                                               net::Transport* network,
                                                std::string zk_root)
     : zookeeper_(zookeeper),
       network_(network),
@@ -86,7 +87,7 @@ int64_t ReplicatedTopicManager::LogEndAt(int broker_id,
   std::string request;
   EncodeProduceRequest(topic, partition, "", &request);
   auto bounds = network_->Call("replication-manager",
-                               BrokerAddress(broker_id),
+                               net::MakeAddress(net::Tier::kKafkaBroker, broker_id),
                                "kafka.offset-bounds", request);
   if (!bounds.ok()) return -1;
   // "start end": take the second number.
@@ -102,7 +103,7 @@ Result<int64_t> ReplicatedTopicManager::ProduceToLeader(
   if (!leader.ok()) return leader.status();
   std::string request;
   EncodeProduceRequest(topic, partition, message_set, &request);
-  auto r = network_->Call(from, BrokerAddress(leader.value()), "kafka.produce",
+  auto r = network_->Call(from, net::MakeAddress(net::Tier::kKafkaBroker, leader.value()), "kafka.produce",
                           request);
   if (!r.ok()) return r.status();
   return static_cast<int64_t>(std::atoll(r.value().c_str()));
@@ -115,7 +116,7 @@ Result<std::string> ReplicatedTopicManager::FetchFromLeader(
   if (!leader.ok()) return leader.status();
   std::string request;
   EncodeFetchRequest(topic, partition, offset, max_bytes, &request);
-  return network_->Call(from, BrokerAddress(leader.value()), "kafka.fetch",
+  return network_->Call(from, net::MakeAddress(net::Tier::kKafkaBroker, leader.value()), "kafka.fetch",
                         request);
 }
 

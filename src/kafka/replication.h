@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "kafka/broker.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "zk/zookeeper.h"
 
 namespace lidi::kafka {
@@ -29,7 +29,7 @@ namespace lidi::kafka {
 /// survives.
 class ReplicatedTopicManager {
  public:
-  ReplicatedTopicManager(zk::ZooKeeper* zookeeper, net::Network* network,
+  ReplicatedTopicManager(zk::ZooKeeper* zookeeper, net::Transport* network,
                          std::string zk_root = "/kafka");
 
   /// Creates `topic` with `partitions` partitions replicated over
@@ -67,7 +67,7 @@ class ReplicatedTopicManager {
                    int partition) const;
 
   zk::ZooKeeper* const zookeeper_;
-  net::Network* const network_;
+  net::Transport* const network_;
   const std::string zk_root_;
   zk::SessionId session_;
 };
@@ -78,7 +78,7 @@ class ReplicatedTopicManager {
 class ReplicaFetcher {
  public:
   ReplicaFetcher(Broker* broker, ReplicatedTopicManager* manager,
-                 net::Network* network)
+                 net::Transport* network)
       : broker_(broker), manager_(manager), network_(network) {}
 
   /// One sync pass over all partitions of `topic` this broker follows.
@@ -89,7 +89,7 @@ class ReplicaFetcher {
  private:
   Broker* const broker_;
   ReplicatedTopicManager* const manager_;
-  net::Network* const network_;
+  net::Transport* const network_;
 };
 
 }  // namespace lidi::kafka

@@ -4,36 +4,6 @@
 
 namespace lidi::net {
 
-namespace {
-
-/// Ambient trace context for nested calls: handlers run synchronously in the
-/// caller's thread, so a thread-local is exactly the right carrier. While a
-/// handler runs, the ambient context is the span of the call that invoked
-/// it; any call the handler places without explicit CallOptions::trace
-/// attaches there (and inherits the deadline budget). Zero trace_id = none.
-thread_local obs::TraceContext t_ambient{};
-
-/// RAII swap of the ambient context around a handler invocation.
-class AmbientScope {
- public:
-  explicit AmbientScope(const obs::TraceContext& ctx) : saved_(t_ambient) {
-    t_ambient = ctx;
-  }
-  ~AmbientScope() { t_ambient = saved_; }
-
- private:
-  obs::TraceContext saved_;
-};
-
-/// The tighter of two absolute deadlines (0 = none).
-int64_t MinDeadline(int64_t a, int64_t b) {
-  if (a == 0) return b;
-  if (b == 0) return a;
-  return std::min(a, b);
-}
-
-}  // namespace
-
 Network::Network(uint64_t fault_seed, obs::MetricsRegistry* metrics,
                  const Clock* clock)
     : clock_(clock != nullptr ? clock : SystemClock::Default()),
@@ -46,21 +16,20 @@ Network::Network(uint64_t fault_seed, obs::MetricsRegistry* metrics,
   }
 }
 
-void Network::Register(const Address& addr, const std::string& method,
-                       Handler handler) {
-  MutexLock lock(&mu_);
-  handlers_[addr][method] = Endpoint{std::move(handler), nullptr};
-}
-
 void Network::RegisterPayload(const Address& addr, const std::string& method,
                               PayloadHandler handler) {
   MutexLock lock(&mu_);
-  handlers_[addr][method] = Endpoint{nullptr, std::move(handler)};
+  handlers_[addr][method] = std::move(handler);
 }
 
 void Network::Unregister(const Address& addr) {
   MutexLock lock(&mu_);
   handlers_.erase(addr);
+}
+
+void Network::Shutdown() {
+  MutexLock lock(&mu_);
+  shutdown_ = true;
 }
 
 Network::EndpointInstruments* Network::InstrumentsLocked(const Address& addr) {
@@ -77,8 +46,11 @@ Network::EndpointInstruments* Network::InstrumentsLocked(const Address& addr) {
 
 Status Network::Route(const Address& from, const Address& to,
                       const std::string& method, Slice request,
-                      int64_t deadline_micros, Endpoint* out) {
+                      int64_t deadline_micros, PayloadHandler* out) {
   MutexLock lock(&mu_);
+  if (shutdown_) {
+    return Status::Unavailable("transport shut down");
+  }
   total_calls_.fetch_add(1, std::memory_order_relaxed);
   EndpointInstruments* sender = InstrumentsLocked(from);
   sender->calls_sent->Increment();
@@ -128,34 +100,17 @@ Status Network::Route(const Address& from, const Address& to,
   return Status::OK();
 }
 
-Result<Network::RawResponse> Network::Dispatch(const Address& from,
-                                               const Address& to,
-                                               const std::string& method,
-                                               Slice request,
-                                               const CallOptions& options) {
-  // Resolve the span's parent: explicit trace option, else the ambient
-  // context of the enclosing handler, else a fresh root trace.
-  const obs::TraceContext* parent =
-      options.trace != nullptr
-          ? options.trace
-          : (t_ambient.trace_id != 0 ? &t_ambient : nullptr);
-
-  obs::SpanRecord span;
-  span.trace_id = parent != nullptr ? parent->trace_id : obs::NextTraceId();
-  span.parent_span_id = parent != nullptr ? parent->span_id : 0;
-  span.span_id = obs::NextSpanId();
-  span.name = method;
-  span.peer = to;
-  span.start_micros = clock_->NowMicros();
-  span.bytes_sent = static_cast<int64_t>(request.size());
-
-  const int64_t deadline = MinDeadline(
-      options.deadline_micros,
-      parent != nullptr ? parent->deadline_micros : 0);
+Result<PinnedSlice> Network::CallPayload(const Address& from,
+                                         const Address& to,
+                                         const std::string& method,
+                                         Slice request,
+                                         const CallOptions& options) {
+  internal::CallSpan call = internal::CallSpan::Begin(
+      options, to, method, request.size(), clock_->NowMicros());
 
   obs::LatencyHistogram* latency;
-  Endpoint endpoint;
-  Status s = Route(from, to, method, request, deadline, &endpoint);
+  PayloadHandler handler;
+  Status s = Route(from, to, method, request, call.deadline_micros, &handler);
   {
     MutexLock lock(&mu_);
     auto [it, inserted] = method_latency_.try_emplace(method, nullptr);
@@ -166,63 +121,25 @@ Result<Network::RawResponse> Network::Dispatch(const Address& from,
     latency = it->second;
   }
 
-  RawResponse response;
+  PinnedSlice response;
   if (s.ok()) {
     // Invoke outside the lock so handlers can place nested calls; those
     // calls pick up this span as their parent via the ambient context.
-    AmbientScope ambient(
-        obs::TraceContext{span.trace_id, span.span_id, deadline});
-    if (endpoint.payload_handler) {
-      auto pinned = endpoint.payload_handler(request);
-      if (pinned.ok()) {
-        response.is_pinned = true;
-        response.view = std::move(pinned.value());
-      } else {
-        s = pinned.status();
-      }
+    internal::AmbientTraceScope ambient(call.ChildContext());
+    auto pinned = handler(request);
+    if (pinned.ok()) {
+      response = std::move(pinned.value());
     } else {
-      auto owned = endpoint.handler(request);
-      if (owned.ok()) {
-        response.owned = std::move(owned.value());
-      } else {
-        s = owned.status();
-      }
+      s = pinned.status();
     }
   }
 
-  span.outcome = s.code();
-  span.bytes_received = s.ok() ? static_cast<int64_t>(response.size()) : 0;
-  span.duration_micros = clock_->NowMicros() - span.start_micros;
-  latency->Record(span.duration_micros);
-  metrics_->RecordSpan(std::move(span));
+  const int64_t end_micros = clock_->NowMicros();
+  latency->Record(end_micros - call.span.start_micros);
+  call.Finish(s, response.size(), end_micros, metrics_);
 
   if (!s.ok()) return s;
   return response;
-}
-
-Result<std::string> Network::Call(const Address& from, const Address& to,
-                                  const std::string& method, Slice request,
-                                  const CallOptions& options) {
-  auto response = Dispatch(from, to, method, request, options);
-  if (!response.ok()) return response.status();
-  if (response.value().is_pinned) {
-    return response.value().view.ToString();  // owned-string caller: one copy
-  }
-  return std::move(response.value().owned);
-}
-
-Result<PinnedSlice> Network::CallPayload(const Address& from,
-                                         const Address& to,
-                                         const std::string& method,
-                                         Slice request,
-                                         const CallOptions& options) {
-  auto response = Dispatch(from, to, method, request, options);
-  if (!response.ok()) return response.status();
-  if (response.value().is_pinned) {
-    return std::move(response.value().view);
-  }
-  // Move the handler's owned string into a pinned buffer: no byte copy.
-  return PinnedSlice::Own(std::move(response.value().owned));
 }
 
 void Network::SetNodeDown(const Address& addr) {

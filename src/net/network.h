@@ -10,69 +10,22 @@
 #include <string>
 #include <vector>
 
-#include "common/buffer.h"
-#include "common/sync.h"
 #include "common/clock.h"
 #include "common/random.h"
-#include "common/slice.h"
-#include "common/status.h"
+#include "common/sync.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 
 namespace lidi::net {
 
-/// Node address, e.g. "voldemort-node-3" or "relay-1". All lidi tiers
-/// communicate through Network::Call rather than direct object references so
-/// that tests can inject the transient failures the paper calls prevalent in
-/// production datacenters (Section II.A, [FLP+10]).
-using Address = std::string;
-
-/// A per-method RPC handler: takes the serialized request, produces the
-/// serialized response or an error.
-using Handler = std::function<Result<std::string>(Slice request)>;
-
-/// A zero-copy RPC handler: the response is a pinned view into storage the
-/// handler owns (e.g. a log segment buffer), so serving it moves no payload
-/// bytes. The simulated-transport analogue of the paper's sendfile path
-/// (V.B): the broker hands the "socket" its file-channel bytes directly.
-using PayloadHandler = std::function<Result<PinnedSlice>(Slice request)>;
-
-/// Per-call options: the caller's trace context (the RPC is recorded as a
-/// span under it, and nested calls the handler places inherit it) and an
-/// absolute deadline in the transport clock's microseconds (0 = none; the
-/// tighter of this and the trace's own deadline budget wins).
-struct CallOptions {
-  obs::TraceContext* trace = nullptr;
-  int64_t deadline_micros = 0;
-};
-
-/// Counters describing traffic through one endpoint. The Databus fan-out
-/// bench (E9) uses the source database's counters to show consumer count
-/// does not increase source load.
+/// In-process simulated cluster transport: the deterministic backend of the
+/// net::Transport interface (see transport.h for the API contract).
 ///
-/// This struct is a *view*: the counters live in the Network's
-/// obs::MetricsRegistry ("net.calls_sent{endpoint=...}" et al.) and
-/// GetStats materializes them, so the same numbers appear in
-/// MetricsRegistry::Snapshot() and here.
-struct EndpointStats {
-  int64_t calls_received = 0;
-  int64_t calls_sent = 0;
-  int64_t bytes_received = 0;
-  int64_t bytes_sent = 0;
-};
-
-/// In-process simulated cluster transport.
-///
-/// Substitution note (see DESIGN.md): stands in for the production RPC
+/// Substitution note (see DESIGN.md §10): stands in for the production RPC
 /// stack. Handlers run synchronously in the caller's thread; failure modes
 /// (drops, latency, partitions, crashed nodes) are injected deterministically
-/// from a seeded RNG. Thread-safe.
-///
-/// Two call paths exist per method: the owned-string path (Call/Register)
-/// and the payload-view path (CallPayload/RegisterPayload). Either caller
-/// works against either handler kind; the transport adapts, copying only
-/// when an owned string is demanded from a pinned view or vice versa. Both
-/// are thin wrappers over one private Dispatch path, so fault injection,
-/// stats, deadline enforcement, and span recording exist exactly once.
+/// from a seeded RNG, so the sim harness (src/sim) replays byte-identical
+/// traces from a seed. Thread-safe.
 ///
 /// Observability: the Network owns (or is handed) the obs::MetricsRegistry
 /// that every component talking through it uses by default — pass one
@@ -80,7 +33,7 @@ struct EndpointStats {
 /// Snapshot(). Each call records a span; handlers that place nested calls
 /// get those recorded under the caller's span automatically (an ambient
 /// per-thread trace context, since handlers run in the caller's thread).
-class Network {
+class Network final : public Transport {
  public:
   explicit Network(uint64_t fault_seed = 42,
                    obs::MetricsRegistry* metrics = nullptr,
@@ -89,45 +42,25 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// The registry RPC metrics and spans land in. Components default to this
-  /// registry for their own instruments, unifying export.
-  obs::MetricsRegistry* metrics() const { return metrics_; }
+  obs::MetricsRegistry* metrics() const override { return metrics_; }
 
-  /// Registers a handler for (address, method). Re-registering replaces.
-  void Register(const Address& addr, const std::string& method, Handler handler);
-
-  /// Registers a zero-copy handler for (address, method). Re-registering
-  /// replaces (either kind).
   void RegisterPayload(const Address& addr, const std::string& method,
-                       PayloadHandler handler);
+                       PayloadHandler handler) override;
 
-  /// Removes an endpoint entirely (all its methods).
-  void Unregister(const Address& addr);
+  void Unregister(const Address& addr) override;
 
-  /// Invokes `method` on `to`. Returns:
-  ///  - Unavailable if the destination is down, unreachable (partition),
-  ///    or the fault injector dropped the message;
-  ///  - Timeout if the call's deadline budget is already exhausted;
-  ///  - NotFound if no handler is registered;
-  ///  - otherwise the handler's result.
-  Result<std::string> Call(const Address& from, const Address& to,
-                           const std::string& method, Slice request,
-                           const CallOptions& options);
-  Result<std::string> Call(const Address& from, const Address& to,
-                           const std::string& method, Slice request) {
-    return Call(from, to, method, request, CallOptions{});
-  }
+  using Transport::Call;
+  using Transport::CallPayload;
 
-  /// Zero-copy variant of Call: the response payload is pinned, not copied.
-  /// A string handler's response is wrapped (moved) into a pinned buffer,
-  /// so this path never copies payload bytes regardless of handler kind.
+  /// Zero-copy call: the response payload is pinned, not copied. A string
+  /// handler's response was wrapped (moved) into a pinned buffer at
+  /// registration time, so this path never copies payload bytes regardless
+  /// of handler kind.
   Result<PinnedSlice> CallPayload(const Address& from, const Address& to,
                                   const std::string& method, Slice request,
-                                  const CallOptions& options);
-  Result<PinnedSlice> CallPayload(const Address& from, const Address& to,
-                                  const std::string& method, Slice request) {
-    return CallPayload(from, to, method, request, CallOptions{});
-  }
+                                  const CallOptions& options) override;
+
+  void Shutdown() override;
 
   // --- fault injection ---
 
@@ -170,19 +103,12 @@ class Network {
   /// stepping enabled.
   void SetDelayBurst(int64_t extra_micros);
 
-  EndpointStats GetStats(const Address& addr) const;
-  void ResetStats();
+  EndpointStats GetStats(const Address& addr) const override;
+  void ResetStats() override;
 
-  /// Total number of calls placed since construction/ResetStats.
-  int64_t total_calls() const { return total_calls_.load(); }
+  int64_t total_calls() const override { return total_calls_.load(); }
 
  private:
-  /// A registered method: exactly one of the two handler kinds is set.
-  struct Endpoint {
-    Handler handler;
-    PayloadHandler payload_handler;
-  };
-
   /// Cached per-endpoint registry counters (the backing store of
   /// EndpointStats).
   struct EndpointInstruments {
@@ -192,31 +118,12 @@ class Network {
     obs::Counter* bytes_sent = nullptr;
   };
 
-  /// A handler's response before the caller chose its representation:
-  /// exactly one of `owned` (string handler) or `view` (payload handler) is
-  /// meaningful. Call/CallPayload convert — each copying only in the one
-  /// cross-kind direction it always copied in.
-  struct RawResponse {
-    bool is_pinned = false;
-    std::string owned;
-    PinnedSlice view;
-
-    size_t size() const { return is_pinned ? view.size() : owned.size(); }
-  };
-
-  /// The single dispatch path: deadline budget, fault injection, endpoint
-  /// stats, handler invocation, and span recording all live here and only
-  /// here.
-  Result<RawResponse> Dispatch(const Address& from, const Address& to,
-                               const std::string& method, Slice request,
-                               const CallOptions& options);
-
   /// Fault-injection and stats bookkeeping (under mu_). Returns a non-OK
-  /// status if the call must fail, otherwise copies the endpoint entry into
-  /// *out.
+  /// status if the call must fail, otherwise copies the method's handler
+  /// into *out.
   Status Route(const Address& from, const Address& to,
                const std::string& method, Slice request,
-               int64_t deadline_micros, Endpoint* out);
+               int64_t deadline_micros, PayloadHandler* out);
 
   EndpointInstruments* InstrumentsLocked(const Address& addr)
       LIDI_REQUIRES(mu_);
@@ -230,8 +137,9 @@ class Network {
   /// orders before the obs locks and every subsystem lock taken by a
   /// handler must rank above it.
   mutable Mutex mu_{"net.endpoints", lockrank::kNetEndpoints};
-  std::map<Address, std::map<std::string, Endpoint>> handlers_
+  std::map<Address, std::map<std::string, PayloadHandler>> handlers_
       LIDI_GUARDED_BY(mu_);
+  bool shutdown_ LIDI_GUARDED_BY(mu_) = false;
   std::set<Address> down_ LIDI_GUARDED_BY(mu_);
   std::set<Address> partition_a_ LIDI_GUARDED_BY(mu_);
   bool partitioned_ LIDI_GUARDED_BY(mu_) = false;
@@ -246,6 +154,10 @@ class Network {
       LIDI_GUARDED_BY(mu_);  // cache
   std::atomic<int64_t> total_calls_{0};
 };
+
+/// The interface-era name for the deterministic backend; `Network` remains
+/// the primary spelling across the sim harness and tests.
+using SimTransport = Network;
 
 }  // namespace lidi::net
 

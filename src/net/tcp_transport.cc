@@ -1,0 +1,925 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace lidi::net {
+
+namespace {
+
+constexpr int kSourceWake = 0;
+constexpr int kSourceListener = 1;
+constexpr int kSourceConn = 2;
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+/// One registered epoll interest: a wake eventfd, a listener, or a
+/// connection. epoll_event.data.ptr points here; the owning reactor's
+/// sources map holds the shared_ptr that keeps it alive until the fd is
+/// deregistered.
+struct TcpTransport::FdSource {
+  int kind;
+  int fd = -1;
+  virtual ~FdSource() = default;
+};
+
+struct TcpTransport::Listener : FdSource {
+  Address addr;
+  uint16_t port = 0;
+  Reactor* reactor = nullptr;
+};
+
+/// A parked synchronous call: filled in by the reactor when the matching
+/// response frame arrives (or the connection dies), then claimed by the
+/// caller. All fields are guarded by the owning connection's mu.
+struct TcpTransport::PendingCall {
+  bool done = false;
+  Status status = Status::OK();
+  std::string payload;
+};
+
+/// One queued outbound frame: head | payload | tail on the wire. The
+/// payload rides as a PinnedSlice so a broker's segment bytes are never
+/// copied into the outbox (the sendfile-shaped half of the TCP path).
+struct TcpTransport::OutChunk {
+  std::string head;
+  PinnedSlice payload;
+  std::string tail;
+  size_t pos = 0;
+
+  size_t size() const {
+    return head.size() + payload.size() + tail.size();
+  }
+};
+
+struct TcpTransport::Connection : FdSource {
+  Reactor* reactor = nullptr;
+  Address peer;           // destination address (client conns only)
+  bool is_client = false;
+
+  Mutex mu{"net.tcp.conn", lockrank::kNetTcpConn};
+  CondVar cv;
+  std::deque<OutChunk> outbox LIDI_GUARDED_BY(mu);
+  std::map<uint64_t, PendingCall> pending LIDI_GUARDED_BY(mu);
+  bool closed LIDI_GUARDED_BY(mu) = false;
+  Status close_status LIDI_GUARDED_BY(mu) = Status::OK();
+  bool want_write LIDI_GUARDED_BY(mu) = false;
+
+  /// Reactor-thread-only receive buffer (no lock).
+  std::string inbuf;
+
+  /// Fails every parked call and marks the connection dead. The fd itself
+  /// is closed only by the owning reactor (or final teardown), so the fd
+  /// number cannot be reused while epoll events for it are in flight.
+  void CloseLocked(const Status& status) LIDI_REQUIRES(mu) {
+    if (closed) return;
+    closed = true;
+    close_status = status;
+    for (auto& [corr, call] : pending) {
+      if (call.done) continue;
+      call.done = true;
+      call.status = status;
+    }
+    cv.NotifyAll();
+  }
+
+  /// Writes as much of the outbox as the socket accepts. Returns false on
+  /// a fatal socket error (the connection is CloseLocked'd); leftover
+  /// bytes arm EPOLLOUT via want_write.
+  bool FlushLocked() LIDI_REQUIRES(mu) {
+    while (!outbox.empty()) {
+      OutChunk& chunk = outbox.front();
+      // The chunk's three segments, addressed by a single running offset.
+      const struct {
+        const char* data;
+        size_t size;
+      } segments[3] = {{chunk.head.data(), chunk.head.size()},
+                       {chunk.payload.data(), chunk.payload.size()},
+                       {chunk.tail.data(), chunk.tail.size()}};
+      size_t base = 0;
+      bool chunk_done = true;
+      for (const auto& segment : segments) {
+        if (chunk.pos >= base + segment.size) {
+          base += segment.size;
+          continue;
+        }
+        const size_t off = chunk.pos - base;
+        const ssize_t n = ::send(fd, segment.data + off, segment.size - off,
+                                 MSG_NOSIGNAL);
+        if (n > 0) {
+          chunk.pos += static_cast<size_t>(n);
+          if (chunk.pos < base + segment.size) {
+            chunk_done = false;  // short write: socket buffer is full
+            break;
+          }
+          base += segment.size;
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          chunk_done = false;
+          break;
+        }
+        if (n < 0 && errno == EINTR) {
+          chunk_done = false;
+          break;  // retry on the next writable event
+        }
+        CloseLocked(Status::Unavailable(Errno("send")));
+        ::shutdown(fd, SHUT_RDWR);  // kick the reactor to reap the fd
+        return false;
+      }
+      if (!chunk_done) {
+        ArmWriteLocked();
+        return true;
+      }
+      outbox.pop_front();
+    }
+    return true;
+  }
+
+  void ArmWriteLocked() LIDI_REQUIRES(mu);
+};
+
+/// One epoll loop: owns an epoll instance, a wake eventfd, and the sources
+/// registered with it. Other threads may epoll_ctl fds in (kernel-safe) but
+/// only the reactor thread (or final single-threaded teardown) closes them.
+struct TcpTransport::Reactor {
+  int epfd = -1;
+  std::shared_ptr<FdSource> wake;
+  std::thread thread;
+  std::atomic<bool> stop{false};
+
+  Mutex mu{"net.tcp.reactor", lockrank::kNetTcpReactor};
+  std::map<FdSource*, std::shared_ptr<FdSource>> sources LIDI_GUARDED_BY(mu);
+  /// Sources other threads want closed (listener teardown, dropped pools);
+  /// the reactor drains this after each wake so fd close stays single-owner.
+  std::vector<std::shared_ptr<FdSource>> to_close LIDI_GUARDED_BY(mu);
+
+  void AddSource(std::shared_ptr<FdSource> source, uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.ptr = source.get();
+    {
+      MutexLock lock(&mu);
+      sources[source.get()] = source;
+    }
+    ::epoll_ctl(epfd, EPOLL_CTL_ADD, source->fd, &ev);
+  }
+
+  void RequestClose(std::shared_ptr<FdSource> source) {
+    {
+      MutexLock lock(&mu);
+      to_close.push_back(std::move(source));
+    }
+    Wake();
+  }
+
+  void Wake() {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake->fd, &one, sizeof(one));
+  }
+
+  void RemoveAndClose(FdSource* source) {
+    ::epoll_ctl(epfd, EPOLL_CTL_DEL, source->fd, nullptr);
+    ::close(source->fd);
+    source->fd = -1;
+    MutexLock lock(&mu);
+    sources.erase(source);
+  }
+};
+
+void TcpTransport::Connection::ArmWriteLocked() {
+  if (want_write || closed) return;
+  want_write = true;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.ptr = static_cast<FdSource*>(this);
+  ::epoll_ctl(reactor->epfd, EPOLL_CTL_MOD, fd, &ev);
+}
+
+struct TcpTransport::PeerPool {
+  std::vector<std::shared_ptr<Connection>> conns;
+  size_t next = 0;
+  int consecutive_failures = 0;
+  int64_t not_before_micros = 0;
+};
+
+struct TcpTransport::Work {
+  std::shared_ptr<Connection> conn;
+  Frame frame;
+};
+
+TcpTransport::TcpTransport(TcpTransportOptions options,
+                           obs::MetricsRegistry* metrics, const Clock* clock)
+    : options_(options),
+      clock_(clock != nullptr ? clock : SystemClock::Default()) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>(clock_);
+    metrics_ = owned_metrics_.get();
+  } else {
+    metrics_ = metrics;
+  }
+
+  const int n_reactors = std::max(1, options_.reactor_threads);
+  reactors_.reserve(static_cast<size_t>(n_reactors));
+  for (int i = 0; i < n_reactors; ++i) {
+    auto reactor = std::make_unique<Reactor>();
+    reactor->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    auto wake = std::make_shared<FdSource>();
+    wake->kind = kSourceWake;
+    wake->fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    reactor->wake = wake;
+    reactor->AddSource(wake, EPOLLIN);
+    reactors_.push_back(std::move(reactor));
+  }
+  for (auto& reactor : reactors_) {
+    Reactor* r = reactor.get();
+    r->thread = std::thread([this, r] { ReactorLoop(r); });
+  }
+  const int n_workers = std::max(1, options_.worker_threads);
+  workers_.reserve(static_cast<size_t>(n_workers));
+  for (int i = 0; i < n_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  Shutdown();
+  StopThreads();
+}
+
+void TcpTransport::Shutdown() {
+  MutexLock lock(&state_mu_);
+  shutdown_ = true;
+}
+
+void TcpTransport::StopThreads() {
+  if (threads_stopped_.exchange(true)) return;
+  {
+    MutexLock lock(&queue_mu_);
+    stopping_ = true;
+    queue_cv_.NotifyAll();
+  }
+  for (auto& worker : workers_) worker.join();
+  for (auto& reactor : reactors_) {
+    reactor->stop.store(true);
+    reactor->Wake();
+    reactor->thread.join();
+  }
+  // Single-threaded from here: fail every parked call, then close every fd.
+  for (auto& reactor : reactors_) {
+    std::vector<std::shared_ptr<FdSource>> sources;
+    {
+      MutexLock lock(&reactor->mu);
+      for (auto& [ptr, source] : reactor->sources) sources.push_back(source);
+      reactor->sources.clear();
+      reactor->to_close.clear();
+    }
+    for (auto& source : sources) {
+      if (source->kind == kSourceConn) {
+        auto* conn = static_cast<Connection*>(source.get());
+        MutexLock lock(&conn->mu);
+        conn->CloseLocked(Status::Unavailable("transport shut down"));
+      }
+      if (source->fd >= 0) ::close(source->fd);
+      source->fd = -1;
+    }
+    ::close(reactor->epfd);
+  }
+  MutexLock lock(&state_mu_);
+  listeners_.clear();
+  pools_.clear();
+}
+
+// --- registration ----------------------------------------------------------
+
+void TcpTransport::RegisterPayload(const Address& addr,
+                                   const std::string& method,
+                                   PayloadHandler handler) {
+  MutexLock lock(&state_mu_);
+  handlers_[addr][method] = std::move(handler);
+  if (listeners_.count(addr) > 0) return;
+
+  auto listener = std::make_shared<Listener>();
+  listener->kind = kSourceListener;
+  listener->addr = addr;
+  listener->fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (listener->fd < 0) return;  // calls to addr will fail Unavailable
+  int one = 1;
+  ::setsockopt(listener->fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_port = 0;  // kernel-assigned; resolved via the listener map
+  ::inet_pton(AF_INET, options_.bind_host.c_str(), &sin.sin_addr);
+  if (::bind(listener->fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) <
+          0 ||
+      ::listen(listener->fd, 128) < 0) {
+    ::close(listener->fd);
+    return;
+  }
+  socklen_t len = sizeof(sin);
+  ::getsockname(listener->fd, reinterpret_cast<sockaddr*>(&sin), &len);
+  listener->port = ntohs(sin.sin_port);
+
+  Reactor* reactor =
+      reactors_[next_reactor_.fetch_add(1) % reactors_.size()].get();
+  listener->reactor = reactor;
+  reactor->AddSource(listener, EPOLLIN);
+  listeners_[addr] = std::move(listener);
+}
+
+void TcpTransport::Unregister(const Address& addr) {
+  std::shared_ptr<Listener> listener;
+  {
+    MutexLock lock(&state_mu_);
+    handlers_.erase(addr);
+    auto it = listeners_.find(addr);
+    if (it != listeners_.end()) {
+      listener = it->second;
+      listeners_.erase(it);
+    }
+  }
+  // The reactor owns the fd close so in-flight epoll events can't touch a
+  // reused descriptor.
+  if (listener != nullptr) listener->reactor->RequestClose(listener);
+}
+
+uint16_t TcpTransport::ListenPort(const Address& addr) const {
+  MutexLock lock(&state_mu_);
+  auto it = listeners_.find(addr);
+  return it == listeners_.end() ? 0 : it->second->port;
+}
+
+void TcpTransport::AddStaticPeer(const Address& addr, const std::string& host,
+                                 uint16_t port) {
+  MutexLock lock(&state_mu_);
+  static_peers_[addr] = {host, port};
+}
+
+void TcpTransport::DropConnections(const Address& peer) {
+  std::vector<std::shared_ptr<Connection>> dropped;
+  {
+    MutexLock lock(&state_mu_);
+    auto it = pools_.find(peer);
+    if (it == pools_.end()) return;
+    dropped = std::move(it->second.conns);
+    it->second.conns.clear();
+  }
+  for (auto& conn : dropped) {
+    {
+      MutexLock lock(&conn->mu);
+      conn->CloseLocked(Status::Unavailable("connection dropped"));
+    }
+    conn->reactor->RequestClose(conn);
+  }
+}
+
+// --- stats -----------------------------------------------------------------
+
+TcpTransport::EndpointInstruments* TcpTransport::InstrumentsLocked(
+    const Address& addr) {
+  auto it = stats_.find(addr);
+  if (it != stats_.end()) return &it->second;
+  EndpointInstruments inst;
+  const obs::Labels labels{{"endpoint", addr}};
+  inst.calls_received = metrics_->GetCounter("net.calls_received", labels);
+  inst.calls_sent = metrics_->GetCounter("net.calls_sent", labels);
+  inst.bytes_received = metrics_->GetCounter("net.bytes_received", labels);
+  inst.bytes_sent = metrics_->GetCounter("net.bytes_sent", labels);
+  return &stats_.emplace(addr, inst).first->second;
+}
+
+obs::LatencyHistogram* TcpTransport::MethodLatency(const std::string& method) {
+  MutexLock lock(&state_mu_);
+  auto [it, inserted] = method_latency_.try_emplace(method, nullptr);
+  if (inserted) {
+    it->second =
+        metrics_->GetHistogram("net.call_micros", {{"method", method}});
+  }
+  return it->second;
+}
+
+EndpointStats TcpTransport::GetStats(const Address& addr) const {
+  MutexLock lock(&state_mu_);
+  auto it = stats_.find(addr);
+  if (it == stats_.end()) return EndpointStats{};
+  EndpointStats out;
+  out.calls_received = it->second.calls_received->Value();
+  out.calls_sent = it->second.calls_sent->Value();
+  out.bytes_received = it->second.bytes_received->Value();
+  out.bytes_sent = it->second.bytes_sent->Value();
+  return out;
+}
+
+void TcpTransport::ResetStats() {
+  MutexLock lock(&state_mu_);
+  for (auto& [addr, inst] : stats_) {
+    inst.calls_received->Reset();
+    inst.calls_sent->Reset();
+    inst.bytes_received->Reset();
+    inst.bytes_sent->Reset();
+  }
+  total_calls_ = 0;
+}
+
+// --- client path -----------------------------------------------------------
+
+Status TcpTransport::Resolve(const Address& to, std::string* host,
+                             uint16_t* port) const {
+  MutexLock lock(&state_mu_);
+  auto it = listeners_.find(to);
+  if (it != listeners_.end()) {
+    *host = options_.bind_host;
+    *port = it->second->port;
+    return Status::OK();
+  }
+  auto peer = static_peers_.find(to);
+  if (peer != static_peers_.end()) {
+    *host = peer->second.first;
+    *port = peer->second.second;
+    return Status::OK();
+  }
+  return Status::NotFound("no endpoint: " + to);
+}
+
+std::shared_ptr<TcpTransport::Connection> TcpTransport::DialLocked(
+    const Address& to, const std::string& host, uint16_t port,
+    int64_t deadline_micros, Status* error) {
+  // Runs with no transport lock held (the name refers to the caller having
+  // claimed the dial slot): a slow connect must not stall other callers.
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = Status::Unavailable(Errno("socket"));
+    return nullptr;
+  }
+  SetNoDelay(fd);
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &sin.sin_addr) != 1) {
+    ::close(fd);
+    *error = Status::InvalidArgument("unparseable peer host: " + host);
+    return nullptr;
+  }
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin));
+  if (rc < 0 && errno == EINPROGRESS) {
+    int64_t budget_millis = options_.connect_timeout_millis;
+    if (deadline_micros != 0) {
+      const int64_t remaining =
+          (deadline_micros - clock_->NowMicros()) / 1000;
+      budget_millis = std::min(budget_millis, std::max<int64_t>(remaining, 1));
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, static_cast<int>(budget_millis));
+    if (rc <= 0) {
+      ::close(fd);
+      *error = Status::Unavailable("connect to " + to + " timed out");
+      return nullptr;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    rc = so_error == 0 ? 0 : -1;
+    errno = so_error;
+  }
+  if (rc < 0) {
+    ::close(fd);
+    *error = Status::Unavailable("connect to " + to + " failed: " +
+                                 std::strerror(errno));
+    return nullptr;
+  }
+
+  auto conn = std::make_shared<Connection>();
+  conn->kind = kSourceConn;
+  conn->fd = fd;
+  conn->peer = to;
+  conn->is_client = true;
+  conn->reactor =
+      reactors_[next_reactor_.fetch_add(1) % reactors_.size()].get();
+  conn->reactor->AddSource(conn, EPOLLIN);
+  return conn;
+}
+
+Result<std::shared_ptr<TcpTransport::Connection>> TcpTransport::GetConnection(
+    const Address& to, int64_t deadline_micros) {
+  std::string host;
+  uint16_t port = 0;
+  {
+    MutexLock lock(&state_mu_);
+    PeerPool& pool = pools_[to];
+    // Prune connections the reactor has reaped.
+    auto& conns = pool.conns;
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const std::shared_ptr<Connection>& c) {
+                                 MutexLock conn_lock(&c->mu);
+                                 return c->closed;
+                               }),
+                conns.end());
+    if (!conns.empty()) {
+      const bool pool_full =
+          conns.size() >=
+          static_cast<size_t>(std::max(1, options_.connections_per_peer));
+      // During a dial-backoff window, live connections keep serving.
+      if (pool_full || pool.not_before_micros > clock_->NowMicros()) {
+        pool.next = (pool.next + 1) % conns.size();
+        return conns[pool.next];
+      }
+    }
+    if (pool.not_before_micros > clock_->NowMicros()) {
+      return Status::Unavailable("connect backoff for " + to);
+    }
+  }
+
+  Status resolve = Resolve(to, &host, &port);
+  if (!resolve.ok()) return resolve;
+
+  Status dial_error = Status::OK();
+  std::shared_ptr<Connection> conn =
+      DialLocked(to, host, port, deadline_micros, &dial_error);
+
+  MutexLock lock(&state_mu_);
+  PeerPool& pool = pools_[to];
+  if (conn == nullptr) {
+    pool.consecutive_failures++;
+    const int64_t backoff = std::min(
+        options_.reconnect_backoff_initial_millis
+            << std::min(pool.consecutive_failures - 1, 10),
+        options_.reconnect_backoff_max_millis);
+    pool.not_before_micros = clock_->NowMicros() + backoff * 1000;
+    return dial_error;
+  }
+  pool.consecutive_failures = 0;
+  pool.not_before_micros = 0;
+  pool.conns.push_back(conn);
+  return conn;
+}
+
+Result<PinnedSlice> TcpTransport::CallPayload(const Address& from,
+                                              const Address& to,
+                                              const std::string& method,
+                                              Slice request,
+                                              const CallOptions& options) {
+  internal::CallSpan call = internal::CallSpan::Begin(
+      options, to, method, request.size(), clock_->NowMicros());
+  obs::LatencyHistogram* latency = MethodLatency(method);
+
+  Status s = Status::OK();
+  std::string payload;
+  do {
+    {
+      MutexLock lock(&state_mu_);
+      if (shutdown_) {
+        s = Status::Unavailable("transport shut down");
+        break;
+      }
+      total_calls_.fetch_add(1, std::memory_order_relaxed);
+      EndpointInstruments* sender = InstrumentsLocked(from);
+      sender->calls_sent->Increment();
+      sender->bytes_sent->Add(static_cast<int64_t>(request.size()));
+    }
+    if (call.deadline_micros != 0 &&
+        clock_->NowMicros() > call.deadline_micros) {
+      s = Status::Timeout("deadline budget exhausted calling " + to);
+      break;
+    }
+
+    auto conn_result = GetConnection(to, call.deadline_micros);
+    if (!conn_result.ok()) {
+      s = conn_result.status();
+      break;
+    }
+    std::shared_ptr<Connection> conn = std::move(conn_result.value());
+
+    Frame frame;
+    frame.type = Frame::kRequest;
+    frame.correlation_id = next_correlation_.fetch_add(1);
+    const obs::TraceContext child = call.ChildContext();
+    frame.trace_id = child.trace_id;
+    frame.span_id = child.span_id;
+    frame.deadline_micros = call.deadline_micros;
+    frame.from = from;
+    frame.to = to;
+    frame.method = method;
+    EncodedFrame encoded = EncodeFrame(frame, request);
+
+    // Every call still completes within the default budget even with no
+    // deadline — a dead peer must not park the caller forever.
+    const int64_t effective_deadline = internal::MinDeadline(
+        call.deadline_micros,
+        call.span.start_micros + options_.default_call_timeout_millis * 1000);
+
+    {
+      MutexLock lock(&conn->mu);
+      if (conn->closed) {
+        s = conn->close_status;
+        break;
+      }
+      conn->pending.emplace(frame.correlation_id, PendingCall{});
+      OutChunk chunk;
+      chunk.head = std::move(encoded.head);
+      // The request bytes are borrowed from the caller; the one sanctioned
+      // serialize copy of the TCP path pins them for the outbox, so a
+      // timed-out caller can return while the frame is still queued.
+      chunk.payload = PinnedSlice::Copy(request);
+      chunk.tail = std::move(encoded.tail);
+      conn->outbox.push_back(std::move(chunk));
+      if (!conn->FlushLocked()) {
+        auto it = conn->pending.find(frame.correlation_id);
+        s = it != conn->pending.end() && it->second.done
+                ? it->second.status
+                : conn->close_status;
+        conn->pending.erase(frame.correlation_id);
+        break;
+      }
+
+      while (true) {
+        auto it = conn->pending.find(frame.correlation_id);
+        if (it == conn->pending.end()) {
+          s = Status::Internal("pending call vanished");
+          break;
+        }
+        if (it->second.done) {
+          s = it->second.status;
+          payload = std::move(it->second.payload);
+          conn->pending.erase(it);
+          break;
+        }
+        const int64_t remaining_millis =
+            (effective_deadline - clock_->NowMicros()) / 1000;
+        if (remaining_millis <= 0) {
+          conn->pending.erase(it);
+          s = Status::Timeout("deadline budget exhausted calling " + to);
+          break;
+        }
+        conn->cv.WaitFor(&conn->mu,
+                         std::chrono::milliseconds(remaining_millis));
+      }
+    }
+  } while (false);
+
+  const int64_t end_micros = clock_->NowMicros();
+  latency->Record(end_micros - call.span.start_micros);
+  const size_t response_bytes = payload.size();
+  call.Finish(s, response_bytes, end_micros, metrics_);
+  if (!s.ok()) return s;
+  return PinnedSlice::Own(std::move(payload));
+}
+
+// --- server path -----------------------------------------------------------
+
+void TcpTransport::SendFrame(const std::shared_ptr<Connection>& conn,
+                             EncodedFrame frame, PinnedSlice payload) {
+  MutexLock lock(&conn->mu);
+  if (conn->closed) return;
+  OutChunk chunk;
+  chunk.head = std::move(frame.head);
+  chunk.payload = std::move(payload);
+  chunk.tail = std::move(frame.tail);
+  conn->outbox.push_back(std::move(chunk));
+  conn->FlushLocked();
+}
+
+void TcpTransport::HandleRequest(const std::shared_ptr<Connection>& conn,
+                                 Frame request) {
+  Status s = Status::OK();
+  PinnedSlice response;
+
+  PayloadHandler handler;
+  {
+    MutexLock lock(&state_mu_);
+    if (shutdown_) {
+      s = Status::Unavailable("transport shut down");
+    } else if (request.deadline_micros != 0 &&
+               clock_->NowMicros() > request.deadline_micros) {
+      s = Status::Timeout("deadline budget exhausted calling " + request.to);
+    } else {
+      auto node_it = handlers_.find(request.to);
+      if (node_it == handlers_.end()) {
+        s = Status::NotFound("no endpoint: " + request.to);
+      } else {
+        auto method_it = node_it->second.find(request.method);
+        if (method_it == node_it->second.end()) {
+          s = Status::NotFound("no method " + request.method + " at " +
+                               request.to);
+        } else {
+          handler = method_it->second;
+          EndpointInstruments* receiver = InstrumentsLocked(request.to);
+          receiver->calls_received->Increment();
+          receiver->bytes_received->Add(
+              static_cast<int64_t>(request.payload.size()));
+        }
+      }
+    }
+  }
+
+  if (s.ok() && handler) {
+    // The handler runs on this worker with the caller's trace ambient, so
+    // nested calls it places parent under the caller's span and inherit
+    // the deadline budget — exactly the sim backend's contract.
+    internal::AmbientTraceScope ambient(obs::TraceContext{
+        request.trace_id, request.span_id, request.deadline_micros});
+    auto result = handler(Slice(request.payload));
+    if (result.ok()) {
+      response = std::move(result.value());
+    } else {
+      s = result.status();
+    }
+  }
+
+  Frame reply;
+  reply.type = Frame::kResponse;
+  reply.correlation_id = request.correlation_id;
+  reply.trace_id = request.trace_id;
+  reply.span_id = request.span_id;
+  reply.status_code = s.code();
+  // Error responses carry the message in the payload (StatusFromWire).
+  PinnedSlice payload =
+      s.ok() ? std::move(response) : PinnedSlice::Own(s.message());
+  EncodedFrame encoded = EncodeFrame(reply, payload.slice());
+  SendFrame(conn, std::move(encoded), std::move(payload));
+}
+
+void TcpTransport::WorkerLoop() {
+  while (true) {
+    Work work;
+    {
+      MutexLock lock(&queue_mu_);
+      while (queue_.empty() && !stopping_) queue_cv_.Wait(&queue_mu_);
+      if (queue_.empty() && stopping_) return;
+      work = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    HandleRequest(work.conn, std::move(work.frame));
+  }
+}
+
+// --- reactor ---------------------------------------------------------------
+
+void TcpTransport::AcceptAll(Reactor* reactor,
+                             const std::shared_ptr<Listener>& listener) {
+  while (true) {
+    const int fd = ::accept4(listener->fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN, or the listener is being torn down
+    SetNoDelay(fd);
+    auto conn = std::make_shared<Connection>();
+    conn->kind = kSourceConn;
+    conn->fd = fd;
+    conn->is_client = false;
+    conn->reactor = reactor;
+    reactor->AddSource(conn, EPOLLIN);
+  }
+}
+
+void TcpTransport::ReapConn(Reactor* reactor,
+                            const std::shared_ptr<Connection>& conn,
+                            const Status& status) {
+  {
+    MutexLock lock(&conn->mu);
+    conn->CloseLocked(status);
+  }
+  reactor->RemoveAndClose(conn.get());
+}
+
+void TcpTransport::ReadConn(Reactor* reactor,
+                            const std::shared_ptr<Connection>& conn) {
+  char buf[64 << 10];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      ReapConn(reactor, conn, Status::Unavailable("peer disconnected"));
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    ReapConn(reactor, conn, Status::Unavailable(Errno("recv")));
+    return;
+  }
+
+  size_t off = 0;
+  while (true) {
+    Frame frame;
+    size_t consumed = 0;
+    std::string error;
+    const DecodeStatus ds =
+        DecodeFrame(Slice(conn->inbuf.data() + off, conn->inbuf.size() - off),
+                    options_.max_frame_bytes, &frame, &consumed, &error);
+    if (ds == DecodeStatus::kNeedMore) break;
+    if (ds == DecodeStatus::kError) {
+      ReapConn(reactor, conn, Status::Corruption("protocol error: " + error));
+      return;
+    }
+    off += consumed;
+    if (frame.type == Frame::kRequest) {
+      MutexLock lock(&queue_mu_);
+      queue_.push_back(Work{conn, std::move(frame)});
+      queue_cv_.NotifyOne();
+    } else {
+      MutexLock lock(&conn->mu);
+      auto it = conn->pending.find(frame.correlation_id);
+      if (it != conn->pending.end() && !it->second.done) {
+        it->second.done = true;
+        it->second.status =
+            StatusFromWire(frame.status_code,
+                           frame.status_code == Code::kOk
+                               ? std::string()
+                               : std::move(frame.payload));
+        if (frame.status_code == Code::kOk) {
+          it->second.payload = std::move(frame.payload);
+        }
+        conn->cv.NotifyAll();
+      }
+      // else: the caller timed out and abandoned the call; drop the frame.
+    }
+  }
+  conn->inbuf.erase(0, off);
+}
+
+void TcpTransport::ReactorLoop(Reactor* reactor) {
+  epoll_event events[64];
+  while (!reactor->stop.load()) {
+    const int n = ::epoll_wait(reactor->epfd, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      auto* source = static_cast<FdSource*>(events[i].data.ptr);
+      std::shared_ptr<FdSource> pinned;
+      {
+        MutexLock lock(&reactor->mu);
+        auto it = reactor->sources.find(source);
+        if (it == reactor->sources.end()) continue;  // already reaped
+        pinned = it->second;
+      }
+      if (source->kind == kSourceWake) {
+        uint64_t drained;
+        while (::read(source->fd, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      if (source->kind == kSourceListener) {
+        AcceptAll(reactor,
+                  std::static_pointer_cast<Listener>(pinned));
+        continue;
+      }
+      auto conn = std::static_pointer_cast<Connection>(pinned);
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        ReapConn(reactor, conn, Status::Unavailable("peer disconnected"));
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        MutexLock lock(&conn->mu);
+        if (!conn->closed && conn->FlushLocked() && conn->outbox.empty() &&
+            conn->want_write) {
+          conn->want_write = false;
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.ptr = source;
+          ::epoll_ctl(reactor->epfd, EPOLL_CTL_MOD, conn->fd, &ev);
+        }
+      }
+      if ((events[i].events & EPOLLIN) != 0) {
+        ReadConn(reactor, conn);
+      }
+    }
+    // Drain deferred closes (listener teardown, dropped pools).
+    std::vector<std::shared_ptr<FdSource>> to_close;
+    {
+      MutexLock lock(&reactor->mu);
+      to_close.swap(reactor->to_close);
+    }
+    for (auto& source : to_close) {
+      if (source->fd >= 0) reactor->RemoveAndClose(source.get());
+    }
+  }
+}
+
+}  // namespace lidi::net

@@ -1,0 +1,80 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lidi::net {
+
+namespace internal {
+
+namespace {
+thread_local obs::TraceContext t_ambient{};
+}  // namespace
+
+const obs::TraceContext& AmbientTrace() { return t_ambient; }
+
+AmbientTraceScope::AmbientTraceScope(const obs::TraceContext& ctx)
+    : saved_(t_ambient) {
+  t_ambient = ctx;
+}
+
+AmbientTraceScope::~AmbientTraceScope() { t_ambient = saved_; }
+
+int64_t MinDeadline(int64_t a, int64_t b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return std::min(a, b);
+}
+
+CallSpan CallSpan::Begin(const CallOptions& options, const Address& to,
+                         const std::string& method, size_t request_bytes,
+                         int64_t now_micros) {
+  const obs::TraceContext* parent =
+      options.trace != nullptr
+          ? options.trace
+          : (t_ambient.trace_id != 0 ? &t_ambient : nullptr);
+
+  CallSpan out;
+  out.span.trace_id = parent != nullptr ? parent->trace_id : obs::NextTraceId();
+  out.span.parent_span_id = parent != nullptr ? parent->span_id : 0;
+  out.span.span_id = obs::NextSpanId();
+  out.span.name = method;
+  out.span.peer = to;
+  out.span.start_micros = now_micros;
+  out.span.bytes_sent = static_cast<int64_t>(request_bytes);
+  out.deadline_micros =
+      MinDeadline(options.deadline_micros,
+                  parent != nullptr ? parent->deadline_micros : 0);
+  return out;
+}
+
+void CallSpan::Finish(const Status& status, size_t response_bytes,
+                      int64_t now_micros, obs::MetricsRegistry* metrics) {
+  span.outcome = status.code();
+  span.bytes_received = status.ok() ? static_cast<int64_t>(response_bytes) : 0;
+  span.duration_micros = now_micros - span.start_micros;
+  metrics->RecordSpan(std::move(span));
+}
+
+}  // namespace internal
+
+void Transport::Register(const Address& addr, const std::string& method,
+                         Handler handler) {
+  RegisterPayload(addr, method,
+                  [handler = std::move(handler)](Slice request)
+                      -> Result<PinnedSlice> {
+                    auto owned = handler(request);
+                    if (!owned.ok()) return owned.status();
+                    return PinnedSlice::Own(std::move(owned.value()));
+                  });
+}
+
+Result<std::string> Transport::Call(const Address& from, const Address& to,
+                                    const std::string& method, Slice request,
+                                    const CallOptions& options) {
+  auto response = CallPayload(from, to, method, request, options);
+  if (!response.ok()) return response.status();
+  return response.value().ToString();  // owned-string caller: one copy
+}
+
+}  // namespace lidi::net

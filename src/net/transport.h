@@ -1,0 +1,192 @@
+#ifndef LIDI_NET_TRANSPORT_H_
+#define LIDI_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/buffer.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace lidi::net {
+
+/// Node address, e.g. "voldemort-node-3" or "relay-1". All lidi tiers
+/// communicate through Transport::Call rather than direct object references
+/// so that tests can inject the transient failures the paper calls prevalent
+/// in production datacenters (Section II.A, [FLP+10]). Numbered tier nodes
+/// build theirs through the typed factory in net/address.h so both backends
+/// resolve them uniformly.
+using Address = std::string;
+
+/// A per-method RPC handler: takes the serialized request, produces the
+/// serialized response or an error.
+using Handler = std::function<Result<std::string>(Slice request)>;
+
+/// A zero-copy RPC handler: the response is a pinned view into storage the
+/// handler owns (e.g. a log segment buffer), so serving it moves no payload
+/// bytes in-process. The transport analogue of the paper's sendfile path
+/// (V.B): the broker hands the "socket" its file-channel bytes directly.
+/// This is the primary handler kind; string Handlers are adapted onto it.
+using PayloadHandler = std::function<Result<PinnedSlice>(Slice request)>;
+
+/// Per-call options: the caller's trace context (the RPC is recorded as a
+/// span under it, and nested calls the handler places inherit it) and an
+/// absolute deadline in the transport clock's microseconds (0 = none; the
+/// tighter of this and the trace's own deadline budget wins).
+struct CallOptions {
+  obs::TraceContext* trace = nullptr;
+  int64_t deadline_micros = 0;
+};
+
+/// Counters describing traffic through one endpoint. The Databus fan-out
+/// bench (E9) uses the source database's counters to show consumer count
+/// does not increase source load.
+///
+/// This struct is a *view*: the counters live in the transport's
+/// obs::MetricsRegistry ("net.calls_sent{endpoint=...}" et al.) and
+/// GetStats materializes them, so the same numbers appear in
+/// MetricsRegistry::Snapshot() and here.
+struct EndpointStats {
+  int64_t calls_received = 0;
+  int64_t calls_sent = 0;
+  int64_t bytes_received = 0;
+  int64_t bytes_sent = 0;
+};
+
+/// The transport abstraction every tier is wired against (DESIGN.md §10).
+///
+/// Two backends implement it behind one caller-facing API:
+///  - net::Network (net/network.h): the deterministic in-process simulated
+///    transport — handlers run synchronously in the caller's thread, faults
+///    are injected from a seeded RNG, and the sim harness replays byte-
+///    identical traces from a seed.
+///  - net::TcpTransport (net/tcp_transport.h): a real epoll reactor over
+///    nonblocking localhost TCP sockets with a length-prefixed framing
+///    codec, per-peer connection pooling, and a handler worker pool.
+///
+/// API shape: the payload-view path (CallPayload/RegisterPayload, moving
+/// PinnedSlices) is the primary surface and the only virtual dispatch
+/// path; the owned-string path (Call/Register) is a thin non-virtual
+/// wrapper over it, so fault injection, stats, deadline enforcement, and
+/// span recording exist exactly once per backend.
+///
+/// Error contract, identical on both Call paths and both backends:
+///  - Unavailable — destination down/unreachable/disconnected, or the
+///    transport has been Shutdown();
+///  - Timeout    — the call's deadline budget is exhausted (before or
+///    during the call);
+///  - NotFound   — no endpoint or no such method at the endpoint;
+///  - otherwise the handler's own result.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// The registry RPC metrics and spans land in. Components default to this
+  /// registry for their own instruments, unifying export.
+  virtual obs::MetricsRegistry* metrics() const = 0;
+
+  /// Registers a zero-copy handler for (address, method). Re-registering
+  /// replaces (either kind — there is one handler table).
+  virtual void RegisterPayload(const Address& addr, const std::string& method,
+                               PayloadHandler handler) = 0;
+
+  /// Removes an endpoint entirely (all its methods).
+  virtual void Unregister(const Address& addr) = 0;
+
+  /// Invokes `method` on `to`; the response payload is pinned, not copied
+  /// in-process (over TCP it degrades to one deserialize copy per side).
+  virtual Result<PinnedSlice> CallPayload(const Address& from,
+                                          const Address& to,
+                                          const std::string& method,
+                                          Slice request,
+                                          const CallOptions& options) = 0;
+
+  /// Stops dispatch: every subsequent Call/CallPayload (string or payload
+  /// route, either backend) fails Unavailable("transport shut down").
+  /// Idempotent. Handlers stay registered; there is no Restart.
+  virtual void Shutdown() = 0;
+
+  virtual EndpointStats GetStats(const Address& addr) const = 0;
+  virtual void ResetStats() = 0;
+
+  /// Total number of calls placed since construction/ResetStats.
+  virtual int64_t total_calls() const = 0;
+
+  // --- non-virtual convenience surface (one dispatch path underneath) ---
+
+  /// Registers an owned-string handler: adapted onto the payload table by
+  /// moving the handler's string into a pinned buffer (no byte copy).
+  void Register(const Address& addr, const std::string& method,
+                Handler handler);
+
+  /// Owned-string call: CallPayload plus one materializing copy of the
+  /// response bytes. Callers on a hot path should use CallPayload.
+  Result<std::string> Call(const Address& from, const Address& to,
+                           const std::string& method, Slice request,
+                           const CallOptions& options);
+  Result<std::string> Call(const Address& from, const Address& to,
+                           const std::string& method, Slice request) {
+    return Call(from, to, method, request, CallOptions{});
+  }
+
+  Result<PinnedSlice> CallPayload(const Address& from, const Address& to,
+                                  const std::string& method, Slice request) {
+    return CallPayload(from, to, method, request, CallOptions{});
+  }
+};
+
+namespace internal {
+
+/// Ambient trace context for nested calls: handlers run synchronously in
+/// the dispatching thread (the caller's thread in-sim, a worker thread over
+/// TCP), so a thread-local is exactly the right carrier. While a handler
+/// runs, the ambient context is the span of the call that invoked it; any
+/// call the handler places without explicit CallOptions::trace attaches
+/// there (and inherits the deadline budget). Zero trace_id = none.
+const obs::TraceContext& AmbientTrace();
+
+/// RAII swap of the ambient context around a handler invocation.
+class AmbientTraceScope {
+ public:
+  explicit AmbientTraceScope(const obs::TraceContext& ctx);
+  ~AmbientTraceScope();
+
+  AmbientTraceScope(const AmbientTraceScope&) = delete;
+  AmbientTraceScope& operator=(const AmbientTraceScope&) = delete;
+
+ private:
+  obs::TraceContext saved_;
+};
+
+/// The tighter of two absolute deadlines (0 = none).
+int64_t MinDeadline(int64_t a, int64_t b);
+
+/// Span setup shared by both backends: resolves the parent (explicit trace
+/// option, else the ambient context of the enclosing handler, else a fresh
+/// root trace), stamps ids/name/peer/start, and computes the effective
+/// deadline (the tighter of the option's and the parent's budget).
+struct CallSpan {
+  obs::SpanRecord span;
+  int64_t deadline_micros = 0;
+
+  static CallSpan Begin(const CallOptions& options, const Address& to,
+                        const std::string& method, size_t request_bytes,
+                        int64_t now_micros);
+
+  /// Child context nested calls placed by the handler should inherit.
+  obs::TraceContext ChildContext() const {
+    return obs::TraceContext{span.trace_id, span.span_id, deadline_micros};
+  }
+
+  /// Stamps outcome/bytes/duration and records the span.
+  void Finish(const Status& status, size_t response_bytes, int64_t now_micros,
+              obs::MetricsRegistry* metrics);
+};
+
+}  // namespace internal
+
+}  // namespace lidi::net
+
+#endif  // LIDI_NET_TRANSPORT_H_

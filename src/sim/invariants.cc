@@ -1,3 +1,4 @@
+#include "net/address.h"
 #include "sim/invariants.h"
 
 #include <algorithm>
@@ -313,7 +314,7 @@ class VectorClockConvergence : public InvariantChecker {
       voldemort::EncodeGetRequest(SimCluster::kVoldemortStore, key, &request);
       for (int i = 0; i < cluster.options().voldemort_nodes; ++i) {
         auto response = cluster.network().Call(
-            kChecker, voldemort::VoldemortAddress(i), "v.get", request);
+            kChecker, net::MakeAddress(net::Tier::kVoldemort, i), "v.get", request);
         if (!response.ok()) continue;  // not a replica / empty store
         auto versions = voldemort::DecodeVersionedList(response.value());
         if (!versions.ok()) continue;
@@ -355,7 +356,7 @@ class LivenessResumed : public InvariantChecker {
              std::vector<InvariantViolation>* out) override {
     for (int i = 0; i < cluster.options().voldemort_nodes; ++i) {
       auto pong = cluster.network().Call(
-          kChecker, voldemort::VoldemortAddress(i), "v.ping", "");
+          kChecker, net::MakeAddress(net::Tier::kVoldemort, i), "v.ping", "");
       if (!pong.ok()) {
         out->push_back({name(), "voldemort node " + std::to_string(i) +
                                     " not answering pings: " +

@@ -1,3 +1,4 @@
+#include "net/address.h"
 #include "sim/sim_cluster.h"
 
 #include <algorithm>
@@ -44,7 +45,7 @@ SimCluster::SimCluster(SimOptions options)
   // Voldemort ring.
   std::vector<voldemort::Node> nodes;
   for (int i = 0; i < options_.voldemort_nodes; ++i) {
-    nodes.push_back({i, voldemort::VoldemortAddress(i), 0});
+    nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
   }
   metadata_ = std::make_shared<voldemort::ClusterMetadata>(
       voldemort::Cluster::Uniform(nodes, 12));
@@ -184,7 +185,7 @@ int SimCluster::CrashableEntities() const {
 
 std::string SimCluster::EntityName(int entity) const {
   if (entity < options_.voldemort_nodes) {
-    return "voldemort-" + std::to_string(entity);
+    return net::MakeAddress(net::Tier::kVoldemort, entity);
   }
   entity -= options_.voldemort_nodes;
   if (entity < options_.kafka_brokers) {
@@ -202,7 +203,7 @@ std::string SimCluster::CrashEntity(int entity) {
   const std::string name = EntityName(entity);
   int index = entity;
   if (index < options_.voldemort_nodes) {
-    if (!network_.IsNodeUp(voldemort::VoldemortAddress(index))) {
+    if (!network_.IsNodeUp(net::MakeAddress(net::Tier::kVoldemort, index))) {
       return "noop (" + name + " already down)";
     }
     CrashVoldemort(index);
@@ -244,7 +245,7 @@ std::string SimCluster::RestartEntity(int entity) {
   const std::string name = EntityName(entity);
   int index = entity;
   if (index < options_.voldemort_nodes) {
-    if (network_.IsNodeUp(voldemort::VoldemortAddress(index))) {
+    if (network_.IsNodeUp(net::MakeAddress(net::Tier::kVoldemort, index))) {
       return "noop (" + name + " already up)";
     }
     RestartVoldemort(index);
@@ -287,11 +288,11 @@ void SimCluster::CrashVoldemort(int i) {
   // Omission crash: the node object (and its in-memory engine) survives, the
   // network just stops delivering — quorum masks the outage and slops /
   // read repair reconverge it after SetNodeUp.
-  network_.SetNodeDown(voldemort::VoldemortAddress(i));
+  network_.SetNodeDown(net::MakeAddress(net::Tier::kVoldemort, i));
 }
 
 void SimCluster::RestartVoldemort(int i) {
-  network_.SetNodeUp(voldemort::VoldemortAddress(i));
+  network_.SetNodeUp(net::MakeAddress(net::Tier::kVoldemort, i));
   // Restart is heal-like for the failure detector: re-admit the node now
   // instead of waiting out the remainder of its ban interval.
   vclient_->failure_detector()->ProbeBannedNow();
@@ -363,10 +364,10 @@ void SimCluster::ApplyEvent(const SimEvent& event) {
     case EventKind::kPartition: {
       std::vector<net::Address> candidates;
       for (int i = 0; i < options_.voldemort_nodes; ++i) {
-        candidates.push_back(voldemort::VoldemortAddress(i));
+        candidates.push_back(net::MakeAddress(net::Tier::kVoldemort, i));
       }
       for (int i = 0; i < options_.kafka_brokers; ++i) {
-        candidates.push_back(kafka::BrokerAddress(i));
+        candidates.push_back(net::MakeAddress(net::Tier::kKafkaBroker, i));
       }
       for (int i = 0; i < options_.espresso_nodes; ++i) {
         candidates.push_back("esn-" + std::to_string(i));

@@ -1,3 +1,4 @@
+#include "net/address.h"
 #include "voldemort/admin.h"
 
 #include "common/coding.h"
@@ -11,7 +12,7 @@ constexpr char kAdminName[] = "voldemort-admin";
 
 Status AdminClient::AddStoreEverywhere(const std::string& store) {
   for (const Node& node : metadata_->nodes()) {
-    auto r = network_->Call(kAdminName, VoldemortAddress(node.id),
+    auto r = network_->Call(kAdminName, net::MakeAddress(net::Tier::kVoldemort, node.id),
                             "admin.add-store", store);
     if (!r.ok() && r.status().code() != Code::kAlreadyExists) {
       return r.status();
@@ -22,7 +23,7 @@ Status AdminClient::AddStoreEverywhere(const std::string& store) {
 
 Status AdminClient::DeleteStoreEverywhere(const std::string& store) {
   for (const Node& node : metadata_->nodes()) {
-    auto r = network_->Call(kAdminName, VoldemortAddress(node.id),
+    auto r = network_->Call(kAdminName, net::MakeAddress(net::Tier::kVoldemort, node.id),
                             "admin.delete-store", store);
     if (!r.ok() && !r.status().IsNotFound()) return r.status();
   }
@@ -43,7 +44,7 @@ Status AdminClient::MigratePartition(const std::string& store, int partition,
   std::string fetch_request;
   PutLengthPrefixed(&fetch_request, store);
   PutVarint64(&fetch_request, static_cast<uint64_t>(partition));
-  auto fetched = network_->Call(kAdminName, VoldemortAddress(from_node),
+  auto fetched = network_->Call(kAdminName, net::MakeAddress(net::Tier::kVoldemort, from_node),
                                 "admin.fetch-partition", fetch_request);
   if (!fetched.ok()) {
     metadata_->AbortMigration(partition);
@@ -53,7 +54,7 @@ Status AdminClient::MigratePartition(const std::string& store, int partition,
   std::string put_request;
   PutLengthPrefixed(&put_request, store);
   put_request += fetched.value();
-  auto put = network_->Call(kAdminName, VoldemortAddress(to_node),
+  auto put = network_->Call(kAdminName, net::MakeAddress(net::Tier::kVoldemort, to_node),
                             "admin.put-raw", put_request);
   if (!put.ok()) {
     metadata_->AbortMigration(partition);

@@ -4,7 +4,7 @@
 #include <memory>
 #include <string>
 
-#include "net/network.h"
+#include "net/transport.h"
 #include "voldemort/metadata.h"
 
 namespace lidi::voldemort {
@@ -14,7 +14,7 @@ namespace lidi::voldemort {
 /// add/delete store and rebalancing by changing partition ownership).
 class AdminClient {
  public:
-  AdminClient(std::shared_ptr<ClusterMetadata> metadata, net::Network* network)
+  AdminClient(std::shared_ptr<ClusterMetadata> metadata, net::Transport* network)
       : metadata_(std::move(metadata)), network_(network) {}
 
   /// Creates/drops a store on every node in the cluster.
@@ -30,7 +30,7 @@ class AdminClient {
 
  private:
   const std::shared_ptr<ClusterMetadata> metadata_;
-  net::Network* const network_;
+  net::Transport* const network_;
 };
 
 }  // namespace lidi::voldemort

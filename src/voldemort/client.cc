@@ -1,3 +1,4 @@
+#include "net/address.h"
 #include "voldemort/client.h"
 
 #include <algorithm>
@@ -11,7 +12,7 @@ namespace lidi::voldemort {
 
 StoreClient::StoreClient(std::string client_name, StoreDefinition store_def,
                          std::shared_ptr<ClusterMetadata> metadata,
-                         net::Network* network, const Clock* clock,
+                         net::Transport* network, const Clock* clock,
                          ClientOptions options)
     : name_(std::move(client_name)),
       def_(std::move(store_def)),
@@ -29,7 +30,7 @@ StoreClient::StoreClient(std::string client_name, StoreDefinition store_def,
                                          {{"op", "put"}})),
       detector_(options.failure_detector, clock, [this](int node_id) {
         return network_
-            ->Call(name_, VoldemortAddress(node_id), "v.ping", "")
+            ->Call(name_, net::MakeAddress(net::Tier::kVoldemort, node_id), "v.ping", "")
             .ok();
       }) {}
 
@@ -101,7 +102,7 @@ Result<std::vector<Versioned>> StoreClient::GetInternal(
     if (!detector_.IsAvailable(node)) continue;
     // Per-replica attempt span: each Call is recorded under this
     // operation's root span.
-    auto r = network_->Call(name_, VoldemortAddress(node), method, request,
+    auto r = network_->Call(name_, net::MakeAddress(net::Tier::kVoldemort, node), method, request,
                             net::CallOptions{trace});
     if (r.ok()) {
       auto list = DecodeVersionedList(r.value());
@@ -157,7 +158,7 @@ void StoreClient::ReadRepair(
       std::string put_request;
       EncodePutRequest(def_.name, key, v, Transform{}, &put_request);
       read_repairs_->Increment();
-      network_->Call(name_, VoldemortAddress(node), "v.put", put_request,
+      network_->Call(name_, net::MakeAddress(net::Tier::kVoldemort, node), "v.put", put_request,
                      net::CallOptions{trace});
     }
   }
@@ -207,7 +208,7 @@ Status StoreClient::PutEncodedInternal(Slice key, const Versioned& versioned,
 
   // Coordinator first: for transformed puts its response carries the final
   // value bytes, which the client then replicates verbatim.
-  auto cr = network_->Call(name_, VoldemortAddress(coordinator), "v.put",
+  auto cr = network_->Call(name_, net::MakeAddress(net::Tier::kVoldemort, coordinator), "v.put",
                            coord_request, net::CallOptions{trace});
   if (cr.ok()) {
     detector_.RecordSuccess(coordinator);
@@ -237,7 +238,7 @@ Status StoreClient::PutEncodedInternal(Slice key, const Versioned& versioned,
       failed_nodes.push_back(node);
       continue;
     }
-    auto r = network_->Call(name_, VoldemortAddress(node), "v.put",
+    auto r = network_->Call(name_, net::MakeAddress(net::Tier::kVoldemort, node), "v.put",
                             replicate_request, net::CallOptions{trace});
     if (r.ok()) {
       detector_.RecordSuccess(node);
@@ -291,7 +292,7 @@ void StoreClient::HintedHandoff(const std::vector<int>& failed_nodes,
       ++next;
       if (!detector_.IsAvailable(host)) continue;
       if (network_
-              ->Call(name_, VoldemortAddress(host), "v.slop", slop,
+              ->Call(name_, net::MakeAddress(net::Tier::kVoldemort, host), "v.slop", slop,
                      net::CallOptions{trace})
               .ok()) {
         hinted_handoffs_->Increment();
@@ -326,7 +327,7 @@ Status StoreClient::Delete(Slice key, const VectorClock& clock) {
   int successes = 0;
   for (int node : preference) {
     if (!detector_.IsAvailable(node)) continue;
-    auto r = network_->Call(name_, VoldemortAddress(node), "v.delete", request);
+    auto r = network_->Call(name_, net::MakeAddress(net::Tier::kVoldemort, node), "v.delete", request);
     if (r.ok()) {
       detector_.RecordSuccess(node);
       ++successes;
@@ -371,7 +372,7 @@ Result<std::string> StoreClient::ReadOnlyGet(Slice key) {
   Status last = Status::InsufficientNodes("no nodes");
   for (int node : preference) {
     if (!detector_.IsAvailable(node)) continue;
-    auto r = network_->Call(name_, VoldemortAddress(node), "ro.get", request);
+    auto r = network_->Call(name_, net::MakeAddress(net::Tier::kVoldemort, node), "ro.get", request);
     if (r.ok()) {
       detector_.RecordSuccess(node);
       return r.value();

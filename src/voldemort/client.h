@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "common/clock.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "voldemort/cluster.h"
 #include "voldemort/failure_detector.h"
 #include "voldemort/metadata.h"
@@ -48,7 +48,7 @@ struct ClientOptions {
 class StoreClient {
  public:
   StoreClient(std::string client_name, StoreDefinition store_def,
-              std::shared_ptr<ClusterMetadata> metadata, net::Network* network,
+              std::shared_ptr<ClusterMetadata> metadata, net::Transport* network,
               const Clock* clock, ClientOptions options = {});
 
   /// 1) VectorClock<V> get(K key): all concurrent versions (empty list never
@@ -113,7 +113,7 @@ class StoreClient {
   const std::string name_;
   const StoreDefinition def_;
   const std::shared_ptr<ClusterMetadata> metadata_;
-  net::Network* const network_;
+  net::Transport* const network_;
   const ClientOptions options_;
   obs::MetricsRegistry* const metrics_;
   obs::Counter* const read_repairs_;
@@ -131,7 +131,7 @@ class StoreClient {
 class ThinClient {
  public:
   ThinClient(std::string client_name, std::string store,
-             std::vector<net::Address> nodes, net::Network* network)
+             std::vector<net::Address> nodes, net::Transport* network)
       : name_(std::move(client_name)),
         store_(std::move(store)),
         nodes_(std::move(nodes)),
@@ -149,7 +149,7 @@ class ThinClient {
   const std::string name_;
   const std::string store_;
   const std::vector<net::Address> nodes_;
-  net::Network* const network_;
+  net::Transport* const network_;
   size_t next_node_ = 0;
 };
 

@@ -1,3 +1,4 @@
+#include "net/address.h"
 #include "voldemort/server.h"
 
 #include "common/coding.h"
@@ -7,17 +8,13 @@
 
 namespace lidi::voldemort {
 
-net::Address VoldemortAddress(int node_id) {
-  return "voldemort-" + std::to_string(node_id);
-}
-
 VoldemortServer::VoldemortServer(int node_id,
                                  std::shared_ptr<ClusterMetadata> metadata,
-                                 net::Network* network)
+                                 net::Transport* network)
     : node_id_(node_id),
       metadata_(std::move(metadata)),
       network_(network),
-      address_(VoldemortAddress(node_id)),
+      address_(net::MakeAddress(net::Tier::kVoldemort, node_id)),
       slop_engine_(storage::NewMemTableEngine()) {
   network_->Register(address_, "v.ping", [](Slice) -> Result<std::string> {
     return std::string("pong");
@@ -188,7 +185,7 @@ std::optional<Result<std::string>> VoldemortServer::MaybeRedirect(
     return std::nullopt;
   }
   // The partition is moving away from this node: proxy to the destination.
-  return network_->Call(address_, VoldemortAddress(migration->to_node),
+  return network_->Call(address_, net::MakeAddress(net::Tier::kVoldemort, migration->to_node),
                         method + "-noredirect", request);
 }
 
@@ -355,7 +352,7 @@ int VoldemortServer::PushSlops() {
       slop_engine_->Delete(slop_key);  // malformed: drop
       continue;
     }
-    auto r = network_->Call(address_, VoldemortAddress(destination),
+    auto r = network_->Call(address_, net::MakeAddress(net::Tier::kVoldemort, destination),
                             "v.put-noredirect", put_request);
     if (r.ok() || r.status().IsObsoleteVersion()) {
       // Delivered, or the destination already has a newer version.

@@ -7,7 +7,8 @@
 
 #include "common/clock.h"
 #include "common/sync.h"
-#include "net/network.h"
+#include "net/address.h"
+#include "net/transport.h"
 #include "storage/engine.h"
 #include "voldemort/cluster.h"
 #include "voldemort/metadata.h"
@@ -28,7 +29,7 @@ namespace lidi::voldemort {
 class VoldemortServer {
  public:
   VoldemortServer(int node_id, std::shared_ptr<ClusterMetadata> metadata,
-                  net::Network* network);
+                  net::Transport* network);
   ~VoldemortServer();
 
   VoldemortServer(const VoldemortServer&) = delete;
@@ -86,7 +87,7 @@ class VoldemortServer {
 
   const int node_id_;
   const std::shared_ptr<ClusterMetadata> metadata_;
-  net::Network* const network_;
+  net::Transport* const network_;
   const net::Address address_;
 
   /// Guards the store maps. Held across local engine calls (engines have
@@ -106,9 +107,6 @@ class VoldemortServer {
   std::map<std::string, std::unique_ptr<class StoreClient>> routed_clients_
       LIDI_GUARDED_BY(mu_);
 };
-
-/// Canonical address of a Voldemort node on the simulated network.
-net::Address VoldemortAddress(int node_id);
 
 }  // namespace lidi::voldemort
 

@@ -14,6 +14,7 @@
 #include "kafka/broker.h"
 #include "kafka/consumer.h"
 #include "kafka/producer.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "voldemort/client.h"
 #include "voldemort/server.h"
@@ -31,7 +32,7 @@ class ServerRoutingTest : public ::testing::Test {
   void SetUp() override {
     std::vector<voldemort::Node> nodes;
     for (int i = 0; i < 3; ++i) {
-      nodes.push_back({i, voldemort::VoldemortAddress(i), 0});
+      nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
     }
     metadata_ = std::make_shared<voldemort::ClusterMetadata>(
         voldemort::Cluster::Uniform(nodes, 12));
@@ -235,7 +236,7 @@ TEST(ZoneAffinityTest, ReadsPreferTheClientsZoneThenProximityOrder) {
   // Three zones, two nodes each; zone 0 considers zone 1 nearer than zone 2.
   std::vector<voldemort::Node> nodes;
   for (int i = 0; i < 6; ++i) {
-    nodes.push_back({i, voldemort::VoldemortAddress(i), i / 2});
+    nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), i / 2});
   }
   std::vector<voldemort::Zone> zones = {
       {0, {1, 2}}, {1, {0, 2}}, {2, {1, 0}}};
@@ -288,7 +289,7 @@ TEST(ZoneAffinityTest, ReadsPreferTheClientsZoneThenProximityOrder) {
   int64_t remote_gets = 0;
   for (int node = 2; node < 6; ++node) {
     remote_gets +=
-        network.GetStats(voldemort::VoldemortAddress(node)).calls_received;
+        network.GetStats(net::MakeAddress(net::Tier::kVoldemort, node)).calls_received;
   }
   // Remote zones serve only the keys with no zone-0 replica (plus their
   // share of read repairs, which this workload does not trigger).

@@ -16,6 +16,7 @@
 #include "kafka/consumer.h"
 #include "kafka/mirror.h"
 #include "kafka/producer.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "voldemort/client.h"
 #include "voldemort/server.h"
@@ -36,7 +37,7 @@ TEST(DivergenceTest, PartitionedWritersProduceConcurrentVersions) {
   ManualClock clock;
   std::vector<voldemort::Node> nodes;
   for (int i = 0; i < 2; ++i) {
-    nodes.push_back({i, voldemort::VoldemortAddress(i), 0});
+    nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
   }
   auto metadata = std::make_shared<voldemort::ClusterMetadata>(
       voldemort::Cluster::Uniform(nodes, 4));
@@ -56,7 +57,7 @@ TEST(DivergenceTest, PartitionedWritersProduceConcurrentVersions) {
   voldemort::StoreClient a("writer-a", def, metadata, &network, &clock, options);
   voldemort::StoreClient b("writer-b", def, metadata, &network, &clock, options);
   const std::string key = "profile";
-  network.PartitionOff({"writer-a", voldemort::VoldemortAddress(0)});
+  network.PartitionOff({"writer-a", net::MakeAddress(net::Tier::kVoldemort, 0)});
 
   // Each writer retries until its failure detector bans the unreachable
   // replica and a reachable coordinator takes the write — the paper's
@@ -102,7 +103,7 @@ TEST(DivergenceTest, OptimisticLockLoserGetsObsoleteVersion) {
   // the clients failing due to an already written vector clock."
   net::Network network;
   ManualClock clock;
-  std::vector<voldemort::Node> nodes{{0, voldemort::VoldemortAddress(0), 0}};
+  std::vector<voldemort::Node> nodes{{0, net::MakeAddress(net::Tier::kVoldemort, 0), 0}};
   auto metadata = std::make_shared<voldemort::ClusterMetadata>(
       voldemort::Cluster::Uniform(nodes, 2));
   voldemort::VoldemortServer server(0, metadata, &network);
@@ -136,7 +137,7 @@ TEST(ThreadStressTest, ParallelVoldemortClients) {
   ManualClock clock;
   std::vector<voldemort::Node> nodes;
   for (int i = 0; i < 3; ++i) {
-    nodes.push_back({i, voldemort::VoldemortAddress(i), 0});
+    nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
   }
   auto metadata = std::make_shared<voldemort::ClusterMetadata>(
       voldemort::Cluster::Uniform(nodes, 12));

@@ -19,6 +19,7 @@
 #include "kafka/consumer.h"
 #include "kafka/producer.h"
 #include "kafka/replication.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "sqlstore/database.h"
 #include "voldemort/readonly_store.h"
@@ -126,7 +127,7 @@ TEST_F(ReplicationTest, FailoverPromotesCaughtUpFollowerWithZeroLoss) {
   }
   ASSERT_GE(victim_partition, 0);
   brokers_[0]->Shutdown();
-  network_.SetNodeDown(kafka::BrokerAddress(0));
+  network_.SetNodeDown(net::MakeAddress(net::Tier::kKafkaBroker, 0));
 
   auto moved = manager_->FailoverDeadLeaders("t");
   ASSERT_TRUE(moved.ok());
@@ -156,7 +157,7 @@ TEST_F(ReplicationTest, UnsyncedTailLostOnFailoverAcksOneSemantics) {
   ProduceOne(p, "acked-but-not-fetched");  // followers never sync this
   const int old_leader = manager_->LeaderOf("t", p).value();
   brokers_[old_leader]->Shutdown();
-  network_.SetNodeDown(kafka::BrokerAddress(old_leader));
+  network_.SetNodeDown(net::MakeAddress(net::Tier::kKafkaBroker, old_leader));
   ASSERT_TRUE(manager_->FailoverDeadLeaders("t").ok());
 
   auto data = manager_->FetchFromLeader("test", "t", p, 0, 1 << 20);
@@ -170,11 +171,11 @@ TEST_F(ReplicationTest, UnsyncedTailLostOnFailoverAcksOneSemantics) {
 
 TEST_F(ReplicationTest, NoLiveFollowerLeavesPartitionOffline) {
   brokers_[1]->Shutdown();
-  network_.SetNodeDown(kafka::BrokerAddress(1));
+  network_.SetNodeDown(net::MakeAddress(net::Tier::kKafkaBroker, 1));
   brokers_[2]->Shutdown();
-  network_.SetNodeDown(kafka::BrokerAddress(2));
+  network_.SetNodeDown(net::MakeAddress(net::Tier::kKafkaBroker, 2));
   brokers_[0]->Shutdown();
-  network_.SetNodeDown(kafka::BrokerAddress(0));
+  network_.SetNodeDown(net::MakeAddress(net::Tier::kKafkaBroker, 0));
   auto moved = manager_->FailoverDeadLeaders("t");
   ASSERT_TRUE(moved.ok());
   EXPECT_EQ(moved.value(), 0);  // nothing to promote

@@ -18,6 +18,7 @@
 #include "kafka/broker.h"
 #include "kafka/consumer.h"
 #include "kafka/producer.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "sqlstore/database.h"
 #include "voldemort/client.h"
@@ -60,7 +61,7 @@ TEST(IntegrationTest, DatabusKeepsVoldemortCacheConsistent) {
   // Voldemort tier.
   std::vector<voldemort::Node> vnodes;
   for (int i = 0; i < 3; ++i) {
-    vnodes.push_back({i, voldemort::VoldemortAddress(i), 0});
+    vnodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
   }
   auto metadata = std::make_shared<voldemort::ClusterMetadata>(
       voldemort::Cluster::Uniform(vnodes, 12));
@@ -124,7 +125,7 @@ TEST(IntegrationTest, PipelineSurvivesTransientNetworkFaults) {
 
   std::vector<voldemort::Node> vnodes;
   for (int i = 0; i < 3; ++i) {
-    vnodes.push_back({i, voldemort::VoldemortAddress(i), 0});
+    vnodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
   }
   auto metadata = std::make_shared<voldemort::ClusterMetadata>(
       voldemort::Cluster::Uniform(vnodes, 12));
@@ -288,7 +289,7 @@ TEST(IntegrationTest, FigureOneEndToEnd) {
   zk::ZooKeeper zookeeper;
 
   // Live storage (Voldemort) + primary (sqlstore) + stream (Databus).
-  std::vector<voldemort::Node> vnodes{{0, voldemort::VoldemortAddress(0), 0}};
+  std::vector<voldemort::Node> vnodes{{0, net::MakeAddress(net::Tier::kVoldemort, 0), 0}};
   auto metadata = std::make_shared<voldemort::ClusterMetadata>(
       voldemort::Cluster::Uniform(vnodes, 4));
   voldemort::VoldemortServer server(0, metadata, &network);

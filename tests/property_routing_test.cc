@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 
+#include "net/address.h"
 #include "common/random.h"
 #include "voldemort/cluster.h"
 #include "voldemort/routing.h"
@@ -28,7 +29,7 @@ class RoutingPropertyTest : public ::testing::TestWithParam<RoutingParams> {
     const RoutingParams& p = GetParam();
     std::vector<Node> nodes;
     for (int i = 0; i < p.nodes; ++i) {
-      nodes.push_back({i, VoldemortAddress(i), i % p.zones});
+      nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), i % p.zones});
     }
     return Cluster::Uniform(std::move(nodes), p.partitions);
   }

@@ -20,6 +20,7 @@
 #include "kafka/broker.h"
 #include "kafka/consumer.h"
 #include "kafka/producer.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "sqlstore/database.h"
 #include "storage/engine.h"
@@ -100,15 +101,15 @@ TEST_F(KafkaSyncRegressionTest, AuditEmitRemergesFailedWindows) {
 
   // Both brokers down: every audit publish fails, the drained window must
   // be re-merged into pending_ instead of silently dropped.
-  network_.SetNodeDown(kafka::BrokerAddress(0));
-  network_.SetNodeDown(kafka::BrokerAddress(1));
+  network_.SetNodeDown(net::MakeAddress(net::Tier::kKafkaBroker, 0));
+  network_.SetNodeDown(net::MakeAddress(net::Tier::kKafkaBroker, 1));
   EXPECT_EQ(audit.MaybeEmit(), 0);
 
   // The window keeps accumulating after the failed emit (+= merge).
   audit.RecordProduced("activity");
 
-  network_.SetNodeUp(kafka::BrokerAddress(0));
-  network_.SetNodeUp(kafka::BrokerAddress(1));
+  network_.SetNodeUp(net::MakeAddress(net::Tier::kKafkaBroker, 0));
+  network_.SetNodeUp(net::MakeAddress(net::Tier::kKafkaBroker, 1));
   EXPECT_EQ(audit.ForceEmit(), 2);  // the re-merged window + the current one
 
   kafka::AuditValidator validator;

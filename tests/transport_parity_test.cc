@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "net/tcp_transport.h"
+#include "net/transport.h"
+
+namespace lidi {
+namespace {
+
+/// Regression suite for the Transport error contract: unknown-method,
+/// unknown-endpoint, and post-shutdown dispatch must produce the SAME typed
+/// error with the SAME message on both Call paths (owned-string and
+/// payload) and on both backends (sim and TCP). Tier retry logic branches
+/// on these codes, so a backend that drifted would change cluster behavior
+/// silently.
+class TransportParityTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<net::Transport> Make() {
+    if (std::string(GetParam()) == "sim") {
+      return std::make_unique<net::Network>();
+    }
+    return std::make_unique<net::TcpTransport>();
+  }
+};
+
+TEST_P(TransportParityTest, UnknownEndpointIsNotFoundOnBothPaths) {
+  auto t = Make();
+  const Status via_string = t->Call("c", "ghost", "m", "").status();
+  const Status via_payload = t->CallPayload("c", "ghost", "m", "").status();
+  EXPECT_EQ(via_string.code(), Code::kNotFound);
+  EXPECT_EQ(via_string.message(), "no endpoint: ghost");
+  EXPECT_EQ(via_payload.code(), via_string.code());
+  EXPECT_EQ(via_payload.message(), via_string.message());
+}
+
+TEST_P(TransportParityTest, UnknownMethodIsNotFoundOnBothPaths) {
+  auto t = Make();
+  t->Register("s", "known", [](Slice) -> Result<std::string> {
+    return std::string("ok");
+  });
+  const Status via_string = t->Call("c", "s", "missing", "").status();
+  const Status via_payload = t->CallPayload("c", "s", "missing", "").status();
+  EXPECT_EQ(via_string.code(), Code::kNotFound);
+  EXPECT_EQ(via_string.message(), "no method missing at s");
+  EXPECT_EQ(via_payload.code(), via_string.code());
+  EXPECT_EQ(via_payload.message(), via_string.message());
+}
+
+TEST_P(TransportParityTest, PostShutdownDispatchIsUnavailableOnBothPaths) {
+  auto t = Make();
+  t->Register("s", "m", [](Slice) -> Result<std::string> {
+    return std::string("ok");
+  });
+  ASSERT_TRUE(t->Call("c", "s", "m", "").ok());
+  t->Shutdown();
+  const Status via_string = t->Call("c", "s", "m", "").status();
+  const Status via_payload = t->CallPayload("c", "s", "m", "").status();
+  EXPECT_EQ(via_string.code(), Code::kUnavailable);
+  EXPECT_EQ(via_string.message(), "transport shut down");
+  EXPECT_EQ(via_payload.code(), via_string.code());
+  EXPECT_EQ(via_payload.message(), via_string.message());
+  // Shutdown is idempotent and sticky.
+  t->Shutdown();
+  EXPECT_EQ(t->Call("c", "s", "m", "").status().code(), Code::kUnavailable);
+}
+
+TEST_P(TransportParityTest, StringPathIsAThinWrapperOverPayloadPath) {
+  auto t = Make();
+  // A handler registered through the string surface serves the payload
+  // surface and vice versa: one handler table, one dispatch path.
+  t->Register("s", "m1", [](Slice req) -> Result<std::string> {
+    return "s:" + req.ToString();
+  });
+  t->RegisterPayload("s", "m2", [](Slice req) -> Result<PinnedSlice> {
+    return PinnedSlice::Own("p:" + req.ToString());
+  });
+  auto p1 = t->CallPayload("c", "s", "m1", "x");
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p1.value().ToString(), "s:x");
+  auto s2 = t->Call("c", "s", "m2", "y");
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2.value(), "p:y");
+}
+
+TEST_P(TransportParityTest, HandlerErrorsPassThroughVerbatim) {
+  auto t = Make();
+  t->Register("s", "m", [](Slice) -> Result<std::string> {
+    return Status::InsufficientNodes("1 of 2 required replicas");
+  });
+  const Status s = t->Call("c", "s", "m", "").status();
+  EXPECT_EQ(s.code(), Code::kInsufficientNodes);
+  EXPECT_EQ(s.message(), "1 of 2 required replicas");
+}
+
+TEST_P(TransportParityTest, StatsCountBothDirections) {
+  auto t = Make();
+  t->Register("s", "m", [](Slice) -> Result<std::string> {
+    return std::string("four");
+  });
+  ASSERT_TRUE(t->Call("c", "s", "m", "abc").ok());
+  EXPECT_EQ(t->GetStats("c").calls_sent, 1);
+  EXPECT_EQ(t->GetStats("c").bytes_sent, 3);
+  EXPECT_EQ(t->GetStats("s").calls_received, 1);
+  EXPECT_EQ(t->total_calls(), 1);
+  t->ResetStats();
+  EXPECT_EQ(t->GetStats("c").calls_sent, 0);
+  EXPECT_EQ(t->total_calls(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportParityTest,
+                         ::testing::Values("sim", "tcp"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace lidi

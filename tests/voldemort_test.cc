@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/clock.h"
+#include "net/address.h"
 #include "net/network.h"
 #include "voldemort/admin.h"
 #include "voldemort/bulk_build.h"
@@ -143,7 +144,7 @@ TEST(VersionedListTest, EncodeDecodeRoundTrip) {
 Cluster MakeCluster(int num_nodes, int num_partitions, int num_zones = 1) {
   std::vector<Node> nodes;
   for (int i = 0; i < num_nodes; ++i) {
-    nodes.push_back(Node{i, VoldemortAddress(i), i % num_zones});
+    nodes.push_back(Node{i, net::MakeAddress(net::Tier::kVoldemort, i), i % num_zones});
   }
   return Cluster::Uniform(std::move(nodes), num_partitions);
 }
@@ -433,7 +434,7 @@ TEST_F(VoldemortClusterTest, QuorumFailsWhenTooManyNodesDown) {
   auto client = MakeClient({.replication_factor = 3,
                             .required_reads = 2,
                             .required_writes = 3});
-  network_.SetNodeDown(VoldemortAddress(0));
+  network_.SetNodeDown(net::MakeAddress(net::Tier::kVoldemort, 0));
   // W=3 with one replica down can never be satisfied.
   Status s = client->PutValue("k", "v");
   EXPECT_FALSE(s.ok());
@@ -445,7 +446,7 @@ TEST_F(VoldemortClusterTest, ReadsSurviveNodeFailureWithQuorum) {
                             .required_reads = 1,
                             .required_writes = 2});
   ASSERT_TRUE(client->PutValue("resilient", "v").ok());
-  network_.SetNodeDown(VoldemortAddress(client->PreferenceList("resilient")[0]));
+  network_.SetNodeDown(net::MakeAddress(net::Tier::kVoldemort, client->PreferenceList("resilient")[0]));
   auto r = client->Get("resilient");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r.value()[0].value, "v");
@@ -466,7 +467,7 @@ TEST_F(VoldemortClusterTest, ReadRepairHealsStaleReplica) {
   // succeeds). The dead replica misses v2.
   ASSERT_TRUE(client->PutValue(key, "v1").ok());
   const int straggler = preference.back();
-  network_.SetNodeDown(VoldemortAddress(straggler));
+  network_.SetNodeDown(net::MakeAddress(net::Tier::kVoldemort, straggler));
   auto v1 = client->Get(key);
   // ^ also re-records failures; read with R=3 fails now, so drop to direct put
   ASSERT_TRUE(v1.status().ok() || v1.status().code() == Code::kInsufficientNodes);
@@ -479,7 +480,7 @@ TEST_F(VoldemortClusterTest, ReadRepairHealsStaleReplica) {
   ASSERT_TRUE(client_w->Put(key, Versioned{cur.value()[0].version, "v2"}).ok());
 
   // Straggler restarts with stale data.
-  network_.SetNodeUp(VoldemortAddress(straggler));
+  network_.SetNodeUp(net::MakeAddress(net::Tier::kVoldemort, straggler));
   std::string stale;
   ASSERT_TRUE(servers_[straggler]->GetEngine(kStore)->Get(key, &stale).ok());
   auto stale_list = DecodeVersionedList(stale);
@@ -511,7 +512,7 @@ TEST_F(VoldemortClusterTest, HintedHandoffParksAndDeliversSlops) {
   const std::string key = "hinted";
   const auto preference = client->PreferenceList(key);
   const int victim = preference[1];
-  network_.SetNodeDown(VoldemortAddress(victim));
+  network_.SetNodeDown(net::MakeAddress(net::Tier::kVoldemort, victim));
 
   ASSERT_TRUE(client->PutValue(key, "payload").ok());
 
@@ -521,7 +522,7 @@ TEST_F(VoldemortClusterTest, HintedHandoffParksAndDeliversSlops) {
   EXPECT_EQ(total_slops, 1);
 
   // Victim restarts; pushing slops delivers the write.
-  network_.SetNodeUp(VoldemortAddress(victim));
+  network_.SetNodeUp(net::MakeAddress(net::Tier::kVoldemort, victim));
   int delivered = 0;
   for (const auto& server : servers_) delivered += server->PushSlops();
   EXPECT_EQ(delivered, 1);
