@@ -16,6 +16,7 @@
 #include "net/network.h"
 #include "voldemort/client.h"
 #include "voldemort/server.h"
+#include "workload/key_mix.h"
 
 using namespace lidi;
 using namespace lidi::voldemort;
@@ -42,15 +43,20 @@ int main() {
   // by everyone, the tail barely at all.
   const int kCompanies = 500;
   const int kFollows = 20'000;
-  ZipfGenerator zipf(kCompanies, 0.99, 3);
+  workload::KeyMixOptions mix_options;
+  mix_options.num_keys = kCompanies;
+  mix_options.theta = 0.99;
+  mix_options.seed = 3;
+  mix_options.prefix = "company:";
+  workload::KeyMix mix(mix_options);
   Histogram append_lat;
   std::string empty;
   EncodeStringList({}, &empty);
   for (int c = 0; c < kCompanies; ++c) {
-    followers.PutValue("company:" + std::to_string(c), empty);
+    followers.PutValue(mix.KeyAt(static_cast<uint64_t>(c)), empty);
   }
   for (int i = 0; i < kFollows; ++i) {
-    const std::string key = "company:" + std::to_string(zipf.Next());
+    const std::string key = mix.NextKey();
     auto current = followers.Get(key);
     if (!current.ok()) continue;
     Transform append;
@@ -65,10 +71,9 @@ int main() {
   // Retrieval latency across the size distribution.
   Histogram get_lat, head_lat, tail_lat;
   size_t max_list = 0;
-  Random rng(8);
   for (int i = 0; i < 20'000; ++i) {
-    const uint64_t rank = zipf.Next();
-    const std::string key = "company:" + std::to_string(rank);
+    const uint64_t rank = mix.NextRank();
+    const std::string key = mix.KeyAt(rank);
     bench::Stopwatch op;
     auto value = followers.Get(key);
     const double us = op.ElapsedMicros();

@@ -18,6 +18,7 @@
 #include "net/network.h"
 #include "voldemort/client.h"
 #include "voldemort/server.h"
+#include "workload/key_mix.h"
 
 using namespace lidi;
 using namespace lidi::voldemort;
@@ -55,16 +56,20 @@ void RunMix(ClusterFixture& fx, int n, int r, int w, int num_keys, int ops,
                      SystemClock::Default());
 
   Random rng(11);
-  ZipfGenerator zipf(num_keys, 0.9, 17);
+  workload::KeyMixOptions mix_options;
+  mix_options.num_keys = static_cast<uint64_t>(num_keys);
+  mix_options.theta = 0.9;
+  mix_options.seed = 17;
+  workload::KeyMix mix(mix_options);
   // Preload.
   for (int i = 0; i < num_keys; ++i) {
-    client.PutValue("k" + std::to_string(i), rng.Bytes(256));
+    client.PutValue(mix.KeyAt(static_cast<uint64_t>(i)), rng.Bytes(256));
   }
 
   Histogram read_lat, write_lat;
   bench::Stopwatch total;
   for (int i = 0; i < ops; ++i) {
-    const std::string key = "k" + std::to_string(zipf.Next());
+    const std::string key = mix.NextKey();
     bench::Stopwatch op;
     if (rng.NextDouble() < read_fraction) {
       client.Get(key);

@@ -14,7 +14,11 @@
 #      justified+capped direct Sync() choke points outside src/io).
 #   3. Full ctest suite — includes the >=200-seed group-commit crash sweeps
 #      in faultfs_test (GroupCommitNeverLosesAnAcknowledgedAppend and the
-#      Binlog equivalent).
+#      Binlog equivalent) and the `workload` label (open-loop driver, sim
+#      overload schedule).
+#   3b. Open-loop overload smoke: bench_open_loop --smoke asserts the
+#      graceful-degradation shape (zero sheds at trivial load, nonzero at
+#      saturation) on the deterministic sim backend.
 #   4. ThreadSanitizer pass over the concurrency-sensitive suites (faultfs
 #      + every *concurrency*/sync test — which picks up
 #      group_commit_concurrency_test: many appenders, one group-commit
@@ -60,6 +64,13 @@ scripts/lint.sh build
 
 say "tests"
 ctest --test-dir build --output-on-failure -j"$JOBS"
+
+say "open-loop overload smoke (bench_open_loop --smoke)"
+# Graceful-degradation gate on the deterministic sim backend: a trivial
+# arrival rate must shed nothing, a saturating one must shed (typed
+# Overloaded rejections, EXPERIMENTS.md open-loop methodology). The binary
+# exits nonzero when the shed shape is wrong.
+build/bench/bench_open_loop --smoke
 
 say "thread-sanitizer (faultfs + concurrency + sync suites)"
 if printf 'int main(){return 0;}' | \

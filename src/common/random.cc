@@ -1,6 +1,5 @@
 #include "common/random.h"
 
-#include <algorithm>
 #include <cmath>
 
 namespace lidi {
@@ -16,20 +15,62 @@ std::string Random::Bytes(size_t len) {
   return out;
 }
 
+namespace {
+
+// log1p(x)/x, continuous through x == 0. Keeps H/HInverse numerically stable
+// when (1 - theta) * log(x) is tiny (theta near 1, or x near 1).
+double Helper1(double x) {
+  if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x));
+}
+
+// expm1(x)/x, continuous through x == 0.
+double Helper2(double x) {
+  if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x));
+}
+
+}  // namespace
+
+double ZipfGenerator::H(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - theta_) * log_x) * log_x;
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  double t = x * (1.0 - theta_);
+  if (t < -1.0) t = -1.0;  // round-off guard at the left edge of the domain
+  return std::exp(Helper1(t) * x);
+}
+
 ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
-    : n_(n), rng_(seed), cdf_(n) {
-  double sum = 0;
-  for (uint64_t i = 0; i < n; ++i) {
-    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
-    cdf_[i] = sum;
-  }
-  for (uint64_t i = 0; i < n; ++i) cdf_[i] /= sum;
+    : n_(n), theta_(theta), rng_(seed) {
+  const double nn = static_cast<double>(n_ == 0 ? 1 : n_);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(nn + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::exp(-theta_ * std::log(2.0)));
 }
 
 uint64_t ZipfGenerator::Next() {
-  const double u = rng_.NextDouble();
-  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  return static_cast<uint64_t>(it - cdf_.begin());
+  if (n_ <= 1) return 0;
+  // Hörmann rejection-inversion: invert the continuous majorizing hazard,
+  // round to the nearest rank, accept by the shortcut band (k - x <= s) or
+  // the exact per-rank test. Expected iterations < 1.12 for any n, theta.
+  for (;;) {
+    const double u = h_n_ + rng_.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    // Clamp: floating-point round-off at either edge of the inversion domain
+    // could otherwise yield k == 0 or k == n + 1 — the out-of-domain ranks
+    // the old lower_bound implementation could return.
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= H(static_cast<double>(k) + 0.5) -
+                 std::exp(-theta_ * std::log(static_cast<double>(k)))) {
+      return k - 1;  // external ranks are 0-based: [0, n)
+    }
+  }
 }
 
 }  // namespace lidi

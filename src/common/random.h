@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 namespace lidi {
 
@@ -48,11 +47,20 @@ class Random {
 /// sizes follow a Zipfian distribution (Section II.C); activity-event key
 /// popularity is likewise skewed.
 ///
-/// Uses the rejection-inversion-free harmonic-sum inversion: O(n) setup,
-/// O(log n) sampling.
+/// Uses Hörmann's rejection-inversion method ("Rejection-inversion to
+/// generate variates from monotone discrete distributions", 1996 — the same
+/// algorithm behind YCSB's and Apache Commons' Zipf samplers): O(1) setup
+/// and O(1) memory regardless of n, so million-key generators are free to
+/// construct. The previous implementation materialized the full O(n) CDF
+/// (8 MB per million keys) and binary-searched it with std::lower_bound,
+/// where a uniform draw landing above the last floating-point CDF entry
+/// returned end() — i.e. the out-of-domain rank n. The sampler below is
+/// clamped so every returned rank is provably in [0, n).
 class ZipfGenerator {
  public:
   /// theta is the skew parameter (0 = uniform-ish, 0.99 = YCSB default).
+  /// Requires theta >= 0; theta == 1 is handled via the limit form of the
+  /// generalized harmonic integral.
   ZipfGenerator(uint64_t n, double theta, uint64_t seed);
 
   /// Returns a rank in [0, n); rank 0 is the most popular.
@@ -61,9 +69,18 @@ class ZipfGenerator {
   uint64_t n() const { return n_; }
 
  private:
+  // Integral of x^-theta (the continuous hazard majorizing the pmf), and its
+  // inverse. theta == 1 uses the log limit.
+  double H(double x) const;
+  double HInverse(double x) const;
+
   uint64_t n_;
+  double theta_;
   Random rng_;
-  std::vector<double> cdf_;  // cumulative probability per rank
+  // Precomputed constants of the rejection-inversion scheme.
+  double h_x1_;          // H(1.5) - 1^-theta: left edge correction
+  double h_n_;           // H(n + 0.5): right edge of the inversion domain
+  double s_;             // shortcut-acceptance threshold: 2 - HInverse(H(2.5) - 2^-theta)
 };
 
 }  // namespace lidi

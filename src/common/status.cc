@@ -17,6 +17,7 @@ const char* CodeName(Code code) {
     case Code::kNotSupported: return "NotSupported";
     case Code::kAborted: return "Aborted";
     case Code::kInternal: return "Internal";
+    case Code::kOverloaded: return "Overloaded";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class Code {
   kNotSupported,
   kAborted,
   kInternal,
+  kOverloaded,        // rejected by quota / queue bound / admission control
 };
 
 /// Human-readable name of a status code, e.g. "NotFound".
@@ -75,12 +76,16 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Overloaded(std::string msg = "") {
+    return Status(Code::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsObsoleteVersion() const { return code_ == Code::kObsoleteVersion; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
   bool IsTimeout() const { return code_ == Code::kTimeout; }
+  bool IsOverloaded() const { return code_ == Code::kOverloaded; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -9,6 +9,12 @@ obs::ScopedSpan Router::StartOp(const char* op) {
   return obs::ScopedSpan(metrics_, std::string("espresso.router.") + op);
 }
 
+Status Router::RejectOverloaded(const char* op) {
+  admission_rejects_->Increment();
+  return Status::Overloaded(std::string(op) + " rejected: router " + name_ +
+                            " at in-flight limit");
+}
+
 Result<std::string> Router::RouteTo(const std::string& database,
                                     const std::string& resource_id) {
   auto db_schema = registry_->GetDatabase(database);
@@ -23,6 +29,8 @@ Result<std::string> Router::RouteTo(const std::string& database,
 }
 
 Result<DocumentRecord> Router::GetRecord(const std::string& uri) {
+  InflightGuard guard(&inflight_);
+  if (!guard.admitted()) return RejectOverloaded("get");
   obs::ScopedSpan span = StartOp("get");
   auto parsed = ParseUri(uri);
   if (!parsed.ok()) return span.set_outcome(parsed.status()), parsed.status();
@@ -47,6 +55,8 @@ Result<DocumentRecord> Router::GetRecord(const std::string& uri) {
 
 Result<std::optional<DocumentRecord>> Router::GetRecordIfModified(
     const std::string& uri, const std::string& etag) {
+  InflightGuard guard(&inflight_);
+  if (!guard.admitted()) return RejectOverloaded("get-cond");
   obs::ScopedSpan span = StartOp("get-cond");
   auto parsed = ParseUri(uri);
   if (!parsed.ok()) return span.set_outcome(parsed.status()), parsed.status();
@@ -107,6 +117,8 @@ Result<std::string> Router::EncodeDatum(const std::string& database,
 Result<std::string> Router::PutDocument(const std::string& uri,
                                         const avro::Datum& document,
                                         const std::string& expected_etag) {
+  InflightGuard guard(&inflight_);
+  if (!guard.admitted()) return RejectOverloaded("put");
   obs::ScopedSpan span = StartOp("put");
   auto parsed = ParseUri(uri);
   if (!parsed.ok()) return span.set_outcome(parsed.status()), parsed.status();
@@ -131,6 +143,8 @@ Result<std::string> Router::PutDocument(const std::string& uri,
 }
 
 Status Router::DeleteDocument(const std::string& uri) {
+  InflightGuard guard(&inflight_);
+  if (!guard.admitted()) return RejectOverloaded("delete");
   obs::ScopedSpan span = StartOp("delete");
   auto parsed = ParseUri(uri);
   if (!parsed.ok()) return span.set_outcome(parsed.status()), parsed.status();
@@ -150,6 +164,8 @@ Status Router::DeleteDocument(const std::string& uri) {
 
 Result<std::vector<std::pair<std::string, avro::DatumPtr>>> Router::Query(
     const std::string& uri) {
+  InflightGuard guard(&inflight_);
+  if (!guard.admitted()) return RejectOverloaded("query");
   obs::ScopedSpan span = StartOp("query");
   auto parsed = ParseUri(uri);
   if (!parsed.ok()) return span.set_outcome(parsed.status()), parsed.status();
@@ -193,6 +209,8 @@ Result<std::vector<std::pair<std::string, avro::DatumPtr>>> Router::Query(
 Status Router::PostTransaction(const std::string& database,
                                const std::string& resource_id,
                                const std::vector<TxnUpdate>& updates) {
+  InflightGuard guard(&inflight_);
+  if (!guard.admitted()) return RejectOverloaded("txn");
   obs::ScopedSpan span = StartOp("txn");
   auto master = RouteTo(database, resource_id);
   if (!master.ok()) return span.set_outcome(master.status()), master.status();

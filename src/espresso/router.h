@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "avro/codec.h"
+#include "common/overload.h"
 #include "espresso/document.h"
 #include "espresso/schema.h"
 #include "espresso/uri.h"
@@ -13,6 +14,16 @@
 #include "net/transport.h"
 
 namespace lidi::espresso {
+
+struct RouterOptions {
+  /// Admission control: maximum requests concurrently inside the router
+  /// (paper IV.B's router tier fronts every storage node — if it melts, the
+  /// whole site is down). When the budget is exhausted a new request is
+  /// rejected with Status::Overloaded before the URI is even parsed
+  /// (reject-before-work, DESIGN.md §11) and counted in
+  /// "espresso.router.admission_rejects". <= 0 disables.
+  int64_t max_inflight = 0;
+};
 
 /// The Espresso router (paper Section IV.B): accepts requests addressed by
 /// URI, retrieves the routing function from the database schema, applies it
@@ -30,12 +41,17 @@ namespace lidi::espresso {
 class Router {
  public:
   Router(std::string name, SchemaRegistry* registry,
-         helix::HelixController* helix, net::Transport* network)
+         helix::HelixController* helix, net::Transport* network,
+         RouterOptions options = {})
       : name_(std::move(name)),
         registry_(registry),
         helix_(helix),
         network_(network),
-        metrics_(network->metrics()) {}
+        metrics_(network->metrics()),
+        inflight_(options.max_inflight),
+        admission_rejects_(
+            metrics_->GetCounter("espresso.router.admission_rejects",
+                                 {{"router", name_}})) {}
 
   /// GET /db/table/resource_id[/sub...]: the raw stored record.
   Result<DocumentRecord> GetRecord(const std::string& uri);
@@ -80,7 +96,16 @@ class Router {
   Result<std::string> RouteTo(const std::string& database,
                               const std::string& resource_id);
 
+  int64_t admission_rejects() const { return admission_rejects_->Value(); }
+
+  /// The admission budget (observability/tests: occupying a slot from the
+  /// outside is how single-threaded tests exercise the reject path).
+  InflightLimiter* inflight_limiter() { return &inflight_; }
+
  private:
+  /// The Overloaded rejection every public op returns when its InflightGuard
+  /// was refused (also counts the reject).
+  Status RejectOverloaded(const char* op);
   Result<std::string> EncodeDatum(const std::string& database,
                                   const std::string& table,
                                   const avro::Datum& document,
@@ -94,6 +119,8 @@ class Router {
   helix::HelixController* const helix_;
   net::Transport* const network_;
   obs::MetricsRegistry* const metrics_;
+  InflightLimiter inflight_;
+  obs::Counter* const admission_rejects_;
 };
 
 }  // namespace lidi::espresso

@@ -71,7 +71,9 @@ Broker::Broker(int id, zk::ZooKeeper* zookeeper, net::Transport* network,
       network_(network),
       clock_(clock),
       options_(WithLogMetrics(std::move(options), network)),
-      address_(net::MakeAddress(net::Tier::kKafkaBroker, id)) {
+      address_(net::MakeAddress(net::Tier::kKafkaBroker, id)),
+      produce_quota_(options_.quota_produce_per_sec, options_.quota_burst),
+      fetch_quota_(options_.quota_fetch_per_sec, options_.quota_burst) {
   obs::MetricsRegistry* metrics = network_->metrics();
   const obs::Labels labels{{"broker", std::to_string(id_)}};
   fetch_bytes_copied_ = metrics->GetCounter("kafka.fetch.bytes_copied", labels);
@@ -82,6 +84,7 @@ Broker::Broker(int id, zk::ZooKeeper* zookeeper, net::Transport* network,
   produce_count_ = metrics->GetCounter("kafka.produce.count", labels);
   produce_messages_ = metrics->GetCounter("kafka.produce.messages", labels);
   produce_bytes_ = metrics->GetCounter("kafka.produce.bytes", labels);
+  quota_rejects_ = metrics->GetCounter("kafka.quota.rejects", labels);
   session_ = zookeeper_->CreateSession();
   zookeeper_->CreateRecursive(session_, options_.zk_root + "/brokers/ids", "",
                               zk::CreateMode::kPersistent);
@@ -238,7 +241,27 @@ TransferStats Broker::transfer_stats() const {
   return stats;
 }
 
+void Broker::SetQuotaEnforcing(bool enforcing) {
+  produce_quota_.set_enforcing(enforcing);
+  fetch_quota_.set_enforcing(enforcing);
+}
+
+int64_t Broker::quota_rejects() const { return quota_rejects_->Value(); }
+
+Status Broker::AdmitClient(PerClientQuota* quota, const char* verb) {
+  if (!quota->enabled()) return Status::OK();
+  const net::Address& caller = net::CallerIdentity();
+  const std::string client = caller.empty() ? "anonymous" : caller;
+  if (quota->Admit(client, clock_->NowMicros())) return Status::OK();
+  quota_rejects_->Increment();
+  return Status::Overloaded(std::string(verb) + " quota exceeded for " +
+                            client + " at " + address_);
+}
+
 Result<std::string> Broker::HandleProduce(Slice request) {
+  // Quota gate first: reject-before-work, the request is not even decoded.
+  Status admit = AdmitClient(&produce_quota_, "produce");
+  if (!admit.ok()) return admit;
   std::string topic, message_set;
   int partition;
   Status s = DecodeProduceRequest(request, &topic, &partition, &message_set);
@@ -249,6 +272,8 @@ Result<std::string> Broker::HandleProduce(Slice request) {
 }
 
 Result<PinnedSlice> Broker::HandleFetch(Slice request) {
+  Status admit = AdmitClient(&fetch_quota_, "fetch");
+  if (!admit.ok()) return admit;
   std::string topic;
   int partition;
   int64_t offset, max_bytes;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/overload.h"
 #include "common/sync.h"
 
 #include "common/clock.h"
@@ -44,6 +45,18 @@ struct BrokerOptions {
   /// Zookeeper chroot for this cluster; a second cluster (e.g. the offline
   /// mirror, Section V.D) uses a different root.
   std::string zk_root = "/kafka";
+
+  /// Per-client request-rate quotas on the RPC paths (kafka.produce /
+  /// kafka.fetch), token-bucket enforced per caller identity
+  /// (net::CallerIdentity). A request over quota is rejected before any
+  /// decode or log work with Status::Overloaded — the survival mechanism
+  /// that keeps one hot producer from starving the broker (DESIGN.md §11).
+  /// <= 0 disables. Direct in-process Produce/FetchPinned calls are not
+  /// quota'd (they are the caller's own process).
+  double quota_produce_per_sec = 0;
+  double quota_fetch_per_sec = 0;
+  /// Bucket capacity in requests (allowed burst above the sustained rate).
+  double quota_burst = 16;
 };
 
 /// A Kafka broker (paper Section V.A): stores the partitions of topics as
@@ -97,12 +110,21 @@ class Broker {
 
   TransferStats transfer_stats() const;
 
+  /// Quota kill switch (the sim harness ends admission pressure before
+  /// settling; see PerClientQuota::set_enforcing).
+  void SetQuotaEnforcing(bool enforcing);
+  int64_t quota_rejects() const;
+
   /// Simulated crash/restart: deregisters from zk (ephemeral vanishes).
   void Shutdown();
 
  private:
   Result<std::string> HandleProduce(Slice request);
   Result<PinnedSlice> HandleFetch(Slice request);
+
+  /// Shared quota gate for the RPC handlers: admits the ambient caller
+  /// against `quota`, or returns the Overloaded rejection to send back.
+  Status AdmitClient(PerClientQuota* quota, const char* verb);
 
   const int id_;
   zk::ZooKeeper* const zookeeper_;
@@ -121,6 +143,11 @@ class Broker {
   obs::Counter* produce_count_;
   obs::Counter* produce_messages_;
   obs::Counter* produce_bytes_;
+  obs::Counter* quota_rejects_;
+
+  /// Per-client token buckets for the RPC paths (see BrokerOptions quotas).
+  PerClientQuota produce_quota_;
+  PerClientQuota fetch_quota_;
 
   /// Guards the partition map only; held across per-log calls in the
   /// flush/retention sweeps (broker -> log writer -> snapshot order).

@@ -184,6 +184,8 @@ Status StatusFromWire(Code code, std::string message) {
       return Status::Aborted(std::move(message));
     case Code::kInternal:
       return Status::Internal(std::move(message));
+    case Code::kOverloaded:
+      return Status::Overloaded(std::move(message));
   }
   return Status::Internal("unknown wire status code: " + std::move(message));
 }

@@ -5,9 +5,10 @@
 namespace lidi::net {
 
 Network::Network(uint64_t fault_seed, obs::MetricsRegistry* metrics,
-                 const Clock* clock)
+                 const Clock* clock, int64_t max_dispatch_inflight)
     : clock_(clock != nullptr ? clock : SystemClock::Default()),
-      rng_(fault_seed) {
+      rng_(fault_seed),
+      dispatch_limiter_(max_dispatch_inflight) {
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<obs::MetricsRegistry>(clock_);
     metrics_ = owned_metrics_.get();
@@ -41,12 +42,15 @@ Network::EndpointInstruments* Network::InstrumentsLocked(const Address& addr) {
   inst.calls_sent = metrics_->GetCounter("net.calls_sent", labels);
   inst.bytes_received = metrics_->GetCounter("net.bytes_received", labels);
   inst.bytes_sent = metrics_->GetCounter("net.bytes_sent", labels);
+  inst.dispatch_shed = metrics_->GetCounter("net.dispatch.shed", labels);
   return &stats_.emplace(addr, inst).first->second;
 }
 
 Status Network::Route(const Address& from, const Address& to,
                       const std::string& method, Slice request,
-                      int64_t deadline_micros, PayloadHandler* out) {
+                      int64_t deadline_micros, PayloadHandler* out,
+                      bool* admitted) {
+  *admitted = false;
   MutexLock lock(&mu_);
   if (shutdown_) {
     return Status::Unavailable("transport shut down");
@@ -85,6 +89,14 @@ Status Network::Route(const Address& from, const Address& to,
   if (drop_probability_ > 0 && rng_.Bernoulli(drop_probability_)) {
     return Status::Timeout("message dropped by fault injector");
   }
+  // Bounded dispatch: admission is checked before endpoint lookup — same
+  // shed point as the TCP backend's reactor, which rejects before handing
+  // the frame to a worker. A shed request never touches receiver stats.
+  if (!dispatch_limiter_.TryEnter()) {
+    InstrumentsLocked(to)->dispatch_shed->Increment();
+    return Status::Overloaded("dispatch queue full at " + to);
+  }
+  *admitted = true;
   auto node_it = handlers_.find(to);
   if (node_it == handlers_.end()) {
     return Status::NotFound("no endpoint: " + to);
@@ -110,7 +122,9 @@ Result<PinnedSlice> Network::CallPayload(const Address& from,
 
   obs::LatencyHistogram* latency;
   PayloadHandler handler;
-  Status s = Route(from, to, method, request, call.deadline_micros, &handler);
+  bool admitted = false;
+  Status s = Route(from, to, method, request, call.deadline_micros, &handler,
+                   &admitted);
   {
     MutexLock lock(&mu_);
     auto [it, inserted] = method_latency_.try_emplace(method, nullptr);
@@ -126,6 +140,7 @@ Result<PinnedSlice> Network::CallPayload(const Address& from,
     // Invoke outside the lock so handlers can place nested calls; those
     // calls pick up this span as their parent via the ambient context.
     internal::AmbientTraceScope ambient(call.ChildContext());
+    internal::CallerScope caller(from);
     auto pinned = handler(request);
     if (pinned.ok()) {
       response = std::move(pinned.value());
@@ -133,6 +148,9 @@ Result<PinnedSlice> Network::CallPayload(const Address& from,
       s = pinned.status();
     }
   }
+  // The admission slot covers the handler's whole run (nested calls and
+  // all) — that is what makes the in-flight count a queue-depth signal.
+  if (admitted) dispatch_limiter_.Exit();
 
   const int64_t end_micros = clock_->NowMicros();
   latency->Record(end_micros - call.span.start_micros);

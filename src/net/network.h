@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/overload.h"
 #include "common/random.h"
 #include "common/sync.h"
 #include "net/transport.h"
@@ -35,9 +36,17 @@ namespace lidi::net {
 /// per-thread trace context, since handlers run in the caller's thread).
 class Network final : public Transport {
  public:
+  /// `max_dispatch_inflight` bounds concurrent admitted dispatches — the
+  /// sim analogue of the TCP backend's bounded request queue (nested calls
+  /// placed by handlers hold slots too, so the bound must exceed the
+  /// deepest call chain times expected concurrency). 0 = unbounded. A call
+  /// refused admission fails Overloaded("dispatch queue full at <to>") and
+  /// increments "net.dispatch.shed{endpoint=<to>}" — byte-identical to the
+  /// TCP backend (transport_parity_test).
   explicit Network(uint64_t fault_seed = 42,
                    obs::MetricsRegistry* metrics = nullptr,
-                   const Clock* clock = nullptr);
+                   const Clock* clock = nullptr,
+                   int64_t max_dispatch_inflight = 0);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -116,14 +125,16 @@ class Network final : public Transport {
     obs::Counter* calls_sent = nullptr;
     obs::Counter* bytes_received = nullptr;
     obs::Counter* bytes_sent = nullptr;
+    obs::Counter* dispatch_shed = nullptr;
   };
 
   /// Fault-injection and stats bookkeeping (under mu_). Returns a non-OK
   /// status if the call must fail, otherwise copies the method's handler
-  /// into *out.
+  /// into *out. On success *admitted is true and the caller owns one
+  /// dispatch_limiter_ slot (released after the handler returns).
   Status Route(const Address& from, const Address& to,
                const std::string& method, Slice request,
-               int64_t deadline_micros, PayloadHandler* out);
+               int64_t deadline_micros, PayloadHandler* out, bool* admitted);
 
   EndpointInstruments* InstrumentsLocked(const Address& addr)
       LIDI_REQUIRES(mu_);
@@ -153,6 +164,7 @@ class Network final : public Transport {
   std::map<std::string, obs::LatencyHistogram*> method_latency_
       LIDI_GUARDED_BY(mu_);  // cache
   std::atomic<int64_t> total_calls_{0};
+  InflightLimiter dispatch_limiter_;  // lock-free; checked inside Route
 };
 
 /// The interface-era name for the deterministic backend; `Network` remains

@@ -232,7 +232,8 @@ struct TcpTransport::Work {
 TcpTransport::TcpTransport(TcpTransportOptions options,
                            obs::MetricsRegistry* metrics, const Clock* clock)
     : options_(options),
-      clock_(clock != nullptr ? clock : SystemClock::Default()) {
+      clock_(clock != nullptr ? clock : SystemClock::Default()),
+      dispatch_limiter_(options.max_dispatch_inflight) {
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<obs::MetricsRegistry>(clock_);
     metrics_ = owned_metrics_.get();
@@ -407,6 +408,7 @@ TcpTransport::EndpointInstruments* TcpTransport::InstrumentsLocked(
   inst.calls_sent = metrics_->GetCounter("net.calls_sent", labels);
   inst.bytes_received = metrics_->GetCounter("net.bytes_received", labels);
   inst.bytes_sent = metrics_->GetCounter("net.bytes_sent", labels);
+  inst.dispatch_shed = metrics_->GetCounter("net.dispatch.shed", labels);
   return &stats_.emplace(addr, inst).first->second;
 }
 
@@ -740,6 +742,7 @@ void TcpTransport::HandleRequest(const std::shared_ptr<Connection>& conn,
     // the deadline budget — exactly the sim backend's contract.
     internal::AmbientTraceScope ambient(obs::TraceContext{
         request.trace_id, request.span_id, request.deadline_micros});
+    internal::CallerScope caller(request.from);
     auto result = handler(Slice(request.payload));
     if (result.ok()) {
       response = std::move(result.value());
@@ -772,6 +775,9 @@ void TcpTransport::WorkerLoop() {
       queue_.pop_front();
     }
     HandleRequest(work.conn, std::move(work.frame));
+    // The admission slot taken by the reactor covers queue wait plus the
+    // handler's whole run; release it only once the response is on its way.
+    dispatch_limiter_.Exit();
   }
 }
 
@@ -838,6 +844,28 @@ void TcpTransport::ReadConn(Reactor* reactor,
     }
     off += consumed;
     if (frame.type == Frame::kRequest) {
+      // Bounded dispatch: reject-before-work. A request that cannot take an
+      // admission slot never reaches the worker queue — the reactor replies
+      // Overloaded right here, so the queue depth stays bounded no matter
+      // how fast clients push.
+      if (!dispatch_limiter_.TryEnter()) {
+        {
+          MutexLock lock(&state_mu_);
+          InstrumentsLocked(frame.to)->dispatch_shed->Increment();
+        }
+        const Status shed = Status::Overloaded("dispatch queue full at " +
+                                               frame.to);
+        Frame reply;
+        reply.type = Frame::kResponse;
+        reply.correlation_id = frame.correlation_id;
+        reply.trace_id = frame.trace_id;
+        reply.span_id = frame.span_id;
+        reply.status_code = shed.code();
+        PinnedSlice payload = PinnedSlice::Own(shed.message());
+        EncodedFrame encoded = EncodeFrame(reply, payload.slice());
+        SendFrame(conn, std::move(encoded), std::move(payload));
+        continue;
+      }
       MutexLock lock(&queue_mu_);
       queue_.push_back(Work{conn, std::move(frame)});
       queue_cv_.NotifyOne();

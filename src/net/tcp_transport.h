@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/overload.h"
 #include "common/sync.h"
 #include "net/frame.h"
 #include "net/transport.h"
@@ -48,6 +49,15 @@ struct TcpTransportOptions {
   /// failure up to max; attempts inside the window fast-fail Unavailable.
   int64_t reconnect_backoff_initial_millis = 5;
   int64_t reconnect_backoff_max_millis = 500;
+
+  /// Bounded request dispatch: maximum admitted request frames in flight
+  /// (queued for a worker or executing in one). When the budget is
+  /// exhausted the reactor replies Overloaded("dispatch queue full at
+  /// <to>") immediately — reject-before-work, the worker queue stays
+  /// bounded — and increments "net.dispatch.shed{endpoint=<to>}".
+  /// Byte-identical behavior to the sim backend's max_dispatch_inflight
+  /// (transport_parity_test). 0 = unbounded.
+  int64_t max_dispatch_inflight = 0;
 };
 
 /// Real-socket backend of net::Transport (DESIGN.md §10): an epoll reactor
@@ -134,6 +144,7 @@ class TcpTransport final : public Transport {
     obs::Counter* calls_sent = nullptr;
     obs::Counter* bytes_received = nullptr;
     obs::Counter* bytes_sent = nullptr;
+    obs::Counter* dispatch_shed = nullptr;
   };
 
   EndpointInstruments* InstrumentsLocked(const Address& addr)
@@ -200,6 +211,11 @@ class TcpTransport final : public Transport {
   std::atomic<uint64_t> next_correlation_{1};
   std::atomic<int64_t> total_calls_{0};
   std::atomic<bool> threads_stopped_{false};
+
+  /// Bounded request dispatch (options_.max_dispatch_inflight): a reactor
+  /// takes a slot before enqueueing a request frame; the worker releases it
+  /// after the handler's response is sent. Lock-free.
+  InflightLimiter dispatch_limiter_;
 };
 
 }  // namespace lidi::net

@@ -5,11 +5,23 @@
 
 namespace lidi::net {
 
+namespace {
+thread_local Address t_caller{};
+}  // namespace
+
+const Address& CallerIdentity() { return t_caller; }
+
 namespace internal {
 
 namespace {
 thread_local obs::TraceContext t_ambient{};
 }  // namespace
+
+CallerScope::CallerScope(const Address& from) : saved_(t_caller) {
+  t_caller = from;
+}
+
+CallerScope::~CallerScope() { t_caller = saved_; }
 
 const obs::TraceContext& AmbientTrace() { return t_ambient; }
 

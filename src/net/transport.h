@@ -78,6 +78,8 @@ struct EndpointStats {
 ///  - Timeout    — the call's deadline budget is exhausted (before or
 ///    during the call);
 ///  - NotFound   — no endpoint or no such method at the endpoint;
+///  - Overloaded — the backend's bounded dispatch queue shed the request
+///    before any handler work (see each backend's dispatch-limit option);
 ///  - otherwise the handler's own result.
 class Transport {
  public:
@@ -137,7 +139,29 @@ class Transport {
   }
 };
 
+/// Identity of the caller whose request the current thread is dispatching:
+/// the `from` address of the innermost in-flight handler invocation on this
+/// thread (carried by the frame header over TCP, the call arguments in-sim),
+/// or "" outside a handler. Serving tiers use this as the client key for
+/// per-client quotas (common/overload.h) — identical on both backends, so
+/// quota decisions are backend-independent.
+const Address& CallerIdentity();
+
 namespace internal {
+
+/// RAII swap of the ambient caller identity around a handler invocation
+/// (both backends; same carrier pattern as AmbientTraceScope below).
+class CallerScope {
+ public:
+  explicit CallerScope(const Address& from);
+  ~CallerScope();
+
+  CallerScope(const CallerScope&) = delete;
+  CallerScope& operator=(const CallerScope&) = delete;
+
+ private:
+  Address saved_;
+};
 
 /// Ambient trace context for nested calls: handlers run synchronously in
 /// the dispatching thread (the caller's thread in-sim, a worker thread over

@@ -122,9 +122,14 @@ double HistogramSnapshot::Percentile(double p) const {
     const int64_t before = cumulative;
     cumulative += buckets[i];
     if (static_cast<double>(cumulative) < rank) continue;
-    // Interpolate inside bucket i. The overflow bucket has no upper bound;
-    // use the exact max. Clamp every estimate to max so p100 is honest.
-    const double lo = static_cast<double>(HistogramBuckets::UpperBound(i - 1));
+    // Interpolate inside bucket i. Bucket 0 has no predecessor — its lower
+    // edge is defined as 0 (latencies are clamped non-negative on record),
+    // not UpperBound(-1), which is out of the bucket-index domain. The
+    // overflow bucket has no upper bound; use the exact max. Clamp every
+    // estimate to max so p100 is honest.
+    const double lo =
+        i == 0 ? 0.0
+               : static_cast<double>(HistogramBuckets::UpperBound(i - 1));
     const double hi =
         i == HistogramBuckets::kCount - 1
             ? static_cast<double>(max)

@@ -82,6 +82,8 @@ class Gauge {
 struct HistogramBuckets {
   static constexpr int kCount = 31;  // 30 bounded buckets + overflow
   /// Inclusive upper bound of bucket i (overflow bucket returns INT64_MAX).
+  /// Valid for i in [0, kCount); bucket 0's lower edge is 0 by definition —
+  /// callers must not reach for UpperBound(-1) to get it.
   static int64_t UpperBound(int i);
   /// Bucket index a value of `micros` lands in.
   static int BucketFor(int64_t micros);

@@ -49,9 +49,12 @@ SimCluster::SimCluster(SimOptions options)
   }
   metadata_ = std::make_shared<voldemort::ClusterMetadata>(
       voldemort::Cluster::Uniform(nodes, 12));
+  voldemort::VoldemortServerOptions vserver_options;
+  vserver_options.quota_requests_per_sec = options_.overload_quota_per_sec;
+  vserver_options.quota_burst = options_.overload_quota_burst;
   for (int i = 0; i < options_.voldemort_nodes; ++i) {
     vservers_.push_back(std::make_unique<voldemort::VoldemortServer>(
-        i, metadata_, &network_));
+        i, metadata_, &network_, vserver_options));
     vservers_.back()->AddStore(kVoldemortStore);
   }
   voldemort::StoreDefinition def;
@@ -139,6 +142,8 @@ kafka::BrokerOptions SimCluster::BrokerOptionsFor(int i) const {
   // inline sync — but the schedules drive the same staged-write/covering-
   // sync/crash interleavings production multi-producer brokers hit.
   options.log.group_commit = true;
+  options.quota_produce_per_sec = options_.overload_quota_per_sec;
+  options.quota_burst = options_.overload_quota_burst;
   return options;
 }
 
@@ -619,6 +624,13 @@ void SimCluster::Settle() {
   primary_disk_->SetFaultProbabilities(0, 0, 0);
   for (int entity = 0; entity < CrashableEntities(); ++entity) {
     RestartEntity(entity);
+  }
+  // Quotas off from here: shedding during the schedule was the experiment;
+  // convergence (slop pushes, read repair, kafka drain) must not be
+  // throttled. After the restart loop so recreated brokers are covered.
+  for (auto& server : vservers_) server->SetQuotaEnforcing(false);
+  for (auto& broker : brokers_) {
+    if (broker != nullptr) broker->SetQuotaEnforcing(false);
   }
   for (int round = 0; round < 6; ++round) {
     if (relay_ != nullptr) relay_->PollOnce();

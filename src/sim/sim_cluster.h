@@ -46,6 +46,14 @@ struct SimOptions {
   /// demonstrate its no-acked-write-lost invariant re-finding a real,
   /// previously shipped defect.
   bool legacy_binlog_bug = false;
+  /// When > 0, Voldemort servers and Kafka brokers apply a per-client
+  /// token-bucket quota (requests/sec) so overload schedules can prove
+  /// graceful degradation: shed operations are attempted-but-unacked, which
+  /// the invariant contract already tolerates, while every acked write must
+  /// still survive. Settle() switches enforcement off so end-of-chaos
+  /// convergence is never throttled.
+  double overload_quota_per_sec = 0;
+  double overload_quota_burst = 4;
 };
 
 /// Per-key write history the workload generators maintain and the invariant

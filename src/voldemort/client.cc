@@ -97,6 +97,7 @@ Result<std::vector<Versioned>> StoreClient::GetInternal(
 
   std::vector<std::pair<int, std::vector<Versioned>>> responses;
   int successes = 0;
+  bool saw_overload = false;
   for (int node : preference) {
     if (successes >= def_.required_reads) break;
     if (!detector_.IsAvailable(node)) continue;
@@ -115,11 +116,22 @@ Result<std::vector<Versioned>> StoreClient::GetInternal(
       detector_.RecordSuccess(node);
       responses.emplace_back(node, std::vector<Versioned>{});
       ++successes;
+    } else if (r.status().IsOverloaded()) {
+      // The node is alive — it shed the request (quota or queue bound).
+      // Not a failure-detector event: marking it down would route every
+      // subsequent request away from a healthy node and turn a throttle
+      // into a phantom outage.
+      saw_overload = true;
     } else {
       detector_.RecordFailure(node);
     }
   }
   if (successes < def_.required_reads) {
+    if (saw_overload) {
+      return Status::Overloaded(
+          "R=" + std::to_string(def_.required_reads) +
+          " quorum unmet: replica shed the read (quota/queue)");
+    }
     return Status::InsufficientNodes(
         "got " + std::to_string(successes) + " of R=" +
         std::to_string(def_.required_reads) + " responses");
@@ -221,6 +233,12 @@ Status StoreClient::PutEncodedInternal(Slice key, const Versioned& versioned,
                      &replicate_request);
   } else if (cr.status().IsObsoleteVersion()) {
     return cr.status();
+  } else if (cr.status().IsOverloaded()) {
+    // The coordinator shed the write (quota or queue bound). It is alive
+    // and applied nothing, so aborting is safe and the typed error must
+    // survive to the caller — Overloaded means "back off and retry", not
+    // "the node is down" (and must not poison the failure detector).
+    return cr.status();
   } else {
     // The coordinator could not apply the write. Abort instead of writing
     // the coordinator-attributed clock to other replicas: a clock entry
@@ -249,6 +267,10 @@ Status StoreClient::PutEncodedInternal(Slice key, const Versioned& versioned,
     } else if (r.status().IsObsoleteVersion()) {
       // Another writer won the race at this replica.
       return r.status();
+    } else if (r.status().IsOverloaded()) {
+      // Alive but shedding: no failure-detector event. The replica missed
+      // the write, so hinted handoff may still repair it below.
+      failed_nodes.push_back(node);
     } else {
       detector_.RecordFailure(node);
       failed_nodes.push_back(node);

@@ -10,32 +10,54 @@ namespace lidi::voldemort {
 
 VoldemortServer::VoldemortServer(int node_id,
                                  std::shared_ptr<ClusterMetadata> metadata,
-                                 net::Transport* network)
+                                 net::Transport* network,
+                                 VoldemortServerOptions options)
     : node_id_(node_id),
       metadata_(std::move(metadata)),
       network_(network),
       address_(net::MakeAddress(net::Tier::kVoldemort, node_id)),
+      options_(options),
+      request_quota_(options.quota_requests_per_sec, options.quota_burst),
       slop_engine_(storage::NewMemTableEngine()) {
+  quota_rejects_ = network_->metrics()->GetCounter(
+      "voldemort.quota.rejects", {{"node", std::to_string(node_id_)}});
   network_->Register(address_, "v.ping", [](Slice) -> Result<std::string> {
     return std::string("pong");
   });
-  network_->Register(address_, "v.get", [this](Slice req) {
+  network_->Register(address_, "v.get", [this](Slice req) -> Result<std::string> {
+    Status admit = AdmitClient("get");
+    if (!admit.ok()) return admit;
     return HandleGet(req, /*allow_redirect=*/true);
   });
-  network_->Register(address_, "v.get-noredirect", [this](Slice req) {
+  network_->Register(address_, "v.get-noredirect",
+                     [this](Slice req) -> Result<std::string> {
+    Status admit = AdmitClient("get");
+    if (!admit.ok()) return admit;
     return HandleGet(req, /*allow_redirect=*/false);
   });
-  network_->Register(address_, "v.put", [this](Slice req) {
+  network_->Register(address_, "v.put", [this](Slice req) -> Result<std::string> {
+    Status admit = AdmitClient("put");
+    if (!admit.ok()) return admit;
     return HandlePut(req, /*allow_redirect=*/true);
   });
-  network_->Register(address_, "v.put-noredirect", [this](Slice req) {
+  network_->Register(address_, "v.put-noredirect",
+                     [this](Slice req) -> Result<std::string> {
+    Status admit = AdmitClient("put");
+    if (!admit.ok()) return admit;
     return HandlePut(req, /*allow_redirect=*/false);
   });
-  network_->Register(address_, "v.get-transform", [this](Slice req) {
+  network_->Register(address_, "v.get-transform",
+                     [this](Slice req) -> Result<std::string> {
+    Status admit = AdmitClient("get-transform");
+    if (!admit.ok()) return admit;
     return HandleGetTransform(req);
   });
   network_->Register(address_, "v.delete",
-                     [this](Slice req) { return HandleDelete(req); });
+                     [this](Slice req) -> Result<std::string> {
+                       Status admit = AdmitClient("delete");
+                       if (!admit.ok()) return admit;
+                       return HandleDelete(req);
+                     });
   network_->Register(address_, "v.slop",
                      [this](Slice req) { return HandleSlop(req); });
   network_->Register(address_, "v.push-slops",
@@ -64,6 +86,25 @@ VoldemortServer::VoldemortServer(int node_id,
 }
 
 VoldemortServer::~VoldemortServer() { network_->Unregister(address_); }
+
+Status VoldemortServer::AdmitClient(const char* verb) {
+  if (!request_quota_.enabled()) return Status::OK();
+  const net::Address& caller = net::CallerIdentity();
+  // Server-to-server traffic is exempt: redirect proxying, slop delivery and
+  // the embedded vr.* coordinator's quorum fan-out all originate from a
+  // Voldemort-tier identity ("voldemort-<id>..."), and throttling repair or
+  // double-charging a routed request would turn overload into data loss.
+  const std::string prefix = std::string(net::TierPrefix(net::Tier::kVoldemort)) + "-";
+  if (caller.compare(0, prefix.size(), prefix) == 0) return Status::OK();
+  const std::string client = caller.empty() ? "anonymous" : caller;
+  if (request_quota_.Admit(client,
+                           network_->metrics()->clock()->NowMicros())) {
+    return Status::OK();
+  }
+  quota_rejects_->Increment();
+  return Status::Overloaded(std::string(verb) + " quota exceeded for " +
+                            client + " at " + address_);
+}
 
 Status VoldemortServer::AddStore(const std::string& name) {
   MutexLock lock(&mu_);
@@ -102,6 +143,8 @@ Status VoldemortServer::EnableServerSideRouting(
   };
   network_->Register(
       address_, "vr.get", [this, coordinator](Slice req) -> Result<std::string> {
+        Status admit = AdmitClient("get");
+        if (!admit.ok()) return admit;
         std::string store, key;
         Status s = DecodeGetRequest(req, &store, &key);
         if (!s.ok()) return s;
@@ -117,6 +160,8 @@ Status VoldemortServer::EnableServerSideRouting(
       });
   network_->Register(
       address_, "vr.put", [this, coordinator](Slice req) -> Result<std::string> {
+        Status admit = AdmitClient("put");
+        if (!admit.ok()) return admit;
         std::string store, key;
         Versioned versioned;
         Transform transform;
@@ -135,6 +180,8 @@ Status VoldemortServer::EnableServerSideRouting(
   network_->Register(
       address_, "vr.delete",
       [this, coordinator](Slice req) -> Result<std::string> {
+        Status admit = AdmitClient("delete");
+        if (!admit.ok()) return admit;
         std::string store, key;
         VectorClock clock_value;
         Status s = DecodeDeleteRequest(req, &store, &key, &clock_value);

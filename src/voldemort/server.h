@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/clock.h"
+#include "common/overload.h"
 #include "common/sync.h"
 #include "net/address.h"
 #include "net/transport.h"
@@ -16,6 +17,19 @@
 #include "voldemort/wire.h"
 
 namespace lidi::voldemort {
+
+struct VoldemortServerOptions {
+  /// Per-client request-rate quota on the client-facing RPC paths (v.get,
+  /// v.put, v.delete and their routed vr.* / -noredirect variants),
+  /// token-bucket enforced per caller identity (net::CallerIdentity). An
+  /// over-quota request is rejected before any engine work with
+  /// Status::Overloaded (DESIGN.md §11). <= 0 disables. Internal traffic —
+  /// slops, admin, read-only swaps, pings — is never quota'd: throttling
+  /// repair would turn overload into data loss.
+  double quota_requests_per_sec = 0;
+  /// Bucket capacity in requests (allowed burst above the sustained rate).
+  double quota_burst = 16;
+};
 
 /// A Voldemort storage node. Hosts one storage engine per read-write store
 /// plus the versioned read-only stores, serves the wire protocol over the
@@ -29,7 +43,8 @@ namespace lidi::voldemort {
 class VoldemortServer {
  public:
   VoldemortServer(int node_id, std::shared_ptr<ClusterMetadata> metadata,
-                  net::Transport* network);
+                  net::Transport* network,
+                  VoldemortServerOptions options = {});
   ~VoldemortServer();
 
   VoldemortServer(const VoldemortServer&) = delete;
@@ -67,7 +82,17 @@ class VoldemortServer {
   /// Direct engine access for tests and the rebalance admin path.
   storage::StorageEngine* GetEngine(const std::string& store);
 
+  /// Quota kill switch (the sim harness ends admission pressure before
+  /// settling; see PerClientQuota::set_enforcing).
+  void SetQuotaEnforcing(bool enforcing) {
+    request_quota_.set_enforcing(enforcing);
+  }
+  int64_t quota_rejects() const { return quota_rejects_->Value(); }
+
  private:
+  /// Admits the ambient caller against the request quota, or returns the
+  /// Overloaded rejection the RPC should answer with.
+  Status AdmitClient(const char* verb);
   Result<std::string> HandleGet(Slice request, bool allow_redirect);
   Result<std::string> HandleGetTransform(Slice request);
   Result<std::string> HandlePut(Slice request, bool allow_redirect);
@@ -89,6 +114,9 @@ class VoldemortServer {
   const std::shared_ptr<ClusterMetadata> metadata_;
   net::Transport* const network_;
   const net::Address address_;
+  const VoldemortServerOptions options_;
+  PerClientQuota request_quota_;
+  obs::Counter* quota_rejects_;
 
   /// Guards the store maps. Held across local engine calls (engines have
   /// their own leaf locks) but never across the network: redirects run

@@ -1,0 +1,105 @@
+#ifndef LIDI_WORKLOAD_KEY_MIX_H_
+#define LIDI_WORKLOAD_KEY_MIX_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+
+namespace lidi::workload {
+
+/// The seeded Zipfian key chooser every bench used to hand-roll (a
+/// ZipfGenerator plus a "k" + std::to_string(rank) format expression,
+/// duplicated across bench_voldemort_rw, bench_company_follow, ...). One
+/// KeyMix = one key population with a popularity skew; rank 0 is the hottest
+/// key. O(1) memory regardless of num_keys, so billion-key populations are
+/// free to model (ZipfGenerator is rejection-inversion, not a CDF table).
+struct KeyMixOptions {
+  uint64_t num_keys = 1000;
+  /// Zipf skew: 0.9 matches the read-write store benches, 0.99 the YCSB
+  /// default used for company-follow popularity.
+  double theta = 0.9;
+  uint64_t seed = 17;
+  /// Keys are prefix + decimal rank ("k123", "company:7", ...).
+  std::string prefix = "k";
+};
+
+class KeyMix {
+ public:
+  explicit KeyMix(const KeyMixOptions& options)
+      : options_(options),
+        zipf_(options.num_keys, options.theta, options.seed) {}
+
+  /// A Zipfian rank in [0, num_keys).
+  uint64_t NextRank() { return zipf_.Next(); }
+
+  /// The formatted key for a rank.
+  std::string KeyAt(uint64_t rank) const {
+    return options_.prefix + std::to_string(rank);
+  }
+
+  std::string NextKey() { return KeyAt(NextRank()); }
+
+  uint64_t num_keys() const { return options_.num_keys; }
+  const KeyMixOptions& options() const { return options_; }
+
+ private:
+  const KeyMixOptions options_;
+  ZipfGenerator zipf_;
+};
+
+/// Models the traffic the paper's tiers actually face: millions of distinct
+/// users, each arriving through a front-end, issuing a session of a few
+/// operations against their own small working set. Users are drawn Zipfian
+/// (a celebrity profile is read far more than the tail); session lengths are
+/// geometric; each op is a read with probability read_fraction.
+///
+/// The client identity (the quota key at the Kafka broker / Voldemort
+/// server) is the front-end shard the user hashes to, mirroring production
+/// where a per-client quota throttles a service's pool of frontends, not an
+/// end user.
+struct SessionMixOptions {
+  uint64_t num_users = 1'000'000;
+  /// Popularity skew across users.
+  double theta = 0.99;
+  /// Distinct keys in one user's working set ("u<user>:k<slot>").
+  uint64_t keys_per_user = 4;
+  /// Mean ops per session (geometric; >= 1).
+  double mean_session_ops = 8;
+  double read_fraction = 0.6;
+  /// Front-end shards user traffic fans in through; the per-op client
+  /// identity is "client-<user % shards>".
+  uint64_t client_shards = 4;
+  uint64_t seed = 42;
+};
+
+class SessionMix {
+ public:
+  struct Op {
+    uint64_t user = 0;
+    /// 0-based position within the user's current session.
+    uint64_t session_op = 0;
+    bool is_read = true;
+    std::string key;     // "u<user>:k<slot>"
+    std::string client;  // "client-<shard>"
+  };
+
+  explicit SessionMix(const SessionMixOptions& options);
+
+  /// The next operation of the interleaved session stream.
+  Op Next();
+
+  const SessionMixOptions& options() const { return options_; }
+
+ private:
+  const SessionMixOptions options_;
+  ZipfGenerator users_;
+  Random rng_;
+  uint64_t current_user_ = 0;
+  uint64_t session_pos_ = 0;
+  bool in_session_ = false;
+};
+
+}  // namespace lidi::workload
+
+#endif  // LIDI_WORKLOAD_KEY_MIX_H_

@@ -1,0 +1,91 @@
+#include "workload/open_loop.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace lidi::workload {
+
+OpenLoopDriver::OpenLoopDriver(OpenLoopOptions options)
+    : options_(std::move(options)),
+      clock_(options_.virtual_clock != nullptr
+                 ? static_cast<const Clock*>(options_.virtual_clock)
+                 : SystemClock::Default()) {
+  const obs::Labels labels{{"driver", options_.name}};
+  intended_latency_ =
+      options_.metrics->GetHistogram("workload.intended_latency", labels);
+  ok_ = options_.metrics->GetCounter("workload.ops.ok", labels);
+  overloaded_ = options_.metrics->GetCounter("workload.ops.overloaded", labels);
+  errors_ = options_.metrics->GetCounter("workload.ops.error", labels);
+}
+
+OpenLoopReport OpenLoopDriver::Run(const Operation& op) {
+  intended_latency_->Reset();
+  ok_->Reset();
+  overloaded_->Reset();
+  errors_->Reset();
+
+  OpenLoopReport report;
+  report.intended_per_sec = options_.arrival_per_sec;
+  const double period_micros = 1e6 / options_.arrival_per_sec;
+  const int64_t t0 = clock_->NowMicros();
+
+  for (int64_t i = 0; i < options_.operations; ++i) {
+    const int64_t intended = t0 + static_cast<int64_t>(i * period_micros);
+    if (options_.virtual_clock != nullptr) {
+      // Virtual time: arrivals ARE the clock. Never move backward — a
+      // backlog (charge_wall_time) leaves now past the next intended start,
+      // which is exactly the queueing delay the latency must include.
+      if (clock_->NowMicros() < intended) {
+        options_.virtual_clock->SetMicros(intended);
+      }
+    } else {
+      // Real time: sleep to the intended start; if the previous operation
+      // overran it, issue immediately — the overrun is charged below.
+      const int64_t now = clock_->NowMicros();
+      if (now < intended) {
+        std::this_thread::sleep_for(std::chrono::microseconds(intended - now));
+      }
+    }
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    const Status status = op(i);
+    ++report.issued;
+    if (options_.virtual_clock != nullptr && options_.charge_wall_time) {
+      const int64_t service_micros =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - wall_start)
+              .count();
+      options_.virtual_clock->AdvanceMicros(std::max<int64_t>(0, service_micros));
+    }
+    const int64_t completed = clock_->NowMicros();
+    // The coordinated-omission-correct number: completion minus the time the
+    // request was DUE, not the time the driver got around to issuing it.
+    intended_latency_->Record(std::max<int64_t>(0, completed - intended));
+
+    if (status.ok()) {
+      ++report.ok;
+      ok_->Increment();
+    } else if (status.IsOverloaded()) {
+      ++report.overloaded;
+      overloaded_->Increment();
+    } else {
+      ++report.errors;
+      errors_->Increment();
+    }
+  }
+
+  const int64_t elapsed = clock_->NowMicros() - t0;
+  report.elapsed_seconds = static_cast<double>(elapsed) / 1e6;
+  report.achieved_per_sec =
+      elapsed > 0 ? static_cast<double>(report.ok) / report.elapsed_seconds : 0;
+
+  const obs::HistogramSnapshot snapshot = intended_latency_->Snapshot();
+  report.p50_micros = snapshot.Percentile(50);
+  report.p99_micros = snapshot.Percentile(99);
+  report.p999_micros = snapshot.Percentile(99.9);
+  report.max_micros = static_cast<double>(snapshot.max);
+  return report;
+}
+
+}  // namespace lidi::workload

@@ -1,0 +1,83 @@
+#ifndef LIDI_WORKLOAD_OPEN_LOOP_H_
+#define LIDI_WORKLOAD_OPEN_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace lidi::workload {
+
+/// Open-loop load driver (DESIGN.md §11). A closed loop issues the next
+/// request when the previous one returns, so a slow server conveniently slows
+/// its own load source and the latency report hides queueing collapse —
+/// coordinated omission. This driver instead fixes the ARRIVAL schedule:
+/// request i is due at t0 + i/rate whether or not the server has kept up,
+/// and its latency is measured from that intended start, so time spent
+/// queued behind a backlog is charged to every request it delays.
+struct OpenLoopOptions {
+  /// Arrival rate (requests/second of driver-clock time). Must be > 0.
+  double arrival_per_sec = 1000;
+  /// Total arrivals to issue.
+  int64_t operations = 1000;
+  /// Instrument sink (required): percentiles are read back from the
+  /// "workload.intended_latency{driver=name}" histogram in this registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Non-null = virtual time: the driver owns this clock and advances it to
+  /// each intended start (deterministic; pairs with the sim transport).
+  /// Null = real time: the driver sleeps until each intended start.
+  ManualClock* virtual_clock = nullptr;
+  /// Virtual time only: additionally advance the clock by each operation's
+  /// measured wall-clock service time, so intended latency captures backlog
+  /// in sim too. Costs determinism of the latency/quota numbers (they now
+  /// depend on real execution speed); leave false where the sim run must
+  /// replay exactly.
+  bool charge_wall_time = false;
+  /// Labels this driver's instruments.
+  std::string name = "open_loop";
+};
+
+struct OpenLoopReport {
+  int64_t issued = 0;
+  int64_t ok = 0;
+  int64_t overloaded = 0;  // Status::IsOverloaded: shed/quota rejections
+  int64_t errors = 0;      // every other non-OK status
+  double intended_per_sec = 0;  // the arrival rate the schedule aimed for
+  double achieved_per_sec = 0;  // completions / elapsed driver-clock time
+  double elapsed_seconds = 0;   // driver-clock time, first to last arrival
+  // Intended-start latency percentiles (micros), from the obs histogram.
+  double p50_micros = 0;
+  double p99_micros = 0;
+  double p999_micros = 0;
+  double max_micros = 0;
+};
+
+class OpenLoopDriver {
+ public:
+  /// The operation under load: invoked once per arrival with the arrival
+  /// index. Status::Overloaded counts as shed, other errors as failures;
+  /// neither stops the run (graceful degradation is the thing measured).
+  using Operation = std::function<Status(int64_t index)>;
+
+  explicit OpenLoopDriver(OpenLoopOptions options);
+
+  /// Issues the full arrival schedule synchronously and reports. Resets this
+  /// driver's instruments first, so back-to-back runs (a rate sweep) don't
+  /// bleed into each other.
+  OpenLoopReport Run(const Operation& op);
+
+ private:
+  const OpenLoopOptions options_;
+  const Clock* clock_;  // the driver clock: virtual_clock or system
+  obs::LatencyHistogram* intended_latency_;
+  obs::Counter* ok_;
+  obs::Counter* overloaded_;
+  obs::Counter* errors_;
+};
+
+}  // namespace lidi::workload
+
+#endif  // LIDI_WORKLOAD_OPEN_LOOP_H_

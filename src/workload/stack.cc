@@ -1,0 +1,173 @@
+#include "workload/stack.h"
+
+#include <algorithm>
+
+#include "kafka/message.h"
+#include "net/address.h"
+
+namespace lidi::workload {
+
+FourTierStack::FourTierStack(net::Transport* transport, const Clock* clock,
+                             StackOptions options)
+    : transport_(transport), clock_(clock), options_(options) {
+  // --- Voldemort: N nodes, uniform partition layout, quota'd servers. ---
+  std::vector<voldemort::Node> nodes;
+  for (int i = 0; i < options_.voldemort_nodes; ++i) {
+    nodes.push_back({i, net::MakeAddress(net::Tier::kVoldemort, i), 0});
+  }
+  metadata_ = std::make_shared<voldemort::ClusterMetadata>(
+      voldemort::Cluster::Uniform(nodes, options_.voldemort_partitions));
+  voldemort::VoldemortServerOptions vopts;
+  vopts.quota_requests_per_sec = options_.voldemort_quota_per_sec;
+  vopts.quota_burst = options_.quota_burst;
+  for (int i = 0; i < options_.voldemort_nodes; ++i) {
+    voldemort_.push_back(std::make_unique<voldemort::VoldemortServer>(
+        i, metadata_, transport_, vopts));
+    voldemort_.back()->AddStore("wl");
+  }
+  voldemort::StoreDefinition def{"wl", options_.replication,
+                                 options_.required_reads,
+                                 options_.required_writes};
+  for (uint64_t s = 0; s < std::max<uint64_t>(1, options_.client_shards); ++s) {
+    // One StoreClient per front-end shard: the client name is the caller
+    // identity the Voldemort quota keys on.
+    stores_.push_back(std::make_unique<voldemort::StoreClient>(
+        "client-" + std::to_string(s), def, metadata_, transport_, clock_));
+  }
+
+  // --- Kafka: one broker, the activity topic. ---
+  kafka::BrokerOptions bopts;
+  bopts.quota_produce_per_sec = options_.kafka_produce_quota_per_sec;
+  bopts.quota_burst = options_.quota_burst;
+  broker_ = std::make_unique<kafka::Broker>(0, &zookeeper_, transport_, clock_,
+                                            bopts);
+  broker_->CreateTopic("activity", options_.kafka_partitions);
+
+  // --- Espresso: schema, Helix-managed nodes, admission-controlled router.
+  registry_.CreateDatabase({"db",
+                            espresso::DatabaseSchema::Partitioning::kHash,
+                            options_.espresso_partitions,
+                            options_.espresso_replicas});
+  registry_.CreateTable("db", {"docs", 1});
+  registry_.PostDocumentSchema("db", "docs", R"({
+    "type":"record","name":"Doc","fields":[
+      {"name":"title","type":"string","indexed":true},
+      {"name":"body","type":"string"},
+      {"name":"rank","type":"int","indexed":true}]})");
+  controller_ = std::make_unique<helix::HelixController>("espresso",
+                                                         &zookeeper_);
+  controller_->AddResource(
+      {"db", options_.espresso_partitions, options_.espresso_replicas});
+  for (int i = 0; i < options_.espresso_nodes; ++i) {
+    auto node = std::make_unique<espresso::StorageNode>(
+        "esn-" + std::to_string(i), &registry_, &espresso_relay_, transport_,
+        clock_);
+    auto* raw = node.get();
+    raw->SetMasterLookup([this](const std::string& db, int p) {
+      return controller_->MasterOf(db, p);
+    });
+    controller_->ConnectParticipant(
+        raw->name(), [raw](const helix::Transition& t) {
+          return raw->HandleTransition(t);
+        });
+    espresso_nodes_.push_back(std::move(node));
+  }
+  controller_->RebalanceToConvergence();
+  espresso::RouterOptions ropts;
+  ropts.max_inflight = options_.router_max_inflight;
+  router_ = std::make_unique<espresso::Router>("wl-router", &registry_,
+                                               controller_.get(), transport_,
+                                               ropts);
+
+  // --- Databus: source-of-truth database -> relay -> consumer. ---
+  source_.CreateTable("profiles");
+  relay_ = std::make_unique<databus::Relay>("wl-relay", &source_, transport_);
+  consumer_ = std::make_unique<databus::CallbackConsumer>(
+      [this](const databus::Event&) {
+        ++databus_delivered_;
+        return Status::OK();
+      });
+  databus_client_ = std::make_unique<databus::DatabusClient>(
+      "wl-dbus", "wl-relay", "", transport_, consumer_.get());
+}
+
+FourTierStack::~FourTierStack() = default;
+
+Status FourTierStack::Step(const SessionMix::Op& op) {
+  ++steps_;
+  switch (op.user % 4) {
+    case 0: return VoldemortStep(op);
+    case 1: return KafkaStep(op);
+    case 2: return EspressoStep(op);
+    default: return DatabusStep(op);
+  }
+}
+
+Status FourTierStack::VoldemortStep(const SessionMix::Op& op) {
+  voldemort::StoreClient* client = store(op.user);
+  if (op.is_read) {
+    auto r = client->Get(op.key);
+    if (!r.ok() && r.status().IsNotFound()) return Status::OK();
+    return r.status();
+  }
+  return client->PutValue(op.key, value_rng_.Bytes(128));
+}
+
+Status FourTierStack::KafkaStep(const SessionMix::Op& op) {
+  // Produce over RPC (not the in-process path) so the broker's per-client
+  // quota sees the front-end shard as the caller.
+  kafka::MessageSetBuilder builder;
+  builder.Add(op.key + "=" + std::to_string(steps_));
+  std::string request;
+  kafka::EncodeProduceRequest(
+      "activity", static_cast<int>(op.user % options_.kafka_partitions),
+      builder.Build(), &request);
+  return transport_
+      ->Call(op.client, broker_->address(), "kafka.produce", request)
+      .status();
+}
+
+Status FourTierStack::EspressoStep(const SessionMix::Op& op) {
+  const std::string uri = "/db/docs/u" + std::to_string(op.user);
+  if (op.is_read) {
+    auto r = router_->GetRecord(uri);
+    if (!r.ok() && r.status().IsNotFound()) return Status::OK();
+    return r.status();
+  }
+  auto doc = avro::Datum::Record("Doc");
+  doc->SetField("title", avro::Datum::String(op.key));
+  doc->SetField("body", avro::Datum::String(value_rng_.Bytes(64)));
+  doc->SetField("rank", avro::Datum::Int(static_cast<int32_t>(op.session_op)));
+  return router_->PutDocument(uri, *doc).status();
+}
+
+Status FourTierStack::DatabusStep(const SessionMix::Op& op) {
+  if (!op.is_read) {
+    auto scn = source_.Put("profiles", op.key, {{"val", op.client}});
+    if (!scn.ok()) return scn.status();
+  }
+  // Drive the change pipeline on a cadence: relay ingests the binlog, the
+  // client delivers to the consumer. (Production runs these on poller
+  // threads; the workload steps them inline to stay deterministic in sim.)
+  if (steps_ % std::max<int64_t>(1, options_.databus_poll_every) == 0) {
+    auto ingested = relay_->PollOnce();
+    if (!ingested.ok()) return ingested.status();
+    auto delivered = databus_client_->PollOnce();
+    if (!delivered.ok()) return delivered.status();
+  }
+  return Status::OK();
+}
+
+int64_t FourTierStack::TotalOverloadRejects() const {
+  int64_t total = broker_->quota_rejects();
+  for (const auto& server : voldemort_) total += server->quota_rejects();
+  total += router_->admission_rejects();
+  return total;
+}
+
+void FourTierStack::SetQuotaEnforcing(bool enforcing) {
+  broker_->SetQuotaEnforcing(enforcing);
+  for (auto& server : voldemort_) server->SetQuotaEnforcing(enforcing);
+}
+
+}  // namespace lidi::workload

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/coding.h"
@@ -228,6 +231,65 @@ TEST(ZipfTest, CoversRangeAndDeterministic) {
     seen.insert(v);
   }
   EXPECT_GT(seen.size(), 30u);  // tail still gets sampled
+}
+
+// Regression for the out-of-domain tail draw: the old implementation
+// materialized the full CDF and binary-searched it, and a uniform draw
+// landing above the last floating-point CDF entry made std::lower_bound
+// return end() — i.e. rank n, outside [0, n). Seed 5618432's first
+// NextDouble() is 2.5e-8, which the rejection-inversion sampler maps to the
+// far edge of the inversion domain (x ~ n + 0.5, k = n + 1 before the
+// clamp), so every one of these draws exercises the boundary.
+TEST(ZipfTest, TailDrawStaysInDomain) {
+  const uint64_t kTailSeed = 5618432;
+  for (const double theta : {0.0, 0.5, 0.9, 0.99, 1.0, 1.2}) {
+    for (const uint64_t n : {1ull, 2ull, 50ull, 1000ull}) {
+      ZipfGenerator zipf(n, theta, kTailSeed);
+      for (int i = 0; i < 200; ++i) {
+        EXPECT_LT(zipf.Next(), n) << "n=" << n << " theta=" << theta;
+      }
+    }
+  }
+  // Pin the boundary case itself: the first draw under the tail seed must
+  // resolve to the last in-domain rank, not n.
+  ZipfGenerator tail(1000, 0.99, kTailSeed);
+  EXPECT_EQ(tail.Next(), 999u);
+}
+
+// The old CDF cost 8 bytes per rank (8 MB per million keys); a 2^30-rank
+// generator would have allocated 8.6 GB and looped a billion pow() calls in
+// the constructor. Rejection-inversion is O(1) setup and memory, so
+// billion-key generators are free — this test fails (OOM or timeout)
+// against the old implementation.
+TEST(ZipfTest, BillionKeyGeneratorIsCheapAndInDomain) {
+  ZipfGenerator zipf(1ull << 30, 0.99, 7);
+  uint64_t max_seen = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = zipf.Next();
+    ASSERT_LT(v, zipf.n());
+    max_seen = std::max(max_seen, v);
+  }
+  EXPECT_GT(max_seen, 1ull << 20);  // the deep tail is actually reachable
+}
+
+// The sampler must follow the exact Zipf pmf, not just "be skewed":
+// empirical frequencies over 200K draws stay within a few relative percent
+// of 1/(rank^theta * H_{n,theta}) for every rank of a small domain.
+TEST(ZipfTest, MatchesExactZipfPmf) {
+  const uint64_t kN = 20;
+  const double kTheta = 0.9;
+  ZipfGenerator zipf(kN, kTheta, 42);
+  std::vector<int> counts(kN, 0);
+  const int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) counts[zipf.Next()]++;
+  double harmonic = 0;
+  for (uint64_t r = 1; r <= kN; ++r) harmonic += 1.0 / std::pow(r, kTheta);
+  for (uint64_t r = 0; r < kN; ++r) {
+    const double exact = (1.0 / std::pow(r + 1.0, kTheta)) / harmonic;
+    const double emp = static_cast<double>(counts[r]) / kSamples;
+    EXPECT_NEAR(emp, exact, 0.15 * exact + 0.002)
+        << "rank " << r;
+  }
 }
 
 TEST(CompressionTest, DeflateRoundTrip) {

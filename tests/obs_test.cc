@@ -147,6 +147,65 @@ TEST(LatencyHistogramTest, OverflowBucketInterpolatesAgainstMax) {
   EXPECT_GT(snap.Percentile(99), 0.0);
 }
 
+// Bucket-0 lower-edge contract: when the rank falls in the very first
+// bucket, interpolation starts from lo = 0 — there is no UpperBound(-1).
+// Every estimate must land inside [0, UpperBound(0)] and p=0 must not go
+// negative or above the bucket's upper edge.
+TEST(LatencyHistogramTest, PercentileBucketZeroLowerEdgeIsZero) {
+  MetricsRegistry registry;
+  obs::LatencyHistogram* h = registry.GetHistogram("lat");
+  // All samples in bucket 0: (.., 1] — value 1 is the first upper bound.
+  for (int i = 0; i < 100; ++i) h->Record(1);
+  obs::HistogramSnapshot snap = h->Snapshot();
+  ASSERT_EQ(snap.buckets[0], 100);
+  for (const double p : {0.0, 0.5, 50.0, 99.0, 100.0}) {
+    const double est = snap.Percentile(p);
+    EXPECT_GE(est, 0.0) << "p=" << p;
+    EXPECT_LE(est, static_cast<double>(HistogramBuckets::UpperBound(0)))
+        << "p=" << p;
+  }
+  // p=0 sits at the very bottom of bucket 0: the interpolation fraction is
+  // 0, so the estimate is exactly the lower edge, 0.
+  EXPECT_DOUBLE_EQ(snap.Percentile(0), 0.0);
+  // Out-of-range p is clamped, not undefined.
+  EXPECT_DOUBLE_EQ(snap.Percentile(-5), snap.Percentile(0));
+  EXPECT_DOUBLE_EQ(snap.Percentile(200), snap.Percentile(100));
+}
+
+// A single-bucket (single-sample) snapshot: every percentile interpolates
+// within that one bucket and clamps to the exact max.
+TEST(LatencyHistogramTest, PercentileSingleSampleSnapshot) {
+  MetricsRegistry registry;
+  obs::LatencyHistogram* h = registry.GetHistogram("lat");
+  h->Record(42);  // bucket (20, 50]
+  obs::HistogramSnapshot snap = h->Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Percentile(100), 42.0);
+  for (const double p : {0.0, 50.0, 99.9}) {
+    const double est = snap.Percentile(p);
+    EXPECT_GE(est, 20.0) << "p=" << p;
+    EXPECT_LE(est, 42.0) << "p=" << p;
+  }
+}
+
+// Overflow-only snapshot: all mass in the unbounded bucket. The lower edge
+// is the last bounded ladder rung and the upper edge is the recorded max;
+// no percentile may exceed max or fall below the rung.
+TEST(LatencyHistogramTest, PercentileOverflowOnlySnapshot) {
+  MetricsRegistry registry;
+  obs::LatencyHistogram* h = registry.GetHistogram("lat");
+  for (int i = 0; i < 10; ++i) h->Record(7'000'000'000);
+  obs::HistogramSnapshot snap = h->Snapshot();
+  ASSERT_EQ(snap.buckets[HistogramBuckets::kCount - 1], 10);
+  const double rung =
+      static_cast<double>(HistogramBuckets::UpperBound(HistogramBuckets::kCount - 2));
+  for (const double p : {0.0, 50.0, 99.0, 100.0}) {
+    const double est = snap.Percentile(p);
+    EXPECT_GE(est, rung) << "p=" << p;
+    EXPECT_LE(est, 7'000'000'000.0) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(snap.Percentile(100), 7'000'000'000.0);
+}
+
 // --- snapshot API ---
 
 TEST(MetricsRegistryTest, SnapshotIsSortedAndStable) {

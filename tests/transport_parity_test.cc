@@ -4,26 +4,38 @@
 #include <string>
 #include <vector>
 
+#include "espresso/router.h"
+#include "espresso/schema.h"
+#include "helix/helix.h"
 #include "net/network.h"
 #include "net/tcp_transport.h"
 #include "net/transport.h"
+#include "voldemort/cluster.h"
+#include "voldemort/server.h"
+#include "zk/zookeeper.h"
 
 namespace lidi {
 namespace {
 
 /// Regression suite for the Transport error contract: unknown-method,
-/// unknown-endpoint, and post-shutdown dispatch must produce the SAME typed
-/// error with the SAME message on both Call paths (owned-string and
-/// payload) and on both backends (sim and TCP). Tier retry logic branches
-/// on these codes, so a backend that drifted would change cluster behavior
-/// silently.
+/// unknown-endpoint, post-shutdown dispatch — and the overload contract
+/// (dispatch-queue shed, per-client quota, router admission) — must produce
+/// the SAME typed error with the SAME message on both Call paths
+/// (owned-string and payload) and on both backends (sim and TCP). Tier
+/// retry logic branches on these codes, so a backend that drifted would
+/// change cluster behavior silently.
 class TransportParityTest : public ::testing::TestWithParam<const char*> {
  protected:
-  std::unique_ptr<net::Transport> Make() {
+  std::unique_ptr<net::Transport> Make(int64_t max_dispatch_inflight = 0) {
     if (std::string(GetParam()) == "sim") {
-      return std::make_unique<net::Network>();
+      return std::make_unique<net::Network>(/*fault_seed=*/42,
+                                            /*metrics=*/nullptr,
+                                            /*clock=*/nullptr,
+                                            max_dispatch_inflight);
     }
-    return std::make_unique<net::TcpTransport>();
+    net::TcpTransportOptions options;
+    options.max_dispatch_inflight = max_dispatch_inflight;
+    return std::make_unique<net::TcpTransport>(options);
   }
 };
 
@@ -109,6 +121,76 @@ TEST_P(TransportParityTest, StatsCountBothDirections) {
   t->ResetStats();
   EXPECT_EQ(t->GetStats("c").calls_sent, 0);
   EXPECT_EQ(t->total_calls(), 0);
+}
+
+TEST_P(TransportParityTest, BoundedDispatchShedsOverloadedBeforeAnyWork) {
+  // One dispatch slot: the outer handler holds it, so the nested call it
+  // places is refused admission — reject-before-work, the typed Overloaded
+  // error (not a timeout, not Unavailable) propagates back verbatim.
+  auto t = Make(/*max_dispatch_inflight=*/1);
+  t->Register("s2", "m", [](Slice) -> Result<std::string> {
+    return std::string("never reached");
+  });
+  auto* raw = t.get();
+  t->Register("s", "outer", [raw](Slice) -> Result<std::string> {
+    auto nested = raw->Call("s", "s2", "m", "");
+    if (!nested.ok()) return nested.status();
+    return nested.value();
+  });
+  const Status shed = t->Call("c", "s", "outer", "").status();
+  EXPECT_EQ(shed.code(), Code::kOverloaded);
+  EXPECT_TRUE(shed.IsOverloaded());
+  EXPECT_EQ(shed.message(), "dispatch queue full at s2");
+  // With the outer handler done, the slot is free again: no sticky state.
+  auto ok = t->Call("c", "s2", "m", "");
+  ASSERT_TRUE(ok.ok());
+}
+
+TEST_P(TransportParityTest, VoldemortQuotaExceededIsOverloadedOnBothBackends) {
+  auto t = Make();
+  std::vector<voldemort::Node> nodes{
+      {0, net::MakeAddress(net::Tier::kVoldemort, 0), 0}};
+  auto metadata = std::make_shared<voldemort::ClusterMetadata>(
+      voldemort::Cluster::Uniform(nodes, 4));
+  voldemort::VoldemortServerOptions options;
+  options.quota_requests_per_sec = 1e-6;  // effectively no refill mid-test
+  options.quota_burst = 1;
+  voldemort::VoldemortServer server(0, metadata, t.get(), options);
+  server.AddStore("st");
+  // The quota gate runs before request decode, so even a garbage request
+  // spends the client's one token...
+  const Status first = t->Call("c", server.address(), "v.get", "").status();
+  EXPECT_NE(first.code(), Code::kOverloaded);
+  // ...and the next request from the same client is shed, typed and
+  // attributed. A different client still has its own bucket.
+  const Status second = t->Call("c", server.address(), "v.get", "").status();
+  EXPECT_EQ(second.code(), Code::kOverloaded);
+  EXPECT_EQ(second.message(),
+            "get quota exceeded for c at " + server.address());
+  EXPECT_NE(t->Call("other", server.address(), "v.get", "").status().code(),
+            Code::kOverloaded);
+  EXPECT_EQ(server.quota_rejects(), 1);
+}
+
+TEST_P(TransportParityTest, RouterAdmissionRejectIsOverloadedOnBothBackends) {
+  auto t = Make();
+  zk::ZooKeeper zookeeper;
+  espresso::SchemaRegistry registry;
+  helix::HelixController helix("h", &zookeeper);
+  espresso::RouterOptions options;
+  options.max_inflight = 1;
+  espresso::Router router("r", &registry, &helix, t.get(), options);
+  // Occupy the single admission slot from the outside: the next request is
+  // rejected before the URI is even parsed (no storage tier exists here at
+  // all, and the error is still the typed admission reject).
+  ASSERT_TRUE(router.inflight_limiter()->TryEnter());
+  const Status rejected = router.GetRecord("/db/t/r").status();
+  EXPECT_EQ(rejected.code(), Code::kOverloaded);
+  EXPECT_EQ(rejected.message(), "get rejected: router r at in-flight limit");
+  EXPECT_EQ(router.admission_rejects(), 1);
+  router.inflight_limiter()->Exit();
+  // Slot free again: the same request now fails on routing, not admission.
+  EXPECT_NE(router.GetRecord("/db/t/r").status().code(), Code::kOverloaded);
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, TransportParityTest,
