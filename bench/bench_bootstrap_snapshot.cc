@@ -23,6 +23,8 @@
 #include "net/network.h"
 #include "sqlstore/database.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::databus;
 
@@ -52,7 +54,7 @@ int main() {
 
   net::Network network;
   sqlstore::Database db("source");
-  db.CreateTable("t");
+  LIDI_MUST_OK(db.CreateTable("t"));
   // Small relay buffer: history quickly falls out, forcing bootstraps.
   Relay relay("relay", &db, &network,
               RelayOptions{.buffer_capacity_events = 512});
@@ -63,17 +65,17 @@ int main() {
     for (int i = 0; i < n; ++i) {
       const std::string key = "k" + std::to_string(rng.Uniform(800));
       if (rng.Bernoulli(0.1)) {
-        db.Delete("t", key);
+        LIDI_MUST_OK(db.Delete("t", key));
       } else {
-        db.Put("t", key, {{"v", std::to_string(rng.Next())}});
+        LIDI_MUST_OK(db.Put("t", key, {{"v", std::to_string(rng.Next())}}));
       }
       if (i % 50 == 0) {
-        relay.PollOnce();
-        bootstrap.PollRelayOnce();
+        LIDI_MUST_OK(relay.PollOnce());
+        LIDI_MUST_OK(bootstrap.PollRelayOnce());
       }
     }
-    relay.PollOnce();
-    bootstrap.PollRelayOnce();
+    LIDI_MUST_OK(relay.PollOnce());
+    LIDI_MUST_OK(bootstrap.PollRelayOnce());
     bootstrap.ApplyLogOnce();
   };
 
@@ -97,10 +99,10 @@ int main() {
 
     // Compare against the source of truth.
     std::map<std::string, std::string> source_state;
-    db.Scan("t", [&source_state](const std::string& pk, const sqlstore::Row& row) {
+    LIDI_MUST_OK(db.Scan("t", [&source_state](const std::string& pk, const sqlstore::Row& row) {
       source_state[pk] = row.at("v");
       return true;
-    });
+    }));
     bench::Row("%10s | %12zu | %12lld | %10lld | %s",
                ("fresh-" + std::to_string(c)).c_str(), snapshot_rows,
                static_cast<long long>(live_events),

@@ -18,6 +18,8 @@
 #include "voldemort/server.h"
 #include "workload/key_mix.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::voldemort;
 
@@ -33,8 +35,8 @@ int main() {
   std::vector<std::unique_ptr<VoldemortServer>> servers;
   for (int i = 0; i < 4; ++i) {
     servers.push_back(std::make_unique<VoldemortServer>(i, metadata, &network));
-    servers.back()->AddStore("member-follows");
-    servers.back()->AddStore("company-followers");
+    LIDI_MUST_OK(servers.back()->AddStore("member-follows"));
+    LIDI_MUST_OK(servers.back()->AddStore("company-followers"));
   }
   StoreDefinition def{"company-followers", 3, 2, 2};
   StoreClient followers("cf", def, metadata, &network, SystemClock::Default());
@@ -53,7 +55,7 @@ int main() {
   std::string empty;
   EncodeStringList({}, &empty);
   for (int c = 0; c < kCompanies; ++c) {
-    followers.PutValue(mix.KeyAt(static_cast<uint64_t>(c)), empty);
+    LIDI_MUST_OK(followers.PutValue(mix.KeyAt(static_cast<uint64_t>(c)), empty));
   }
   for (int i = 0; i < kFollows; ++i) {
     const std::string key = mix.NextKey();
@@ -63,7 +65,7 @@ int main() {
     append.type = Transform::Type::kAppend;
     append.item = "member:" + std::to_string(i);
     bench::Stopwatch op;
-    followers.Put(key, current.value()[0].version, append);
+    LIDI_MUST_OK(followers.Put(key, current.value()[0].version, append));
     append_lat.Record(op.ElapsedMicros());
   }
   bench::Row("follow (transformed append) us: %s", append_lat.Summary().c_str());

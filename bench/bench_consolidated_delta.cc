@@ -17,6 +17,8 @@
 #include "net/network.h"
 #include "sqlstore/database.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::databus;
 
@@ -32,7 +34,7 @@ int main() {
                                         {100'000, 10'000}}) {
     net::Network network;
     sqlstore::Database db("source");
-    db.CreateTable("t");
+    LIDI_MUST_OK(db.CreateTable("t"));
     Relay relay("relay", &db, &network,
                 RelayOptions{.buffer_capacity_events = 1 << 22,
                              .poll_batch_transactions = 1 << 20});
@@ -40,11 +42,11 @@ int main() {
 
     Random rng(9);
     for (int i = 0; i < updates; ++i) {
-      db.Put("t", "k" + std::to_string(rng.Uniform(keys)),
-             {{"v", std::to_string(i)}});
+      LIDI_MUST_OK(db.Put("t", "k" + std::to_string(rng.Uniform(keys)),
+             {{"v", std::to_string(i)}}));
     }
-    relay.PollOnce();
-    bootstrap.PollRelayOnce();
+    LIDI_MUST_OK(relay.PollOnce());
+    LIDI_MUST_OK(bootstrap.PollRelayOnce());
     bootstrap.ApplyLogOnce();
 
     // Full replay: everything since SCN 0 from the relay.

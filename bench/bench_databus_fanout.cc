@@ -18,6 +18,8 @@
 #include "net/network.h"
 #include "sqlstore/database.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::databus;
 
@@ -39,8 +41,8 @@ int main() {
   for (int consumers : {1, 4, 16, 64, 256}) {
     net::Network network;
     sqlstore::Database db("source");
-    db.CreateTable("t");
-    for (int i = 0; i < 2000; ++i) db.Put("t", "k" + std::to_string(i), {});
+    LIDI_MUST_OK(db.CreateTable("t"));
+    for (int i = 0; i < 2000; ++i) LIDI_MUST_OK(db.Put("t", "k" + std::to_string(i), {}));
     Relay relay("relay", &db, &network);
     while (relay.PollOnce().value() > 0) {
     }

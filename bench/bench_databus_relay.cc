@@ -17,6 +17,8 @@
 #include "net/network.h"
 #include "sqlstore/database.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::databus;
 
@@ -32,7 +34,7 @@ int main() {
                                         {200'000, 1000}}) {
     net::Network network;
     sqlstore::Database db("source");
-    db.CreateTable("t");
+    LIDI_MUST_OK(db.CreateTable("t"));
     Random rng(3);
     // Commit in multi-row transactions to stress the envelope path.
     for (int i = 0; i < num_events; i += 5) {
@@ -41,12 +43,12 @@ int main() {
         txn.Put("t", "k" + std::to_string(i + j),
                 {{"v", rng.Bytes(payload_bytes)}});
       }
-      txn.Commit();
+      LIDI_MUST_OK(txn.Commit());
     }
     Relay relay("relay", &db, &network,
                 RelayOptions{.buffer_capacity_events = 1 << 21,
                              .poll_batch_transactions = 1 << 20});
-    relay.PollOnce();
+    LIDI_MUST_OK(relay.PollOnce());
 
     Histogram lat;
     for (int i = 0; i < 20'000; ++i) {
@@ -69,12 +71,12 @@ int main() {
   {
     net::Network network;
     sqlstore::Database db("source");
-    db.CreateTable("t");
-    for (int i = 0; i < 50'000; ++i) db.Put("t", "k" + std::to_string(i), {});
+    LIDI_MUST_OK(db.CreateTable("t"));
+    for (int i = 0; i < 50'000; ++i) LIDI_MUST_OK(db.Put("t", "k" + std::to_string(i), {}));
     Relay direct("relay-direct", &db, &network);
-    direct.PollOnce();
+    LIDI_MUST_OK(direct.PollOnce());
     Relay chained("relay-chained", net::Address("relay-direct"), &network);
-    chained.PollOnce();
+    LIDI_MUST_OK(chained.PollOnce());
 
     Random rng(4);
     for (auto* relay : {&direct, &chained}) {
@@ -83,7 +85,7 @@ int main() {
         const int64_t since =
             static_cast<int64_t>(rng.Uniform(50'000 - 200));
         bench::Stopwatch op;
-        relay->ReadEvents(since, 100, Filter{});
+        LIDI_MUST_OK(relay->ReadEvents(since, 100, Filter{}));
         lat.Record(op.ElapsedMicros());
       }
       bench::Row("%-14s | us: %s",

@@ -14,6 +14,8 @@
 #include "common/random.h"
 #include "espresso_fixture.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::bench;
 
@@ -67,7 +69,7 @@ int main() {
     // Interleaved writes to one hot document.
     for (int i = 0; i < 200; ++i) {
       auto doc = fx.MakeDoc("v" + std::to_string(i), "b", i);
-      fx.router->PutDocument("/db/docs/hot/doc", *doc);
+      LIDI_MUST_OK(fx.router->PutDocument("/db/docs/hot/doc", *doc));
     }
     for (auto& node : fx.nodes) node->CatchUpAll();
     // Every replica of the partition must hold the LAST version.

@@ -11,6 +11,8 @@
 #include "common/random.h"
 #include "espresso_fixture.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::bench;
 
@@ -80,7 +82,7 @@ int main() {
     updates.push_back({"docs", resource + "/txn-a", a.get()});
     updates.push_back({"docs", resource + "/txn-b", b.get()});
     bench::Stopwatch op;
-    fx.router->PostTransaction("db", resource, updates);
+    LIDI_MUST_OK(fx.router->PostTransaction("db", resource, updates));
     txn_lat.Record(op.ElapsedMicros());
   }
   bench::Row("TXN(2) us: %s", txn_lat.Summary().c_str());

@@ -12,6 +12,8 @@
 #include "helix/helix.h"
 #include "zk/zookeeper.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::helix;
 
@@ -36,7 +38,7 @@ int main() {
 
   zk::ZooKeeper zookeeper;
   HelixController controller("bench", &zookeeper);
-  controller.AddResource({"db", 24, 3});
+  LIDI_MUST_OK(controller.AddResource({"db", 24, 3}));
 
   std::map<std::string, zk::SessionId> sessions;
   auto connect = [&](const std::string& name) {
@@ -85,7 +87,7 @@ int main() {
   for (int nodes : {4, 8, 16}) {
     zk::ZooKeeper zk2;
     HelixController c2("bench2", &zk2);
-    c2.AddResource({"db", 64, 2});
+    LIDI_MUST_OK(c2.AddResource({"db", 64, 2}));
     std::map<std::string, zk::SessionId> s2;
     for (int i = 0; i < nodes; ++i) {
       auto session = c2.ConnectParticipant(

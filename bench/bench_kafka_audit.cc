@@ -22,6 +22,8 @@
 #include "net/network.h"
 #include "zk/zookeeper.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::kafka;
 
@@ -38,8 +40,8 @@ AuditRun Run(double drop_fraction, int producers, int messages_per_producer) {
   zk::ZooKeeper zookeeper;
   net::Network network;
   Broker broker(0, &zookeeper, &network, &clock, {});
-  broker.CreateTopic("events", 4);
-  broker.CreateTopic(kAuditTopic, 1);
+  LIDI_MUST_OK(broker.CreateTopic("events", 4));
+  LIDI_MUST_OK(broker.CreateTopic(kAuditTopic, 1));
 
   Random rng(99);
   std::vector<std::unique_ptr<Producer>> producer_objs;
@@ -56,7 +58,7 @@ AuditRun Run(double drop_fraction, int producers, int messages_per_producer) {
       // audit counters still count them as produced — that is the point.
       audits[p]->RecordProduced("events");
       if (!rng.Bernoulli(drop_fraction)) {
-        producer_objs[p]->Send("events", "e" + std::to_string(i));
+        LIDI_MUST_OK(producer_objs[p]->Send("events", "e" + std::to_string(i)));
       }
     }
     if (i % 100 == 0) clock.AdvanceMillis(100);
@@ -67,7 +69,7 @@ AuditRun Run(double drop_fraction, int producers, int messages_per_producer) {
   AuditRun result;
   AuditValidator validator;
   Consumer consumer("c", "g", &zookeeper, &network);
-  consumer.Subscribe("events");
+  LIDI_MUST_OK(consumer.Subscribe("events"));
   for (int round = 0; round < 500; ++round) {
     auto messages = consumer.Poll("events");
     if (!messages.ok()) break;
@@ -75,10 +77,10 @@ AuditRun Run(double drop_fraction, int producers, int messages_per_producer) {
                              static_cast<int64_t>(messages.value().size()));
   }
   Consumer audit_consumer("ca", "ga", &zookeeper, &network);
-  audit_consumer.Subscribe(kAuditTopic);
+  LIDI_MUST_OK(audit_consumer.Subscribe(kAuditTopic));
   for (int round = 0; round < 100; ++round) {
     auto messages = audit_consumer.Poll(kAuditTopic);
-    if (messages.ok()) validator.IngestAuditMessages(messages.value());
+    if (messages.ok()) LIDI_MUST_OK(validator.IngestAuditMessages(messages.value()));
   }
   result.produced = validator.ProducedCount("events");
   result.consumed = validator.ConsumedCount("events");

@@ -17,6 +17,8 @@
 #include "net/network.h"
 #include "zk/zookeeper.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::kafka;
 
@@ -48,7 +50,7 @@ int main() {
       zk::ZooKeeper zookeeper;
       net::Network network;
       Broker broker(0, &zookeeper, &network, &clock, {});
-      broker.CreateTopic("t", 2);
+      LIDI_MUST_OK(broker.CreateTopic("t", 2));
       ProducerOptions options;
       options.batch_size = batch;
       options.codec =
@@ -58,15 +60,15 @@ int main() {
       for (int i = 0; i < kMessages; ++i) {
         const std::string event = ActivityEvent(&rng, i);
         if (!compress) raw += static_cast<int64_t>(event.size());
-        producer.Send("t", event);
+        LIDI_MUST_OK(producer.Send("t", event));
       }
-      producer.Flush();
+      LIDI_MUST_OK(producer.Flush());
       (compress ? deflate_wire : plain_wire) = producer.bytes_on_wire();
 
       // Consumers must still receive every message intact.
       broker.FlushAll();
       Consumer consumer("c", "g", &zookeeper, &network);
-      consumer.Subscribe("t");
+      LIDI_MUST_OK(consumer.Subscribe("t"));
       int64_t got = 0;
       while (got < kMessages) {
         auto messages = consumer.Poll("t");

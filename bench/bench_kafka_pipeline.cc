@@ -23,6 +23,8 @@
 #include "net/network.h"
 #include "zk/zookeeper.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::kafka;
 
@@ -53,11 +55,11 @@ int main() {
     live_options.log.flush_interval_messages = 1 << 20;  // time-driven flush
     live_options.log.flush_interval_ms = cadence.flush_ms;
     Broker live(0, &zookeeper, &network, &clock, live_options);
-    live.CreateTopic("events", 4);
+    LIDI_MUST_OK(live.CreateTopic("events", 4));
     BrokerOptions offline_options = live_options;
     offline_options.zk_root = "/kafka-offline";
     Broker offline(100, &zookeeper, &network, &clock, offline_options);
-    offline.CreateTopic("events", 4);
+    LIDI_MUST_OK(offline.CreateTopic("events", 4));
 
     ProducerOptions producer_options;
     producer_options.batch_size = cadence.batch;
@@ -67,7 +69,7 @@ int main() {
     ConsumerOptions load_options;
     load_options.zk_root = "/kafka-offline";
     Consumer load("load", "etl", &zookeeper, &network, load_options);
-    load.Subscribe("events");
+    LIDI_MUST_OK(load.Subscribe("events"));
 
     // Drive 10 simulated minutes: ~100 events/s in 100 ms ticks; each stage
     // acts on its cadence. Event payload carries its production timestamp.
@@ -76,7 +78,7 @@ int main() {
     for (int64_t t = 0; t < 10 * 60 * 1000; t += kTickMs) {
       clock.AdvanceMillis(kTickMs);
       for (int i = 0; i < 10; ++i) {
-        frontend.Send("events", std::to_string(clock.NowMillis()));
+        LIDI_MUST_OK(frontend.Send("events", std::to_string(clock.NowMillis())));
       }
       // Appends notice time-based flushes; nudge brokers via empty produce.
       if (t % cadence.flush_ms == 0) {
@@ -84,7 +86,7 @@ int main() {
         offline.FlushAll();
       }
       if (t % cadence.mirror_poll_ms == 0) {
-        frontend.Flush();  // producers ship pending batches on a timer too
+        LIDI_MUST_OK(frontend.Flush());  // producers ship pending batches on a timer too
         // The embedded consumer drains its backlog each wake-up.
         while (mirror.PumpOnce().value() > 0) {
         }

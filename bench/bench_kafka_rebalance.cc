@@ -19,6 +19,8 @@
 #include "net/network.h"
 #include "zk/zookeeper.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::kafka;
 
@@ -37,17 +39,17 @@ int main() {
     for (int b = 0; b < 2; ++b) {
       brokers.push_back(std::make_unique<Broker>(b, &zookeeper, &network,
                                                  &clock, BrokerOptions{}));
-      brokers.back()->CreateTopic("t", partitions_per_broker);
+      LIDI_MUST_OK(brokers.back()->CreateTopic("t", partitions_per_broker));
     }
     std::vector<std::unique_ptr<Consumer>> group;
     for (int c = 0; c < consumers; ++c) {
       group.push_back(std::make_unique<Consumer>("c" + std::to_string(c), "g",
                                                  &zookeeper, &network));
-      group.back()->Subscribe("t");
+      LIDI_MUST_OK(group.back()->Subscribe("t"));
     }
     // Settle: polls process pending rebalances.
     for (int round = 0; round < 10; ++round) {
-      for (auto& c : group) c->Poll("t");
+      for (auto& c : group) LIDI_MUST_OK(c->Poll("t"));
     }
     int min_owned = 1 << 30, max_owned = 0, total = 0;
     for (auto& c : group) {
@@ -71,9 +73,9 @@ int main() {
     zk::ZooKeeper zookeeper;
     net::Network network;
     Broker broker(0, &zookeeper, &network, &clock, BrokerOptions{});
-    broker.CreateTopic("t", 12);
+    LIDI_MUST_OK(broker.CreateTopic("t", 12));
     Producer producer("p", &zookeeper, &network);
-    for (int i = 0; i < 2000; ++i) producer.Send("t", "m");
+    for (int i = 0; i < 2000; ++i) LIDI_MUST_OK(producer.Send("t", "m"));
 
     std::vector<std::unique_ptr<Consumer>> group;
     auto poll_all = [&]() {
@@ -83,7 +85,7 @@ int main() {
         if (m.ok()) n += static_cast<int64_t>(m.value().size());
         // Commit so a partition handed to another member resumes rather
         // than replays (Kafka is at-least-once across rebalances).
-        c->CommitOffsets();
+        LIDI_MUST_OK(c->CommitOffsets());
       }
       return n;
     };
@@ -103,7 +105,7 @@ int main() {
     for (int step = 1; step <= 4; ++step) {
       group.push_back(std::make_unique<Consumer>("c" + std::to_string(step),
                                                  "g", &zookeeper, &network));
-      group.back()->Subscribe("t");
+      LIDI_MUST_OK(group.back()->Subscribe("t"));
       for (int round = 0; round < 30; ++round) consumed += poll_all();
       int rebalances = 0;
       for (auto& c : group) rebalances += c->rebalance_count();

@@ -18,6 +18,8 @@
 #include "net/network.h"
 #include "zk/zookeeper.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::kafka;
 
@@ -35,11 +37,11 @@ int main() {
       brokers.push_back(std::make_unique<Broker>(i, &zookeeper, &network,
                                                  &clock, BrokerOptions{}));
     }
-    brokers[0]->CreateTopic("plain", 4);
+    LIDI_MUST_OK(brokers[0]->CreateTopic("plain", 4));
     ReplicatedTopicManager manager(&zookeeper, &network);
-    manager.CreateReplicatedTopic(
+    LIDI_MUST_OK(manager.CreateReplicatedTopic(
         "replicated", 4,
-        {brokers[0].get(), brokers[1].get(), brokers[2].get()});
+        {brokers[0].get(), brokers[1].get(), brokers[2].get()}));
     std::vector<std::unique_ptr<ReplicaFetcher>> fetchers;
     for (auto& broker : brokers) {
       fetchers.push_back(std::make_unique<ReplicaFetcher>(
@@ -54,18 +56,18 @@ int main() {
     const int kBatches = 3000;
     bench::Stopwatch plain_timer;
     for (int i = 0; i < kBatches; ++i) {
-      brokers[0]->Produce("plain", i % 4, set);
+      LIDI_MUST_OK(brokers[0]->Produce("plain", i % 4, set));
     }
     const double plain_s = plain_timer.ElapsedSeconds();
 
     bench::Stopwatch replicated_timer;
     for (int i = 0; i < kBatches; ++i) {
-      manager.ProduceToLeader("bench", "replicated", i % 4, set);
+      LIDI_MUST_OK(manager.ProduceToLeader("bench", "replicated", i % 4, set));
       if (i % 50 == 49) {  // follower fetchers run continuously in prod
-        for (auto& fetcher : fetchers) fetcher->SyncOnce("replicated", 4);
+        for (auto& fetcher : fetchers) LIDI_MUST_OK(fetcher->SyncOnce("replicated", 4));
       }
     }
-    for (auto& fetcher : fetchers) fetcher->SyncOnce("replicated", 4);
+    for (auto& fetcher : fetchers) LIDI_MUST_OK(fetcher->SyncOnce("replicated", 4));
     const double replicated_s = replicated_timer.ElapsedSeconds();
 
     bench::Row("%-32s | %9.0f batches/s", "unreplicated produce",
@@ -91,8 +93,8 @@ int main() {
                                                  &clock, BrokerOptions{}));
     }
     ReplicatedTopicManager manager(&zookeeper, &network);
-    manager.CreateReplicatedTopic(
-        "t", 1, {brokers[0].get(), brokers[1].get(), brokers[2].get()});
+    LIDI_MUST_OK(manager.CreateReplicatedTopic(
+        "t", 1, {brokers[0].get(), brokers[1].get(), brokers[2].get()}));
     std::vector<std::unique_ptr<ReplicaFetcher>> fetchers;
     for (auto& broker : brokers) {
       fetchers.push_back(std::make_unique<ReplicaFetcher>(
@@ -105,9 +107,9 @@ int main() {
     for (int i = 0; i < kMessages; ++i) {
       MessageSetBuilder builder;
       builder.Add("m" + std::to_string(i));
-      manager.ProduceToLeader("bench", "t", 0, builder.Build());
+      LIDI_MUST_OK(manager.ProduceToLeader("bench", "t", 0, builder.Build()));
       if (i == kMessages - lag - 1) {
-        for (auto& fetcher : fetchers) fetcher->SyncOnce("t", 1);
+        for (auto& fetcher : fetchers) LIDI_MUST_OK(fetcher->SyncOnce("t", 1));
       }
     }
 
@@ -115,7 +117,7 @@ int main() {
     brokers[leader]->Shutdown();
     network.SetNodeDown(net::MakeAddress(net::Tier::kKafkaBroker, leader));
     bench::Stopwatch failover_timer;
-    manager.FailoverDeadLeaders("t");
+    LIDI_MUST_OK(manager.FailoverDeadLeaders("t"));
     const double failover_us = failover_timer.ElapsedMicros();
 
     auto data = manager.FetchFromLeader("bench", "t", 0, 0, 16 << 20);

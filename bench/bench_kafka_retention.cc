@@ -16,6 +16,8 @@
 #include "net/network.h"
 #include "zk/zookeeper.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::kafka;
 
@@ -33,7 +35,7 @@ int main() {
     options.log.segment_bytes = 64 << 10;
     options.log.retention_ms = retention_hours * 3600LL * 1000;
     Broker broker(0, &zookeeper, &network, &clock, options);
-    broker.CreateTopic("t", 1);
+    LIDI_MUST_OK(broker.CreateTopic("t", 1));
 
     Random rng(5);
     MessageSetBuilder builder;
@@ -42,7 +44,7 @@ int main() {
     // One week of traffic, one burst per simulated hour.
     const int kHours = 7 * 24;
     for (int h = 0; h < kHours; ++h) {
-      for (int i = 0; i < 20; ++i) broker.Produce("t", 0, set);
+      for (int i = 0; i < 20; ++i) LIDI_MUST_OK(broker.Produce("t", 0, set));
       clock.AdvanceMillis(3600LL * 1000);
       broker.EnforceRetention();
     }
@@ -64,18 +66,18 @@ int main() {
     zk::ZooKeeper zookeeper;
     net::Network network;
     Broker broker(0, &zookeeper, &network, &clock, {});
-    broker.CreateTopic("t", 2);
+    LIDI_MUST_OK(broker.CreateTopic("t", 2));
     Producer producer("p", &zookeeper, &network);
     for (int i = 0; i < 5000; ++i) {
-      producer.Send("t", "msg-" + std::to_string(i));
+      LIDI_MUST_OK(producer.Send("t", "msg-" + std::to_string(i)));
     }
     Consumer consumer("c", "g", &zookeeper, &network);
-    consumer.Subscribe("t");
+    LIDI_MUST_OK(consumer.Subscribe("t"));
     int64_t first_pass = 0;
     for (int round = 0; round < 3000 && first_pass < 5000; ++round) {
       first_pass += static_cast<int64_t>(consumer.Poll("t").value().size());
     }
-    consumer.CommitOffsets();
+    LIDI_MUST_OK(consumer.CommitOffsets());
 
     // Replay after an "application logic error" (paper's example): rewind
     // every partition to 0 and measure the re-consume rate.
@@ -94,8 +96,8 @@ int main() {
 
     // Checkpoint restart: a restarted consumer resumes where it committed.
     Consumer restarted("c", "g2", &zookeeper, &network);
-    restarted.Subscribe("t");
-    restarted.CommitOffsets();
+    LIDI_MUST_OK(restarted.Subscribe("t"));
+    LIDI_MUST_OK(restarted.CommitOffsets());
     bench::Row("restart resume: new consumer starts from committed offsets "
                "(broker kept no state)");
   }

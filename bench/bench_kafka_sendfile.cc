@@ -20,6 +20,8 @@
 #include "net/network.h"
 #include "zk/zookeeper.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::kafka;
 
@@ -41,13 +43,13 @@ int main() {
       options.log.segment_bytes = 16 << 20;
       options.log.flush_interval_messages = 1 << 20;
       Broker broker(0, &zookeeper, &network, &clock, options);
-      broker.CreateTopic("t", 1);
+      LIDI_MUST_OK(broker.CreateTopic("t", 1));
 
       Random rng(3);
       MessageSetBuilder builder;
       for (int i = 0; i < 64; ++i) builder.Add(rng.Bytes(1024));
       const std::string set = builder.Build();
-      for (int i = 0; i < 256; ++i) broker.Produce("t", 0, set);
+      for (int i = 0; i < 256; ++i) LIDI_MUST_OK(broker.Produce("t", 0, set));
       broker.GetLog("t", 0)->Flush();
       const int64_t log_end = broker.GetLog("t", 0)->flushed_end_offset();
 

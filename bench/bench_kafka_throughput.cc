@@ -29,6 +29,8 @@
 #include "net/transport.h"
 #include "zk/zookeeper.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::kafka;
 
@@ -88,7 +90,7 @@ int main(int argc, char** argv) {
       BrokerOptions broker_options;
       broker_options.log.flush_interval_messages = 1000;
       Broker broker(0, &zookeeper, network, &clock, broker_options);
-      broker.CreateTopic("t", 4);
+      LIDI_MUST_OK(broker.CreateTopic("t", 4));
 
       ProducerOptions producer_options;
       producer_options.batch_size = batch;
@@ -98,15 +100,15 @@ int main(int argc, char** argv) {
 
       const int kMessages = over_tcp ? 20'000 : 60'000;
       bench::Stopwatch produce_timer;
-      for (int i = 0; i < kMessages; ++i) producer.Send("t", payload);
-      producer.Flush();
+      for (int i = 0; i < kMessages; ++i) LIDI_MUST_OK(producer.Send("t", payload));
+      LIDI_MUST_OK(producer.Flush());
       const double produce_rate = kMessages / produce_timer.ElapsedSeconds();
       broker.FlushAll();
 
       ConsumerOptions consumer_options;
       consumer_options.max_fetch_bytes = 300 << 10;
       Consumer consumer("c", "g", &zookeeper, network, consumer_options);
-      consumer.Subscribe("t");
+      LIDI_MUST_OK(consumer.Subscribe("t"));
       bench::Stopwatch consume_timer;
       int64_t consumed = 0;
       while (consumed < kMessages) {

@@ -18,6 +18,8 @@
 #include "voldemort/client.h"
 #include "voldemort/server.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::voldemort;
 
@@ -39,7 +41,7 @@ Outcome RunScenario(bool read_repair, bool hinted_handoff) {
   std::vector<std::unique_ptr<VoldemortServer>> servers;
   for (int i = 0; i < 4; ++i) {
     servers.push_back(std::make_unique<VoldemortServer>(i, metadata, &network));
-    servers.back()->AddStore("bench");
+    LIDI_MUST_OK(servers.back()->AddStore("bench"));
   }
 
   ClientOptions options;
@@ -63,14 +65,14 @@ Outcome RunScenario(bool read_repair, bool hinted_handoff) {
   }
 
   // Seed everything while the cluster is healthy.
-  for (const auto& key : keys) writer.PutValue(key, "v1");
+  for (const auto& key : keys) LIDI_MUST_OK(writer.PutValue(key, "v1"));
 
   // Transient failure: node 0 dies; the write burst continues (W=1).
   network.SetNodeDown(net::MakeAddress(net::Tier::kVoldemort, 0));
   for (const auto& key : keys) {
     auto versions = writer.Get(key);
     if (versions.ok()) {
-      writer.Put(key, Versioned{versions.value()[0].version, "v2"});
+      LIDI_MUST_OK(writer.Put(key, Versioned{versions.value()[0].version, "v2"}));
     }
     clock.AdvanceMillis(1);
   }
@@ -99,7 +101,7 @@ Outcome RunScenario(bool read_repair, bool hinted_handoff) {
   outcome.stale_after_restart = count_stale();
 
   // Read pass: read repair (if enabled) heals what the reads touch.
-  for (const auto& key : keys) reader.Get(key);
+  for (const auto& key : keys) LIDI_MUST_OK(reader.Get(key));
   outcome.stale_after_reads = count_stale();
 
   // Slop push: hinted handoff (if enabled) delivers parked writes.

@@ -18,6 +18,8 @@
 #include "voldemort/client.h"
 #include "voldemort/server.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::voldemort;
 
@@ -33,7 +35,7 @@ int main() {
   std::vector<VoldemortServer*> ptrs;
   for (int i = 0; i < 3; ++i) {
     servers.push_back(std::make_unique<VoldemortServer>(i, metadata, &network));
-    servers.back()->AddReadOnlyStore("pymk");
+    LIDI_MUST_OK(servers.back()->AddReadOnlyStore("pymk"));
     ptrs.push_back(servers.back().get());
   }
   BulkFileRepository repo;
@@ -59,17 +61,17 @@ int main() {
     PullOptions pull_options;
     pull_options.throttle_chunk_bytes = 256 << 10;
     bench::Stopwatch pull;
-    controller.Pull("pymk", v1, pull_options);
-    controller.Pull("pymk", v2, pull_options);
+    LIDI_MUST_OK(controller.Pull("pymk", v1, pull_options));
+    LIDI_MUST_OK(controller.Pull("pymk", v2, pull_options));
     const double pull_ms = pull.ElapsedMillis() / 2;
 
-    controller.SwapAll("pymk", v1);
+    LIDI_MUST_OK(controller.SwapAll("pymk", v1));
     bench::Stopwatch swap;
-    controller.SwapAll("pymk", v2);  // the measured swap: v1 -> v2
+    LIDI_MUST_OK(controller.SwapAll("pymk", v2));  // the measured swap: v1 -> v2
     const double swap_us = swap.ElapsedMicros();
 
     bench::Stopwatch rollback;
-    controller.RollbackAll("pymk");
+    LIDI_MUST_OK(controller.RollbackAll("pymk"));
     const double rollback_us = rollback.ElapsedMicros();
 
     bench::Row("%8d | %10.1f | %10.1f | %10.1f | %10.1f", records, build_ms,
@@ -92,15 +94,15 @@ int main() {
     const int64_t a = ++version, b = ++version;
     repo.Publish("pymk", a, BulkBuild(v1_data, metadata->SnapshotCluster(), 2));
     repo.Publish("pymk", b, BulkBuild(v2_data, metadata->SnapshotCluster(), 2));
-    controller.Pull("pymk", a);
-    controller.Pull("pymk", b);
-    controller.SwapAll("pymk", a);
+    LIDI_MUST_OK(controller.Pull("pymk", a));
+    LIDI_MUST_OK(controller.Pull("pymk", b));
+    LIDI_MUST_OK(controller.SwapAll("pymk", a));
 
     StoreDefinition def{"pymk", 2, 1, 1};
     StoreClient client("c", def, metadata, &network, SystemClock::Default());
     int failures = 0;
     for (int i = 0; i < 2000; ++i) {
-      if (i == 1000) controller.SwapAll("pymk", b);
+      if (i == 1000) LIDI_MUST_OK(controller.SwapAll("pymk", b));
       if (!client.ReadOnlyGet("k" + std::to_string(i % 5000)).ok()) ++failures;
     }
     bench::Row("reads across swap: %d failures out of 2000", failures);

@@ -19,6 +19,8 @@
 #include "voldemort/routing.h"
 #include "voldemort/server.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::voldemort;
 
@@ -39,12 +41,12 @@ int main() {
     std::vector<std::unique_ptr<VoldemortServer>> servers;
     for (int i = 0; i < 4; ++i) {
       servers.push_back(std::make_unique<VoldemortServer>(i, metadata, &network));
-      servers.back()->AddStore("s");
+      LIDI_MUST_OK(servers.back()->AddStore("s"));
     }
     StoreClient client("c", {"s", 1, 1, 1}, metadata, &network, &clock);
     Random rng(9);
     for (int i = 0; i < num_keys; ++i) {
-      client.PutValue("k" + std::to_string(i), rng.Bytes(100));
+      LIDI_MUST_OK(client.PutValue("k" + std::to_string(i), rng.Bytes(100)));
     }
 
     // Move node 0's partitions to node 3, interleaving live traffic between

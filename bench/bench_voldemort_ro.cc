@@ -21,6 +21,8 @@
 #include "voldemort/client.h"
 #include "voldemort/server.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::voldemort;
 
@@ -38,8 +40,8 @@ int main() {
     std::vector<VoldemortServer*> ptrs;
     for (int i = 0; i < 3; ++i) {
       servers.push_back(std::make_unique<VoldemortServer>(i, metadata, &network));
-      servers.back()->AddReadOnlyStore("pymk");
-      servers.back()->AddStore("pymk-rw");
+      LIDI_MUST_OK(servers.back()->AddReadOnlyStore("pymk"));
+      LIDI_MUST_OK(servers.back()->AddStore("pymk-rw"));
       ptrs.push_back(servers.back().get());
     }
 
@@ -51,8 +53,8 @@ int main() {
     BulkFileRepository repo;
     repo.Publish("pymk", 1, BulkBuild(records, metadata->SnapshotCluster(), 2));
     ReadOnlyController controller(ptrs, &repo);
-    controller.Pull("pymk", 1);
-    controller.SwapAll("pymk", 1);
+    LIDI_MUST_OK(controller.Pull("pymk", 1));
+    LIDI_MUST_OK(controller.SwapAll("pymk", 1));
 
     StoreDefinition def;
     def.name = "pymk";
@@ -69,7 +71,7 @@ int main() {
       const std::string key =
           "member:" + std::to_string(rng.Uniform(num_keys));
       bench::Stopwatch op;
-      client.ReadOnlyGet(key);
+      LIDI_MUST_OK(client.ReadOnlyGet(key));
       lat.Record(op.ElapsedMicros());
     }
     bench::Row("%7d keys | %7.0f reads/s | us: %s", num_keys,
@@ -88,8 +90,8 @@ int main() {
     std::vector<VoldemortServer*> ptrs;
     for (int i = 0; i < 3; ++i) {
       servers.push_back(std::make_unique<VoldemortServer>(i, metadata, &network));
-      servers.back()->AddReadOnlyStore("data-ro");
-      servers.back()->AddStore("data-rw");
+      LIDI_MUST_OK(servers.back()->AddReadOnlyStore("data-ro"));
+      LIDI_MUST_OK(servers.back()->AddStore("data-rw"));
       ptrs.push_back(servers.back().get());
     }
     const int kKeys = 20000;
@@ -102,8 +104,8 @@ int main() {
     repo.Publish("data-ro", 1,
                  BulkBuild(records, metadata->SnapshotCluster(), 2));
     ReadOnlyController controller(ptrs, &repo);
-    controller.Pull("data-ro", 1);
-    controller.SwapAll("data-ro", 1);
+    LIDI_MUST_OK(controller.Pull("data-ro", 1));
+    LIDI_MUST_OK(controller.SwapAll("data-ro", 1));
 
     StoreDefinition ro_def{"data-ro", 2, 1, 1};
     StoreDefinition rw_def{"data-rw", 3, 2, 2};
@@ -111,16 +113,16 @@ int main() {
                           SystemClock::Default());
     StoreClient rw_client("c", rw_def, metadata, &network,
                           SystemClock::Default());
-    for (const auto& [k, v] : records) rw_client.PutValue(k, v);
+    for (const auto& [k, v] : records) LIDI_MUST_OK(rw_client.PutValue(k, v));
 
     Histogram ro_lat, rw_lat;
     for (int i = 0; i < 20000; ++i) {
       const std::string key = "k" + std::to_string(rng.Uniform(kKeys));
       bench::Stopwatch a;
-      ro_client.ReadOnlyGet(key);
+      LIDI_MUST_OK(ro_client.ReadOnlyGet(key));
       ro_lat.Record(a.ElapsedMicros());
       bench::Stopwatch b;
-      rw_client.Get(key);
+      LIDI_MUST_OK(rw_client.Get(key));
       rw_lat.Record(b.ElapsedMicros());
     }
     bench::Row("read-only engine  | us: %s", ro_lat.Summary().c_str());

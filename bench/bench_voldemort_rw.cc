@@ -20,6 +20,8 @@
 #include "voldemort/server.h"
 #include "workload/key_mix.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::voldemort;
 
@@ -36,7 +38,7 @@ struct ClusterFixture {
     for (int i = 0; i < num_nodes; ++i) {
       servers.push_back(
           std::make_unique<VoldemortServer>(i, metadata, &network));
-      servers.back()->AddStore("bench");
+      LIDI_MUST_OK(servers.back()->AddStore("bench"));
     }
   }
 
@@ -63,7 +65,7 @@ void RunMix(ClusterFixture& fx, int n, int r, int w, int num_keys, int ops,
   workload::KeyMix mix(mix_options);
   // Preload.
   for (int i = 0; i < num_keys; ++i) {
-    client.PutValue(mix.KeyAt(static_cast<uint64_t>(i)), rng.Bytes(256));
+    LIDI_MUST_OK(client.PutValue(mix.KeyAt(static_cast<uint64_t>(i)), rng.Bytes(256)));
   }
 
   Histogram read_lat, write_lat;
@@ -72,13 +74,13 @@ void RunMix(ClusterFixture& fx, int n, int r, int w, int num_keys, int ops,
     const std::string key = mix.NextKey();
     bench::Stopwatch op;
     if (rng.NextDouble() < read_fraction) {
-      client.Get(key);
+      LIDI_MUST_OK(client.Get(key));
       read_lat.Record(op.ElapsedMicros());
     } else {
       auto versions = client.Get(key);
       if (versions.ok()) {
-        client.Put(key, Versioned{versions.value()[0].version,
-                                  rng.Bytes(256)});
+        LIDI_MUST_OK(client.Put(key, Versioned{versions.value()[0].version,
+                                  rng.Bytes(256)}));
       }
       write_lat.Record(op.ElapsedMicros());
     }

@@ -20,6 +20,8 @@
 #include "voldemort/routing.h"
 #include "voldemort/server.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::voldemort;
 
@@ -88,7 +90,7 @@ int main() {
     std::vector<std::unique_ptr<VoldemortServer>> servers;
     for (int i = 0; i < 6; ++i) {
       servers.push_back(std::make_unique<VoldemortServer>(i, metadata, &network));
-      servers.back()->AddStore("bench");
+      LIDI_MUST_OK(servers.back()->AddStore("bench"));
     }
     StoreDefinition def;
     def.name = "bench";
@@ -100,7 +102,7 @@ int main() {
     options.failure_detector.ban_millis = 1;
     StoreClient client("c", def, metadata, &network, &clock, options);
     for (int i = 0; i < 500; ++i) {
-      client.PutValue("k" + std::to_string(i), "v");
+      LIDI_MUST_OK(client.PutValue("k" + std::to_string(i), "v"));
     }
     // Zone 0 (the first half of the nodes) goes dark.
     for (int i = 0; i < 3; ++i) network.SetNodeDown(net::MakeAddress(net::Tier::kVoldemort, i));

@@ -13,6 +13,8 @@
 #include "net/network.h"
 #include "zk/zookeeper.h"
 
+#include "common/require.h"
+
 namespace lidi::bench {
 
 /// A ready-to-use Espresso cluster for the bench binaries: Music-style
@@ -20,18 +22,18 @@ namespace lidi::bench {
 struct EspressoFixture {
   explicit EspressoFixture(int num_nodes, int partitions = 8,
                            int replicas = 2) {
-    registry.CreateDatabase({"db",
+    LIDI_MUST_OK(registry.CreateDatabase({"db",
                              espresso::DatabaseSchema::Partitioning::kHash,
-                             partitions, replicas});
-    registry.CreateTable("db", {"docs", 1});
-    registry.PostDocumentSchema("db", "docs", R"({
+                             partitions, replicas}));
+    LIDI_MUST_OK(registry.CreateTable("db", {"docs", 1}));
+    LIDI_MUST_OK(registry.PostDocumentSchema("db", "docs", R"({
       "type":"record","name":"Doc","fields":[
         {"name":"title","type":"string","indexed":true},
         {"name":"body","type":"string","indexed":true,"index_type":"text"},
-        {"name":"rank","type":"int","indexed":true}]})");
+        {"name":"rank","type":"int","indexed":true}]})"));
     controller =
         std::make_unique<helix::HelixController>("espresso", &zookeeper);
-    controller->AddResource({"db", partitions, replicas});
+    LIDI_MUST_OK(controller->AddResource({"db", partitions, replicas}));
     for (int i = 0; i < num_nodes; ++i) AddNode();
     controller->RebalanceToConvergence();
     router = std::make_unique<espresso::Router>("router", &registry,

@@ -19,6 +19,8 @@
 #include "net/network.h"
 #include "zk/zookeeper.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::kafka;
 
@@ -35,8 +37,8 @@ int main() {
   for (int i = 0; i < 2; ++i) {
     live.push_back(
         std::make_unique<Broker>(i, &zookeeper, &network, &clock, live_options));
-    live.back()->CreateTopic("page-views", 4);
-    live.back()->CreateTopic(kAuditTopic, 1);
+    LIDI_MUST_OK(live.back()->CreateTopic("page-views", 4));
+    LIDI_MUST_OK(live.back()->CreateTopic(kAuditTopic, 1));
   }
 
   // Offline cluster (separate zk root), geographically near "Hadoop".
@@ -44,7 +46,7 @@ int main() {
   offline_options.zk_root = "/kafka-offline";
   offline_options.log.flush_interval_messages = 1;
   Broker offline(100, &zookeeper, &network, &clock, offline_options);
-  offline.CreateTopic("page-views", 4);
+  LIDI_MUST_OK(offline.CreateTopic("page-views", 4));
 
   // Frontend producers: batched, compressed event publishing.
   ProducerOptions producer_options;
@@ -62,14 +64,14 @@ int main() {
         " page=/profile referer=/search ts=" + std::to_string(i) + " " +
         rng.Bytes(80);
     raw_bytes += static_cast<int64_t>(event.size());
-    frontend.Send("page-views", event);
+    LIDI_MUST_OK(frontend.Send("page-views", event));
     audit.RecordProduced("page-views");
     if (i % 100 == 99) clock.AdvanceMillis(300);
   }
-  frontend.Flush();
+  LIDI_MUST_OK(frontend.Flush());
   clock.AdvanceMillis(1500);
   audit.MaybeEmit();
-  frontend.Flush();
+  LIDI_MUST_OK(frontend.Flush());
   for (auto& broker : live) broker->FlushAll();
   std::printf("produced 400 events: %lld raw bytes, %lld on the wire "
               "(compression saved %.0f%%)\n",
@@ -80,7 +82,7 @@ int main() {
 
   // Online consumer in the live datacenter.
   Consumer realtime("search-indexer", "search", &zookeeper, &network);
-  realtime.Subscribe("page-views");
+  LIDI_MUST_OK(realtime.Subscribe("page-views"));
   AuditValidator validator;
   for (int round = 0; round < 200; ++round) {
     validator.RecordConsumed(
@@ -99,7 +101,7 @@ int main() {
   ConsumerOptions offline_consumer;
   offline_consumer.zk_root = "/kafka-offline";
   Consumer hadoop("etl-load", "etl", &zookeeper, &network, offline_consumer);
-  hadoop.Subscribe("page-views");
+  LIDI_MUST_OK(hadoop.Subscribe("page-views"));
   int64_t loaded = 0;
   for (int round = 0; round < 200; ++round) {
     loaded += static_cast<int64_t>(hadoop.Poll("page-views").value().size());
@@ -109,10 +111,10 @@ int main() {
 
   // Audit: produced counts (from monitoring events) vs consumed counts.
   Consumer audit_reader("auditor", "audit", &zookeeper, &network);
-  audit_reader.Subscribe(kAuditTopic);
+  LIDI_MUST_OK(audit_reader.Subscribe(kAuditTopic));
   for (int round = 0; round < 20; ++round) {
     auto messages = audit_reader.Poll(kAuditTopic);
-    if (messages.ok()) validator.IngestAuditMessages(messages.value());
+    if (messages.ok()) LIDI_MUST_OK(validator.IngestAuditMessages(messages.value()));
   }
   std::printf("audit: produced=%lld consumed=%lld -> %s\n",
               static_cast<long long>(validator.ProducedCount("page-views")),

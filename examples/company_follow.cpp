@@ -19,6 +19,8 @@
 #include "voldemort/client.h"
 #include "voldemort/server.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 
 namespace {
@@ -55,7 +57,7 @@ class FollowFeedConsumer : public databus::Consumer {
     voldemort::Transform append;
     append.type = voldemort::Transform::Type::kAppend;
     append.item = item;
-    store->Put(key, clock, append);
+    LIDI_MUST_OK(store->Put(key, clock, append));
   }
 
   voldemort::StoreClient* member_follows_;
@@ -79,8 +81,8 @@ int main() {
   for (int i = 0; i < 4; ++i) {
     servers.push_back(
         std::make_unique<voldemort::VoldemortServer>(i, metadata, &network));
-    servers.back()->AddStore("member-follows");
-    servers.back()->AddStore("company-followers");
+    LIDI_MUST_OK(servers.back()->AddStore("member-follows"));
+    LIDI_MUST_OK(servers.back()->AddStore("company-followers"));
   }
   voldemort::StoreDefinition def;
   def.replication_factor = 3;
@@ -95,7 +97,7 @@ int main() {
 
   // Primary storage records follows; Databus captures and feeds the caches.
   sqlstore::Database primary("follow_db");
-  primary.CreateTable("follows");
+  LIDI_MUST_OK(primary.CreateTable("follows"));
   databus::Relay relay("follow-relay", &primary, &network);
   FollowFeedConsumer feed(&member_follows, &company_followers);
   databus::DatabusClient pipeline("cache-populator", "follow-relay", "",
@@ -107,13 +109,13 @@ int main() {
       {"m3", "linkedin"}, {"m3", "globex"}, {"m2", "acme"},
   };
   for (const auto& [member, company] : follows) {
-    primary.Put("follows", std::string(member) + ":" + company,
-                {{"member", member}, {"company", company}});
+    LIDI_MUST_OK(primary.Put("follows", std::string(member) + ":" + company,
+                {{"member", member}, {"company", company}}));
   }
 
   // The stream pipeline keeps the caches fresh.
-  relay.PollOnce();
-  pipeline.DrainToHead();
+  LIDI_MUST_OK(relay.PollOnce());
+  LIDI_MUST_OK(pipeline.DrainToHead());
 
   // Serve "who do I follow" / "who follows us" from Voldemort.
   auto print_list = [](voldemort::StoreClient& store, const std::string& key) {

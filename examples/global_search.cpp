@@ -17,6 +17,8 @@
 #include "net/network.h"
 #include "zk/zookeeper.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 
 int main() {
@@ -25,26 +27,26 @@ int main() {
   SystemClock* clock = SystemClock::Default();
 
   espresso::SchemaRegistry registry;
-  registry.CreateDatabase(
-      {"Members", espresso::DatabaseSchema::Partitioning::kHash, 8, 2});
-  registry.CreateTable("Members", {"Profile", 0});
-  registry.PostDocumentSchema("Members", "Profile", R"({
+  LIDI_MUST_OK(registry.CreateDatabase(
+      {"Members", espresso::DatabaseSchema::Partitioning::kHash, 8, 2}));
+  LIDI_MUST_OK(registry.CreateTable("Members", {"Profile", 0}));
+  LIDI_MUST_OK(registry.PostDocumentSchema("Members", "Profile", R"({
     "type":"record","name":"Profile","fields":[
       {"name":"name","type":"string","indexed":true},
       {"name":"headline","type":"string","indexed":true,"index_type":"text"},
-      {"name":"company","type":"string","indexed":true}]})");
+      {"name":"company","type":"string","indexed":true}]})"));
 
   espresso::EspressoRelay relay;
   helix::HelixController controller("espresso", &zookeeper);
-  controller.AddResource({"Members", 8, 2});
+  LIDI_MUST_OK(controller.AddResource({"Members", 8, 2}));
   std::vector<std::unique_ptr<espresso::StorageNode>> nodes;
   for (int i = 0; i < 3; ++i) {
     auto node = std::make_unique<espresso::StorageNode>(
         "esn-" + std::to_string(i), &registry, &relay, &network, clock);
     auto* raw = node.get();
-    controller.ConnectParticipant(raw->name(), [raw](const helix::Transition& t) {
+    LIDI_MUST_OK(controller.ConnectParticipant(raw->name(), [raw](const helix::Transition& t) {
       return raw->HandleTransition(t);
-    });
+    }));
     nodes.push_back(std::move(node));
   }
   controller.RebalanceToConvergence();
@@ -68,7 +70,7 @@ int main() {
     doc->SetField("name", avro::Datum::String(m.name));
     doc->SetField("headline", avro::Datum::String(m.headline));
     doc->SetField("company", avro::Datum::String(m.company));
-    router.PutDocument(std::string("/Members/Profile/") + m.id, *doc);
+    LIDI_MUST_OK(router.PutDocument(std::string("/Members/Profile/") + m.id, *doc));
   }
 
   // The search tier: a listener on the update stream, continuously indexing.
@@ -95,7 +97,7 @@ int main() {
   doc->SetField("headline",
                 avro::Datum::String("now doing distributed systems too"));
   doc->SetField("company", avro::Datum::String("acme"));
-  router.PutDocument("/Members/Profile/m3", *doc);
+  LIDI_MUST_OK(router.PutDocument("/Members/Profile/m3", *doc));
   search.CatchUp();
   show("headline:\"distributed systems\"");
   return 0;

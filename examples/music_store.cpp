@@ -14,6 +14,8 @@
 #include "net/network.h"
 #include "zk/zookeeper.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 
 int main() {
@@ -23,27 +25,27 @@ int main() {
 
   // Schemas: database, tables, document schemas with index annotations.
   espresso::SchemaRegistry registry;
-  registry.CreateDatabase(
-      {"Music", espresso::DatabaseSchema::Partitioning::kHash, 8, 2});
-  registry.CreateTable("Music", {"Artist", 0});
-  registry.CreateTable("Music", {"Album", 1});
-  registry.CreateTable("Music", {"Song", 2});
-  registry.PostDocumentSchema("Music", "Artist", R"({
+  LIDI_MUST_OK(registry.CreateDatabase(
+      {"Music", espresso::DatabaseSchema::Partitioning::kHash, 8, 2}));
+  LIDI_MUST_OK(registry.CreateTable("Music", {"Artist", 0}));
+  LIDI_MUST_OK(registry.CreateTable("Music", {"Album", 1}));
+  LIDI_MUST_OK(registry.CreateTable("Music", {"Song", 2}));
+  LIDI_MUST_OK(registry.PostDocumentSchema("Music", "Artist", R"({
     "type":"record","name":"Artist","fields":[
-      {"name":"name","type":"string"}]})");
-  registry.PostDocumentSchema("Music", "Album", R"({
+      {"name":"name","type":"string"}]})"));
+  LIDI_MUST_OK(registry.PostDocumentSchema("Music", "Album", R"({
     "type":"record","name":"Album","fields":[
       {"name":"artist","type":"string","indexed":true},
-      {"name":"year","type":"int","indexed":true}]})");
-  registry.PostDocumentSchema("Music", "Song", R"({
+      {"name":"year","type":"int","indexed":true}]})"));
+  LIDI_MUST_OK(registry.PostDocumentSchema("Music", "Song", R"({
     "type":"record","name":"Song","fields":[
       {"name":"title","type":"string","indexed":true},
-      {"name":"lyrics","type":"string","indexed":true,"index_type":"text"}]})");
+      {"name":"lyrics","type":"string","indexed":true,"index_type":"text"}]})"));
 
   // Cluster: three storage nodes managed by Helix.
   espresso::EspressoRelay relay;
   helix::HelixController controller("espresso", &zookeeper);
-  controller.AddResource({"Music", 8, 2});
+  LIDI_MUST_OK(controller.AddResource({"Music", 8, 2}));
   std::vector<std::unique_ptr<espresso::StorageNode>> nodes;
   std::map<std::string, zk::SessionId> sessions;
   for (int i = 0; i < 3; ++i) {
@@ -65,7 +67,7 @@ int main() {
   // Singleton and collection documents, exactly the paper's URIs.
   auto artist = avro::Datum::Record("Artist");
   artist->SetField("name", avro::Datum::String("The Beatles"));
-  router.PutDocument("/Music/Artist/The_Beatles", *artist);
+  LIDI_MUST_OK(router.PutDocument("/Music/Artist/The_Beatles", *artist));
 
   auto put_song = [&](const std::string& uri, const std::string& title,
                       const std::string& lyrics) {
@@ -108,11 +110,11 @@ int main() {
   }
 
   // Schema evolution: add a genre field with a default; old docs promote.
-  registry.PostDocumentSchema("Music", "Song", R"({
+  LIDI_MUST_OK(registry.PostDocumentSchema("Music", "Song", R"({
     "type":"record","name":"Song","fields":[
       {"name":"title","type":"string","indexed":true},
       {"name":"lyrics","type":"string","indexed":true,"index_type":"text"},
-      {"name":"genre","type":"string","default":"rock"}]})");
+      {"name":"genre","type":"string","default":"rock"}]})"));
   auto promoted = router.GetDocument(
       "/Music/Song/The_Beatles/Abbey_Road/Come_Together");
   std::printf("after schema evolution, genre = %s\n",

@@ -21,6 +21,8 @@
 #include "voldemort/server.h"
 #include "zk/zookeeper.h"
 
+#include "common/require.h"
+
 using namespace lidi;  // example code; library code never does this
 
 int main() {
@@ -39,7 +41,7 @@ int main() {
   for (int i = 0; i < 3; ++i) {
     servers.push_back(
         std::make_unique<voldemort::VoldemortServer>(i, metadata, &network));
-    servers.back()->AddStore("profiles");
+    LIDI_MUST_OK(servers.back()->AddStore("profiles"));
   }
   voldemort::StoreClient store(
       "obs-demo", {.name = "profiles", .replication_factor = 3,
@@ -47,27 +49,27 @@ int main() {
       metadata, &network, clock);
   for (int i = 0; i < 10; ++i) {
     const std::string key = "member:" + std::to_string(i);
-    store.PutValue(key, "profile data");
-    store.Get(key);
+    LIDI_MUST_OK(store.PutValue(key, "profile data"));
+    LIDI_MUST_OK(store.Get(key));
   }
 
   // Kafka produce/fetch: copy accounting lands in the same registry.
   kafka::Broker broker(0, &zookeeper, &network, clock);
-  broker.CreateTopic("page-views", 1);
+  LIDI_MUST_OK(broker.CreateTopic("page-views", 1));
   kafka::Producer producer("frontend", &zookeeper, &network);
   for (int i = 0; i < 20; ++i) {
-    producer.Send("page-views", "member:1 viewed member:2");
+    LIDI_MUST_OK(producer.Send("page-views", "member:1 viewed member:2"));
   }
   kafka::Consumer consumer("newsfeed", "group", &zookeeper, &network);
-  consumer.Subscribe("page-views");
-  consumer.PollUntilData("page-views");
+  LIDI_MUST_OK(consumer.Subscribe("page-views"));
+  LIDI_MUST_OK(consumer.PollUntilData("page-views"));
 
   // Databus relay pull: poll spans + ingest counters.
   sqlstore::Database primary("member_db");
-  primary.CreateTable("profiles");
+  LIDI_MUST_OK(primary.CreateTable("profiles"));
   databus::Relay relay("relay-1", &primary, &network);
-  primary.Put("profiles", "member:1", {{"headline", "hello"}});
-  relay.PollOnce();
+  LIDI_MUST_OK(primary.Put("profiles", "member:1", {{"headline", "hello"}}));
+  LIDI_MUST_OK(relay.PollOnce());
 
   // The one export API: every instrument, every recent span.
   std::printf("%s", network.metrics()->Snapshot().ToText().c_str());

@@ -16,6 +16,8 @@
 #include "voldemort/client.h"
 #include "voldemort/server.h"
 
+#include "common/require.h"
+
 using namespace lidi;
 using namespace lidi::voldemort;
 
@@ -55,7 +57,7 @@ int main() {
   std::vector<VoldemortServer*> server_ptrs;
   for (int i = 0; i < 3; ++i) {
     servers.push_back(std::make_unique<VoldemortServer>(i, metadata, &network));
-    servers.back()->AddReadOnlyStore("pymk");
+    LIDI_MUST_OK(servers.back()->AddReadOnlyStore("pymk"));
     server_ptrs.push_back(servers.back().get());
   }
 
@@ -70,9 +72,9 @@ int main() {
   pull.throttle_chunk_bytes = 64 << 10;
   int throttle_pauses = 0;
   pull.throttle_callback = [&throttle_pauses](int64_t) { ++throttle_pauses; };
-  controller.Pull("pymk", 1, pull);
+  LIDI_MUST_OK(controller.Pull("pymk", 1, pull));
   // Swap phase: atomic across the cluster.
-  controller.SwapAll("pymk", 1);
+  LIDI_MUST_OK(controller.SwapAll("pymk", 1));
   std::printf("v1 deployed (%d throttle pauses during pull)\n",
               throttle_pauses);
 
@@ -89,14 +91,14 @@ int main() {
   // Iteration: the prediction algorithm changed, redeploy (v2)...
   auto v2 = RunLinkPredictionJob(2000, /*seed=*/2);
   hdfs.Publish("pymk", 2, BulkBuild(v2, metadata->SnapshotCluster(), 2));
-  controller.Pull("pymk", 2);
-  controller.SwapAll("pymk", 2);
+  LIDI_MUST_OK(controller.Pull("pymk", 2));
+  LIDI_MUST_OK(controller.SwapAll("pymk", 2));
   auto recs_v2 = client.ReadOnlyGet("member:42");
   std::printf("after v2 swap, member:42 changed: %s\n",
               recs_v2.value() != recs.value() ? "yes" : "no");
 
   // ...but v2 has a data problem: instantaneous rollback.
-  controller.RollbackAll("pymk");
+  LIDI_MUST_OK(controller.RollbackAll("pymk"));
   auto recs_back = client.ReadOnlyGet("member:42");
   std::printf("after rollback, member:42 matches v1 again: %s\n",
               recs_back.value() == recs.value() ? "yes" : "no");
@@ -106,7 +108,7 @@ int main() {
   Random rng(7);
   const int64_t start = clock->NowMicros();
   for (int i = 0; i < kLookups; ++i) {
-    client.ReadOnlyGet("member:" + std::to_string(rng.Uniform(2000)));
+    LIDI_MUST_OK(client.ReadOnlyGet("member:" + std::to_string(rng.Uniform(2000))));
   }
   const double avg_us =
       static_cast<double>(clock->NowMicros() - start) / kLookups;

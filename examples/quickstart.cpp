@@ -23,6 +23,8 @@
 #include "voldemort/server.h"
 #include "zk/zookeeper.h"
 
+#include "common/require.h"
+
 using namespace lidi;  // example code; library code never does this
 
 int main() {
@@ -41,20 +43,20 @@ int main() {
   for (int i = 0; i < 3; ++i) {
     servers.push_back(
         std::make_unique<voldemort::VoldemortServer>(i, metadata, &network));
-    servers.back()->AddStore("profiles");
+    LIDI_MUST_OK(servers.back()->AddStore("profiles"));
   }
   voldemort::StoreClient store(
       "quickstart", {.name = "profiles", .replication_factor = 3,
                      .required_reads = 2, .required_writes = 2},
       metadata, &network, clock);
-  store.PutValue("member:1", "Jay Kreps, LinkedIn");
+  LIDI_MUST_OK(store.PutValue("member:1", "Jay Kreps, LinkedIn"));
   auto versions = store.Get("member:1");
   std::printf("[voldemort] member:1 -> %s\n",
               versions.ok() ? versions.value()[0].value.c_str() : "ERROR");
 
   // --- Databus: change capture from a primary database --------------------
   sqlstore::Database primary("member_db");
-  primary.CreateTable("profiles");
+  LIDI_MUST_OK(primary.CreateTable("profiles"));
   databus::Relay relay("relay-1", &primary, &network);
   databus::CallbackConsumer printer([](const databus::Event& e) {
     std::printf("[databus] scn=%lld %s %s\n", static_cast<long long>(e.scn),
@@ -63,22 +65,22 @@ int main() {
   });
   databus::DatabusClient subscriber("subscriber", "relay-1", "", &network,
                                     &printer);
-  primary.Put("profiles", "member:1", {{"headline", "Data infra at LinkedIn"}});
-  relay.PollOnce();
-  subscriber.DrainToHead();
+  LIDI_MUST_OK(primary.Put("profiles", "member:1", {{"headline", "Data infra at LinkedIn"}}));
+  LIDI_MUST_OK(relay.PollOnce());
+  LIDI_MUST_OK(subscriber.DrainToHead());
 
   // --- Espresso: documents with secondary indexing -------------------------
   espresso::SchemaRegistry registry;
-  registry.CreateDatabase(
-      {"Music", espresso::DatabaseSchema::Partitioning::kHash, 8, 2});
-  registry.CreateTable("Music", {"Song", 2});
-  registry.PostDocumentSchema("Music", "Song", R"({
+  LIDI_MUST_OK(registry.CreateDatabase(
+      {"Music", espresso::DatabaseSchema::Partitioning::kHash, 8, 2}));
+  LIDI_MUST_OK(registry.CreateTable("Music", {"Song", 2}));
+  LIDI_MUST_OK(registry.PostDocumentSchema("Music", "Song", R"({
     "type":"record","name":"Song","fields":[
       {"name":"title","type":"string","indexed":true},
-      {"name":"lyrics","type":"string","indexed":true,"index_type":"text"}]})");
+      {"name":"lyrics","type":"string","indexed":true,"index_type":"text"}]})"));
   espresso::EspressoRelay espresso_relay;
   helix::HelixController controller("espresso", &zookeeper);
-  controller.AddResource({"Music", 8, 2});
+  LIDI_MUST_OK(controller.AddResource({"Music", 8, 2}));
   std::vector<std::unique_ptr<espresso::StorageNode>> espresso_nodes;
   for (int i = 0; i < 3; ++i) {
     auto node = std::make_unique<espresso::StorageNode>(
@@ -88,9 +90,9 @@ int main() {
     raw->SetMasterLookup([&controller](const std::string& db, int p) {
       return controller.MasterOf(db, p);
     });
-    controller.ConnectParticipant(raw->name(), [raw](const helix::Transition& t) {
+    LIDI_MUST_OK(controller.ConnectParticipant(raw->name(), [raw](const helix::Transition& t) {
       return raw->HandleTransition(t);
-    });
+    }));
     espresso_nodes.push_back(std::move(node));
   }
   controller.RebalanceToConvergence();
@@ -98,18 +100,18 @@ int main() {
   auto song = avro::Datum::Record("Song");
   song->SetField("title", avro::Datum::String("At Last"));
   song->SetField("lyrics", avro::Datum::String("at last my love has come along"));
-  router.PutDocument("/Music/Song/Etta_James/Gold/At_Last", *song);
+  LIDI_MUST_OK(router.PutDocument("/Music/Song/Etta_James/Gold/At_Last", *song));
   auto hits = router.Query("/Music/Song/Etta_James?query=lyrics:%22at+last%22");
   std::printf("[espresso] lyric search hits: %zu\n",
               hits.ok() ? hits.value().size() : 0);
 
   // --- Kafka: activity event pub/sub ---------------------------------------
   kafka::Broker broker(0, &zookeeper, &network, clock);
-  broker.CreateTopic("page-views", 2);
+  LIDI_MUST_OK(broker.CreateTopic("page-views", 2));
   kafka::Producer producer("frontend", &zookeeper, &network);
-  producer.Send("page-views", "member:1 viewed member:2");
+  LIDI_MUST_OK(producer.Send("page-views", "member:1 viewed member:2"));
   kafka::Consumer consumer("newsfeed", "newsfeed-group", &zookeeper, &network);
-  consumer.Subscribe("page-views");
+  LIDI_MUST_OK(consumer.Subscribe("page-views"));
   auto messages = consumer.PollUntilData("page-views");
   if (messages.ok() && !messages.value().empty()) {
     std::printf("[kafka] consumed: %s\n",

@@ -3,6 +3,16 @@
 #   scripts/check.sh [jobs]
 #
 # Stages:
+#   0. lidi-check (scripts/lidi_check.py): AST-level static analysis —
+#      must-check, reactor-blocking, sim-determinism, tsa-coverage. Runs
+#      before any compilation because it needs no build tree and catches
+#      discarded Status / blocked reactors / unannotated shared state in
+#      seconds. Waiver policy: a deliberate discard is `(void)expr` plus a
+#      `discard-ok: <reason>` comment within the three preceding lines (or
+#      trailing on the same line); TSA exemptions use `tsa-ok: <reason>`;
+#      reactor-path blocking uses `reactor-ok: <reason>`. Waivers are
+#      counted and capped repo-wide (see scripts/lidi_check.py --help);
+#      raising a cap is a code-review decision.
 #   1. Configure + build with -DLIDI_THREAD_SAFETY=ON. Under Clang this
 #      promotes -Wthread-safety to an error across the tree; under GCC the
 #      attributes are no-ops and CMake prints a warning but the build (and
@@ -52,6 +62,13 @@ if [ "${1:-}" = "sweep" ]; then
     ctest --test-dir build --output-on-failure -L sim
   say "sweep OK"
   exit 0
+fi
+
+say "lidi-check (static analysis, pre-build)"
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/lidi_check.py
+else
+  echo "check: no python3; lidi-check deferred to lint.sh grep fallbacks"
 fi
 
 say "build (LIDI_THREAD_SAFETY=ON, LIDI_LOCK_ORDER=ON)"

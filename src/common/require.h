@@ -1,0 +1,43 @@
+// Abort-on-error helper for programs whose setup is all-or-nothing.
+//
+// Benchmarks and examples build a fixture (stores, topics, schemas) before
+// measuring or demonstrating anything; a fixture that half-exists would
+// silently measure garbage. LIDI_MUST_OK crashes loudly with the failing
+// expression and location instead. It is NOT for library code — libraries
+// propagate Status to their caller (see DESIGN.md, "Static analysis
+// contract").
+#ifndef LIDI_COMMON_REQUIRE_H_
+#define LIDI_COMMON_REQUIRE_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace lidi {
+namespace require_internal {
+
+inline Status ToStatus(const Status& s) { return s; }
+template <typename T>
+Status ToStatus(const Result<T>& r) {
+  return r.status();
+}
+
+inline void MustOk(const Status& s, const char* expr, const char* file,
+                   int line) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s:%d: %s failed: %s\n", file, line, expr,
+                 s.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace require_internal
+}  // namespace lidi
+
+#define LIDI_MUST_OK(expr)                                          \
+  ::lidi::require_internal::MustOk(                                 \
+      ::lidi::require_internal::ToStatus((expr)), #expr, __FILE__, \
+      __LINE__)
+
+#endif  // LIDI_COMMON_REQUIRE_H_

@@ -5,6 +5,18 @@
 #include <utility>
 #include <variant>
 
+/// Must-use marker for the error-carrying types. Both GCC and Clang warn
+/// (-Wunused-result) when a [[nodiscard]] class is returned and dropped on
+/// the floor, which makes the compiler itself the first line of the
+/// must-check static-analysis contract (DESIGN.md "Static analysis
+/// contract"; scripts/lidi_check.py is the second line, covering the call
+/// sites the compiler cannot see). Intentional discards must be written as
+/// a visible `(void)` cast with a `discard-ok:` reason comment — bare
+/// discards fail the build.
+#ifndef LIDI_NODISCARD
+#define LIDI_NODISCARD [[nodiscard]]
+#endif
+
 namespace lidi {
 
 /// Error categories used across all lidi subsystems.
@@ -35,7 +47,7 @@ const char* CodeName(Code code);
 ///
 /// Cheap to copy in the OK case (empty message). Construct via the named
 /// factories: `Status::OK()`, `Status::NotFound("key missing")`, ...
-class Status {
+class LIDI_NODISCARD Status {
  public:
   Status() : code_(Code::kOk) {}
 
@@ -111,7 +123,7 @@ class Status {
 ///   if (!r.ok()) return r.status();
 ///   Use(r.value());
 template <typename T>
-class Result {
+class LIDI_NODISCARD Result {
  public:
   /// Implicit construction from a value or a non-OK Status keeps call sites
   /// terse (`return 42;` / `return Status::NotFound();`).

@@ -35,6 +35,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_ LIDI_GUARDED_BY(mu_);
   int in_flight_ LIDI_GUARDED_BY(mu_) = 0;
   bool shutdown_ LIDI_GUARDED_BY(mu_) = false;
+  // tsa-ok: spawned in the constructor, joined in the destructor; worker
+  // threads never touch the vector itself.
   std::vector<std::thread> workers_;
 };
 

@@ -93,15 +93,16 @@ Relay::~Relay() { network_->Unregister(name_); }
 Result<int64_t> Relay::PollOnce() {
   obs::ScopedSpan span(metrics_, "databus.relay.poll");
   int64_t since;
+  int64_t poll_batch;
   {
     MutexLock lock(&mu_);
     since = last_pulled_scn_;
+    poll_batch = options_.poll_batch_transactions;
   }
 
   std::vector<Event> incoming;
   if (source_ != nullptr) {
-    const auto txns =
-        source_->binlog().ReadAfter(since, options_.poll_batch_transactions);
+    const auto txns = source_->binlog().ReadAfter(since, poll_batch);
     for (const auto& txn : txns) {
       auto events = TransactionToEvents(txn);
       incoming.insert(incoming.end(), events.begin(), events.end());
@@ -109,8 +110,7 @@ Result<int64_t> Relay::PollOnce() {
   } else if (!upstream_.empty()) {
     span.set_peer(upstream_);
     std::string request;
-    EncodeReadRequest(since, options_.poll_batch_transactions * 4, Filter{},
-                      &request);
+    EncodeReadRequest(since, poll_batch * 4, Filter{}, &request);
     auto r = network_->Call(name_, upstream_, "databus.read", request,
                             net::CallOptions{&span.context()});
     if (!r.ok()) {

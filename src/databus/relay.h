@@ -88,7 +88,7 @@ class Relay {
   const sqlstore::Database* const source_;  // null for chained relays
   const net::Address upstream_;             // empty for direct relays
   net::Transport* const network_;
-  RelayOptions options_;  // buffer capacity adjustable at runtime
+  RelayOptions options_ LIDI_GUARDED_BY(mu_);  // capacity adjustable at runtime
   obs::MetricsRegistry* const metrics_;
   obs::Counter* const events_ingested_;
   obs::Counter* const events_served_;

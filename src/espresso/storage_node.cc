@@ -49,7 +49,9 @@ std::string StorageNode::ResourceIdOf(const std::string& key) {
 
 void StorageNode::EnsureTable(const std::string& database,
                               const std::string& table) {
-  store_.CreateTable(StoreTable(database, table));  // AlreadyExists is fine
+  // discard-ok: AlreadyExists is the steady state here, and CreateTable on
+  // the in-process store has no other failure mode.
+  (void)store_.CreateTable(StoreTable(database, table));
 }
 
 bool StorageNode::IsMasterOf(const std::string& database,
@@ -110,8 +112,14 @@ Status StorageNode::HandleTransition(const helix::Transition& transition) {
           Status s = DecodeDocumentRecord(&input, &record);
           if (!s.ok()) return s;
           EnsureTable(database, table.ToString());
-          store_.Put(StoreTable(database, table.ToString()), key.ToString(),
-                     record.ToRow());
+          auto put = store_.Put(StoreTable(database, table.ToString()),
+                                key.ToString(), record.ToRow());
+          if (!put.ok()) {
+            // applied_scn_ advances after this loop; a dropped row with an
+            // advanced SCN is a permanently invisible document (catch-up
+            // starts past it).
+            return put.status();
+          }
           IndexDocument(database, table.ToString(), key.ToString(), record);
         }
         MutexLock lock(&mu_);
@@ -423,20 +431,28 @@ Result<std::string> StorageNode::HandleFetchPartition(Slice request) const {
   std::string body;
   int64_t count = 0;
   for (const std::string& table : registry_->Tables(database)) {
-    store_.Scan(StoreTable(database, table),
-                [&](const std::string& key, const sqlstore::Row& row) {
-                  if (PartitionOf(db_schema.value(), ResourceIdOf(key)) ==
-                      static_cast<int>(partition)) {
-                    PutLengthPrefixed(&body, table);
-                    PutLengthPrefixed(&body, key);
-                    auto record = DocumentRecord::FromRow(row);
-                    if (record.ok()) {
-                      EncodeDocumentRecord(record.value(), &body);
-                      ++count;
-                    }
-                  }
-                  return true;
-                });
+    Status scan =
+        store_.Scan(StoreTable(database, table),
+                    [&](const std::string& key, const sqlstore::Row& row) {
+                      if (PartitionOf(db_schema.value(), ResourceIdOf(key)) ==
+                          static_cast<int>(partition)) {
+                        PutLengthPrefixed(&body, table);
+                        PutLengthPrefixed(&body, key);
+                        auto record = DocumentRecord::FromRow(row);
+                        if (record.ok()) {
+                          EncodeDocumentRecord(record.value(), &body);
+                          ++count;
+                        }
+                      }
+                      return true;
+                    });
+    if (!scan.ok() && !scan.IsNotFound()) {
+      // A registered-but-never-written table is legitimately absent
+      // (NotFound == empty); any other failure must not masquerade as an
+      // empty partition — the bootstrap consumer would trust the snapshot's
+      // SCN and skip catch-up for rows it never received.
+      return scan;
+    }
   }
   std::string out;
   PutVarint64(&out, static_cast<uint64_t>(

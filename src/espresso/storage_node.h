@@ -110,6 +110,8 @@ class StorageNode {
   net::Transport* const network_;
   const Clock* const clock_;
 
+  // tsa-ok: sqlstore::Database is internally synchronized (its own
+  // commit/table lock hierarchy); mu_ guards the replica-role state only.
   sqlstore::Database store_;
 
   /// Guards replica-role state and the index map. Never held across the

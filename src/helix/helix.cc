@@ -17,12 +17,16 @@ const char* ReplicaStateName(ReplicaState state) {
 HelixController::HelixController(std::string cluster, zk::ZooKeeper* zookeeper)
     : cluster_(std::move(cluster)), zookeeper_(zookeeper) {
   controller_session_ = zookeeper_->CreateSession();
-  zookeeper_->CreateRecursive(controller_session_,
-                              "/helix/" + cluster_ + "/instances", "",
-                              zk::CreateMode::kPersistent);
-  zookeeper_->CreateRecursive(controller_session_,
-                              "/helix/" + cluster_ + "/live", "",
-                              zk::CreateMode::kPersistent);
+  // discard-ok: pre-creating the cluster skeleton; AlreadyExists when a
+  // prior controller made it, and every later operation on these paths
+  // re-creates-or-fails visibly through a Status-returning method.
+  (void)zookeeper_->CreateRecursive(controller_session_,
+                                    "/helix/" + cluster_ + "/instances", "",
+                                    zk::CreateMode::kPersistent);
+  // discard-ok: same best-effort skeleton pre-create as above.
+  (void)zookeeper_->CreateRecursive(controller_session_,
+                                    "/helix/" + cluster_ + "/live", "",
+                                    zk::CreateMode::kPersistent);
 }
 
 Status HelixController::AddResource(const ResourceConfig& config) {

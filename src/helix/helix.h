@@ -117,6 +117,7 @@ class HelixController {
 
   const std::string cluster_;
   zk::ZooKeeper* const zookeeper_;
+  // tsa-ok: written once during construction, immutable afterwards.
   zk::SessionId controller_session_;
 
   /// Never held across Zookeeper (instance listings run unlocked) or a

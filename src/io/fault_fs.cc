@@ -90,7 +90,8 @@ Status FaultFs::AppendWithFaults(const std::string& path, Slice data,
     int64_t base_accepted = 0;
     Status s = base.value()->Append(Slice(data.data(), static_cast<size_t>(take)),
                                     &base_accepted);
-    base.value()->Close();
+    Status close_status = base.value()->Close();
+    if (s.ok()) s = close_status;
     state->written += base_accepted;
     total_written_ += base_accepted;
     if (accepted != nullptr) *accepted = base_accepted;
@@ -235,7 +236,8 @@ Status FaultFs::Restart() {
         if (!file.ok()) return file.status();
         s = file.value()->Append(data, nullptr);
         if (!s.ok()) return s;
-        file.value()->Close();
+        s = file.value()->Close();
+        if (!s.ok()) return s;
       }
     }
     state.written = state.durable =

@@ -105,7 +105,7 @@ class FaultFs : public Fs {
   FileState* Track(const std::string& path) LIDI_REQUIRES(mu_);
 
   Fs* const base_;
-  FaultFsOptions options_;
+  FaultFsOptions options_ LIDI_GUARDED_BY(mu_);
   /// Held across base-fs calls (the base fs has its own leaf lock and
   /// never calls back) so a fault verdict and its bookkeeping are atomic.
   mutable Mutex mu_{"io.fault_fs"};

@@ -86,13 +86,11 @@ Broker::Broker(int id, zk::ZooKeeper* zookeeper, net::Transport* network,
   produce_bytes_ = metrics->GetCounter("kafka.produce.bytes", labels);
   quota_rejects_ = metrics->GetCounter("kafka.quota.rejects", labels);
   session_ = zookeeper_->CreateSession();
-  zookeeper_->CreateRecursive(session_, options_.zk_root + "/brokers/ids", "",
-                              zk::CreateMode::kPersistent);
-  zookeeper_->CreateRecursive(session_, options_.zk_root + "/brokers/topics",
-                              "", zk::CreateMode::kPersistent);
-  zookeeper_->Create(session_,
-                     options_.zk_root + "/brokers/ids/" + std::to_string(id_),
-                     address_, zk::CreateMode::kEphemeral);
+  // An unregistered broker is invisible to producers and consumers (they
+  // discover brokers through these nodes) while happily serving RPCs — a
+  // silent outage. The constructor cannot fail, so the status is kept and
+  // the first CreateTopic retries and surfaces it.
+  zk_registration_ = RegisterInZk();
   network_->Register(address_, "kafka.produce",
                      [this](Slice req) { return HandleProduce(req); });
   // Fetch serves pinned payload views (the zero-copy path); string-typed
@@ -124,7 +122,45 @@ void Broker::Shutdown() {
   zookeeper_->CloseSession(session_);
 }
 
+Status Broker::RegisterInZk() {
+  // AlreadyExists is success everywhere here: the skeleton is shared by all
+  // brokers, and a surviving id node from this broker's previous life means
+  // the advertisement clients route by is already up.
+  auto tolerate_existing = [](Status s) {
+    return s.code() == Code::kAlreadyExists ? Status::OK() : s;
+  };
+  Status reg = tolerate_existing(zookeeper_->CreateRecursive(
+      session_, options_.zk_root + "/brokers/ids", "",
+      zk::CreateMode::kPersistent));
+  if (reg.ok()) {
+    reg = tolerate_existing(zookeeper_->CreateRecursive(
+        session_, options_.zk_root + "/brokers/topics", "",
+        zk::CreateMode::kPersistent));
+  }
+  if (reg.ok()) {
+    reg = tolerate_existing(zookeeper_->Create(
+        session_, options_.zk_root + "/brokers/ids/" + std::to_string(id_),
+        address_, zk::CreateMode::kEphemeral));
+  }
+  return reg;
+}
+
 Status Broker::CreateTopic(const std::string& topic, int partitions) {
+  // Registration may have failed at construction (ZooKeeper unreachable);
+  // the broker id node is the advertisement clients route by, so retry it
+  // before advertising any topic. RPCs run outside mu_ — only the cached
+  // status is read/written under the lock.
+  bool need_register;
+  {
+    MutexLock lock(&mu_);
+    need_register = !zk_registration_.ok();
+  }
+  if (need_register) {
+    Status reg = RegisterInZk();
+    MutexLock lock(&mu_);
+    zk_registration_ = reg;
+    if (!reg.ok()) return reg;
+  }
   {
     MutexLock lock(&mu_);
     for (int p = 0; p < partitions; ++p) {
@@ -134,11 +170,15 @@ Status Broker::CreateTopic(const std::string& topic, int partitions) {
       }
     }
   }
-  zookeeper_->CreateRecursive(
+  // The advertisement is the topic's existence as far as clients are
+  // concerned (AllPartitions reads it): a failed create must not report the
+  // topic as created. AlreadyExists means it is advertised — re-creating a
+  // topic (or re-advertising after restart) is idempotent success.
+  Status ad = zookeeper_->CreateRecursive(
       session_,
       options_.zk_root + "/brokers/topics/" + topic + "/" + std::to_string(id_),
       std::to_string(partitions), zk::CreateMode::kEphemeral);
-  return Status::OK();
+  return ad.code() == Code::kAlreadyExists ? Status::OK() : ad;
 }
 
 PartitionLog* Broker::GetLog(const std::string& topic, int partition) {

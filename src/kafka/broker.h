@@ -126,12 +126,17 @@ class Broker {
   /// against `quota`, or returns the Overloaded rejection to send back.
   Status AdmitClient(PerClientQuota* quota, const char* verb);
 
+  /// Creates the /brokers zk skeleton plus this broker's ephemeral id node
+  /// (the advertisement producers/consumers discover brokers by).
+  Status RegisterInZk();
+
   const int id_;
   zk::ZooKeeper* const zookeeper_;
   net::Transport* const network_;
   const Clock* const clock_;
   const BrokerOptions options_;
   const net::Address address_;
+  // tsa-ok: written once during construction, immutable afterwards.
   zk::SessionId session_;
 
   /// Registry instruments (from network->metrics()); the stats hot path is
@@ -155,6 +160,9 @@ class Broker {
                     lockrank::kKafkaBrokerPartitions};
   std::map<std::pair<std::string, int>, std::unique_ptr<PartitionLog>>
       logs_ LIDI_GUARDED_BY(mu_);
+  /// Non-OK when zk registration failed at construction; CreateTopic
+  /// retries it before advertising anything.
+  Status zk_registration_ LIDI_GUARDED_BY(mu_);
 };
 
 /// Produce/fetch request codecs (shared with producer/consumer).

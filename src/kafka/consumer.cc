@@ -16,11 +16,29 @@ Consumer::Consumer(std::string consumer_id, std::string group,
       network_(network),
       options_(std::move(options)) {
   session_ = zookeeper_->CreateSession();
+  // An unregistered consumer is worse than a dead one: the group's range
+  // assignment never sees its id, so it owns nothing and Poll quietly
+  // returns empty forever. The constructor cannot fail; Subscribe retries
+  // and surfaces the status.
+  registration_status_.store(RegisterInZk() ? 0 : 1,
+                             std::memory_order_relaxed);
+}
+
+bool Consumer::RegisterInZk() {
   const std::string base = options_.zk_root + "/consumers/" + group_;
-  zookeeper_->CreateRecursive(session_, base + "/ids", "",
-                              zk::CreateMode::kPersistent);
-  zookeeper_->Create(session_, base + "/ids/" + id_, "",
-                     zk::CreateMode::kEphemeral);
+  Status reg = zookeeper_->CreateRecursive(session_, base + "/ids", "",
+                                           zk::CreateMode::kPersistent);
+  // The ids skeleton is shared by the whole group: a prior member creating
+  // it first is success.
+  if (reg.code() == Code::kAlreadyExists) reg = Status::OK();
+  if (reg.ok()) {
+    reg = zookeeper_->Create(session_, base + "/ids/" + id_, "",
+                             zk::CreateMode::kEphemeral);
+    // Our own ephemeral node surviving from an earlier (same-id) life is a
+    // completed registration, not a failure.
+    if (reg.code() == Code::kAlreadyExists) reg = Status::OK();
+  }
+  return reg.ok();
 }
 
 Consumer::~Consumer() { Close(); }
@@ -65,6 +83,13 @@ Result<std::vector<TopicPartition>> Consumer::AllPartitions(
 }
 
 Status Consumer::Subscribe(const std::string& topic) {
+  if (registration_status_.load(std::memory_order_relaxed) != 0) {
+    if (!RegisterInZk()) {
+      return Status::Unavailable("consumer " + id_ +
+                                 " not registered with the group (zk)");
+    }
+    registration_status_.store(0, std::memory_order_relaxed);
+  }
   {
     MutexLock lock(&mu_);
     topics_.insert(topic);
@@ -81,9 +106,15 @@ Status Consumer::Rebalance(const std::string& topic) {
       ids_path, [this](const zk::WatchEvent&) { rebalance_needed_ = true; },
       session_);
   if (!members.ok()) return members.status();
-  zookeeper_->GetChildren(
+  auto topic_watch = zookeeper_->GetChildren(
       options_.zk_root + "/brokers/topics/" + topic,
       [this](const zk::WatchEvent&) { rebalance_needed_ = true; }, session_);
+  if (!topic_watch.ok() && !topic_watch.status().IsNotFound()) {
+    // Without this watch the consumer never notices new partitions for the
+    // topic — it would silently serve a stale assignment forever. NotFound
+    // is fine (topic not advertised yet; the membership watch still fires).
+    return topic_watch.status();
+  }
 
   auto partitions = AllPartitions(topic);
   if (!partitions.ok()) return partitions.status();
@@ -120,7 +151,10 @@ Status Consumer::Rebalance(const std::string& topic) {
   // Release partitions we no longer own.
   for (const TopicPartition& tp : previous) {
     if (std::find(target.begin(), target.end(), tp) == target.end()) {
-      zookeeper_->Delete(OwnerPath(topic, tp));
+      // discard-ok: best-effort release. If the delete is lost the next
+      // owner's claim fails and its membership watch re-fires; the ephemeral
+      // node also dies with this session.
+      (void)zookeeper_->Delete(OwnerPath(topic, tp));
     }
   }
   // Claim the new set; failures (previous owner not released yet) leave the
@@ -272,16 +306,21 @@ Status Consumer::CommitOffsets() {
     MutexLock lock(&mu_);
     snapshot = offsets_;
   }
+  Status commit = Status::OK();
   for (const auto& [key, offset] : snapshot) {
     const std::string path = OffsetPath(key.first, key.second);
-    if (zookeeper_->Exists(path)) {
-      zookeeper_->Set(path, std::to_string(offset));
-    } else {
-      zookeeper_->CreateRecursive(session_, path, std::to_string(offset),
-                                  zk::CreateMode::kPersistent);
-    }
+    Status s = zookeeper_->Exists(path)
+                   ? zookeeper_->Set(path, std::to_string(offset))
+                   : zookeeper_->CreateRecursive(session_, path,
+                                                 std::to_string(offset),
+                                                 zk::CreateMode::kPersistent);
+    // Keep committing the remaining partitions (each offset is independent),
+    // but the call must not report success if any write was lost: a caller
+    // that trusts a false OK here re-reads from a stale offset after a
+    // crash — or worse, skips records its peer already dropped.
+    if (!s.ok() && commit.ok()) commit = s;
   }
-  return Status::OK();
+  return commit;
 }
 
 void Consumer::Seek(const std::string& topic, const TopicPartition& tp,

@@ -100,6 +100,10 @@ class Consumer {
 
  private:
   Result<std::vector<TopicPartition>> AllPartitions(const std::string& topic);
+
+  /// (Re)creates the group's /ids skeleton and this consumer's ephemeral id
+  /// node. True when the id node exists afterwards.
+  bool RegisterInZk();
   std::string OwnerPath(const std::string& topic,
                         const TopicPartition& tp) const;
   std::string OffsetPath(const std::string& topic,
@@ -110,9 +114,13 @@ class Consumer {
   zk::ZooKeeper* const zookeeper_;
   net::Transport* const network_;
   const ConsumerOptions options_;
+  // tsa-ok: written once during construction, immutable afterwards.
   zk::SessionId session_;
   /// Close() races the destructor with external callers; exchange decides.
   std::atomic<bool> closed_{false};
+  /// 0 = the group id node exists; nonzero = construction-time registration
+  /// failed and Subscribe must retry before joining a rebalance.
+  std::atomic<int> registration_status_{1};
 
   /// Guards the consumer's own bookkeeping only — never held across a
   /// network or Zookeeper call (watch callbacks may re-enter the consumer).

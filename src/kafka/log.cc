@@ -24,7 +24,12 @@ std::string PartitionLog::SegmentPath(int64_t base_offset) const {
 }
 
 void PartitionLog::RecoverFromDiskLocked() {
-  fs_->CreateDirs(options_.data_dir);
+  Status mkdir = fs_->CreateDirs(options_.data_dir);
+  if (!mkdir.ok() && recovery_status_.ok()) {
+    // No data dir means every later append fails too — but those failures
+    // are per-write; this one marks the log unhealthy from the start.
+    recovery_status_ = mkdir;
+  }
   std::vector<int64_t> bases;
   auto names = fs_->ListDir(options_.data_dir);
   if (names.ok()) {
@@ -50,8 +55,17 @@ void PartitionLog::RecoverFromDiskLocked() {
       // file aside so a growing log can never append into them.
       if (recovery_status_.ok()) recovery_status_ = read_status;
       for (size_t j = bi; j < bases.size(); ++j) {
-        fs_->RenameFile(SegmentPath(bases[j]),
-                        SegmentPath(bases[j]) + ".orphan");
+        Status renamed = fs_->RenameFile(SegmentPath(bases[j]),
+                                         SegmentPath(bases[j]) + ".orphan");
+        if (!renamed.ok()) {
+          // The quarantine failed and the stale file keeps its live name:
+          // once the log grows back to this base offset, OpenAppend
+          // (O_APPEND, no truncate) would write after the stale bytes.
+          // Emptying the file defuses that; if even that fails the log is
+          // already marked unhealthy by recovery_status_ above.
+          // discard-ok: double failure, recovery_status_ is already non-OK.
+          (void)fs_->TruncateFile(SegmentPath(bases[j]), 0);
+        }
       }
       break;
     }
@@ -426,8 +440,8 @@ void PartitionLog::Flush() {
     target = flushed_end_.load();
   }
   // kAlways legacy callers expect a flush to reach stable storage; in group
-  // mode that fdatasync belongs to the committer and runs with mu_
-  // released. Best effort — the acknowledged path is AppendDurable.
+  // mode that fdatasync belongs to the committer and runs with mu_ released.
+  // discard-ok: best effort — the acknowledged path is AppendDurable.
   if (group_mode() && target > durable_end_.load()) {
     (void)group_->SyncTo(target);
   }
@@ -652,7 +666,16 @@ int PartitionLog::DeleteExpiredSegments() {
          now - segments_.front().last_append_ms > options_.retention_ms) {
     if (fs_ != nullptr) {
       segments_.front().file.reset();  // close before unlink
-      fs_->RemoveFile(SegmentPath(segments_.front().base_offset));
+      Status removed =
+          fs_->RemoveFile(SegmentPath(segments_.front().base_offset));
+      if (!removed.ok() &&
+          !fs_->TruncateFile(SegmentPath(segments_.front().base_offset), 0)
+               .ok()) {
+        // Dropping the in-memory segment while its file survives intact
+        // would resurrect the expired records on the next restart. Leave it
+        // in place; the next retention sweep retries the unlink.
+        break;
+      }
     }
     segments_.pop_front();
     ++deleted;
@@ -664,7 +687,14 @@ int PartitionLog::DeleteExpiredSegments() {
     const int64_t end = s.base_offset + s.size();
     if (fs_ != nullptr) {
       s.file.reset();  // close before unlink
-      fs_->RemoveFile(SegmentPath(s.base_offset));
+      Status removed = fs_->RemoveFile(SegmentPath(s.base_offset));
+      if (!removed.ok() &&
+          !fs_->TruncateFile(SegmentPath(s.base_offset), 0).ok()) {
+        // Same resurrection hazard as above: keep the segment until the
+        // file is actually gone (or at least empty).
+        if (deleted > 0) PublishSnapshotLocked();
+        return deleted;
+      }
     }
     Segment fresh;
     fresh.base_offset = end;

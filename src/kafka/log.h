@@ -234,6 +234,8 @@ class PartitionLog {
   obs::Counter* torn_truncations_ = nullptr;
   /// Non-null exactly when group commit is active (persistent + kAlways +
   /// options_.group_commit).
+  // tsa-ok: set once during construction; the committer is internally
+  // synchronized (its own leaf lock).
   std::unique_ptr<io::GroupCommitter> group_;
 
   /// Writer lock: appends, flush policy, persistence, retention. Readers do

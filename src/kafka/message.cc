@@ -24,8 +24,15 @@ std::string MessageSetBuilder::Build() {
     out = std::move(plain_);
   } else {
     std::string compressed;
-    Compress(codec_, plain_, &compressed);
-    AppendMessageEntry(compressed, codec_, &out);
+    Status s = Compress(codec_, plain_, &compressed);
+    if (s.ok()) {
+      AppendMessageEntry(compressed, codec_, &out);
+    } else {
+      // A failed compression must not ship a truncated deflate stream as if
+      // it were the batch. plain_ already holds well-formed entries, so the
+      // uncompressed form is wire-compatible — just bigger.
+      out = std::move(plain_);
+    }
   }
   plain_.clear();
   count_ = 0;

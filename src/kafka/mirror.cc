@@ -18,10 +18,17 @@ MirrorMaker::MirrorMaker(const std::string& name, const std::string& topic,
   producer_ =
       std::make_unique<Producer>(name + "-producer", zookeeper, network,
                                  producer_options);
-  consumer_->Subscribe(topic);
+  // A failed subscription would otherwise make the mirror a silent no-op
+  // (Poll of an unsubscribed topic returns empty batches, which PumpToHead
+  // reads as "caught up"). Keep the status; PumpOnce retries and surfaces it.
+  subscribe_status_ = consumer_->Subscribe(topic);
 }
 
 Result<int64_t> MirrorMaker::PumpOnce() {
+  if (!subscribe_status_.ok()) {
+    subscribe_status_ = consumer_->Subscribe(topic_);
+    if (!subscribe_status_.ok()) return subscribe_status_;
+  }
   auto messages = consumer_->Poll(topic_);
   if (!messages.ok()) return messages.status();
   for (const Message& message : messages.value()) {

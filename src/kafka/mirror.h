@@ -37,6 +37,9 @@ class MirrorMaker {
   const std::string topic_;
   std::unique_ptr<Consumer> consumer_;
   std::unique_ptr<Producer> producer_;
+  /// Non-OK when the embedded consumer's subscription has not succeeded
+  /// yet; PumpOnce retries before polling.
+  Status subscribe_status_;
 };
 
 }  // namespace lidi::kafka

@@ -198,6 +198,8 @@ class TcpTransport final : public Transport {
       LIDI_GUARDED_BY(state_mu_);  // cache
   bool shutdown_ LIDI_GUARDED_BY(state_mu_) = false;
 
+  // tsa-ok: populated once during construction; each Reactor has its own
+  // mutex for the state its thread shares with callers.
   std::vector<std::unique_ptr<Reactor>> reactors_;
   std::atomic<size_t> next_reactor_{0};
 
@@ -206,6 +208,8 @@ class TcpTransport final : public Transport {
   CondVar queue_cv_;
   std::deque<Work> queue_ LIDI_GUARDED_BY(queue_mu_);
   bool stopping_ LIDI_GUARDED_BY(queue_mu_) = false;
+  // tsa-ok: spawned in the constructor, joined in Stop/destructor; worker
+  // threads never touch the vector itself.
   std::vector<std::thread> workers_;
 
   std::atomic<uint64_t> next_correlation_{1};

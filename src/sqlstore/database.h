@@ -155,13 +155,16 @@ class Binlog {
   void RecoverLocked() LIDI_REQUIRES(mu_);
 
   const BinlogOptions options_;
-  io::Fs* fs_ = nullptr;  // null = in-memory only
+  // tsa-ok: set once during construction; null = in-memory only.
+  io::Fs* fs_ = nullptr;
   obs::Counter* sync_count_ = nullptr;
   obs::Counter* write_failed_ = nullptr;
   obs::Counter* torn_truncations_ = nullptr;
 
   /// Non-null iff group commit is active (fs-backed, kAlways, group_commit
   /// set, legacy bug knob off). Its mutex is a leaf under mu_.
+  // tsa-ok: set once during construction; the committer is internally
+  // synchronized.
   std::unique_ptr<io::GroupCommitter> group_;
 
   mutable Mutex mu_{"sqlstore.binlog"};
@@ -301,6 +304,8 @@ class Database {
   std::function<int(Slice)> partition_fn_ LIDI_GUARDED_BY(mu_);
   std::vector<Trigger> triggers_ LIDI_GUARDED_BY(mu_);
   SemiSyncCallback semi_sync_ LIDI_GUARDED_BY(mu_);
+  // tsa-ok: Binlog is internally synchronized (its own mutex, a leaf in
+  // the commit lock order documented above).
   Binlog binlog_;
   Mutex commit_mu_{
       "sqlstore.commit"};  // serializes commits -> strict commit order

@@ -253,7 +253,9 @@ class LogEngineImpl : public LogStructuredEngine {
       } else if (name.size() > 4 &&
                  name.compare(name.size() - 4, 4, ".tmp") == 0) {
         // Staged compaction output from a crashed run; never made live.
-        fs_->RemoveFile(options_.data_dir + "/" + name);
+        // discard-ok: best-effort cleanup; a surviving .tmp is never read
+        // and the next compaction removes or overwrites it.
+        (void)fs_->RemoveFile(options_.data_dir + "/" + name);
       }
     }
     std::sort(files.begin(), files.end());
@@ -498,19 +500,37 @@ class LogEngineImpl : public LogStructuredEngine {
       // Stage.
       for (size_t i = 0; i < new_segments.size(); ++i) {
         const std::string tmp = SegmentPath(i) + ".tmp";
-        if (fs_->FileExists(tmp)) fs_->RemoveFile(tmp);
+        // A stale .tmp from a crashed run must not survive into this
+        // generation: OpenAppend below is O_APPEND without O_TRUNC, so
+        // leftover bytes would become a garbage prefix of the staged
+        // segment — which then gets synced and renamed live. If neither
+        // remove nor truncate can clear it, abandon the compaction.
+        if (fs_->FileExists(tmp) && !fs_->RemoveFile(tmp).ok()) {
+          if (!fs_->TruncateFile(tmp, 0).ok()) {
+            io_write_failed_->Increment();
+            return;
+          }
+        }
         auto file = fs_->OpenAppend(tmp);
         Status s = file.ok() ? file.value()->Append(new_segments[i], nullptr)
                              : file.status();
         // sync-choke-point: compaction staging files are synced before the
         // generation pointer flips to them.
         if (s.ok()) s = file.value()->Sync();
-        if (file.ok()) file.value()->Close();
+        if (file.ok()) {
+          // A failed close after a clean sync still abandons the staging
+          // run: the handle's state is unknown and the flip must not trust
+          // it.
+          Status close_status = file.value()->Close();
+          if (s.ok()) s = close_status;
+        }
         if (!s.ok()) {
           // Abandon: remove staged files, keep the current generation.
           io_write_failed_->Increment();
           for (size_t j = 0; j <= i; ++j) {
-            fs_->RemoveFile(SegmentPath(j) + ".tmp");
+            // discard-ok: best-effort cleanup of abandoned staging files; a
+            // leftover .tmp is removed by the next recovery or compaction.
+            (void)fs_->RemoveFile(SegmentPath(j) + ".tmp");
           }
           return;
         }
@@ -525,9 +545,28 @@ class LogEngineImpl : public LogStructuredEngine {
         }
       }
       for (size_t i = new_segments.size(); i < old_files; ++i) {
-        fs_->RemoveFile(SegmentPath(i));
+        Status s = fs_->RemoveFile(SegmentPath(i));
+        if (!s.ok()) {
+          // A surviving surplus segment is not just litter: recovery reads
+          // every N.seg in order, so the old generation's records — deleted
+          // keys included — would be resurrected on the next restart.
+          // Truncating the stale file to empty is the cheap way to defuse
+          // it; only if that also fails is the engine marked degraded.
+          Status truncated = fs_->TruncateFile(SegmentPath(i), 0);
+          if (!truncated.ok()) {
+            io_write_failed_->Increment();
+            if (recovery_status_.ok()) recovery_status_ = truncated;
+          }
+        }
       }
-      fs_->SyncDir(options_.data_dir);
+      Status dir_sync = fs_->SyncDir(options_.data_dir);
+      if (!dir_sync.ok()) {
+        // The renames may not survive power loss: the directory could come
+        // back with any mix of old and new generation files. Surface it —
+        // claiming the compaction durable here would be a silent lie.
+        io_write_failed_->Increment();
+        if (recovery_status_.ok()) recovery_status_ = dir_sync;
+      }
       for (const auto& seg : new_segments) {
         new_persisted.push_back(static_cast<int64_t>(seg.size()));
       }

@@ -120,7 +120,9 @@ Status ReadOnlyController::SwapAll(const std::string& store, int64_t version) {
     if (!s.ok()) {
       // Co-ordinated atomicity: undo the nodes already swapped.
       for (VoldemortServer* done : swapped) {
-        done->GetReadOnlyStore(store)->Rollback();
+        // discard-ok: best-effort compensation while already failing the
+        // swap; the primary error (returned below) outranks rollback noise.
+        (void)done->GetReadOnlyStore(store)->Rollback();
       }
       return s;
     }

@@ -22,6 +22,8 @@ StoreClient::StoreClient(std::string client_name, StoreDefinition store_def,
       metrics_(network->metrics()),
       read_repairs_(metrics_->GetCounter("voldemort.read_repairs",
                                          {{"client", name_}})),
+      read_repair_failures_(metrics_->GetCounter(
+          "voldemort.read_repair_failures", {{"client", name_}})),
       hinted_handoffs_(metrics_->GetCounter("voldemort.hinted_handoffs",
                                             {{"client", name_}})),
       get_micros_(metrics_->GetHistogram("voldemort.op_micros",
@@ -169,9 +171,23 @@ void StoreClient::ReadRepair(
       if (has) continue;
       std::string put_request;
       EncodePutRequest(def_.name, key, v, Transform{}, &put_request);
-      read_repairs_->Increment();
-      network_->Call(name_, net::MakeAddress(net::Tier::kVoldemort, node), "v.put", put_request,
-                     net::CallOptions{trace});
+      auto r = network_->Call(name_, net::MakeAddress(net::Tier::kVoldemort, node), "v.put",
+                              put_request, net::CallOptions{trace});
+      if (r.ok()) {
+        read_repairs_->Increment();
+        detector_.RecordSuccess(node);
+      } else if (r.status().IsObsoleteVersion() || r.status().IsOverloaded()) {
+        // The replica answered: it already holds a newer version, or it shed
+        // the repair under load. Alive either way — not a detector event,
+        // and not a completed repair.
+        read_repair_failures_->Increment();
+      } else {
+        // The repair write never landed. Counting it as done would hide the
+        // stale replica, and a dead node must feed the failure detector just
+        // like any other failed call.
+        read_repair_failures_->Increment();
+        detector_.RecordFailure(node);
+      }
     }
   }
 }

@@ -117,6 +117,7 @@ class StoreClient {
   const ClientOptions options_;
   obs::MetricsRegistry* const metrics_;
   obs::Counter* const read_repairs_;
+  obs::Counter* const read_repair_failures_;
   obs::Counter* const hinted_handoffs_;
   obs::LatencyHistogram* const get_micros_;
   obs::LatencyHistogram* const put_micros_;

@@ -360,11 +360,15 @@ Result<std::string> VoldemortServer::HandleDelete(Slice request) {
     }
   }
   if (remaining.empty()) {
-    engine->Delete(key);
+    Status applied = engine->Delete(key);
+    if (!applied.ok()) return applied;
   } else {
     std::string encoded;
     EncodeVersionedList(remaining, &encoded);
-    engine->Put(key, encoded);
+    // The reply below acks "dropped N versions"; if the narrowed list never
+    // reached the engine nothing was dropped and the ack would be a lie.
+    Status applied = engine->Put(key, encoded);
+    if (!applied.ok()) return applied;
   }
   return std::to_string(dropped);
 }
@@ -396,14 +400,18 @@ int VoldemortServer::PushSlops() {
     int destination;
     std::string put_request;
     if (!DecodeSlopRequest(slop_value, &destination, &put_request).ok()) {
-      slop_engine_->Delete(slop_key);  // malformed: drop
+      // discard-ok: dropping a malformed slop; if the delete fails it is
+      // re-examined (and re-dropped) on the next push cycle.
+      (void)slop_engine_->Delete(slop_key);
       continue;
     }
     auto r = network_->Call(address_, net::MakeAddress(net::Tier::kVoldemort, destination),
                             "v.put-noredirect", put_request);
     if (r.ok() || r.status().IsObsoleteVersion()) {
       // Delivered, or the destination already has a newer version.
-      slop_engine_->Delete(slop_key);
+      // discard-ok: a failed delete only redelivers the slop later, and
+      // slop puts are version-idempotent (ObsoleteVersion on replay).
+      (void)slop_engine_->Delete(slop_key);
       ++delivered;
     }
   }
@@ -472,11 +480,17 @@ Result<std::string> VoldemortServer::HandlePutRaw(Slice request) {
       list = std::move(decoded.value());
     }
     for (Versioned& v : incoming.value()) {
-      InsertVersioned(&list, std::move(v));  // Obsolete entries are fine
+      // discard-ok: InsertVersioned only fails with ObsoleteVersion and
+      // leaves the list unchanged — an obsolete incoming entry during a
+      // raw merge just means the local replica already dominates it.
+      (void)InsertVersioned(&list, std::move(v));
     }
     std::string encoded;
     EncodeVersionedList(list, &encoded);
-    engine->Put(key, encoded);
+    // Rebalancing trusts this "ok" to mean the entry is on the new owner;
+    // a dropped Put here would silently lose the moved keys.
+    Status put = engine->Put(key, encoded);
+    if (!put.ok()) return put;
   }
   return std::string("ok");
 }

@@ -128,6 +128,8 @@ class VoldemortServer {
       LIDI_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<ReadOnlyStore>> readonly_stores_
       LIDI_GUARDED_BY(mu_);
+  // tsa-ok: thread-safe engine, pointer set once in the constructor (see
+  // the mu_ doc comment above).
   std::unique_ptr<storage::StorageEngine> slop_engine_;
   // Server-side routing: per-store embedded coordinators (see
   // EnableServerSideRouting). Declared as an opaque forward-declared client

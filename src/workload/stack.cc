@@ -1,11 +1,25 @@
 #include "workload/stack.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "kafka/message.h"
 #include "net/address.h"
 
 namespace lidi::workload {
+
+namespace {
+/// Harness construction is all-or-nothing: a four-tier stack with a missing
+/// topic, store, or schema would silently measure garbage. Abort loudly.
+void MustOk(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "FourTierStack setup: %s: %s\n", what,
+                 s.ToString().c_str());
+    std::abort();
+  }
+}
+}  // namespace
 
 FourTierStack::FourTierStack(net::Transport* transport, const Clock* clock,
                              StackOptions options)
@@ -23,7 +37,7 @@ FourTierStack::FourTierStack(net::Transport* transport, const Clock* clock,
   for (int i = 0; i < options_.voldemort_nodes; ++i) {
     voldemort_.push_back(std::make_unique<voldemort::VoldemortServer>(
         i, metadata_, transport_, vopts));
-    voldemort_.back()->AddStore("wl");
+    MustOk(voldemort_.back()->AddStore("wl"), "voldemort AddStore");
   }
   voldemort::StoreDefinition def{"wl", options_.replication,
                                  options_.required_reads,
@@ -41,23 +55,28 @@ FourTierStack::FourTierStack(net::Transport* transport, const Clock* clock,
   bopts.quota_burst = options_.quota_burst;
   broker_ = std::make_unique<kafka::Broker>(0, &zookeeper_, transport_, clock_,
                                             bopts);
-  broker_->CreateTopic("activity", options_.kafka_partitions);
+  MustOk(broker_->CreateTopic("activity", options_.kafka_partitions),
+         "kafka CreateTopic");
 
   // --- Espresso: schema, Helix-managed nodes, admission-controlled router.
-  registry_.CreateDatabase({"db",
-                            espresso::DatabaseSchema::Partitioning::kHash,
-                            options_.espresso_partitions,
-                            options_.espresso_replicas});
-  registry_.CreateTable("db", {"docs", 1});
-  registry_.PostDocumentSchema("db", "docs", R"({
+  MustOk(registry_.CreateDatabase(
+             {"db", espresso::DatabaseSchema::Partitioning::kHash,
+              options_.espresso_partitions, options_.espresso_replicas}),
+         "espresso CreateDatabase");
+  MustOk(registry_.CreateTable("db", {"docs", 1}), "espresso CreateTable");
+  MustOk(registry_
+             .PostDocumentSchema("db", "docs", R"({
     "type":"record","name":"Doc","fields":[
       {"name":"title","type":"string","indexed":true},
       {"name":"body","type":"string"},
-      {"name":"rank","type":"int","indexed":true}]})");
+      {"name":"rank","type":"int","indexed":true}]})")
+             .status(),
+         "espresso PostDocumentSchema");
   controller_ = std::make_unique<helix::HelixController>("espresso",
                                                          &zookeeper_);
-  controller_->AddResource(
-      {"db", options_.espresso_partitions, options_.espresso_replicas});
+  MustOk(controller_->AddResource({"db", options_.espresso_partitions,
+                                   options_.espresso_replicas}),
+         "helix AddResource");
   for (int i = 0; i < options_.espresso_nodes; ++i) {
     auto node = std::make_unique<espresso::StorageNode>(
         "esn-" + std::to_string(i), &registry_, &espresso_relay_, transport_,
@@ -66,10 +85,13 @@ FourTierStack::FourTierStack(net::Transport* transport, const Clock* clock,
     raw->SetMasterLookup([this](const std::string& db, int p) {
       return controller_->MasterOf(db, p);
     });
-    controller_->ConnectParticipant(
-        raw->name(), [raw](const helix::Transition& t) {
-          return raw->HandleTransition(t);
-        });
+    MustOk(controller_
+               ->ConnectParticipant(raw->name(),
+                                    [raw](const helix::Transition& t) {
+                                      return raw->HandleTransition(t);
+                                    })
+               .status(),
+           "helix ConnectParticipant");
     espresso_nodes_.push_back(std::move(node));
   }
   controller_->RebalanceToConvergence();
@@ -80,7 +102,7 @@ FourTierStack::FourTierStack(net::Transport* transport, const Clock* clock,
                                                ropts);
 
   // --- Databus: source-of-truth database -> relay -> consumer. ---
-  source_.CreateTable("profiles");
+  MustOk(source_.CreateTable("profiles"), "databus source CreateTable");
   relay_ = std::make_unique<databus::Relay>("wl-relay", &source_, transport_);
   consumer_ = std::make_unique<databus::CallbackConsumer>(
       [this](const databus::Event&) {

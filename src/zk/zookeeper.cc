@@ -50,7 +50,10 @@ void ZooKeeper::CloseSession(SessionId session) {
       // Copy: DeleteLocked mutates session_nodes_.
       const std::set<std::string> paths = it->second;
       for (const std::string& path : paths) {
-        DeleteLocked(path, &events);
+        // discard-ok: ephemeral teardown of nodes enumerated under this
+        // same lock; DeleteLocked can only fail with NotFound, and a
+        // concurrent explicit delete is exactly that case.
+        (void)DeleteLocked(path, &events);
       }
       session_nodes_.erase(session);
     }
@@ -243,7 +246,11 @@ void ZooKeeper::DeleteRecursive(const std::string& path) {
               [](const std::string& a, const std::string& b) {
                 return a.size() > b.size() || (a.size() == b.size() && a < b);
               });
-    for (const std::string& p : doomed) DeleteLocked(p, &events);
+    for (const std::string& p : doomed) {
+      // discard-ok: recursive delete of paths enumerated under this lock;
+      // children sort before parents so each delete sees an existing leaf.
+      (void)DeleteLocked(p, &events);
+    }
   }
   Fire(std::move(events));
 }

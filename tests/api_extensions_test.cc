@@ -20,6 +20,8 @@
 #include "voldemort/server.h"
 #include "zk/zookeeper.h"
 
+#include "status_test_util.h"
+
 namespace lidi {
 namespace {
 
@@ -40,7 +42,7 @@ class ServerRoutingTest : public ::testing::Test {
     for (int i = 0; i < 3; ++i) {
       servers_.push_back(std::make_unique<voldemort::VoldemortServer>(
           i, metadata_, &network_));
-      servers_.back()->AddStore("s");
+      ASSERT_OK(servers_.back()->AddStore("s"));
       ASSERT_TRUE(
           servers_.back()->EnableServerSideRouting(def, &clock_).ok());
       addresses_.push_back(servers_.back()->address());
@@ -123,19 +125,19 @@ TEST(ConditionalGetTest, NotModifiedSkipsPayload) {
   net::Network network;
   zk::ZooKeeper zookeeper;
   espresso::SchemaRegistry registry;
-  registry.CreateDatabase({"db", espresso::DatabaseSchema::Partitioning::kHash,
-                           4, 1});
-  registry.CreateTable("db", {"docs", 0});
-  registry.PostDocumentSchema("db", "docs", R"({
-    "type":"record","name":"D","fields":[{"name":"v","type":"string"}]})");
+  ASSERT_OK(registry.CreateDatabase({"db", espresso::DatabaseSchema::Partitioning::kHash,
+                           4, 1}));
+  ASSERT_OK(registry.CreateTable("db", {"docs", 0}));
+  ASSERT_OK(registry.PostDocumentSchema("db", "docs", R"({
+    "type":"record","name":"D","fields":[{"name":"v","type":"string"}]})"));
   espresso::EspressoRelay relay;
   helix::HelixController controller("c", &zookeeper);
-  controller.AddResource({"db", 4, 1});
+  ASSERT_OK(controller.AddResource({"db", 4, 1}));
   espresso::StorageNode node("esn-0", &registry, &relay, &network,
                              SystemClock::Default());
-  controller.ConnectParticipant(
+  ASSERT_OK(controller.ConnectParticipant(
       "esn-0",
-      [&node](const helix::Transition& t) { return node.HandleTransition(t); });
+      [&node](const helix::Transition& t) { return node.HandleTransition(t); }));
   controller.RebalanceToConvergence();
   espresso::Router router("router", &registry, &controller, &network);
 
@@ -178,7 +180,7 @@ TEST(MessageStreamsTest, StreamsPartitionTheSubscription) {
   zk::ZooKeeper zookeeper;
   net::Network network;
   kafka::Broker broker(0, &zookeeper, &network, &clock, {});
-  broker.CreateTopic("t", 4);
+  ASSERT_OK(broker.CreateTopic("t", 4));
   kafka::Producer producer("p", &zookeeper, &network);
   for (int i = 0; i < 80; ++i) {
     ASSERT_TRUE(producer.Send("t", "m" + std::to_string(i)).ok());
@@ -211,11 +213,11 @@ TEST(MessageStreamsTest, IteratorNextDeliversAndTimesOut) {
   zk::ZooKeeper zookeeper;
   net::Network network;
   kafka::Broker broker(0, &zookeeper, &network, &clock, {});
-  broker.CreateTopic("t", 1);
+  ASSERT_OK(broker.CreateTopic("t", 1));
   kafka::Producer producer("p", &zookeeper, &network);
-  producer.Send("t", "only");
+  ASSERT_OK(producer.Send("t", "only"));
   kafka::Consumer consumer("c", "g", &zookeeper, &network);
-  consumer.Subscribe("t");
+  ASSERT_OK(consumer.Subscribe("t"));
   auto streams = consumer.CreateMessageStreams("t", 1);
   auto m = streams[0].Next();
   ASSERT_TRUE(m.ok());
@@ -248,7 +250,7 @@ TEST(ZoneAffinityTest, ReadsPreferTheClientsZoneThenProximityOrder) {
   for (int i = 0; i < 6; ++i) {
     servers.push_back(std::make_unique<voldemort::VoldemortServer>(
         i, metadata, &network));
-    servers.back()->AddStore("s");
+    ASSERT_OK(servers.back()->AddStore("s"));
   }
 
   voldemort::ClientOptions options;
@@ -275,7 +277,7 @@ TEST(ZoneAffinityTest, ReadsPreferTheClientsZoneThenProximityOrder) {
   // With R=1, reads whose replica set includes a zone-0 node never leave
   // the zone: verify via network traffic counters.
   for (int i = 0; i < 100; ++i) {
-    local.PutValue("k" + std::to_string(i), "v");
+    ASSERT_OK(local.PutValue("k" + std::to_string(i), "v"));
   }
   network.ResetStats();
   int reads_with_local_replica = 0;
@@ -284,7 +286,7 @@ TEST(ZoneAffinityTest, ReadsPreferTheClientsZoneThenProximityOrder) {
     const auto preference = local.PreferenceList(key);
     const bool has_local = preference[0] / 2 == 0;
     if (has_local) ++reads_with_local_replica;
-    local.Get(key);
+    ASSERT_OK(local.Get(key));
   }
   int64_t remote_gets = 0;
   for (int node = 2; node < 6; ++node) {

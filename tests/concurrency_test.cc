@@ -22,6 +22,8 @@
 #include "voldemort/server.h"
 #include "zk/zookeeper.h"
 
+#include "status_test_util.h"
+
 namespace lidi {
 namespace {
 
@@ -45,7 +47,7 @@ TEST(DivergenceTest, PartitionedWritersProduceConcurrentVersions) {
   for (int i = 0; i < 2; ++i) {
     servers.push_back(
         std::make_unique<voldemort::VoldemortServer>(i, metadata, &network));
-    servers.back()->AddStore("s");
+    ASSERT_OK(servers.back()->AddStore("s"));
   }
   voldemort::ClientOptions options;
   options.enable_hinted_handoff = false;  // keep the divergence clean
@@ -107,7 +109,7 @@ TEST(DivergenceTest, OptimisticLockLoserGetsObsoleteVersion) {
   auto metadata = std::make_shared<voldemort::ClusterMetadata>(
       voldemort::Cluster::Uniform(nodes, 2));
   voldemort::VoldemortServer server(0, metadata, &network);
-  server.AddStore("s");
+  ASSERT_OK(server.AddStore("s"));
   voldemort::StoreDefinition def{"s", 1, 1, 1};
   voldemort::StoreClient c1("c1", def, metadata, &network, &clock);
   voldemort::StoreClient c2("c2", def, metadata, &network, &clock);
@@ -145,7 +147,7 @@ TEST(ThreadStressTest, ParallelVoldemortClients) {
   for (int i = 0; i < 3; ++i) {
     servers.push_back(
         std::make_unique<voldemort::VoldemortServer>(i, metadata, &network));
-    servers.back()->AddStore("s");
+    ASSERT_OK(servers.back()->AddStore("s"));
   }
 
   constexpr int kThreads = 8;
@@ -178,7 +180,7 @@ TEST(ThreadStressTest, ParallelKafkaProducersAndConsumer) {
   ManualClock clock;
   zk::ZooKeeper zookeeper;
   kafka::Broker broker(0, &zookeeper, &network, &clock, {});
-  broker.CreateTopic("t", 4);
+  ASSERT_OK(broker.CreateTopic("t", 4));
 
   constexpr int kProducers = 4;
   constexpr int kPerProducer = 1000;
@@ -187,14 +189,14 @@ TEST(ThreadStressTest, ParallelKafkaProducersAndConsumer) {
     threads.emplace_back([&, p]() {
       kafka::Producer producer("p" + std::to_string(p), &zookeeper, &network);
       for (int i = 0; i < kPerProducer; ++i) {
-        producer.Send("t", "m");
+        ASSERT_OK(producer.Send("t", "m"));
       }
     });
   }
   for (auto& thread : threads) thread.join();
 
   kafka::Consumer consumer("c", "g", &zookeeper, &network);
-  consumer.Subscribe("t");
+  ASSERT_OK(consumer.Subscribe("t"));
   int64_t got = 0;
   for (int round = 0; round < 10'000 && got < kProducers * kPerProducer;
        ++round) {
@@ -214,15 +216,15 @@ TEST(CompressedMirrorTest, MirrorRecompressesAndDeliversExactly) {
   ManualClock clock;
   zk::ZooKeeper zookeeper;
   kafka::Broker live(0, &zookeeper, &network, &clock, {});
-  live.CreateTopic("t", 2);
+  ASSERT_OK(live.CreateTopic("t", 2));
   kafka::BrokerOptions offline_options;
   offline_options.zk_root = "/kafka-offline";
   kafka::Broker offline(100, &zookeeper, &network, &clock, offline_options);
-  offline.CreateTopic("t", 2);
+  ASSERT_OK(offline.CreateTopic("t", 2));
 
   kafka::Producer producer("p", &zookeeper, &network);
   for (int i = 0; i < 50; ++i) {
-    producer.Send("t", "event body " + std::to_string(i));
+    ASSERT_OK(producer.Send("t", "event body " + std::to_string(i)));
   }
   kafka::MirrorMaker mirror("m", "t", &zookeeper, &network, "/kafka",
                             "/kafka-offline", CompressionCodec::kDeflate);
@@ -233,7 +235,7 @@ TEST(CompressedMirrorTest, MirrorRecompressesAndDeliversExactly) {
   kafka::ConsumerOptions offline_consumer;
   offline_consumer.zk_root = "/kafka-offline";
   kafka::Consumer analyst("a", "g", &zookeeper, &network, offline_consumer);
-  analyst.Subscribe("t");
+  ASSERT_OK(analyst.Subscribe("t"));
   std::multiset<std::string> received;
   for (int round = 0; round < 200 && received.size() < 50; ++round) {
     auto messages = analyst.Poll("t");
@@ -257,22 +259,22 @@ TEST(UnpartitionedTest, AllDocumentsOnAllNodes) {
   SystemClock* clock = SystemClock::Default();
   espresso::SchemaRegistry registry;
   // Un-partitioned: one partition replicated onto every node.
-  registry.CreateDatabase(
-      {"conf", espresso::DatabaseSchema::Partitioning::kUnpartitioned, 1, 3});
-  registry.CreateTable("conf", {"settings", 0});
-  registry.PostDocumentSchema("conf", "settings", R"({
-    "type":"record","name":"S","fields":[{"name":"v","type":"string"}]})");
+  ASSERT_OK(registry.CreateDatabase(
+      {"conf", espresso::DatabaseSchema::Partitioning::kUnpartitioned, 1, 3}));
+  ASSERT_OK(registry.CreateTable("conf", {"settings", 0}));
+  ASSERT_OK(registry.PostDocumentSchema("conf", "settings", R"({
+    "type":"record","name":"S","fields":[{"name":"v","type":"string"}]})"));
   espresso::EspressoRelay relay;
   helix::HelixController controller("c", &zookeeper);
-  controller.AddResource({"conf", 1, 3});
+  ASSERT_OK(controller.AddResource({"conf", 1, 3}));
   std::vector<std::unique_ptr<espresso::StorageNode>> nodes;
   for (int i = 0; i < 3; ++i) {
     auto node = std::make_unique<espresso::StorageNode>(
         "esn-" + std::to_string(i), &registry, &relay, &network, clock);
     auto* raw = node.get();
-    controller.ConnectParticipant(raw->name(), [raw](const helix::Transition& t) {
+    ASSERT_OK(controller.ConnectParticipant(raw->name(), [raw](const helix::Transition& t) {
       return raw->HandleTransition(t);
-    });
+    }));
     nodes.push_back(std::move(node));
   }
   controller.RebalanceToConvergence();

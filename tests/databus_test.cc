@@ -9,6 +9,8 @@
 #include "net/network.h"
 #include "sqlstore/database.h"
 
+#include "status_test_util.h"
+
 namespace lidi::databus {
 namespace {
 
@@ -91,8 +93,8 @@ TEST(FilterTest, SerializationRoundTrip) {
 class DatabusTest : public ::testing::Test {
  protected:
   DatabusTest() : db_("member_db") {
-    db_.CreateTable("profiles");
-    db_.CreateTable("connections");
+    EXPECT_OK(db_.CreateTable("profiles"));
+    EXPECT_OK(db_.CreateTable("connections"));
   }
 
   void WriteProfiles(int from, int count) {
@@ -126,7 +128,7 @@ TEST_F(DatabusTest, RelayCapturesCommitOrder) {
 TEST_F(DatabusTest, RelayServesFromSequenceNumber) {
   Relay relay("relay-1", &db_, &network_);
   WriteProfiles(0, 20);
-  relay.PollOnce();
+  ASSERT_OK(relay.PollOnce());
   auto events = relay.ReadEvents(15, 100, Filter{});
   ASSERT_TRUE(events.ok());
   ASSERT_EQ(events.value().size(), 5u);
@@ -139,7 +141,7 @@ TEST_F(DatabusTest, RelayTransactionEnvelope) {
   txn.Put("profiles", "m1", Row{{"name", "x"}});
   txn.Put("connections", "m1:m2", Row{});
   ASSERT_TRUE(txn.Commit().ok());
-  relay.PollOnce();
+  ASSERT_OK(relay.PollOnce());
   auto events = relay.ReadEvents(0, 10, Filter{});
   ASSERT_TRUE(events.ok());
   ASSERT_EQ(events.value().size(), 2u);
@@ -153,7 +155,7 @@ TEST_F(DatabusTest, RelayEvictionForcesBootstrapError) {
   options.buffer_capacity_events = 5;
   Relay relay("relay-1", &db_, &network_, options);
   WriteProfiles(0, 20);
-  relay.PollOnce();
+  ASSERT_OK(relay.PollOnce());
   EXPECT_EQ(relay.buffered_events(), 5);
   EXPECT_EQ(relay.min_buffered_scn(), 16);
   // Reading from the beginning must fail: range evicted.
@@ -168,7 +170,7 @@ TEST_F(DatabusTest, RelayServerSideFiltering) {
   });
   Relay relay("relay-1", &db_, &network_);
   WriteProfiles(0, 8);  // keys m0..m7, partitions 0..3
-  relay.PollOnce();
+  ASSERT_OK(relay.PollOnce());
   Filter f;
   f.mod_base = 4;
   f.mod_residues = {2};
@@ -184,7 +186,7 @@ TEST_F(DatabusTest, ChainedRelayReplicatesStream) {
   Relay primary("relay-1", &db_, &network_);
   Relay chained("relay-2", net::Address("relay-1"), &network_);
   WriteProfiles(0, 10);
-  primary.PollOnce();
+  ASSERT_OK(primary.PollOnce());
   auto polled = chained.PollOnce();
   ASSERT_TRUE(polled.ok());
   EXPECT_EQ(polled.value(), 10);
@@ -199,11 +201,11 @@ TEST_F(DatabusTest, RelayIsStatelessAcrossRestart) {
   WriteProfiles(0, 10);
   {
     Relay relay("relay-1", &db_, &network_);
-    relay.PollOnce();
+    ASSERT_OK(relay.PollOnce());
     EXPECT_EQ(relay.buffered_events(), 10);
   }
   Relay restarted("relay-1", &db_, &network_);
-  restarted.PollOnce();
+  ASSERT_OK(restarted.PollOnce());
   auto events = restarted.ReadEvents(0, 100, Filter{});
   ASSERT_TRUE(events.ok());
   EXPECT_EQ(events.value().size(), 10u);
@@ -217,7 +219,7 @@ TEST_F(DatabusTest, BootstrapLogAndSnapshotStorages) {
   Relay relay("relay-1", &db_, &network_);
   BootstrapServer bootstrap("bootstrap-1", "relay-1", &network_);
   WriteProfiles(0, 10);
-  relay.PollOnce();
+  ASSERT_OK(relay.PollOnce());
   ASSERT_TRUE(bootstrap.PollRelayOnce().ok());
   EXPECT_EQ(bootstrap.log_size(), 10);
   EXPECT_EQ(bootstrap.snapshot_keys(), 0);  // applier has not run
@@ -231,11 +233,11 @@ TEST_F(DatabusTest, ConsolidatedDeltaReturnsOnlyLastUpdatePerKey) {
   BootstrapServer bootstrap("bootstrap-1", "relay-1", &network_);
   // 50 updates to the same key plus one to another key.
   for (int i = 0; i < 50; ++i) {
-    db_.Put("profiles", "hot", Row{{"v", std::to_string(i)}});
+    ASSERT_OK(db_.Put("profiles", "hot", Row{{"v", std::to_string(i)}}));
   }
-  db_.Put("profiles", "cold", Row{{"v", "x"}});
-  relay.PollOnce();
-  bootstrap.PollRelayOnce();
+  ASSERT_OK(db_.Put("profiles", "cold", Row{{"v", "x"}}));
+  ASSERT_OK(relay.PollOnce());
+  ASSERT_OK(bootstrap.PollRelayOnce());
   bootstrap.ApplyLogOnce();
 
   auto delta = bootstrap.ConsolidatedDelta(0, Filter{});
@@ -254,8 +256,8 @@ TEST_F(DatabusTest, ConsolidatedDeltaHonorsSinceScn) {
   Relay relay("relay-1", &db_, &network_);
   BootstrapServer bootstrap("bootstrap-1", "relay-1", &network_);
   WriteProfiles(0, 10);
-  relay.PollOnce();
-  bootstrap.PollRelayOnce();
+  ASSERT_OK(relay.PollOnce());
+  ASSERT_OK(bootstrap.PollRelayOnce());
   bootstrap.ApplyLogOnce();
   auto delta = bootstrap.ConsolidatedDelta(7, Filter{});
   ASSERT_TRUE(delta.ok());
@@ -266,9 +268,9 @@ TEST_F(DatabusTest, ConsistentSnapshotExcludesDeletes) {
   Relay relay("relay-1", &db_, &network_);
   BootstrapServer bootstrap("bootstrap-1", "relay-1", &network_);
   WriteProfiles(0, 5);
-  db_.Delete("profiles", "m2");
-  relay.PollOnce();
-  bootstrap.PollRelayOnce();
+  ASSERT_OK(db_.Delete("profiles", "m2"));
+  ASSERT_OK(relay.PollOnce());
+  ASSERT_OK(bootstrap.PollRelayOnce());
   bootstrap.ApplyLogOnce();
   auto snapshot = bootstrap.ConsistentSnapshot(Filter{});
   ASSERT_TRUE(snapshot.ok());
@@ -283,8 +285,8 @@ TEST_F(DatabusTest, SnapshotConsistentWithUnappliedLogTail) {
   Relay relay("relay-1", &db_, &network_);
   BootstrapServer bootstrap("bootstrap-1", "relay-1", &network_);
   WriteProfiles(0, 5);
-  relay.PollOnce();
-  bootstrap.PollRelayOnce();
+  ASSERT_OK(relay.PollOnce());
+  ASSERT_OK(bootstrap.PollRelayOnce());
   bootstrap.ApplyLogOnce(3);  // applier lags behind
   auto snapshot = bootstrap.ConsistentSnapshot(Filter{});
   ASSERT_TRUE(snapshot.ok());
@@ -328,7 +330,7 @@ TEST_F(DatabusTest, ClientConsumesFromRelay) {
   RecordingConsumer consumer;
   DatabusClient client("client-1", "relay-1", "", &network_, &consumer);
   WriteProfiles(0, 10);
-  relay.PollOnce();
+  ASSERT_OK(relay.PollOnce());
   auto r = client.DrainToHead();
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r.value(), 10);
@@ -342,11 +344,11 @@ TEST_F(DatabusTest, ClientIncrementalConsumption) {
   RecordingConsumer consumer;
   DatabusClient client("client-1", "relay-1", "", &network_, &consumer);
   WriteProfiles(0, 5);
-  relay.PollOnce();
-  client.DrainToHead();
+  ASSERT_OK(relay.PollOnce());
+  ASSERT_OK(client.DrainToHead());
   WriteProfiles(5, 5);
-  relay.PollOnce();
-  client.DrainToHead();
+  ASSERT_OK(relay.PollOnce());
+  ASSERT_OK(client.DrainToHead());
   EXPECT_EQ(consumer.events.size(), 10u);
   // No duplicates: scns strictly increase.
   for (size_t i = 1; i < consumer.events.size(); ++i) {
@@ -362,7 +364,7 @@ TEST_F(DatabusTest, ClientRetriesFailingConsumer) {
   DatabusClient client("client-1", "relay-1", "", &network_, &consumer,
                        options);
   WriteProfiles(0, 1);
-  relay.PollOnce();
+  ASSERT_OK(relay.PollOnce());
   consumer.FailNext(2);  // fails twice, then succeeds within retry budget
   auto r = client.PollOnce();
   ASSERT_TRUE(r.ok());
@@ -378,7 +380,7 @@ TEST_F(DatabusTest, ClientSkipsPoisonEventAfterRetries) {
   DatabusClient client("client-1", "relay-1", "", &network_, &consumer,
                        options);
   WriteProfiles(0, 2);
-  relay.PollOnce();
+  ASSERT_OK(relay.PollOnce());
   consumer.FailNext(3);  // exhausts 1 + 2 retries for the first event only
   auto r = client.PollOnce();
   ASSERT_TRUE(r.ok());
@@ -397,7 +399,7 @@ TEST_F(DatabusTest, ClientFallsBackToBootstrapWhenRelayEvicts) {
   // relay continuously, so it sees every event before eviction.
   for (int i = 0; i < 30; ++i) {
     WriteProfiles(i, 1);
-    relay.PollOnce();
+    ASSERT_OK(relay.PollOnce());
     ASSERT_TRUE(bootstrap.PollRelayOnce().ok());
   }
   bootstrap.ApplyLogOnce();
@@ -425,8 +427,8 @@ TEST_F(DatabusTest, FreshClientBootstrapsViaSnapshot) {
   BootstrapServer bootstrap("bootstrap-1", "relay-1", &network_);
   for (int batch = 0; batch < 6; ++batch) {
     WriteProfiles(batch * 5, 5);
-    relay.PollOnce();
-    bootstrap.PollRelayOnce();
+    ASSERT_OK(relay.PollOnce());
+    ASSERT_OK(bootstrap.PollRelayOnce());
   }
   bootstrap.ApplyLogOnce();
 
@@ -441,7 +443,7 @@ TEST_F(DatabusTest, FreshClientBootstrapsViaSnapshot) {
 
   // After bootstrapping, new writes flow from the relay (switchover back).
   WriteProfiles(100, 3);
-  relay.PollOnce();
+  ASSERT_OK(relay.PollOnce());
   ASSERT_TRUE(client.DrainToHead().ok());
   EXPECT_EQ(consumer.events.size(), 33u);
   EXPECT_EQ(consumer.bootstraps, 1);  // no second bootstrap
@@ -455,7 +457,7 @@ TEST_F(DatabusTest, PartitionedConsumerGroupSplitsStream) {
   });
   Relay relay("relay-1", &db_, &network_);
   WriteProfiles(0, 10);  // m0..m9 -> partitions 0..9
-  relay.PollOnce();
+  ASSERT_OK(relay.PollOnce());
 
   RecordingConsumer even_consumer, odd_consumer;
   ClientOptions even_options, odd_options;
@@ -480,7 +482,7 @@ TEST_F(DatabusTest, ManyConsumersDoNotIncreaseSourceLoad) {
   // subscribers". The binlog read count depends on relay polls only.
   Relay relay("relay-1", &db_, &network_);
   WriteProfiles(0, 10);
-  relay.PollOnce();
+  ASSERT_OK(relay.PollOnce());
   const int64_t source_reads_before = db_.binlog().ReadCalls();
 
   std::vector<std::unique_ptr<RecordingConsumer>> consumers;

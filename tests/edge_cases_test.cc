@@ -10,6 +10,8 @@
 #include "voldemort/readonly_store.h"
 #include "voldemort/wire.h"
 
+#include "status_test_util.h"
+
 namespace lidi {
 namespace {
 
@@ -84,10 +86,10 @@ TEST(ReadOnlyStoreEdgeTest, LifecycleErrors) {
   ASSERT_TRUE(store.AddVersion(1, {}).ok());
   EXPECT_TRUE(store.AddVersion(1, {}).code() == Code::kAlreadyExists);
   // RetainVersions never drops the current or previous version.
-  store.AddVersion(2, {});
-  store.AddVersion(3, {});
-  store.Swap(2);
-  store.Swap(3);  // current=3, previous=2
+  ASSERT_OK(store.AddVersion(2, {}));
+  ASSERT_OK(store.AddVersion(3, {}));
+  ASSERT_OK(store.Swap(2));
+  ASSERT_OK(store.Swap(3));  // current=3, previous=2
   store.RetainVersions(0);
   auto versions = store.versions();
   EXPECT_NE(std::find(versions.begin(), versions.end(), 3), versions.end());

@@ -14,6 +14,8 @@
 #include "net/network.h"
 #include "zk/zookeeper.h"
 
+#include "status_test_util.h"
+
 namespace lidi::espresso {
 namespace {
 
@@ -92,8 +94,8 @@ TEST(SchemaRegistryTest, DatabaseAndTableLifecycle) {
 
 TEST(SchemaRegistryTest, SchemaEvolutionVersions) {
   SchemaRegistry registry;
-  registry.CreateDatabase(DatabaseSchema{"Music"});
-  registry.CreateTable("Music", TableSchema{"Song", 2});
+  ASSERT_OK(registry.CreateDatabase(DatabaseSchema{"Music"}));
+  ASSERT_OK(registry.CreateTable("Music", TableSchema{"Song", 2}));
   auto v1 = registry.PostDocumentSchema("Music", "Song", kSongSchemaV1);
   ASSERT_TRUE(v1.ok()) << v1.status().ToString();
   EXPECT_EQ(v1.value(), 1);
@@ -107,8 +109,8 @@ TEST(SchemaRegistryTest, SchemaEvolutionVersions) {
 
 TEST(SchemaRegistryTest, IncompatibleEvolutionRejected) {
   SchemaRegistry registry;
-  registry.CreateDatabase(DatabaseSchema{"Music"});
-  registry.CreateTable("Music", TableSchema{"Song", 2});
+  ASSERT_OK(registry.CreateDatabase(DatabaseSchema{"Music"}));
+  ASSERT_OK(registry.CreateTable("Music", TableSchema{"Song", 2}));
   ASSERT_TRUE(registry.PostDocumentSchema("Music", "Song", kSongSchemaV1).ok());
   // A new required field without default breaks old documents.
   EXPECT_FALSE(
@@ -179,11 +181,11 @@ class EspressoClusterTest : public ::testing::Test {
   static constexpr int kNodes = 3;
 
   void SetUp() override {
-    registry_.CreateDatabase(
-        DatabaseSchema{"Music", DatabaseSchema::Partitioning::kHash, 8, 2});
-    registry_.CreateTable("Music", TableSchema{"Artist", 0});
-    registry_.CreateTable("Music", TableSchema{"Album", 1});
-    registry_.CreateTable("Music", TableSchema{"Song", 2});
+    ASSERT_OK(registry_.CreateDatabase(
+        DatabaseSchema{"Music", DatabaseSchema::Partitioning::kHash, 8, 2}));
+    ASSERT_OK(registry_.CreateTable("Music", TableSchema{"Artist", 0}));
+    ASSERT_OK(registry_.CreateTable("Music", TableSchema{"Album", 1}));
+    ASSERT_OK(registry_.CreateTable("Music", TableSchema{"Song", 2}));
     ASSERT_TRUE(
         registry_.PostDocumentSchema("Music", "Song", kSongSchemaV1).ok());
     ASSERT_TRUE(registry_

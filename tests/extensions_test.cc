@@ -25,6 +25,8 @@
 #include "voldemort/readonly_store.h"
 #include "zk/zookeeper.h"
 
+#include "status_test_util.h"
+
 namespace lidi {
 namespace {
 
@@ -190,25 +192,25 @@ TEST(GlobalIndexTest, IndexesAcrossPartitionsViaUpdateStream) {
   zk::ZooKeeper zookeeper;
   SystemClock* clock = SystemClock::Default();
   espresso::SchemaRegistry registry;
-  registry.CreateDatabase(
-      {"db", espresso::DatabaseSchema::Partitioning::kHash, 8, 2});
-  registry.CreateTable("db", {"docs", 1});
-  registry.PostDocumentSchema("db", "docs", R"({
+  ASSERT_OK(registry.CreateDatabase(
+      {"db", espresso::DatabaseSchema::Partitioning::kHash, 8, 2}));
+  ASSERT_OK(registry.CreateTable("db", {"docs", 1}));
+  ASSERT_OK(registry.PostDocumentSchema("db", "docs", R"({
     "type":"record","name":"Doc","fields":[
       {"name":"title","type":"string","indexed":true},
-      {"name":"body","type":"string","indexed":true,"index_type":"text"}]})");
+      {"name":"body","type":"string","indexed":true,"index_type":"text"}]})"));
   espresso::EspressoRelay relay;
   helix::HelixController controller("c", &zookeeper);
-  controller.AddResource({"db", 8, 2});
+  ASSERT_OK(controller.AddResource({"db", 8, 2}));
   std::vector<std::unique_ptr<espresso::StorageNode>> nodes;
   for (int i = 0; i < 3; ++i) {
     auto node = std::make_unique<espresso::StorageNode>(
         "esn-" + std::to_string(i), &registry, &relay, &network, clock);
     auto* raw = node.get();
-    controller.ConnectParticipant(raw->name(),
+    ASSERT_OK(controller.ConnectParticipant(raw->name(),
                                   [raw](const helix::Transition& t) {
                                     return raw->HandleTransition(t);
-                                  });
+                                  }));
     nodes.push_back(std::move(node));
   }
   controller.RebalanceToConvergence();
@@ -289,12 +291,12 @@ TEST(TransformationTest, ProjectRenameWhere) {
 TEST(TransformationTest, AppliedInsideClientLibrary) {
   net::Network network;
   sqlstore::Database db("src");
-  db.CreateTable("members");
+  ASSERT_OK(db.CreateTable("members"));
   databus::Relay relay("relay", &db, &network);
-  db.Put("members", "m1", {{"name", "ada"}, {"country", "us"}, {"ssn", "1"}});
-  db.Put("members", "m2", {{"name", "bob"}, {"country", "de"}, {"ssn", "2"}});
-  db.Put("members", "m3", {{"name", "eve"}, {"country", "us"}, {"ssn", "3"}});
-  relay.PollOnce();
+  ASSERT_OK(db.Put("members", "m1", {{"name", "ada"}, {"country", "us"}, {"ssn", "1"}}));
+  ASSERT_OK(db.Put("members", "m2", {{"name", "bob"}, {"country", "de"}, {"ssn", "2"}}));
+  ASSERT_OK(db.Put("members", "m3", {{"name", "eve"}, {"country", "us"}, {"ssn", "3"}}));
+  ASSERT_OK(relay.PollOnce());
 
   std::vector<sqlstore::Row> seen;
   databus::CallbackConsumer sink([&seen](const databus::Event& e) {
@@ -344,9 +346,9 @@ TEST(SwapListenerTest, FiresOnSwapAndRollback) {
 TEST(MultiTenantRelayTest, TenantsServeIndependentStreams) {
   net::Network network;
   sqlstore::Database profiles_db("profiles_db");
-  profiles_db.CreateTable("t");
+  ASSERT_OK(profiles_db.CreateTable("t"));
   sqlstore::Database jobs_db("jobs_db");
-  jobs_db.CreateTable("t");
+  ASSERT_OK(jobs_db.CreateTable("t"));
 
   databus::MultiTenantRelay relay("mt-relay", &network, 1024);
   ASSERT_TRUE(relay.AddTenant("profiles", &profiles_db).ok());
@@ -356,9 +358,11 @@ TEST(MultiTenantRelayTest, TenantsServeIndependentStreams) {
   EXPECT_FALSE(relay.AddTenant("bad/name", &jobs_db).ok());
 
   for (int i = 0; i < 10; ++i) {
-    profiles_db.Put("t", "p" + std::to_string(i), {});
+    ASSERT_OK(profiles_db.Put("t", "p" + std::to_string(i), {}));
   }
-  for (int i = 0; i < 4; ++i) jobs_db.Put("t", "j" + std::to_string(i), {});
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(jobs_db.Put("t", "j" + std::to_string(i), {}));
+  }
   ASSERT_TRUE(relay.PollAllOnce().ok());
 
   // The standard client library works unchanged against a tenant stream.
@@ -384,21 +388,21 @@ TEST(MultiTenantRelayTest, TenantsServeIndependentStreams) {
 TEST(MultiTenantRelayTest, NoisyTenantCannotEvictQuietTenant) {
   net::Network network;
   sqlstore::Database noisy_db("noisy");
-  noisy_db.CreateTable("t");
+  ASSERT_OK(noisy_db.CreateTable("t"));
   sqlstore::Database quiet_db("quiet");
-  quiet_db.CreateTable("t");
+  ASSERT_OK(quiet_db.CreateTable("t"));
 
   databus::MultiTenantRelay relay("mt-relay", &network, /*budget=*/64);
   ASSERT_TRUE(relay.AddTenant("noisy", &noisy_db).ok());
   ASSERT_TRUE(relay.AddTenant("quiet", &quiet_db).ok());
   const int64_t share = relay.BufferShare();
 
-  quiet_db.Put("t", "important", {});
-  relay.PollAllOnce();
+  ASSERT_OK(quiet_db.Put("t", "important", {}));
+  ASSERT_OK(relay.PollAllOnce());
   // The noisy tenant floods far beyond the whole process budget.
   for (int i = 0; i < 500; ++i) {
-    noisy_db.Put("t", "spam" + std::to_string(i), {});
-    if (i % 10 == 0) relay.PollAllOnce();
+    ASSERT_OK(noisy_db.Put("t", "spam" + std::to_string(i), {}));
+    if (i % 10 == 0) ASSERT_OK(relay.PollAllOnce());
   }
   while (relay.PollAllOnce().value() > 0) {
   }

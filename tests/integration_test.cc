@@ -25,6 +25,8 @@
 #include "voldemort/server.h"
 #include "zk/zookeeper.h"
 
+#include "status_test_util.h"
+
 namespace lidi {
 namespace {
 
@@ -69,7 +71,7 @@ TEST(IntegrationTest, DatabusKeepsVoldemortCacheConsistent) {
   for (int i = 0; i < 3; ++i) {
     servers.push_back(
         std::make_unique<voldemort::VoldemortServer>(i, metadata, &network));
-    servers.back()->AddStore("cache");
+    ASSERT_OK(servers.back()->AddStore("cache"));
   }
   voldemort::StoreClient cache(
       "cache-client", {.name = "cache", .replication_factor = 2,
@@ -78,7 +80,7 @@ TEST(IntegrationTest, DatabusKeepsVoldemortCacheConsistent) {
 
   // Primary DB + Databus tier.
   sqlstore::Database primary("primary");
-  primary.CreateTable("profiles");
+  ASSERT_OK(primary.CreateTable("profiles"));
   databus::Relay relay("relay", &primary, &network);
   CachePopulator populator(&cache);
   databus::DatabusClient pipeline("populator", "relay", "", &network,
@@ -86,15 +88,17 @@ TEST(IntegrationTest, DatabusKeepsVoldemortCacheConsistent) {
 
   // Drive writes + deletes through the primary; pump the pipeline.
   for (int i = 0; i < 200; ++i) {
-    primary.Put("profiles", "m" + std::to_string(i % 60),
-                {{"v", std::to_string(i)}});
-    if (i % 7 == 0) primary.Delete("profiles", "m" + std::to_string(i % 60));
+    ASSERT_OK(primary.Put("profiles", "m" + std::to_string(i % 60),
+                {{"v", std::to_string(i)}}));
+    if (i % 7 == 0) {
+      ASSERT_OK(primary.Delete("profiles", "m" + std::to_string(i % 60)));
+    }
     if (i % 20 == 19) {
-      relay.PollOnce();
+      ASSERT_OK(relay.PollOnce());
       ASSERT_TRUE(pipeline.DrainToHead().ok());
     }
   }
-  relay.PollOnce();
+  ASSERT_OK(relay.PollOnce());
   ASSERT_TRUE(pipeline.DrainToHead().ok());
 
   // The cache must agree with the primary for every key.
@@ -133,7 +137,7 @@ TEST(IntegrationTest, PipelineSurvivesTransientNetworkFaults) {
   for (int i = 0; i < 3; ++i) {
     servers.push_back(
         std::make_unique<voldemort::VoldemortServer>(i, metadata, &network));
-    servers.back()->AddStore("cache");
+    ASSERT_OK(servers.back()->AddStore("cache"));
   }
   voldemort::ClientOptions resilient;
   resilient.failure_detector.minimum_requests = 1 << 30;  // never ban
@@ -143,7 +147,7 @@ TEST(IntegrationTest, PipelineSurvivesTransientNetworkFaults) {
       metadata, &network, &clock, resilient);
 
   sqlstore::Database primary("primary");
-  primary.CreateTable("profiles");
+  ASSERT_OK(primary.CreateTable("profiles"));
   databus::Relay relay("relay", &primary, &network);
   CachePopulator populator(&cache);
   databus::ClientOptions client_options;
@@ -152,10 +156,10 @@ TEST(IntegrationTest, PipelineSurvivesTransientNetworkFaults) {
                                   &populator, client_options);
 
   for (int i = 0; i < 120; ++i) {
-    primary.Put("profiles", "m" + std::to_string(i % 40),
-                {{"v", std::to_string(i)}});
+    ASSERT_OK(primary.Put("profiles", "m" + std::to_string(i % 40),
+                {{"v", std::to_string(i)}}));
   }
-  relay.PollOnce();
+  ASSERT_OK(relay.PollOnce());
 
   network.SetDropProbability(0.25);
   // Drive the pipeline with retries until it reports the head reached.
@@ -192,14 +196,14 @@ TEST(IntegrationTest, EspressoChangeStreamFeedsDownstreamIndex) {
   SystemClock* clock = SystemClock::Default();
 
   espresso::SchemaRegistry registry;
-  registry.CreateDatabase(
-      {"db", espresso::DatabaseSchema::Partitioning::kHash, 4, 2});
-  registry.CreateTable("db", {"docs", 1});
-  registry.PostDocumentSchema("db", "docs", R"({
-    "type":"record","name":"Doc","fields":[{"name":"title","type":"string"}]})");
+  ASSERT_OK(registry.CreateDatabase(
+      {"db", espresso::DatabaseSchema::Partitioning::kHash, 4, 2}));
+  ASSERT_OK(registry.CreateTable("db", {"docs", 1}));
+  ASSERT_OK(registry.PostDocumentSchema("db", "docs", R"({
+    "type":"record","name":"Doc","fields":[{"name":"title","type":"string"}]})"));
   espresso::EspressoRelay relay;
   helix::HelixController controller("c", &zookeeper);
-  controller.AddResource({"db", 4, 2});
+  ASSERT_OK(controller.AddResource({"db", 4, 2}));
   std::vector<std::unique_ptr<espresso::StorageNode>> nodes;
   for (int i = 0; i < 2; ++i) {
     auto node = std::make_unique<espresso::StorageNode>(
@@ -208,10 +212,10 @@ TEST(IntegrationTest, EspressoChangeStreamFeedsDownstreamIndex) {
     raw->SetMasterLookup([&controller](const std::string& db, int p) {
       return controller.MasterOf(db, p);
     });
-    controller.ConnectParticipant(raw->name(),
+    ASSERT_OK(controller.ConnectParticipant(raw->name(),
                                   [raw](const helix::Transition& t) {
                                     return raw->HandleTransition(t);
-                                  });
+                                  }));
     nodes.push_back(std::move(node));
   }
   controller.RebalanceToConvergence();
@@ -255,7 +259,7 @@ TEST(IntegrationTest, KafkaConsumerSurvivesFetchDrops) {
   ManualClock clock;
   zk::ZooKeeper zookeeper;
   kafka::Broker broker(0, &zookeeper, &network, &clock, {});
-  broker.CreateTopic("t", 2);
+  ASSERT_OK(broker.CreateTopic("t", 2));
   kafka::Producer producer("p", &zookeeper, &network);
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(producer.Send("t", "m" + std::to_string(i)).ok());
@@ -263,7 +267,7 @@ TEST(IntegrationTest, KafkaConsumerSurvivesFetchDrops) {
 
   network.SetDropProbability(0.4);
   kafka::Consumer consumer("c", "g", &zookeeper, &network);
-  consumer.Subscribe("t");
+  ASSERT_OK(consumer.Subscribe("t"));
   std::multiset<std::string> received;
   for (int round = 0; round < 2000 && received.size() < 100; ++round) {
     auto messages = consumer.Poll("t");
@@ -293,23 +297,23 @@ TEST(IntegrationTest, FigureOneEndToEnd) {
   auto metadata = std::make_shared<voldemort::ClusterMetadata>(
       voldemort::Cluster::Uniform(vnodes, 4));
   voldemort::VoldemortServer server(0, metadata, &network);
-  server.AddStore("cache");
+  ASSERT_OK(server.AddStore("cache"));
   voldemort::StoreClient cache("c",
                                {.name = "cache", .replication_factor = 1,
                                 .required_reads = 1, .required_writes = 1},
                                metadata, &network, &clock);
   sqlstore::Database primary("primary");
-  primary.CreateTable("profiles");
+  ASSERT_OK(primary.CreateTable("profiles"));
   databus::Relay relay("relay", &primary, &network);
   CachePopulator populator(&cache);
   databus::DatabusClient pipeline("pop", "relay", "", &network, &populator);
 
   // Activity tracking (Kafka).
   kafka::Broker broker(0, &zookeeper, &network, &clock, {});
-  broker.CreateTopic("profile-updates", 1);
+  ASSERT_OK(broker.CreateTopic("profile-updates", 1));
   kafka::Producer tracker("frontend", &zookeeper, &network);
   kafka::Consumer analytics("analytics", "bi", &zookeeper, &network);
-  analytics.Subscribe("profile-updates");
+  ASSERT_OK(analytics.Subscribe("profile-updates"));
 
   // The user action.
   ASSERT_TRUE(primary.Put("profiles", "member:1",
@@ -318,7 +322,7 @@ TEST(IntegrationTest, FigureOneEndToEnd) {
   ASSERT_TRUE(tracker.Send("profile-updates", "member:1 updated profile").ok());
 
   // Asynchronous tiers catch up.
-  relay.PollOnce();
+  ASSERT_OK(relay.PollOnce());
   ASSERT_TRUE(pipeline.DrainToHead().ok());
   auto tracked = analytics.PollUntilData("profile-updates");
 

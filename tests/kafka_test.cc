@@ -15,6 +15,8 @@
 #include "net/network.h"
 #include "zk/zookeeper.h"
 
+#include "status_test_util.h"
+
 namespace lidi::kafka {
 namespace {
 
@@ -379,7 +381,7 @@ class KafkaClusterTest : public ::testing::Test {
     for (int i = 0; i < kBrokers; ++i) {
       brokers_.push_back(
           std::make_unique<Broker>(i, &zk_, &network_, &clock_, options));
-      brokers_.back()->CreateTopic("activity", kPartitionsPerBroker);
+      ASSERT_OK(brokers_.back()->CreateTopic("activity", kPartitionsPerBroker));
     }
   }
 
@@ -419,7 +421,7 @@ TEST_F(KafkaClusterTest, KeyHashPartitioningPreservesKeyOrder) {
   }
   // All ten land on the same partition, in order.
   Consumer consumer("c1", "g", &zk_, &network_);
-  consumer.Subscribe("activity");
+  ASSERT_OK(consumer.Subscribe("activity"));
   std::vector<std::string> received;
   for (int round = 0; round < 50 && received.size() < 10; ++round) {
     auto messages = consumer.Poll("activity");
@@ -446,7 +448,7 @@ TEST_F(KafkaClusterTest, BatchingAndCompressionDeliverAllMessages) {
   EXPECT_LT(producer.bytes_on_wire(), 100 * 200);  // compression won
 
   Consumer consumer("c1", "g", &zk_, &network_);
-  consumer.Subscribe("activity");
+  ASSERT_OK(consumer.Subscribe("activity"));
   int64_t received = 0;
   for (int round = 0; round < 100 && received < 100; ++round) {
     auto messages = consumer.Poll("activity");
@@ -460,7 +462,7 @@ TEST_F(KafkaClusterTest, ConsumerGroupsSplitPartitionsExclusively) {
   StartCluster();
   Producer producer("p1", &zk_, &network_);
   for (int i = 0; i < 40; ++i) {
-    producer.Send("activity", "m" + std::to_string(i));
+    ASSERT_OK(producer.Send("activity", "m" + std::to_string(i)));
   }
   Consumer c1("c1", "g", &zk_, &network_);
   Consumer c2("c2", "g", &zk_, &network_);
@@ -492,11 +494,11 @@ TEST_F(KafkaClusterTest, ConsumerGroupsSplitPartitionsExclusively) {
 TEST_F(KafkaClusterTest, IndependentGroupsEachGetFullStream) {
   StartCluster();
   Producer producer("p1", &zk_, &network_);
-  for (int i = 0; i < 15; ++i) producer.Send("activity", "m");
+  for (int i = 0; i < 15; ++i) ASSERT_OK(producer.Send("activity", "m"));
   Consumer g1("c1", "group-a", &zk_, &network_);
   Consumer g2("c2", "group-b", &zk_, &network_);
-  g1.Subscribe("activity");
-  g2.Subscribe("activity");
+  ASSERT_OK(g1.Subscribe("activity"));
+  ASSERT_OK(g2.Subscribe("activity"));
   int64_t n1 = 0, n2 = 0;
   for (int round = 0; round < 50; ++round) {
     n1 += static_cast<int64_t>(g1.Poll("activity").value().size());
@@ -511,23 +513,23 @@ TEST_F(KafkaClusterTest, ConsumerDepartureTriggersRebalance) {
   Producer producer("p1", &zk_, &network_);
   auto c1 = std::make_unique<Consumer>("c1", "g", &zk_, &network_);
   auto c2 = std::make_unique<Consumer>("c2", "g", &zk_, &network_);
-  c1->Subscribe("activity");
-  c2->Subscribe("activity");
+  ASSERT_OK(c1->Subscribe("activity"));
+  ASSERT_OK(c2->Subscribe("activity"));
   for (int round = 0; round < 5; ++round) {
-    c1->Poll("activity");
-    c2->Poll("activity");
+    ASSERT_OK(c1->Poll("activity"));
+    ASSERT_OK(c2->Poll("activity"));
   }
   ASSERT_LT(c1->OwnedPartitions("activity").size(),
             static_cast<size_t>(kBrokers * kPartitionsPerBroker));
 
   // c2 leaves; its ephemeral owner nodes vanish; c1 takes everything over.
   c2->Close();
-  for (int round = 0; round < 5; ++round) c1->Poll("activity");
+  for (int round = 0; round < 5; ++round) ASSERT_OK(c1->Poll("activity"));
   EXPECT_EQ(c1->OwnedPartitions("activity").size(),
             static_cast<size_t>(kBrokers * kPartitionsPerBroker));
 
   // And messages still flow.
-  for (int i = 0; i < 8; ++i) producer.Send("activity", "x");
+  for (int i = 0; i < 8; ++i) ASSERT_OK(producer.Send("activity", "x"));
   int64_t got = 0;
   for (int round = 0; round < 50 && got < 8; ++round) {
     got += static_cast<int64_t>(c1->Poll("activity").value().size());
@@ -538,10 +540,10 @@ TEST_F(KafkaClusterTest, ConsumerDepartureTriggersRebalance) {
 TEST_F(KafkaClusterTest, OffsetsCommitAndResume) {
   StartCluster();
   Producer producer("p1", &zk_, &network_);
-  for (int i = 0; i < 10; ++i) producer.Send("activity", "m" + std::to_string(i));
+  for (int i = 0; i < 10; ++i) ASSERT_OK(producer.Send("activity", "m" + std::to_string(i)));
   {
     Consumer consumer("c1", "g", &zk_, &network_);
-    consumer.Subscribe("activity");
+    ASSERT_OK(consumer.Subscribe("activity"));
     int64_t got = 0;
     for (int round = 0; round < 50 && got < 10; ++round) {
       got += static_cast<int64_t>(consumer.Poll("activity").value().size());
@@ -550,9 +552,9 @@ TEST_F(KafkaClusterTest, OffsetsCommitAndResume) {
     ASSERT_TRUE(consumer.CommitOffsets().ok());
   }
   // Restarted consumer resumes past the committed messages.
-  for (int i = 0; i < 5; ++i) producer.Send("activity", "new" + std::to_string(i));
+  for (int i = 0; i < 5; ++i) ASSERT_OK(producer.Send("activity", "new" + std::to_string(i)));
   Consumer restarted("c1", "g", &zk_, &network_);
-  restarted.Subscribe("activity");
+  ASSERT_OK(restarted.Subscribe("activity"));
   std::vector<std::string> received;
   for (int round = 0; round < 50 && received.size() < 5; ++round) {
     auto messages = restarted.Poll("activity");
@@ -568,9 +570,9 @@ TEST_F(KafkaClusterTest, OffsetsCommitAndResume) {
 TEST_F(KafkaClusterTest, RewindReconsumesMessages) {
   StartCluster();
   Producer producer("p1", &zk_, &network_);
-  for (int i = 0; i < 6; ++i) producer.Send("activity", "m");
+  for (int i = 0; i < 6; ++i) ASSERT_OK(producer.Send("activity", "m"));
   Consumer consumer("c1", "g", &zk_, &network_);
-  consumer.Subscribe("activity");
+  ASSERT_OK(consumer.Subscribe("activity"));
   int64_t got = 0;
   for (int round = 0; round < 50 && got < 6; ++round) {
     got += static_cast<int64_t>(consumer.Poll("activity").value().size());
@@ -592,7 +594,7 @@ TEST_F(KafkaClusterTest, TransferModesProduceSameBytes) {
   sendfile_options.transfer_mode = TransferMode::kSendfile;
   StartCluster(sendfile_options);
   Producer producer("p1", &zk_, &network_);
-  producer.Send("activity", "payload");
+  ASSERT_OK(producer.Send("activity", "payload"));
   auto direct = brokers_[0]->Fetch("activity", 0, 0, 1 << 20);
   // Whichever broker got the message, compare both paths on it.
   for (auto& broker : brokers_) {
@@ -607,7 +609,7 @@ TEST_F(KafkaClusterTest, TransferModesProduceSameBytes) {
 
 TEST_F(KafkaClusterTest, AuditDetectsNoLossPipeline) {
   StartCluster();
-  for (auto& broker : brokers_) broker->CreateTopic(kAuditTopic, 1);
+  for (auto& broker : brokers_) ASSERT_OK(broker->CreateTopic(kAuditTopic, 1));
   Producer producer("p1", &zk_, &network_);
   ProducerAudit audit("p1", &producer, &clock_, /*window_ms=*/1000);
   for (int i = 0; i < 30; ++i) {
@@ -619,14 +621,14 @@ TEST_F(KafkaClusterTest, AuditDetectsNoLossPipeline) {
 
   AuditValidator validator;
   Consumer data_consumer("c-data", "g-data", &zk_, &network_);
-  data_consumer.Subscribe("activity");
+  ASSERT_OK(data_consumer.Subscribe("activity"));
   for (int round = 0; round < 60; ++round) {
     validator.RecordConsumed(
         "activity",
         static_cast<int64_t>(data_consumer.Poll("activity").value().size()));
   }
   Consumer audit_consumer("c-audit", "g-audit", &zk_, &network_);
-  audit_consumer.Subscribe(kAuditTopic);
+  ASSERT_OK(audit_consumer.Subscribe(kAuditTopic));
   for (int round = 0; round < 30; ++round) {
     auto messages = audit_consumer.Poll(kAuditTopic);
     ASSERT_TRUE(messages.ok());
@@ -646,7 +648,7 @@ TEST_F(KafkaClusterTest, MirrorReplicatesToOfflineCluster) {
   offline_options.log.flush_interval_messages = 1;
   auto offline_broker = std::make_unique<Broker>(100, &zk_, &network_, &clock_,
                                                  offline_options);
-  offline_broker->CreateTopic("activity", 2);
+  ASSERT_OK(offline_broker->CreateTopic("activity", 2));
 
   Producer producer("p-live", &zk_, &network_);
   for (int i = 0; i < 25; ++i) {
@@ -663,7 +665,7 @@ TEST_F(KafkaClusterTest, MirrorReplicatesToOfflineCluster) {
   offline_consumer_options.zk_root = "/kafka-offline";
   Consumer analyst("hadoop-load", "etl", &zk_, &network_,
                    offline_consumer_options);
-  analyst.Subscribe("activity");
+  ASSERT_OK(analyst.Subscribe("activity"));
   int64_t got = 0;
   for (int round = 0; round < 60 && got < 25; ++round) {
     got += static_cast<int64_t>(analyst.Poll("activity").value().size());
@@ -678,7 +680,7 @@ TEST_F(KafkaClusterTest, RetentionExpiryRecoversConsumers) {
   StartCluster(options);
   Producer producer("p1", &zk_, &network_);
   for (int i = 0; i < 30; ++i) {
-    producer.Send("activity", "k", std::string(50, 'x'));  // one partition
+    ASSERT_OK(producer.Send("activity", "k", std::string(50, 'x')));  // one partition
   }
   clock_.AdvanceMillis(5000);
   int deleted = 0;
@@ -686,9 +688,9 @@ TEST_F(KafkaClusterTest, RetentionExpiryRecoversConsumers) {
   EXPECT_GT(deleted, 0);
 
   // Fresh data after expiry.
-  for (int i = 0; i < 3; ++i) producer.Send("activity", "k", "fresh");
+  for (int i = 0; i < 3; ++i) ASSERT_OK(producer.Send("activity", "k", "fresh"));
   Consumer consumer("c1", "g", &zk_, &network_);
-  consumer.Subscribe("activity");
+  ASSERT_OK(consumer.Subscribe("activity"));
   // Force the consumer to start at offset 0 (now expired) on all partitions.
   for (const auto& tp : consumer.OwnedPartitions("activity")) {
     consumer.Seek("activity", tp, 0);

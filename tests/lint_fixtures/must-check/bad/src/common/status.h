@@ -1,0 +1,13 @@
+// Fixture: both types have lost their LIDI_NODISCARD attribute.
+#define LIDI_NODISCARD [[nodiscard]]
+namespace lidi {
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+template <typename T>
+class Result {
+ public:
+  Status status() const { return Status(); }
+};
+}  // namespace lidi

@@ -1,0 +1,8 @@
+#include "common/status.h"
+namespace lidi {
+Status DoWork();
+void Caller() {
+  // A void-cast discard with no discard-ok justification.
+  (void)DoWork();
+}
+}  // namespace lidi

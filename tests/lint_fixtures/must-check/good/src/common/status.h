@@ -1,0 +1,12 @@
+#define LIDI_NODISCARD [[nodiscard]]
+namespace lidi {
+class LIDI_NODISCARD Status {
+ public:
+  bool ok() const { return true; }
+};
+template <typename T>
+class LIDI_NODISCARD Result {
+ public:
+  Status status() const { return Status(); }
+};
+}  // namespace lidi

@@ -1,0 +1,8 @@
+#include "common/status.h"
+namespace lidi {
+Status DoWork();
+void Caller() {
+  // discard-ok: fixture — best-effort call whose failure is benign.
+  (void)DoWork();
+}
+}  // namespace lidi

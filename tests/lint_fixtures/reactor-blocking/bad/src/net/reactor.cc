@@ -1,0 +1,14 @@
+namespace lidi::net {
+void HandleFrame(Conn* conn) {
+  MutexLock lock(&conn->mu);
+  // Parks the reactor thread waiting for the response slot.
+  conn->cv.Wait(&conn->mu);
+}
+void ReadConn(Reactor* r, Conn* conn) { HandleFrame(conn); }
+void ReactorLoop(Reactor* r) {
+  while (!r->stop) {
+    const int n = ::epoll_wait(r->epfd, r->events, 64, -1);
+    for (int i = 0; i < n; ++i) ReadConn(r, r->conns[i]);
+  }
+}
+}  // namespace lidi::net

@@ -1,0 +1,20 @@
+namespace lidi::net {
+void HandleFrame(Conn* conn) {
+  MutexLock lock(&conn->mu);
+  conn->queue.push_back(conn->frame);
+  conn->cv.NotifyOne();  // hand off to a worker; never parks
+}
+void ReadConn(Reactor* r, Conn* conn) { HandleFrame(conn); }
+void ReactorLoop(Reactor* r) {
+  while (!r->stop) {
+    const int n = ::epoll_wait(r->epfd, r->events, 64, -1);
+    for (int i = 0; i < n; ++i) ReadConn(r, r->conns[i]);
+  }
+}
+void ClientCall(Conn* conn) {
+  // Blocking is fine OFF the reactor: this function is not reachable from
+  // any epoll loop.
+  MutexLock lock(&conn->mu);
+  conn->cv.Wait(&conn->mu);
+}
+}  // namespace lidi::net

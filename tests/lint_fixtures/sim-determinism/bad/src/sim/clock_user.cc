@@ -1,0 +1,8 @@
+#include <chrono>
+namespace lidi::sim {
+// Mentioning std::chrono here in a comment must NOT trip the check.
+int64_t NowMillis() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+int RollDie() { return rand() % 6; }
+}  // namespace lidi::sim

@@ -1,0 +1,9 @@
+#include "common/clock.h"
+#include "common/random.h"
+namespace lidi::sim {
+// std::chrono and rand() appear only in this comment and in the string
+// below -- neither is executable nondeterminism.
+const char* kDoc = "uses std::chrono? no. uses rand()? also no.";
+int64_t NowMillis(const ManualClock& clock) { return clock.NowMillis(); }
+int RollDie(Random* rng) { return static_cast<int>(rng->Uniform(6)); }
+}  // namespace lidi::sim

@@ -1,0 +1,14 @@
+#include "common/sync.h"
+namespace lidi {
+class Cache {
+ public:
+  void Put(int key);
+ private:
+  Mutex mu_{"cache"};
+  int size_ LIDI_GUARDED_BY(mu_) = 0;
+  // Mutable, unannotated, no waiver: the finding.
+  int hits_ = 0;
+  const int capacity_ = 8;        // const: exempt
+  std::atomic<int> epoch_{0};     // atomic: exempt
+};
+}  // namespace lidi

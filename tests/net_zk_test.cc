@@ -5,6 +5,8 @@
 #include "net/network.h"
 #include "zk/zookeeper.h"
 
+#include "status_test_util.h"
+
 namespace lidi {
 namespace {
 
@@ -68,7 +70,7 @@ TEST(NetworkTest, DropProbabilityCausesTimeouts) {
 TEST(NetworkTest, StatsTrackTraffic) {
   Network nw;
   nw.Register("s", "m", [](Slice) -> Result<std::string> { return std::string("xyz"); });
-  nw.Call("c", "s", "m", "12345");
+  ASSERT_OK(nw.Call("c", "s", "m", "12345"));
   auto server = nw.GetStats("s");
   auto client = nw.GetStats("c");
   EXPECT_EQ(server.calls_received, 1);
@@ -129,8 +131,8 @@ TEST(ZkTest, CreateRecursiveMakesParents) {
 TEST(ZkTest, DeleteWithChildrenRejected) {
   ZooKeeper zk;
   auto s = zk.CreateSession();
-  zk.Create(s, "/p", "", CreateMode::kPersistent);
-  zk.Create(s, "/p/c", "", CreateMode::kPersistent);
+  ASSERT_OK(zk.Create(s, "/p", "", CreateMode::kPersistent));
+  ASSERT_OK(zk.Create(s, "/p/c", "", CreateMode::kPersistent));
   EXPECT_FALSE(zk.Delete("/p").ok());
   zk.DeleteRecursive("/p");
   EXPECT_FALSE(zk.Exists("/p"));
@@ -139,10 +141,10 @@ TEST(ZkTest, DeleteWithChildrenRejected) {
 TEST(ZkTest, GetChildrenSorted) {
   ZooKeeper zk;
   auto s = zk.CreateSession();
-  zk.Create(s, "/g", "", CreateMode::kPersistent);
-  zk.Create(s, "/g/b", "", CreateMode::kPersistent);
-  zk.Create(s, "/g/a", "", CreateMode::kPersistent);
-  zk.Create(s, "/g/a/nested", "", CreateMode::kPersistent);
+  ASSERT_OK(zk.Create(s, "/g", "", CreateMode::kPersistent));
+  ASSERT_OK(zk.Create(s, "/g/b", "", CreateMode::kPersistent));
+  ASSERT_OK(zk.Create(s, "/g/a", "", CreateMode::kPersistent));
+  ASSERT_OK(zk.Create(s, "/g/a/nested", "", CreateMode::kPersistent));
   auto children = zk.GetChildren("/g");
   ASSERT_TRUE(children.ok());
   EXPECT_EQ(children.value(), (std::vector<std::string>{"a", "b"}));
@@ -151,7 +153,7 @@ TEST(ZkTest, GetChildrenSorted) {
 TEST(ZkTest, SequentialNodesIncrement) {
   ZooKeeper zk;
   auto s = zk.CreateSession();
-  zk.Create(s, "/q", "", CreateMode::kPersistent);
+  ASSERT_OK(zk.Create(s, "/q", "", CreateMode::kPersistent));
   std::string p1, p2;
   ASSERT_TRUE(
       zk.Create(s, "/q/n-", "", CreateMode::kPersistentSequential, &p1).ok());
@@ -165,9 +167,9 @@ TEST(ZkTest, EphemeralsVanishOnSessionClose) {
   ZooKeeper zk;
   auto s1 = zk.CreateSession();
   auto s2 = zk.CreateSession();
-  zk.Create(s1, "/live", "", CreateMode::kPersistent);
-  zk.Create(s1, "/live/a", "", CreateMode::kEphemeral);
-  zk.Create(s2, "/live/b", "", CreateMode::kEphemeral);
+  ASSERT_OK(zk.Create(s1, "/live", "", CreateMode::kPersistent));
+  ASSERT_OK(zk.Create(s1, "/live/a", "", CreateMode::kEphemeral));
+  ASSERT_OK(zk.Create(s2, "/live/b", "", CreateMode::kEphemeral));
   EXPECT_EQ(zk.GetChildren("/live").value().size(), 2u);
   zk.CloseSession(s1);
   auto children = zk.GetChildren("/live").value();
@@ -178,15 +180,15 @@ TEST(ZkTest, EphemeralsVanishOnSessionClose) {
 TEST(ZkTest, DataWatchFiresOnceOnChange) {
   ZooKeeper zk;
   auto s = zk.CreateSession();
-  zk.Create(s, "/w", "v0", CreateMode::kPersistent);
+  ASSERT_OK(zk.Create(s, "/w", "v0", CreateMode::kPersistent));
   std::atomic<int> fired{0};
   EventType seen{};
-  zk.Get("/w", [&](const WatchEvent& e) {
+  ASSERT_OK(zk.Get("/w", [&](const WatchEvent& e) {
     fired++;
     seen = e.type;
-  });
-  zk.Set("/w", "v1");
-  zk.Set("/w", "v2");  // watch is one-shot: second set must not re-fire
+  }));
+  ASSERT_OK(zk.Set("/w", "v1"));
+  ASSERT_OK(zk.Set("/w", "v2"));  // watch is one-shot: second set must not re-fire
   EXPECT_EQ(fired.load(), 1);
   EXPECT_EQ(seen, EventType::kNodeDataChanged);
 }
@@ -194,13 +196,13 @@ TEST(ZkTest, DataWatchFiresOnceOnChange) {
 TEST(ZkTest, ChildWatchFiresOnCreateAndDelete) {
   ZooKeeper zk;
   auto s = zk.CreateSession();
-  zk.Create(s, "/cw", "", CreateMode::kPersistent);
+  ASSERT_OK(zk.Create(s, "/cw", "", CreateMode::kPersistent));
   std::atomic<int> fired{0};
-  zk.GetChildren("/cw", [&](const WatchEvent&) { fired++; });
-  zk.Create(s, "/cw/x", "", CreateMode::kPersistent);
+  ASSERT_OK(zk.GetChildren("/cw", [&](const WatchEvent&) { fired++; }));
+  ASSERT_OK(zk.Create(s, "/cw/x", "", CreateMode::kPersistent));
   EXPECT_EQ(fired.load(), 1);
-  zk.GetChildren("/cw", [&](const WatchEvent&) { fired++; });
-  zk.Delete("/cw/x");
+  ASSERT_OK(zk.GetChildren("/cw", [&](const WatchEvent&) { fired++; }));
+  ASSERT_OK(zk.Delete("/cw/x"));
   EXPECT_EQ(fired.load(), 2);
 }
 
@@ -211,7 +213,7 @@ TEST(ZkTest, ExistenceWatchFiresOnCreation) {
   EXPECT_FALSE(zk.Exists("/later", [&](const WatchEvent& e) {
     if (e.type == EventType::kNodeCreated) fired++;
   }));
-  zk.Create(s, "/later", "", CreateMode::kPersistent);
+  ASSERT_OK(zk.Create(s, "/later", "", CreateMode::kPersistent));
   EXPECT_EQ(fired.load(), 1);
 }
 
@@ -219,10 +221,10 @@ TEST(ZkTest, WatchFiresWhenEphemeralOwnerDies) {
   // This is the liveness-detection pattern Kafka consumers and Helix use.
   ZooKeeper zk;
   auto owner = zk.CreateSession();
-  zk.Create(owner, "/members", "", CreateMode::kPersistent);
-  zk.Create(owner, "/members/node1", "", CreateMode::kEphemeral);
+  ASSERT_OK(zk.Create(owner, "/members", "", CreateMode::kPersistent));
+  ASSERT_OK(zk.Create(owner, "/members/node1", "", CreateMode::kEphemeral));
   std::atomic<int> fired{0};
-  zk.GetChildren("/members", [&](const WatchEvent&) { fired++; });
+  ASSERT_OK(zk.GetChildren("/members", [&](const WatchEvent&) { fired++; }));
   zk.CloseSession(owner);
   EXPECT_EQ(fired.load(), 1);
   EXPECT_TRUE(zk.GetChildren("/members").value().empty());
@@ -231,7 +233,7 @@ TEST(ZkTest, WatchFiresWhenEphemeralOwnerDies) {
 TEST(ZkTest, CompareAndSet) {
   ZooKeeper zk;
   auto s = zk.CreateSession();
-  zk.Create(s, "/lock", "free", CreateMode::kPersistent);
+  ASSERT_OK(zk.Create(s, "/lock", "free", CreateMode::kPersistent));
   EXPECT_TRUE(zk.CompareAndSet("/lock", "free", "held-by-1").ok());
   EXPECT_TRUE(zk.CompareAndSet("/lock", "free", "held-by-2")
                   .IsObsoleteVersion());

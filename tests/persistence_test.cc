@@ -13,7 +13,10 @@
 #include "kafka/log.h"
 #include "common/random.h"
 #include "kafka/message.h"
+#include "io/file.h"
 #include "storage/log_engine.h"
+
+#include "status_test_util.h"
 
 namespace lidi::kafka {
 namespace {
@@ -230,11 +233,11 @@ TEST_F(PersistentEngineTest, StateSurvivesRestart) {
     for (int i = 0; i < 500; ++i) {
       const std::string key = "k" + std::to_string(rng.Uniform(60));
       if (rng.Bernoulli(0.25)) {
-        engine->Delete(key);
+        ASSERT_OK(engine->Delete(key));
         model.erase(key);
       } else {
         const std::string value = rng.Bytes(50);
-        engine->Put(key, value);
+        ASSERT_OK(engine->Put(key, value));
         model[key] = value;
       }
     }
@@ -260,7 +263,7 @@ TEST_F(PersistentEngineTest, CompactionStateSurvivesRestart) {
     auto engine = storage::NewLogStructuredEngine(Options());
     for (int i = 0; i < 400; ++i) {
       const std::string key = "k" + std::to_string(i % 10);
-      engine->Put(key, "v" + std::to_string(i));
+      ASSERT_OK(engine->Put(key, "v" + std::to_string(i)));
       model[key] = "v" + std::to_string(i);
     }
     engine->CompactNow();
@@ -277,7 +280,7 @@ TEST_F(PersistentEngineTest, CompactionStateSurvivesRestart) {
 TEST_F(PersistentEngineTest, CorruptTailDiscardedOnRecovery) {
   {
     auto engine = storage::NewLogStructuredEngine(Options());
-    engine->Put("good", "value");
+    ASSERT_OK(engine->Put("good", "value"));
   }
   // Corrupt the last few bytes of the newest segment file.
   std::filesystem::path newest;
@@ -293,6 +296,140 @@ TEST_F(PersistentEngineTest, CorruptTailDiscardedOnRecovery) {
   EXPECT_TRUE(recovered->Get("good", &v).ok());
   EXPECT_EQ(v, "value");
   EXPECT_TRUE(recovered->VerifyChecksums().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Compaction I/O failure handling (regression tests for discarded-Status
+// bugs: CompactLocked used to ignore the results of RemoveFile / SyncDir on
+// the old generation, so a failed remove left stale segments that recovery
+// would replay — resurrecting deleted keys — and a failed directory sync
+// claimed durability the disk never promised.)
+// ---------------------------------------------------------------------------
+
+// Delegating filesystem with per-call failure switches; everything not
+// explicitly failed passes through to the in-memory substrate.
+class FlakyFs : public io::Fs {
+ public:
+  explicit FlakyFs(io::Fs* base) : base_(base) {}
+
+  bool fail_remove = false;
+  bool fail_syncdir = false;
+
+  Result<std::unique_ptr<io::WritableFile>> OpenAppend(
+      const std::string& path) override {
+    return base_->OpenAppend(path);
+  }
+  Status ReadFile(const std::string& path, std::string* out) override {
+    return base_->ReadFile(path, out);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    return base_->ListDir(path);
+  }
+  Status CreateDirs(const std::string& path) override {
+    return base_->CreateDirs(path);
+  }
+  Status RemoveFile(const std::string& path) override {
+    if (fail_remove) return Status::IOError("injected remove failure: " + path);
+    return base_->RemoveFile(path);
+  }
+  Status TruncateFile(const std::string& path, int64_t size) override {
+    return base_->TruncateFile(path, size);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return base_->RenameFile(from, to);
+  }
+  Status SyncDir(const std::string& path) override {
+    if (fail_syncdir) return Status::IOError("injected dir-sync failure");
+    return base_->SyncDir(path);
+  }
+  Result<int64_t> FileSize(const std::string& path) override {
+    return base_->FileSize(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+
+ private:
+  io::Fs* const base_;
+};
+
+class CompactionFaultTest : public ::testing::Test {
+ protected:
+  storage::LogEngineOptions Options() {
+    storage::LogEngineOptions options;
+    options.data_dir = "/eng";
+    options.fs = &flaky_;
+    options.segment_size_bytes = 512;
+    options.compaction_garbage_ratio = 10.0;  // manual compaction only
+    return options;
+  }
+
+  std::unique_ptr<io::Fs> mem_ = io::NewMemFs();
+  FlakyFs flaky_{mem_.get()};
+};
+
+TEST_F(CompactionFaultTest, CompactionRemoveFailureCannotResurrectDeletedKeys) {
+  std::map<std::string, std::string> model;
+  {
+    auto engine = storage::NewLogStructuredEngine(Options());
+    // Lots of overwrites across many 512-byte segments, then delete half the
+    // keyspace: the old generation holds every overwritten and deleted
+    // record, the compacted generation only the five survivors.
+    for (int i = 0; i < 400; ++i) {
+      const std::string key = "k" + std::to_string(i % 10);
+      ASSERT_OK(engine->Put(key, "v" + std::to_string(i)));
+      model[key] = "v" + std::to_string(i);
+    }
+    for (int k = 5; k < 10; ++k) {
+      const std::string key = "k" + std::to_string(k);
+      ASSERT_OK(engine->Delete(key));
+      model.erase(key);
+    }
+    const int64_t segments_before = engine->GetStats().segments;
+
+    // Every surplus-segment RemoveFile fails; the engine must fall back to
+    // truncating the stale files so recovery cannot replay them.
+    flaky_.fail_remove = true;
+    engine->CompactNow();
+    flaky_.fail_remove = false;
+
+    ASSERT_LT(engine->GetStats().segments, segments_before)
+        << "compaction should have shrunk the segment count";
+    // The truncate fallback defused every stale segment: not degraded.
+    EXPECT_OK(engine->RecoveryStatus());
+  }  // crash
+
+  auto recovered = storage::NewLogStructuredEngine(Options());
+  EXPECT_OK(recovered->RecoveryStatus());
+  std::map<std::string, std::string> scanned;
+  recovered->ForEach([&scanned](Slice k, Slice v) {
+    scanned[k.ToString()] = v.ToString();
+    return true;
+  });
+  EXPECT_EQ(scanned, model) << "stale old-generation segments must not "
+                               "resurrect overwritten or deleted records";
+  std::string v;
+  EXPECT_TRUE(recovered->Get("k7", &v).IsNotFound());
+}
+
+TEST_F(CompactionFaultTest, CompactionDirSyncFailureMarksEngineDegraded) {
+  auto engine = storage::NewLogStructuredEngine(Options());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(engine->Put("k" + std::to_string(i % 5), std::string(40, 'x')));
+  }
+  ASSERT_OK(engine->RecoveryStatus());
+
+  flaky_.fail_syncdir = true;
+  engine->CompactNow();
+  flaky_.fail_syncdir = false;
+
+  // The renames may not survive power loss; the engine must say so instead
+  // of silently claiming the compaction durable.
+  EXPECT_FALSE(engine->RecoveryStatus().ok());
+  // The in-flight state is still fully readable.
+  std::string v;
+  ASSERT_OK(engine->Get("k0", &v));
+  EXPECT_EQ(v, std::string(40, 'x'));
 }
 
 }  // namespace

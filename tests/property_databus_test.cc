@@ -16,6 +16,8 @@
 #include "sqlstore/database.h"
 #include "zk/zookeeper.h"
 
+#include "status_test_util.h"
+
 namespace lidi {
 namespace {
 
@@ -52,7 +54,7 @@ TEST_P(DatabusPropertyTest, ReplicasConvergeToSourceUnderRandomSchedules) {
   const PipelineScenario scenario = GetParam();
   net::Network network;
   sqlstore::Database db("src");
-  db.CreateTable("t");
+  ASSERT_OK(db.CreateTable("t"));
   // The relay's ingest batch must fit its circular buffer, or events would
   // be evicted before any listener could see them (a deployment constraint:
   // buffer capacity bounds the downstream poll interval).
@@ -79,12 +81,12 @@ TEST_P(DatabusPropertyTest, ReplicasConvergeToSourceUnderRandomSchedules) {
     if (action < 0.55) {
       const std::string key = "k" + std::to_string(rng.Uniform(120));
       if (rng.Bernoulli(scenario.delete_fraction)) {
-        db.Delete("t", key);
+        ASSERT_OK(db.Delete("t", key));
       } else {
-        db.Put("t", key, {{"v", std::to_string(step)}});
+        ASSERT_OK(db.Put("t", key, {{"v", std::to_string(step)}}));
       }
     } else if (action < 0.75) {
-      relay.PollOnce();
+      ASSERT_OK(relay.PollOnce());
       // The bootstrap's log writer listens continuously (paper Fig III.3);
       // it must never fall behind the relay's circular buffer, so it runs
       // whenever the relay ingests.
@@ -93,7 +95,7 @@ TEST_P(DatabusPropertyTest, ReplicasConvergeToSourceUnderRandomSchedules) {
       if (rng.Bernoulli(0.5)) bootstrap.ApplyLogOnce();
     } else {
       const size_t c = rng.Uniform(clients.size());
-      clients[c]->PollOnce();  // may bootstrap if the relay evicted
+      ASSERT_OK(clients[c]->PollOnce());  // may bootstrap if the relay evicted
     }
   }
   // Final drain: pump everything to the head.
@@ -110,10 +112,10 @@ TEST_P(DatabusPropertyTest, ReplicasConvergeToSourceUnderRandomSchedules) {
   }
 
   std::map<std::string, sqlstore::Row> source;
-  db.Scan("t", [&source](const std::string& pk, const sqlstore::Row& row) {
+  ASSERT_OK(db.Scan("t", [&source](const std::string& pk, const sqlstore::Row& row) {
     source[pk] = row;
     return true;
-  });
+  }));
   for (size_t c = 0; c < replicas.size(); ++c) {
     EXPECT_EQ(replicas[c]->state, source)
         << "replica " << c << " diverged (seed " << scenario.seed << ")";

@@ -14,6 +14,8 @@
 #include "net/network.h"
 #include "zk/zookeeper.h"
 
+#include "status_test_util.h"
+
 namespace lidi::espresso {
 namespace {
 
@@ -100,14 +102,14 @@ TEST_P(FailoverPropertyTest, AcknowledgedWritesSurviveAnyKillSchedule) {
   zk::ZooKeeper zookeeper;
   SystemClock* clock = SystemClock::Default();
   SchemaRegistry registry;
-  registry.CreateDatabase({"db", DatabaseSchema::Partitioning::kHash,
-                           scenario.partitions, 2});
-  registry.CreateTable("db", {"docs", 0});
-  registry.PostDocumentSchema("db", "docs", R"({
-    "type":"record","name":"Doc","fields":[{"name":"v","type":"int"}]})");
+  ASSERT_OK(registry.CreateDatabase({"db", DatabaseSchema::Partitioning::kHash,
+                           scenario.partitions, 2}));
+  ASSERT_OK(registry.CreateTable("db", {"docs", 0}));
+  ASSERT_OK(registry.PostDocumentSchema("db", "docs", R"({
+    "type":"record","name":"Doc","fields":[{"name":"v","type":"int"}]})"));
   EspressoRelay relay;
   helix::HelixController controller("c", &zookeeper);
-  controller.AddResource({"db", scenario.partitions, 2});
+  ASSERT_OK(controller.AddResource({"db", scenario.partitions, 2}));
   std::vector<std::unique_ptr<StorageNode>> nodes;
   std::map<std::string, zk::SessionId> sessions;
   for (int i = 0; i < scenario.nodes; ++i) {
@@ -183,8 +185,8 @@ class EvolutionChainTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(EvolutionChainTest, DocumentsFromEveryVersionReadableUnderLatest) {
   SchemaRegistry registry;
-  registry.CreateDatabase({"db", DatabaseSchema::Partitioning::kHash, 2, 1});
-  registry.CreateTable("db", {"docs", 0});
+  ASSERT_OK(registry.CreateDatabase({"db", DatabaseSchema::Partitioning::kHash, 2, 1}));
+  ASSERT_OK(registry.CreateTable("db", {"docs", 0}));
 
   const int chain_length = GetParam();
   // Version k has fields f0..fk, all but f0 defaulted.

@@ -9,6 +9,8 @@
 #include "storage/engine.h"
 #include "storage/log_engine.h"
 
+#include "status_test_util.h"
+
 namespace lidi::storage {
 namespace {
 
@@ -83,7 +85,7 @@ TEST_P(LogEnginePropertyTest, CompactionPreservesDataAndReclaimsSpace) {
   for (int i = 0; i < 2000; ++i) {
     const std::string key = "k" + std::to_string(rng.Uniform(20));
     const std::string value = rng.Bytes(100);
-    engine->Put(key, value);
+    ASSERT_OK(engine->Put(key, value));
     model[key] = value;
   }
   const int64_t before = engine->GetStats().total_bytes;
@@ -147,7 +149,7 @@ TEST_P(EngineContractTest, BinaryKeysAndValues) {
 TEST_P(EngineContractTest, ForEachEarlyStop) {
   auto engine = MakeEngine();
   for (int i = 0; i < 10; ++i) {
-    engine->Put("k" + std::to_string(i), "v");
+    ASSERT_OK(engine->Put("k" + std::to_string(i), "v"));
   }
   int visited = 0;
   engine->ForEach([&visited](Slice, Slice) { return ++visited < 3; });

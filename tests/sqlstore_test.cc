@@ -3,6 +3,8 @@
 #include "common/hash.h"
 #include "sqlstore/database.h"
 
+#include "status_test_util.h"
+
 namespace lidi::sqlstore {
 namespace {
 
@@ -51,7 +53,7 @@ TEST(DatabaseTest, CreateTableAndCrud) {
 
 TEST(DatabaseTest, MissingTableFailsWholeTransaction) {
   Database db("d");
-  db.CreateTable("t");
+  ASSERT_OK(db.CreateTable("t"));
   auto txn = db.Begin();
   txn.Put("t", "k1", Row{{"c", "v"}});
   txn.Put("ghost", "k2", Row{{"c", "v"}});
@@ -65,8 +67,8 @@ TEST(DatabaseTest, TransactionIsAtomicInBinlog) {
   // multiple rows across stores/tables, e.g. an insert into a member's
   // mailbox and update on the member's mailbox unread count."
   Database db("mailbox_db");
-  db.CreateTable("mailbox");
-  db.CreateTable("unread_count");
+  ASSERT_OK(db.CreateTable("mailbox"));
+  ASSERT_OK(db.CreateTable("unread_count"));
   auto txn = db.Begin();
   txn.Put("mailbox", "m1:msg9", Row{{"body", "hello"}});
   txn.Put("unread_count", "m1", Row{{"n", "9"}});
@@ -83,7 +85,7 @@ TEST(DatabaseTest, TransactionIsAtomicInBinlog) {
 
 TEST(DatabaseTest, BinlogPreservesCommitOrder) {
   Database db("d");
-  db.CreateTable("t");
+  ASSERT_OK(db.CreateTable("t"));
   for (int i = 0; i < 50; ++i) {
     ASSERT_TRUE(db.Put("t", "k" + std::to_string(i), Row{}).ok());
   }
@@ -97,8 +99,8 @@ TEST(DatabaseTest, BinlogPreservesCommitOrder) {
 
 TEST(DatabaseTest, BinlogReplayableFromAnyScn) {
   Database db("d");
-  db.CreateTable("t");
-  for (int i = 0; i < 20; ++i) db.Put("t", "k" + std::to_string(i), Row{});
+  ASSERT_OK(db.CreateTable("t"));
+  for (int i = 0; i < 20; ++i) ASSERT_OK(db.Put("t", "k" + std::to_string(i), Row{}));
   auto tail = db.binlog().ReadAfter(15, 100);
   ASSERT_EQ(tail.size(), 5u);
   EXPECT_EQ(tail[0].scn, 16);
@@ -108,10 +110,10 @@ TEST(DatabaseTest, BinlogReplayableFromAnyScn) {
 
 TEST(DatabaseTest, InsertVsUpdateOpResolved) {
   Database db("d");
-  db.CreateTable("t");
-  db.Put("t", "k", Row{{"v", "1"}});
-  db.Put("t", "k", Row{{"v", "2"}});
-  db.Delete("t", "k");
+  ASSERT_OK(db.CreateTable("t"));
+  ASSERT_OK(db.Put("t", "k", Row{{"v", "1"}}));
+  ASSERT_OK(db.Put("t", "k", Row{{"v", "2"}}));
+  ASSERT_OK(db.Delete("t", "k"));
   const auto txns = db.binlog().ReadAfter(0, 10);
   ASSERT_EQ(txns.size(), 3u);
   EXPECT_EQ(txns[0].changes[0].op, Change::Op::kInsert);
@@ -121,11 +123,11 @@ TEST(DatabaseTest, InsertVsUpdateOpResolved) {
 
 TEST(DatabaseTest, PartitionFunctionStampsChanges) {
   Database db("d");
-  db.CreateTable("t");
+  ASSERT_OK(db.CreateTable("t"));
   db.SetPartitionFunction([](Slice key) {
     return static_cast<int>(Fnv1a64(key) % 8);
   });
-  db.Put("t", "some-key", Row{});
+  ASSERT_OK(db.Put("t", "some-key", Row{}));
   const auto txns = db.binlog().ReadAfter(0, 10);
   const int expected = static_cast<int>(Fnv1a64("some-key") % 8);
   EXPECT_EQ(txns[0].changes[0].partition, expected);
@@ -133,19 +135,19 @@ TEST(DatabaseTest, PartitionFunctionStampsChanges) {
 
 TEST(DatabaseTest, TriggersFireOnCommit) {
   Database db("d");
-  db.CreateTable("t");
+  ASSERT_OK(db.CreateTable("t"));
   std::vector<std::string> seen;
   db.AddTrigger([&seen](const Change& change, int64_t scn) {
     seen.push_back(change.primary_key + "@" + std::to_string(scn));
   });
-  db.Put("t", "k1", Row{});
-  db.Put("t", "k2", Row{});
+  ASSERT_OK(db.Put("t", "k1", Row{}));
+  ASSERT_OK(db.Put("t", "k2", Row{}));
   EXPECT_EQ(seen, (std::vector<std::string>{"k1@1", "k2@2"}));
 }
 
 TEST(DatabaseTest, SemiSyncFailureFailsCommit) {
   Database db("d");
-  db.CreateTable("t");
+  ASSERT_OK(db.CreateTable("t"));
   bool relay_up = false;
   db.SetSemiSyncCallback([&relay_up](const CommittedTransaction&) {
     return relay_up ? Status::OK() : Status::Unavailable("relay down");
@@ -157,8 +159,8 @@ TEST(DatabaseTest, SemiSyncFailureFailsCommit) {
 
 TEST(DatabaseTest, SemiSyncSeesFullTransaction) {
   Database db("d");
-  db.CreateTable("a");
-  db.CreateTable("b");
+  ASSERT_OK(db.CreateTable("a"));
+  ASSERT_OK(db.CreateTable("b"));
   size_t observed_changes = 0;
   db.SetSemiSyncCallback([&](const CommittedTransaction& txn) {
     observed_changes = txn.changes.size();
@@ -173,10 +175,10 @@ TEST(DatabaseTest, SemiSyncSeesFullTransaction) {
 
 TEST(DatabaseTest, ScanIteratesInKeyOrder) {
   Database db("d");
-  db.CreateTable("t");
-  db.Put("t", "b", Row{{"v", "2"}});
-  db.Put("t", "a", Row{{"v", "1"}});
-  db.Put("t", "c", Row{{"v", "3"}});
+  ASSERT_OK(db.CreateTable("t"));
+  ASSERT_OK(db.Put("t", "b", Row{{"v", "2"}}));
+  ASSERT_OK(db.Put("t", "a", Row{{"v", "1"}}));
+  ASSERT_OK(db.Put("t", "c", Row{{"v", "3"}}));
   std::vector<std::string> keys;
   ASSERT_TRUE(db.Scan("t", [&keys](const std::string& pk, const Row&) {
                   keys.push_back(pk);
@@ -187,7 +189,7 @@ TEST(DatabaseTest, ScanIteratesInKeyOrder) {
 
 TEST(DatabaseTest, AbortDiscardsChanges) {
   Database db("d");
-  db.CreateTable("t");
+  ASSERT_OK(db.CreateTable("t"));
   auto txn = db.Begin();
   txn.Put("t", "k", Row{});
   txn.Abort();

@@ -1,0 +1,45 @@
+// Status assertion helpers for tests.
+//
+// lidi::Status and lidi::Result<T> are LIDI_NODISCARD: a test may not drop
+// one on the floor. Setup and traffic that a test assumes succeeds is
+// asserted with these macros; a call whose failure is the point of the test
+// uses a visible `(void)` cast with a `discard-ok:` reason instead (see
+// DESIGN.md, "Static analysis contract").
+#ifndef LIDI_TESTS_STATUS_TEST_UTIL_H_
+#define LIDI_TESTS_STATUS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace lidi {
+namespace test_util {
+
+inline Status ToStatus(const Status& s) { return s; }
+template <typename T>
+Status ToStatus(const Result<T>& r) {
+  return r.status();
+}
+
+}  // namespace test_util
+}  // namespace lidi
+
+// ASSERT_OK aborts the test on failure (use in void-returning test bodies);
+// EXPECT_OK records the failure and continues (safe in non-void helpers).
+#define ASSERT_OK(expr)                                    \
+  do {                                                     \
+    const ::lidi::Status lidi_assert_ok_status =           \
+        ::lidi::test_util::ToStatus((expr));               \
+    ASSERT_TRUE(lidi_assert_ok_status.ok())                \
+        << #expr << " -> " << lidi_assert_ok_status.ToString(); \
+  } while (0)
+
+#define EXPECT_OK(expr)                                    \
+  do {                                                     \
+    const ::lidi::Status lidi_expect_ok_status =           \
+        ::lidi::test_util::ToStatus((expr));               \
+    EXPECT_TRUE(lidi_expect_ok_status.ok())                \
+        << #expr << " -> " << lidi_expect_ok_status.ToString(); \
+  } while (0)
+
+#endif  // LIDI_TESTS_STATUS_TEST_UTIL_H_

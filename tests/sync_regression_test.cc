@@ -26,6 +26,8 @@
 #include "storage/engine.h"
 #include "zk/zookeeper.h"
 
+#include "status_test_util.h"
+
 namespace lidi {
 namespace {
 
@@ -78,7 +80,7 @@ class KafkaSyncRegressionTest : public ::testing::Test {
     for (int i = 0; i < 2; ++i) {
       brokers_.push_back(std::make_unique<kafka::Broker>(i, &zk_, &network_,
                                                          &clock_, options));
-      brokers_.back()->CreateTopic("activity", 2);
+      ASSERT_OK(brokers_.back()->CreateTopic("activity", 2));
     }
   }
 
@@ -92,7 +94,7 @@ class KafkaSyncRegressionTest : public ::testing::Test {
 // counts of failed sends must be merged back, not lost.
 TEST_F(KafkaSyncRegressionTest, AuditEmitRemergesFailedWindows) {
   StartCluster();
-  for (auto& broker : brokers_) broker->CreateTopic(kafka::kAuditTopic, 1);
+  for (auto& broker : brokers_) ASSERT_OK(broker->CreateTopic(kafka::kAuditTopic, 1));
   kafka::Producer producer("p-audit", &zk_, &network_);
   kafka::ProducerAudit audit("p-audit", &producer, &clock_,
                              /*window_ms=*/1000);
@@ -141,7 +143,7 @@ TEST_F(KafkaSyncRegressionTest, ProducerStatsExactUnderConcurrentSend) {
           failures.fetch_add(1);
         }
       }
-      producer.Flush();
+      ASSERT_OK(producer.Flush());
     });
   }
   for (auto& t : threads) t.join();
@@ -171,7 +173,7 @@ TEST_F(KafkaSyncRegressionTest, ConsumerRebalanceConcurrentWithPoll) {
     }
   });
   std::thread rebalancer([&] {
-    for (int i = 0; i < 10; ++i) consumer.Rebalance("activity");
+    for (int i = 0; i < 10; ++i) ASSERT_OK(consumer.Rebalance("activity"));
   });
   for (int i = 0; i < 100; ++i) {
     EXPECT_GE(consumer.rebalance_count(), 0);
@@ -224,14 +226,14 @@ TEST(SyncRegressionTest, MultiTenantPollSurvivesConcurrentTenantRemoval) {
   std::atomic<bool> stop{false};
   std::thread poller([&] {
     while (!stop.load()) {
-      relay.PollAllOnce();  // must never touch a freed relay
+      ASSERT_OK(relay.PollAllOnce());  // must never touch a freed relay
     }
   });
   for (int i = 0; i < 200; ++i) {
     ASSERT_TRUE(
         db_a.Put("t", "k" + std::to_string(i), sqlstore::Row{{"v", "x"}})
             .ok());
-    relay.RemoveTenant("b");
+    ASSERT_OK(relay.RemoveTenant("b"));
     ASSERT_TRUE(relay.AddTenant("b", &db_b).ok());
   }
   stop.store(true);

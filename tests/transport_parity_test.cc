@@ -14,6 +14,8 @@
 #include "voldemort/server.h"
 #include "zk/zookeeper.h"
 
+#include "status_test_util.h"
+
 namespace lidi {
 namespace {
 
@@ -156,7 +158,7 @@ TEST_P(TransportParityTest, VoldemortQuotaExceededIsOverloadedOnBothBackends) {
   options.quota_requests_per_sec = 1e-6;  // effectively no refill mid-test
   options.quota_burst = 1;
   voldemort::VoldemortServer server(0, metadata, t.get(), options);
-  server.AddStore("st");
+  ASSERT_OK(server.AddStore("st"));
   // The quota gate runs before request decode, so even a garbage request
   // spends the client's one token...
   const Status first = t->Call("c", server.address(), "v.get", "").status();

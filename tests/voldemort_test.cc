@@ -16,6 +16,8 @@
 #include "voldemort/server.h"
 #include "voldemort/vector_clock.h"
 
+#include "status_test_util.h"
+
 namespace lidi::voldemort {
 namespace {
 
@@ -288,7 +290,7 @@ class VoldemortClusterTest : public ::testing::Test {
     for (int i = 0; i < num_nodes; ++i) {
       servers_.push_back(
           std::make_unique<VoldemortServer>(i, metadata_, &network_));
-      servers_.back()->AddStore(kStore);
+      ASSERT_OK(servers_.back()->AddStore(kStore));
     }
   }
 
@@ -501,6 +503,89 @@ TEST_F(VoldemortClusterTest, ReadRepairHealsStaleReplica) {
   EXPECT_EQ(healed_list.value()[0].value, "v2");
 }
 
+// Regression test for a discarded-Status bug: ReadRepair used to ignore the
+// result of the repair put, incrementing voldemort.read_repairs even when the
+// write was rejected — the counter claimed a heal that never happened, and a
+// genuinely dead repair target never fed the failure detector. A quota-starved
+// straggler (admits the read, sheds the repair put with Overloaded) makes the
+// failure deterministic: the honest accounting is read_repairs == 0,
+// read_repair_failures == 1, and the replica is still stale.
+TEST(VoldemortReadRepairAccountingTest, FailedRepairPutIsCountedHonestly) {
+  net::Network network;
+  ManualClock clock;
+  auto metadata = std::make_shared<ClusterMetadata>(MakeCluster(3, 9));
+
+  // Every server carries a near-zero quota (burst of a single request) but
+  // starts with enforcement off, so setup traffic is never charged. Only the
+  // straggler's quota is armed later.
+  VoldemortServerOptions quota;
+  quota.quota_requests_per_sec = 1e-6;
+  quota.quota_burst = 1;
+  std::vector<std::unique_ptr<VoldemortServer>> servers;
+  for (int i = 0; i < 3; ++i) {
+    servers.push_back(
+        std::make_unique<VoldemortServer>(i, metadata, &network, quota));
+    servers.back()->SetQuotaEnforcing(false);
+    ASSERT_OK(servers.back()->AddStore("test-store"));
+  }
+
+  ClientOptions options;
+  options.enable_read_repair = true;
+  options.failure_detector.ban_millis = 50;
+  StoreClient reader("reader", StoreDefinition{"test-store", 3, 3, 1},
+                     metadata, &network, &clock, options);
+  StoreClient writer("writer", StoreDefinition{"test-store", 3, 1, 1},
+                     metadata, &network, &clock, options);
+
+  const std::string key = "repair-quota";
+  const auto preference = reader.PreferenceList(key);
+  const int straggler = preference.back();
+
+  // v1 lands everywhere; the straggler then misses v2.
+  ASSERT_OK(writer.PutValue(key, "v1"));
+  network.SetNodeDown(net::MakeAddress(net::Tier::kVoldemort, straggler));
+  auto cur = writer.Get(key);
+  ASSERT_OK(cur);
+  ASSERT_OK(writer.Put(key, Versioned{cur.value()[0].version, "v2"}));
+  network.SetNodeUp(net::MakeAddress(net::Tier::kVoldemort, straggler));
+  clock.AdvanceMillis(100);  // lift any failure-detector ban
+
+  // Arm the straggler's quota. The reader has never been charged there, so
+  // its bucket is minted full at the next request: one token, which the R=3
+  // get consumes. The follow-up repair put is shed with Overloaded.
+  servers[straggler]->SetQuotaEnforcing(true);
+  auto repaired_read = reader.Get(key);
+  ASSERT_OK(repaired_read);
+  EXPECT_EQ(repaired_read.value()[0].value, "v2");
+
+  auto* repairs = network.metrics()->GetCounter("voldemort.read_repairs",
+                                                {{"client", "reader"}});
+  auto* repair_failures = network.metrics()->GetCounter(
+      "voldemort.read_repair_failures", {{"client", "reader"}});
+  EXPECT_EQ(repairs->Value(), 0);
+  EXPECT_EQ(repair_failures->Value(), 1);
+  // Overloaded means the node is alive — shedding a repair must not ban it.
+  EXPECT_TRUE(reader.failure_detector()->IsAvailable(straggler));
+  // And the replica really is still stale: nothing was repaired.
+  std::string stale;
+  ASSERT_OK(servers[straggler]->GetEngine("test-store")->Get(key, &stale));
+  auto stale_list = DecodeVersionedList(stale);
+  ASSERT_OK(stale_list);
+  EXPECT_EQ(stale_list.value()[0].value, "v1");
+
+  // Quota lifted, the next get's repair lands and is counted exactly once.
+  servers[straggler]->SetQuotaEnforcing(false);
+  ASSERT_OK(reader.Get(key));
+  EXPECT_EQ(repairs->Value(), 1);
+  EXPECT_EQ(repair_failures->Value(), 1);
+  std::string healed;
+  ASSERT_OK(servers[straggler]->GetEngine("test-store")->Get(key, &healed));
+  auto healed_list = DecodeVersionedList(healed);
+  ASSERT_OK(healed_list);
+  ASSERT_EQ(healed_list.value().size(), 1u);
+  EXPECT_EQ(healed_list.value()[0].value, "v2");
+}
+
 TEST_F(VoldemortClusterTest, HintedHandoffParksAndDeliversSlops) {
   StartCluster(4, 16);
   ClientOptions options;
@@ -637,7 +722,7 @@ class ReadOnlyPipelineTest : public VoldemortClusterTest {
 
   void StartReadOnly(int num_nodes, int num_partitions) {
     StartCluster(num_nodes, num_partitions);
-    for (auto& server : servers_) server->AddReadOnlyStore(kRoStore);
+    for (auto& server : servers_) ASSERT_OK(server->AddReadOnlyStore(kRoStore));
     for (auto& server : servers_) controller_servers_.push_back(server.get());
   }
 
