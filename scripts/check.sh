@@ -102,6 +102,10 @@ if printf 'int main(){return 0;}' | \
   # The TCP backend is the one component with real cross-thread socket
   # hand-off (callers <-> reactors <-> workers); it must stay TSan-clean.
   ctest --test-dir build-tsan --output-on-failure -j"$JOBS" -L net
+  say "thread-sanitizer (elasticity suite, ctest -L rebalance)"
+  # Live partition movement exercises the metadata reader/writer locks and
+  # the epoch-gated router retry under every cutover interleaving.
+  ctest --test-dir build-tsan --output-on-failure -j"$JOBS" -L rebalance
 else
   echo "check: toolchain lacks -fsanitize=thread; skipping TSan stage"
 fi
@@ -118,6 +122,11 @@ if printf 'int main(){return 0;}' | \
   # Connection/listener teardown paths (reap, DropConnections, destructor)
   # are where a transport use-after-free would surface.
   ctest --test-dir build-asan --output-on-failure -j"$JOBS" -L net
+  say "address-sanitizer (elasticity suite, ctest -L rebalance)"
+  # Rebalance schedules add/crash/restart nodes of every tier mid-flight —
+  # the dangling-server/broker pointers an elastic topology could leak
+  # surface here.
+  ctest --test-dir build-asan --output-on-failure -j"$JOBS" -L rebalance
 else
   echo "check: toolchain lacks -fsanitize=address; skipping ASan stage"
 fi

@@ -28,20 +28,47 @@ Result<std::string> Router::RouteTo(const std::string& database,
   return master;
 }
 
+Result<std::string> Router::CallMaster(const std::string& database,
+                                       const std::string& resource_id,
+                                       const char* method,
+                                       const std::string& request,
+                                       obs::ScopedSpan* span) {
+  const int64_t epoch = helix_->RoutingEpoch();
+  Result<std::string> outcome = Status::OK();
+  auto master = RouteTo(database, resource_id);
+  if (master.ok()) {
+    span->set_peer(master.value());
+    outcome = network_->Call(name_, master.value(), method, request,
+                             net::CallOptions{&span->context()});
+    if (outcome.ok() || !outcome.status().IsUnavailable()) return outcome;
+  } else {
+    if (!master.status().IsUnavailable()) return master.status();
+    outcome = master.status();
+  }
+  // Unavailable can mean two very different things: the tier is down, or a
+  // partition migration cut over underneath this request (a routing hole
+  // mid-transition, or the old master's fencing reject). The routing epoch
+  // disambiguates — retry once only if mastership actually moved.
+  if (helix_->RoutingEpoch() == epoch) return outcome;
+  auto retried = RouteTo(database, resource_id);
+  if (!retried.ok()) return retried.status();
+  span->set_peer(retried.value());
+  return network_->Call(name_, retried.value(), method, request,
+                        net::CallOptions{&span->context()});
+}
+
 Result<DocumentRecord> Router::GetRecord(const std::string& uri) {
   InflightGuard guard(&inflight_);
   if (!guard.admitted()) return RejectOverloaded("get");
   obs::ScopedSpan span = StartOp("get");
   auto parsed = ParseUri(uri);
   if (!parsed.ok()) return span.set_outcome(parsed.status()), parsed.status();
-  auto master = RouteTo(parsed.value().database, parsed.value().resource_id);
-  if (!master.ok()) return span.set_outcome(master.status()), master.status();
-  span.set_peer(master.value());
   std::string request;
   EncodeGetRequest(parsed.value().database, parsed.value().table,
                    parsed.value().DocumentKey(), &request);
-  auto response = network_->Call(name_, master.value(), "espresso.get", request,
-                                 net::CallOptions{&span.context()});
+  auto response = CallMaster(parsed.value().database,
+                             parsed.value().resource_id, "espresso.get",
+                             request, &span);
   if (!response.ok()) {
     span.set_outcome(response.status());
     return response.status();
@@ -60,15 +87,13 @@ Result<std::optional<DocumentRecord>> Router::GetRecordIfModified(
   obs::ScopedSpan span = StartOp("get-cond");
   auto parsed = ParseUri(uri);
   if (!parsed.ok()) return span.set_outcome(parsed.status()), parsed.status();
-  auto master = RouteTo(parsed.value().database, parsed.value().resource_id);
-  if (!master.ok()) return span.set_outcome(master.status()), master.status();
-  span.set_peer(master.value());
   std::string request;
   EncodeGetRequest(parsed.value().database, parsed.value().table,
                    parsed.value().DocumentKey(), &request);
   PutLengthPrefixed(&request, etag);
-  auto response = network_->Call(name_, master.value(), "espresso.get-cond",
-                                 request, net::CallOptions{&span.context()});
+  auto response = CallMaster(parsed.value().database,
+                             parsed.value().resource_id, "espresso.get-cond",
+                             request, &span);
   if (!response.ok()) {
     span.set_outcome(response.status());
     return response.status();
@@ -122,9 +147,6 @@ Result<std::string> Router::PutDocument(const std::string& uri,
   obs::ScopedSpan span = StartOp("put");
   auto parsed = ParseUri(uri);
   if (!parsed.ok()) return span.set_outcome(parsed.status()), parsed.status();
-  auto master = RouteTo(parsed.value().database, parsed.value().resource_id);
-  if (!master.ok()) return span.set_outcome(master.status()), master.status();
-  span.set_peer(master.value());
 
   DocumentRecord record;
   auto payload = EncodeDatum(parsed.value().database, parsed.value().table,
@@ -136,8 +158,9 @@ Result<std::string> Router::PutDocument(const std::string& uri,
   EncodePutRequest(parsed.value().database, parsed.value().table,
                    parsed.value().DocumentKey(), record, expected_etag,
                    &request);
-  auto response = network_->Call(name_, master.value(), "espresso.put", request,
-                                 net::CallOptions{&span.context()});
+  auto response = CallMaster(parsed.value().database,
+                             parsed.value().resource_id, "espresso.put",
+                             request, &span);
   span.set_outcome(response.status());
   return response;
 }
@@ -148,15 +171,11 @@ Status Router::DeleteDocument(const std::string& uri) {
   obs::ScopedSpan span = StartOp("delete");
   auto parsed = ParseUri(uri);
   if (!parsed.ok()) return span.set_outcome(parsed.status()), parsed.status();
-  auto master = RouteTo(parsed.value().database, parsed.value().resource_id);
-  if (!master.ok()) return span.set_outcome(master.status()), master.status();
-  span.set_peer(master.value());
   std::string request;
   EncodeGetRequest(parsed.value().database, parsed.value().table,
                    parsed.value().DocumentKey(), &request);
-  Status s = network_
-                 ->Call(name_, master.value(), "espresso.delete", request,
-                        net::CallOptions{&span.context()})
+  Status s = CallMaster(parsed.value().database, parsed.value().resource_id,
+                        "espresso.delete", request, &span)
                  .status();
   span.set_outcome(s);
   return s;
@@ -173,15 +192,13 @@ Result<std::vector<std::pair<std::string, avro::DatumPtr>>> Router::Query(
     span.set_outcome(Code::kInvalidArgument);
     return Status::InvalidArgument("missing ?query= parameter");
   }
-  auto master = RouteTo(parsed.value().database, parsed.value().resource_id);
-  if (!master.ok()) return span.set_outcome(master.status()), master.status();
-  span.set_peer(master.value());
   std::string request;
   EncodeQueryRequest(parsed.value().database, parsed.value().table,
                      parsed.value().resource_id, parsed.value().query,
                      &request);
-  auto response = network_->Call(name_, master.value(), "espresso.query",
-                                 request, net::CallOptions{&span.context()});
+  auto response = CallMaster(parsed.value().database,
+                             parsed.value().resource_id, "espresso.query",
+                             request, &span);
   if (!response.ok()) {
     span.set_outcome(response.status());
     return response.status();
@@ -212,9 +229,6 @@ Status Router::PostTransaction(const std::string& database,
   InflightGuard guard(&inflight_);
   if (!guard.admitted()) return RejectOverloaded("txn");
   obs::ScopedSpan span = StartOp("txn");
-  auto master = RouteTo(database, resource_id);
-  if (!master.ok()) return span.set_outcome(master.status()), master.status();
-  span.set_peer(master.value());
   std::vector<DocumentUpdate> encoded;
   for (const TxnUpdate& update : updates) {
     DocumentUpdate u;
@@ -236,10 +250,9 @@ Status Router::PostTransaction(const std::string& database,
   }
   std::string request;
   EncodeTxnRequest(database, resource_id, encoded, &request);
-  Status s = network_
-                 ->Call(name_, master.value(), "espresso.txn", request,
-                        net::CallOptions{&span.context()})
-                 .status();
+  Status s =
+      CallMaster(database, resource_id, "espresso.txn", request, &span)
+          .status();
   span.set_outcome(s);
   return s;
 }

@@ -114,6 +114,20 @@ class Router {
   /// Counts the request and opens the root span for operation `op`.
   obs::ScopedSpan StartOp(const char* op);
 
+  /// Resolves the partition master and issues the storage call, applying
+  /// the cutover-epoch retry rule (DESIGN.md §13): the Helix routing epoch
+  /// is snapshotted before resolution, and an Unavailable outcome — a
+  /// routing hole mid-transition, or an old master's fencing reject — is
+  /// retried ONCE against a fresh resolution iff the epoch advanced in the
+  /// meantime. A request that raced a partition migration thus lands on the
+  /// new master instead of surfacing a transient error; a genuinely down
+  /// tier (epoch unchanged) still fails fast.
+  Result<std::string> CallMaster(const std::string& database,
+                                 const std::string& resource_id,
+                                 const char* method,
+                                 const std::string& request,
+                                 obs::ScopedSpan* span);
+
   const std::string name_;
   SchemaRegistry* const registry_;
   helix::HelixController* const helix_;

@@ -135,6 +135,61 @@ Assignment HelixController::GetCurrentState(const std::string& resource) const {
   return it == current_state_.end() ? Assignment{} : it->second;
 }
 
+RebalancePlan HelixController::ComputePlan(const std::string& resource) const {
+  RebalancePlan plan;
+  const Assignment target = ComputeBestPossibleState(resource);
+  const std::vector<std::string> live = LiveInstances();
+  const Assignment current = GetCurrentState(resource);
+
+  // Union of partitions in current and target.
+  std::set<int> partitions;
+  for (const auto& [p, states] : target) partitions.insert(p);
+  for (const auto& [p, states] : current) partitions.insert(p);
+
+  for (int p : partitions) {
+    const auto target_states = target.count(p) ? target.at(p)
+                                               : std::map<std::string,
+                                                          ReplicaState>{};
+    const auto current_states =
+        current.count(p) ? current.at(p)
+                         : std::map<std::string, ReplicaState>{};
+
+    // Instances that must change state.
+    std::set<std::string> involved;
+    for (const auto& [inst, st] : target_states) involved.insert(inst);
+    for (const auto& [inst, st] : current_states) involved.insert(inst);
+
+    for (const std::string& instance : involved) {
+      const ReplicaState from = current_states.count(instance)
+                                    ? current_states.at(instance)
+                                    : ReplicaState::kOffline;
+      ReplicaState to = target_states.count(instance)
+                            ? target_states.at(instance)
+                            : ReplicaState::kOffline;
+      // A dead instance cannot execute transitions; its record is cleared
+      // (treat as OFFLINE now) rather than transitioned.
+      const bool alive =
+          std::find(live.begin(), live.end(), instance) != live.end();
+      if (!alive) {
+        if (from != ReplicaState::kOffline) {
+          plan.dead_erasures.emplace_back(instance, p, from);
+        }
+        continue;
+      }
+      if (from == to) continue;
+      Transition t{instance, resource, p, from, to};
+      if (to == ReplicaState::kMaster) {
+        plan.promotions.push_back(t);
+      } else if (static_cast<int>(to) < static_cast<int>(from)) {
+        plan.demotions.push_back(t);
+      } else {
+        plan.additions.push_back(t);
+      }
+    }
+  }
+  return plan;
+}
+
 int HelixController::RebalanceOnce(int max_transitions) {
   // Snapshot resources.
   std::vector<std::string> resource_names;
@@ -147,60 +202,14 @@ int HelixController::RebalanceOnce(int max_transitions) {
 
   int executed = 0;
   for (const std::string& resource : resource_names) {
-    const Assignment target = ComputeBestPossibleState(resource);
-    const std::vector<std::string> live = LiveInstances();
+    RebalancePlan plan = ComputePlan(resource);
 
-    // Build the transition list per partition: demotions and drops first
-    // (a master must release before a new one is promoted), then slave
-    // additions, then master promotions.
-    std::vector<Transition> demotions, additions, promotions;
-    Assignment current = GetCurrentState(resource);
-
-    // Union of partitions in current and target.
-    std::set<int> partitions;
-    for (const auto& [p, states] : target) partitions.insert(p);
-    for (const auto& [p, states] : current) partitions.insert(p);
-
-    for (int p : partitions) {
-      const auto target_states = target.count(p) ? target.at(p)
-                                                 : std::map<std::string,
-                                                            ReplicaState>{};
-      const auto current_states =
-          current.count(p) ? current.at(p)
-                           : std::map<std::string, ReplicaState>{};
-
-      // Instances that must change state.
-      std::set<std::string> involved;
-      for (const auto& [inst, st] : target_states) involved.insert(inst);
-      for (const auto& [inst, st] : current_states) involved.insert(inst);
-
-      for (const std::string& instance : involved) {
-        const ReplicaState from = current_states.count(instance)
-                                      ? current_states.at(instance)
-                                      : ReplicaState::kOffline;
-        ReplicaState to = target_states.count(instance)
-                              ? target_states.at(instance)
-                              : ReplicaState::kOffline;
-        // A dead instance cannot execute transitions; treat as OFFLINE now.
-        const bool alive =
-            std::find(live.begin(), live.end(), instance) != live.end();
-        if (!alive) {
-          if (from != ReplicaState::kOffline) {
-            MutexLock lock(&mu_);
-            current_state_[resource][p].erase(instance);
-          }
-          continue;
-        }
-        if (from == to) continue;
-        Transition t{instance, resource, p, from, to};
-        if (to == ReplicaState::kMaster) {
-          promotions.push_back(t);
-        } else if (static_cast<int>(to) < static_cast<int>(from)) {
-          demotions.push_back(t);
-        } else {
-          additions.push_back(t);
-        }
-      }
+    // Clear the records of dead instances first; losing a master this way
+    // is a mastership change and bumps the routing epoch.
+    for (const auto& [instance, p, from] : plan.dead_erasures) {
+      MutexLock lock(&mu_);
+      current_state_[resource][p].erase(instance);
+      if (from == ReplicaState::kMaster) ++routing_epoch_;
     }
 
     auto execute = [&](std::vector<Transition>& list) {
@@ -235,6 +244,13 @@ int HelixController::RebalanceOnce(int max_transitions) {
           Status s = handler ? handler(step) : Status::OK();
           if (!s.ok()) break;  // retried on the next pipeline run
           MutexLock lock(&mu_);
+          // Any step that makes or unmakes a master is a routing-visible
+          // cutover: bump the epoch so in-flight router requests know to
+          // re-resolve instead of failing (DESIGN.md §13).
+          if (step.to == ReplicaState::kMaster ||
+              step.from == ReplicaState::kMaster) {
+            ++routing_epoch_;
+          }
           if (step.to == ReplicaState::kOffline) {
             current_state_[resource][step.partition].erase(step.instance);
           } else {
@@ -243,11 +259,16 @@ int HelixController::RebalanceOnce(int max_transitions) {
         }
       }
     };
-    execute(demotions);
-    execute(additions);
-    execute(promotions);
+    execute(plan.demotions);
+    execute(plan.additions);
+    execute(plan.promotions);
   }
   return executed;
+}
+
+int64_t HelixController::RoutingEpoch() const {
+  MutexLock lock(&mu_);
+  return routing_epoch_;
 }
 
 int HelixController::RebalanceToConvergence() {

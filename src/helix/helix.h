@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/sync.h"
@@ -45,6 +46,30 @@ struct Transition {
 /// the current state unchanged; the controller retries on the next pipeline
 /// run.
 using TransitionHandler = std::function<Status(const Transition&)>;
+
+/// The controller pipeline's work list for one resource, in execution
+/// order: demotions and drops first (a master must release before a new one
+/// is promoted), then slave additions, then master promotions.
+/// `dead_erasures` are current-state records of instances that died without
+/// transitioning — cleared, not executed (a dead node cannot run a
+/// handler). Exposed so rebalance tests and bench_helix_rebalance can
+/// inspect what a pipeline run WOULD do without running it.
+struct RebalancePlan {
+  std::vector<Transition> demotions;
+  std::vector<Transition> additions;
+  std::vector<Transition> promotions;
+  /// (instance, partition, last acknowledged state) of dead records.
+  std::vector<std::tuple<std::string, int, ReplicaState>> dead_erasures;
+
+  bool empty() const {
+    return demotions.empty() && additions.empty() && promotions.empty() &&
+           dead_erasures.empty();
+  }
+  int TotalTransitions() const {
+    return static_cast<int>(demotions.size() + additions.size() +
+                            promotions.size());
+  }
+};
 
 /// The generic cluster manager (paper Section IV.B): tracks live instances
 /// through Zookeeper ephemerals, and drives the cluster from its
@@ -87,6 +112,13 @@ class HelixController {
   /// CURRENTSTATE: what participants have acknowledged so far.
   Assignment GetCurrentState(const std::string& resource) const;
 
+  /// The rebalance planner, factored out of the pipeline: diffs
+  /// CURRENTSTATE against BESTPOSSIBLESTATE and returns the ordered
+  /// transition lists WITHOUT executing anything. RebalanceOnce executes
+  /// exactly this plan; tests and benches call it to predict or audit a
+  /// pipeline run.
+  RebalancePlan ComputePlan(const std::string& resource) const;
+
   /// One pass of the controller pipeline: computes BESTPOSSIBLESTATE for
   /// every resource, diffs against CURRENTSTATE, and issues transitions
   /// (demotions before promotions; at most one master per partition at all
@@ -101,6 +133,14 @@ class HelixController {
   /// Current master instance of a partition, or empty if none (routing
   /// table lookup used by the Espresso router).
   std::string MasterOf(const std::string& resource, int partition) const;
+
+  /// Monotone routing epoch: bumped every time any partition's mastership
+  /// changes (a MASTER acknowledged, demoted, or erased). Routers snapshot
+  /// it before resolving a master and, on an Unavailable reply, retry the
+  /// lookup only if the epoch moved — the atomic-cutover-at-the-router rule
+  /// (DESIGN.md §13): a request that raced a migration is re-routed to the
+  /// new master instead of surfacing a transient routing error.
+  int64_t RoutingEpoch() const;
 
   std::vector<std::string> LiveInstances() const;
   std::vector<std::string> ConfiguredInstances() const;
@@ -127,6 +167,8 @@ class HelixController {
   std::map<std::string, TransitionHandler> handlers_ LIDI_GUARDED_BY(mu_);
   // resource -> partition -> instance -> acknowledged state
   std::map<std::string, Assignment> current_state_ LIDI_GUARDED_BY(mu_);
+  // See RoutingEpoch(): bumped under mu_ on every mastership change.
+  int64_t routing_epoch_ LIDI_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lidi::helix

@@ -166,7 +166,15 @@ Status Broker::CreateTopic(const std::string& topic, int partitions) {
     for (int p = 0; p < partitions; ++p) {
       auto key = std::make_pair(topic, p);
       if (logs_.count(key) == 0) {
-        logs_[key] = std::make_unique<PartitionLog>(options_.log, clock_);
+        // Each partition persists under its own "<topic>-<partition>"
+        // directory. Sharing the broker root would interleave the segment
+        // files of different topics into one physical log — recovery would
+        // then serve one topic's bytes to another's consumers.
+        LogOptions log_options = options_.log;
+        if (!log_options.data_dir.empty()) {
+          log_options.data_dir += "/" + topic + "-" + std::to_string(p);
+        }
+        logs_[key] = std::make_unique<PartitionLog>(log_options, clock_);
       }
     }
   }

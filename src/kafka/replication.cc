@@ -153,6 +153,75 @@ Result<int> ReplicatedTopicManager::FailoverDeadLeaders(
   return moved;
 }
 
+Status ReplicatedTopicManager::BeginReassignment(const std::string& topic,
+                                                 int partition,
+                                                 Broker* target) {
+  const std::string path = PartitionPath(topic, partition);
+  if (!zookeeper_->Exists(path + "/leader")) {
+    return Status::NotFound("no replicated partition " + topic + "/" +
+                            std::to_string(partition));
+  }
+  if (zookeeper_->Exists(path + "/reassign")) {
+    return Status::AlreadyExists("reassignment already pending for " + topic +
+                                 "/" + std::to_string(partition));
+  }
+  auto partitions = zookeeper_->GetChildren(zk_root_ + "/replicated/" + topic);
+  if (!partitions.ok()) return partitions.status();
+  // The target needs local logs before it can follow; idempotent on retry.
+  Status created = target->CreateTopic(
+      topic, static_cast<int>(partitions.value().size()));
+  if (!created.ok() && created.code() != Code::kAlreadyExists) return created;
+  auto replicas = ReplicasOf(topic, partition);
+  if (!replicas.ok()) return replicas.status();
+  if (std::find(replicas.value().begin(), replicas.value().end(),
+                target->id()) == replicas.value().end()) {
+    auto current = zookeeper_->Get(path + "/replicas");
+    if (!current.ok()) return current.status();
+    Status widened = zookeeper_->Set(
+        path + "/replicas", current.value() + "," +
+                                std::to_string(target->id()));
+    if (!widened.ok()) return widened;
+  }
+  return zookeeper_->CreateRecursive(session_, path + "/reassign",
+                                     std::to_string(target->id()),
+                                     zk::CreateMode::kPersistent);
+}
+
+Result<int> ReplicatedTopicManager::ReassignmentTargetOf(
+    const std::string& topic, int partition) const {
+  auto target =
+      zookeeper_->Get(PartitionPath(topic, partition) + "/reassign");
+  if (!target.ok()) return target.status();
+  return std::atoi(target.value().c_str());
+}
+
+Result<bool> ReplicatedTopicManager::TryCompleteReassignment(
+    const std::string& topic, int partition) {
+  auto target = ReassignmentTargetOf(topic, partition);
+  if (!target.ok()) return target.status();
+  auto leader = LeaderOf(topic, partition);
+  if (!leader.ok()) return leader.status();
+  if (leader.value() != target.value()) {
+    if (!BrokerAlive(target.value())) return false;  // wait for it to return
+    if (!allow_unsafe_transfer_) {
+      // Follower catch-up BEFORE leadership transfer: the target must hold
+      // every byte the leader has flushed, otherwise acked messages would
+      // vanish at the moment of transfer (nothing ever back-fills a
+      // leader). -1 (unreachable) never satisfies the gate.
+      const int64_t leader_end = LogEndAt(leader.value(), topic, partition);
+      const int64_t target_end = LogEndAt(target.value(), topic, partition);
+      if (leader_end < 0 || target_end < leader_end) return false;
+    }
+    Status moved = zookeeper_->Set(PartitionPath(topic, partition) + "/leader",
+                                   std::to_string(target.value()));
+    if (!moved.ok()) return moved;
+  }
+  Status cleared =
+      zookeeper_->Delete(PartitionPath(topic, partition) + "/reassign");
+  if (!cleared.ok()) return cleared;
+  return true;
+}
+
 Result<int64_t> ReplicaFetcher::SyncOnce(const std::string& topic,
                                          int partitions) {
   int64_t copied = 0;

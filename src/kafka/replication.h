@@ -59,6 +59,37 @@ class ReplicatedTopicManager {
   /// most caught-up live follower promoted. Returns leaderships moved.
   Result<int> FailoverDeadLeaders(const std::string& topic);
 
+  /// Begins moving a partition's leadership to `target` (live reassignment,
+  /// DESIGN.md §13): creates the topic on the target broker if needed, adds
+  /// it to the replica list, and records the intent in Zookeeper
+  /// (<partition>/reassign). Leadership does NOT move yet — the target
+  /// first catches up via the ordinary ReplicaFetcher pull path, exactly
+  /// like any follower. AlreadyExists if a reassignment is already pending.
+  Status BeginReassignment(const std::string& topic, int partition,
+                           Broker* target);
+
+  /// Completes a pending reassignment iff the target's flushed log end has
+  /// caught up to the leader's (follower-catch-up-before-leadership-
+  /// transfer). Returns true when leadership moved, false when the target
+  /// is still behind (sync and call again), NotFound when nothing is
+  /// pending.
+  Result<bool> TryCompleteReassignment(const std::string& topic,
+                                       int partition);
+
+  /// Pending reassignment target broker id, or NotFound.
+  Result<int> ReassignmentTargetOf(const std::string& topic,
+                                   int partition) const;
+
+  /// TEST-ONLY kill switch: when true, TryCompleteReassignment skips the
+  /// catch-up equality gate and moves leadership immediately. Messages the
+  /// old leader acked but the target never fetched are then stranded —
+  /// followers only pull FROM the leader, so nothing ever back-fills the
+  /// new leader. The rebalance acceptance tests flip this to prove the
+  /// catch-up gate is load-bearing (ISSUE 10). Never set in production.
+  void set_allow_unsafe_transfer(bool allow) {
+    allow_unsafe_transfer_ = allow;
+  }
+
  private:
   std::string PartitionPath(const std::string& topic, int partition) const;
   bool BrokerAlive(int broker_id) const;
@@ -70,6 +101,8 @@ class ReplicatedTopicManager {
   net::Transport* const network_;
   const std::string zk_root_;
   zk::SessionId session_;
+  // See set_allow_unsafe_transfer — test-only, single-threaded harness use.
+  bool allow_unsafe_transfer_ = false;
 };
 
 /// The follower side: keeps one broker's copies of a replicated topic in

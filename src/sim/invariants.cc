@@ -10,8 +10,10 @@
 
 #include "avro/datum.h"
 #include "databus/event.h"
+#include "kafka/message.h"
 #include "sim/sim_cluster.h"
 #include "sqlstore/database.h"
+#include "voldemort/routing.h"
 #include "voldemort/server.h"
 #include "voldemort/vector_clock.h"
 #include "voldemort/wire.h"
@@ -237,7 +239,7 @@ class TimelineConsistency : public InvariantChecker {
           prev_scn = std::max(prev_scn, event.scn);
         }
       }
-      for (int i = 0; i < cluster.options().espresso_nodes; ++i) {
+      for (int i = 0; i < cluster.espresso_node_count(); ++i) {
         auto* node = cluster.espresso_node(i);
         if (node == nullptr) continue;
         if (!node->IsMasterOf(SimCluster::kEspressoDb, p) &&
@@ -312,7 +314,7 @@ class VectorClockConvergence : public InvariantChecker {
       // Direct per-replica reads: no replica may hold a value nobody wrote.
       std::string request;
       voldemort::EncodeGetRequest(SimCluster::kVoldemortStore, key, &request);
-      for (int i = 0; i < cluster.options().voldemort_nodes; ++i) {
+      for (int i = 0; i < cluster.voldemort_node_count(); ++i) {
         auto response = cluster.network().Call(
             kChecker, net::MakeAddress(net::Tier::kVoldemort, i), "v.get", request);
         if (!response.ok()) continue;  // not a replica / empty store
@@ -344,6 +346,143 @@ class VectorClockConvergence : public InvariantChecker {
   }
 };
 
+/// The rebalance-aware invariant (ISSUE 10): after an elastic schedule
+/// settles, every acked write is readable at its CURRENT owner — the node
+/// the (possibly rebalanced) routing metadata points at now, read directly
+/// rather than through quorum masking — no migration or reassignment is
+/// left dangling, and routing tables agree with participant state. The
+/// online half (checks at the instant of each cutover / leadership
+/// transfer, before repair traffic can heal a hole) is recorded by the
+/// cluster into online_violations() as it runs.
+class RebalanceOwnership : public InvariantChecker {
+ public:
+  const char* name() const override { return "rebalance-ownership"; }
+
+  void Check(SimCluster& cluster,
+             std::vector<InvariantViolation>* out) override {
+    CheckVoldemort(cluster, out);
+    CheckKafka(cluster, out);
+    CheckEspresso(cluster, out);
+  }
+
+ private:
+  void CheckVoldemort(SimCluster& cluster,
+                      std::vector<InvariantViolation>* out) {
+    const voldemort::RoutingView view =
+        cluster.voldemort_metadata()->Snapshot();
+    if (!view.migrations.empty()) {
+      out->push_back({name(), std::to_string(view.migrations.size()) +
+                                  " voldemort migrations still pending "
+                                  "after settle"});
+    }
+    if (view.cluster.num_partitions() == 0) return;
+    auto routing = voldemort::NewConsistentRoutingStrategy(&view.cluster, 1);
+    for (const auto& [key, h] : cluster.voldemort_history()) {
+      if (!h.has_ack || h.attempted_after_ack) continue;
+      const int owner =
+          view.cluster.OwnerOfPartition(routing->MasterPartition(key));
+      std::string request;
+      voldemort::EncodeGetRequest(SimCluster::kVoldemortStore, key, &request);
+      auto response = cluster.network().Call(
+          kChecker, net::MakeAddress(net::Tier::kVoldemort, owner),
+          "v.get-noredirect", request);
+      if (!response.ok()) {
+        out->push_back({name(), "voldemort key " + key +
+                                    " unreadable at current owner node " +
+                                    std::to_string(owner) + ": " +
+                                    response.status().ToString()});
+        continue;
+      }
+      auto versions = voldemort::DecodeVersionedList(response.value());
+      if (!versions.ok()) continue;
+      bool found = false;
+      for (const auto& versioned : versions.value()) {
+        if (versioned.value == h.last_acked) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        out->push_back({name(), "voldemort key " + key + " acked '" +
+                                    h.last_acked +
+                                    "' missing at current owner node " +
+                                    std::to_string(owner)});
+      }
+    }
+  }
+
+  void CheckKafka(SimCluster& cluster,
+                  std::vector<InvariantViolation>* out) {
+    auto* manager = cluster.replicated_topics();
+    if (manager
+            ->ReassignmentTargetOf(SimCluster::kReplicatedTopic, 0)
+            .ok()) {
+      out->push_back(
+          {name(), "kafka reassignment still pending after settle"});
+    }
+    auto leader = manager->LeaderOf(SimCluster::kReplicatedTopic, 0);
+    if (!leader.ok()) {
+      out->push_back(
+          {name(), "replicated topic has no leader after settle"});
+      return;
+    }
+    std::set<std::string> present;
+    int64_t offset = 0;
+    for (;;) {
+      auto data = manager->FetchFromLeader(
+          kChecker, SimCluster::kReplicatedTopic, 0, offset, 1 << 20);
+      if (!data.ok()) {
+        out->push_back({name(),
+                        "replicated-topic leader unreadable after settle: " +
+                            data.status().ToString()});
+        return;
+      }
+      if (data.value().empty()) break;
+      kafka::MessageSetIterator it(data.value(), offset);
+      kafka::Message message;
+      while (it.Next(&message)) present.insert(message.payload);
+      if (it.next_fetch_offset() <= offset) break;
+      offset = it.next_fetch_offset();
+    }
+    for (const std::string& payload : cluster.replicated_acked()) {
+      if (present.count(payload) == 0) {
+        out->push_back({name(), "replicated-topic acked message '" + payload +
+                                    "' missing from leader broker " +
+                                    std::to_string(leader.value()) +
+                                    " after settle"});
+      }
+    }
+  }
+
+  void CheckEspresso(SimCluster& cluster,
+                     std::vector<InvariantViolation>* out) {
+    // Routing table vs participant agreement: the instance Helix routes a
+    // partition's writes to must actually have acknowledged mastership.
+    for (int p = 0; p < cluster.options().espresso_partitions; ++p) {
+      const std::string master =
+          cluster.helix().MasterOf(SimCluster::kEspressoDb, p);
+      if (master.empty()) continue;  // liveness checker reports masterless
+      bool found = false;
+      for (int i = 0; i < cluster.espresso_node_count(); ++i) {
+        auto* node = cluster.espresso_node(i);
+        if (node == nullptr || node->name() != master) continue;
+        found = true;
+        if (!node->IsMasterOf(SimCluster::kEspressoDb, p)) {
+          out->push_back({name(), master +
+                                      " routed as master of espresso "
+                                      "partition " +
+                                      std::to_string(p) +
+                                      " but never acknowledged mastership"});
+        }
+      }
+      if (!found) {
+        out->push_back({name(), "espresso partition " + std::to_string(p) +
+                                    " routed to missing node " + master});
+      }
+    }
+  }
+};
+
 /// Every tier answers again after the chaos: pings succeed, every Espresso
 /// partition has a master, every broker re-registered, and a fresh
 /// end-to-end write succeeds per tier. Runs LAST — its probe writes would
@@ -354,7 +493,7 @@ class LivenessResumed : public InvariantChecker {
 
   void Check(SimCluster& cluster,
              std::vector<InvariantViolation>* out) override {
-    for (int i = 0; i < cluster.options().voldemort_nodes; ++i) {
+    for (int i = 0; i < cluster.voldemort_node_count(); ++i) {
       auto pong = cluster.network().Call(
           kChecker, net::MakeAddress(net::Tier::kVoldemort, i), "v.ping", "");
       if (!pong.ok()) {
@@ -372,10 +511,9 @@ class LivenessResumed : public InvariantChecker {
     auto broker_ids = cluster.zookeeper().GetChildren("/kafka/brokers/ids");
     const int registered =
         broker_ids.ok() ? static_cast<int>(broker_ids.value().size()) : 0;
-    if (registered != cluster.options().kafka_brokers) {
+    if (registered != cluster.kafka_broker_count()) {
       out->push_back({name(), std::to_string(registered) + "/" +
-                                  std::to_string(
-                                      cluster.options().kafka_brokers) +
+                                  std::to_string(cluster.kafka_broker_count()) +
                                   " brokers registered after settle"});
     }
     // End-to-end probes with non-workload keys.
@@ -408,6 +546,7 @@ std::vector<std::unique_ptr<InvariantChecker>> StandardInvariants() {
   checkers.push_back(std::make_unique<TimelineConsistency>());
   checkers.push_back(std::make_unique<KafkaOffsets>());
   checkers.push_back(std::make_unique<VectorClockConvergence>());
+  checkers.push_back(std::make_unique<RebalanceOwnership>());
   // Liveness last: its probe writes must not disturb the accounting the
   // safety checkers above rely on.
   checkers.push_back(std::make_unique<LivenessResumed>());

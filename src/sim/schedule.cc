@@ -19,6 +19,8 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kIoFaultBurst: return "io-fault-burst";
     case EventKind::kIoFaultCalm: return "io-fault-calm";
     case EventKind::kWorkload: return "workload";
+    case EventKind::kAddNode: return "add-node";
+    case EventKind::kStartRebalance: return "start-rebalance";
   }
   return "?";
 }
@@ -57,32 +59,39 @@ Schedule GenerateSchedule(uint64_t seed, int num_events) {
     e.target = static_cast<int>(rng.Uniform(64));
     const uint64_t roll = rng.Uniform(100);
     // ~55% workload so invariants always have traffic to check, the rest
-    // spread over the fault families.
+    // spread over the fault families — including the elasticity events
+    // (add-node, start-rebalance), so the seed sweep and ddmin shrinking
+    // cover live rebalance schedules like any other fault.
     if (roll < 55) {
       e.kind = EventKind::kWorkload;
       e.magnitude = rng.UniformRange(1, 8);
-    } else if (roll < 63) {
+    } else if (roll < 61) {
       e.kind = EventKind::kPartition;
       e.magnitude = rng.UniformRange(1, 3);  // nodes on the minority side
-    } else if (roll < 71) {
+    } else if (roll < 68) {
       e.kind = EventKind::kHeal;
-    } else if (roll < 79) {
+    } else if (roll < 75) {
       e.kind = EventKind::kCrashNode;
-    } else if (roll < 87) {
+    } else if (roll < 82) {
       e.kind = EventKind::kRestartNode;
-    } else if (roll < 91) {
+    } else if (roll < 86) {
       e.kind = EventKind::kClockSkew;
       e.magnitude = rng.UniformRange(1000, 20'000'000);  // 1ms .. 20s
-    } else if (roll < 94) {
+    } else if (roll < 89) {
       e.kind = EventKind::kDelayBurst;
       e.magnitude = rng.UniformRange(100, 50'000);  // up to 50ms per hop
-    } else if (roll < 96) {
+    } else if (roll < 91) {
       e.kind = EventKind::kDelayCalm;
-    } else if (roll < 98) {
+    } else if (roll < 93) {
       e.kind = EventKind::kIoFaultBurst;
       e.magnitude = rng.UniformRange(10, 200);  // fault per-mille
-    } else {
+    } else if (roll < 95) {
       e.kind = EventKind::kIoFaultCalm;
+    } else if (roll < 97) {
+      e.kind = EventKind::kAddNode;
+    } else {
+      e.kind = EventKind::kStartRebalance;
+      e.magnitude = rng.UniformRange(1, 3);  // rebalance actions to step
     }
     schedule.events.push_back(e);
   }

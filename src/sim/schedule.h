@@ -24,6 +24,10 @@ enum class EventKind : uint8_t {
   kIoFaultBurst = 7,  // write/short-write/sync faults on `target`'s disk
   kIoFaultCalm = 8,
   kWorkload = 9,      // run `magnitude` ops of workload family `target`
+  kAddNode = 10,      // grow the tier `target` selects by one node (elastic
+                      // expansion; no-op once the growth cap is reached)
+  kStartRebalance = 11,  // step the tier `target` selects through
+                         // `magnitude` live partition-movement actions
 };
 
 const char* EventKindName(EventKind kind);

@@ -7,7 +7,10 @@
 #include <utility>
 
 #include "avro/datum.h"
+#include "kafka/message.h"
 #include "voldemort/cluster.h"
+#include "voldemort/routing.h"
+#include "voldemort/wire.h"
 
 namespace lidi::sim {
 
@@ -63,14 +66,17 @@ SimCluster::SimCluster(SimOptions options)
   }
   metadata_ = std::make_shared<voldemort::ClusterMetadata>(
       voldemort::Cluster::Uniform(nodes, 12));
-  voldemort::VoldemortServerOptions vserver_options;
-  vserver_options.quota_requests_per_sec = options_.overload_quota_per_sec;
-  vserver_options.quota_burst = options_.overload_quota_burst;
   for (int i = 0; i < options_.voldemort_nodes; ++i) {
     vservers_.push_back(std::make_unique<voldemort::VoldemortServer>(
-        i, metadata_, &network_, vserver_options));
+        i, metadata_, &network_, VoldemortOptionsFor()));
     MustOk(vservers_.back()->AddStore(kVoldemortStore), "voldemort AddStore");
   }
+  rebalancer_ = std::make_unique<voldemort::RebalanceExecutor>(
+      kVoldemortStore, metadata_, &network_);
+  rebalancer_->SetCutoverHook(
+      [this](const voldemort::RebalanceMove& move) {
+        OnVoldemortCutover(move);
+      });
   voldemort::StoreDefinition def;
   def.name = kVoldemortStore;
   def.replication_factor = std::min(3, options_.voldemort_nodes);
@@ -90,6 +96,14 @@ SimCluster::SimCluster(SimOptions options)
     MustOk(brokers_.back()->CreateTopic(kTopic, /*partitions=*/1),
            "kafka CreateTopic");
   }
+  replicated_ = std::make_unique<kafka::ReplicatedTopicManager>(&zookeeper_,
+                                                                &network_);
+  replicated_->set_allow_unsafe_transfer(options_.disable_handoff_safety);
+  std::vector<kafka::Broker*> replica_brokers;
+  for (auto& broker : brokers_) replica_brokers.push_back(broker.get());
+  MustOk(replicated_->CreateReplicatedTopic(kReplicatedTopic, /*partitions=*/1,
+                                            replica_brokers),
+         "kafka CreateReplicatedTopic");
   kafka::ProducerOptions producer_options;
   producer_options.seed = options_.seed ^ 0x9a0dULL;
   producer_ = std::make_unique<kafka::Producer>("producer", &zookeeper_,
@@ -149,6 +163,18 @@ SimCluster::~SimCluster() {
   network_.ClearHealListeners();
 }
 
+voldemort::VoldemortServerOptions SimCluster::VoldemortOptionsFor() const {
+  voldemort::VoldemortServerOptions options;
+  options.quota_requests_per_sec = options_.overload_quota_per_sec;
+  options.quota_burst = options_.overload_quota_burst;
+  options.disable_handoff_pairing = options_.disable_handoff_safety;
+  // Must match the client StoreDefinition built in the constructor: the
+  // server walks the N-wide preference list for partition fetches, handoff
+  // pairing, and slop re-resolution.
+  options.replication_factor = std::min(3, options_.voldemort_nodes);
+  return options;
+}
+
 kafka::BrokerOptions SimCluster::BrokerOptionsFor(int i) const {
   kafka::BrokerOptions options;
   options.log.data_dir = "/broker" + std::to_string(i);
@@ -205,53 +231,55 @@ void SimCluster::RecreateRelay() {
 // ---------------------------------------------------------------------------
 
 int SimCluster::CrashableEntities() const {
-  return options_.voldemort_nodes + options_.kafka_brokers +
-         options_.espresso_nodes + 3;  // primary, relay, bootstrap
+  // Live population sizes, not options_: kAddNode events grow the tiers and
+  // the new nodes must be crashable (and restartable) like any other.
+  return voldemort_node_count() + kafka_broker_count() +
+         espresso_node_count() + 3;  // primary, relay, bootstrap
 }
 
 std::string SimCluster::EntityName(int entity) const {
-  if (entity < options_.voldemort_nodes) {
+  if (entity < voldemort_node_count()) {
     return net::MakeAddress(net::Tier::kVoldemort, entity);
   }
-  entity -= options_.voldemort_nodes;
-  if (entity < options_.kafka_brokers) {
+  entity -= voldemort_node_count();
+  if (entity < kafka_broker_count()) {
     return "broker-" + std::to_string(entity);
   }
-  entity -= options_.kafka_brokers;
-  if (entity < options_.espresso_nodes) {
+  entity -= kafka_broker_count();
+  if (entity < espresso_node_count()) {
     return "esn-" + std::to_string(entity);
   }
-  entity -= options_.espresso_nodes;
+  entity -= espresso_node_count();
   return entity == 0 ? "primary" : entity == 1 ? "relay" : "bootstrap";
 }
 
 std::string SimCluster::CrashEntity(int entity) {
   const std::string name = EntityName(entity);
   int index = entity;
-  if (index < options_.voldemort_nodes) {
+  if (index < voldemort_node_count()) {
     if (!network_.IsNodeUp(net::MakeAddress(net::Tier::kVoldemort, index))) {
       return "noop (" + name + " already down)";
     }
     CrashVoldemort(index);
     return "crash " + name;
   }
-  index -= options_.voldemort_nodes;
-  if (index < options_.kafka_brokers) {
+  index -= voldemort_node_count();
+  if (index < kafka_broker_count()) {
     if (brokers_[static_cast<size_t>(index)] == nullptr) {
       return "noop (" + name + " already down)";
     }
     CrashBroker(index);
     return "crash " + name;
   }
-  index -= options_.kafka_brokers;
-  if (index < options_.espresso_nodes) {
+  index -= kafka_broker_count();
+  if (index < espresso_node_count()) {
     if (esp_nodes_[static_cast<size_t>(index)] == nullptr) {
       return "noop (" + name + " already down)";
     }
     CrashEspresso(index);
     return "crash " + name;
   }
-  index -= options_.espresso_nodes;
+  index -= espresso_node_count();
   if (index == 0) {
     if (primary_crashed_) return "noop (primary already down)";
     CrashPrimary();
@@ -270,30 +298,30 @@ std::string SimCluster::CrashEntity(int entity) {
 std::string SimCluster::RestartEntity(int entity) {
   const std::string name = EntityName(entity);
   int index = entity;
-  if (index < options_.voldemort_nodes) {
+  if (index < voldemort_node_count()) {
     if (network_.IsNodeUp(net::MakeAddress(net::Tier::kVoldemort, index))) {
       return "noop (" + name + " already up)";
     }
     RestartVoldemort(index);
     return "restart " + name;
   }
-  index -= options_.voldemort_nodes;
-  if (index < options_.kafka_brokers) {
+  index -= voldemort_node_count();
+  if (index < kafka_broker_count()) {
     if (brokers_[static_cast<size_t>(index)] != nullptr) {
       return "noop (" + name + " already up)";
     }
     RestartBroker(index);
     return "restart " + name;
   }
-  index -= options_.kafka_brokers;
-  if (index < options_.espresso_nodes) {
+  index -= kafka_broker_count();
+  if (index < espresso_node_count()) {
     if (esp_nodes_[static_cast<size_t>(index)] != nullptr) {
       return "noop (" + name + " already up)";
     }
     RestartEspresso(index);
     return "restart " + name;
   }
-  index -= options_.espresso_nodes;
+  index -= espresso_node_count();
   if (index == 0) {
     if (!primary_crashed_) return "noop (primary already up)";
     RestartPrimary();
@@ -341,6 +369,12 @@ void SimCluster::RestartBroker(int i) {
   // discard-ok: re-advertisement after restart; on failure produces to the
   // topic fail visibly and those messages are simply never acked.
   (void)brokers_[static_cast<size_t>(i)]->CreateTopic(kTopic,
+                                                      /*partitions=*/1);
+  // Re-open the replicated-topic logs too so the durable prefix recovers:
+  // a restarted replica must resume from its flushed bytes, or the
+  // reassignment catch-up gate would compare against an empty log.
+  // discard-ok: same visibility argument as the re-advertisement above.
+  (void)brokers_[static_cast<size_t>(i)]->CreateTopic(kReplicatedTopic,
                                                       /*partitions=*/1);
 }
 
@@ -390,6 +424,238 @@ void SimCluster::RestartPrimary() {
 }
 
 // ---------------------------------------------------------------------------
+// Elasticity: kAddNode / kStartRebalance event legs.
+// ---------------------------------------------------------------------------
+
+std::string SimCluster::AddNodeEvent(int target) {
+  switch (target % 3) {
+    case 0: return AddVoldemortNode();
+    case 1: return AddKafkaBroker();
+    default: return AddEspressoNode();
+  }
+}
+
+std::string SimCluster::StartRebalanceEvent(int target, int64_t magnitude) {
+  switch (target % 3) {
+    case 0: return StepVoldemortRebalance(magnitude);
+    case 1: return StepKafkaReassignment(magnitude);
+    default: return StepEspressoRebalance(magnitude);
+  }
+}
+
+std::string SimCluster::AddVoldemortNode() {
+  const int id = voldemort_node_count();
+  if (id >= 2 * options_.voldemort_nodes) {
+    return "noop (voldemort at growth cap)";
+  }
+  // The node joins the ring owning zero partitions; ownership moves only
+  // through the rebalance executor's copy + pair-write + cutover protocol.
+  metadata_->AddNode({id, net::MakeAddress(net::Tier::kVoldemort, id), 0});
+  vservers_.push_back(std::make_unique<voldemort::VoldemortServer>(
+      id, metadata_, &network_, VoldemortOptionsFor()));
+  MustOk(vservers_.back()->AddStore(kVoldemortStore),
+         "voldemort AddStore (elastic)");
+  return "add voldemort node " + std::to_string(id);
+}
+
+std::string SimCluster::AddKafkaBroker() {
+  const int id = kafka_broker_count();
+  if (id >= 2 * options_.kafka_brokers) {
+    return "noop (kafka at growth cap)";
+  }
+  io::FaultFsOptions broker_fs_options;
+  broker_fs_options.seed =
+      options_.seed ^ (0xb40cULL + static_cast<uint64_t>(id));
+  broker_disks_.push_back(
+      std::make_unique<io::FaultFs>(base_fs_.get(), broker_fs_options));
+  brokers_.push_back(std::make_unique<kafka::Broker>(
+      id, &zookeeper_, &network_, &clock_, BrokerOptionsFor(id)));
+  // Advertising kTopic adds a partition to the shared topic: the consumer's
+  // topic watch fires and its next Poll rebalances onto the new broker.
+  // discard-ok: a failed advertisement means produces never route here and
+  // nothing is acked against the new broker.
+  (void)brokers_.back()->CreateTopic(kTopic, /*partitions=*/1);
+  return "add kafka broker " + std::to_string(id);
+}
+
+std::string SimCluster::AddEspressoNode() {
+  const int id = espresso_node_count();
+  if (id >= 2 * options_.espresso_nodes) {
+    return "noop (espresso at growth cap)";
+  }
+  esp_nodes_.resize(static_cast<size_t>(id) + 1);
+  esp_sessions_.resize(static_cast<size_t>(id) + 1, 0);
+  // Deliberately staged: the participant connects here, but mastership only
+  // moves when kStartRebalance (or Settle) steps the Helix pipeline — so
+  // chaos schedules can interleave traffic with every transition.
+  StartEspressoNode(id);
+  return "add espresso node esn-" + std::to_string(id);
+}
+
+std::string SimCluster::StepVoldemortRebalance(int64_t magnitude) {
+  int steps = 0;
+  for (int64_t i = 0; i < magnitude; ++i) {
+    if (!rebalancer_->Step()) break;
+    ++steps;
+  }
+  return "voldemort rebalance steps=" + std::to_string(steps) +
+         " completed=" + std::to_string(rebalancer_->moves_completed()) +
+         " aborted=" + std::to_string(rebalancer_->moves_aborted());
+}
+
+std::string SimCluster::StepKafkaReassignment(int64_t magnitude) {
+  int actions = 0;
+  std::string note = "idle";
+  for (int64_t i = 0; i < magnitude; ++i) {
+    auto pending = replicated_->ReassignmentTargetOf(kReplicatedTopic, 0);
+    if (!pending.ok()) {
+      auto leader = replicated_->LeaderOf(kReplicatedTopic, 0);
+      if (!leader.ok()) break;
+      // Deterministic target pick: the highest-id live broker that does not
+      // already lead — i.e. the most recently added one.
+      kafka::Broker* chosen = nullptr;
+      for (int b = kafka_broker_count() - 1; b >= 0; --b) {
+        if (b == leader.value() || brokers_[static_cast<size_t>(b)] == nullptr) {
+          continue;
+        }
+        chosen = brokers_[static_cast<size_t>(b)].get();
+        break;
+      }
+      if (chosen == nullptr) {
+        note = "no live reassignment target";
+        break;
+      }
+      Status begun =
+          replicated_->BeginReassignment(kReplicatedTopic, 0, chosen);
+      if (!begun.ok()) {
+        note = "begin failed";
+        break;
+      }
+      ++actions;
+      note = "begin ->broker-" + std::to_string(chosen->id());
+    } else {
+      SyncReplicatedFollowers();
+      auto done = replicated_->TryCompleteReassignment(kReplicatedTopic, 0);
+      ++actions;
+      if (done.ok() && done.value()) {
+        note = "leader ->broker-" + std::to_string(pending.value());
+        CheckReplicatedLeaderComplete("kafka leadership transfer");
+      } else {
+        note = "catch-up ->broker-" + std::to_string(pending.value());
+      }
+    }
+  }
+  return "kafka reassignment actions=" + std::to_string(actions) + " " + note;
+}
+
+std::string SimCluster::StepEspressoRebalance(int64_t magnitude) {
+  const int executed = helix_->RebalanceOnce(static_cast<int>(magnitude));
+  for (auto& node : esp_nodes_) {
+    if (node != nullptr) node->CatchUpAll();
+  }
+  return "espresso rebalance transitions=" + std::to_string(executed) +
+         " epoch=" + std::to_string(helix_->RoutingEpoch());
+}
+
+void SimCluster::OnVoldemortCutover(const voldemort::RebalanceMove& move) {
+  // The online half of the rebalance-ownership invariant: the instant
+  // ownership flips, every clean-acked key of the moved partition must
+  // already be readable at the NEW owner — checked before slop pushes,
+  // read repair or Settle() can heal a pair-write hole (a post-settle-only
+  // check would pass even with pairing disabled).
+  const voldemort::RoutingView view = metadata_->Snapshot();
+  if (view.cluster.num_partitions() == 0) return;
+  auto routing = voldemort::NewConsistentRoutingStrategy(&view.cluster, 1);
+  for (const auto& [key, h] : voldemort_history_) {
+    if (!h.has_ack || h.attempted_after_ack) continue;
+    if (routing->MasterPartition(key) != move.partition) continue;
+    std::string request;
+    voldemort::EncodeGetRequest(kVoldemortStore, key, &request);
+    auto response = network_.Call(
+        "sim-rebalance-check",
+        net::MakeAddress(net::Tier::kVoldemort, move.to_node),
+        "v.get-noredirect", request);
+    // An unreachable new owner is a liveness outcome the settle-time
+    // checkers judge; only a successful read that lacks the acked value is
+    // a handoff hole.
+    if (!response.ok()) continue;
+    auto versions = voldemort::DecodeVersionedList(response.value());
+    if (!versions.ok()) continue;
+    bool found = false;
+    for (const auto& versioned : versions.value()) {
+      if (versioned.value == h.last_acked) {
+        found = true;
+        break;
+      }
+    }
+    if (found) continue;
+    // A quorum write acked while the master was down leaves the acked value
+    // on replicas/slops only; the copy faithfully moved everything the
+    // source had, and anti-entropy heals the rest (settle-time checkers
+    // judge that). Only a value the SOURCE holds but the destination lacks
+    // is a copy/pair-write hole — which is precisely what disabling the
+    // handoff pair produces.
+    auto source_response = network_.Call(
+        "sim-rebalance-check",
+        net::MakeAddress(net::Tier::kVoldemort, move.from_node),
+        "v.get-noredirect", request);
+    if (!source_response.ok()) continue;
+    auto source_versions = voldemort::DecodeVersionedList(source_response.value());
+    if (!source_versions.ok()) continue;
+    bool source_has_it = false;
+    for (const auto& versioned : source_versions.value()) {
+      if (versioned.value == h.last_acked) {
+        source_has_it = true;
+        break;
+      }
+    }
+    if (source_has_it) {
+      online_violations_.push_back(
+          {"rebalance-ownership",
+           "voldemort key " + key + " acked '" + h.last_acked +
+               "' missing at new owner node " + std::to_string(move.to_node) +
+               " at partition " + std::to_string(move.partition) +
+               " cutover"});
+    }
+  }
+}
+
+void SimCluster::SyncReplicatedFollowers() {
+  for (auto& broker : brokers_) {
+    if (broker == nullptr) continue;
+    kafka::ReplicaFetcher fetcher(broker.get(), replicated_.get(), &network_);
+    // discard-ok: a follower that cannot reach the leader simply stays
+    // behind; the catch-up gate keeps leadership where the data is.
+    (void)fetcher.SyncOnce(kReplicatedTopic, /*partitions=*/1);
+  }
+}
+
+void SimCluster::CheckReplicatedLeaderComplete(const std::string& context) {
+  std::set<std::string> present;
+  int64_t offset = 0;
+  for (;;) {
+    auto data = replicated_->FetchFromLeader("sim-rebalance-check",
+                                             kReplicatedTopic, 0, offset,
+                                             1 << 20);
+    if (!data.ok()) return;  // leader unreachable: cannot assess, skip
+    if (data.value().empty()) break;
+    kafka::MessageSetIterator it(data.value(), offset);
+    kafka::Message message;
+    while (it.Next(&message)) present.insert(message.payload);
+    if (it.next_fetch_offset() <= offset) break;
+    offset = it.next_fetch_offset();
+  }
+  for (const std::string& payload : replicated_acked_) {
+    if (present.count(payload) == 0) {
+      online_violations_.push_back(
+          {"rebalance-ownership",
+           "replicated-topic message '" + payload +
+               "' missing from the current leader's log at " + context});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Event application.
 // ---------------------------------------------------------------------------
 
@@ -398,13 +664,13 @@ void SimCluster::ApplyEvent(const SimEvent& event) {
   switch (event.kind) {
     case EventKind::kPartition: {
       std::vector<net::Address> candidates;
-      for (int i = 0; i < options_.voldemort_nodes; ++i) {
+      for (int i = 0; i < voldemort_node_count(); ++i) {
         candidates.push_back(net::MakeAddress(net::Tier::kVoldemort, i));
       }
-      for (int i = 0; i < options_.kafka_brokers; ++i) {
+      for (int i = 0; i < kafka_broker_count(); ++i) {
         candidates.push_back(net::MakeAddress(net::Tier::kKafkaBroker, i));
       }
-      for (int i = 0; i < options_.espresso_nodes; ++i) {
+      for (int i = 0; i < espresso_node_count(); ++i) {
         candidates.push_back("esn-" + std::to_string(i));
       }
       candidates.push_back("relay");
@@ -471,6 +737,13 @@ void SimCluster::ApplyEvent(const SimEvent& event) {
                std::to_string(ops) + " acked=" + std::to_string(acked);
       break;
     }
+    case EventKind::kAddNode:
+      effect = AddNodeEvent(event.target);
+      break;
+    case EventKind::kStartRebalance:
+      effect = StartRebalanceEvent(event.target,
+                                   std::max<int64_t>(event.magnitude, 1));
+      break;
   }
   TraceLine(event, effect);
   Pump();
@@ -561,6 +834,17 @@ int64_t SimCluster::WorkloadKafka(int64_t ops) {
     if (producer_->Send(kTopic, payload).ok()) {
       kafka_acked_.insert(payload);
       ++acked;
+    }
+    // Replicated-topic leg: one message per op through the leader, so a
+    // reassignment always races live produce traffic. Acked means the
+    // leader flushed it; leadership may only move to a caught-up follower.
+    const std::string rpayload = "rk" + std::to_string(kafka_seq_++);
+    kafka::MessageSetBuilder builder;
+    builder.Add(rpayload);
+    if (replicated_
+            ->ProduceToLeader("producer", kReplicatedTopic, 0, builder.Build())
+            .ok()) {
+      replicated_acked_.insert(rpayload);
     }
   }
   for (int round = 0; round < 2; ++round) {
@@ -674,6 +958,23 @@ void SimCluster::Settle() {
   for (auto& broker : brokers_) {
     if (broker != nullptr) broker->SetQuotaEnforcing(false);
   }
+  // Drain in-flight elastic work now that everything is reachable: the
+  // voldemort executor finishes (or aborts) pending migrations, and any
+  // pending kafka reassignment completes once the target catches up.
+  // discard-ok: a rebalance that still cannot converge leaves migrations
+  // pending, which the rebalance-ownership checker reports explicitly.
+  (void)rebalancer_->DriveToCompletion();
+  for (int round = 0; round < 8; ++round) {
+    auto pending = replicated_->ReassignmentTargetOf(kReplicatedTopic, 0);
+    if (!pending.ok()) break;  // nothing pending
+    SyncReplicatedFollowers();
+    auto done = replicated_->TryCompleteReassignment(kReplicatedTopic, 0);
+    if (done.ok() && done.value()) {
+      CheckReplicatedLeaderComplete("settle-time reassignment completion");
+      break;
+    }
+  }
+  SyncReplicatedFollowers();
   for (int round = 0; round < 6; ++round) {
     // Repeated convergence rounds after the heal; a transiently failing
     // poll is retried next round, and the databus-lag invariant catches a

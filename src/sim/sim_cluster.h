@@ -22,11 +22,13 @@
 #include "kafka/broker.h"
 #include "kafka/consumer.h"
 #include "kafka/producer.h"
+#include "kafka/replication.h"
 #include "net/network.h"
 #include "sim/invariants.h"
 #include "sim/schedule.h"
 #include "sqlstore/database.h"
 #include "voldemort/client.h"
+#include "voldemort/rebalance.h"
 #include "voldemort/server.h"
 #include "zk/zookeeper.h"
 
@@ -54,6 +56,13 @@ struct SimOptions {
   /// convergence is never throttled.
   double overload_quota_per_sec = 0;
   double overload_quota_burst = 4;
+  /// TEST-ONLY kill switch for the rebalance safety mechanisms (ISSUE 10):
+  /// disables Voldemort proxy-pair double-routing during partition handoff
+  /// AND lets Kafka leadership transfers skip the follower catch-up gate.
+  /// The rebalance acceptance tests run the same elastic schedule with this
+  /// on and assert that invariants now FAIL, proving the safety paths are
+  /// load-bearing and the tests have teeth. Never set outside tests.
+  bool disable_handoff_safety = false;
 };
 
 /// Per-key write history the workload generators maintain and the invariant
@@ -119,6 +128,13 @@ class SimCluster {
   const std::string& trace() const { return trace_; }
   const SimOptions& options() const { return options_; }
 
+  // --- live population sizes (elastic: kAddNode events grow the tiers, so
+  // checkers must use these, never the *initial* counts in options()) ---
+
+  int voldemort_node_count() const { return static_cast<int>(vservers_.size()); }
+  int kafka_broker_count() const { return static_cast<int>(brokers_.size()); }
+  int espresso_node_count() const { return static_cast<int>(esp_nodes_.size()); }
+
   // --- component access (invariant checkers and tests) ---
 
   net::Network& network() { return network_; }
@@ -144,6 +160,11 @@ class SimCluster {
   }
   helix::HelixController& helix() { return *helix_; }
   io::FaultFs* primary_disk() { return primary_disk_.get(); }
+  voldemort::ClusterMetadata* voldemort_metadata() { return metadata_.get(); }
+  voldemort::RebalanceExecutor* rebalancer() { return rebalancer_.get(); }
+  kafka::ReplicatedTopicManager* replicated_topics() {
+    return replicated_.get();
+  }
 
   // --- workload bookkeeping (read by checkers) ---
 
@@ -160,6 +181,11 @@ class SimCluster {
   const std::vector<std::string>& kafka_consumed() const {
     return kafka_consumed_;
   }
+  /// Payloads acked on the replicated topic — the rebalance-ownership
+  /// checker requires every one of them in the CURRENT leader's log.
+  const std::set<std::string>& replicated_acked() const {
+    return replicated_acked_;
+  }
   /// The follower's materialized table (key -> encoded row), built from the
   /// Databus event stream.
   const std::map<std::string, std::string>& follower_rows() const {
@@ -172,6 +198,9 @@ class SimCluster {
   }
 
   static constexpr const char* kTopic = "events";
+  /// Single-partition replicated topic exercised by the Kafka reassignment
+  /// path (leadership only moves after follower catch-up).
+  static constexpr const char* kReplicatedTopic = "revents";
   static constexpr const char* kVoldemortStore = "store";
   static constexpr const char* kPrimaryTable = "profiles";
   static constexpr const char* kEspressoDb = "db";
@@ -195,6 +224,34 @@ class SimCluster {
   void CrashPrimary();
   void RestartPrimary();
 
+  // --- elasticity (kAddNode / kStartRebalance event legs) ---
+
+  /// Grows the tier `target % 3` selects by one node; no-op with a trace
+  /// note once that tier hit its growth cap (2x the initial deployment, so
+  /// schedules stay bounded and shrinkable).
+  std::string AddNodeEvent(int target);
+  /// Steps the tier `target % 3` selects through up to `magnitude` live
+  /// partition-movement actions (Voldemort copy/cutover steps, Kafka
+  /// reassignment begin/sync/complete, Helix MASTER/SLAVE transitions).
+  std::string StartRebalanceEvent(int target, int64_t magnitude);
+  std::string AddVoldemortNode();
+  std::string AddKafkaBroker();
+  std::string AddEspressoNode();
+  std::string StepVoldemortRebalance(int64_t magnitude);
+  std::string StepKafkaReassignment(int64_t magnitude);
+  std::string StepEspressoRebalance(int64_t magnitude);
+  /// Fired by the RebalanceExecutor the moment ownership flips: reads every
+  /// clean-acked key of the moved partition back from its NEW owner before
+  /// any later repair could mask a hole (the online half of the
+  /// rebalance-ownership invariant).
+  void OnVoldemortCutover(const voldemort::RebalanceMove& move);
+  /// One follower pull pass for the replicated topic on every live broker.
+  void SyncReplicatedFollowers();
+  /// Verifies the current replicated-topic leader's log still contains
+  /// every acked payload; records an online violation otherwise.
+  void CheckReplicatedLeaderComplete(const std::string& context);
+
+  voldemort::VoldemortServerOptions VoldemortOptionsFor() const;
   kafka::BrokerOptions BrokerOptionsFor(int i) const;
   sqlstore::BinlogOptions PrimaryBinlogOptions() const;
   void StartEspressoNode(int i);
@@ -238,11 +295,13 @@ class SimCluster {
   std::shared_ptr<voldemort::ClusterMetadata> metadata_;
   std::vector<std::unique_ptr<voldemort::VoldemortServer>> vservers_;
   std::unique_ptr<voldemort::StoreClient> vclient_;
+  std::unique_ptr<voldemort::RebalanceExecutor> rebalancer_;
 
   // Kafka tier.
   std::vector<std::unique_ptr<kafka::Broker>> brokers_;
   std::unique_ptr<kafka::Producer> producer_;
   std::unique_ptr<kafka::Consumer> consumer_;
+  std::unique_ptr<kafka::ReplicatedTopicManager> replicated_;
 
   // Primary DB + Databus tier.
   std::unique_ptr<sqlstore::Database> primary_;
@@ -265,6 +324,7 @@ class SimCluster {
   std::map<std::string, KeyHistory> primary_history_;
   std::map<std::string, KeyHistory> espresso_history_;
   std::set<std::string> kafka_acked_;
+  std::set<std::string> replicated_acked_;
   std::vector<std::string> kafka_consumed_;
   std::map<std::string, int64_t> committed_offsets_;  // zk path -> offset
   std::map<std::string, std::string> follower_rows_;

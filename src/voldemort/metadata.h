@@ -22,9 +22,28 @@ struct Migration {
   int to_node = -1;
 };
 
+/// One coherent routing decision's worth of metadata: topology, in-flight
+/// migrations, and the version they were observed at, captured under a
+/// single lock acquisition. Routing a request off two separate reads
+/// (cluster, then migrations) can tear across a concurrent rebalance step —
+/// the ownership flip lands between the reads and the request is routed to
+/// a node that no longer (or does not yet) own the partition.
+struct RoutingView {
+  Cluster cluster;
+  std::map<int, Migration> migrations;
+  int64_t version = 0;
+
+  std::optional<Migration> MigrationOf(int partition) const {
+    auto it = migrations.find(partition);
+    if (it == migrations.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
 /// Shared, mutable cluster metadata. Every node and client holds the full
 /// topology (this object), which is what makes routing O(1) (Section II.A).
-/// Thread-safe.
+/// Thread-safe. Every mutation bumps `version`, so handoff-sensitive readers
+/// can detect that the ring changed between two looks (DESIGN.md §13).
 class ClusterMetadata {
  public:
   explicit ClusterMetadata(Cluster cluster) : cluster_(std::move(cluster)) {}
@@ -33,6 +52,22 @@ class ClusterMetadata {
   Cluster SnapshotCluster() const {
     ReaderLock lock(&mu_);
     return cluster_;
+  }
+
+  /// Atomic snapshot of topology + migrations + version under ONE reader
+  /// acquisition. Handoff-sensitive paths (proxy routing, the rebalance
+  /// executor) must use this rather than separate SnapshotCluster /
+  /// MigrationOf calls, which can tear across a concurrent ownership flip.
+  RoutingView Snapshot() const {
+    ReaderLock lock(&mu_);
+    return RoutingView{cluster_, migrations_, version_};
+  }
+
+  /// Monotone metadata version: bumped by every topology or migration-set
+  /// mutation. Equal versions imply identical routing state.
+  int64_t version() const {
+    ReaderLock lock(&mu_);
+    return version_;
   }
 
   int OwnerOfPartition(int partition) const {
@@ -66,6 +101,7 @@ class ClusterMetadata {
     WriterLock lock(&mu_);
     migrations_[partition] =
         Migration{partition, cluster_.OwnerOfPartition(partition), to_node};
+    ++version_;
   }
 
   /// Completes a migration: ownership flips to the destination node.
@@ -75,12 +111,13 @@ class ClusterMetadata {
     if (it == migrations_.end()) return;
     cluster_.MovePartition(partition, it->second.to_node);
     migrations_.erase(it);
+    ++version_;
   }
 
   /// Abandons a migration without flipping ownership (copy failed).
   void AbortMigration(int partition) {
     WriterLock lock(&mu_);
-    migrations_.erase(partition);
+    if (migrations_.erase(partition) > 0) ++version_;
   }
 
   /// Registers a new node (cluster expansion without downtime).
@@ -94,6 +131,7 @@ class ClusterMetadata {
     }
     cluster_ = Cluster(std::move(nodes), std::move(ownership),
                        cluster_.zones());
+    ++version_;
   }
 
  private:
@@ -103,6 +141,7 @@ class ClusterMetadata {
   mutable SharedMutex mu_{"voldemort.metadata"};
   Cluster cluster_ LIDI_GUARDED_BY(mu_);
   std::map<int, Migration> migrations_ LIDI_GUARDED_BY(mu_);
+  int64_t version_ LIDI_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lidi::voldemort

@@ -1,6 +1,8 @@
 #include "net/address.h"
 #include "voldemort/server.h"
 
+#include <algorithm>
+
 #include "common/coding.h"
 #include "storage/log_engine.h"
 #include "voldemort/client.h"
@@ -56,7 +58,13 @@ VoldemortServer::VoldemortServer(int node_id,
                      [this](Slice req) -> Result<std::string> {
                        Status admit = AdmitClient("delete");
                        if (!admit.ok()) return admit;
-                       return HandleDelete(req);
+                       return HandleDelete(req, /*allow_redirect=*/true);
+                     });
+  network_->Register(address_, "v.delete-noredirect",
+                     [this](Slice req) -> Result<std::string> {
+                       Status admit = AdmitClient("delete");
+                       if (!admit.ok()) return admit;
+                       return HandleDelete(req, /*allow_redirect=*/false);
                      });
   network_->Register(address_, "v.slop",
                      [this](Slice req) { return HandleSlop(req); });
@@ -221,31 +229,61 @@ storage::StorageEngine* VoldemortServer::GetEngineLocked(
   return it == engines_.end() ? nullptr : it->second.get();
 }
 
-std::optional<Result<std::string>> VoldemortServer::MaybeRedirect(
-    const std::string& method, Slice key, Slice request) {
-  const Cluster cluster = metadata_->SnapshotCluster();
-  if (cluster.num_partitions() == 0) return std::nullopt;
-  auto routing = NewConsistentRoutingStrategy(&cluster, 1);
-  const int partition = routing->MasterPartition(key);
-  const auto migration = metadata_->MigrationOf(partition);
-  if (!migration.has_value() || migration->from_node != node_id_) {
-    return std::nullopt;
+std::vector<Migration> VoldemortServer::HandoffsOf(Slice key) const {
+  if (options_.disable_handoff_pairing) return {};
+  // ONE atomic snapshot of topology + migrations. Reading them through two
+  // separate accessors (the old SnapshotCluster / MigrationOf pair) tears
+  // across a concurrent cutover: the ownership flip can land between the
+  // reads and this node proxies for a partition it still believes it owns —
+  // or fails to pair-write one it is mid-handoff on.
+  const RoutingView view = metadata_->Snapshot();
+  if (view.cluster.num_partitions() == 0) return {};
+  auto routing =
+      NewConsistentRoutingStrategy(&view.cluster, options_.replication_factor);
+  // Every partition in the key's preference list can strand a replica if it
+  // migrates away un-paired, not just the master partition: the N-1 replica
+  // slots are what quorum reads fall back on.
+  std::vector<Migration> handoffs;
+  for (int partition : routing->PartitionList(key)) {
+    const auto migration = view.MigrationOf(partition);
+    if (migration.has_value() && migration->from_node == node_id_) {
+      handoffs.push_back(*migration);
+    }
   }
-  // The partition is moving away from this node: proxy to the destination.
-  return network_->Call(address_, net::MakeAddress(net::Tier::kVoldemort, migration->to_node),
-                        method + "-noredirect", request);
+  return handoffs;
+}
+
+Status VoldemortServer::ForwardToHandoffPeer(const Migration& migration,
+                                             const std::string& method,
+                                             Slice request) {
+  const net::Address peer =
+      net::MakeAddress(net::Tier::kVoldemort, migration.to_node);
+  auto forwarded = network_->Call(address_, peer, method, request);
+  if (forwarded.ok() || forwarded.status().IsObsoleteVersion()) {
+    // Delivered, or the destination already holds a dominating version.
+    return Status::OK();
+  }
+  // The mid-migration error contract (transport_parity_test): the pair
+  // write could not reach the new owner, so acking would break the
+  // "readable at current owner" invariant the moment cutover lands. The
+  // message is server-generated and stable — never the transport's own
+  // failure text, which is backend-specific.
+  return Status::Unavailable("handoff pair write to " + peer +
+                             " failed for partition " +
+                             std::to_string(migration.partition));
 }
 
 Result<std::string> VoldemortServer::HandleGet(Slice request,
                                                bool allow_redirect) {
+  // Reads are served locally even mid-migration: the pair-write protocol
+  // keeps this node's copy complete until cutover, and after cutover the
+  // routing layer no longer sends reads here. (allow_redirect is kept so
+  // the -noredirect variant stays a distinct method for the invariant
+  // checker's owner-directed reads.)
+  (void)allow_redirect;  // discard-ok: local serve on both variants, see above
   std::string store, key;
   Status s = DecodeGetRequest(request, &store, &key);
   if (!s.ok()) return s;
-  if (allow_redirect) {
-    if (auto redirected = MaybeRedirect("v.get", key, request)) {
-      return *redirected;
-    }
-  }
   MutexLock lock(&mu_);
   storage::StorageEngine* engine = GetEngineLocked(store);
   if (engine == nullptr) return Status::NotFound("no store " + store);
@@ -262,42 +300,58 @@ Result<std::string> VoldemortServer::HandlePut(Slice request,
   Transform transform;
   Status s = DecodePutRequest(request, &store, &key, &incoming, &transform);
   if (!s.ok()) return s;
-  if (allow_redirect) {
-    if (auto redirected = MaybeRedirect("v.put", key, request)) {
-      return *redirected;
+  const std::vector<Migration> handoffs =
+      allow_redirect ? HandoffsOf(key) : std::vector<Migration>{};
+
+  {
+    MutexLock lock(&mu_);
+    storage::StorageEngine* engine = GetEngineLocked(store);
+    if (engine == nullptr) return Status::NotFound("no store " + store);
+
+    std::string existing_encoded;
+    std::vector<Versioned> list;
+    if (engine->Get(key, &existing_encoded).ok()) {
+      auto decoded = DecodeVersionedList(existing_encoded);
+      if (!decoded.ok()) return decoded.status();
+      list = std::move(decoded.value());
+    }
+
+    if (transform.type == Transform::Type::kAppend) {
+      // Server-side transformed put: apply the append against the node's
+      // current resolved value, then insert the result under the incoming
+      // clock. Saves shipping the whole list through the client (II.B).
+      std::vector<Versioned> resolved = ResolveConcurrent(list);
+      const Slice base =
+          resolved.empty() ? Slice() : Slice(resolved.back().value);
+      auto transformed = ApplyTransform(transform, base);
+      if (!transformed.ok()) return transformed.status();
+      incoming.value = std::move(transformed.value());
+    }
+
+    s = InsertVersioned(&list, incoming);
+    if (!s.ok()) return s;
+    std::string encoded;
+    EncodeVersionedList(list, &encoded);
+    s = engine->Put(key, encoded);
+    if (!s.ok()) return s;
+  }
+
+  if (!handoffs.empty()) {
+    // Proxy-pair double-route (paper II.B Admin Service): while any of the
+    // key's partitions migrates away, every write lands on BOTH the old and
+    // the new owner, so the destination is complete from the instant of the
+    // bulk copy regardless of interleaving. The forward carries the
+    // locally-resolved value under the incoming clock (transform already
+    // applied above) so the two replicas store identical bytes. mu_ is
+    // released before these network calls.
+    std::string fwd;
+    Versioned resolved = incoming;
+    EncodePutRequest(store, key, resolved, Transform{}, &fwd);
+    for (const Migration& handoff : handoffs) {
+      Status paired = ForwardToHandoffPeer(handoff, "v.put-noredirect", fwd);
+      if (!paired.ok()) return paired;
     }
   }
-
-  MutexLock lock(&mu_);
-  storage::StorageEngine* engine = GetEngineLocked(store);
-  if (engine == nullptr) return Status::NotFound("no store " + store);
-
-  std::string existing_encoded;
-  std::vector<Versioned> list;
-  if (engine->Get(key, &existing_encoded).ok()) {
-    auto decoded = DecodeVersionedList(existing_encoded);
-    if (!decoded.ok()) return decoded.status();
-    list = std::move(decoded.value());
-  }
-
-  if (transform.type == Transform::Type::kAppend) {
-    // Server-side transformed put: apply the append against the node's
-    // current resolved value, then insert the result under the incoming
-    // clock. Saves shipping the whole list through the client (II.B).
-    std::vector<Versioned> resolved = ResolveConcurrent(list);
-    const Slice base =
-        resolved.empty() ? Slice() : Slice(resolved.back().value);
-    auto transformed = ApplyTransform(transform, base);
-    if (!transformed.ok()) return transformed.status();
-    incoming.value = std::move(transformed.value());
-  }
-
-  s = InsertVersioned(&list, incoming);
-  if (!s.ok()) return s;
-  std::string encoded;
-  EncodeVersionedList(list, &encoded);
-  s = engine->Put(key, encoded);
-  if (!s.ok()) return s;
   // Respond with the stored value bytes so transformed puts can be
   // replicated verbatim by the client library.
   return incoming.value;
@@ -334,41 +388,53 @@ Result<std::string> VoldemortServer::HandleGetTransform(Slice request) {
   return out;
 }
 
-Result<std::string> VoldemortServer::HandleDelete(Slice request) {
+Result<std::string> VoldemortServer::HandleDelete(Slice request,
+                                                  bool allow_redirect) {
   std::string store, key;
   VectorClock clock;
   Status s = DecodeDeleteRequest(request, &store, &key, &clock);
   if (!s.ok()) return s;
-  MutexLock lock(&mu_);
-  storage::StorageEngine* engine = GetEngineLocked(store);
-  if (engine == nullptr) return Status::NotFound("no store " + store);
-  std::string existing_encoded;
-  if (!engine->Get(key, &existing_encoded).ok()) {
-    return std::string("0");
-  }
-  auto decoded = DecodeVersionedList(existing_encoded);
-  if (!decoded.ok()) return decoded.status();
-  std::vector<Versioned> remaining;
+  const std::vector<Migration> handoffs =
+      allow_redirect ? HandoffsOf(key) : std::vector<Migration>{};
   int64_t dropped = 0;
-  for (Versioned& v : decoded.value()) {
-    // Delete versions the supplied clock dominates or equals.
-    const Occurred o = clock.Compare(v.version);
-    if (o == Occurred::kAfter || o == Occurred::kEqual) {
-      ++dropped;
-    } else {
-      remaining.push_back(std::move(v));
+  {
+    MutexLock lock(&mu_);
+    storage::StorageEngine* engine = GetEngineLocked(store);
+    if (engine == nullptr) return Status::NotFound("no store " + store);
+    std::string existing_encoded;
+    if (engine->Get(key, &existing_encoded).ok()) {
+      auto decoded = DecodeVersionedList(existing_encoded);
+      if (!decoded.ok()) return decoded.status();
+      std::vector<Versioned> remaining;
+      for (Versioned& v : decoded.value()) {
+        // Delete versions the supplied clock dominates or equals.
+        const Occurred o = clock.Compare(v.version);
+        if (o == Occurred::kAfter || o == Occurred::kEqual) {
+          ++dropped;
+        } else {
+          remaining.push_back(std::move(v));
+        }
+      }
+      if (remaining.empty()) {
+        Status applied = engine->Delete(key);
+        if (!applied.ok()) return applied;
+      } else {
+        std::string encoded;
+        EncodeVersionedList(remaining, &encoded);
+        // The reply below acks "dropped N versions"; if the narrowed list
+        // never reached the engine nothing was dropped and the ack would be
+        // a lie.
+        Status applied = engine->Put(key, encoded);
+        if (!applied.ok()) return applied;
+      }
     }
   }
-  if (remaining.empty()) {
-    Status applied = engine->Delete(key);
-    if (!applied.ok()) return applied;
-  } else {
-    std::string encoded;
-    EncodeVersionedList(remaining, &encoded);
-    // The reply below acks "dropped N versions"; if the narrowed list never
-    // reached the engine nothing was dropped and the ack would be a lie.
-    Status applied = engine->Put(key, encoded);
-    if (!applied.ok()) return applied;
+  for (const Migration& handoff : handoffs) {
+    // Tombstones pair-route like puts: a delete that only the old owner
+    // applied would resurrect the key at cutover.
+    Status paired =
+        ForwardToHandoffPeer(handoff, "v.delete-noredirect", request);
+    if (!paired.ok()) return paired;
   }
   return std::to_string(dropped);
 }
@@ -405,6 +471,29 @@ int VoldemortServer::PushSlops() {
       (void)slop_engine_->Delete(slop_key);
       continue;
     }
+    // Re-resolve the hint against the CURRENT ring before delivery. The
+    // slop records the node that missed the write, but a rebalance may have
+    // moved the key's partitions since the hint was parked — delivering to
+    // the recorded node would then strand the value on a node the read path
+    // no longer visits. If the recorded destination fell out of the key's
+    // preference list, redirect the hint to the current master instead.
+    std::string hint_store, hint_key;
+    Versioned hint_versioned;
+    Transform hint_transform;
+    if (DecodePutRequest(put_request, &hint_store, &hint_key, &hint_versioned,
+                         &hint_transform)
+            .ok()) {
+      const RoutingView view = metadata_->Snapshot();
+      if (view.cluster.num_partitions() > 0) {
+        auto routing = NewConsistentRoutingStrategy(
+            &view.cluster, options_.replication_factor);
+        const std::vector<int> owners = routing->RouteRequest(hint_key);
+        if (!owners.empty() && std::find(owners.begin(), owners.end(),
+                                         destination) == owners.end()) {
+          destination = owners.front();
+        }
+      }
+    }
     auto r = network_->Call(address_, net::MakeAddress(net::Tier::kVoldemort, destination),
                             "v.put-noredirect", put_request);
     if (r.ok() || r.status().IsObsoleteVersion()) {
@@ -430,7 +519,8 @@ Result<std::string> VoldemortServer::HandleFetchPartition(Slice request) {
   }
   const std::string store = store_slice.ToString();
   const Cluster cluster = metadata_->SnapshotCluster();
-  auto routing = NewConsistentRoutingStrategy(&cluster, 1);
+  auto routing =
+      NewConsistentRoutingStrategy(&cluster, options_.replication_factor);
 
   MutexLock lock(&mu_);
   storage::StorageEngine* engine = GetEngineLocked(store);
@@ -439,7 +529,14 @@ Result<std::string> VoldemortServer::HandleFetchPartition(Slice request) {
   int64_t count = 0;
   std::string body;
   engine->ForEach([&](Slice key, Slice value) {
-    if (routing->MasterPartition(key) == static_cast<int>(partition)) {
+    // A partition "covers" every key whose N-wide preference list contains
+    // it, not just the keys it masters: the owner of a replica partition
+    // holds replica copies, and a bulk copy that moved only master keys
+    // would strand those replicas on the old owner (quorum reads over the
+    // new ring would then miss acked values).
+    const std::vector<int> preference = routing->PartitionList(key);
+    if (std::find(preference.begin(), preference.end(),
+                  static_cast<int>(partition)) != preference.end()) {
       PutLengthPrefixed(&body, key);
       PutLengthPrefixed(&body, value);
       ++count;

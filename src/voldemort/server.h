@@ -29,6 +29,21 @@ struct VoldemortServerOptions {
   double quota_requests_per_sec = 0;
   /// Bucket capacity in requests (allowed burst above the sustained rate).
   double quota_burst = 16;
+  /// TEST-ONLY kill switch for the proxy-pair handoff protocol: when true,
+  /// writes to a partition that is migrating away are applied locally only —
+  /// never paired to the destination. The rebalance acceptance tests flip
+  /// this to prove they have teeth: the same chaos schedule that passes with
+  /// pairing on must lose acked writes at the new owner with it off
+  /// (ISSUE 10 acceptance criteria). Never set in production paths.
+  bool disable_handoff_pairing = false;
+  /// Replication factor N of the store definitions this node serves. The
+  /// server needs it wherever it reasons about which keys a *partition*
+  /// covers: a node holds a key when ANY of the key's N preference-list
+  /// partitions lives here, so partition fetches (rebalancing bulk copy),
+  /// handoff pair-routing, and slop re-resolution must all walk the full
+  /// PartitionList, not just the master partition. Must match the client's
+  /// StoreDefinition::replication_factor.
+  int replication_factor = 3;
 };
 
 /// A Voldemort storage node. Hosts one storage engine per read-write store
@@ -37,7 +52,8 @@ struct VoldemortServerOptions {
 /// service (add/delete store, partition fetch for rebalancing) without
 /// downtime (paper Section II.B).
 ///
-/// Registered RPC methods: v.get, v.put, v.delete, v.slop, v.push-slops,
+/// Registered RPC methods: v.get, v.put, v.delete (plus their -noredirect
+/// variants, which skip handoff pair-routing), v.slop, v.push-slops,
 /// v.ping, ro.get, ro.swap, ro.rollback, admin.add-store, admin.delete-store,
 /// admin.fetch-partition, admin.put-raw.
 class VoldemortServer {
@@ -96,16 +112,26 @@ class VoldemortServer {
   Result<std::string> HandleGet(Slice request, bool allow_redirect);
   Result<std::string> HandleGetTransform(Slice request);
   Result<std::string> HandlePut(Slice request, bool allow_redirect);
-  Result<std::string> HandleDelete(Slice request);
+  Result<std::string> HandleDelete(Slice request, bool allow_redirect);
   Result<std::string> HandleSlop(Slice request);
   Result<std::string> HandleFetchPartition(Slice request);
   Result<std::string> HandlePutRaw(Slice request);
   Result<std::string> HandleReadOnlyGet(Slice request);
 
-  /// If `key`'s master partition is migrating away from this node, proxies
-  /// the call to the destination and returns its response; otherwise nullopt.
-  std::optional<Result<std::string>> MaybeRedirect(const std::string& method,
-                                                   Slice key, Slice request);
+  /// The migrations moving any of `key`'s preference-list partitions away
+  /// from this node — from ONE atomic metadata snapshot (topology +
+  /// migrations under a single reader acquisition; DESIGN.md §13). A key
+  /// lives here when this node owns ANY of its N replica partitions, so a
+  /// replica partition mid-handoff pair-routes exactly like the master
+  /// partition. Empty when no handoff applies or pairing is disabled by
+  /// the test knob.
+  std::vector<Migration> HandoffsOf(Slice key) const;
+
+  /// Pair-writes `request` to the migration destination; OK on delivery or
+  /// ObsoleteVersion, otherwise the stable mid-migration Unavailable error
+  /// (the contract transport_parity_test locks across backends).
+  Status ForwardToHandoffPeer(const Migration& migration,
+                              const std::string& method, Slice request);
 
   storage::StorageEngine* GetEngineLocked(const std::string& store)
       LIDI_REQUIRES(mu_);
@@ -119,10 +145,11 @@ class VoldemortServer {
   obs::Counter* quota_rejects_;
 
   /// Guards the store maps. Held across local engine calls (engines have
-  /// their own leaf locks) but never across the network: redirects run
-  /// before it is taken, slop pushes and read-only gets resolve the target
-  /// under it and call unlocked. slop_engine_ is unguarded — it is
-  /// thread-safe and its pointer is set once in the constructor.
+  /// their own leaf locks) but never across the network: handoff routing is
+  /// resolved before it is taken, pair forwards run after it is released,
+  /// slop pushes and read-only gets resolve the target under it and call
+  /// unlocked. slop_engine_ is unguarded — it is thread-safe and its
+  /// pointer is set once in the constructor.
   mutable Mutex mu_{"voldemort.server"};
   std::map<std::string, std::unique_ptr<storage::StorageEngine>> engines_
       LIDI_GUARDED_BY(mu_);

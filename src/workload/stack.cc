@@ -34,6 +34,7 @@ FourTierStack::FourTierStack(net::Transport* transport, const Clock* clock,
   voldemort::VoldemortServerOptions vopts;
   vopts.quota_requests_per_sec = options_.voldemort_quota_per_sec;
   vopts.quota_burst = options_.quota_burst;
+  vopts.replication_factor = options_.replication;
   for (int i = 0; i < options_.voldemort_nodes; ++i) {
     voldemort_.push_back(std::make_unique<voldemort::VoldemortServer>(
         i, metadata_, transport_, vopts));
@@ -190,6 +191,22 @@ int64_t FourTierStack::TotalOverloadRejects() const {
 void FourTierStack::SetQuotaEnforcing(bool enforcing) {
   broker_->SetQuotaEnforcing(enforcing);
   for (auto& server : voldemort_) server->SetQuotaEnforcing(enforcing);
+}
+
+int FourTierStack::AddVoldemortNode() {
+  const int id = static_cast<int>(voldemort_.size());
+  // Same staging as the sim's elastic expansion: the node joins owning zero
+  // partitions, so routing is unchanged until a rebalance moves ownership
+  // through the copy + pair-write + cutover protocol.
+  metadata_->AddNode({id, net::MakeAddress(net::Tier::kVoldemort, id), 0});
+  voldemort::VoldemortServerOptions vopts;
+  vopts.quota_requests_per_sec = options_.voldemort_quota_per_sec;
+  vopts.quota_burst = options_.quota_burst;
+  vopts.replication_factor = options_.replication;
+  voldemort_.push_back(std::make_unique<voldemort::VoldemortServer>(
+      id, metadata_, transport_, vopts));
+  MustOk(voldemort_.back()->AddStore("wl"), "voldemort AddStore (elastic)");
+  return id;
 }
 
 }  // namespace lidi::workload

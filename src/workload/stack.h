@@ -85,6 +85,17 @@ class FourTierStack {
   /// Quota kill switch across all tiers (sim Settle support).
   void SetQuotaEnforcing(bool enforcing);
 
+  /// Elastic ring expansion (the live-rebalance bench axis): adds one
+  /// Voldemort node, owning zero partitions until a RebalanceExecutor moves
+  /// some. Returns the new node id.
+  int AddVoldemortNode();
+
+  /// Ring metadata handle (shared with the stack's servers and clients) so
+  /// a bench can drive a RebalanceExecutor against the live stack.
+  const std::shared_ptr<voldemort::ClusterMetadata>& metadata() const {
+    return metadata_;
+  }
+
   net::Transport* transport() { return transport_; }
   voldemort::StoreClient* store(uint64_t shard) {
     return stores_[shard % stores_.size()].get();

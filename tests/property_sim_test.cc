@@ -1,7 +1,8 @@
 // Property sweep for the deterministic simulation harness: N seeded random
 // 50-event chaos schedules (partitions, crashes, power loss, clock skew,
-// delay and io-fault bursts interleaved with whole-stack workloads), each
-// run on a fresh cluster and held to the standard invariant catalogue.
+// delay and io-fault bursts, elastic add-node/start-rebalance growth —
+// interleaved with whole-stack workloads), each run on a fresh cluster and
+// held to the standard invariant catalogue.
 //
 // Replay workflow (README "Simulation testing"):
 //   LIDI_SIM_SEEDS=500 ctest -R property_sim_test   # widen the sweep
@@ -74,6 +75,24 @@ TEST(SimProperty, RandomSchedulesUpholdInvariants) {
     const Schedule shrunk = ShrinkSchedule(schedule, fails, /*max_probes=*/48);
     ADD_FAILURE() << Describe(seed, violations, shrunk, trace);
   }
+}
+
+// The sweep must actually exercise elasticity: the generator's roll table
+// includes kAddNode and kStartRebalance, so ddmin shrinking covers live
+// partition-movement schedules too. Pin that — a generator change that
+// silently dropped the elastic kinds would hollow out the whole sweep.
+TEST(SimProperty, SweepSchedulesIncludeElasticityEvents) {
+  const int num_events = EnvInt("LIDI_SIM_EVENTS", 50);
+  int add_node = 0;
+  int start_rebalance = 0;
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    for (const SimEvent& event : GenerateSchedule(seed, num_events).events) {
+      if (event.kind == EventKind::kAddNode) ++add_node;
+      if (event.kind == EventKind::kStartRebalance) ++start_rebalance;
+    }
+  }
+  EXPECT_GT(add_node, 0);
+  EXPECT_GT(start_rebalance, 0);
 }
 
 // Acceptance gate for the harness itself: same seed => byte-identical trace,

@@ -11,7 +11,9 @@
 #include "net/tcp_transport.h"
 #include "net/transport.h"
 #include "voldemort/cluster.h"
+#include "voldemort/routing.h"
 #include "voldemort/server.h"
+#include "voldemort/wire.h"
 #include "zk/zookeeper.h"
 
 #include "status_test_util.h"
@@ -193,6 +195,84 @@ TEST_P(TransportParityTest, RouterAdmissionRejectIsOverloadedOnBothBackends) {
   router.inflight_limiter()->Exit();
   // Slot free again: the same request now fails on routing, not admission.
   EXPECT_NE(router.GetRecord("/db/t/r").status().code(), Code::kOverloaded);
+}
+
+TEST_P(TransportParityTest, MidMigrationPairWriteContractOnBothBackends) {
+  // The mid-migration error contract (ISSUE 10 satellite): while a
+  // partition migrates away, a write to the old owner either succeeds
+  // proxy-forwarded (applied at BOTH owners) or fails with the stable,
+  // server-generated Unavailable message — never the backend's own
+  // transport failure text. Espresso's router and the rebalance executor
+  // both branch on this exact error, so sim and TCP must agree byte for
+  // byte.
+  auto t = Make();
+  std::vector<voldemort::Node> nodes{
+      {0, net::MakeAddress(net::Tier::kVoldemort, 0), 0},
+      {1, net::MakeAddress(net::Tier::kVoldemort, 1), 0}};
+  auto metadata = std::make_shared<voldemort::ClusterMetadata>(
+      voldemort::Cluster::Uniform(nodes, 4));
+  voldemort::VoldemortServerOptions options;
+  options.replication_factor = 1;
+  voldemort::VoldemortServer source(0, metadata, t.get(), options);
+  ASSERT_OK(source.AddStore("st"));
+
+  // Pick a key node 0 masters, then start migrating its partition to node
+  // 1 — which has NO transport endpoint yet, so the pair write cannot be
+  // delivered.
+  const voldemort::Cluster cluster = metadata->SnapshotCluster();
+  auto routing = voldemort::NewConsistentRoutingStrategy(&cluster, 1);
+  std::string key;
+  int partition = -1;
+  for (int i = 0; i < 256 && partition < 0; ++i) {
+    const std::string candidate = "parity-key-" + std::to_string(i);
+    const int p = routing->MasterPartition(candidate);
+    if (cluster.OwnerOfPartition(p) == 0) {
+      key = candidate;
+      partition = p;
+    }
+  }
+  ASSERT_GE(partition, 0);
+  metadata->StartMigration(partition, /*to_node=*/1);
+
+  const auto put_request = [&key](int counter) {
+    voldemort::VectorClock clock;
+    for (int i = 0; i < counter; ++i) clock.Increment(0);
+    std::string request;
+    voldemort::EncodePutRequest(
+        "st", key, voldemort::Versioned{clock, "during-migration"},
+        voldemort::Transform{}, &request);
+    return request;
+  };
+
+  const std::string expected =
+      "handoff pair write to " + net::MakeAddress(net::Tier::kVoldemort, 1) +
+      " failed for partition " + std::to_string(partition);
+  const Status via_string =
+      t->Call("c", source.address(), "v.put", put_request(1)).status();
+  EXPECT_EQ(via_string.code(), Code::kUnavailable);
+  EXPECT_EQ(via_string.message(), expected);
+  const Status via_payload =
+      t->CallPayload("c", source.address(), "v.put", put_request(2)).status();
+  EXPECT_EQ(via_payload.code(), via_string.code());
+  EXPECT_EQ(via_payload.message(), via_string.message());
+
+  // Destination comes up: the same write now succeeds, proxy-forwarded —
+  // readable at BOTH owners before cutover (the pair-routing half of the
+  // contract).
+  voldemort::VoldemortServer destination(1, metadata, t.get(), options);
+  ASSERT_OK(destination.AddStore("st"));
+  ASSERT_OK(t->Call("c", source.address(), "v.put", put_request(3)).status());
+  std::string get_request;
+  voldemort::EncodeGetRequest("st", key, &get_request);
+  for (const auto& owner : {source.address(), destination.address()}) {
+    auto read = t->Call("c", owner, "v.get-noredirect", get_request);
+    ASSERT_OK(read.status());
+    auto versions = voldemort::DecodeVersionedList(read.value());
+    ASSERT_OK(versions.status());
+    ASSERT_FALSE(versions.value().empty());
+    EXPECT_EQ(versions.value().back().value, "during-migration")
+        << "missing pair-written value at " << owner;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, TransportParityTest,

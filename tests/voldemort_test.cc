@@ -697,19 +697,26 @@ TEST_F(VoldemortClusterTest, RedirectionDuringMigrationServesRequests) {
   const int old_owner = metadata_->OwnerOfPartition(0);
   const int new_owner = (old_owner + 1) % 3;
 
-  // Manually enter the migration window: requests through the old owner
-  // must proxy to the new owner.
+  // Manually enter the migration window: writes through the old owner are
+  // pair-routed — applied locally AND forwarded to the new owner — so the
+  // partition stays fully served from the source while the destination
+  // accumulates every write it will need at cutover (DESIGN.md §13).
   metadata_->StartMigration(0, new_owner);
   ASSERT_TRUE(client->PutValue(key, "written-during-migration").ok());
-  // The value must live on the new owner (proxied), not the old one.
+  // Both sides of the pair must hold the value: the source because it still
+  // owns the partition, the destination because the cutover does NOT
+  // re-copy.
   std::string value;
   EXPECT_TRUE(servers_[new_owner]->GetEngine(kStore)->Get(key, &value).ok());
-  EXPECT_FALSE(servers_[old_owner]->GetEngine(kStore)->Get(key, &value).ok());
+  EXPECT_TRUE(servers_[old_owner]->GetEngine(kStore)->Get(key, &value).ok());
   auto r = client->Get(key);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value()[0].value, "written-during-migration");
   metadata_->FinishMigration(0);
-  ASSERT_TRUE(client->Get(key).ok());
+  // After cutover the key reads back through the new owner.
+  auto after = client->Get(key);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value()[0].value, "written-during-migration");
 }
 
 // ---------------------------------------------------------------------------
